@@ -1,0 +1,98 @@
+// Ablation: Hashed Prefix Counter partitioning (Sec. 3.4) as the number of
+// distinct equivalence-attribute values grows.
+//
+// Partitioning splits the SEM state: each event touches only its
+// partition's counters, so per-event work *drops* as values spread over
+// more partitions, while the TRIG-time scan must merge more partitions.
+// The stack baseline benefits too (fewer matches survive the equivalence
+// test) but still materializes every surviving match.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "aseq/aseq_engine.h"
+#include "baseline/stack_engine.h"
+#include "bench/bench_util.h"
+#include "query/analyzer.h"
+
+namespace aseq {
+namespace bench {
+namespace {
+
+constexpr size_t kNumEvents = 20000;
+constexpr int64_t kMaxGapMs = 6;
+
+const BenchStream& Stream(int64_t num_traders) {
+  static std::map<int64_t, const BenchStream*>* cache =
+      new std::map<int64_t, const BenchStream*>();
+  auto it = cache->find(num_traders);
+  if (it == cache->end()) {
+    auto s = std::make_unique<BenchStream>();
+    StockStreamOptions options;
+    options.seed = 42;
+    options.num_events = kNumEvents;
+    options.max_gap_ms = kMaxGapMs;
+    options.num_traders = num_traders;
+    s->events = GenerateStockStream(options, &s->schema);
+    AssignSeqNums(&s->events);
+    it = cache->emplace(num_traders, s.release()).first;
+  }
+  return *it->second;
+}
+
+CompiledQuery Compile(const BenchStream& stream) {
+  Schema schema = stream.schema;
+  Analyzer analyzer(&schema);
+  return std::move(
+             analyzer.AnalyzeText(
+                 "PATTERN SEQ(DELL, IPIX, AMAT) "
+                 "WHERE DELL.traderId = IPIX.traderId = AMAT.traderId "
+                 "AGG COUNT WITHIN 1s"))
+      .value();
+}
+
+void BM_ASeqHPC(benchmark::State& state) {
+  const BenchStream& stream = Stream(state.range(0));
+  CompiledQuery cq = Compile(stream);
+  auto engine = CreateAseqEngine(cq);
+  RunAndReport(state, stream.events, engine->get());
+}
+BENCHMARK(BM_ASeqHPC)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_StackBased(benchmark::State& state) {
+  const BenchStream& stream = Stream(state.range(0));
+  CompiledQuery cq = Compile(stream);
+  StackEngine engine(cq);
+  RunAndReport(state, stream.events, &engine);
+}
+BENCHMARK(BM_StackBased)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aseq
+
+int main(int argc, char** argv) {
+  aseq::bench::PrintFigureBanner(
+      "Ablation: HPC partitioning",
+      "equivalence query while distinct traderId values grow 1..256");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

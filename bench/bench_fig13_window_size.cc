@@ -1,0 +1,69 @@
+// Fig. 13 (a)+(b): A-Seq vs the stack-based baseline while the window size
+// varies from 100ms to 1000ms (pattern length fixed at 3).
+//
+// Expected shape (Sec. 6.2): both methods grow with the window, but the
+// baseline degrades polynomially in the number of active events per window
+// while A-Seq grows only linearly (in the number of live START instances);
+// memory behaves alike.
+
+#include <benchmark/benchmark.h>
+
+#include "aseq/aseq_engine.h"
+#include "baseline/stack_engine.h"
+#include "bench/bench_util.h"
+#include "query/analyzer.h"
+
+namespace aseq {
+namespace bench {
+namespace {
+
+const size_t kNumEvents = ScaledEvents(4000);
+constexpr int64_t kMaxGapMs = 6;
+constexpr size_t kPatternLength = 3;
+
+const BenchStream& Stream() {
+  static const BenchStream* stream =
+      MakeStockStream(kNumEvents, kMaxGapMs).release();
+  return *stream;
+}
+
+CompiledQuery QueryOfWindow(Timestamp window_ms) {
+  Schema schema = Stream().schema;
+  Analyzer analyzer(&schema);
+  auto cq = analyzer.Analyze(MakeTickerQuery(kPatternLength, window_ms));
+  return std::move(cq).value();
+}
+
+void BM_StackBased(benchmark::State& state) {
+  CompiledQuery cq = QueryOfWindow(state.range(0));
+  StackEngine engine(cq);
+  RunAndReport(state, Stream().events, &engine);
+}
+BENCHMARK(BM_StackBased)
+    ->DenseRange(100, 1000, 100)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_ASeq(benchmark::State& state) {
+  CompiledQuery cq = QueryOfWindow(state.range(0));
+  auto engine = CreateAseqEngine(cq);
+  RunAndReport(state, Stream().events, engine->get());
+}
+BENCHMARK(BM_ASeq)
+    ->DenseRange(100, 1000, 100)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aseq
+
+int main(int argc, char** argv) {
+  aseq::bench::PrintFigureBanner(
+      "Fig. 13(a)/(b)",
+      "exec time & memory vs window size (win = 100..1000ms, l = 3)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

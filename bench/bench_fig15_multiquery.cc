@@ -1,0 +1,87 @@
+// Fig. 15: shared A-Seq vs the state of the art on a 3-query workload with
+// a common sub-pattern:
+//   1) SASE      — stack-based construction applied to each query
+//   2) ECube     — shared substring construction, per-query counting
+//   3) A-Seq     — (unshared) A-Seq per query
+//   4) CC        — multi-query A-Seq with Chop-Connect
+//
+// Expected shape (Sec. 6.3): ECube beats SASE 2-3x by sharing construction,
+// but remains >= 100x slower than A-Seq and CC (whose lines overlap).
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/ecube_engine.h"
+#include "bench/bench_util.h"
+#include "multi/chop_connect_engine.h"
+#include "multi/chop_plan.h"
+#include "multi/nonshared_engine.h"
+
+namespace aseq {
+namespace bench {
+namespace {
+
+const size_t kNumEvents = ScaledEvents(4000);
+constexpr int64_t kMaxGapMs = 12;
+constexpr Timestamp kWindowMs = 1000;
+
+struct Fig15Setup {
+  SharedWorkload workload;
+  std::unique_ptr<MultiBench> bench;
+  std::vector<EventTypeId> shared_types;
+};
+
+const Fig15Setup& Setup() {
+  static const Fig15Setup* setup = [] {
+    auto* s = new Fig15Setup();
+    // 3 queries of length 4 sharing (S1, S2, S3) at the tail after a
+    // private 1-type prefix — the paper's Q5-style sharing shape.
+    s->workload = MakeSubstringSharedWorkload(3, 1, 3, 0, kWindowMs);
+    s->bench = MakeMultiBench(s->workload, kNumEvents, kMaxGapMs);
+    for (const std::string& name : s->workload.shared_types) {
+      s->shared_types.push_back(*s->bench->schema.FindEventType(name));
+    }
+    return s;
+  }();
+  return *setup;
+}
+
+void BM_SASE(benchmark::State& state) {
+  auto engine = NonSharedEngine::CreateStackBased(Setup().bench->queries);
+  RunMultiAndReport(state, Setup().bench->events, engine.get());
+}
+BENCHMARK(BM_SASE)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_ECube(benchmark::State& state) {
+  auto engine =
+      EcubeEngine::Create(Setup().bench->queries, Setup().shared_types);
+  RunMultiAndReport(state, Setup().bench->events, engine->get());
+}
+BENCHMARK(BM_ECube)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_ASeq_NonShared(benchmark::State& state) {
+  auto engine = NonSharedEngine::CreateAseq(Setup().bench->queries);
+  RunMultiAndReport(state, Setup().bench->events, engine->get());
+}
+BENCHMARK(BM_ASeq_NonShared)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_ChopConnect(benchmark::State& state) {
+  ChopPlan plan = PlanChopConnect(Setup().bench->queries);
+  auto engine = ChopConnectEngine::Create(Setup().bench->queries, plan);
+  RunMultiAndReport(state, Setup().bench->events, engine->get());
+}
+BENCHMARK(BM_ChopConnect)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aseq
+
+int main(int argc, char** argv) {
+  aseq::bench::PrintFigureBanner(
+      "Fig. 15",
+      "3-query workload with a common sub-pattern: SASE vs ECube vs A-Seq "
+      "vs Chop-Connect");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

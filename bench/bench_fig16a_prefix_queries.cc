@@ -1,0 +1,67 @@
+// Fig. 16(a): prefix sharing while the number of queries sharing a
+// length-3 prefix grows from 2 to 6.
+//
+// Expected shape (Sec. 6.3.1): PrefixShare (PreTree) consistently wins
+// around 2x over unshared A-Seq, with the absolute saving per event growing
+// with the workload size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "multi/nonshared_engine.h"
+#include "multi/pretree_engine.h"
+
+namespace aseq {
+namespace bench {
+namespace {
+
+const size_t kNumEvents = ScaledEvents(30000);
+constexpr int64_t kMaxGapMs = 4;
+constexpr Timestamp kWindowMs = 2000;
+constexpr size_t kPrefixLen = 3;
+constexpr size_t kTotalLen = 5;
+
+const MultiBench& Bench(size_t num_queries) {
+  static std::unique_ptr<MultiBench> cache[8];
+  if (cache[num_queries] == nullptr) {
+    SharedWorkload workload = MakePrefixSharedWorkload(
+        num_queries, kPrefixLen, kTotalLen, kWindowMs);
+    cache[num_queries] = MakeMultiBench(workload, kNumEvents, kMaxGapMs);
+  }
+  return *cache[num_queries];
+}
+
+void BM_NonShare(benchmark::State& state) {
+  const MultiBench& mb = Bench(static_cast<size_t>(state.range(0)));
+  auto engine = NonSharedEngine::CreateAseq(mb.queries);
+  RunMultiAndReport(state, mb.events, engine->get());
+}
+BENCHMARK(BM_NonShare)
+    ->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_PrefixShare(benchmark::State& state) {
+  const MultiBench& mb = Bench(static_cast<size_t>(state.range(0)));
+  auto engine = PreTreeEngine::Create(mb.queries);
+  RunMultiAndReport(state, mb.events, engine->get());
+}
+BENCHMARK(BM_PrefixShare)
+    ->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aseq
+
+int main(int argc, char** argv) {
+  aseq::bench::PrintFigureBanner(
+      "Fig. 16(a)",
+      "prefix sharing vs #queries (k = 2..6, shared prefix = 3, |pattern| = "
+      "5)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

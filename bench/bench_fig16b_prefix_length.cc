@@ -1,0 +1,65 @@
+// Fig. 16(b): prefix sharing while the shared-prefix length grows from 2 to
+// 6 (3-query workload — the paper's worst case for sharing).
+//
+// Expected shape (Sec. 6.3.1): the longer the shared prefix the bigger the
+// win — from ~3x at length 2 to ~5x at length 6 in the paper.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "multi/nonshared_engine.h"
+#include "multi/pretree_engine.h"
+
+namespace aseq {
+namespace bench {
+namespace {
+
+const size_t kNumEvents = ScaledEvents(30000);
+constexpr int64_t kMaxGapMs = 4;
+constexpr Timestamp kWindowMs = 2000;
+constexpr size_t kNumQueries = 3;
+constexpr size_t kSuffixLen = 2;  // private suffix beyond the shared prefix
+
+const MultiBench& Bench(size_t prefix_len) {
+  static std::unique_ptr<MultiBench> cache[8];
+  if (cache[prefix_len] == nullptr) {
+    SharedWorkload workload = MakePrefixSharedWorkload(
+        kNumQueries, prefix_len, prefix_len + kSuffixLen, kWindowMs);
+    cache[prefix_len] = MakeMultiBench(workload, kNumEvents, kMaxGapMs);
+  }
+  return *cache[prefix_len];
+}
+
+void BM_NonShare(benchmark::State& state) {
+  const MultiBench& mb = Bench(static_cast<size_t>(state.range(0)));
+  auto engine = NonSharedEngine::CreateAseq(mb.queries);
+  RunMultiAndReport(state, mb.events, engine->get());
+}
+BENCHMARK(BM_NonShare)
+    ->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_PrefixShare(benchmark::State& state) {
+  const MultiBench& mb = Bench(static_cast<size_t>(state.range(0)));
+  auto engine = PreTreeEngine::Create(mb.queries);
+  RunMultiAndReport(state, mb.events, engine->get());
+}
+BENCHMARK(BM_PrefixShare)
+    ->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aseq
+
+int main(int argc, char** argv) {
+  aseq::bench::PrintFigureBanner(
+      "Fig. 16(b)",
+      "prefix sharing vs shared-prefix length (l = 2..6, 3 queries)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

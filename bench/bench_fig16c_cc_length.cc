@@ -1,0 +1,68 @@
+// Fig. 16(c): Chop-Connect while the shared-substring length grows from 2
+// to 6 (3-query workload; the substring sits mid-pattern between a private
+// prefix and a private tail).
+//
+// Expected shape (Sec. 6.3.2): CC's gain over unshared A-Seq grows with the
+// substring length — ~1.3x to ~2.6x in the paper — confirming the snapshot
+// machinery is lightweight.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "multi/chop_connect_engine.h"
+#include "multi/chop_plan.h"
+#include "multi/nonshared_engine.h"
+
+namespace aseq {
+namespace bench {
+namespace {
+
+const size_t kNumEvents = ScaledEvents(30000);
+constexpr int64_t kMaxGapMs = 4;
+constexpr Timestamp kWindowMs = 2000;
+constexpr size_t kNumQueries = 3;
+
+const MultiBench& Bench(size_t shared_len) {
+  static std::unique_ptr<MultiBench> cache[8];
+  if (cache[shared_len] == nullptr) {
+    SharedWorkload workload = MakeSubstringSharedWorkload(
+        kNumQueries, /*prefix_len=*/2, shared_len, /*tail_len=*/0, kWindowMs);
+    cache[shared_len] = MakeMultiBench(workload, kNumEvents, kMaxGapMs);
+  }
+  return *cache[shared_len];
+}
+
+void BM_NonShare(benchmark::State& state) {
+  const MultiBench& mb = Bench(static_cast<size_t>(state.range(0)));
+  auto engine = NonSharedEngine::CreateAseq(mb.queries);
+  RunMultiAndReport(state, mb.events, engine->get());
+}
+BENCHMARK(BM_NonShare)
+    ->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_ChopConnect(benchmark::State& state) {
+  const MultiBench& mb = Bench(static_cast<size_t>(state.range(0)));
+  ChopPlan plan = PlanChopConnect(mb.queries);
+  auto engine = ChopConnectEngine::Create(mb.queries, plan);
+  RunMultiAndReport(state, mb.events, engine->get());
+}
+BENCHMARK(BM_ChopConnect)
+    ->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aseq
+
+int main(int argc, char** argv) {
+  aseq::bench::PrintFigureBanner(
+      "Fig. 16(c)",
+      "Chop-Connect vs shared-substring length (l = 2..6, 3 queries)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

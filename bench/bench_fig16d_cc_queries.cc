@@ -1,0 +1,66 @@
+// Fig. 16(d): Chop-Connect while the number of queries sharing a length-3
+// substring grows from 2 to 6.
+//
+// Expected shape (Sec. 6.3.2): the gap between CC and unshared A-Seq widens
+// with the number of sharing queries (~2x at 6 queries in the paper).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "multi/chop_connect_engine.h"
+#include "multi/chop_plan.h"
+#include "multi/nonshared_engine.h"
+
+namespace aseq {
+namespace bench {
+namespace {
+
+const size_t kNumEvents = ScaledEvents(30000);
+constexpr int64_t kMaxGapMs = 4;
+constexpr Timestamp kWindowMs = 2000;
+constexpr size_t kSharedLen = 3;
+
+const MultiBench& Bench(size_t num_queries) {
+  static std::unique_ptr<MultiBench> cache[8];
+  if (cache[num_queries] == nullptr) {
+    SharedWorkload workload = MakeSubstringSharedWorkload(
+        num_queries, /*prefix_len=*/2, kSharedLen, /*tail_len=*/0, kWindowMs);
+    cache[num_queries] = MakeMultiBench(workload, kNumEvents, kMaxGapMs);
+  }
+  return *cache[num_queries];
+}
+
+void BM_NonShare(benchmark::State& state) {
+  const MultiBench& mb = Bench(static_cast<size_t>(state.range(0)));
+  auto engine = NonSharedEngine::CreateAseq(mb.queries);
+  RunMultiAndReport(state, mb.events, engine->get());
+}
+BENCHMARK(BM_NonShare)
+    ->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_ChopConnect(benchmark::State& state) {
+  const MultiBench& mb = Bench(static_cast<size_t>(state.range(0)));
+  ChopPlan plan = PlanChopConnect(mb.queries);
+  auto engine = ChopConnectEngine::Create(mb.queries, plan);
+  RunMultiAndReport(state, mb.events, engine->get());
+}
+BENCHMARK(BM_ChopConnect)
+    ->DenseRange(2, 6)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aseq
+
+int main(int argc, char** argv) {
+  aseq::bench::PrintFigureBanner(
+      "Fig. 16(d)",
+      "Chop-Connect vs #queries sharing a length-3 substring (k = 2..6)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

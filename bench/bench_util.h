@@ -1,0 +1,151 @@
+#ifndef ASEQ_BENCH_BENCH_UTIL_H_
+#define ASEQ_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/schema.h"
+#include "engine/engine.h"
+#include "engine/runtime.h"
+#include "query/analyzer.h"
+#include "query/compiled_query.h"
+#include "stream/stock_stream.h"
+#include "stream/workload.h"
+
+namespace aseq {
+namespace bench {
+
+/// True when the ASEQ_BENCH_FULL environment variable is set: benchmarks
+/// then run at the paper's scale (the full 120k-event trace portion)
+/// instead of the quick default. The stack-based baseline points can take
+/// minutes at full scale — that is the paper's point.
+inline bool FullScale() { return std::getenv("ASEQ_BENCH_FULL") != nullptr; }
+
+/// Picks the stream length: `quick` by default, 120k under ASEQ_BENCH_FULL.
+inline size_t ScaledEvents(size_t quick) {
+  return FullScale() ? 120000 : quick;
+}
+
+/// \brief A prepared workload: schema + event stream (seq numbers assigned).
+///
+/// Streams are deterministic (seeded) so every benchmark run measures the
+/// same work. The default scale is chosen so the full suite finishes in a
+/// few minutes on a laptop while preserving the paper's effects (the
+/// baseline's exponential blow-up vs A-Seq's flat cost); per-window type
+/// cardinalities |Ei| are set via the inter-arrival gap.
+struct BenchStream {
+  Schema schema;
+  std::vector<Event> events;
+};
+
+/// Synthetic stock stream (see DESIGN.md §3 for the trace substitution).
+inline std::unique_ptr<BenchStream> MakeStockStream(size_t num_events,
+                                                    int64_t max_gap_ms,
+                                                    uint64_t seed = 42) {
+  auto s = std::make_unique<BenchStream>();
+  StockStreamOptions options;
+  options.seed = seed;
+  options.num_events = num_events;
+  options.min_gap_ms = 0;
+  options.max_gap_ms = max_gap_ms;
+  s->events = GenerateStockStream(options, &s->schema);
+  AssignSeqNums(&s->events);
+  return s;
+}
+
+/// Drives `events` through `engine` once and reports the paper's metrics on
+/// the benchmark state: `ms_per_slide` (average execution time per window
+/// slide — the window slides on every arrival) and `peak_objects` (peak
+/// live-object count, the paper's memory metric).
+inline void RunAndReport(benchmark::State& state,
+                         const std::vector<Event>& events,
+                         QueryEngine* engine) {
+  double total_seconds = 0;
+  uint64_t total_events = 0;
+  for (auto _ : state) {
+    RunResult result = Runtime::RunEvents(events, engine,
+                                          /*collect_outputs=*/false);
+    total_seconds += result.elapsed_seconds;
+    total_events += result.events;
+  }
+  state.counters["ms_per_slide"] = benchmark::Counter(
+      total_events == 0 ? 0
+                        : total_seconds * 1e3 / static_cast<double>(total_events));
+  state.counters["peak_objects"] =
+      benchmark::Counter(static_cast<double>(engine->stats().objects.peak()));
+  state.counters["events"] = benchmark::Counter(static_cast<double>(total_events));
+}
+
+/// Multi-query variant of RunAndReport.
+inline void RunMultiAndReport(benchmark::State& state,
+                              const std::vector<Event>& events,
+                              MultiQueryEngine* engine) {
+  double total_seconds = 0;
+  uint64_t total_events = 0;
+  for (auto _ : state) {
+    MultiRunResult result = Runtime::RunMultiEvents(events, engine,
+                                                    /*collect_outputs=*/false);
+    total_seconds += result.elapsed_seconds;
+    total_events += result.events;
+  }
+  state.counters["ms_per_slide"] = benchmark::Counter(
+      total_events == 0 ? 0
+                        : total_seconds * 1e3 / static_cast<double>(total_events));
+  state.counters["peak_objects"] =
+      benchmark::Counter(static_cast<double>(engine->stats().objects.peak()));
+}
+
+/// Prints the figure banner once per binary.
+inline void PrintFigureBanner(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("Counters: ms_per_slide = avg execution time per window slide;\n");
+  std::printf("          peak_objects = peak live objects (paper's memory metric)\n");
+  std::printf("==============================================================\n");
+}
+
+/// Builds a COUNT query over the first `length` stock tickers.
+inline Query MakeTickerQuery(size_t length, Timestamp window_ms) {
+  std::vector<std::string> names(StockTickers().begin(),
+                                 StockTickers().begin() + length);
+  Query q;
+  q.pattern = Pattern::FromNames(names);
+  q.agg = AggregateSpec::Count();
+  q.window_ms = window_ms;
+  return q;
+}
+
+/// \brief A prepared multi-query workload: schema + compiled queries +
+/// stream over the workload's type universe.
+struct MultiBench {
+  Schema schema;
+  std::vector<CompiledQuery> queries;
+  std::vector<Event> events;
+};
+
+inline std::unique_ptr<MultiBench> MakeMultiBench(
+    const SharedWorkload& workload, size_t num_events, int64_t max_gap_ms,
+    uint64_t seed = 42) {
+  auto mb = std::make_unique<MultiBench>();
+  Analyzer analyzer(&mb->schema);
+  for (const Query& q : workload.queries) {
+    auto cq = analyzer.Analyze(q);
+    mb->queries.push_back(std::move(cq).value());
+  }
+  StreamConfig config =
+      MakeWorkloadStreamConfig(workload, seed, num_events, 0, max_gap_ms);
+  StreamGenerator gen(config, &mb->schema);
+  mb->events = gen.Generate();
+  AssignSeqNums(&mb->events);
+  return mb;
+}
+
+}  // namespace bench
+}  // namespace aseq
+
+#endif  // ASEQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Converts aseq benchmark output into tidy CSV for plotting.
+
+Usage:
+    for b in build/bench/bench_*; do $b; done | scripts/bench_to_csv.py > results.csv
+    scripts/bench_to_csv.py bench_output.txt > results.csv
+
+Each google-benchmark result line like
+
+    BM_StackBased/5/iterations:1  3557 ms  3523 ms  1  events=4k ms_per_slide=0.889 peak_objects=1070.9k
+
+becomes a CSV row:  figure,series,arg,ms_per_slide,peak_objects
+
+The `figure` column is taken from the preceding "Fig. ..." banner line.
+"""
+
+import csv
+import re
+import sys
+
+BANNER_RE = re.compile(r"^(Fig\.\s*\S+|Ablation[^——]*)\s*[—-]")
+BENCH_RE = re.compile(
+    r"^BM_(?P<series>[A-Za-z0-9_]+)(?:/(?P<arg>\d+))?/iterations:\d+\s+"
+    r".*?ms_per_slide=(?P<mps>[\d.e+-]+)(?P<mps_unit>[munk]?)\s+"
+    r".*?peak_objects=(?P<peak>[\d.]+)(?P<peak_unit>[munk]?)"
+)
+
+UNIT = {"": 1.0, "m": 1e-3, "u": 1e-6, "n": 1e-9, "k": 1e3}
+
+
+def scale(value: str, unit: str) -> float:
+    return float(value) * UNIT.get(unit, 1.0)
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        lines = open(sys.argv[1], encoding="utf-8").read().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+
+    writer = csv.writer(sys.stdout)
+    writer.writerow(["figure", "series", "arg", "ms_per_slide", "peak_objects"])
+    figure = ""
+    for line in lines:
+        banner = BANNER_RE.match(line.strip())
+        if banner:
+            figure = banner.group(1).strip()
+            continue
+        m = BENCH_RE.match(line.strip())
+        if not m:
+            continue
+        writer.writerow(
+            [
+                figure,
+                m.group("series"),
+                m.group("arg") or "",
+                f'{scale(m.group("mps"), m.group("mps_unit")):.9f}',
+                f'{scale(m.group("peak"), m.group("peak_unit")):.0f}',
+            ]
+        )
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)

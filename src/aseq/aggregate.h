@@ -1,0 +1,66 @@
+#ifndef ASEQ_ASEQ_AGGREGATE_H_
+#define ASEQ_ASEQ_AGGREGATE_H_
+
+#include <cstdint>
+
+#include "common/value.h"
+#include "query/aggregate_spec.h"
+
+namespace aseq {
+
+/// \brief A combinable partial aggregate over a set of sequence matches.
+///
+/// The A-Seq engines never materialize matches; each prefix counter carries
+/// the pieces needed for the final aggregate (Sec. 5):
+///   * `count` — number of matches (COUNT, and the divisor of AVG);
+///   * `sum`   — sum of the carrier attribute over matches (SUM/AVG);
+///   * `ext`   — min/max of the carrier attribute over matches (MIN/MAX),
+///               valid only when `has_ext`.
+///
+/// Accumulators merge across prefix counters (SEM sums per-start counters,
+/// HPC additionally merges partitions) and finalize into an output Value.
+struct AggAccum {
+  uint64_t count = 0;
+  double sum = 0;
+  bool has_ext = false;
+  double ext = 0;
+
+  /// Folds `other` into this accumulator under function `func`.
+  void Merge(const AggAccum& other, AggFunc func) {
+    count += other.count;
+    sum += other.sum;
+    if (other.has_ext) {
+      if (!has_ext) {
+        has_ext = true;
+        ext = other.ext;
+      } else if (func == AggFunc::kMin ? (other.ext < ext)
+                                       : (other.ext > ext)) {
+        ext = other.ext;
+      }
+    }
+  }
+
+  /// Final output value:
+  ///   COUNT -> int64; SUM -> double (0.0 over the empty match set);
+  ///   AVG/MIN/MAX -> double, or null over the empty match set.
+  Value Finalize(AggFunc func) const {
+    switch (func) {
+      case AggFunc::kCount:
+        return Value(static_cast<int64_t>(count));
+      case AggFunc::kSum:
+        return Value(sum);
+      case AggFunc::kAvg:
+        if (count == 0) return Value();
+        return Value(sum / static_cast<double>(count));
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        if (!has_ext) return Value();
+        return Value(ext);
+    }
+    return Value();
+  }
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_ASEQ_AGGREGATE_H_

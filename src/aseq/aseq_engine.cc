@@ -1,0 +1,241 @@
+#include "aseq/aseq_engine.h"
+
+#include <cassert>
+
+namespace aseq {
+
+namespace {
+
+/// Carrier attribute value of an event, for roles at the carrier position.
+double CarrierValue(const CompiledQuery& q, const Event& e) {
+  return e.GetAttr(q.agg().attr).ToDouble();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AseqEngine (DPC / SEM)
+// ---------------------------------------------------------------------------
+
+AseqEngine::AseqEngine(CompiledQuery query)
+    : query_(std::move(query)),
+      length_(query_.num_positive()),
+      carrier_pos1_(query_.agg_positive_pos() >= 0
+                        ? static_cast<size_t>(query_.agg_positive_pos()) + 1
+                        : 0),
+      counters_(length_, query_.agg().func, carrier_pos1_, query_.window_ms(),
+                &stats_) {
+  assert(!query_.partitioned());
+  assert(!query_.has_join_predicates());
+}
+
+void AseqEngine::OnEvent(const Event& e, std::vector<Output>* out) {
+  ++stats_.events_processed;
+  counters_.Purge(e.ts());
+  const std::vector<Role>* roles = query_.FindRoles(e.type());
+  if (roles == nullptr) return;
+  bool trigger = false;
+  for (const Role& role : *roles) {
+    if (!query_.QualifiesFor(e, role.elem_index)) continue;
+    if (role.negated) {
+      counters_.ResetPrefix(role.position);
+      continue;
+    }
+    double v = role.position == carrier_pos1_ ? CarrierValue(query_, e) : 0;
+    if (role.position == 1) {
+      counters_.OnStart(e, v);
+    } else {
+      counters_.ApplyUpdate(role.position, v);
+    }
+    if (role.position == length_) trigger = true;
+  }
+  if (trigger) {
+    Output output;
+    output.ts = e.ts();
+    output.seq = e.seq();
+    output.value = counters_.Total().Finalize(query_.agg().func);
+    out->push_back(std::move(output));
+    ++stats_.outputs;
+  }
+}
+
+std::vector<Output> AseqEngine::Poll(Timestamp now) {
+  counters_.Purge(now);
+  Output output;
+  output.ts = now;
+  output.value = counters_.Total().Finalize(query_.agg().func);
+  return {std::move(output)};
+}
+
+// ---------------------------------------------------------------------------
+// HpcEngine
+// ---------------------------------------------------------------------------
+
+HpcEngine::HpcEngine(CompiledQuery query)
+    : query_(std::move(query)),
+      length_(query_.num_positive()),
+      carrier_pos1_(query_.agg_positive_pos() >= 0
+                        ? static_cast<size_t>(query_.agg_positive_pos()) + 1
+                        : 0) {
+  assert(query_.partitioned());
+  assert(!query_.has_join_predicates());
+}
+
+void HpcEngine::OnEvent(const Event& e, std::vector<Output>* out) {
+  ++stats_.events_processed;
+  const std::vector<Role>* roles = query_.FindRoles(e.type());
+  if (roles == nullptr) return;
+
+  bool trigger = false;
+  PartitionKey trigger_key;
+  PartitionKey key;
+  std::vector<bool> covered;
+
+  for (const Role& role : *roles) {
+    if (!query_.QualifiesFor(e, role.elem_index)) continue;
+    if (role.negated) {
+      if (!query_.PartitionKeyFor(e, role.elem_index, &key, &covered)) {
+        continue;  // missing partition attribute: instance is ignored
+      }
+      bool fully_covered = true;
+      for (bool c : covered) fully_covered = fully_covered && c;
+      if (fully_covered) {
+        auto it = partitions_.find(key);
+        if (it != partitions_.end()) {
+          it->second.Purge(e.ts());
+          it->second.ResetPrefix(role.position);
+        }
+      } else {
+        // Invalidate every partition matching on the covering parts.
+        for (auto& [pkey, counters] : partitions_) {
+          bool match = true;
+          for (size_t i = 0; i < covered.size() && match; ++i) {
+            if (covered[i] && !pkey.parts[i].Equals(key.parts[i])) {
+              match = false;
+            }
+          }
+          if (match) {
+            counters.Purge(e.ts());
+            counters.ResetPrefix(role.position);
+          }
+        }
+      }
+      continue;
+    }
+    // Positive role: the key always fully covers positive elements.
+    if (!query_.PartitionKeyFor(e, role.elem_index, &key)) continue;
+    if (role.position == 1) {
+      auto [it, inserted] = partitions_.try_emplace(
+          key, length_, query_.agg().func, carrier_pos1_, query_.window_ms(),
+          &stats_);
+      it->second.Purge(e.ts());
+      it->second.OnStart(e, role.position == carrier_pos1_
+                                ? CarrierValue(query_, e)
+                                : 0);
+    } else {
+      auto it = partitions_.find(key);
+      if (it != partitions_.end()) {
+        it->second.Purge(e.ts());
+        it->second.ApplyUpdate(role.position,
+                               role.position == carrier_pos1_
+                                   ? CarrierValue(query_, e)
+                                   : 0);
+      }
+    }
+    if (role.position == length_) {
+      trigger = true;
+      trigger_key = key;
+    }
+  }
+
+  if (trigger) {
+    Output output;
+    output.ts = e.ts();
+    output.seq = e.seq();
+    const PartitionSpec& spec = query_.partition_spec();
+    if (spec.per_group_output) {
+      const Value& group = trigger_key.parts[spec.group_part];
+      output.group = group;
+      output.value =
+          ScanTotal(e.ts(), /*match_group=*/true, group)
+              .Finalize(query_.agg().func);
+    } else {
+      output.value = ScanTotal(e.ts(), /*match_group=*/false, Value())
+                         .Finalize(query_.agg().func);
+    }
+    out->push_back(std::move(output));
+    ++stats_.outputs;
+  }
+}
+
+AggAccum HpcEngine::ScanTotal(Timestamp now, bool match_group,
+                              const Value& group) {
+  const PartitionSpec& spec = query_.partition_spec();
+  AggAccum acc;
+  for (auto it = partitions_.begin(); it != partitions_.end();) {
+    it->second.Purge(now);
+    if (it->second.windowed() && it->second.num_counters() == 0) {
+      it = partitions_.erase(it);
+      continue;
+    }
+    if (!match_group ||
+        it->first.parts[spec.group_part].Equals(group)) {
+      acc.Merge(it->second.Total(), query_.agg().func);
+    }
+    ++it;
+  }
+  return acc;
+}
+
+std::vector<Output> HpcEngine::Poll(Timestamp now) {
+  const PartitionSpec& spec = query_.partition_spec();
+  std::vector<Output> outputs;
+  if (!spec.per_group_output) {
+    Output output;
+    output.ts = now;
+    output.value = ScanTotal(now, /*match_group=*/false, Value())
+                       .Finalize(query_.agg().func);
+    outputs.push_back(std::move(output));
+    return outputs;
+  }
+  // One output per live group.
+  std::unordered_map<Value, AggAccum, ValueHash> groups;
+  for (auto it = partitions_.begin(); it != partitions_.end();) {
+    it->second.Purge(now);
+    if (it->second.windowed() && it->second.num_counters() == 0) {
+      it = partitions_.erase(it);
+      continue;
+    }
+    groups[it->first.parts[spec.group_part]].Merge(it->second.Total(),
+                                                   query_.agg().func);
+    ++it;
+  }
+  for (const auto& [group, acc] : groups) {
+    Output output;
+    output.ts = now;
+    output.group = group;
+    output.value = acc.Finalize(query_.agg().func);
+    outputs.push_back(std::move(output));
+  }
+  return outputs;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<QueryEngine>> CreateAseqEngine(
+    const CompiledQuery& query) {
+  if (query.has_join_predicates()) {
+    return Status::Unsupported(
+        "A-Seq supports local and equivalence predicates only; query '" +
+        query.ToString() +
+        "' has general join predicates (use the stack-based baseline)");
+  }
+  if (query.partitioned()) {
+    return std::unique_ptr<QueryEngine>(new HpcEngine(query));
+  }
+  return std::unique_ptr<QueryEngine>(new AseqEngine(query));
+}
+
+}  // namespace aseq

@@ -1,0 +1,92 @@
+#ifndef ASEQ_ASEQ_ASEQ_ENGINE_H_
+#define ASEQ_ASEQ_ASEQ_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aseq/counter_set.h"
+#include "common/status.h"
+#include "engine/engine.h"
+#include "query/compiled_query.h"
+
+namespace aseq {
+
+/// \brief The single-query A-Seq engine for unpartitioned queries:
+/// Dynamic Prefix Counting (Sec. 3.1) for unbounded windows, Start Event
+/// Marking (Sec. 3.2) for sliding windows, with negation via the
+/// Recounting Rule (Sec. 3.3) and local predicates pushed in front.
+///
+/// No sequence match is ever constructed: each event updates O(1) cells in
+/// each live prefix counter and is immediately discarded.
+class AseqEngine : public QueryEngine {
+ public:
+  explicit AseqEngine(CompiledQuery query);
+
+  void OnEvent(const Event& e, std::vector<Output>* out) override;
+  std::vector<Output> Poll(Timestamp now) override;
+  const EngineStats& stats() const override { return stats_; }
+  std::string name() const override {
+    return query_.has_window() ? "A-Seq(SEM)" : "A-Seq(DPC)";
+  }
+
+  const CompiledQuery& query() const { return query_; }
+
+  /// Number of live prefix counters (testing hook).
+  size_t num_counters() const { return counters_.num_counters(); }
+
+ private:
+  CompiledQuery query_;
+  EngineStats stats_;
+  size_t length_;        // L: number of positive elements
+  size_t carrier_pos1_;  // 1-based aggregate carrier position; 0 for COUNT
+  CounterSet counters_;
+};
+
+/// \brief The partitioned A-Seq engine: Hashed Prefix Counters (Sec. 3.4)
+/// for equivalence predicates and GROUP BY.
+///
+/// Each distinct partition key owns a CounterSet; positive instances route
+/// to their partition, negated instances invalidate the partitions matching
+/// on the key parts that constrain them.
+class HpcEngine : public QueryEngine {
+ public:
+  explicit HpcEngine(CompiledQuery query);
+
+  void OnEvent(const Event& e, std::vector<Output>* out) override;
+  std::vector<Output> Poll(Timestamp now) override;
+  const EngineStats& stats() const override { return stats_; }
+  std::string name() const override { return "A-Seq(HPC)"; }
+
+  const CompiledQuery& query() const { return query_; }
+
+  size_t num_partitions() const { return partitions_.size(); }
+
+ private:
+  using PartitionMap =
+      std::unordered_map<PartitionKey, CounterSet, PartitionKeyHash>;
+
+  /// Sums live counters of partitions matching `key` on the group part;
+  /// with `match_group == false`, sums every partition. Purges as it goes
+  /// and drops empty partitions.
+  AggAccum ScanTotal(Timestamp now, bool match_group, const Value& group);
+
+  CompiledQuery query_;
+  EngineStats stats_;
+  size_t length_;
+  size_t carrier_pos1_;
+  PartitionMap partitions_;
+};
+
+/// \brief Builds the right A-Seq engine for an analyzed query.
+///
+/// Fails with Unsupported if the query carries join predicates (A-Seq
+/// pushes only local and equivalence predicates into counting; use the
+/// stack-based baseline for general joins).
+Result<std::unique_ptr<QueryEngine>> CreateAseqEngine(
+    const CompiledQuery& query);
+
+}  // namespace aseq
+
+#endif  // ASEQ_ASEQ_ASEQ_ENGINE_H_

@@ -1,0 +1,101 @@
+#include "aseq/counter_set.h"
+
+namespace aseq {
+
+CounterSet::CounterSet(size_t length, AggFunc func, size_t carrier_pos1,
+                       Timestamp window_ms, EngineStats* stats)
+    : length_(length),
+      func_(func),
+      carrier_(carrier_pos1),
+      window_ms_(window_ms),
+      stats_(stats) {
+  if (window_ms_ == 0) {
+    single_.emplace(length_, func_, carrier_);
+    if (stats_ != nullptr) stats_->objects.Add(1);
+  }
+}
+
+CounterSet::~CounterSet() {
+  if (stats_ != nullptr) {
+    stats_->objects.Remove(static_cast<int64_t>(entries_.size()) +
+                           (single_.has_value() ? 1 : 0));
+  }
+}
+
+CounterSet::CounterSet(CounterSet&& other) noexcept
+    : length_(other.length_),
+      func_(other.func_),
+      carrier_(other.carrier_),
+      window_ms_(other.window_ms_),
+      stats_(other.stats_),
+      entries_(std::move(other.entries_)),
+      single_(std::move(other.single_)) {
+  // Ownership of the object accounting moves with the state.
+  other.stats_ = nullptr;
+  other.entries_.clear();
+  other.single_.reset();
+}
+
+void CounterSet::Purge(Timestamp now) {
+  while (!entries_.empty() && entries_.front().exp <= now) {
+    entries_.pop_front();
+    if (stats_ != nullptr) stats_->objects.Remove(1);
+  }
+}
+
+void CounterSet::OnStart(const Event& e, double value) {
+  if (!windowed()) {
+    single_->ApplyPositive(1, value);
+    if (stats_ != nullptr) ++stats_->work_units;
+    return;
+  }
+  Entry entry{e.ts() + window_ms_, PrefixCounter(length_, func_, carrier_)};
+  entry.counter.ApplyPositive(1, value);
+  entries_.push_back(std::move(entry));
+  if (stats_ != nullptr) {
+    stats_->objects.Add(1);
+    ++stats_->work_units;
+  }
+}
+
+void CounterSet::ApplyUpdate(size_t pos, double value) {
+  if (!windowed()) {
+    single_->ApplyPositive(pos, value);
+    if (stats_ != nullptr) ++stats_->work_units;
+    return;
+  }
+  for (Entry& entry : entries_) {
+    entry.counter.ApplyPositive(pos, value);
+  }
+  if (stats_ != nullptr) stats_->work_units += entries_.size();
+}
+
+void CounterSet::ResetPrefix(size_t gap) {
+  if (!windowed()) {
+    single_->ResetPrefix(gap);
+    if (stats_ != nullptr) ++stats_->work_units;
+    return;
+  }
+  for (Entry& entry : entries_) {
+    entry.counter.ResetPrefix(gap);
+  }
+  if (stats_ != nullptr) stats_->work_units += entries_.size();
+}
+
+AggAccum CounterSet::Total() const {
+  AggAccum acc;
+  if (!windowed()) {
+    acc.Merge(single_->Tail(), func_);
+    return acc;
+  }
+  for (const Entry& entry : entries_) {
+    acc.Merge(entry.counter.Tail(), func_);
+  }
+  return acc;
+}
+
+size_t CounterSet::num_counters() const {
+  return windowed() ? entries_.size() : 1;
+}
+
+}  // namespace aseq

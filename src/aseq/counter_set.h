@@ -1,0 +1,87 @@
+#ifndef ASEQ_ASEQ_COUNTER_SET_H_
+#define ASEQ_ASEQ_COUNTER_SET_H_
+
+#include <deque>
+#include <optional>
+
+#include "aseq/prefix_counter.h"
+#include "common/event.h"
+#include "metrics/metrics.h"
+
+namespace aseq {
+
+/// \brief The live prefix-counter state of one (sub)stream.
+///
+/// Two modes, matching Sec. 3.1 vs Sec. 3.2:
+///
+///  * **Unbounded (DPC)** — `window_ms == 0`: a single PreCntr; START
+///    arrivals increment cell 1 (Fig. 3). Nothing ever expires.
+///  * **Windowed (SEM)** — `window_ms > 0`: one PreCntr per live START
+///    instance, marked with its expiration timestamp
+///    `exp = arrival + window` (Fig. 5). Cell 1 of a per-start counter is
+///    its own start (count 1) and UPD/negation arrivals touch every live
+///    counter. Expired counters are purged from the front (starts expire in
+///    arrival order), pre-isolating each start's influence so no per-match
+///    bookkeeping is ever needed (Lemma 3/4).
+///
+/// Object accounting: one live object per PreCntr, as the paper measures
+/// memory (Sec. 6.1). Work accounting: one unit per counter-cell update.
+class CounterSet {
+ public:
+  /// \param stats optional sink for work/object accounting (may be null).
+  CounterSet(size_t length, AggFunc func, size_t carrier_pos1,
+             Timestamp window_ms, EngineStats* stats);
+  ~CounterSet();
+
+  CounterSet(CounterSet&&) noexcept;
+  CounterSet& operator=(CounterSet&&) = delete;
+  CounterSet(const CounterSet&) = delete;
+  CounterSet& operator=(const CounterSet&) = delete;
+
+  /// Purges counters whose start has expired at `now` (exp <= now).
+  void Purge(Timestamp now);
+
+  /// START arrival: creates a per-start counter (SEM) or increments cell 1
+  /// (DPC). `value` is the carrier attribute value when the carrier is
+  /// position 1.
+  void OnStart(const Event& e, double value = 0);
+
+  /// UPD/TRIG arrival at 1-based position `pos` >= 2: updates every live
+  /// counter.
+  void ApplyUpdate(size_t pos, double value = 0);
+
+  /// Qualifying negated arrival: Recounting Rule on every live counter.
+  void ResetPrefix(size_t gap);
+
+  /// Aggregate over the full pattern across all live counters. Call after
+  /// Purge(now).
+  AggAccum Total() const;
+
+  /// Number of live per-start counters (1 in unbounded mode once any START
+  /// arrived).
+  size_t num_counters() const;
+
+  bool windowed() const { return window_ms_ > 0; }
+  Timestamp window_ms() const { return window_ms_; }
+
+ private:
+  struct Entry {
+    Timestamp exp;
+    PrefixCounter counter;
+  };
+
+  size_t length_;
+  AggFunc func_;
+  size_t carrier_;
+  Timestamp window_ms_;
+  EngineStats* stats_;
+
+  // Windowed mode: per-start counters in arrival (== expiry) order.
+  std::deque<Entry> entries_;
+  // Unbounded mode: the single global counter.
+  std::optional<PrefixCounter> single_;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_ASEQ_COUNTER_SET_H_

@@ -1,0 +1,90 @@
+#include "aseq/prefix_counter.h"
+
+#include <cassert>
+
+namespace aseq {
+
+PrefixCounter::PrefixCounter(size_t length, AggFunc func, size_t carrier_pos1)
+    : length_(length), func_(func), carrier_(carrier_pos1) {
+  assert(length_ >= 1);
+  counts_.assign(length_ + 1, 0);
+  counts_[0] = 1;  // virtual empty prefix
+  if (func_ == AggFunc::kSum || func_ == AggFunc::kAvg) {
+    assert(carrier_ >= 1 && carrier_ <= length_);
+    wsum_.assign(length_ + 1, 0.0);
+  } else if (func_ == AggFunc::kMin || func_ == AggFunc::kMax) {
+    assert(carrier_ >= 1 && carrier_ <= length_);
+    ext_.assign(length_ + 1, 0.0);
+    ext_valid_.assign(length_ + 1, 0);
+  }
+}
+
+void PrefixCounter::ApplyPositive(size_t pos, double value) {
+  assert(pos >= 1 && pos <= length_);
+  const uint64_t prev = counts_[pos - 1];
+  if (!wsum_.empty()) {
+    if (pos == carrier_) {
+      wsum_[pos] += static_cast<double>(prev) * value;
+    } else if (pos > carrier_) {
+      wsum_[pos] += wsum_[pos - 1];
+    }
+  }
+  if (!ext_.empty()) {
+    if (pos == carrier_) {
+      if (prev > 0) {
+        if (!ext_valid_[pos]) {
+          ext_[pos] = value;
+          ext_valid_[pos] = 1;
+        } else if (func_ == AggFunc::kMin ? (value < ext_[pos])
+                                          : (value > ext_[pos])) {
+          ext_[pos] = value;
+        }
+      }
+    } else if (pos > carrier_) {
+      if (ext_valid_[pos - 1]) {
+        if (!ext_valid_[pos]) {
+          ext_[pos] = ext_[pos - 1];
+          ext_valid_[pos] = 1;
+        } else if (func_ == AggFunc::kMin ? (ext_[pos - 1] < ext_[pos])
+                                          : (ext_[pos - 1] > ext_[pos])) {
+          ext_[pos] = ext_[pos - 1];
+        }
+      }
+    }
+  }
+  counts_[pos] += prev;
+}
+
+void PrefixCounter::ResetPrefix(size_t gap) {
+  assert(gap >= 1 && gap < length_);
+  counts_[gap] = 0;
+  if (!wsum_.empty() && gap >= carrier_) wsum_[gap] = 0.0;
+  if (!ext_.empty() && gap >= carrier_) {
+    ext_[gap] = 0.0;
+    ext_valid_[gap] = 0;
+  }
+}
+
+AggAccum PrefixCounter::At(size_t m) const {
+  assert(m >= 1 && m <= length_);
+  AggAccum acc;
+  acc.count = counts_[m];
+  if (!wsum_.empty() && m >= carrier_) acc.sum = wsum_[m];
+  if (!ext_.empty() && m >= carrier_ && ext_valid_[m]) {
+    acc.has_ext = true;
+    acc.ext = ext_[m];
+  }
+  return acc;
+}
+
+std::string PrefixCounter::ToString() const {
+  std::string out = "[";
+  for (size_t m = 1; m <= length_; ++m) {
+    if (m > 1) out += " ";
+    out += std::to_string(counts_[m]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace aseq

@@ -1,0 +1,62 @@
+#ifndef ASEQ_BASELINE_COST_MODEL_H_
+#define ASEQ_BASELINE_COST_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace aseq {
+
+/// \brief The paper's analytical cost model for stack-based execution
+/// (Sec. 2.2, Eq. 3):
+///
+///   C_q = sum_{i=0}^{n-1} |E_{i+1}| * prod_{j=0}^{i} |E_j| * Pt_{E_j,E_{j+1}}
+///
+/// where |E_i| is the number of instances of type E_i live in a window and
+/// Pt is the selectivity of the implicit time predicate between adjacent
+/// positions. In the uniform case (equal |E_i| = N, equal Pt) this reduces
+/// to O(N^n): exponential in pattern length, polynomial in the live-event
+/// count — the blow-up Figs. 12/13 measure and A-Seq eliminates.
+struct StackCostModel {
+  /// Live instances per window for each of the n pattern positions.
+  std::vector<double> type_counts;
+  /// Time-predicate selectivity between positions j and j+1 (size n-1).
+  /// For uniformly interleaved arrivals within one window, the probability
+  /// that one instance precedes another is ~0.5.
+  std::vector<double> time_selectivities;
+
+  /// Evaluates Eq. 3: expected per-window construction work.
+  double Cost() const {
+    double total = 0;
+    double partial = 1;  // prod_{j<=i} |E_j| * Pt_{j,j+1}
+    for (size_t i = 0; i + 1 <= type_counts.size(); ++i) {
+      if (i > 0) {
+        partial *= type_counts[i - 1] *
+                   (i - 1 < time_selectivities.size()
+                        ? time_selectivities[i - 1]
+                        : 0.5);
+      }
+      total += type_counts[i] * partial;
+    }
+    return total;
+  }
+
+  /// The uniform-rate instance: n positions, N instances each, equal Pt.
+  static StackCostModel Uniform(size_t n, double instances_per_window,
+                                double selectivity = 0.5) {
+    StackCostModel m;
+    m.type_counts.assign(n, instances_per_window);
+    m.time_selectivities.assign(n > 0 ? n - 1 : 0, selectivity);
+    return m;
+  }
+
+  /// A-Seq's per-window cost for contrast (Sec. 3.2): every arrival updates
+  /// each live START counter once — linear, window-bounded, independent of
+  /// the pattern length.
+  static double ASeqCost(double events_per_window, double live_starts) {
+    return events_per_window * live_starts;
+  }
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_BASELINE_COST_MODEL_H_

@@ -1,0 +1,327 @@
+#include "baseline/ecube_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aseq {
+
+namespace {
+
+/// Finds the unique contiguous occurrence of `sub` in `full`; -1 if absent
+/// or ambiguous (-2).
+int FindSubstringOnce(const std::vector<EventTypeId>& full,
+                      const std::vector<EventTypeId>& sub) {
+  if (sub.empty() || sub.size() > full.size()) return -1;
+  int found = -1;
+  for (size_t i = 0; i + sub.size() <= full.size(); ++i) {
+    bool match = true;
+    for (size_t j = 0; j < sub.size(); ++j) {
+      if (full[i + j] != sub[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      if (found >= 0) return -2;
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EcubeEngine>> EcubeEngine::Create(
+    std::vector<CompiledQuery> queries, std::vector<EventTypeId> shared_types) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("ECube needs at least one query");
+  }
+  if (shared_types.empty()) {
+    return Status::InvalidArgument("ECube needs a non-empty shared substring");
+  }
+  Timestamp window = queries[0].window_ms();
+  for (const CompiledQuery& q : queries) {
+    if (q.agg().func != AggFunc::kCount || q.partitioned() ||
+        q.has_join_predicates() || q.pattern().has_negation()) {
+      return Status::Unsupported(
+          "ECube baseline supports COUNT over positive-only unpartitioned "
+          "patterns: " +
+          q.ToString());
+    }
+    for (const auto& preds : q.local_predicates()) {
+      if (!preds.empty()) {
+        return Status::Unsupported("ECube baseline does not support WHERE: " +
+                                   q.ToString());
+      }
+    }
+    if (q.window_ms() != window || window <= 0) {
+      return Status::InvalidArgument(
+          "ECube workload queries must share one positive window");
+    }
+    // All types within a query must be distinct.
+    const auto& types = q.positive_types();
+    for (size_t i = 0; i < types.size(); ++i) {
+      for (size_t j = i + 1; j < types.size(); ++j) {
+        if (types[i] == types[j]) {
+          return Status::Unsupported(
+              "ECube baseline requires distinct event types per pattern: " +
+              q.ToString());
+        }
+      }
+    }
+    int at = FindSubstringOnce(types, shared_types);
+    if (at < 0) {
+      return Status::InvalidArgument(
+          "shared substring must occur contiguously exactly once in " +
+          q.ToString());
+    }
+  }
+  return std::unique_ptr<EcubeEngine>(
+      new EcubeEngine(std::move(queries), std::move(shared_types)));
+}
+
+EcubeEngine::EcubeEngine(std::vector<CompiledQuery> queries,
+                         std::vector<EventTypeId> shared_types)
+    : queries_(std::move(queries)), shared_types_(std::move(shared_types)) {
+  window_ms_ = queries_[0].window_ms();
+  shared_stacks_.resize(shared_types_.size());
+  shared_dfs_.resize(shared_types_.size());
+  states_.resize(queries_.size());
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    const auto& types = queries_[qi].positive_types();
+    int at = FindSubstringOnce(types, shared_types_);
+    assert(at >= 0);
+    QueryState& state = states_[qi];
+    state.prefix_len = static_cast<size_t>(at);
+    state.tail_len = types.size() - state.prefix_len - shared_types_.size();
+    state.prefix_stacks.resize(state.prefix_len);
+    state.tail_stacks.resize(state.tail_len);
+  }
+}
+
+void EcubeEngine::Purge(Timestamp now) {
+  auto purge_stack = [&](PosStack* stack) {
+    while (!stack->entries.empty() &&
+           stack->entries.front().ts + window_ms_ <= now) {
+      stack->entries.pop_front();
+      ++stack->base;
+      stats_.objects.Remove(2);
+    }
+  };
+  for (PosStack& stack : shared_stacks_) purge_stack(&stack);
+  for (QueryState& state : states_) {
+    for (PosStack& stack : state.prefix_stacks) purge_stack(&stack);
+    for (PosStack& stack : state.tail_stacks) purge_stack(&stack);
+    while (!state.composites.empty() &&
+           state.composites.front().match.start_ts + window_ms_ <= now) {
+      state.composites.pop_front();
+      ++state.composites_base;
+      stats_.objects.Remove(1);
+    }
+    while (!state.expiry.empty() && state.expiry.top() <= now) {
+      state.expiry.pop();
+      --state.live_count;
+      stats_.objects.Remove(1);
+    }
+  }
+}
+
+void EcubeEngine::ConstructShared(Timestamp now,
+                                  std::vector<Composite>* created) {
+  const size_t k = shared_types_.size();
+  assert(!shared_stacks_[k - 1].entries.empty());
+  const StackEntry& trig = shared_stacks_[k - 1].entries.back();
+  shared_dfs_[k - 1] = trig.seq;
+
+  // DFS over positions k-2..0 along adjacency pointers.
+  auto recurse = [&](auto&& self, int pos, uint64_t hi,
+                     Timestamp* start_ts) -> void {
+    if (pos < 0) {
+      created->push_back(Composite{/*start_seq=*/shared_dfs_[0],
+                                   /*start_ts=*/*start_ts,
+                                   /*end_seq=*/trig.seq,
+                                   /*end_ts=*/trig.ts});
+      ++stats_.work_units;
+      stats_.objects.Add(1);
+      return;
+    }
+    PosStack& stack = shared_stacks_[pos];
+    uint64_t bound = std::min<uint64_t>(hi, stack.total_pushed());
+    for (uint64_t abs = bound; abs > stack.base; --abs) {
+      const StackEntry& cand = stack.entries[abs - 1 - stack.base];
+      ++stats_.work_units;
+      shared_dfs_[pos] = cand.seq;
+      Timestamp st = cand.ts;
+      self(self, pos - 1, cand.ptr, pos == 0 ? &st : start_ts);
+    }
+  };
+  if (k == 1) {
+    created->push_back(
+        Composite{trig.seq, trig.ts, trig.seq, trig.ts});
+    stats_.objects.Add(1);
+    ++stats_.work_units;
+    return;
+  }
+  // start_ts is filled at position 0; pass a scratch for deeper levels.
+  Timestamp scratch = 0;
+  recurse(recurse, static_cast<int>(k) - 2, trig.ptr, &scratch);
+  (void)now;
+}
+
+void EcubeEngine::RecordMatch(size_t qi, Timestamp start_ts, Timestamp now) {
+  QueryState& state = states_[qi];
+  if (start_ts + window_ms_ <= now) return;  // already expired
+  ++state.live_count;
+  state.expiry.push(start_ts + window_ms_);
+  stats_.objects.Add(1);
+  ++stats_.work_units;
+}
+
+void EcubeEngine::DfsPrefix(size_t qi, int pos, uint64_t hi, SeqNum max_seq,
+                            Timestamp now) {
+  QueryState& state = states_[qi];
+  if (pos < 0) return;  // handled by caller
+  PosStack& stack = state.prefix_stacks[pos];
+  uint64_t bound = std::min<uint64_t>(hi, stack.total_pushed());
+  for (uint64_t abs = bound; abs > stack.base; --abs) {
+    const StackEntry& cand = stack.entries[abs - 1 - stack.base];
+    ++stats_.work_units;
+    // Prefix events must precede the composite's START (the adjacency
+    // pointer only bounds by the composite's construction time).
+    if (cand.seq >= max_seq) continue;
+    if (pos == 0) {
+      RecordMatch(qi, cand.ts, now);
+    } else {
+      DfsPrefix(qi, pos - 1, cand.ptr, cand.seq, now);
+    }
+  }
+}
+
+void EcubeEngine::CountNewMatches(size_t qi, Timestamp now) {
+  QueryState& state = states_[qi];
+  const size_t b = state.tail_len;
+  if (b == 0) {
+    // New matches = fresh composites (x prefix combinations).
+    for (const Composite& c : created_scratch_) {
+      if (c.start_ts + window_ms_ <= now) continue;
+      if (state.prefix_len == 0) {
+        RecordMatch(qi, c.start_ts, now);
+      } else {
+        DfsPrefix(qi, static_cast<int>(state.prefix_len) - 1,
+                  state.prefix_stacks[state.prefix_len - 1].total_pushed(),
+                  c.start_seq, now);
+      }
+    }
+    return;
+  }
+  // New matches root at the fresh last-tail entry.
+  assert(!state.tail_stacks[b - 1].entries.empty());
+  const StackEntry& trig = state.tail_stacks[b - 1].entries.back();
+
+  auto composite_level = [&](uint64_t hi) {
+    uint64_t bound = std::min<uint64_t>(hi, state.composites_base +
+                                                state.composites.size());
+    for (uint64_t abs = bound; abs > state.composites_base; --abs) {
+      const CompositeEntry& centry =
+          state.composites[abs - 1 - state.composites_base];
+      ++stats_.work_units;
+      if (centry.match.start_ts + window_ms_ <= now) continue;
+      if (state.prefix_len == 0) {
+        RecordMatch(qi, centry.match.start_ts, now);
+      } else {
+        DfsPrefix(qi, static_cast<int>(state.prefix_len) - 1,
+                  centry.prefix_ptr, centry.match.start_seq, now);
+      }
+    }
+  };
+
+  auto recurse = [&](auto&& self, int pos, uint64_t hi) -> void {
+    if (pos < 0) {
+      composite_level(hi);
+      return;
+    }
+    PosStack& stack = state.tail_stacks[pos];
+    uint64_t bound = std::min<uint64_t>(hi, stack.total_pushed());
+    for (uint64_t abs = bound; abs > stack.base; --abs) {
+      const StackEntry& cand = stack.entries[abs - 1 - stack.base];
+      ++stats_.work_units;
+      self(self, pos - 1, cand.ptr);
+    }
+  };
+  recurse(recurse, static_cast<int>(b) - 2, trig.ptr);
+}
+
+void EcubeEngine::OnEvent(const Event& e, std::vector<MultiOutput>* out) {
+  ++stats_.events_processed;
+  Purge(e.ts());
+
+  // Shared stacks (descending position order).
+  bool shared_trigger = false;
+  for (int j = static_cast<int>(shared_types_.size()) - 1; j >= 0; --j) {
+    if (shared_types_[j] != e.type()) continue;
+    StackEntry entry{e.seq(), e.ts(),
+                     j == 0 ? 0 : shared_stacks_[j - 1].total_pushed()};
+    shared_stacks_[j].entries.push_back(entry);
+    stats_.objects.Add(2);
+    ++stats_.work_units;
+    if (j + 1 == static_cast<int>(shared_types_.size())) shared_trigger = true;
+  }
+  created_scratch_.clear();
+  if (shared_trigger) {
+    ConstructShared(e.ts(), &created_scratch_);
+  }
+
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    QueryState& state = states_[qi];
+    const auto& types = queries_[qi].positive_types();
+
+    // Private prefix stacks.
+    for (int j = static_cast<int>(state.prefix_len) - 1; j >= 0; --j) {
+      if (types[j] != e.type()) continue;
+      StackEntry entry{e.seq(), e.ts(),
+                       j == 0 ? 0 : state.prefix_stacks[j - 1].total_pushed()};
+      state.prefix_stacks[j].entries.push_back(entry);
+      stats_.objects.Add(2);
+      ++stats_.work_units;
+    }
+    // Append freshly shared-constructed composites (the shared step):
+    // each query receives the match by reference-copy, not by
+    // re-construction — this is the computation ECube shares.
+    for (const Composite& c : created_scratch_) {
+      uint64_t ptr = state.prefix_len == 0
+                         ? 0
+                         : state.prefix_stacks[state.prefix_len - 1]
+                               .total_pushed();
+      state.composites.push_back(CompositeEntry{c, ptr});
+      ++state.composites_pushed;
+      stats_.objects.Add(1);
+      ++stats_.work_units;
+    }
+    // Private tail stacks.
+    bool tail_trigger = false;
+    const size_t tail_off = state.prefix_len + shared_types_.size();
+    for (int j = static_cast<int>(state.tail_len) - 1; j >= 0; --j) {
+      if (types[tail_off + j] != e.type()) continue;
+      uint64_t ptr = j == 0 ? state.composites_base + state.composites.size()
+                            : state.tail_stacks[j - 1].total_pushed();
+      state.tail_stacks[j].entries.push_back(StackEntry{e.seq(), e.ts(), ptr});
+      stats_.objects.Add(2);
+      ++stats_.work_units;
+      if (j + 1 == static_cast<int>(state.tail_len)) tail_trigger = true;
+    }
+
+    const bool trigger =
+        state.tail_len > 0 ? tail_trigger : shared_trigger;
+    if (!trigger) continue;
+    CountNewMatches(qi, e.ts());
+    MultiOutput mo;
+    mo.query_index = qi;
+    mo.output.ts = e.ts();
+    mo.output.seq = e.seq();
+    mo.output.value = Value(static_cast<int64_t>(state.live_count));
+    out->push_back(std::move(mo));
+    ++stats_.outputs;
+  }
+}
+
+}  // namespace aseq

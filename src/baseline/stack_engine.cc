@@ -1,0 +1,417 @@
+#include "baseline/stack_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aseq {
+
+namespace {
+
+/// Operand value against a constructed match (`events` indexed by 0-based
+/// positive position).
+const Value& MatchOperandValue(const Operand& op,
+                               const std::vector<int>& elem_to_pos,
+                               const std::vector<const Event*>& events) {
+  static const Value kNull;
+  if (!op.is_attr_ref()) return op.literal;
+  int pos = elem_to_pos[op.elem_index];
+  if (pos < 0) return kNull;
+  return events[pos]->GetAttr(op.attr);
+}
+
+}  // namespace
+
+StackEngine::StackEngine(CompiledQuery query)
+    : query_(std::move(query)),
+      length_(query_.num_positive()),
+      carrier_pos_(query_.agg_positive_pos()),
+      grouped_(query_.partition_spec().per_group_output) {
+  stacks_.resize(length_);
+  for (size_t i = 0; i < query_.pattern().size(); ++i) {
+    if (!query_.pattern().elements()[i].negated) continue;
+    const std::vector<Role>* roles =
+        query_.FindRoles(query_.pattern().elements()[i].type);
+    assert(roles != nullptr);
+    for (const Role& role : *roles) {
+      if (role.negated && role.elem_index == i) {
+        neg_roles_.push_back(role);
+      }
+    }
+  }
+  neg_events_.resize(neg_roles_.size());
+  lazy_ = !neg_roles_.empty();
+  dfs_match_.resize(length_, nullptr);
+}
+
+void StackEngine::PurgeExpired(Timestamp now) {
+  if (!query_.has_window()) return;
+  const Timestamp win = query_.window_ms();
+  for (PosStack& stack : stacks_) {
+    while (!stack.entries.empty() &&
+           stack.entries.front().event.ts() + win <= now) {
+      stack.entries.pop_front();
+      ++stack.base;
+      stats_.objects.Remove(2);  // event reference + adjacency pointer
+    }
+  }
+  for (std::deque<NegEvent>& events : neg_events_) {
+    while (!events.empty() && events.front().ts + win <= now) {
+      events.pop_front();
+      stats_.objects.Remove(1);
+    }
+  }
+  // Expire retained matches whose START left the window.
+  while (!expiry_.empty() && expiry_.top().exp <= now) {
+    const ExpiryItem& item = expiry_.top();
+    auto it = groups_.find(item.group);
+    assert(it != groups_.end());
+    GroupAgg& agg = it->second;
+    assert(agg.count > 0);
+    --agg.count;
+    agg.sum -= item.value;
+    if (!agg.values.empty()) {
+      auto vit = agg.values.find(item.value);
+      if (vit != agg.values.end()) agg.values.erase(vit);
+    }
+    if (agg.count == 0) groups_.erase(it);
+    expiry_.pop();
+    --live_matches_;
+    stats_.objects.Remove(1);
+  }
+  while (!lazy_expiry_.empty() && lazy_expiry_.top().exp <= now) {
+    lazy_matches_.erase(lazy_expiry_.top().id);
+    lazy_expiry_.pop();
+    --live_matches_;
+    stats_.objects.Remove(1);
+  }
+}
+
+void StackEngine::OnEvent(const Event& e, std::vector<Output>* out) {
+  ++stats_.events_processed;
+  PurgeExpired(e.ts());
+  const std::vector<Role>* roles = query_.FindRoles(e.type());
+  if (roles == nullptr) return;
+
+  bool trigger = false;
+  PartitionKey key;
+  for (const Role& role : *roles) {
+    if (!query_.QualifiesFor(e, role.elem_index)) continue;
+    if (role.negated) {
+      // Retain the instance for the post-filter over constructed matches.
+      NegEvent neg;
+      neg.seq = e.seq();
+      neg.ts = e.ts();
+      if (!query_.PartitionKeyFor(e, role.elem_index, &neg.key,
+                                  &neg.covered)) {
+        continue;  // missing partition attribute: ignored
+      }
+      for (size_t r = 0; r < neg_roles_.size(); ++r) {
+        if (neg_roles_[r].elem_index == role.elem_index) {
+          neg_events_[r].push_back(neg);
+          stats_.objects.Add(1);
+          ++stats_.work_units;
+        }
+      }
+      continue;
+    }
+    // Positive role: push onto the position's stack (roles arrive in
+    // descending position order, so an instance never pairs with itself).
+    if (query_.partitioned() &&
+        !query_.PartitionKeyFor(e, role.elem_index, &key)) {
+      continue;  // cannot participate in any equivalence partition
+    }
+    size_t pos = role.position - 1;  // 0-based
+    StackEntry entry;
+    entry.event = e;
+    entry.ptr = pos == 0 ? 0 : stacks_[pos - 1].total_pushed();
+    stacks_[pos].entries.push_back(std::move(entry));
+    stats_.objects.Add(2);
+    ++stats_.work_units;
+    if (role.position == length_) trigger = true;
+  }
+
+  if (trigger) {
+    // The freshly pushed entry of the last stack roots the DFS.
+    ConstructMatches(e.ts());
+    const Value* group = nullptr;
+    Value group_value;
+    if (grouped_) {
+      group_value =
+          e.GetAttr(query_.partition_spec()
+                        .parts[query_.partition_spec().group_part]
+                        .attr);
+      group = &group_value;
+    }
+    out->push_back(lazy_ ? MakeLazyOutput(e.ts(), e.seq(), group)
+                         : MakeOutput(e.ts(), e.seq(), group));
+    ++stats_.outputs;
+  }
+}
+
+void StackEngine::ConstructMatches(Timestamp now) {
+  assert(!stacks_[length_ - 1].entries.empty());
+  dfs_match_[length_ - 1] = &stacks_[length_ - 1].entries.back();
+  if (length_ == 1) {
+    RecordMatch(now);
+    return;
+  }
+  // DFS over positions length_-2 .. 0 along the adjacency pointers.
+  struct Recurse {
+    StackEngine* self;
+    Timestamp now;
+    void operator()(int pos) {
+      if (pos < 0) {
+        self->RecordMatch(now);
+        return;
+      }
+      const StackEntry& next = *self->dfs_match_[pos + 1];
+      PosStack& stack = self->stacks_[pos];
+      uint64_t hi = std::min<uint64_t>(next.ptr, stack.total_pushed());
+      for (uint64_t abs = hi; abs > stack.base; --abs) {
+        const StackEntry& cand = stack.entries[abs - 1 - stack.base];
+        ++self->stats_.work_units;
+        if (self->query_.partitioned()) {
+          // Equivalence check against the trigger's partition key.
+          bool match = true;
+          const auto& parts = self->query_.partition_spec().parts;
+          const Event& trig = self->dfs_match_[self->length_ - 1]->event;
+          for (const auto& part : parts) {
+            if (!cand.event.GetAttr(part.attr).Equals(
+                    trig.GetAttr(part.attr))) {
+              match = false;
+              break;
+            }
+          }
+          if (!match) continue;
+        }
+        self->dfs_match_[pos] = &cand;
+        (*this)(pos - 1);
+      }
+    }
+  };
+  Recurse recurse{this, now};
+  recurse(static_cast<int>(length_) - 2);
+}
+
+bool StackEngine::LazyMatchValid(const LazyMatch& match) const {
+  for (size_t r = 0; r < neg_roles_.size(); ++r) {
+    const SeqNum lo = match.bounds[r].first;
+    const SeqNum hi = match.bounds[r].second;
+    const std::deque<NegEvent>& events = neg_events_[r];
+    auto it = std::lower_bound(
+        events.begin(), events.end(), lo,
+        [](const NegEvent& n, SeqNum s) { return n.seq <= s; });
+    for (; it != events.end() && it->seq < hi; ++it) {
+      // Partition coverage: the negated instance invalidates only matches
+      // agreeing on the key parts that constrain it.
+      bool applies = true;
+      for (size_t p = 0; p < it->covered.size(); ++p) {
+        if (it->covered[p] &&
+            !it->key.parts[p].Equals(match.key.parts[p])) {
+          applies = false;
+          break;
+        }
+      }
+      if (applies) return false;
+    }
+  }
+  return true;
+}
+
+bool StackEngine::PassesJoinPredicates() const {
+  if (!query_.has_join_predicates()) return true;
+  // Map pattern element index -> positive position.
+  std::vector<int> elem_to_pos(query_.pattern().size(), -1);
+  int pos = 0;
+  for (size_t i = 0; i < query_.pattern().size(); ++i) {
+    if (!query_.pattern().elements()[i].negated) {
+      elem_to_pos[i] = pos++;
+    }
+  }
+  std::vector<const Event*> events;
+  events.reserve(length_);
+  for (size_t i = 0; i < length_; ++i) events.push_back(&dfs_match_[i]->event);
+  for (const Comparison& cmp : query_.join_predicates()) {
+    if (!EvalCmp(cmp.op, MatchOperandValue(cmp.lhs, elem_to_pos, events),
+                 MatchOperandValue(cmp.rhs, elem_to_pos, events))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void StackEngine::RecordMatch(Timestamp now) {
+  ++stats_.work_units;
+  if (!PassesJoinPredicates()) return;
+
+  const Event& trig = dfs_match_[length_ - 1]->event;
+  Value group;  // null when ungrouped
+  if (grouped_) {
+    group = trig.GetAttr(
+        query_.partition_spec().parts[query_.partition_spec().group_part]
+            .attr);
+  }
+  double value = 0;
+  if (carrier_pos_ >= 0) {
+    value = dfs_match_[carrier_pos_]->event.GetAttr(query_.agg().attr)
+                .ToDouble();
+  }
+
+  if (lazy_) {
+    // The paper's late-filter architecture: materialize the positive match;
+    // the negation check happens only when results are produced.
+    LazyMatch match;
+    match.exp = query_.has_window()
+                    ? dfs_match_[0]->event.ts() + query_.window_ms()
+                    : INT64_MAX;
+    match.value = value;
+    match.group = group;
+    if (query_.partitioned()) {
+      const auto& parts = query_.partition_spec().parts;
+      match.key.parts.reserve(parts.size());
+      for (const auto& part : parts) {
+        match.key.parts.push_back(trig.GetAttr(part.attr));
+      }
+    }
+    match.bounds.reserve(neg_roles_.size());
+    for (const Role& role : neg_roles_) {
+      match.bounds.emplace_back(dfs_match_[role.position - 1]->event.seq(),
+                                dfs_match_[role.position]->event.seq());
+    }
+    uint64_t id = next_lazy_id_++;
+    if (query_.has_window()) {
+      lazy_expiry_.push(LazyExpiry{match.exp, id});
+    }
+    lazy_matches_.emplace(id, std::move(match));
+    ++live_matches_;
+    stats_.objects.Add(1);
+    return;
+  }
+
+  GroupAgg& agg = groups_[group];
+  ++agg.count;
+  agg.sum += value;
+  if (query_.agg().func == AggFunc::kMin ||
+      query_.agg().func == AggFunc::kMax) {
+    agg.values.insert(value);
+  }
+  if (query_.has_window()) {
+    expiry_.push(ExpiryItem{dfs_match_[0]->event.ts() + query_.window_ms(),
+                            group, value});
+  }
+  ++live_matches_;
+  stats_.objects.Add(1);
+  (void)now;
+}
+
+Output StackEngine::MakeOutput(Timestamp ts, SeqNum seq, const Value* group) {
+  Output output;
+  output.ts = ts;
+  output.seq = seq;
+  const GroupAgg* agg = nullptr;
+  if (group != nullptr) {
+    output.group = *group;
+    auto it = groups_.find(*group);
+    if (it != groups_.end()) agg = &it->second;
+  } else {
+    auto it = groups_.find(Value());
+    if (it != groups_.end()) agg = &it->second;
+  }
+  uint64_t count = agg != nullptr ? agg->count : 0;
+  double sum = agg != nullptr ? agg->sum : 0;
+  switch (query_.agg().func) {
+    case AggFunc::kCount:
+      output.value = Value(static_cast<int64_t>(count));
+      break;
+    case AggFunc::kSum:
+      output.value = Value(sum);
+      break;
+    case AggFunc::kAvg:
+      output.value = count == 0
+                         ? Value()
+                         : Value(sum / static_cast<double>(count));
+      break;
+    case AggFunc::kMin:
+      output.value = (agg == nullptr || agg->values.empty())
+                         ? Value()
+                         : Value(*agg->values.begin());
+      break;
+    case AggFunc::kMax:
+      output.value = (agg == nullptr || agg->values.empty())
+                         ? Value()
+                         : Value(*agg->values.rbegin());
+      break;
+  }
+  return output;
+}
+
+Output StackEngine::MakeLazyOutput(Timestamp ts, SeqNum seq,
+                                   const Value* group) {
+  Output output;
+  output.ts = ts;
+  output.seq = seq;
+  if (group != nullptr) output.group = *group;
+  uint64_t count = 0;
+  double sum = 0;
+  bool has_ext = false;
+  double ext = 0;
+  const bool want_min = query_.agg().func == AggFunc::kMin;
+  for (const auto& [id, match] : lazy_matches_) {
+    ++stats_.work_units;  // the post-filter pass the paper charges
+    if (group != nullptr && !match.group.Equals(*group)) continue;
+    if (!LazyMatchValid(match)) continue;
+    ++count;
+    sum += match.value;
+    if (!has_ext || (want_min ? match.value < ext : match.value > ext)) {
+      has_ext = true;
+      ext = match.value;
+    }
+  }
+  switch (query_.agg().func) {
+    case AggFunc::kCount:
+      output.value = Value(static_cast<int64_t>(count));
+      break;
+    case AggFunc::kSum:
+      output.value = Value(sum);
+      break;
+    case AggFunc::kAvg:
+      output.value =
+          count == 0 ? Value() : Value(sum / static_cast<double>(count));
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      output.value = has_ext ? Value(ext) : Value();
+      break;
+  }
+  return output;
+}
+
+std::vector<Output> StackEngine::Poll(Timestamp now) {
+  PurgeExpired(now);
+  std::vector<Output> outputs;
+  if (lazy_) {
+    if (!grouped_) {
+      outputs.push_back(MakeLazyOutput(now, 0, nullptr));
+      return outputs;
+    }
+    // One output per group with any retained match.
+    std::map<Value, bool, ValueTotalLess> groups;
+    for (const auto& [id, match] : lazy_matches_) {
+      groups[match.group] = true;
+    }
+    for (const auto& [group, unused] : groups) {
+      outputs.push_back(MakeLazyOutput(now, 0, &group));
+    }
+    return outputs;
+  }
+  if (!grouped_) {
+    outputs.push_back(MakeOutput(now, 0, nullptr));
+    return outputs;
+  }
+  for (const auto& [group, agg] : groups_) {
+    outputs.push_back(MakeOutput(now, 0, &group));
+  }
+  return outputs;
+}
+
+}  // namespace aseq

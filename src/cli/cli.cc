@@ -1,0 +1,465 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "aseq/aseq_engine.h"
+#include "baseline/stack_engine.h"
+#include "common/string_util.h"
+#include "common/version.h"
+#include "multi/chop_connect_engine.h"
+#include "multi/chop_plan.h"
+#include "multi/hybrid_engine.h"
+#include "multi/nonshared_engine.h"
+#include "multi/pretree_engine.h"
+#include "cli/flags.h"
+#include "engine/change_detector.h"
+#include "engine/reordering_engine.h"
+#include "engine/runtime.h"
+#include "query/analyzer.h"
+#include "stream/clickstream.h"
+#include "stream/stock_stream.h"
+#include "stream/trace_io.h"
+
+namespace aseq {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: aseq <run|explain|generate|compare> [flags]\n"
+    "  aseq run      --query \"PATTERN SEQ(A,B) AGG COUNT WITHIN 1s\"\n"
+    "                (--trace FILE | --stock N | --clicks N)\n"
+    "                [--engine aseq|stack] [--slack MS] [--seed S]\n"
+    "                [--gap MS] [--limit N] [--quiet] [--emit-on-change]\n"
+    "  aseq explain  --query \"...\"\n"
+    "  aseq generate (--stock N | --clicks N) --out FILE [--seed S] [--gap MS]\n"
+    "  aseq compare  --query \"...\" (--trace FILE | --stock N | --clicks N)\n"
+    "  aseq workload --queries FILE (--trace FILE | --stock N | --clicks N)\n"
+    "                [--strategy nonshare|sase|pretree|cc|hybrid]\n"
+    "                [--seed S] [--gap MS]\n";
+
+/// Loads/creates the event stream named by the source flags.
+Result<std::vector<Event>> LoadEvents(const FlagSet& flags, Schema* schema) {
+  ASEQ_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
+  ASEQ_ASSIGN_OR_RETURN(int64_t gap, flags.GetInt("gap", 6));
+  int sources = 0;
+  if (flags.Has("trace")) ++sources;
+  if (flags.Has("stock")) ++sources;
+  if (flags.Has("clicks")) ++sources;
+  if (sources != 1) {
+    return Status::InvalidArgument(
+        "pick exactly one source: --trace FILE, --stock N, or --clicks N");
+  }
+  std::vector<Event> events;
+  if (flags.Has("trace")) {
+    ASEQ_ASSIGN_OR_RETURN(events,
+                          ReadTraceFile(flags.GetString("trace"), schema));
+  } else if (flags.Has("stock")) {
+    ASEQ_ASSIGN_OR_RETURN(int64_t n, flags.GetInt("stock", 0));
+    if (n <= 0) return Status::InvalidArgument("--stock expects N > 0");
+    StockStreamOptions options;
+    options.seed = static_cast<uint64_t>(seed);
+    options.num_events = static_cast<size_t>(n);
+    options.max_gap_ms = gap;
+    events = GenerateStockStream(options, schema);
+  } else {
+    ASEQ_ASSIGN_OR_RETURN(int64_t n, flags.GetInt("clicks", 0));
+    if (n <= 0) return Status::InvalidArgument("--clicks expects N > 0");
+    ClickstreamOptions options;
+    options.seed = static_cast<uint64_t>(seed);
+    options.num_events = static_cast<size_t>(n);
+    options.max_gap_ms = gap;
+    events = GenerateClickstream(options, schema);
+  }
+  AssignSeqNums(&events);
+  return events;
+}
+
+Result<CompiledQuery> CompileQuery(const FlagSet& flags, Schema* schema) {
+  std::string text = flags.GetString("query");
+  if (text.empty()) {
+    return Status::InvalidArgument("--query is required");
+  }
+  Analyzer analyzer(schema);
+  return analyzer.AnalyzeText(text);
+}
+
+Result<std::unique_ptr<QueryEngine>> MakeEngine(const FlagSet& flags,
+                                                const CompiledQuery& query) {
+  std::string kind = flags.GetString("engine", "aseq");
+  std::unique_ptr<QueryEngine> engine;
+  if (kind == "aseq") {
+    ASEQ_ASSIGN_OR_RETURN(engine, CreateAseqEngine(query));
+  } else if (kind == "stack") {
+    engine = std::make_unique<StackEngine>(query);
+  } else {
+    return Status::InvalidArgument("--engine must be 'aseq' or 'stack'");
+  }
+  if (flags.GetBool("emit-on-change")) {
+    engine = std::make_unique<ChangeDetectingEngine>(std::move(engine));
+  }
+  ASEQ_ASSIGN_OR_RETURN(int64_t slack, flags.GetInt("slack", 0));
+  if (slack > 0) {
+    engine = std::make_unique<ReorderingEngine>(std::move(engine), slack);
+  }
+  return engine;
+}
+
+void PrintOutput(std::ostream& out, const Output& output) {
+  out << "t=" << output.ts;
+  if (output.group.has_value()) {
+    out << " [" << output.group->ToString() << "]";
+  }
+  out << " -> " << output.value.ToString() << "\n";
+}
+
+int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
+  Status known = flags.CheckKnown({"query", "trace", "stock", "clicks",
+                                   "engine", "slack", "seed", "gap", "limit",
+                                   "quiet", "emit-on-change"});
+  if (!known.ok()) {
+    err << known.ToString() << "\n";
+    return 2;
+  }
+  Schema schema;
+  auto query = CompileQuery(flags, &schema);
+  if (!query.ok()) {
+    err << query.status().ToString() << "\n";
+    return 1;
+  }
+  auto events = LoadEvents(flags, &schema);
+  if (!events.ok()) {
+    err << events.status().ToString() << "\n";
+    return 1;
+  }
+  auto engine = MakeEngine(flags, *query);
+  if (!engine.ok()) {
+    err << engine.status().ToString() << "\n";
+    return 1;
+  }
+  RunResult result = Runtime::RunEvents(*events, engine->get());
+  if (auto* reordering = dynamic_cast<ReorderingEngine*>(engine->get())) {
+    std::vector<Output> tail;
+    StopWatch watch;
+    reordering->Finish(&tail);
+    result.elapsed_seconds += watch.ElapsedSeconds();
+    result.outputs.insert(result.outputs.end(), tail.begin(), tail.end());
+    if (reordering->dropped_events() > 0) {
+      err << "warning: " << reordering->dropped_events()
+          << " events arrived beyond --slack and were dropped\n";
+    }
+  }
+  if (!flags.GetBool("quiet")) {
+    auto limit_or = flags.GetInt("limit", 20);
+    size_t limit = limit_or.ok() && *limit_or >= 0
+                       ? static_cast<size_t>(*limit_or)
+                       : 20;
+    size_t start = result.outputs.size() > limit
+                       ? result.outputs.size() - limit
+                       : 0;
+    if (start > 0) {
+      out << "... (" << start << " earlier results omitted; --limit)\n";
+    }
+    for (size_t i = start; i < result.outputs.size(); ++i) {
+      PrintOutput(out, result.outputs[i]);
+    }
+  }
+  out << "engine:        " << engine->get()->name() << "\n";
+  out << "query:         " << query->ToString() << "\n";
+  out << "events:        " << result.events << "\n";
+  out << "results:       " << result.outputs.size() << "\n";
+  out << "ms/slide:      " << result.MillisPerSlide() << "\n";
+  out << "peak objects:  " << engine->get()->stats().objects.peak() << "\n";
+  return 0;
+}
+
+int CmdExplain(const FlagSet& flags, std::ostream& out, std::ostream& err) {
+  Status known = flags.CheckKnown({"query"});
+  if (!known.ok()) {
+    err << known.ToString() << "\n";
+    return 2;
+  }
+  Schema schema;
+  auto query = CompileQuery(flags, &schema);
+  if (!query.ok()) {
+    err << query.status().ToString() << "\n";
+    return 1;
+  }
+  const CompiledQuery& cq = *query;
+  out << "query:      " << cq.ToString() << "\n";
+  out << "positive:   " << cq.num_positive() << " event types\n";
+  for (size_t p = 0; p < cq.positive_types().size(); ++p) {
+    out << "  pos " << (p + 1) << ": "
+        << schema.EventTypeName(cq.positive_types()[p]) << "\n";
+  }
+  for (const auto& elem : cq.pattern().elements()) {
+    if (!elem.negated) continue;
+    const std::vector<Role>* roles = cq.FindRoles(elem.type);
+    for (const Role& role : *roles) {
+      if (role.negated) {
+        out << "  negation: !" << elem.type_name
+            << " resets the length-" << role.position << " prefix\n";
+      }
+    }
+  }
+  size_t locals = 0;
+  for (const auto& preds : cq.local_predicates()) locals += preds.size();
+  out << "predicates: " << locals << " local, "
+      << cq.join_predicates().size() << " join\n";
+  if (cq.partitioned()) {
+    out << "partitioning (HPC):\n";
+    for (const auto& part : cq.partition_spec().parts) {
+      out << "  " << (part.is_group_by ? "group-by" : "equivalence")
+          << " on attribute '" << part.attr_name << "'\n";
+    }
+  }
+  out << "window:     "
+      << (cq.has_window() ? std::to_string(cq.window_ms()) + " ms"
+                          : std::string("unbounded"))
+      << "\n";
+  const char* engine = cq.has_join_predicates() ? "StackBased (join predicates)"
+                       : cq.partitioned()       ? "A-Seq(HPC)"
+                       : cq.has_window()        ? "A-Seq(SEM)"
+                                                : "A-Seq(DPC)";
+  out << "engine:     " << engine << "\n";
+  return 0;
+}
+
+int CmdGenerate(const FlagSet& flags, std::ostream& out, std::ostream& err) {
+  Status known = flags.CheckKnown({"stock", "clicks", "out", "seed", "gap"});
+  if (!known.ok()) {
+    err << known.ToString() << "\n";
+    return 2;
+  }
+  std::string path = flags.GetString("out");
+  if (path.empty()) {
+    err << "InvalidArgument: --out FILE is required\n";
+    return 1;
+  }
+  Schema schema;
+  auto events = LoadEvents(flags, &schema);
+  if (!events.ok()) {
+    err << events.status().ToString() << "\n";
+    return 1;
+  }
+  Status st = WriteTraceFile(path, *events, schema);
+  if (!st.ok()) {
+    err << st.ToString() << "\n";
+    return 1;
+  }
+  out << "wrote " << events->size() << " events to " << path << "\n";
+  return 0;
+}
+
+int CmdCompare(const FlagSet& flags, std::ostream& out, std::ostream& err) {
+  Status known =
+      flags.CheckKnown({"query", "trace", "stock", "clicks", "seed", "gap"});
+  if (!known.ok()) {
+    err << known.ToString() << "\n";
+    return 2;
+  }
+  Schema schema;
+  auto query = CompileQuery(flags, &schema);
+  if (!query.ok()) {
+    err << query.status().ToString() << "\n";
+    return 1;
+  }
+  auto events = LoadEvents(flags, &schema);
+  if (!events.ok()) {
+    err << events.status().ToString() << "\n";
+    return 1;
+  }
+  StackEngine stack(*query);
+  RunResult stack_run = Runtime::RunEvents(*events, &stack);
+
+  auto aseq = CreateAseqEngine(*query);
+  if (!aseq.ok()) {
+    err << aseq.status().ToString()
+        << " (showing the stack baseline only)\n";
+    out << "StackBased: " << stack_run.MillisPerSlide() << " ms/slide, peak "
+        << stack.stats().objects.peak() << " objects\n";
+    return 0;
+  }
+  RunResult aseq_run = Runtime::RunEvents(*events, aseq->get());
+
+  size_t mismatches = 0;
+  if (aseq_run.outputs.size() != stack_run.outputs.size()) {
+    mismatches = SIZE_MAX;
+  } else {
+    for (size_t i = 0; i < aseq_run.outputs.size(); ++i) {
+      const Value& a = aseq_run.outputs[i].value;
+      const Value& b = stack_run.outputs[i].value;
+      bool same = a.Equals(b);
+      if (!same && a.is_numeric() && b.is_numeric()) {
+        double x = a.ToDouble(), y = b.ToDouble();
+        double scale = std::max({1.0, std::abs(x), std::abs(y)});
+        same = std::abs(x - y) <= 1e-9 * scale;
+      }
+      if (!same) ++mismatches;
+    }
+  }
+  out << "query:   " << query->ToString() << "\n";
+  out << "events:  " << events->size() << "\n\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-14s %14s %14s %10s\n", "engine",
+                "ms/slide", "peak objects", "results");
+  out << line;
+  std::snprintf(line, sizeof(line), "%-14s %14.6f %14lld %10zu\n",
+                aseq->get()->name().c_str(), aseq_run.MillisPerSlide(),
+                static_cast<long long>(aseq->get()->stats().objects.peak()),
+                aseq_run.outputs.size());
+  out << line;
+  std::snprintf(line, sizeof(line), "%-14s %14.6f %14lld %10zu\n",
+                stack.name().c_str(), stack_run.MillisPerSlide(),
+                static_cast<long long>(stack.stats().objects.peak()),
+                stack_run.outputs.size());
+  out << line;
+  double speedup = aseq_run.MillisPerSlide() > 0
+                       ? stack_run.MillisPerSlide() / aseq_run.MillisPerSlide()
+                       : 0;
+  out << "\nspeedup: " << speedup << "x; result mismatches: ";
+  if (mismatches == SIZE_MAX) {
+    out << "output counts differ!\n";
+    return 1;
+  }
+  out << mismatches << "\n";
+  return mismatches == 0 ? 0 : 1;
+}
+
+int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
+  Status known = flags.CheckKnown(
+      {"queries", "trace", "stock", "clicks", "strategy", "seed", "gap"});
+  if (!known.ok()) {
+    err << known.ToString() << "\n";
+    return 2;
+  }
+  std::string path = flags.GetString("queries");
+  if (path.empty()) {
+    err << "InvalidArgument: --queries FILE is required (one query per "
+           "line; # comments)\n";
+    return 1;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    err << "IoError: cannot open queries file: " << path << "\n";
+    return 1;
+  }
+  Schema schema;
+  Analyzer analyzer(&schema);
+  std::vector<CompiledQuery> queries;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto cq = analyzer.AnalyzeText(trimmed);
+    if (!cq.ok()) {
+      err << path << ":" << lineno << ": " << cq.status().ToString() << "\n";
+      return 1;
+    }
+    queries.push_back(std::move(cq).value());
+  }
+  if (queries.empty()) {
+    err << "InvalidArgument: no queries in " << path << "\n";
+    return 1;
+  }
+  auto events = LoadEvents(flags, &schema);
+  if (!events.ok()) {
+    err << events.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::string strategy = flags.GetString("strategy", "nonshare");
+  std::unique_ptr<MultiQueryEngine> engine;
+  if (strategy == "nonshare") {
+    auto created = NonSharedEngine::CreateAseq(queries);
+    if (!created.ok()) {
+      err << created.status().ToString() << "\n";
+      return 1;
+    }
+    engine = std::move(*created);
+  } else if (strategy == "sase") {
+    engine = NonSharedEngine::CreateStackBased(queries);
+  } else if (strategy == "pretree") {
+    auto created = PreTreeEngine::Create(queries);
+    if (!created.ok()) {
+      err << created.status().ToString() << "\n";
+      return 1;
+    }
+    engine = std::move(*created);
+  } else if (strategy == "cc") {
+    ChopPlan plan = PlanChopConnect(queries);
+    out << "plan: " << plan.ToString(schema) << "\n";
+    auto created = ChopConnectEngine::Create(queries, plan);
+    if (!created.ok()) {
+      err << created.status().ToString() << "\n";
+      return 1;
+    }
+    engine = std::move(*created);
+  } else if (strategy == "hybrid") {
+    auto created = HybridMultiEngine::Create(queries);
+    if (!created.ok()) {
+      err << created.status().ToString() << "\n";
+      return 1;
+    }
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      out << "  Q" << (qi + 1) << " -> " << (*created)->routing()[qi] << "\n";
+    }
+    engine = std::move(*created);
+  } else {
+    err << "InvalidArgument: --strategy must be "
+           "nonshare|sase|pretree|cc|hybrid\n";
+    return 1;
+  }
+
+  MultiRunResult result = Runtime::RunMultiEvents(*events, engine.get());
+  std::vector<size_t> per_query(queries.size(), 0);
+  std::vector<Value> last(queries.size());
+  for (const MultiOutput& mo : result.outputs) {
+    ++per_query[mo.query_index];
+    last[mo.query_index] = mo.output.value;
+  }
+  out << "strategy:      " << engine->name() << "\n";
+  out << "queries:       " << queries.size() << "\n";
+  out << "events:        " << result.events << "\n";
+  out << "ms/slide:      " << result.MillisPerSlide() << "\n";
+  out << "peak objects:  " << engine->stats().objects.peak() << "\n";
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    out << "  Q" << (qi + 1) << ": " << per_query[qi]
+        << " results, last=" << last[qi].ToString() << "  — "
+        << queries[qi].ToString() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  auto flags = FlagSet::Parse(args);
+  if (!flags.ok()) {
+    err << flags.status().ToString() << "\n" << kUsage;
+    return 2;
+  }
+  if (flags->positional().size() != 1) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string& cmd = flags->positional()[0];
+  if (cmd == "version") {
+    out << "aseq " << kVersionString << " — reproduction of: "
+        << kPaperCitation << "\n";
+    return 0;
+  }
+  if (cmd == "run") return CmdRun(*flags, out, err);
+  if (cmd == "explain") return CmdExplain(*flags, out, err);
+  if (cmd == "generate") return CmdGenerate(*flags, out, err);
+  if (cmd == "compare") return CmdCompare(*flags, out, err);
+  if (cmd == "workload") return CmdWorkload(*flags, out, err);
+  err << "unknown command '" << cmd << "'\n" << kUsage;
+  return 2;
+}
+
+}  // namespace aseq

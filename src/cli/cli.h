@@ -1,0 +1,48 @@
+#ifndef ASEQ_CLI_CLI_H_
+#define ASEQ_CLI_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aseq {
+
+/// \brief Entry point of the `aseq` command-line tool (testable: all I/O
+/// goes through the provided streams).
+///
+/// Commands:
+///
+///   aseq run --query "PATTERN SEQ(A,B) ... " [source flags] [run flags]
+///       Runs a query and prints each aggregation result.
+///       Source (one of):
+///         --trace FILE        CSV trace (see src/stream/trace_io.h)
+///         --stock N           synthetic stock stream of N events
+///         --clicks N          synthetic clickstream of N events
+///       Run flags:
+///         --engine aseq|stack (default aseq)
+///         --slack MS          tolerate out-of-order input via K-slack
+///         --seed S            generator seed (default 42)
+///         --gap MS            max inter-arrival gap for generators
+///         --limit N           print at most the last N results (default 20)
+///         --quiet             suppress per-result lines
+///         --emit-on-change    report whenever the value changes (including
+///                             drops caused purely by window expiration)
+///
+///   aseq explain --query "..."
+///       Prints the compiled query: roles, predicate classification,
+///       partitioning, and which engine would execute it.
+///
+///   aseq generate (--stock N | --clicks N) --out FILE [--seed S] [--gap MS]
+///       Writes a synthetic trace in the CSV trace format.
+///
+///   aseq compare --query "..." [source flags]
+///       Runs A-Seq and the stack baseline side by side, verifies they
+///       agree, and reports ms/slide and peak objects for both.
+///
+/// Returns the process exit code.
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace aseq
+
+#endif  // ASEQ_CLI_CLI_H_

@@ -1,0 +1,81 @@
+#include "cli/flags.h"
+
+#include <cstdlib>
+
+namespace aseq {
+
+Result<FlagSet> FlagSet::Parse(const std::vector<std::string>& args) {
+  FlagSet fs;
+  size_t i = 0;
+  // Positional command words come first.
+  while (i < args.size() && args[i].rfind("--", 0) != 0) {
+    fs.positional_.push_back(args[i]);
+    ++i;
+  }
+  for (; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument(
+          "positional argument after flags: '" + arg + "'");
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      value = args[++i];
+    } else {
+      value = "true";  // bare boolean flag
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("empty flag name in '" + arg + "'");
+    }
+    fs.flags_[name] = value;
+  }
+  return fs;
+}
+
+std::string FlagSet::GetString(const std::string& name,
+                               const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+Result<int64_t> FlagSet::GetInt(const std::string& name, int64_t def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  char* end = nullptr;
+  int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects an integer, got '" + it->second +
+                                   "'");
+  }
+  return v;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return false;
+  return it->second == "true" || it->second == "1" || it->second.empty();
+}
+
+Status FlagSet::CheckKnown(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (k == name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace aseq

@@ -1,0 +1,13 @@
+// The `aseq` command-line tool: run / explain / compare CEP aggregation
+// queries over traces and synthetic streams. See cli.h for the commands.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return aseq::RunCli(args, std::cout, std::cerr);
+}

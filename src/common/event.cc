@@ -1,0 +1,50 @@
+#include "common/event.h"
+
+namespace aseq {
+
+namespace {
+const Value kNullValue;
+}  // namespace
+
+void Event::SetAttr(AttrId attr, Value value) {
+  for (auto& kv : attrs_) {
+    if (kv.first == attr) {
+      kv.second = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(attr, std::move(value));
+}
+
+const Value* Event::FindAttr(AttrId attr) const {
+  for (const auto& kv : attrs_) {
+    if (kv.first == attr) return &kv.second;
+  }
+  return nullptr;
+}
+
+const Value& Event::GetAttr(AttrId attr) const {
+  const Value* v = FindAttr(attr);
+  return v != nullptr ? *v : kNullValue;
+}
+
+std::string Event::ToString(const Schema& schema) const {
+  std::string out = schema.EventTypeName(type_);
+  out += "@";
+  out += std::to_string(ts_);
+  if (!attrs_.empty()) {
+    out += "{";
+    bool first = true;
+    for (const auto& kv : attrs_) {
+      if (!first) out += ",";
+      first = false;
+      out += schema.AttributeName(kv.first);
+      out += "=";
+      out += kv.second.ToString();
+    }
+    out += "}";
+  }
+  return out;
+}
+
+}  // namespace aseq

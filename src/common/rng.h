@@ -1,0 +1,69 @@
+#ifndef ASEQ_COMMON_RNG_H_
+#define ASEQ_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace aseq {
+
+/// \brief Deterministic xoshiro256** pseudo-random generator.
+///
+/// Used by every workload generator so that streams, tests, and benchmarks
+/// are exactly reproducible across platforms and standard-library versions
+/// (std::mt19937 distributions are not portable across implementations).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t* s = state_;
+    const uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextUInt(uint64_t n) {
+    // Lemire-style rejection-free-enough reduction; bias is negligible for
+    // the small ranges used by workload generators.
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextUInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_COMMON_RNG_H_

@@ -1,0 +1,109 @@
+#ifndef ASEQ_COMMON_VALUE_H_
+#define ASEQ_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace aseq {
+
+/// \brief Runtime type of an attribute value.
+enum class ValueType {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// \brief Dynamically typed attribute value carried by events.
+///
+/// Values are small, copyable, ordered within a type, hashable, and
+/// printable. Cross-type numeric comparison (int64 vs double) compares the
+/// numeric magnitudes; comparing a number to a string or null is always
+/// "unordered" and yields false for every relational operator except `!=`.
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() : rep_(std::monostate{}) {}
+  Value(int64_t v) : rep_(v) {}             // NOLINT(runtime/explicit)
+  Value(int v) : rep_(int64_t{v}) {}        // NOLINT(runtime/explicit)
+  Value(double v) : rep_(v) {}              // NOLINT(runtime/explicit)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  ValueType type() const {
+    switch (rep_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt64;
+      case 2:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt64 || type() == ValueType::kDouble;
+  }
+
+  /// Accessors assume the matching type; call only after checking type().
+  int64_t AsInt64() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Numeric value widened to double; 0.0 for non-numeric values.
+  double ToDouble() const;
+
+  /// Equality: numerics compare by magnitude across int64/double; other
+  /// cross-type comparisons are unequal. Null equals only null.
+  bool Equals(const Value& other) const;
+
+  /// Strict-weak "less than" for same-kind values (numeric vs numeric or
+  /// string vs string). Returns false for unordered combinations.
+  bool LessThan(const Value& other) const;
+
+  /// True when the two values are comparable with relational operators.
+  bool ComparableWith(const Value& other) const;
+
+  std::size_t Hash() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
+  friend bool operator!=(const Value& a, const Value& b) { return !a.Equals(b); }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> rep_;
+};
+
+/// Hash functor so Value can key unordered containers.
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Deterministic total order across value kinds (null < numeric < string),
+/// consistent with Equals within each kind; for ordered containers.
+struct ValueTotalLess {
+  static int Rank(const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_numeric()) return 1;
+    return 2;
+  }
+  bool operator()(const Value& a, const Value& b) const {
+    int ra = Rank(a), rb = Rank(b);
+    if (ra != rb) return ra < rb;
+    if (ra == 1) return a.ToDouble() < b.ToDouble();
+    if (ra == 2) return a.AsString() < b.AsString();
+    return false;
+  }
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_COMMON_VALUE_H_

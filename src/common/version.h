@@ -1,0 +1,19 @@
+#ifndef ASEQ_COMMON_VERSION_H_
+#define ASEQ_COMMON_VERSION_H_
+
+namespace aseq {
+
+/// Library version (semantic versioning).
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+/// The paper this library reproduces.
+inline constexpr const char* kPaperCitation =
+    "Qi, Cao, Ray, Rundensteiner. Complex Event Analytics: Online "
+    "Aggregation of Stream Sequence Patterns. SIGMOD 2014.";
+
+}  // namespace aseq
+
+#endif  // ASEQ_COMMON_VERSION_H_

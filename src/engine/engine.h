@@ -1,0 +1,82 @@
+#ifndef ASEQ_ENGINE_ENGINE_H_
+#define ASEQ_ENGINE_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/value.h"
+#include "metrics/metrics.h"
+
+namespace aseq {
+
+/// \brief One aggregation result delivered by an engine.
+struct Output {
+  /// Arrival time of the TRIG event that produced the result (or the poll
+  /// time for polled snapshots).
+  Timestamp ts = 0;
+  /// Sequence number of the producing event.
+  SeqNum seq = 0;
+  /// GROUP BY key; empty for ungrouped queries.
+  std::optional<Value> group;
+  /// The aggregate value: int64 for COUNT, double for SUM/AVG/MIN/MAX.
+  /// Null when the match set is empty and the aggregate is undefined
+  /// (AVG/MIN/MAX of nothing).
+  Value value;
+
+  std::string ToString() const;
+};
+
+/// \brief Single-query evaluation engine interface.
+///
+/// Implemented by the A-Seq engines (DPC / SEM / HPC) and by the
+/// stack-based baseline. The window slides on every arrival (the paper's
+/// window semantics), so OnEvent both expires state and processes the
+/// event; TRIG arrivals append results to `out`.
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  /// Processes one event in arrival order; appends any results to `out`
+  /// (left untouched otherwise). Events must have non-decreasing
+  /// timestamps and strictly increasing sequence numbers.
+  virtual void OnEvent(const Event& e, std::vector<Output>* out) = 0;
+
+  /// Reports the current aggregation value(s) as of time `now` (expired
+  /// state excluded), without consuming an event — SEM step (4): "if an
+  /// output result were to be required at this time". Grouped queries
+  /// report one Output per group with a non-zero/defined value.
+  virtual std::vector<Output> Poll(Timestamp now) = 0;
+
+  /// Execution statistics (object accounting per DESIGN.md).
+  virtual const EngineStats& stats() const = 0;
+
+  /// Human-readable engine name ("A-Seq(SEM)", "StackBased", ...).
+  virtual std::string name() const = 0;
+};
+
+/// \brief An Output attributed to one query of a multi-query workload.
+struct MultiOutput {
+  size_t query_index = 0;
+  Output output;
+};
+
+/// \brief Multi-query evaluation engine interface (Sec. 4): processes every
+/// workload query against the shared stream in one pass.
+class MultiQueryEngine {
+ public:
+  virtual ~MultiQueryEngine() = default;
+
+  /// Processes one event for all queries; appends results to `out`.
+  virtual void OnEvent(const Event& e, std::vector<MultiOutput>* out) = 0;
+
+  /// Per-workload statistics.
+  virtual const EngineStats& stats() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_ENGINE_ENGINE_H_

@@ -1,0 +1,108 @@
+#ifndef ASEQ_ENGINE_REORDERING_ENGINE_H_
+#define ASEQ_ENGINE_REORDERING_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "stream/reorder.h"
+
+namespace aseq {
+
+/// \brief Adapter that makes any in-order QueryEngine consume boundedly
+/// out-of-order streams (the paper's Sec. 8 future work).
+///
+/// Arriving events pass through a KSlackReorderer; released events are
+/// re-sequenced and fed to the wrapped engine. Results are therefore
+/// delayed by up to the slack bound — the price of disorder tolerance.
+/// Call Finish() at end of stream to drain the buffer.
+class ReorderingEngine : public QueryEngine {
+ public:
+  ReorderingEngine(std::unique_ptr<QueryEngine> inner, Timestamp slack_ms)
+      : inner_(std::move(inner)), reorderer_(slack_ms) {}
+
+  void OnEvent(const Event& e, std::vector<Output>* out) override {
+    released_.clear();
+    reorderer_.Push(e, &released_);
+    for (Event& r : released_) {
+      r.set_seq(next_seq_++);
+      inner_->OnEvent(r, out);
+    }
+  }
+
+  /// Drains the reorder buffer into the wrapped engine.
+  void Finish(std::vector<Output>* out) {
+    released_.clear();
+    reorderer_.Flush(&released_);
+    for (Event& r : released_) {
+      r.set_seq(next_seq_++);
+      inner_->OnEvent(r, out);
+    }
+  }
+
+  /// Current value as of the *released* stream time; buffered events are
+  /// not yet reflected.
+  std::vector<Output> Poll(Timestamp now) override {
+    return inner_->Poll(now);
+  }
+
+  const EngineStats& stats() const override { return inner_->stats(); }
+  std::string name() const override {
+    return inner_->name() + "+KSlack";
+  }
+
+  uint64_t dropped_events() const { return reorderer_.dropped(); }
+  size_t buffered_events() const { return reorderer_.buffered(); }
+  QueryEngine* inner() { return inner_.get(); }
+
+ private:
+  std::unique_ptr<QueryEngine> inner_;
+  KSlackReorderer reorderer_;
+  SeqNum next_seq_ = 0;
+  std::vector<Event> released_;
+};
+
+/// \brief Multi-query counterpart of ReorderingEngine: one shared K-slack
+/// buffer in front of a MultiQueryEngine.
+class ReorderingMultiEngine : public MultiQueryEngine {
+ public:
+  ReorderingMultiEngine(std::unique_ptr<MultiQueryEngine> inner,
+                        Timestamp slack_ms)
+      : inner_(std::move(inner)), reorderer_(slack_ms) {}
+
+  void OnEvent(const Event& e, std::vector<MultiOutput>* out) override {
+    released_.clear();
+    reorderer_.Push(e, &released_);
+    for (Event& r : released_) {
+      r.set_seq(next_seq_++);
+      inner_->OnEvent(r, out);
+    }
+  }
+
+  /// Drains the reorder buffer into the wrapped engine.
+  void Finish(std::vector<MultiOutput>* out) {
+    released_.clear();
+    reorderer_.Flush(&released_);
+    for (Event& r : released_) {
+      r.set_seq(next_seq_++);
+      inner_->OnEvent(r, out);
+    }
+  }
+
+  const EngineStats& stats() const override { return inner_->stats(); }
+  std::string name() const override { return inner_->name() + "+KSlack"; }
+
+  uint64_t dropped_events() const { return reorderer_.dropped(); }
+  size_t buffered_events() const { return reorderer_.buffered(); }
+
+ private:
+  std::unique_ptr<MultiQueryEngine> inner_;
+  KSlackReorderer reorderer_;
+  SeqNum next_seq_ = 0;
+  std::vector<Event> released_;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_ENGINE_REORDERING_ENGINE_H_

@@ -1,0 +1,67 @@
+#ifndef ASEQ_ENGINE_RUNTIME_H_
+#define ASEQ_ENGINE_RUNTIME_H_
+
+#include <vector>
+
+#include "engine/engine.h"
+#include "stream/stream_source.h"
+
+namespace aseq {
+
+/// \brief Result of driving a stream through an engine.
+struct RunResult {
+  std::vector<Output> outputs;
+  uint64_t events = 0;
+  /// Wall-clock seconds spent inside the engine.
+  double elapsed_seconds = 0;
+
+  /// Average execution time per window slide in milliseconds — the paper's
+  /// primary metric (the window slides once per event).
+  double MillisPerSlide() const {
+    return events == 0 ? 0 : elapsed_seconds * 1e3 / static_cast<double>(events);
+  }
+};
+
+/// Result of a multi-query run.
+struct MultiRunResult {
+  std::vector<MultiOutput> outputs;
+  uint64_t events = 0;
+  double elapsed_seconds = 0;
+
+  double MillisPerSlide() const {
+    return events == 0 ? 0 : elapsed_seconds * 1e3 / static_cast<double>(events);
+  }
+};
+
+/// Assigns strictly increasing sequence numbers (0, 1, ...) to events in
+/// place. Engines require them; sources that replay pre-built vectors use
+/// this before feeding.
+void AssignSeqNums(std::vector<Event>* events);
+
+/// \brief Drives streams through engines, assigning sequence numbers and
+/// timing the engine work.
+class Runtime {
+ public:
+  /// Runs the whole source through `engine`; collects outputs if
+  /// `collect_outputs` (benchmarks turn it off to avoid measuring vector
+  /// growth).
+  static RunResult Run(StreamSource* source, QueryEngine* engine,
+                       bool collect_outputs = true);
+
+  /// Runs pre-sequenced events through `engine`.
+  static RunResult RunEvents(const std::vector<Event>& events,
+                             QueryEngine* engine,
+                             bool collect_outputs = true);
+
+  /// Multi-query variants.
+  static MultiRunResult RunMulti(StreamSource* source,
+                                 MultiQueryEngine* engine,
+                                 bool collect_outputs = true);
+  static MultiRunResult RunMultiEvents(const std::vector<Event>& events,
+                                       MultiQueryEngine* engine,
+                                       bool collect_outputs = true);
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_ENGINE_RUNTIME_H_

@@ -1,0 +1,81 @@
+#ifndef ASEQ_METRICS_METRICS_H_
+#define ASEQ_METRICS_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace aseq {
+
+/// \brief Live/peak object accounting.
+///
+/// Reproduces the paper's memory metric (Sec. 6.1): "the maximum number of
+/// active Java objects or references". Engines report every unit of live
+/// state through this counter — the stack-based baseline counts stacked
+/// event references, adjacency pointers, and retained (partial) matches;
+/// A-Seq engines count live prefix-counter cells.
+class ObjectCounter {
+ public:
+  void Add(int64_t n) {
+    current_ += n;
+    if (current_ > peak_) peak_ = current_;
+  }
+  void Remove(int64_t n) { current_ -= n; }
+
+  int64_t current() const { return current_; }
+  int64_t peak() const { return peak_; }
+
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  int64_t current_ = 0;
+  int64_t peak_ = 0;
+};
+
+/// \brief Per-engine execution statistics.
+struct EngineStats {
+  /// Events consumed (== window slides, since the window slides on every
+  /// arrival per the paper's window semantics).
+  uint64_t events_processed = 0;
+  /// Aggregation results delivered (TRIG outputs, per group).
+  uint64_t outputs = 0;
+  /// Elementary work units: counter updates for A-Seq, stack pushes +
+  /// DFS edge visits + match constructions for the baseline. A
+  /// hardware-independent CPU-cost proxy.
+  uint64_t work_units = 0;
+  /// Live/peak state objects (see ObjectCounter).
+  ObjectCounter objects;
+
+  void Reset() {
+    events_processed = 0;
+    outputs = 0;
+    work_units = 0;
+    objects.Reset();
+  }
+};
+
+/// \brief Wall-clock stopwatch (steady clock).
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/restart.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_METRICS_METRICS_H_

@@ -1,0 +1,257 @@
+#include "multi/chop_connect_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <map>
+
+namespace aseq {
+
+ChopConnectEngine::ChopConnectEngine(std::vector<CompiledQuery> queries,
+                                     ChopPlan plan)
+    : queries_(std::move(queries)), plan_(std::move(plan)) {}
+
+Result<std::unique_ptr<ChopConnectEngine>> ChopConnectEngine::Create(
+    std::vector<CompiledQuery> queries, ChopPlan plan) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("Chop-Connect needs at least one query");
+  }
+  if (plan.query_segments.size() != queries.size()) {
+    return Status::InvalidArgument(
+        "plan must assign segments to every workload query");
+  }
+  Timestamp window = queries[0].window_ms();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const CompiledQuery& q = queries[qi];
+    if (q.agg().func != AggFunc::kCount || q.partitioned() ||
+        q.has_join_predicates() || q.pattern().has_negation()) {
+      return Status::Unsupported(
+          "Chop-Connect supports COUNT over positive-only unpartitioned "
+          "patterns: " +
+          q.ToString());
+    }
+    for (const auto& preds : q.local_predicates()) {
+      if (!preds.empty()) {
+        return Status::Unsupported(
+            "Chop-Connect does not support WHERE: " + q.ToString());
+      }
+    }
+    if (q.window_ms() != window || window <= 0) {
+      return Status::InvalidArgument(
+          "Chop-Connect workload queries must share one positive window");
+    }
+    // Distinct types within a query keep role handling unambiguous.
+    const auto& types = q.positive_types();
+    for (size_t i = 0; i < types.size(); ++i) {
+      for (size_t j = i + 1; j < types.size(); ++j) {
+        if (types[i] == types[j]) {
+          return Status::Unsupported(
+              "Chop-Connect requires distinct event types per pattern: " +
+              q.ToString());
+        }
+      }
+    }
+    // The plan's segment concatenation must reproduce the pattern.
+    std::vector<EventTypeId> concat;
+    if (qi >= plan.query_segments.size()) {
+      return Status::InvalidArgument("plan missing query " +
+                                     std::to_string(qi));
+    }
+    for (size_t seg : plan.query_segments[qi]) {
+      if (seg >= plan.segments.size()) {
+        return Status::InvalidArgument("plan references unknown segment");
+      }
+      if (plan.segments[seg].empty()) {
+        return Status::InvalidArgument("plan has an empty segment");
+      }
+      concat.insert(concat.end(), plan.segments[seg].begin(),
+                    plan.segments[seg].end());
+    }
+    if (concat != types) {
+      return Status::InvalidArgument(
+          "plan segments do not concatenate to the pattern of " +
+          q.ToString());
+    }
+  }
+  std::unique_ptr<ChopConnectEngine> engine(
+      new ChopConnectEngine(std::move(queries), std::move(plan)));
+  engine->window_ms_ = window;
+  engine->Build();
+  return engine;
+}
+
+void ChopConnectEngine::Build() {
+  segments_.resize(plan_.segments.size());
+  for (size_t s = 0; s < plan_.segments.size(); ++s) {
+    segments_[s].types = plan_.segments[s];
+  }
+  final_hook_.assign(queries_.size(), -1);
+  // Register hooks: one per (query, junction >= 1).
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    const std::vector<size_t>& segs = plan_.query_segments[qi];
+    int upstream_hook = -1;
+    for (size_t j = 1; j < segs.size(); ++j) {
+      Segment& seg = segments_[segs[j]];
+      Hook hook;
+      hook.query = qi;
+      hook.junction = j;
+      hook.upstream_seg = segs[j - 1];
+      hook.upstream_hook = upstream_hook;
+      upstream_hook = static_cast<int>(seg.hooks.size());
+      seg.hooks.push_back(hook);
+    }
+    if (segs.size() > 1) final_hook_[qi] = upstream_hook;
+    // Trigger type: last type of the last segment.
+    trigger_index_[segments_[segs.back()].types.back()].push_back(qi);
+  }
+  // Update index per type.
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    const auto& types = segments_[s].types;
+    for (size_t pos = types.size(); pos > 0; --pos) {
+      update_index_[types[pos - 1]].emplace_back(s, pos - 1);
+    }
+  }
+}
+
+void ChopConnectEngine::PurgeSegment(Segment* seg, Timestamp now) {
+  while (!seg->entries.empty() && seg->entries.front().exp <= now) {
+    int64_t rows = 0;
+    for (const SnapshotTable& table : seg->entries.front().snapshots) {
+      rows += static_cast<int64_t>(table.size());
+    }
+    stats_.objects.Remove(1 + rows);
+    seg->entries.pop_front();
+  }
+}
+
+ChopConnectEngine::SnapshotTable ChopConnectEngine::ComputeSnapshot(
+    const Hook& hook, Timestamp now) {
+  SnapshotTable table;
+  Segment& up = segments_[hook.upstream_seg];
+  if (hook.upstream_hook < 0) {
+    // Upstream is the query's first segment: tags are its START entries
+    // (already in arrival == expiration order).
+    table.rows.reserve(up.entries.size());
+    stats_.work_units += up.entries.size();
+    for (const SegEntry& entry : up.entries) {
+      uint64_t c = entry.counts.back();
+      if (c > 0) {
+        table.rows.push_back(SnapRow{entry.id, entry.exp, c, 0});
+      }
+    }
+    table.BuildSuffix();
+    return table;
+  }
+  // Multi-connect (Fig. 11): combine the upstream segment's counters with
+  // their snapshots, summing per full-sequence START tag. Tags increase in
+  // arrival order, so the std::map keeps rows in expiration order.
+  std::map<uint64_t, SnapRow> acc;
+  for (const SegEntry& entry : up.entries) {
+    uint64_t mult = entry.counts.back();
+    ++stats_.work_units;
+    if (mult == 0) continue;
+    const SnapshotTable& upstream =
+        entry.snapshots[static_cast<size_t>(hook.upstream_hook)];
+    for (const SnapRow& row : upstream.rows) {
+      ++stats_.work_units;
+      if (row.exp <= now || row.count == 0) continue;
+      SnapRow& out = acc[row.tag];
+      out.tag = row.tag;
+      out.exp = row.exp;
+      out.count += row.count * mult;
+      out.cum = 0;
+    }
+  }
+  table.rows.reserve(acc.size());
+  for (const auto& [tag, row] : acc) table.rows.push_back(row);
+  table.BuildSuffix();
+  return table;
+}
+
+uint64_t ChopConnectEngine::QueryTotal(size_t qi, Timestamp now) {
+  const std::vector<size_t>& segs = plan_.query_segments[qi];
+  Segment& last = segments_[segs.back()];
+  uint64_t total = 0;
+  if (segs.size() == 1) {
+    for (const SegEntry& entry : last.entries) {
+      total += entry.counts.back();
+    }
+    return total;
+  }
+  const size_t hook = static_cast<size_t>(final_hook_[qi]);
+  for (SegEntry& entry : last.entries) {
+    ++stats_.work_units;
+    uint64_t tail = entry.counts.back();
+    if (tail == 0) continue;
+    total += tail * entry.snapshots[hook].LiveSum(now);
+  }
+  return total;
+}
+
+void ChopConnectEngine::OnEvent(const Event& e, std::vector<MultiOutput>* out) {
+  ++stats_.events_processed;
+  for (Segment& seg : segments_) PurgeSegment(&seg, e.ts());
+
+  // CNET pre-pass (Lemma 7): snapshots use counts from *before* this
+  // arrival's updates.
+  struct PendingSnapshot {
+    size_t seg;
+    size_t hook;
+    SnapshotTable table;
+  };
+  std::vector<PendingSnapshot> pending;
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    Segment& seg = segments_[s];
+    if (seg.types[0] != e.type() || seg.hooks.empty()) continue;
+    for (size_t h = 0; h < seg.hooks.size(); ++h) {
+      pending.push_back(
+          PendingSnapshot{s, h, ComputeSnapshot(seg.hooks[h], e.ts())});
+    }
+  }
+
+  // Apply updates / create counters.
+  auto it = update_index_.find(e.type());
+  if (it != update_index_.end()) {
+    for (const auto& [s, pos] : it->second) {
+      Segment& seg = segments_[s];
+      if (pos == 0) {
+        SegEntry entry;
+        entry.id = seg.next_id++;
+        entry.exp = e.ts() + window_ms_;
+        entry.counts.assign(seg.types.size(), 0);
+        entry.counts[0] = 1;
+        entry.snapshots.resize(seg.hooks.size());
+        int64_t rows = 0;
+        for (PendingSnapshot& p : pending) {
+          if (p.seg == s) {
+            rows += static_cast<int64_t>(p.table.size());
+            entry.snapshots[p.hook] = std::move(p.table);
+          }
+        }
+        seg.entries.push_back(std::move(entry));
+        stats_.objects.Add(1 + rows);
+        ++stats_.work_units;
+      } else {
+        for (SegEntry& entry : seg.entries) {
+          entry.counts[pos] += entry.counts[pos - 1];
+        }
+        stats_.work_units += seg.entries.size();
+      }
+    }
+  }
+
+  // Triggers.
+  auto tit = trigger_index_.find(e.type());
+  if (tit != trigger_index_.end()) {
+    for (size_t qi : tit->second) {
+      // Aggregate-initialize (GCC 12 raises a spurious -Wmaybe-uninitialized
+      // on the variant move-assignment the field-wise form compiles to).
+      out->push_back(MultiOutput{
+          qi, Output{e.ts(), e.seq(), std::nullopt,
+                     Value(static_cast<int64_t>(QueryTotal(qi, e.ts())))}});
+      ++stats_.outputs;
+    }
+  }
+}
+
+}  // namespace aseq

@@ -1,0 +1,139 @@
+#ifndef ASEQ_MULTI_CHOP_CONNECT_ENGINE_H_
+#define ASEQ_MULTI_CHOP_CONNECT_ENGINE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "multi/chop_plan.h"
+#include "query/compiled_query.h"
+
+namespace aseq {
+
+/// \brief Chop-Connect shared multi-query A-Seq (Sec. 4.2).
+///
+/// Each unique plan segment runs one shared SEM-style counter set (one
+/// per-start PreCntr per live segment-START instance). Queries *connect*
+/// their segments:
+///
+///  * A **CNET** instance — the START of a non-first segment of some query —
+///    receives a **SnapShot** (Fig. 10): rows (tag, expiration, count) of
+///    the query's pattern-so-far per full-sequence START, computed from the
+///    upstream segment's live counters (and, recursively, their snapshots —
+///    the multi-connect of Fig. 11) *before* this arrival's updates apply
+///    (Lemma 7: only sub-matches constructed before the CNET arrival
+///    connect).
+///  * A **TRIG** instance of a query's last segment reports
+///    `sum over last-segment counters c of c.tail * (live snapshot rows of
+///    c)` — expired rows (whose full-sequence START left the window) are
+///    skipped, which is how Chop-Connect inherits SEM's expiration handling
+///    without per-match state.
+///
+/// Scope (the paper's multi-query experiments): COUNT, positive-only
+/// patterns, no predicates/grouping, one common sliding window.
+class ChopConnectEngine : public MultiQueryEngine {
+ public:
+  /// Validates the plan against the queries and builds the engine.
+  static Result<std::unique_ptr<ChopConnectEngine>> Create(
+      std::vector<CompiledQuery> queries, ChopPlan plan);
+
+  void OnEvent(const Event& e, std::vector<MultiOutput>* out) override;
+  const EngineStats& stats() const override { return stats_; }
+  std::string name() const override { return "ChopConnect"; }
+
+  /// Number of unique shared segments (testing hook).
+  size_t num_segments() const { return segments_.size(); }
+
+ private:
+  /// One snapshot row: the count of the query's pattern-prefix (through the
+  /// upstream segments) whose full-sequence START is `tag`, expiring at
+  /// `exp`.
+  struct SnapRow {
+    uint64_t tag;
+    Timestamp exp;
+    uint64_t count;
+    uint64_t cum;  // count of this row + all later (younger) rows
+  };
+
+  /// The SnapShot table of Fig. 10, with rows in expiration order (tags are
+  /// assigned in arrival order under one shared window) plus an inline
+  /// suffix-sum (`cum`) so the live total is O(1) amortized as rows expire —
+  /// this keeps the per-TRIG connect cost linear in the number of
+  /// last-segment counters, matching the paper's cost analysis.
+  struct SnapshotTable {
+    std::vector<SnapRow> rows;
+    size_t cursor = 0;  // first possibly-live row
+
+    void BuildSuffix() {
+      uint64_t cum = 0;
+      for (size_t i = rows.size(); i > 0; --i) {
+        cum += rows[i - 1].count;
+        rows[i - 1].cum = cum;
+      }
+    }
+
+    /// Total count over non-expired rows at `now` (monotone in `now`).
+    uint64_t LiveSum(Timestamp now) {
+      while (cursor < rows.size() && rows[cursor].exp <= now) ++cursor;
+      return cursor < rows.size() ? rows[cursor].cum : 0;
+    }
+
+    size_t size() const { return rows.size(); }
+  };
+
+  /// A connection point: segment `seg` is the `junction`-th (>= 1) segment
+  /// of query `query`; `upstream_seg` precedes it; `upstream_hook` is the
+  /// hook index of junction-1 within the upstream segment (-1 when the
+  /// upstream is the query's first segment).
+  struct Hook {
+    size_t query;
+    size_t junction;
+    size_t upstream_seg;
+    int upstream_hook;
+  };
+
+  /// One live per-START prefix counter of a segment.
+  struct SegEntry {
+    uint64_t id;
+    Timestamp exp;
+    std::vector<uint64_t> counts;          // per segment position
+    std::vector<SnapshotTable> snapshots;  // parallel to Segment::hooks
+  };
+
+  struct Segment {
+    std::vector<EventTypeId> types;
+    std::vector<Hook> hooks;
+    std::deque<SegEntry> entries;
+    uint64_t next_id = 0;
+  };
+
+  ChopConnectEngine(std::vector<CompiledQuery> queries, ChopPlan plan);
+  void Build();
+
+  void PurgeSegment(Segment* seg, Timestamp now);
+  SnapshotTable ComputeSnapshot(const Hook& hook, Timestamp now);
+  uint64_t QueryTotal(size_t qi, Timestamp now);
+
+  std::vector<CompiledQuery> queries_;
+  ChopPlan plan_;
+  Timestamp window_ms_ = 0;
+  std::vector<Segment> segments_;
+  /// Per type: (segment, position) updates, positions descending per
+  /// segment; position 0 entries create counters.
+  std::unordered_map<EventTypeId, std::vector<std::pair<size_t, size_t>>>
+      update_index_;
+  /// Per type: queries it triggers (type == last type of last segment).
+  std::unordered_map<EventTypeId, std::vector<size_t>> trigger_index_;
+  /// Per query: hook index (within the last segment) of the final junction;
+  /// -1 for single-segment queries.
+  std::vector<int> final_hook_;
+  EngineStats stats_;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_MULTI_CHOP_CONNECT_ENGINE_H_

@@ -1,0 +1,116 @@
+#include "multi/chop_plan.h"
+
+#include <map>
+
+namespace aseq {
+
+std::string ChopPlan::ToString(const Schema& schema) const {
+  std::string out;
+  for (size_t qi = 0; qi < query_segments.size(); ++qi) {
+    if (qi > 0) out += " ; ";
+    out += "Q" + std::to_string(qi + 1) + " =";
+    for (size_t seg : query_segments[qi]) {
+      out += " [";
+      for (size_t j = 0; j < segments[seg].size(); ++j) {
+        if (j > 0) out += " ";
+        out += schema.EventTypeName(segments[seg][j]);
+      }
+      out += "]";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Registers `types` in the plan's segment list, deduplicating.
+size_t InternSegment(ChopPlan* plan, std::vector<EventTypeId> types) {
+  for (size_t i = 0; i < plan->segments.size(); ++i) {
+    if (plan->segments[i] == types) return i;
+  }
+  plan->segments.push_back(std::move(types));
+  return plan->segments.size() - 1;
+}
+
+/// First position of `sub` in `full`; -1 if absent.
+int FindSub(const std::vector<EventTypeId>& full,
+            const std::vector<EventTypeId>& sub) {
+  if (sub.empty() || sub.size() > full.size()) return -1;
+  for (size_t i = 0; i + sub.size() <= full.size(); ++i) {
+    bool match = true;
+    for (size_t j = 0; j < sub.size(); ++j) {
+      if (full[i + j] != sub[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+ChopPlan TrivialPlan(const std::vector<CompiledQuery>& queries) {
+  ChopPlan plan;
+  for (const CompiledQuery& q : queries) {
+    plan.query_segments.push_back({InternSegment(&plan, q.positive_types())});
+  }
+  return plan;
+}
+
+ChopPlan PlanChopConnect(const std::vector<CompiledQuery>& queries) {
+  // Score every substring of length >= 2 by (#sharing queries, length).
+  std::map<std::vector<EventTypeId>, size_t> counts;
+  for (const CompiledQuery& q : queries) {
+    const auto& types = q.positive_types();
+    std::map<std::vector<EventTypeId>, bool> seen;  // per query, count once
+    for (size_t len = 2; len <= types.size(); ++len) {
+      for (size_t i = 0; i + len <= types.size(); ++i) {
+        std::vector<EventTypeId> sub(types.begin() + i,
+                                     types.begin() + i + len);
+        if (!seen[sub]) {
+          seen[sub] = true;
+          ++counts[sub];
+        }
+      }
+    }
+  }
+  std::vector<EventTypeId> best;
+  size_t best_queries = 1;
+  for (const auto& [sub, n] : counts) {
+    if (n < 2) continue;
+    if (n > best_queries || (n == best_queries && sub.size() > best.size())) {
+      best = sub;
+      best_queries = n;
+    }
+  }
+  if (best.empty()) return TrivialPlan(queries);
+
+  ChopPlan plan;
+  for (const CompiledQuery& q : queries) {
+    const auto& types = q.positive_types();
+    int at = FindSub(types, best);
+    std::vector<size_t> segs;
+    if (at < 0 || types.size() == best.size()) {
+      // Not sharing (or the query IS the shared substring): one segment.
+      segs.push_back(InternSegment(&plan, types));
+    } else {
+      size_t i = static_cast<size_t>(at);
+      if (i > 0) {
+        segs.push_back(InternSegment(
+            &plan, std::vector<EventTypeId>(types.begin(), types.begin() + i)));
+      }
+      segs.push_back(InternSegment(&plan, best));
+      if (i + best.size() < types.size()) {
+        segs.push_back(InternSegment(
+            &plan, std::vector<EventTypeId>(types.begin() + i + best.size(),
+                                            types.end())));
+      }
+    }
+    plan.query_segments.push_back(std::move(segs));
+  }
+  return plan;
+}
+
+}  // namespace aseq

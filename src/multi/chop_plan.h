@@ -1,0 +1,43 @@
+#ifndef ASEQ_MULTI_CHOP_PLAN_H_
+#define ASEQ_MULTI_CHOP_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "query/compiled_query.h"
+
+namespace aseq {
+
+/// \brief A multi-query sharing plan for Chop-Connect (Sec. 4.2).
+///
+/// Queries are chopped into substrings ("segments"); segments with equal
+/// type sequences are computed once and shared. Each query's
+/// `query_segments` concatenation must reproduce its positive pattern.
+struct ChopPlan {
+  /// Unique segments as event-type-id sequences.
+  std::vector<std::vector<EventTypeId>> segments;
+  /// Per query: ordered indexes into `segments`.
+  std::vector<std::vector<size_t>> query_segments;
+
+  /// Renders the plan using `schema` type names, e.g.
+  /// "Q1 = [A B][S1 S2] ; Q2 = [S1 S2][C]".
+  std::string ToString(const Schema& schema) const;
+};
+
+/// \brief Greedy Chop-Connect planner.
+///
+/// Picks the substring (length >= 2) shared by the largest number of
+/// queries — ties broken towards longer substrings — and chops every query
+/// containing it into [private prefix][shared][private tail]; remaining
+/// queries stay unchopped. This plays the role of the "multi-query
+/// optimizer" the paper assumes produces the sharing plan.
+ChopPlan PlanChopConnect(const std::vector<CompiledQuery>& queries);
+
+/// Builds a plan that chops nothing (every query one segment); the
+/// degenerate plan under which Chop-Connect equals per-query A-Seq.
+ChopPlan TrivialPlan(const std::vector<CompiledQuery>& queries);
+
+}  // namespace aseq
+
+#endif  // ASEQ_MULTI_CHOP_PLAN_H_

@@ -1,0 +1,151 @@
+#include "multi/hybrid_engine.h"
+
+#include <map>
+
+#include "aseq/aseq_engine.h"
+#include "baseline/stack_engine.h"
+#include "multi/chop_connect_engine.h"
+#include "multi/chop_plan.h"
+#include "multi/nonshared_engine.h"
+#include "multi/pretree_engine.h"
+
+namespace aseq {
+
+namespace {
+
+/// Eligible for the COUNT-sharing engines (PreTree / Chop-Connect)?
+bool Shareable(const CompiledQuery& q) {
+  if (q.agg().func != AggFunc::kCount || q.partitioned() ||
+      q.has_join_predicates() || q.pattern().has_negation() ||
+      q.window_ms() <= 0) {
+    return false;
+  }
+  for (const auto& preds : q.local_predicates()) {
+    if (!preds.empty()) return false;
+  }
+  // Chop-Connect also needs distinct types per pattern; route duplicates
+  // to per-query engines to keep one eligibility rule.
+  const auto& types = q.positive_types();
+  for (size_t i = 0; i < types.size(); ++i) {
+    for (size_t j = i + 1; j < types.size(); ++j) {
+      if (types[i] == types[j]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HybridMultiEngine>> HybridMultiEngine::Create(
+    std::vector<CompiledQuery> queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("hybrid engine needs at least one query");
+  }
+  std::unique_ptr<HybridMultiEngine> engine(new HybridMultiEngine());
+  engine->routing_.resize(queries.size());
+
+  // --- Stage 1: shareable queries, grouped by window. ----------------------
+  std::map<Timestamp, std::vector<size_t>> by_window;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    if (Shareable(queries[qi])) {
+      by_window[queries[qi].window_ms()].push_back(qi);
+    }
+  }
+  for (auto& [window, members] : by_window) {
+    // Queries sharing a START type with a sibling go to one PreTree.
+    std::map<EventTypeId, std::vector<size_t>> by_start;
+    for (size_t qi : members) {
+      by_start[queries[qi].positive_types()[0]].push_back(qi);
+    }
+    std::vector<size_t> pretree_set, rest;
+    for (auto& [start, group] : by_start) {
+      auto& dest = group.size() >= 2 ? pretree_set : rest;
+      dest.insert(dest.end(), group.begin(), group.end());
+    }
+    if (!pretree_set.empty()) {
+      std::vector<CompiledQuery> subset;
+      for (size_t qi : pretree_set) subset.push_back(queries[qi]);
+      ASEQ_ASSIGN_OR_RETURN(auto pretree,
+                            PreTreeEngine::Create(std::move(subset)));
+      for (size_t qi : pretree_set) {
+        engine->routing_[qi] = "PreTree(win=" + std::to_string(window) + ")";
+      }
+      engine->multi_parts_.push_back(
+          MultiPart{std::move(pretree), std::move(pretree_set)});
+    }
+    if (rest.empty()) continue;
+    // Chop-Connect over the remainder when the planner finds sharing.
+    std::vector<CompiledQuery> subset;
+    for (size_t qi : rest) subset.push_back(queries[qi]);
+    ChopPlan plan = PlanChopConnect(subset);
+    bool any_sharing = false;
+    for (const auto& segs : plan.query_segments) {
+      if (segs.size() > 1) any_sharing = true;
+    }
+    if (any_sharing && rest.size() >= 2) {
+      ASEQ_ASSIGN_OR_RETURN(
+          auto cc, ChopConnectEngine::Create(std::move(subset), plan));
+      for (size_t qi : rest) {
+        engine->routing_[qi] =
+            "ChopConnect(win=" + std::to_string(window) + ")";
+      }
+      engine->multi_parts_.push_back(MultiPart{std::move(cc), std::move(rest)});
+    } else {
+      for (size_t qi : rest) {
+        ASEQ_ASSIGN_OR_RETURN(auto single, CreateAseqEngine(queries[qi]));
+        engine->routing_[qi] = single->name();
+        engine->single_parts_.push_back(SinglePart{std::move(single), qi});
+      }
+    }
+  }
+
+  // --- Stage 2/3: everything not routed yet. -------------------------------
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    if (!engine->routing_[qi].empty()) continue;
+    if (queries[qi].has_join_predicates()) {
+      engine->routing_[qi] = "StackBased(join predicates)";
+      engine->single_parts_.push_back(
+          SinglePart{std::make_unique<StackEngine>(queries[qi]), qi});
+      continue;
+    }
+    ASEQ_ASSIGN_OR_RETURN(auto single, CreateAseqEngine(queries[qi]));
+    engine->routing_[qi] = single->name();
+    engine->single_parts_.push_back(SinglePart{std::move(single), qi});
+  }
+  return engine;
+}
+
+void HybridMultiEngine::OnEvent(const Event& e, std::vector<MultiOutput>* out) {
+  ++stats_.events_processed;
+  uint64_t work = 0;
+  int64_t objects = 0;
+  for (MultiPart& part : multi_parts_) {
+    multi_scratch_.clear();
+    part.engine->OnEvent(e, &multi_scratch_);
+    for (MultiOutput& mo : multi_scratch_) {
+      mo.query_index = part.global_index[mo.query_index];
+      out->push_back(std::move(mo));
+      ++stats_.outputs;
+    }
+    work += part.engine->stats().work_units;
+    objects += part.engine->stats().objects.current();
+  }
+  for (SinglePart& part : single_parts_) {
+    single_scratch_.clear();
+    part.engine->OnEvent(e, &single_scratch_);
+    for (Output& output : single_scratch_) {
+      MultiOutput mo;
+      mo.query_index = part.global_index;
+      mo.output = std::move(output);
+      out->push_back(std::move(mo));
+      ++stats_.outputs;
+    }
+    work += part.engine->stats().work_units;
+    objects += part.engine->stats().objects.current();
+  }
+  stats_.work_units = work;
+  stats_.objects.Add(objects - last_objects_);
+  last_objects_ = objects;
+}
+
+}  // namespace aseq

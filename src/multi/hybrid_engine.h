@@ -1,0 +1,71 @@
+#ifndef ASEQ_MULTI_HYBRID_ENGINE_H_
+#define ASEQ_MULTI_HYBRID_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "query/compiled_query.h"
+
+namespace aseq {
+
+/// \brief Workload router: executes an arbitrary mix of queries with the
+/// best applicable strategy per query.
+///
+/// The paper presents prefix sharing (Sec. 4.1) and Chop-Connect (Sec. 4.2)
+/// as tools a multi-query optimizer deploys; this engine is that optimizer's
+/// executable form for whole workloads:
+///
+///  1. queries eligible for sharing (COUNT, positive-only, unpartitioned,
+///     no predicates, windowed) are grouped by window;
+///     * within a window group, queries that share their START type with
+///       at least one other query run in a **PreTree** engine;
+///     * the rest of the group runs **Chop-Connect** under the greedy
+///       substring plan when it finds sharing, else unshared A-Seq;
+///  2. remaining A-Seq-able queries (negation, predicates, GROUP BY,
+///     SUM/AVG/MIN/MAX, unbounded windows) run one A-Seq engine each;
+///  3. queries with general join predicates fall back to the stack-based
+///     baseline (the only engine that can evaluate them).
+///
+/// Output `query_index`es always refer to the original workload order.
+class HybridMultiEngine : public MultiQueryEngine {
+ public:
+  static Result<std::unique_ptr<HybridMultiEngine>> Create(
+      std::vector<CompiledQuery> queries);
+
+  void OnEvent(const Event& e, std::vector<MultiOutput>* out) override;
+  const EngineStats& stats() const override { return stats_; }
+  std::string name() const override { return "Hybrid"; }
+
+  /// Human-readable routing decisions ("Q1 -> PreTree", ...), one per
+  /// workload query, in workload order.
+  const std::vector<std::string>& routing() const { return routing_; }
+
+ private:
+  /// A sub-engine handling a subset of the workload; `global_index` maps
+  /// its local query indexes back to workload positions.
+  struct MultiPart {
+    std::unique_ptr<MultiQueryEngine> engine;
+    std::vector<size_t> global_index;
+  };
+  struct SinglePart {
+    std::unique_ptr<QueryEngine> engine;
+    size_t global_index;
+  };
+
+  HybridMultiEngine() = default;
+
+  std::vector<MultiPart> multi_parts_;
+  std::vector<SinglePart> single_parts_;
+  std::vector<std::string> routing_;
+  EngineStats stats_;
+  int64_t last_objects_ = 0;
+  std::vector<MultiOutput> multi_scratch_;
+  std::vector<Output> single_scratch_;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_MULTI_HYBRID_ENGINE_H_

@@ -1,0 +1,59 @@
+#include "multi/nonshared_engine.h"
+
+#include "aseq/aseq_engine.h"
+#include "baseline/stack_engine.h"
+
+namespace aseq {
+
+NonSharedEngine::NonSharedEngine(
+    std::vector<std::unique_ptr<QueryEngine>> engines, std::string name)
+    : engines_(std::move(engines)), name_(std::move(name)) {}
+
+Result<std::unique_ptr<NonSharedEngine>> NonSharedEngine::CreateAseq(
+    const std::vector<CompiledQuery>& queries) {
+  std::vector<std::unique_ptr<QueryEngine>> engines;
+  engines.reserve(queries.size());
+  for (const CompiledQuery& q : queries) {
+    ASEQ_ASSIGN_OR_RETURN(std::unique_ptr<QueryEngine> engine,
+                          CreateAseqEngine(q));
+    engines.push_back(std::move(engine));
+  }
+  return std::make_unique<NonSharedEngine>(std::move(engines),
+                                           "NonShare(A-Seq)");
+}
+
+std::unique_ptr<NonSharedEngine> NonSharedEngine::CreateStackBased(
+    const std::vector<CompiledQuery>& queries) {
+  std::vector<std::unique_ptr<QueryEngine>> engines;
+  engines.reserve(queries.size());
+  for (const CompiledQuery& q : queries) {
+    engines.push_back(std::make_unique<StackEngine>(q));
+  }
+  return std::make_unique<NonSharedEngine>(std::move(engines),
+                                           "NonShare(StackBased)");
+}
+
+void NonSharedEngine::OnEvent(const Event& e, std::vector<MultiOutput>* out) {
+  ++stats_.events_processed;
+  uint64_t work = 0;
+  int64_t objects = 0;
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    scratch_.clear();
+    engines_[i]->OnEvent(e, &scratch_);
+    for (Output& output : scratch_) {
+      MultiOutput mo;
+      mo.query_index = i;
+      mo.output = std::move(output);
+      out->push_back(std::move(mo));
+      ++stats_.outputs;
+    }
+    work += engines_[i]->stats().work_units;
+    objects += engines_[i]->stats().objects.current();
+  }
+  stats_.work_units = work;
+  // Track the combined live-object total so the peak of the sum is exact.
+  stats_.objects.Add(objects - last_objects_);
+  last_objects_ = objects;
+}
+
+}  // namespace aseq

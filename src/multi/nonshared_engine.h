@@ -1,0 +1,50 @@
+#ifndef ASEQ_MULTI_NONSHARED_ENGINE_H_
+#define ASEQ_MULTI_NONSHARED_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "query/compiled_query.h"
+
+namespace aseq {
+
+/// \brief Baseline multi-query execution: one independent single-query
+/// engine per workload query, every event fed to every engine.
+///
+/// The "NonShare" competitor of Fig. 16 (with A-Seq engines inside) and the
+/// "SASE" competitor of Fig. 15 (with stack-based engines inside).
+class NonSharedEngine : public MultiQueryEngine {
+ public:
+  /// Wraps pre-built engines (one per query).
+  NonSharedEngine(std::vector<std::unique_ptr<QueryEngine>> engines,
+                  std::string name);
+
+  /// Builds one A-Seq engine per query.
+  static Result<std::unique_ptr<NonSharedEngine>> CreateAseq(
+      const std::vector<CompiledQuery>& queries);
+
+  /// Builds one stack-based engine per query.
+  static std::unique_ptr<NonSharedEngine> CreateStackBased(
+      const std::vector<CompiledQuery>& queries);
+
+  void OnEvent(const Event& e, std::vector<MultiOutput>* out) override;
+  const EngineStats& stats() const override { return stats_; }
+  std::string name() const override { return name_; }
+
+  QueryEngine* engine(size_t i) { return engines_[i].get(); }
+  size_t num_queries() const { return engines_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<QueryEngine>> engines_;
+  std::string name_;
+  EngineStats stats_;
+  int64_t last_objects_ = 0;
+  std::vector<Output> scratch_;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_MULTI_NONSHARED_ENGINE_H_

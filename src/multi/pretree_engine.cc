@@ -1,0 +1,147 @@
+#include "multi/pretree_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aseq {
+
+PreTreeEngine::PreTreeEngine(std::vector<CompiledQuery> queries)
+    : queries_(std::move(queries)) {}
+
+Result<std::unique_ptr<PreTreeEngine>> PreTreeEngine::Create(
+    std::vector<CompiledQuery> queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("PreTree needs at least one query");
+  }
+  Timestamp window = queries[0].window_ms();
+  for (const CompiledQuery& q : queries) {
+    if (q.agg().func != AggFunc::kCount || q.partitioned() ||
+        q.has_join_predicates() || q.pattern().has_negation()) {
+      return Status::Unsupported(
+          "PreTree sharing supports COUNT over positive-only unpartitioned "
+          "patterns: " +
+          q.ToString());
+    }
+    for (const auto& preds : q.local_predicates()) {
+      if (!preds.empty()) {
+        return Status::Unsupported("PreTree sharing does not support WHERE: " +
+                                   q.ToString());
+      }
+    }
+    if (q.window_ms() != window || window <= 0) {
+      return Status::InvalidArgument(
+          "PreTree workload queries must share one positive window");
+    }
+  }
+  std::unique_ptr<PreTreeEngine> engine(new PreTreeEngine(std::move(queries)));
+  engine->window_ms_ = window;
+  ASEQ_RETURN_NOT_OK(engine->Build());
+  return engine;
+}
+
+Status PreTreeEngine::Build() {
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    const std::vector<EventTypeId>& types = queries_[qi].positive_types();
+    // Trie for this START type.
+    auto [it, inserted] = trie_by_start_.try_emplace(types[0], tries_.size());
+    if (inserted) {
+      tries_.push_back(Trie{});
+      tries_.back().start_type = types[0];
+    }
+    Trie& trie = tries_[it->second];
+    // Walk/extend the path for types[1..].
+    int node = -1;  // the START itself
+    for (size_t d = 1; d < types.size(); ++d) {
+      int child = -1;
+      for (size_t n = 0; n < trie.nodes.size(); ++n) {
+        if (trie.nodes[n].parent == node && trie.nodes[n].type == types[d]) {
+          child = static_cast<int>(n);
+          break;
+        }
+      }
+      if (child < 0) {
+        child = static_cast<int>(trie.nodes.size());
+        trie.nodes.push_back(Node{types[d], node, d});
+      }
+      node = child;
+    }
+    trie.terminals.emplace_back(qi, node);
+    trie.trigger_index[types.back()].push_back(qi);
+  }
+  // Update indexes: nodes per type, descending depth.
+  for (Trie& trie : tries_) {
+    for (size_t n = 0; n < trie.nodes.size(); ++n) {
+      trie.update_index[trie.nodes[n].type].push_back(n);
+    }
+    for (auto& [type, nodes] : trie.update_index) {
+      std::sort(nodes.begin(), nodes.end(), [&](size_t a, size_t b) {
+        return trie.nodes[a].depth > trie.nodes[b].depth;
+      });
+    }
+  }
+  return Status::OK();
+}
+
+size_t PreTreeEngine::num_trie_nodes() const {
+  size_t total = 0;
+  for (const Trie& trie : tries_) total += trie.nodes.size();
+  return total;
+}
+
+void PreTreeEngine::OnEvent(const Event& e, std::vector<MultiOutput>* out) {
+  ++stats_.events_processed;
+  for (Trie& trie : tries_) {
+    // Expire START instances.
+    while (!trie.instances.empty() && trie.instances.front().exp <= e.ts()) {
+      trie.instances.pop_front();
+      stats_.objects.Remove(1);
+    }
+    // UPD: one update per shared node per live instance, deepest first.
+    auto uit = trie.update_index.find(e.type());
+    if (uit != trie.update_index.end()) {
+      for (size_t n : uit->second) {
+        const Node& node = trie.nodes[n];
+        for (Instance& inst : trie.instances) {
+          inst.counts[n] +=
+              node.parent < 0 ? 1 : inst.counts[node.parent];
+        }
+        stats_.work_units += trie.instances.size();
+      }
+    }
+    // START: new per-instance counter tree.
+    if (e.type() == trie.start_type) {
+      Instance inst;
+      inst.exp = e.ts() + window_ms_;
+      inst.counts.assign(trie.nodes.size(), 0);
+      trie.instances.push_back(std::move(inst));
+      stats_.objects.Add(1);
+      ++stats_.work_units;
+    }
+    // TRIG: report every query whose pattern completes with this type.
+    auto tit = trie.trigger_index.find(e.type());
+    if (tit != trie.trigger_index.end()) {
+      for (size_t qi : tit->second) {
+        int terminal = -1;
+        for (const auto& [q, node] : trie.terminals) {
+          if (q == qi) {
+            terminal = node;
+            break;
+          }
+        }
+        uint64_t total = 0;
+        for (const Instance& inst : trie.instances) {
+          total += terminal < 0 ? 1 : inst.counts[terminal];
+        }
+        MultiOutput mo;
+        mo.query_index = qi;
+        mo.output.ts = e.ts();
+        mo.output.seq = e.seq();
+        mo.output.value = Value(static_cast<int64_t>(total));
+        out->push_back(std::move(mo));
+        ++stats_.outputs;
+      }
+    }
+  }
+}
+
+}  // namespace aseq

@@ -1,0 +1,81 @@
+#ifndef ASEQ_MULTI_PRETREE_ENGINE_H_
+#define ASEQ_MULTI_PRETREE_ENGINE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "query/compiled_query.h"
+
+namespace aseq {
+
+/// \brief Prefix-sharing multi-query A-Seq via the PreTree (Sec. 4.1 /
+/// Fig. 9).
+///
+/// The workload's patterns are organized into tries keyed by their START
+/// type: each trie node represents one prefix pattern, shared by every
+/// query whose pattern extends through it. Per live START instance one
+/// *tree of counters* replaces the per-query PreCntrs; an arriving UPD
+/// instance updates each shared node once — "A-Seq shares the computation
+/// on the common prefix patterns for free".
+///
+/// Scope (matching the paper's multi-query experiments): COUNT aggregates,
+/// positive-only patterns, no predicates/grouping, one common sliding
+/// window.
+class PreTreeEngine : public MultiQueryEngine {
+ public:
+  /// Validates the workload and builds the tries.
+  static Result<std::unique_ptr<PreTreeEngine>> Create(
+      std::vector<CompiledQuery> queries);
+
+  void OnEvent(const Event& e, std::vector<MultiOutput>* out) override;
+  const EngineStats& stats() const override { return stats_; }
+  std::string name() const override { return "PrefixShare(PreTree)"; }
+
+  /// Total trie nodes across tries (testing hook: measures sharing).
+  size_t num_trie_nodes() const;
+
+ private:
+  /// One trie node = one shared prefix pattern (beyond the START type).
+  struct Node {
+    EventTypeId type;
+    int parent;  // node index; -1 = the START itself
+    size_t depth;  // 1 = first node below the START
+  };
+
+  /// A per-START-instance tree of counters (the shared PreCntr).
+  struct Instance {
+    Timestamp exp;
+    std::vector<uint64_t> counts;  // per node
+  };
+
+  struct Trie {
+    EventTypeId start_type;
+    std::vector<Node> nodes;
+    /// Node indexes per event type, descending depth (duplicate-type safe).
+    std::unordered_map<EventTypeId, std::vector<size_t>> update_index;
+    /// (query, terminal node; -1 = the START node itself) pairs.
+    std::vector<std::pair<size_t, int>> terminals;
+    /// Queries triggered per event type (those whose last type matches).
+    std::unordered_map<EventTypeId, std::vector<size_t>> trigger_index;
+    std::deque<Instance> instances;
+  };
+
+  explicit PreTreeEngine(std::vector<CompiledQuery> queries);
+
+  Status Build();
+
+  std::vector<CompiledQuery> queries_;
+  Timestamp window_ms_ = 0;
+  std::vector<Trie> tries_;
+  std::unordered_map<EventTypeId, size_t> trie_by_start_;
+  EngineStats stats_;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_MULTI_PRETREE_ENGINE_H_

@@ -1,0 +1,64 @@
+#ifndef ASEQ_QUERY_AGGREGATE_SPEC_H_
+#define ASEQ_QUERY_AGGREGATE_SPEC_H_
+
+#include <string>
+
+#include "common/schema.h"
+
+namespace aseq {
+
+/// Aggregation function of the AGG clause (Sec. 2.1 / Sec. 5).
+enum class AggFunc {
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+inline const char* AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+/// \brief The AGG clause: COUNT, or SUM/AVG/MIN/MAX over one attribute of
+/// one positive pattern element ("AGG SUM(C.weight)").
+struct AggregateSpec {
+  AggFunc func = AggFunc::kCount;
+  // For non-COUNT functions:
+  std::string elem_name;       // event-type name of the carrier element
+  std::string attr_name;       // attribute whose value is aggregated
+  int elem_index = -1;         // resolved pattern element index
+  AttrId attr = kInvalidAttr;  // resolved attribute id
+
+  static AggregateSpec Count() { return AggregateSpec{}; }
+
+  static AggregateSpec Make(AggFunc func, std::string elem, std::string attr) {
+    AggregateSpec s;
+    s.func = func;
+    s.elem_name = std::move(elem);
+    s.attr_name = std::move(attr);
+    return s;
+  }
+
+  std::string ToString() const {
+    if (func == AggFunc::kCount) return "COUNT";
+    return std::string(AggFuncToString(func)) + "(" + elem_name + "." +
+           attr_name + ")";
+  }
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_QUERY_AGGREGATE_SPEC_H_

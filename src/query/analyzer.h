@@ -1,0 +1,47 @@
+#ifndef ASEQ_QUERY_ANALYZER_H_
+#define ASEQ_QUERY_ANALYZER_H_
+
+#include <string_view>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "query/compiled_query.h"
+
+namespace aseq {
+
+/// \brief Resolves and validates a parsed Query against a Schema.
+///
+/// Responsibilities:
+///  * interning pattern event types and referenced attributes (registering
+///    them in the Schema if new — events of a never-seen type simply never
+///    arrive);
+///  * validating the pattern: non-empty, no leading/trailing negation
+///    (negation asserts non-occurrence *between* matched positive events,
+///    Eq. 2);
+///  * resolving attribute references to pattern elements (a reference by
+///    type name must be unambiguous);
+///  * classifying WHERE terms into local predicates, equivalence classes,
+///    and join predicates;
+///  * building the PartitionSpec: a GROUP BY attribute covers every
+///    element; an equivalence class is eligible for Hashed-Prefix-Counter
+///    partitioning only if it covers all positive elements (partial
+///    coverage degenerates to a join predicate);
+///  * resolving the AGG clause (the carrier element of SUM/AVG/MIN/MAX must
+///    be a positive element).
+class Analyzer {
+ public:
+  explicit Analyzer(Schema* schema) : schema_(schema) {}
+
+  /// Analyzes `query`; on success returns an executable CompiledQuery.
+  Result<CompiledQuery> Analyze(const Query& query);
+
+  /// Convenience: parse + analyze in one step.
+  Result<CompiledQuery> AnalyzeText(std::string_view query_text);
+
+ private:
+  Schema* schema_;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_QUERY_ANALYZER_H_

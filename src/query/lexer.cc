@@ -1,0 +1,180 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace aseq {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kBang:
+      return "'!'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return kind == TokenKind::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = std::string(input.substr(start, i - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      bool is_float = false;
+      if (i + 1 < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      tok.text = std::string(input.substr(start, i - start));
+      if (is_float) {
+        tok.kind = TokenKind::kFloat;
+        tok.float_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInteger;
+        tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+      }
+      // Allow duration suffixes to lex as a separate identifier ("10s"
+      // tokenizes as 10 then s) — handled naturally since 's' is IdentStart.
+    } else {
+      switch (c) {
+        case '(':
+          tok.kind = TokenKind::kLParen;
+          ++i;
+          break;
+        case ')':
+          tok.kind = TokenKind::kRParen;
+          ++i;
+          break;
+        case ',':
+          tok.kind = TokenKind::kComma;
+          ++i;
+          break;
+        case '.':
+          tok.kind = TokenKind::kDot;
+          ++i;
+          break;
+        case '!':
+          if (i + 1 < n && input[i + 1] == '=') {
+            tok.kind = TokenKind::kNe;
+            i += 2;
+          } else {
+            tok.kind = TokenKind::kBang;
+            ++i;
+          }
+          break;
+        case '<':
+          if (i + 1 < n && input[i + 1] == '=') {
+            tok.kind = TokenKind::kLe;
+            i += 2;
+          } else {
+            tok.kind = TokenKind::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && input[i + 1] == '=') {
+            tok.kind = TokenKind::kGe;
+            i += 2;
+          } else {
+            tok.kind = TokenKind::kGt;
+            ++i;
+          }
+          break;
+        case '=':
+          tok.kind = TokenKind::kEq;
+          ++i;
+          if (i < n && input[i] == '=') ++i;  // accept '=='
+          break;
+        case '\'':
+        case '"': {
+          char quote = c;
+          ++i;
+          size_t start = i;
+          while (i < n && input[i] != quote) ++i;
+          if (i >= n) {
+            return Status::ParseError("unterminated string literal at offset " +
+                                      std::to_string(tok.offset));
+          }
+          tok.kind = TokenKind::kString;
+          tok.text = std::string(input.substr(start, i - start));
+          ++i;  // closing quote
+          break;
+        }
+        default:
+          return Status::ParseError(std::string("unexpected character '") + c +
+                                    "' at offset " + std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace aseq

@@ -1,0 +1,56 @@
+#ifndef ASEQ_QUERY_LEXER_H_
+#define ASEQ_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aseq {
+
+/// Token kinds of the query language.
+enum class TokenKind {
+  kIdentifier,   // Kindle, userId ...
+  kInteger,      // 42
+  kFloat,        // 3.14
+  kString,       // 'touch' or "touch"
+  kLParen,       // (
+  kRParen,       // )
+  kComma,        // ,
+  kDot,          // .
+  kBang,         // !
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kEq,           // = or ==
+  kNe,           // !=
+  kEnd,          // end of input
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+/// \brief A lexed token with its source position (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier / literal spelling
+  int64_t int_value = 0;  // for kInteger
+  double float_value = 0; // for kFloat
+  size_t offset = 0;      // byte offset in the input
+
+  /// Case-insensitive keyword check for identifier tokens.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// \brief Tokenizes query text.
+///
+/// Keywords are not distinguished from identifiers at the lexing level; the
+/// parser matches them case-insensitively (so `pattern`, `PATTERN`, and
+/// `Pattern` all work while `Count` stays usable as an event-type name in
+/// positions where no keyword is expected).
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace aseq
+
+#endif  // ASEQ_QUERY_LEXER_H_

@@ -1,0 +1,371 @@
+#include "query/parser.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "query/lexer.h"
+
+namespace aseq {
+
+namespace {
+
+/// Milliseconds per duration-suffix unit; empty suffix means milliseconds.
+Result<int64_t> UnitToMillis(std::string_view unit) {
+  if (unit.empty() || EqualsIgnoreCase(unit, "ms")) return int64_t{1};
+  if (EqualsIgnoreCase(unit, "s") || EqualsIgnoreCase(unit, "sec") ||
+      EqualsIgnoreCase(unit, "second") || EqualsIgnoreCase(unit, "seconds")) {
+    return int64_t{1000};
+  }
+  if (EqualsIgnoreCase(unit, "m") || EqualsIgnoreCase(unit, "min") ||
+      EqualsIgnoreCase(unit, "minute") || EqualsIgnoreCase(unit, "minutes")) {
+    return int64_t{60 * 1000};
+  }
+  if (EqualsIgnoreCase(unit, "h") || EqualsIgnoreCase(unit, "hour") ||
+      EqualsIgnoreCase(unit, "hours")) {
+    return int64_t{3600 * 1000};
+  }
+  return Status::ParseError("unknown duration unit: " + std::string(unit));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query q;
+    ASEQ_RETURN_NOT_OK(Expect("PATTERN"));
+    ASEQ_RETURN_NOT_OK(ParsePattern(&q));
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      ASEQ_RETURN_NOT_OK(ParseWhere(&q));
+    }
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      ASEQ_RETURN_NOT_OK(Expect("BY"));
+      ASEQ_RETURN_NOT_OK(ParseGroupBy(&q));
+    }
+    if (PeekKeyword("AGG")) {
+      Advance();
+      ASEQ_RETURN_NOT_OK(ParseAgg(&q));
+    }
+    if (PeekKeyword("WITHIN")) {
+      Advance();
+      ASEQ_RETURN_NOT_OK(ParseWithin(&q));
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return ErrorAt(Peek(), "unexpected trailing input");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(std::string_view kw) const { return Peek().IsKeyword(kw); }
+
+  /// True at a position that ends an angle-wrapped clause: `>` followed by a
+  /// clause keyword or end of input.
+  bool AtClauseClosingAngle() const {
+    if (Peek().kind != TokenKind::kGt) return false;
+    const Token& next = Peek(1);
+    return next.kind == TokenKind::kEnd || next.IsKeyword("WHERE") ||
+           next.IsKeyword("GROUP") || next.IsKeyword("AGG") ||
+           next.IsKeyword("WITHIN");
+  }
+
+  Status Expect(std::string_view kw) {
+    if (!PeekKeyword(kw)) {
+      return ErrorAt(Peek(), "expected keyword '" + std::string(kw) + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKind(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return ErrorAt(Peek(),
+                     std::string("expected ") + TokenKindToString(kind));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ErrorAt(const Token& tok, std::string msg) const {
+    msg += " at offset ";
+    msg += std::to_string(tok.offset);
+    msg += " (got ";
+    msg += TokenKindToString(tok.kind);
+    if (!tok.text.empty()) {
+      msg += " '" + tok.text + "'";
+    }
+    msg += ")";
+    return Status::ParseError(std::move(msg));
+  }
+
+  /// Consumes an optional '<' clause wrapper; returns whether one was eaten.
+  bool MaybeOpenAngle() {
+    if (Peek().kind == TokenKind::kLt) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status CloseAngle(bool wrapped) {
+    if (!wrapped) return Status::OK();
+    if (Peek().kind != TokenKind::kGt) {
+      return ErrorAt(Peek(), "expected closing '>'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParsePattern(Query* q) {
+    bool wrapped = MaybeOpenAngle();
+    ASEQ_RETURN_NOT_OK(Expect("SEQ"));
+    ASEQ_RETURN_NOT_OK(ExpectKind(TokenKind::kLParen));
+    std::vector<PatternElement> elems;
+    while (true) {
+      PatternElement e;
+      if (Peek().kind == TokenKind::kBang) {
+        Advance();
+        e.negated = true;
+      }
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return ErrorAt(Peek(), "expected event type name");
+      }
+      e.type_name = Advance().text;
+      elems.push_back(std::move(e));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    ASEQ_RETURN_NOT_OK(ExpectKind(TokenKind::kRParen));
+    ASEQ_RETURN_NOT_OK(CloseAngle(wrapped));
+    q->pattern = Pattern(std::move(elems));
+    return Status::OK();
+  }
+
+  Result<Operand> ParseOperand() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kIdentifier: {
+        std::string elem = Advance().text;
+        ASEQ_RETURN_NOT_OK(ExpectKind(TokenKind::kDot));
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return ErrorAt(Peek(), "expected attribute name");
+        }
+        std::string attr = Advance().text;
+        return Operand::AttrRef(std::move(elem), std::move(attr));
+      }
+      case TokenKind::kInteger: {
+        Operand op = Operand::Literal(Value(Advance().int_value));
+        return op;
+      }
+      case TokenKind::kFloat: {
+        Operand op = Operand::Literal(Value(Advance().float_value));
+        return op;
+      }
+      case TokenKind::kString: {
+        Operand op = Operand::Literal(Value(Advance().text));
+        return op;
+      }
+      default:
+        return ErrorAt(tok, "expected attribute reference or literal");
+    }
+  }
+
+  Result<CmpOp> ParseCmpOp() {
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        Advance();
+        return CmpOp::kEq;
+      case TokenKind::kNe:
+        Advance();
+        return CmpOp::kNe;
+      case TokenKind::kLt:
+        Advance();
+        return CmpOp::kLt;
+      case TokenKind::kLe:
+        Advance();
+        return CmpOp::kLe;
+      case TokenKind::kGt:
+        Advance();
+        return CmpOp::kGt;
+      case TokenKind::kGe:
+        Advance();
+        return CmpOp::kGe;
+      default:
+        return ErrorAt(Peek(), "expected comparison operator");
+    }
+  }
+
+  bool AtCmpOp() const {
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+      case TokenKind::kNe:
+      case TokenKind::kLt:
+      case TokenKind::kLe:
+      case TokenKind::kGe:
+        return true;
+      case TokenKind::kGt:
+        // '>' closing an angle-wrapped clause is not an operator.
+        return !AtClauseClosingAngle();
+      default:
+        return false;
+    }
+  }
+
+  /// Parses one comparison chain `a op b [op c ...]`, expanding chained
+  /// operators pairwise (so `A.id = B.id = C.id` becomes two equalities).
+  Status ParseChain(WhereClause* where) {
+    ASEQ_ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+    bool any = false;
+    while (AtCmpOp()) {
+      ASEQ_ASSIGN_OR_RETURN(CmpOp op, ParseCmpOp());
+      ASEQ_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+      Comparison cmp;
+      cmp.lhs = lhs;
+      cmp.op = op;
+      cmp.rhs = rhs;
+      where->terms.push_back(std::move(cmp));
+      lhs = std::move(rhs);
+      any = true;
+    }
+    if (!any) {
+      return ErrorAt(Peek(), "expected comparison operator");
+    }
+    return Status::OK();
+  }
+
+  Status ParseWhere(Query* q) {
+    bool wrapped = MaybeOpenAngle();
+    ASEQ_RETURN_NOT_OK(ParseChain(&q->where));
+    while (PeekKeyword("AND")) {
+      Advance();
+      ASEQ_RETURN_NOT_OK(ParseChain(&q->where));
+    }
+    ASEQ_RETURN_NOT_OK(CloseAngle(wrapped));
+    return Status::OK();
+  }
+
+  Status ParseGroupBy(Query* q) {
+    bool wrapped = MaybeOpenAngle();
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorAt(Peek(), "expected GROUP BY attribute name");
+    }
+    GroupBy gb;
+    gb.attr_name = Advance().text;
+    ASEQ_RETURN_NOT_OK(CloseAngle(wrapped));
+    q->group_by = std::move(gb);
+    return Status::OK();
+  }
+
+  Status ParseAgg(Query* q) {
+    bool wrapped = MaybeOpenAngle();
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorAt(Peek(), "expected aggregation function");
+    }
+    std::string fname = ToUpperAscii(Peek().text);
+    AggFunc func;
+    if (fname == "COUNT") {
+      func = AggFunc::kCount;
+    } else if (fname == "SUM") {
+      func = AggFunc::kSum;
+    } else if (fname == "AVG") {
+      func = AggFunc::kAvg;
+    } else if (fname == "MIN") {
+      func = AggFunc::kMin;
+    } else if (fname == "MAX") {
+      func = AggFunc::kMax;
+    } else {
+      return ErrorAt(Peek(), "unknown aggregation function '" + Peek().text +
+                                 "' (expected COUNT/SUM/AVG/MIN/MAX)");
+    }
+    Advance();
+    if (func == AggFunc::kCount) {
+      // Optional empty parens: COUNT().
+      if (Peek().kind == TokenKind::kLParen) {
+        Advance();
+        ASEQ_RETURN_NOT_OK(ExpectKind(TokenKind::kRParen));
+      }
+      q->agg = AggregateSpec::Count();
+    } else {
+      ASEQ_RETURN_NOT_OK(ExpectKind(TokenKind::kLParen));
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return ErrorAt(Peek(), "expected event type name");
+      }
+      std::string elem = Advance().text;
+      ASEQ_RETURN_NOT_OK(ExpectKind(TokenKind::kDot));
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return ErrorAt(Peek(), "expected attribute name");
+      }
+      std::string attr = Advance().text;
+      ASEQ_RETURN_NOT_OK(ExpectKind(TokenKind::kRParen));
+      q->agg = AggregateSpec::Make(func, std::move(elem), std::move(attr));
+    }
+    ASEQ_RETURN_NOT_OK(CloseAngle(wrapped));
+    return Status::OK();
+  }
+
+  Status ParseWithin(Query* q) {
+    bool wrapped = MaybeOpenAngle();
+    const Token& tok = Peek();
+    double amount = 0;
+    if (tok.kind == TokenKind::kInteger) {
+      amount = static_cast<double>(Advance().int_value);
+    } else if (tok.kind == TokenKind::kFloat) {
+      amount = Advance().float_value;
+    } else {
+      return ErrorAt(tok, "expected window duration");
+    }
+    std::string unit;
+    if (Peek().kind == TokenKind::kIdentifier && !AtClauseClosingAngle()) {
+      unit = Advance().text;
+    }
+    ASEQ_ASSIGN_OR_RETURN(int64_t scale, UnitToMillis(unit));
+    double ms = amount * static_cast<double>(scale);
+    if (!(ms > 0)) {
+      return Status::ParseError("window duration must be positive");
+    }
+    q->window_ms = static_cast<Timestamp>(std::llround(ms));
+    ASEQ_RETURN_NOT_OK(CloseAngle(wrapped));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  ASEQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<Timestamp> ParseDuration(std::string_view text) {
+  std::string_view s = TrimWhitespace(text);
+  size_t i = 0;
+  while (i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.')) {
+    ++i;
+  }
+  if (i == 0) return Status::ParseError("expected duration: " + std::string(s));
+  double amount = std::strtod(std::string(s.substr(0, i)).c_str(), nullptr);
+  ASEQ_ASSIGN_OR_RETURN(int64_t scale,
+                        UnitToMillis(TrimWhitespace(s.substr(i))));
+  double ms = amount * static_cast<double>(scale);
+  if (!(ms > 0)) return Status::ParseError("duration must be positive");
+  return static_cast<Timestamp>(std::llround(ms));
+}
+
+}  // namespace aseq

@@ -1,0 +1,47 @@
+#ifndef ASEQ_QUERY_PARSER_H_
+#define ASEQ_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace aseq {
+
+/// \brief Parses the paper's query language into a Query.
+///
+/// Accepted grammar (keywords case-insensitive; `<...>` wrappers around
+/// clause bodies, as written in the paper, are optional):
+///
+/// ```
+/// query    := PATTERN pattern [WHERE conj] [GROUP BY attr] [AGG agg]
+///             [WITHIN duration]
+/// pattern  := SEQ '(' ['!'] type (',' ['!'] type)* ')'
+/// conj     := chain (AND chain)*
+/// chain    := operand (cmpop operand)+        // A.id = B.id = C.id expands
+///                                             // into pairwise equalities
+/// operand  := type '.' attr | int | float | 'string'
+/// agg      := COUNT | (SUM|AVG|MIN|MAX) '(' type '.' attr ')'
+/// duration := number [ms|s|sec|seconds|m|min|minutes|h|hour|hours]
+/// ```
+///
+/// Example:
+/// ```
+/// PATTERN SEQ(Kindle, KindleCase, Stylus)
+/// WHERE Kindle.userId = KindleCase.userId = Stylus.userId
+/// AGG COUNT
+/// WITHIN 1hour
+/// ```
+///
+/// The result is *unresolved*: event types, attributes, and element
+/// references are still names. Run Analyzer::Analyze to resolve and
+/// validate against a Schema.
+Result<Query> ParseQuery(std::string_view text);
+
+/// Parses a duration like "1500", "1500ms", "10s", "5min", "1hour" into
+/// milliseconds.
+Result<Timestamp> ParseDuration(std::string_view text);
+
+}  // namespace aseq
+
+#endif  // ASEQ_QUERY_PARSER_H_

@@ -1,0 +1,47 @@
+#include "query/pattern.h"
+
+namespace aseq {
+
+Pattern Pattern::FromNames(const std::vector<std::string>& names) {
+  std::vector<PatternElement> elems;
+  elems.reserve(names.size());
+  for (const std::string& name : names) {
+    PatternElement e;
+    if (!name.empty() && name[0] == '!') {
+      e.negated = true;
+      e.type_name = name.substr(1);
+    } else {
+      e.type_name = name;
+    }
+    elems.push_back(std::move(e));
+  }
+  return Pattern(std::move(elems));
+}
+
+size_t Pattern::num_positive() const {
+  size_t n = 0;
+  for (const auto& e : elements_) {
+    if (!e.negated) ++n;
+  }
+  return n;
+}
+
+bool Pattern::has_negation() const {
+  for (const auto& e : elements_) {
+    if (e.negated) return true;
+  }
+  return false;
+}
+
+std::string Pattern::ToString() const {
+  std::string out = "SEQ(";
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (elements_[i].negated) out += "!";
+    out += elements_[i].type_name;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace aseq

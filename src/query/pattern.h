@@ -1,0 +1,61 @@
+#ifndef ASEQ_QUERY_PATTERN_H_
+#define ASEQ_QUERY_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+
+namespace aseq {
+
+/// \brief One element of a SEQ pattern: an event type, possibly negated.
+///
+/// `SEQ(A, B, !C, D)` has four elements; `!C` asserts the *non-occurrence*
+/// of a C instance between the matched B and D instances (Eq. 2).
+struct PatternElement {
+  std::string type_name;
+  EventTypeId type = kInvalidEventType;  // resolved by the Analyzer
+  bool negated = false;
+
+  friend bool operator==(const PatternElement& a, const PatternElement& b) {
+    return a.type_name == b.type_name && a.negated == b.negated;
+  }
+};
+
+/// \brief A SEQ pattern: an ordered list of (possibly negated) event types.
+class Pattern {
+ public:
+  Pattern() = default;
+  explicit Pattern(std::vector<PatternElement> elements)
+      : elements_(std::move(elements)) {}
+
+  /// Convenience factory from type names; names starting with '!' are
+  /// negated ("!QQQ").
+  static Pattern FromNames(const std::vector<std::string>& names);
+
+  const std::vector<PatternElement>& elements() const { return elements_; }
+  std::vector<PatternElement>& elements() { return elements_; }
+
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+
+  /// Number of positive (non-negated) elements.
+  size_t num_positive() const;
+
+  /// True if any element is negated.
+  bool has_negation() const;
+
+  /// Renders "SEQ(A, B, !C, D)".
+  std::string ToString() const;
+
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.elements_ == b.elements_;
+  }
+
+ private:
+  std::vector<PatternElement> elements_;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_QUERY_PATTERN_H_

@@ -1,0 +1,67 @@
+#include "query/predicate.h"
+
+namespace aseq {
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(CmpOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs.Equals(rhs);
+    case CmpOp::kNe:
+      return !lhs.Equals(rhs);
+    case CmpOp::kLt:
+      return lhs.ComparableWith(rhs) && lhs.LessThan(rhs);
+    case CmpOp::kLe:
+      return lhs.ComparableWith(rhs) && !rhs.LessThan(lhs);
+    case CmpOp::kGt:
+      return lhs.ComparableWith(rhs) && rhs.LessThan(lhs);
+    case CmpOp::kGe:
+      return lhs.ComparableWith(rhs) && !lhs.LessThan(rhs);
+  }
+  return false;
+}
+
+std::string Operand::ToString() const {
+  if (kind == Kind::kAttrRef) {
+    return elem_name + "." + attr_name;
+  }
+  if (literal.type() == ValueType::kString) {
+    std::string out = "'";
+    out += literal.ToString();
+    out += "'";
+    return out;
+  }
+  return literal.ToString();
+}
+
+std::string Comparison::ToString() const {
+  return lhs.ToString() + " " + CmpOpToString(op) + " " + rhs.ToString();
+}
+
+std::string WhereClause::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += terms[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace aseq

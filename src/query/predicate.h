@@ -1,0 +1,93 @@
+#ifndef ASEQ_QUERY_PREDICATE_H_
+#define ASEQ_QUERY_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace aseq {
+
+/// Relational comparison operator in a WHERE clause.
+enum class CmpOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* CmpOpToString(CmpOp op);
+
+/// Evaluates `lhs op rhs` with Value comparison semantics: unordered
+/// combinations (e.g. string vs number) are false for everything but `!=`.
+bool EvalCmp(CmpOp op, const Value& lhs, const Value& rhs);
+
+/// \brief One operand of a comparison: an attribute reference or a literal.
+///
+/// Attribute references name a pattern element by its event-type name
+/// ("Kindle.model"); the Analyzer resolves them to element indexes.
+struct Operand {
+  enum class Kind { kAttrRef, kLiteral };
+
+  Kind kind = Kind::kLiteral;
+  // kAttrRef fields:
+  std::string elem_name;                  // event-type name in the pattern
+  std::string attr_name;                  // attribute name
+  int elem_index = -1;                    // resolved pattern element index
+  AttrId attr = kInvalidAttr;             // resolved attribute id
+  // kLiteral field:
+  Value literal;
+
+  static Operand AttrRef(std::string elem, std::string attr) {
+    Operand op;
+    op.kind = Kind::kAttrRef;
+    op.elem_name = std::move(elem);
+    op.attr_name = std::move(attr);
+    return op;
+  }
+  static Operand Literal(Value v) {
+    Operand op;
+    op.kind = Kind::kLiteral;
+    op.literal = std::move(v);
+    return op;
+  }
+
+  bool is_attr_ref() const { return kind == Kind::kAttrRef; }
+
+  std::string ToString() const;
+};
+
+/// \brief One comparison term of a WHERE conjunction.
+///
+/// The Analyzer classifies each term:
+///   * **local**      — references at most one pattern element
+///     (e.g. `Kindle.model = "touch"`); pushed in front of the engines as a
+///     per-event filter.
+///   * **equivalence**— `X.a = Y.a` across two elements on the same
+///     attribute; merged into equivalence classes and handled by the Hashed
+///     Prefix Counter partitioning (Sec. 3.4).
+///   * **join**       — any other cross-element comparison; requires match
+///     construction and is supported only by the stack-based baseline.
+struct Comparison {
+  Operand lhs;
+  CmpOp op = CmpOp::kEq;
+  Operand rhs;
+
+  std::string ToString() const;
+};
+
+/// \brief The WHERE clause: a conjunction of comparisons.
+struct WhereClause {
+  std::vector<Comparison> terms;
+
+  bool empty() const { return terms.empty(); }
+  std::string ToString() const;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_QUERY_PREDICATE_H_

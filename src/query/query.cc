@@ -1,0 +1,20 @@
+#include "query/query.h"
+
+namespace aseq {
+
+std::string Query::ToString() const {
+  std::string out = "PATTERN " + pattern.ToString();
+  if (!where.empty()) {
+    out += " WHERE " + where.ToString();
+  }
+  if (group_by.has_value()) {
+    out += " GROUP BY " + group_by->attr_name;
+  }
+  out += " AGG " + agg.ToString();
+  if (window_ms > 0) {
+    out += " WITHIN " + std::to_string(window_ms) + "ms";
+  }
+  return out;
+}
+
+}  // namespace aseq

@@ -1,0 +1,51 @@
+#ifndef ASEQ_QUERY_QUERY_H_
+#define ASEQ_QUERY_QUERY_H_
+
+#include <optional>
+#include <string>
+
+#include "common/event.h"
+#include "query/aggregate_spec.h"
+#include "query/pattern.h"
+#include "query/predicate.h"
+
+namespace aseq {
+
+/// \brief The GROUP BY clause: partitions results by an attribute value.
+///
+/// Following Application I of the paper ("GROUP BY <IP>"), the grouping
+/// attribute correlates *all* events of a match: every positive element of a
+/// match carries the same value for the attribute, and one aggregation
+/// result is produced per distinct value.
+struct GroupBy {
+  std::string attr_name;
+  AttrId attr = kInvalidAttr;  // resolved attribute id
+};
+
+/// \brief A parsed (but not yet analyzed) CEP aggregation query:
+///
+/// ```
+/// PATTERN SEQ(E1, ..., !Ei, ..., En)
+/// [WHERE <comparison> [AND <comparison>]*]
+/// [GROUP BY <attr>]
+/// [AGG COUNT | SUM(T.a) | AVG(T.a) | MIN(T.a) | MAX(T.a)]
+/// [WITHIN <duration>]
+/// ```
+///
+/// AGG defaults to COUNT; WITHIN defaults to an unbounded window
+/// (window_ms == 0).
+struct Query {
+  Pattern pattern;
+  WhereClause where;
+  std::optional<GroupBy> group_by;
+  AggregateSpec agg;
+  /// Sliding-window size in milliseconds; 0 means unbounded.
+  Timestamp window_ms = 0;
+
+  /// Renders the query back to (canonical) query-language text.
+  std::string ToString() const;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_QUERY_QUERY_H_

@@ -1,0 +1,44 @@
+#include "stream/clickstream.h"
+
+namespace aseq {
+
+const std::vector<std::string>& ClickEventTypes() {
+  static const std::vector<std::string>* kTypes = new std::vector<std::string>{
+      "ViewKindle",   "BuyKindle",  "ViewCase",   "BuyCase",
+      "ViewStylus",   "BuyStylus",  "ViewKindleFire", "ViewIPad",
+      "ViewEBook",    "BuyEBook",   "ViewLight",  "BuyLight",
+      "Recommendation", "TypeUsername", "TypePassword", "ClickSubmit",
+  };
+  return *kTypes;
+}
+
+StreamConfig MakeClickstreamConfig(const ClickstreamOptions& options) {
+  StreamConfig config;
+  config.seed = options.seed;
+  config.num_events = options.num_events;
+  config.min_gap_ms = options.min_gap_ms;
+  config.max_gap_ms = options.max_gap_ms;
+  for (const std::string& name : ClickEventTypes()) {
+    // Views and login actions are frequent; buys are rarer.
+    double weight = name.rfind("Buy", 0) == 0 ? 0.4 : 1.0;
+    config.types.push_back(TypeSpec{name, weight});
+  }
+  config.attrs.push_back(
+      AttrSpec::IntUniform("userId", 0, options.num_users - 1));
+  std::vector<std::string> ips;
+  for (size_t i = 0; i < options.num_ips; ++i) {
+    ips.push_back("10.0.0." + std::to_string(i + 1));
+  }
+  config.attrs.push_back(AttrSpec::StringPool("ip", std::move(ips)));
+  config.attrs.push_back(AttrSpec::DoubleUniform("value", 1.0, 500.0));
+  config.attrs.push_back(AttrSpec::IntUniform("ok", 0, 1));
+  return config;
+}
+
+std::vector<Event> GenerateClickstream(const ClickstreamOptions& options,
+                                       Schema* schema) {
+  StreamGenerator gen(MakeClickstreamConfig(options), schema);
+  return gen.Generate();
+}
+
+}  // namespace aseq

@@ -1,0 +1,43 @@
+#ifndef ASEQ_STREAM_CLICKSTREAM_H_
+#define ASEQ_STREAM_CLICKSTREAM_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/generator.h"
+
+namespace aseq {
+
+/// \brief Synthetic e-commerce web-click stream (Applications I & II of the
+/// paper's introduction).
+///
+/// Event types model product views/purchases plus login actions:
+/// ViewKindle, BuyKindle, ViewCase, BuyCase, ViewStylus, BuyStylus,
+/// ViewKindleFire, ViewIPad, ViewEBook, BuyEBook, ViewLight, BuyLight,
+/// Recommendation, TypeUsername, TypePassword, ClickSubmit.
+/// View events are more frequent than buy events. Attributes: `userId`
+/// (uniform int), `ip` (string pool), `value` (uniform double purchase
+/// value), `ok` (0/1 flag used by the login example to mark a wrong
+/// password).
+struct ClickstreamOptions {
+  uint64_t seed = 7;
+  size_t num_events = 50000;
+  int64_t min_gap_ms = 0;
+  int64_t max_gap_ms = 5;
+  int64_t num_users = 100;
+  size_t num_ips = 20;
+};
+
+/// All click event-type names, in registration order.
+const std::vector<std::string>& ClickEventTypes();
+
+/// Builds the generator config for the clickstream.
+StreamConfig MakeClickstreamConfig(const ClickstreamOptions& options);
+
+/// Generates a synthetic clickstream, registering types/attrs in `schema`.
+std::vector<Event> GenerateClickstream(const ClickstreamOptions& options,
+                                       Schema* schema);
+
+}  // namespace aseq
+
+#endif  // ASEQ_STREAM_CLICKSTREAM_H_

@@ -1,0 +1,104 @@
+#include "stream/generator.h"
+
+#include <cassert>
+
+namespace aseq {
+
+AttrSpec AttrSpec::IntUniform(std::string name, int64_t lo, int64_t hi) {
+  AttrSpec s;
+  s.name = std::move(name);
+  s.kind = Kind::kIntUniform;
+  s.lo = static_cast<double>(lo);
+  s.hi = static_cast<double>(hi);
+  return s;
+}
+
+AttrSpec AttrSpec::DoubleUniform(std::string name, double lo, double hi) {
+  AttrSpec s;
+  s.name = std::move(name);
+  s.kind = Kind::kDoubleUniform;
+  s.lo = lo;
+  s.hi = hi;
+  return s;
+}
+
+AttrSpec AttrSpec::RandomWalk(std::string name, double start, double step) {
+  AttrSpec s;
+  s.name = std::move(name);
+  s.kind = Kind::kRandomWalk;
+  s.start = start;
+  s.step = step;
+  return s;
+}
+
+AttrSpec AttrSpec::StringPool(std::string name, std::vector<std::string> pool) {
+  AttrSpec s;
+  s.name = std::move(name);
+  s.kind = Kind::kStringPool;
+  s.pool = std::move(pool);
+  return s;
+}
+
+StreamGenerator::StreamGenerator(const StreamConfig& config, Schema* schema)
+    : config_(config), schema_(schema), rng_(config.seed),
+      now_(config.start_ts) {
+  assert(!config_.types.empty());
+  for (const TypeSpec& t : config_.types) {
+    type_ids_.push_back(schema_->RegisterEventType(t.name));
+    total_weight_ += t.weight;
+    cum_weights_.push_back(total_weight_);
+  }
+  for (const AttrSpec& a : config_.attrs) {
+    attr_ids_.push_back(schema_->RegisterAttribute(a.name));
+    walk_levels_.emplace_back(config_.types.size(), a.start);
+  }
+}
+
+Event StreamGenerator::NextEvent() {
+  // Type draw from the weighted mix.
+  double r = rng_.NextDouble() * total_weight_;
+  size_t ti = 0;
+  while (ti + 1 < cum_weights_.size() && r >= cum_weights_[ti]) ++ti;
+
+  now_ += rng_.NextInt(config_.min_gap_ms, config_.max_gap_ms);
+  Event e(type_ids_[ti], now_);
+  for (size_t ai = 0; ai < config_.attrs.size(); ++ai) {
+    const AttrSpec& spec = config_.attrs[ai];
+    switch (spec.kind) {
+      case AttrSpec::Kind::kIntUniform:
+        e.SetAttr(attr_ids_[ai],
+                  Value(rng_.NextInt(static_cast<int64_t>(spec.lo),
+                                     static_cast<int64_t>(spec.hi))));
+        break;
+      case AttrSpec::Kind::kDoubleUniform:
+        e.SetAttr(attr_ids_[ai],
+                  Value(spec.lo + rng_.NextDouble() * (spec.hi - spec.lo)));
+        break;
+      case AttrSpec::Kind::kRandomWalk: {
+        double& level = walk_levels_[ai][ti];
+        level += (rng_.NextDouble() * 2 - 1) * spec.step;
+        if (level < 0.01) level = 0.01;  // prices stay positive
+        e.SetAttr(attr_ids_[ai], Value(level));
+        break;
+      }
+      case AttrSpec::Kind::kStringPool:
+        e.SetAttr(attr_ids_[ai],
+                  Value(spec.pool[rng_.NextUInt(spec.pool.size())]));
+        break;
+    }
+  }
+  return e;
+}
+
+std::vector<Event> StreamGenerator::Generate() {
+  return GenerateN(config_.num_events);
+}
+
+std::vector<Event> StreamGenerator::GenerateN(size_t n) {
+  std::vector<Event> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(NextEvent());
+  return out;
+}
+
+}  // namespace aseq

@@ -1,0 +1,97 @@
+#ifndef ASEQ_STREAM_GENERATOR_H_
+#define ASEQ_STREAM_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace aseq {
+
+/// \brief Distribution of one synthetic attribute.
+struct AttrSpec {
+  enum class Kind {
+    kIntUniform,   // integer uniform in [lo, hi]
+    kDoubleUniform,// double uniform in [lo, hi]
+    kRandomWalk,   // per-type double random walk, step uniform in [-step, step]
+    kStringPool,   // one of `pool`, uniform
+  };
+
+  std::string name;
+  Kind kind = Kind::kIntUniform;
+  double lo = 0;
+  double hi = 100;
+  double start = 100;  // random-walk starting level
+  double step = 1;     // random-walk max step
+  std::vector<std::string> pool;
+
+  static AttrSpec IntUniform(std::string name, int64_t lo, int64_t hi);
+  static AttrSpec DoubleUniform(std::string name, double lo, double hi);
+  static AttrSpec RandomWalk(std::string name, double start, double step);
+  static AttrSpec StringPool(std::string name, std::vector<std::string> pool);
+};
+
+/// \brief One event type the generator emits, with its relative frequency.
+struct TypeSpec {
+  std::string name;
+  double weight = 1.0;
+};
+
+/// \brief Configuration of the synthetic stream generator.
+///
+/// Timestamps start at `start_ts` and advance by a uniformly distributed
+/// inter-arrival gap in [min_gap_ms, max_gap_ms] (0 gaps allowed: ties are
+/// ordered by arrival). Event types are drawn independently per event from
+/// the weighted `types` mix — matching the memoryless character of a stock
+/// ticker feed, where per-window type cardinalities |Ei| are roughly equal,
+/// the regime the paper's cost model (Eq. 3) analyzes.
+struct StreamConfig {
+  uint64_t seed = 42;
+  size_t num_events = 10000;
+  Timestamp start_ts = 0;
+  int64_t min_gap_ms = 0;
+  int64_t max_gap_ms = 2;
+  std::vector<TypeSpec> types;
+  std::vector<AttrSpec> attrs;
+};
+
+/// \brief Deterministic synthetic event-stream generator.
+///
+/// All workloads in tests, examples, and benchmarks are produced through
+/// this class (directly or via the stock / clickstream presets), so every
+/// run is exactly reproducible from the seed.
+class StreamGenerator {
+ public:
+  /// Registers the configured types/attributes in `schema` and prepares
+  /// generation. `schema` must outlive the generator.
+  StreamGenerator(const StreamConfig& config, Schema* schema);
+
+  /// Generates the full configured stream.
+  std::vector<Event> Generate();
+
+  /// Generates `n` further events (continuing timestamps and walks).
+  std::vector<Event> GenerateN(size_t n);
+
+  const StreamConfig& config() const { return config_; }
+
+ private:
+  Event NextEvent();
+
+  StreamConfig config_;
+  Schema* schema_;
+  Rng rng_;
+  Timestamp now_;
+  std::vector<EventTypeId> type_ids_;
+  std::vector<double> cum_weights_;
+  double total_weight_ = 0;
+  std::vector<AttrId> attr_ids_;
+  // Random-walk levels: [attr][type] current level.
+  std::vector<std::vector<double>> walk_levels_;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_STREAM_GENERATOR_H_

@@ -1,0 +1,26 @@
+#include "stream/reorder.h"
+
+namespace aseq {
+
+void KSlackReorderer::Push(Event e, std::vector<Event>* out) {
+  if (max_ts_ != INT64_MIN && e.ts() < max_ts_ - slack_ms_) {
+    ++dropped_;  // beyond the disorder bound: cannot be ordered anymore
+    return;
+  }
+  if (e.ts() > max_ts_) max_ts_ = e.ts();
+  heap_.push(Item{e.ts(), next_arrival_++, std::move(e)});
+  const Timestamp release_bound = max_ts_ - slack_ms_;
+  while (!heap_.empty() && heap_.top().ts <= release_bound) {
+    out->push_back(heap_.top().event);
+    heap_.pop();
+  }
+}
+
+void KSlackReorderer::Flush(std::vector<Event>* out) {
+  while (!heap_.empty()) {
+    out->push_back(heap_.top().event);
+    heap_.pop();
+  }
+}
+
+}  // namespace aseq

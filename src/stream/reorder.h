@@ -1,0 +1,62 @@
+#ifndef ASEQ_STREAM_REORDER_H_
+#define ASEQ_STREAM_REORDER_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/event.h"
+
+namespace aseq {
+
+/// \brief K-slack reordering buffer for out-of-order event streams.
+///
+/// The paper assumes in-order arrival and names out-of-order handling as
+/// future work (Sec. 8). This buffer is the standard front-end that closes
+/// that gap for boundedly-disordered streams: events may arrive up to
+/// `slack_ms` later than the stream time (the maximum timestamp seen so
+/// far). An event is released once it can no longer be preceded by a
+/// late arrival, i.e. when `event.ts <= max_seen_ts - slack_ms`; releases
+/// come out in timestamp order, ties broken by arrival order (stable).
+///
+/// Events later than the slack bound (ts < watermark at arrival) are
+/// dropped and counted — the usual K-slack policy; size the slack to the
+/// stream's disorder bound to avoid drops.
+class KSlackReorderer {
+ public:
+  explicit KSlackReorderer(Timestamp slack_ms) : slack_ms_(slack_ms) {}
+
+  /// Buffers `e`; appends any now-releasable events to `out` in order.
+  void Push(Event e, std::vector<Event>* out);
+
+  /// Releases everything still buffered (end of stream), in order.
+  void Flush(std::vector<Event>* out);
+
+  size_t buffered() const { return heap_.size(); }
+  /// Events discarded for arriving later than the slack bound.
+  uint64_t dropped() const { return dropped_; }
+  Timestamp watermark() const {
+    return max_ts_ == INT64_MIN ? INT64_MIN : max_ts_ - slack_ms_;
+  }
+
+ private:
+  struct Item {
+    Timestamp ts;
+    uint64_t arrival;
+    Event event;
+    bool operator>(const Item& other) const {
+      if (ts != other.ts) return ts > other.ts;
+      return arrival > other.arrival;
+    }
+  };
+
+  Timestamp slack_ms_;
+  Timestamp max_ts_ = INT64_MIN;
+  uint64_t next_arrival_ = 0;
+  uint64_t dropped_ = 0;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap_;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_STREAM_REORDER_H_

@@ -1,0 +1,39 @@
+#include "stream/stock_stream.h"
+
+#include <algorithm>
+
+namespace aseq {
+
+const std::vector<std::string>& StockTickers() {
+  static const std::vector<std::string>* kTickers = new std::vector<std::string>{
+      "DELL", "IPIX", "AMAT", "QQQ",  "INTC", "MSFT", "CSCO", "ORCL",
+      "YHOO", "SUNW", "EBAY", "AMZN", "JDSU", "QCOM", "GE",   "IBM",
+  };
+  return *kTickers;
+}
+
+StreamConfig MakeStockStreamConfig(const StockStreamOptions& options) {
+  StreamConfig config;
+  config.seed = options.seed;
+  config.num_events = options.num_events;
+  config.min_gap_ms = options.min_gap_ms;
+  config.max_gap_ms = options.max_gap_ms;
+  size_t n = std::min(options.num_tickers, StockTickers().size());
+  if (n == 0) n = 1;
+  for (size_t i = 0; i < n; ++i) {
+    config.types.push_back(TypeSpec{StockTickers()[i], 1.0});
+  }
+  config.attrs.push_back(AttrSpec::RandomWalk("price", 100.0, 0.5));
+  config.attrs.push_back(AttrSpec::IntUniform("volume", 100, 10000));
+  config.attrs.push_back(
+      AttrSpec::IntUniform("traderId", 0, options.num_traders - 1));
+  return config;
+}
+
+std::vector<Event> GenerateStockStream(const StockStreamOptions& options,
+                                       Schema* schema) {
+  StreamGenerator gen(MakeStockStreamConfig(options), schema);
+  return gen.Generate();
+}
+
+}  // namespace aseq

@@ -1,0 +1,43 @@
+#ifndef ASEQ_STREAM_STOCK_STREAM_H_
+#define ASEQ_STREAM_STOCK_STREAM_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/generator.h"
+
+namespace aseq {
+
+/// \brief Synthetic stand-in for the WPI stock-trade trace the paper
+/// evaluates on (http://davis.wpi.edu/dsrg/stockData/eventstream3.txt).
+///
+/// Each trade event carries: `price` (per-ticker random walk), `volume`
+/// (uniform int), and `traderId` (uniform int; used by equivalence-predicate
+/// and GROUP BY workloads). Tickers match the symbols the paper's negation
+/// experiment names (DELL, IPIX, AMAT, QQQ, ...).
+///
+/// A real trace in the CSV format of trace_io.h can be substituted wherever
+/// a stream of these events is consumed; the evaluation depends only on
+/// event-type frequencies and arrival rate (see DESIGN.md §3).
+struct StockStreamOptions {
+  uint64_t seed = 42;
+  size_t num_events = 120000;       // size of the paper's trace portion
+  size_t num_tickers = 10;          // capped at the built-in symbol list
+  int64_t min_gap_ms = 0;           // inter-arrival gap bounds
+  int64_t max_gap_ms = 2;
+  int64_t num_traders = 50;         // distinct traderId values
+};
+
+/// The built-in ticker symbols, in registration order.
+const std::vector<std::string>& StockTickers();
+
+/// Builds the generator config for the synthetic stock stream.
+StreamConfig MakeStockStreamConfig(const StockStreamOptions& options);
+
+/// Generates a synthetic stock stream, registering types/attrs in `schema`.
+std::vector<Event> GenerateStockStream(const StockStreamOptions& options,
+                                       Schema* schema);
+
+}  // namespace aseq
+
+#endif  // ASEQ_STREAM_STOCK_STREAM_H_

@@ -1,0 +1,53 @@
+#ifndef ASEQ_STREAM_STREAM_SOURCE_H_
+#define ASEQ_STREAM_STREAM_SOURCE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/event.h"
+
+namespace aseq {
+
+/// \brief Pull-based event source.
+///
+/// Sources yield events in arrival order; the consuming runtime assigns
+/// sequence numbers. The paper assumes in-order streams (out-of-order
+/// handling is explicitly future work, Sec. 8), so sources must yield
+/// non-decreasing timestamps.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Yields the next event into `*out`; returns false at end of stream.
+  virtual bool Next(Event* out) = 0;
+
+  /// Restarts the stream from the beginning.
+  virtual void Reset() = 0;
+};
+
+/// \brief A source replaying an in-memory vector of events.
+class VectorSource : public StreamSource {
+ public:
+  explicit VectorSource(std::vector<Event> events)
+      : events_(std::move(events)) {}
+
+  bool Next(Event* out) override {
+    if (pos_ >= events_.size()) return false;
+    *out = events_[pos_++];
+    return true;
+  }
+
+  void Reset() override { pos_ = 0; }
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<Event> events_;
+  size_t pos_ = 0;
+};
+
+}  // namespace aseq
+
+#endif  // ASEQ_STREAM_STREAM_SOURCE_H_

@@ -1,0 +1,134 @@
+#include "stream/trace_io.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace aseq {
+
+namespace {
+
+/// Parses a CSV value token into the narrowest matching Value type.
+Value ParseValueToken(std::string_view token) {
+  if (token.empty()) return Value();
+  bool digits = false, dot = false, other = false;
+  size_t start = (token[0] == '-' || token[0] == '+') ? 1 : 0;
+  if (start == token.size()) other = true;
+  for (size_t i = start; i < token.size(); ++i) {
+    char c = token[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digits = true;
+    } else if (c == '.' && !dot) {
+      dot = true;
+    } else {
+      other = true;
+      break;
+    }
+  }
+  std::string s(token);
+  if (!other && digits && !dot) {
+    return Value(static_cast<int64_t>(std::strtoll(s.c_str(), nullptr, 10)));
+  }
+  if (!other && digits && dot) {
+    return Value(std::strtod(s.c_str(), nullptr));
+  }
+  return Value(s);
+}
+
+}  // namespace
+
+Result<std::vector<Event>> ParseTrace(const std::string& content,
+                                      Schema* schema) {
+  std::vector<Event> events;
+  std::istringstream in(content);
+  std::string line;
+  size_t lineno = 0;
+  Timestamp prev_ts = INT64_MIN;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = SplitString(trimmed, ',');
+    if (fields.size() < 2) {
+      return Status::ParseError("trace line " + std::to_string(lineno) +
+                                ": expected 'type,timestamp[,attr=value]...'");
+    }
+    Event e;
+    e.set_type(schema->RegisterEventType(TrimWhitespace(fields[0])));
+    std::string ts_str(TrimWhitespace(fields[1]));
+    char* end = nullptr;
+    int64_t ts = std::strtoll(ts_str.c_str(), &end, 10);
+    if (end == ts_str.c_str() || *end != '\0') {
+      return Status::ParseError("trace line " + std::to_string(lineno) +
+                                ": bad timestamp '" + ts_str + "'");
+    }
+    if (ts < prev_ts) {
+      return Status::ParseError(
+          "trace line " + std::to_string(lineno) +
+          ": out-of-order timestamp (the stream must be in arrival order)");
+    }
+    prev_ts = ts;
+    e.set_ts(ts);
+    for (size_t i = 2; i < fields.size(); ++i) {
+      std::string_view field = TrimWhitespace(fields[i]);
+      if (field.empty()) continue;
+      size_t eq = field.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::ParseError("trace line " + std::to_string(lineno) +
+                                  ": expected attr=value, got '" +
+                                  std::string(field) + "'");
+      }
+      AttrId attr = schema->RegisterAttribute(TrimWhitespace(field.substr(0, eq)));
+      e.SetAttr(attr, ParseValueToken(TrimWhitespace(field.substr(eq + 1))));
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+Result<std::vector<Event>> ReadTraceFile(const std::string& path,
+                                         Schema* schema) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTrace(buffer.str(), schema);
+}
+
+std::string FormatTrace(const std::vector<Event>& events,
+                        const Schema& schema) {
+  std::string out;
+  for (const Event& e : events) {
+    out += schema.EventTypeName(e.type());
+    out += ",";
+    out += std::to_string(e.ts());
+    for (const auto& [attr, value] : e.attrs()) {
+      out += ",";
+      out += schema.AttributeName(attr);
+      out += "=";
+      out += value.ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteTraceFile(const std::string& path, const std::vector<Event>& events,
+                      const Schema& schema) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open trace file for writing: " + path);
+  }
+  out << FormatTrace(events, schema);
+  if (!out) {
+    return Status::IoError("error writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace aseq

@@ -1,0 +1,44 @@
+#ifndef ASEQ_STREAM_TRACE_IO_H_
+#define ASEQ_STREAM_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace aseq {
+
+/// \brief CSV trace format for event streams.
+///
+/// Line format: `type,timestamp[,attr=value]...`, e.g.
+/// ```
+/// DELL,1001,price=24.5,volume=300,traderId=7
+/// IPIX,1003,price=11.2,volume=1200,traderId=3
+/// ```
+/// Values parse as int64 when they look integral, double when they look
+/// fractional, and string otherwise. This is the drop-in point for the real
+/// WPI stock trace (after a one-line reshape of its `ticker timestamp`
+/// records into this format).
+///
+/// Reading registers unseen types/attributes in the schema. Events must be
+/// in non-decreasing timestamp order; out-of-order rows are an error (the
+/// paper's model assumes in-order arrival).
+Result<std::vector<Event>> ReadTraceFile(const std::string& path,
+                                         Schema* schema);
+
+/// Parses trace content from a string (same format as ReadTraceFile).
+Result<std::vector<Event>> ParseTrace(const std::string& content,
+                                      Schema* schema);
+
+/// Writes events to a trace file; the inverse of ReadTraceFile.
+Status WriteTraceFile(const std::string& path, const std::vector<Event>& events,
+                      const Schema& schema);
+
+/// Serializes events to trace-format text.
+std::string FormatTrace(const std::vector<Event>& events, const Schema& schema);
+
+}  // namespace aseq
+
+#endif  // ASEQ_STREAM_TRACE_IO_H_

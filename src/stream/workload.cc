@@ -1,0 +1,86 @@
+#include "stream/workload.h"
+
+#include <cassert>
+
+namespace aseq {
+
+namespace {
+
+/// Shared event types are named S1, S2, ...; query-private types Q<i>T<j>.
+std::string SharedTypeName(size_t j) { return "S" + std::to_string(j + 1); }
+
+std::string PrivateTypeName(size_t query, size_t j) {
+  return "Q" + std::to_string(query + 1) + "T" + std::to_string(j + 1);
+}
+
+Query MakeCountQuery(std::vector<std::string> type_names, Timestamp window_ms) {
+  Query q;
+  q.pattern = Pattern::FromNames(type_names);
+  q.agg = AggregateSpec::Count();
+  q.window_ms = window_ms;
+  return q;
+}
+
+}  // namespace
+
+SharedWorkload MakePrefixSharedWorkload(size_t num_queries, size_t prefix_len,
+                                        size_t total_len,
+                                        Timestamp window_ms) {
+  assert(prefix_len >= 1 && prefix_len <= total_len);
+  SharedWorkload w;
+  for (size_t j = 0; j < prefix_len; ++j) {
+    w.shared_types.push_back(SharedTypeName(j));
+  }
+  w.all_types = w.shared_types;
+  for (size_t i = 0; i < num_queries; ++i) {
+    std::vector<std::string> names = w.shared_types;
+    for (size_t j = 0; j < total_len - prefix_len; ++j) {
+      names.push_back(PrivateTypeName(i, j));
+      w.all_types.push_back(names.back());
+    }
+    w.queries.push_back(MakeCountQuery(std::move(names), window_ms));
+  }
+  return w;
+}
+
+SharedWorkload MakeSubstringSharedWorkload(size_t num_queries,
+                                           size_t prefix_len,
+                                           size_t shared_len, size_t tail_len,
+                                           Timestamp window_ms) {
+  assert(shared_len >= 1);
+  SharedWorkload w;
+  for (size_t j = 0; j < shared_len; ++j) {
+    w.shared_types.push_back(SharedTypeName(j));
+  }
+  w.all_types = w.shared_types;
+  for (size_t i = 0; i < num_queries; ++i) {
+    std::vector<std::string> names;
+    for (size_t j = 0; j < prefix_len; ++j) {
+      names.push_back(PrivateTypeName(i, j));
+      w.all_types.push_back(names.back());
+    }
+    for (const std::string& s : w.shared_types) names.push_back(s);
+    for (size_t j = 0; j < tail_len; ++j) {
+      names.push_back(PrivateTypeName(i, prefix_len + j));
+      w.all_types.push_back(names.back());
+    }
+    w.queries.push_back(MakeCountQuery(std::move(names), window_ms));
+  }
+  return w;
+}
+
+StreamConfig MakeWorkloadStreamConfig(const SharedWorkload& workload,
+                                      uint64_t seed, size_t num_events,
+                                      int64_t min_gap_ms, int64_t max_gap_ms) {
+  StreamConfig config;
+  config.seed = seed;
+  config.num_events = num_events;
+  config.min_gap_ms = min_gap_ms;
+  config.max_gap_ms = max_gap_ms;
+  for (const std::string& name : workload.all_types) {
+    config.types.push_back(TypeSpec{name, 1.0});
+  }
+  return config;
+}
+
+}  // namespace aseq

@@ -1,0 +1,51 @@
+#ifndef ASEQ_STREAM_WORKLOAD_H_
+#define ASEQ_STREAM_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "stream/generator.h"
+
+namespace aseq {
+
+/// \brief A multi-query workload with controlled sharing structure, plus the
+/// event-type universe a matching stream must emit.
+///
+/// Drives the multi-query experiments (Sec. 6.3 / Fig. 15-16): workloads of
+/// similar-but-not-identical queries over a shared stream, with either a
+/// common *prefix* or a common *substring* at an arbitrary position.
+struct SharedWorkload {
+  std::vector<Query> queries;
+  /// Event-type names of the shared sub-pattern, in pattern order.
+  std::vector<std::string> shared_types;
+  /// All event types appearing in any query, in some stable order.
+  std::vector<std::string> all_types;
+};
+
+/// Builds `num_queries` queries of `total_len` positive event types that all
+/// share the same leading `prefix_len` types and diverge afterwards
+/// (Sec. 4.1 / Fig. 16(a),(b)). Requires 1 <= prefix_len <= total_len; the
+/// divergent suffixes use query-private event types.
+SharedWorkload MakePrefixSharedWorkload(size_t num_queries, size_t prefix_len,
+                                        size_t total_len, Timestamp window_ms);
+
+/// Builds `num_queries` queries that share a common substring of
+/// `shared_len` types placed after a query-private prefix of `prefix_len`
+/// types and before a query-private tail of `tail_len` types
+/// (Sec. 4.2 / Fig. 16(c),(d)). With prefix_len == 0 this degenerates to
+/// prefix sharing.
+SharedWorkload MakeSubstringSharedWorkload(size_t num_queries,
+                                           size_t prefix_len,
+                                           size_t shared_len, size_t tail_len,
+                                           Timestamp window_ms);
+
+/// Builds a generator config whose type mix covers the workload's type
+/// universe uniformly.
+StreamConfig MakeWorkloadStreamConfig(const SharedWorkload& workload,
+                                      uint64_t seed, size_t num_events,
+                                      int64_t min_gap_ms, int64_t max_gap_ms);
+
+}  // namespace aseq
+
+#endif  // ASEQ_STREAM_WORKLOAD_H_

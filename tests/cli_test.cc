@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.h"
+#include "cli/flags.h"
+
+namespace aseq {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunTool(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  int code = RunCli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+// --------------------------------------------------------------------------
+// FlagSet
+// --------------------------------------------------------------------------
+
+TEST(FlagSetTest, ParsesPositionalAndFlags) {
+  auto fs = FlagSet::Parse({"run", "--query", "PATTERN SEQ(A)", "--quiet",
+                            "--seed=7"});
+  ASSERT_TRUE(fs.ok());
+  ASSERT_EQ(fs->positional().size(), 1u);
+  EXPECT_EQ(fs->positional()[0], "run");
+  EXPECT_EQ(fs->GetString("query"), "PATTERN SEQ(A)");
+  EXPECT_TRUE(fs->GetBool("quiet"));
+  EXPECT_EQ(*fs->GetInt("seed", 0), 7);
+  EXPECT_EQ(*fs->GetInt("missing", 42), 42);
+}
+
+TEST(FlagSetTest, BadIntegerIsError) {
+  auto fs = FlagSet::Parse({"run", "--seed", "abc"});
+  ASSERT_TRUE(fs.ok());
+  EXPECT_FALSE(fs->GetInt("seed", 0).ok());
+}
+
+TEST(FlagSetTest, PositionalAfterFlagsRejected) {
+  EXPECT_FALSE(FlagSet::Parse({"run", "--seed", "7", "oops"}).ok());
+  // A lone token after a bare flag is consumed as that flag's value.
+  auto fs = FlagSet::Parse({"run", "--quiet", "oops"});
+  ASSERT_TRUE(fs.ok());
+  EXPECT_EQ(fs->GetString("quiet"), "oops");
+}
+
+TEST(FlagSetTest, CheckKnownFlagsTyposCaught) {
+  auto fs = FlagSet::Parse({"run", "--sede", "7"});
+  ASSERT_TRUE(fs.ok());
+  Status st = fs->CheckKnown({"seed"});
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("sede"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Commands
+// --------------------------------------------------------------------------
+
+TEST(CliTest, NoCommandPrintsUsage) {
+  CliResult r = RunTool({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, VersionCommand) {
+  CliResult r = RunTool({"version"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("aseq 1.0.0"), std::string::npos);
+  EXPECT_NE(r.out.find("SIGMOD 2014"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommand) {
+  CliResult r = RunTool({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, RunOnStockStream) {
+  CliResult r = RunTool({"run", "--query",
+                     "PATTERN SEQ(DELL, IPIX) AGG COUNT WITHIN 1s", "--stock",
+                     "2000", "--quiet"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("A-Seq(SEM)"), std::string::npos);
+  EXPECT_NE(r.out.find("events:        2000"), std::string::npos);
+}
+
+TEST(CliTest, RunWithStackEngine) {
+  CliResult r = RunTool({"run", "--query",
+                     "PATTERN SEQ(DELL, IPIX) AGG COUNT WITHIN 1s", "--stock",
+                     "1000", "--engine", "stack", "--quiet"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("StackBased"), std::string::npos);
+}
+
+TEST(CliTest, RunWithSlackWrapsEngine) {
+  CliResult r = RunTool({"run", "--query",
+                     "PATTERN SEQ(DELL, IPIX) AGG COUNT WITHIN 1s", "--stock",
+                     "1000", "--slack", "50", "--quiet"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("+KSlack"), std::string::npos);
+}
+
+TEST(CliTest, RunRequiresExactlyOneSource) {
+  CliResult r = RunTool({"run", "--query", "PATTERN SEQ(A, B)"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("exactly one source"), std::string::npos);
+  CliResult r2 = RunTool({"run", "--query", "PATTERN SEQ(A, B)", "--stock",
+                      "10", "--clicks", "10"});
+  EXPECT_EQ(r2.code, 1);
+}
+
+TEST(CliTest, RunRejectsBadQuery) {
+  CliResult r = RunTool({"run", "--query", "SEQ(A, B)", "--stock", "10"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("ParseError"), std::string::npos);
+}
+
+TEST(CliTest, RunRejectsUnknownFlag) {
+  CliResult r = RunTool({"run", "--query", "PATTERN SEQ(A, B)", "--stonk", "10"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--stonk"), std::string::npos);
+}
+
+TEST(CliTest, ExplainDescribesQuery) {
+  CliResult r = RunTool(
+      {"explain", "--query",
+       "PATTERN SEQ(A, !X, B) WHERE A.id = X.id = B.id AGG COUNT WITHIN 5s"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("negation: !X resets the length-1 prefix"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("equivalence on attribute 'id'"), std::string::npos);
+  EXPECT_NE(r.out.find("A-Seq(HPC)"), std::string::npos);
+}
+
+TEST(CliTest, ExplainFlagsJoinQueries) {
+  CliResult r = RunTool({"explain", "--query",
+                     "PATTERN SEQ(A, B) WHERE A.x < B.x WITHIN 1s"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("StackBased (join predicates)"), std::string::npos);
+}
+
+TEST(CliTest, GenerateThenRunTrace) {
+  std::string path = ::testing::TempDir() + "/aseq_cli_trace.csv";
+  CliResult gen = RunTool({"generate", "--clicks", "500", "--out", path});
+  EXPECT_EQ(gen.code, 0) << gen.err;
+  EXPECT_NE(gen.out.find("wrote 500 events"), std::string::npos);
+
+  CliResult run = RunTool({"run", "--query",
+                       "PATTERN SEQ(ViewKindle, BuyKindle) AGG COUNT "
+                       "WITHIN 10s",
+                       "--trace", path, "--quiet"});
+  EXPECT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("events:        500"), std::string::npos);
+}
+
+TEST(CliTest, GenerateRequiresOut) {
+  CliResult r = RunTool({"generate", "--clicks", "10"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--out"), std::string::npos);
+}
+
+TEST(CliTest, CompareAgreesAndReportsSpeedup) {
+  CliResult r = RunTool({"compare", "--query",
+                     "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 500",
+                     "--stock", "2000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("result mismatches: 0"), std::string::npos);
+  EXPECT_NE(r.out.find("speedup:"), std::string::npos);
+}
+
+TEST(CliTest, RunEmitOnChangeWrapsEngine) {
+  CliResult r = RunTool({"run", "--query",
+                         "PATTERN SEQ(DELL, IPIX) AGG COUNT WITHIN 1s",
+                         "--stock", "1000", "--emit-on-change", "--quiet"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("+OnChange"), std::string::npos);
+}
+
+TEST(CliTest, WorkloadRunsAllStrategies) {
+  std::string path = ::testing::TempDir() + "/aseq_cli_queries.txt";
+  {
+    std::ofstream f(path);
+    f << "# a small prefix-sharing workload\n";
+    f << "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 1s\n";
+    f << "PATTERN SEQ(DELL, IPIX, QQQ) AGG COUNT WITHIN 1s\n";
+  }
+  for (const char* strategy : {"nonshare", "sase", "pretree", "cc", "hybrid"}) {
+    CliResult r = RunTool({"workload", "--queries", path, "--stock", "1500",
+                           "--strategy", strategy});
+    EXPECT_EQ(r.code, 0) << strategy << ": " << r.err;
+    EXPECT_NE(r.out.find("queries:       2"), std::string::npos) << strategy;
+    EXPECT_NE(r.out.find("Q1:"), std::string::npos) << strategy;
+  }
+}
+
+TEST(CliTest, WorkloadRejectsBadInputs) {
+  CliResult no_file = RunTool({"workload", "--stock", "10"});
+  EXPECT_EQ(no_file.code, 1);
+  CliResult missing = RunTool(
+      {"workload", "--queries", "/nonexistent/q.txt", "--stock", "10"});
+  EXPECT_EQ(missing.code, 1);
+  std::string path = ::testing::TempDir() + "/aseq_cli_badqueries.txt";
+  {
+    std::ofstream f(path);
+    f << "NOT A QUERY\n";
+  }
+  CliResult bad = RunTool({"workload", "--queries", path, "--stock", "10"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find(":1:"), std::string::npos);  // line number reported
+}
+
+TEST(CliTest, CompareJoinQueryFallsBackToBaseline) {
+  CliResult r = RunTool({"compare", "--query",
+                     "PATTERN SEQ(DELL, IPIX) WHERE DELL.price < IPIX.price "
+                     "AGG COUNT WITHIN 500",
+                     "--stock", "1000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.err.find("Unsupported"), std::string::npos);
+  EXPECT_NE(r.out.find("StackBased"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aseq

@@ -1,0 +1,444 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aseq/aseq_engine.h"
+#include "baseline/ecube_engine.h"
+#include "common/rng.h"
+#include "engine/runtime.h"
+#include "multi/chop_connect_engine.h"
+#include "multi/chop_plan.h"
+#include "multi/nonshared_engine.h"
+#include "multi/pretree_engine.h"
+#include "query/analyzer.h"
+#include "stream/workload.h"
+#include "tests/test_util.h"
+
+namespace aseq {
+namespace {
+
+using testing_util::CountOf;
+using testing_util::MustCompile;
+using testing_util::StreamBuilder;
+
+std::vector<CompiledQuery> Compile(Schema* schema,
+                                   const std::vector<Query>& queries) {
+  Analyzer analyzer(schema);
+  std::vector<CompiledQuery> out;
+  for (const Query& q : queries) {
+    auto result = analyzer.Analyze(q);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    out.push_back(std::move(result).value());
+  }
+  return out;
+}
+
+/// Random stream over the workload's type universe.
+std::vector<Event> WorkloadStream(const SharedWorkload& workload,
+                                  Schema* schema, uint64_t seed, size_t n,
+                                  int64_t max_gap = 50) {
+  StreamConfig config = MakeWorkloadStreamConfig(workload, seed, n, 0, max_gap);
+  StreamGenerator gen(config, schema);
+  std::vector<Event> events = gen.Generate();
+  AssignSeqNums(&events);
+  return events;
+}
+
+/// Reference: per-query single A-Seq outputs, keyed (query, seq).
+std::map<std::pair<size_t, SeqNum>, int64_t> ReferenceOutputs(
+    const std::vector<CompiledQuery>& queries,
+    const std::vector<Event>& events) {
+  std::map<std::pair<size_t, SeqNum>, int64_t> ref;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto engine = CreateAseqEngine(queries[qi]);
+    EXPECT_TRUE(engine.ok());
+    RunResult result = Runtime::RunEvents(events, engine->get());
+    for (const Output& output : result.outputs) {
+      ref[{qi, output.seq}] = output.value.AsInt64();
+    }
+  }
+  return ref;
+}
+
+void ExpectMatchesReference(
+    const std::map<std::pair<size_t, SeqNum>, int64_t>& ref,
+    const std::vector<MultiOutput>& outputs, const std::string& context) {
+  std::map<std::pair<size_t, SeqNum>, int64_t> got;
+  for (const MultiOutput& mo : outputs) {
+    got[{mo.query_index, mo.output.seq}] = mo.output.value.AsInt64();
+  }
+  EXPECT_EQ(ref.size(), got.size()) << context;
+  for (const auto& [key, value] : ref) {
+    auto it = got.find(key);
+    if (it == got.end()) {
+      ADD_FAILURE() << context << ": missing output for query "
+                    << key.first << " at seq " << key.second;
+      continue;
+    }
+    EXPECT_EQ(value, it->second)
+        << context << ": query " << key.first << " seq " << key.second;
+  }
+}
+
+// --------------------------------------------------------------------------
+// NonSharedEngine
+// --------------------------------------------------------------------------
+
+TEST(NonSharedEngineTest, MatchesSingleQueryEngines) {
+  Schema schema;
+  SharedWorkload workload = MakePrefixSharedWorkload(3, 2, 4, 2000);
+  std::vector<CompiledQuery> queries = Compile(&schema, workload.queries);
+  std::vector<Event> events = WorkloadStream(workload, &schema, 11, 400);
+  auto ref = ReferenceOutputs(queries, events);
+
+  auto engine = NonSharedEngine::CreateAseq(queries);
+  ASSERT_TRUE(engine.ok());
+  MultiRunResult result = Runtime::RunMultiEvents(events, engine->get());
+  ExpectMatchesReference(ref, result.outputs, "nonshared-aseq");
+
+  auto stack = NonSharedEngine::CreateStackBased(queries);
+  MultiRunResult result2 = Runtime::RunMultiEvents(events, stack.get());
+  ExpectMatchesReference(ref, result2.outputs, "nonshared-stack");
+}
+
+// --------------------------------------------------------------------------
+// PreTreeEngine (Sec. 4.1)
+// --------------------------------------------------------------------------
+
+TEST(PreTreeEngineTest, PaperFigure9WorkloadShapes) {
+  // Q1..Q4 of Example 6/7 share prefixes at several depths.
+  Schema schema;
+  std::vector<Query> queries;
+  auto add = [&](std::vector<std::string> names) {
+    Query q;
+    q.pattern = Pattern::FromNames(names);
+    q.agg = AggregateSpec::Count();
+    q.window_ms = 5000;
+    queries.push_back(q);
+  };
+  add({"VKindle", "BKindle", "VCase", "BCase"});
+  add({"VKindle", "BKindle", "VKindleFire"});
+  add({"VKindle", "BKindle", "VCase", "BCase", "VeBook", "BeBook"});
+  add({"VKindle", "BKindle", "VCase", "BCase", "VLight", "BLight"});
+  std::vector<CompiledQuery> compiled = Compile(&schema, queries);
+
+  auto engine = PreTreeEngine::Create(compiled);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  // The trie shares: 1 (BKindle) + 2 (VCase, BCase) below the start, then
+  // branches: VKindleFire, (VeBook, BeBook), (VLight, BLight).
+  EXPECT_EQ((*engine)->num_trie_nodes(), 3u + 1u + 2u + 2u);
+
+  // Feed a stream covering all the types and compare with per-query A-Seq.
+  SharedWorkload workload;
+  workload.queries = queries;
+  for (const char* t : {"VKindle", "BKindle", "VCase", "BCase", "VKindleFire",
+                        "VeBook", "BeBook", "VLight", "BLight"}) {
+    workload.all_types.push_back(t);
+  }
+  std::vector<Event> events = WorkloadStream(workload, &schema, 5, 500);
+  auto ref = ReferenceOutputs(compiled, events);
+  MultiRunResult result = Runtime::RunMultiEvents(events, engine->get());
+  ExpectMatchesReference(ref, result.outputs, "pretree-fig9");
+}
+
+TEST(PreTreeEngineTest, RandomizedPrefixWorkloads) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Schema schema;
+    SharedWorkload workload =
+        MakePrefixSharedWorkload(4, 3, 5, 1500);
+    std::vector<CompiledQuery> queries = Compile(&schema, workload.queries);
+    std::vector<Event> events = WorkloadStream(workload, &schema, seed, 300);
+    auto ref = ReferenceOutputs(queries, events);
+    auto engine = PreTreeEngine::Create(queries);
+    ASSERT_TRUE(engine.ok());
+    MultiRunResult result = Runtime::RunMultiEvents(events, engine->get());
+    ExpectMatchesReference(ref, result.outputs,
+                           "pretree seed=" + std::to_string(seed));
+  }
+}
+
+TEST(PreTreeEngineTest, MultipleStartTypes) {
+  Schema schema;
+  std::vector<Query> queries;
+  for (auto names : std::vector<std::vector<std::string>>{
+           {"A", "B", "C"}, {"A", "B", "D"}, {"E", "B", "C"}}) {
+    Query q;
+    q.pattern = Pattern::FromNames(names);
+    q.agg = AggregateSpec::Count();
+    q.window_ms = 1000;
+    queries.push_back(q);
+  }
+  std::vector<CompiledQuery> compiled = Compile(&schema, queries);
+  auto engine = PreTreeEngine::Create(compiled);
+  ASSERT_TRUE(engine.ok());
+
+  SharedWorkload workload;
+  workload.queries = queries;
+  workload.all_types = {"A", "B", "C", "D", "E"};
+  std::vector<Event> events = WorkloadStream(workload, &schema, 9, 300, 30);
+  auto ref = ReferenceOutputs(compiled, events);
+  MultiRunResult result = Runtime::RunMultiEvents(events, engine->get());
+  ExpectMatchesReference(ref, result.outputs, "pretree-multistart");
+}
+
+TEST(PreTreeEngineTest, RejectsUnsupportedQueries) {
+  Schema schema;
+  std::vector<CompiledQuery> with_neg;
+  with_neg.push_back(MustCompile(&schema, "PATTERN SEQ(A, !X, B) WITHIN 1s"));
+  EXPECT_FALSE(PreTreeEngine::Create(with_neg).ok());
+
+  std::vector<CompiledQuery> no_window;
+  no_window.push_back(MustCompile(&schema, "PATTERN SEQ(A, B)"));
+  EXPECT_FALSE(PreTreeEngine::Create(no_window).ok());
+
+  std::vector<CompiledQuery> mixed_windows;
+  mixed_windows.push_back(MustCompile(&schema, "PATTERN SEQ(A, B) WITHIN 1s"));
+  mixed_windows.push_back(MustCompile(&schema, "PATTERN SEQ(A, C) WITHIN 2s"));
+  EXPECT_FALSE(PreTreeEngine::Create(mixed_windows).ok());
+}
+
+// --------------------------------------------------------------------------
+// Chop plans
+// --------------------------------------------------------------------------
+
+TEST(ChopPlanTest, GreedyPlannerFindsSharedSubstring) {
+  Schema schema;
+  SharedWorkload workload = MakeSubstringSharedWorkload(3, 2, 3, 1, 1000);
+  std::vector<CompiledQuery> queries = Compile(&schema, workload.queries);
+  ChopPlan plan = PlanChopConnect(queries);
+  // Each query: [private prefix][shared][private tail] -> 3 segments; the
+  // shared segment appears once.
+  ASSERT_EQ(plan.query_segments.size(), 3u);
+  for (const auto& segs : plan.query_segments) {
+    EXPECT_EQ(segs.size(), 3u);
+  }
+  EXPECT_EQ(plan.segments.size(), 1u + 3u * 2u);  // shared + 6 private
+  EXPECT_FALSE(plan.ToString(schema).empty());
+}
+
+TEST(ChopPlanTest, TrivialPlanOneSegmentPerQuery) {
+  Schema schema;
+  SharedWorkload workload = MakePrefixSharedWorkload(2, 2, 4, 1000);
+  std::vector<CompiledQuery> queries = Compile(&schema, workload.queries);
+  ChopPlan plan = TrivialPlan(queries);
+  ASSERT_EQ(plan.query_segments.size(), 2u);
+  EXPECT_EQ(plan.query_segments[0].size(), 1u);
+  EXPECT_EQ(plan.segments.size(), 2u);
+}
+
+TEST(ChopPlanTest, NoSharingFallsBackToTrivial) {
+  Schema schema;
+  std::vector<CompiledQuery> queries;
+  queries.push_back(MustCompile(&schema, "PATTERN SEQ(A, B) WITHIN 1s"));
+  queries.push_back(MustCompile(&schema, "PATTERN SEQ(C, D) WITHIN 1s"));
+  ChopPlan plan = PlanChopConnect(queries);
+  EXPECT_EQ(plan.query_segments[0].size(), 1u);
+  EXPECT_EQ(plan.query_segments[1].size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// ChopConnectEngine (Sec. 4.2)
+// --------------------------------------------------------------------------
+
+void RunChopConnectCase(const SharedWorkload& workload, uint64_t seed,
+                        size_t n, const std::string& context) {
+  Schema schema;
+  std::vector<CompiledQuery> queries = Compile(&schema, workload.queries);
+  std::vector<Event> events = WorkloadStream(workload, &schema, seed, n);
+  auto ref = ReferenceOutputs(queries, events);
+  ChopPlan plan = PlanChopConnect(queries);
+  auto engine = ChopConnectEngine::Create(queries, plan);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  MultiRunResult result = Runtime::RunMultiEvents(events, engine->get());
+  ExpectMatchesReference(ref, result.outputs, context);
+}
+
+TEST(ChopConnectEngineTest, TailSharedWorkload) {
+  // Shared substring at the tail (prefix private): Q5-style sharing.
+  RunChopConnectCase(MakeSubstringSharedWorkload(3, 2, 2, 0, 1500), 21, 350,
+                     "cc-tail");
+}
+
+TEST(ChopConnectEngineTest, MiddleSharedWorkload) {
+  RunChopConnectCase(MakeSubstringSharedWorkload(3, 1, 2, 1, 1500), 22, 350,
+                     "cc-middle");
+}
+
+TEST(ChopConnectEngineTest, HeadSharedWorkload) {
+  RunChopConnectCase(MakeSubstringSharedWorkload(3, 0, 2, 2, 1500), 23, 350,
+                     "cc-head");
+}
+
+TEST(ChopConnectEngineTest, MultiConnectThreeSegments) {
+  // prefix(2) + shared(2) + tail(2): three segments chain per query,
+  // exercising the multi-connect snapshot recursion (Fig. 11).
+  RunChopConnectCase(MakeSubstringSharedWorkload(3, 2, 2, 2, 2500), 24, 400,
+                     "cc-multiconnect");
+}
+
+TEST(ChopConnectEngineTest, RandomSeedsSweep) {
+  for (uint64_t seed : {31u, 32u, 33u, 34u}) {
+    RunChopConnectCase(MakeSubstringSharedWorkload(2, 1, 3, 1, 1800), seed,
+                       300, "cc-sweep seed=" + std::to_string(seed));
+  }
+}
+
+TEST(ChopConnectEngineTest, TrivialPlanEqualsNonShared) {
+  Schema schema;
+  SharedWorkload workload = MakeSubstringSharedWorkload(2, 1, 2, 1, 1200);
+  std::vector<CompiledQuery> queries = Compile(&schema, workload.queries);
+  std::vector<Event> events = WorkloadStream(workload, &schema, 41, 250);
+  auto ref = ReferenceOutputs(queries, events);
+  auto engine = ChopConnectEngine::Create(queries, TrivialPlan(queries));
+  ASSERT_TRUE(engine.ok());
+  MultiRunResult result = Runtime::RunMultiEvents(events, engine->get());
+  ExpectMatchesReference(ref, result.outputs, "cc-trivial");
+}
+
+TEST(ChopConnectEngineTest, SnapshotExpiryExcludesDeadTags) {
+  // The Fig. 10 scenario: sub1 = (A, B, C), sub2 = (D, E). A snapshot row
+  // whose full-sequence START expires between the CNET (D) arrival and the
+  // TRIG (E) arrival must not contribute.
+  Schema schema;
+  Analyzer analyzer(&schema);
+  Query q;
+  q.pattern = Pattern::FromNames({"A", "B", "C", "D", "E"});
+  q.agg = AggregateSpec::Count();
+  q.window_ms = 10000;
+  std::vector<CompiledQuery> queries = {std::move(analyzer.Analyze(q)).value()};
+
+  ChopPlan plan;
+  plan.segments.push_back({*schema.FindEventType("A"),
+                           *schema.FindEventType("B"),
+                           *schema.FindEventType("C")});
+  plan.segments.push_back(
+      {*schema.FindEventType("D"), *schema.FindEventType("E")});
+  plan.query_segments.push_back({0, 1});
+  auto engine = ChopConnectEngine::Create(queries, plan);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->num_segments(), 2u);
+
+  StreamBuilder b(&schema);
+  b.Add("A", 0)       // a1, expires at 10000
+      .Add("A", 2000)  // a2, expires at 12000
+      .Add("B", 3000)
+      .Add("C", 4000)   // sub1 counts: a1 -> 1, a2 -> 1
+      .Add("D", 5000)   // CNET: snapshot {a1: 1, a2: 1}
+      .Add("E", 10000); // TRIG: a1 expired exactly now -> only a2 counts
+  MultiRunResult result =
+      Runtime::RunMultiEvents(b.Build(), engine->get());
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_EQ(result.outputs[0].output.value.AsInt64(), 1);
+
+  // Sanity: one ms earlier both rows are live (fresh engine, E at 9999).
+  auto engine2 = ChopConnectEngine::Create(queries, plan);
+  StreamBuilder b2(&schema);
+  b2.Add("A", 0)
+      .Add("A", 2000)
+      .Add("B", 3000)
+      .Add("C", 4000)
+      .Add("D", 5000)
+      .Add("E", 9999);
+  MultiRunResult result2 =
+      Runtime::RunMultiEvents(b2.Build(), engine2->get());
+  ASSERT_EQ(result2.outputs.size(), 1u);
+  EXPECT_EQ(result2.outputs[0].output.value.AsInt64(), 2);
+}
+
+TEST(ChopConnectEngineTest, SnapshotTakenBeforeCnetArrivalCounts) {
+  // Lemma 7: only sub1 matches constructed *before* the CNET instance
+  // arrives connect to it — a C arriving after D must not count for that D.
+  Schema schema;
+  Analyzer analyzer(&schema);
+  Query q;
+  q.pattern = Pattern::FromNames({"A", "B", "C", "D", "E"});
+  q.agg = AggregateSpec::Count();
+  q.window_ms = 10000;
+  std::vector<CompiledQuery> queries = {std::move(analyzer.Analyze(q)).value()};
+  ChopPlan plan;
+  plan.segments.push_back({*schema.FindEventType("A"),
+                           *schema.FindEventType("B"),
+                           *schema.FindEventType("C")});
+  plan.segments.push_back(
+      {*schema.FindEventType("D"), *schema.FindEventType("E")});
+  plan.query_segments.push_back({0, 1});
+  auto engine = ChopConnectEngine::Create(queries, plan);
+
+  StreamBuilder b(&schema);
+  b.Add("A", 0)
+      .Add("B", 100)
+      .Add("D", 200)   // CNET before any sub1 match exists
+      .Add("C", 300)   // sub1 completes only now
+      .Add("E", 400);  // (a,b,c,d,e) is NOT a valid sequence (c after d)
+  MultiRunResult result = Runtime::RunMultiEvents(b.Build(), engine->get());
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_EQ(result.outputs[0].output.value.AsInt64(), 0);
+}
+
+TEST(ChopConnectEngineTest, RejectsBadPlans) {
+  Schema schema;
+  SharedWorkload workload = MakeSubstringSharedWorkload(2, 1, 2, 1, 1200);
+  std::vector<CompiledQuery> queries = Compile(&schema, workload.queries);
+  ChopPlan bad;  // empty
+  EXPECT_FALSE(ChopConnectEngine::Create(queries, bad).ok());
+  ChopPlan wrong = TrivialPlan(queries);
+  wrong.query_segments[0] = {1};  // wrong segment for query 0
+  EXPECT_FALSE(ChopConnectEngine::Create(queries, wrong).ok());
+}
+
+// --------------------------------------------------------------------------
+// EcubeEngine
+// --------------------------------------------------------------------------
+
+void RunEcubeCase(const SharedWorkload& workload, uint64_t seed, size_t n,
+                  const std::string& context) {
+  Schema schema;
+  std::vector<CompiledQuery> queries = Compile(&schema, workload.queries);
+  std::vector<Event> events = WorkloadStream(workload, &schema, seed, n);
+  auto ref = ReferenceOutputs(queries, events);
+  std::vector<EventTypeId> shared;
+  for (const std::string& name : workload.shared_types) {
+    shared.push_back(*schema.FindEventType(name));
+  }
+  auto engine = EcubeEngine::Create(queries, shared);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  MultiRunResult result = Runtime::RunMultiEvents(events, engine->get());
+  ExpectMatchesReference(ref, result.outputs, context);
+}
+
+TEST(EcubeEngineTest, TailSharedWorkload) {
+  RunEcubeCase(MakeSubstringSharedWorkload(3, 2, 2, 0, 1500), 51, 300,
+               "ecube-tail");
+}
+
+TEST(EcubeEngineTest, MiddleSharedWorkload) {
+  RunEcubeCase(MakeSubstringSharedWorkload(3, 1, 2, 1, 1500), 52, 300,
+               "ecube-middle");
+}
+
+TEST(EcubeEngineTest, HeadSharedWorkload) {
+  RunEcubeCase(MakeSubstringSharedWorkload(3, 0, 2, 2, 1500), 53, 300,
+               "ecube-head");
+}
+
+TEST(EcubeEngineTest, SingleTypeShared) {
+  RunEcubeCase(MakeSubstringSharedWorkload(2, 1, 1, 1, 1200), 54, 250,
+               "ecube-single");
+}
+
+TEST(EcubeEngineTest, RejectsUnsupported) {
+  Schema schema;
+  std::vector<CompiledQuery> queries;
+  queries.push_back(MustCompile(&schema, "PATTERN SEQ(A, !X, B) WITHIN 1s"));
+  EventTypeId a = *schema.FindEventType("A");
+  EXPECT_FALSE(EcubeEngine::Create(queries, {a}).ok());
+  std::vector<CompiledQuery> no_sub;
+  no_sub.push_back(MustCompile(&schema, "PATTERN SEQ(C, D) WITHIN 1s"));
+  EXPECT_FALSE(EcubeEngine::Create(no_sub, {a}).ok());
+}
+
+}  // namespace
+}  // namespace aseq

@@ -1,0 +1,103 @@
+// Robustness: the parser/analyzer must return a Status — never crash,
+// hang, or accept garbage — for arbitrary byte soup, truncations of valid
+// queries, and adversarial near-miss inputs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+
+namespace aseq {
+namespace {
+
+TEST(ParserRobustnessTest, RandomByteSoupNeverCrashes) {
+  Rng rng(42);
+  const char alphabet[] =
+      "ABCxyz_019 \t\n(),.!<>='\"PATTERNSEQWHEREGROUPBYAGGWITHIN*#";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string input;
+    size_t len = rng.NextUInt(60);
+    for (size_t i = 0; i < len; ++i) {
+      input += alphabet[rng.NextUInt(sizeof(alphabet) - 1)];
+    }
+    auto result = ParseQuery(input);  // must simply return
+    if (result.ok()) {
+      // Whatever parsed must reparse from its canonical text.
+      auto again = ParseQuery(result->ToString());
+      EXPECT_TRUE(again.ok()) << "canonical text failed: "
+                              << result->ToString();
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, RandomTruncationsOfValidQuery) {
+  const std::string query =
+      "PATTERN SEQ(Kindle, KindleCase, !Rec, Stylus) "
+      "WHERE Kindle.userId = KindleCase.userId = Stylus.userId AND "
+      "Kindle.model = 'touch' GROUP BY region AGG SUM(Stylus.price) "
+      "WITHIN 90min";
+  ASSERT_TRUE(ParseQuery(query).ok()) << ParseQuery(query).status().ToString();
+  for (size_t cut = 0; cut < query.size(); ++cut) {
+    ParseQuery(query.substr(0, cut));  // must not crash; ok() may vary
+  }
+}
+
+TEST(ParserRobustnessTest, RandomTokenDeletions) {
+  Rng rng(7);
+  const std::vector<std::string> tokens = {
+      "PATTERN", "SEQ",  "(",  "A",  ",", "!",      "B",  ",",  "C",   ")",
+      "WHERE",   "A",    ".",  "x",  "=", "C",      ".",  "x",  "AGG", "COUNT",
+      "WITHIN",  "10",   "s"};
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string input;
+    for (const std::string& token : tokens) {
+      if (rng.NextBool(0.85)) {
+        input += token;
+        input += " ";
+      }
+    }
+    Schema schema;
+    Analyzer analyzer(&schema);
+    analyzer.AnalyzeText(input);  // Status either way; no crash
+  }
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedAndLongInputs) {
+  // A very long pattern parses fine (no recursion on pattern length).
+  std::string many = "PATTERN SEQ(T0";
+  for (int i = 1; i < 500; ++i) many += ", T" + std::to_string(i);
+  many += ")";
+  auto result = ParseQuery(many);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pattern.size(), 500u);
+
+  // A long WHERE conjunction too.
+  std::string wide = "PATTERN SEQ(A, B) WHERE A.x0 = 1";
+  for (int i = 1; i < 300; ++i) {
+    wide += " AND A.x" + std::to_string(i) + " = " + std::to_string(i);
+  }
+  EXPECT_TRUE(ParseQuery(wide).ok());
+}
+
+TEST(ParserRobustnessTest, AnalyzerOnHostileButParseableQueries) {
+  Schema schema;
+  Analyzer analyzer(&schema);
+  // All must return non-OK Status (not crash, not accept).
+  const char* bad[] = {
+      "PATTERN SEQ(!A)",
+      "PATTERN SEQ(!A, !B)",
+      "PATTERN SEQ(A, B) WHERE Z.x = 1",
+      "PATTERN SEQ(A, B) AGG SUM(A.x) WITHIN 1s GROUP BY g",  // clause order
+      "PATTERN SEQ(A, A) WHERE A.x = 1",
+      "PATTERN SEQ(A, B) WHERE 2 < 1",
+  };
+  for (const char* q : bad) {
+    EXPECT_FALSE(analyzer.AnalyzeText(q).ok()) << q;
+  }
+}
+
+}  // namespace
+}  // namespace aseq

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "query/predicate.h"
+
+namespace aseq {
+namespace {
+
+// --------------------------------------------------------------------------
+// EvalCmp: full operator x value-kind matrix
+// --------------------------------------------------------------------------
+
+TEST(EvalCmpTest, IntegerComparisons) {
+  Value a(3), b(5);
+  EXPECT_FALSE(EvalCmp(CmpOp::kEq, a, b));
+  EXPECT_TRUE(EvalCmp(CmpOp::kNe, a, b));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLt, a, b));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLe, a, b));
+  EXPECT_FALSE(EvalCmp(CmpOp::kGt, a, b));
+  EXPECT_FALSE(EvalCmp(CmpOp::kGe, a, b));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLe, a, a));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGe, a, a));
+  EXPECT_FALSE(EvalCmp(CmpOp::kLt, a, a));
+}
+
+TEST(EvalCmpTest, MixedNumericComparisons) {
+  EXPECT_TRUE(EvalCmp(CmpOp::kEq, Value(3), Value(3.0)));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLt, Value(3), Value(3.5)));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGt, Value(3.5), Value(3)));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGe, Value(3.0), Value(3)));
+}
+
+TEST(EvalCmpTest, StringComparisons) {
+  EXPECT_TRUE(EvalCmp(CmpOp::kEq, Value("abc"), Value("abc")));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLt, Value("abc"), Value("abd")));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGe, Value("b"), Value("a")));
+  EXPECT_FALSE(EvalCmp(CmpOp::kLt, Value("b"), Value("a")));
+}
+
+TEST(EvalCmpTest, UnorderedKindsOnlyNotEqual) {
+  // String vs number: every relational operator is false except !=.
+  Value s("5"), n(5);
+  EXPECT_FALSE(EvalCmp(CmpOp::kEq, s, n));
+  EXPECT_TRUE(EvalCmp(CmpOp::kNe, s, n));
+  for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe}) {
+    EXPECT_FALSE(EvalCmp(op, s, n)) << CmpOpToString(op);
+    EXPECT_FALSE(EvalCmp(op, n, s)) << CmpOpToString(op);
+  }
+}
+
+TEST(EvalCmpTest, NullSemantics) {
+  Value null;
+  EXPECT_TRUE(EvalCmp(CmpOp::kEq, null, Value()));
+  EXPECT_FALSE(EvalCmp(CmpOp::kEq, null, Value(0)));
+  EXPECT_TRUE(EvalCmp(CmpOp::kNe, null, Value(0)));
+  // Null is unordered with everything, itself included.
+  for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe}) {
+    EXPECT_FALSE(EvalCmp(op, null, Value(1))) << CmpOpToString(op);
+    EXPECT_FALSE(EvalCmp(op, null, Value())) << CmpOpToString(op);
+  }
+}
+
+TEST(EvalCmpTest, LeGeAreNegationsOfStrictOpposites) {
+  // For comparable values, a <= b iff !(b < a); exhaustively check a grid.
+  for (int x = -2; x <= 2; ++x) {
+    for (int y = -2; y <= 2; ++y) {
+      Value a(x), b(y);
+      EXPECT_EQ(EvalCmp(CmpOp::kLe, a, b), !EvalCmp(CmpOp::kLt, b, a));
+      EXPECT_EQ(EvalCmp(CmpOp::kGe, a, b), !EvalCmp(CmpOp::kGt, b, a));
+      EXPECT_EQ(EvalCmp(CmpOp::kLt, a, b), EvalCmp(CmpOp::kGt, b, a));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Rendering
+// --------------------------------------------------------------------------
+
+TEST(PredicateRenderTest, OperatorNames) {
+  EXPECT_STREQ(CmpOpToString(CmpOp::kEq), "=");
+  EXPECT_STREQ(CmpOpToString(CmpOp::kNe), "!=");
+  EXPECT_STREQ(CmpOpToString(CmpOp::kLt), "<");
+  EXPECT_STREQ(CmpOpToString(CmpOp::kLe), "<=");
+  EXPECT_STREQ(CmpOpToString(CmpOp::kGt), ">");
+  EXPECT_STREQ(CmpOpToString(CmpOp::kGe), ">=");
+}
+
+TEST(PredicateRenderTest, OperandAndComparisonToString) {
+  Comparison cmp;
+  cmp.lhs = Operand::AttrRef("Kindle", "model");
+  cmp.op = CmpOp::kEq;
+  cmp.rhs = Operand::Literal(Value("touch"));
+  EXPECT_EQ(cmp.ToString(), "Kindle.model = 'touch'");
+
+  Comparison numeric;
+  numeric.lhs = Operand::AttrRef("A", "x");
+  numeric.op = CmpOp::kLt;
+  numeric.rhs = Operand::Literal(Value(5));
+  EXPECT_EQ(numeric.ToString(), "A.x < 5");
+
+  WhereClause where;
+  where.terms = {cmp, numeric};
+  EXPECT_EQ(where.ToString(), "Kindle.model = 'touch' AND A.x < 5");
+  EXPECT_FALSE(where.empty());
+  EXPECT_TRUE(WhereClause{}.empty());
+}
+
+}  // namespace
+}  // namespace aseq

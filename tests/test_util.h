@@ -1,0 +1,67 @@
+#ifndef ASEQ_TESTS_TEST_UTIL_H_
+#define ASEQ_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/event.h"
+#include "common/schema.h"
+#include "common/value.h"
+#include "engine/runtime.h"
+#include "query/analyzer.h"
+
+namespace aseq {
+namespace testing_util {
+
+/// Builds event streams tersely: `b.Add("A", 1, {{"id", 5}})`.
+class StreamBuilder {
+ public:
+  explicit StreamBuilder(Schema* schema) : schema_(schema) {}
+
+  StreamBuilder& Add(const std::string& type, Timestamp ts,
+                     std::vector<std::pair<std::string, Value>> attrs = {}) {
+    Event e(schema_->RegisterEventType(type), ts);
+    for (auto& [name, value] : attrs) {
+      e.SetAttr(schema_->RegisterAttribute(name), std::move(value));
+    }
+    events_.push_back(std::move(e));
+    return *this;
+  }
+
+  /// Returns the stream with sequence numbers assigned.
+  std::vector<Event> Build() {
+    AssignSeqNums(&events_);
+    return events_;
+  }
+
+ private:
+  Schema* schema_;
+  std::vector<Event> events_;
+};
+
+/// Parses + analyzes a query; aborts the test on failure.
+inline CompiledQuery MustCompile(Schema* schema, const std::string& text) {
+  Analyzer analyzer(schema);
+  auto result = analyzer.AnalyzeText(text);
+  if (!result.ok()) {
+    ADD_FAILURE() << "query failed to compile: " << text << " — "
+                  << result.status().ToString();
+    return CompiledQuery();
+  }
+  return std::move(result).value();
+}
+
+/// Extracts the int64 count of an ungrouped COUNT output.
+inline int64_t CountOf(const Output& output) {
+  EXPECT_EQ(output.value.type(), ValueType::kInt64)
+      << "expected COUNT output, got " << output.value.ToString();
+  return output.value.type() == ValueType::kInt64 ? output.value.AsInt64() : -1;
+}
+
+}  // namespace testing_util
+}  // namespace aseq
+
+#endif  // ASEQ_TESTS_TEST_UTIL_H_
