@@ -1,0 +1,121 @@
+// Batch-size sweep: throughput of the batched execution core as the
+// OnBatch granularity grows from 1 (per-event, the reference path) to
+// 4096 events per call.
+//
+// Workload: the Fig. 12 stock stream with the HPC equivalence query, the
+// engine whose batched path does the most per-batch work (key
+// pre-extraction, pre-hashing, software prefetch of partition-map
+// buckets). Expected shape: throughput climbs with the batch size and
+// saturates once per-batch fixed costs amortize away — the acceptance
+// gate is >= 1.3x at batch 256 vs batch 1.
+//
+//   ./build/bench/bench_batch_sweep --benchmark_out=BENCH_batch_sweep.json
+//       --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include "aseq/aseq_engine.h"
+#include "baseline/stack_engine.h"
+#include "bench/bench_util.h"
+#include "query/analyzer.h"
+
+namespace aseq {
+namespace bench {
+namespace {
+
+const size_t kNumEvents = ScaledEvents(20000);
+constexpr int64_t kMaxGapMs = 6;  // ~33 instances per type per 1s window
+
+const BenchStream& Stream() {
+  static const BenchStream* stream =
+      MakeStockStream(kNumEvents, kMaxGapMs).release();
+  return *stream;
+}
+
+// HPC stream: the same Fig. 12 stock generator, scaled to a trader
+// cardinality and window where thousands of partitions are live at once
+// and the partition map far outgrows the cache. Every probe is then a
+// dependent random lookup — exactly the regime the staged batch
+// (pre-hash + bucket prefetch) is built for; at 50 traders the map lives
+// in L1 and there is nothing for a prefetch to hide.
+const size_t kHpcNumEvents = ScaledEvents(200000);
+constexpr int64_t kHpcMaxGapMs = 2;
+constexpr size_t kHpcNumTraders = 30000;
+
+const BenchStream& HpcStream() {
+  static const BenchStream* stream =
+      MakeStockStream(kHpcNumEvents, kHpcMaxGapMs, /*seed=*/42,
+                      kHpcNumTraders)
+          .release();
+  return *stream;
+}
+
+CompiledQuery CompileHpc() {
+  Schema schema = HpcStream().schema;  // copy: analysis must not mutate shared
+  Analyzer analyzer(&schema);
+  return std::move(
+             analyzer.AnalyzeText(
+                 "PATTERN SEQ(DELL, IPIX, AMAT) "
+                 "WHERE DELL.traderId = IPIX.traderId = AMAT.traderId "
+                 "AGG COUNT WITHIN 100s"))
+      .value();
+}
+
+void BM_ASeqHPC_BatchSize(benchmark::State& state) {
+  CompiledQuery cq = CompileHpc();
+  auto engine = CreateAseqEngine(cq);
+  RunAndReport(state, HpcStream().events, engine->get(),
+               static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_ASeqHPC_BatchSize)
+    ->RangeMultiplier(4)
+    ->Range(1, 4096)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// The plain SEM engine and the stack baseline only hoist window expiry per
+// batch; their curves bound how much of the HPC win is prefetch vs. purge
+// amortization.
+void BM_ASeqSEM_BatchSize(benchmark::State& state) {
+  Schema schema = Stream().schema;
+  Analyzer analyzer(&schema);
+  CompiledQuery cq =
+      std::move(analyzer.Analyze(MakeTickerQuery(3, 1000))).value();
+  auto engine = CreateAseqEngine(cq);
+  RunAndReport(state, Stream().events, engine->get(),
+               static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_ASeqSEM_BatchSize)
+    ->RangeMultiplier(4)
+    ->Range(1, 4096)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_StackBased_BatchSize(benchmark::State& state) {
+  Schema schema = Stream().schema;
+  Analyzer analyzer(&schema);
+  CompiledQuery cq =
+      std::move(analyzer.Analyze(MakeTickerQuery(3, 1000))).value();
+  StackEngine engine(cq);
+  RunAndReport(state, Stream().events, &engine,
+               static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_StackBased_BatchSize)
+    ->RangeMultiplier(4)
+    ->Range(1, 4096)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aseq
+
+int main(int argc, char** argv) {
+  aseq::bench::PrintFigureBanner(
+      "Batch sweep",
+      "throughput vs OnBatch granularity (batch size 1..4096)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -46,30 +46,44 @@ struct BenchStream {
 /// Synthetic stock stream (see DESIGN.md §3 for the trace substitution).
 inline std::unique_ptr<BenchStream> MakeStockStream(size_t num_events,
                                                     int64_t max_gap_ms,
-                                                    uint64_t seed = 42) {
+                                                    uint64_t seed = 42,
+                                                    size_t num_traders = 50) {
   auto s = std::make_unique<BenchStream>();
   StockStreamOptions options;
   options.seed = seed;
   options.num_events = num_events;
   options.min_gap_ms = 0;
   options.max_gap_ms = max_gap_ms;
+  options.num_traders = num_traders;
   s->events = GenerateStockStream(options, &s->schema);
   AssignSeqNums(&s->events);
   return s;
 }
 
-/// Drives `events` through `engine` once and reports the paper's metrics on
-/// the benchmark state: `ms_per_slide` (average execution time per window
-/// slide — the window slides on every arrival) and `peak_objects` (peak
-/// live-object count, the paper's memory metric).
+/// The one BatchRunner shared by every harness in a bench binary: its
+/// refill and scratch buffers are allocated once and reused
+/// (clear-not-shrink) across all iterations of all benchmarks, so the
+/// timed region never measures allocator traffic.
+inline BatchRunner& SharedRunner() {
+  static BatchRunner runner;
+  return runner;
+}
+
+/// Drives `events` through `engine` once per iteration (batched through
+/// OnBatch with `batch_size` events per call) and reports the paper's
+/// metrics on the benchmark state: `ms_per_slide` (average execution time
+/// per window slide — the window slides on every arrival) and
+/// `peak_objects` (peak live-object count, the paper's memory metric),
+/// plus the `batch_size` driving the run.
 inline void RunAndReport(benchmark::State& state,
-                         const std::vector<Event>& events,
-                         QueryEngine* engine) {
+                         const std::vector<Event>& events, QueryEngine* engine,
+                         size_t batch_size = kDefaultBatchSize) {
+  BatchRunner& runner = SharedRunner();
+  runner.set_options(RunOptions{/*collect_outputs=*/false, batch_size});
   double total_seconds = 0;
   uint64_t total_events = 0;
   for (auto _ : state) {
-    RunResult result = Runtime::RunEvents(events, engine,
-                                          /*collect_outputs=*/false);
+    RunResult result = runner.RunEvents(events, engine);
     total_seconds += result.elapsed_seconds;
     total_events += result.events;
   }
@@ -79,17 +93,21 @@ inline void RunAndReport(benchmark::State& state,
   state.counters["peak_objects"] =
       benchmark::Counter(static_cast<double>(engine->stats().objects.peak()));
   state.counters["events"] = benchmark::Counter(static_cast<double>(total_events));
+  state.counters["batch_size"] =
+      benchmark::Counter(static_cast<double>(batch_size));
 }
 
 /// Multi-query variant of RunAndReport.
 inline void RunMultiAndReport(benchmark::State& state,
                               const std::vector<Event>& events,
-                              MultiQueryEngine* engine) {
+                              MultiQueryEngine* engine,
+                              size_t batch_size = kDefaultBatchSize) {
+  BatchRunner& runner = SharedRunner();
+  runner.set_options(RunOptions{/*collect_outputs=*/false, batch_size});
   double total_seconds = 0;
   uint64_t total_events = 0;
   for (auto _ : state) {
-    MultiRunResult result = Runtime::RunMultiEvents(events, engine,
-                                                    /*collect_outputs=*/false);
+    MultiRunResult result = runner.RunMultiEvents(events, engine);
     total_seconds += result.elapsed_seconds;
     total_events += result.events;
   }
@@ -98,6 +116,8 @@ inline void RunMultiAndReport(benchmark::State& state,
                         : total_seconds * 1e3 / static_cast<double>(total_events));
   state.counters["peak_objects"] =
       benchmark::Counter(static_cast<double>(engine->stats().objects.peak()));
+  state.counters["batch_size"] =
+      benchmark::Counter(static_cast<double>(batch_size));
 }
 
 /// Prints the figure banner once per binary.

@@ -47,15 +47,22 @@ struct Measured {
   int64_t peak_objects = 0;
 };
 
+// All measurements run on the batched pipeline (default batch size), the
+// same path the CLI and the benchmark harnesses use. One shared runner so
+// refill/scratch buffers are reused across every measurement.
+BatchRunner& Runner() {
+  static BatchRunner runner{RunOptions{/*collect_outputs=*/false}};
+  return runner;
+}
+
 Measured Measure(QueryEngine* engine, const std::vector<Event>& events) {
-  RunResult r = Runtime::RunEvents(events, engine, /*collect_outputs=*/false);
+  RunResult r = Runner().RunEvents(events, engine);
   return {r.MillisPerSlide(), engine->stats().objects.peak()};
 }
 
 Measured MeasureMulti(MultiQueryEngine* engine,
                       const std::vector<Event>& events) {
-  MultiRunResult r =
-      Runtime::RunMultiEvents(events, engine, /*collect_outputs=*/false);
+  MultiRunResult r = Runner().RunMultiEvents(events, engine);
   return {r.MillisPerSlide(), engine->stats().objects.peak()};
 }
 

@@ -7,23 +7,22 @@ Usage:
 
 Each google-benchmark result line like
 
-    BM_StackBased/5/iterations:1  3557 ms  3523 ms  1  events=4k ms_per_slide=0.889 peak_objects=1070.9k
+    BM_StackBased/5/iterations:1  3557 ms  3523 ms  1  batch_size=256 events=4k ms_per_slide=0.889 peak_objects=1070.9k
 
-becomes a CSV row:  figure,series,arg,ms_per_slide,peak_objects
+becomes a CSV row:  figure,series,arg,batch_size,ms_per_slide,peak_objects
 
-The `figure` column is taken from the preceding "Fig. ..." banner line.
+Counters are parsed generically as name=value pairs, so the columns do not
+depend on the order google-benchmark prints them in. The `figure` column is
+taken from the preceding "Fig. ..." banner line.
 """
 
 import csv
 import re
 import sys
 
-BANNER_RE = re.compile(r"^(Fig\.\s*\S+|Ablation[^——]*)\s*[—-]")
-BENCH_RE = re.compile(
-    r"^BM_(?P<series>[A-Za-z0-9_]+)(?:/(?P<arg>\d+))?/iterations:\d+\s+"
-    r".*?ms_per_slide=(?P<mps>[\d.e+-]+)(?P<mps_unit>[munk]?)\s+"
-    r".*?peak_objects=(?P<peak>[\d.]+)(?P<peak_unit>[munk]?)"
-)
+BANNER_RE = re.compile(r"^(Fig\.\s*\S+|Ablation[^——]*|Batch sweep)\s*[—-]")
+BENCH_RE = re.compile(r"^BM_(?P<series>[A-Za-z0-9_]+)(?:/(?P<arg>\d+))?/iterations:\d+\s")
+COUNTER_RE = re.compile(r"(\w+)=([\d.e+-]+)([munk]?)\b")
 
 UNIT = {"": 1.0, "m": 1e-3, "u": 1e-6, "n": 1e-9, "k": 1e3}
 
@@ -39,7 +38,9 @@ def main() -> None:
         lines = sys.stdin.read().splitlines()
 
     writer = csv.writer(sys.stdout)
-    writer.writerow(["figure", "series", "arg", "ms_per_slide", "peak_objects"])
+    writer.writerow(
+        ["figure", "series", "arg", "batch_size", "ms_per_slide", "peak_objects"]
+    )
     figure = ""
     for line in lines:
         banner = BANNER_RE.match(line.strip())
@@ -49,13 +50,20 @@ def main() -> None:
         m = BENCH_RE.match(line.strip())
         if not m:
             continue
+        counters = {
+            name: scale(value, unit)
+            for name, value, unit in COUNTER_RE.findall(line)
+        }
+        if "ms_per_slide" not in counters:
+            continue
         writer.writerow(
             [
                 figure,
                 m.group("series"),
                 m.group("arg") or "",
-                f'{scale(m.group("mps"), m.group("mps_unit")):.9f}',
-                f'{scale(m.group("peak"), m.group("peak_unit")):.0f}',
+                f'{counters.get("batch_size", 1):.0f}',
+                f'{counters["ms_per_slide"]:.9f}',
+                f'{counters.get("peak_objects", 0):.0f}',
             ]
         )
 

@@ -1,6 +1,9 @@
 #include "aseq/aseq_engine.h"
 
 #include <cassert>
+#include <limits>
+#include <memory>
+#include <utility>
 
 namespace aseq {
 
@@ -9,6 +12,24 @@ namespace {
 /// Carrier attribute value of an event, for roles at the carrier position.
 double CarrierValue(const CompiledQuery& q, const Event& e) {
   return e.GetAttr(q.agg().attr).ToDouble();
+}
+
+/// Flattens the query's role map into a table indexed by EventTypeId so the
+/// hot path dispatches with one bounds check instead of a hash probe. The
+/// entries point into `q`'s own role storage (node-stable), so `q` must
+/// outlive the table.
+std::vector<const std::vector<Role>*> BuildRoleTable(const CompiledQuery& q) {
+  std::vector<const std::vector<Role>*> table;
+  for (const auto& [type, roles] : q.roles()) {
+    if (type >= table.size()) table.resize(type + 1, nullptr);
+    table[type] = &roles;
+  }
+  return table;
+}
+
+const std::vector<Role>* LookupRoles(
+    const std::vector<const std::vector<Role>*>& table, EventTypeId type) {
+  return type < table.size() ? table[type] : nullptr;
 }
 
 }  // namespace
@@ -24,15 +45,15 @@ AseqEngine::AseqEngine(CompiledQuery query)
                         ? static_cast<size_t>(query_.agg_positive_pos()) + 1
                         : 0),
       counters_(length_, query_.agg().func, carrier_pos1_, query_.window_ms(),
-                &stats_) {
+                &stats_),
+      role_table_(BuildRoleTable(query_)) {
   assert(!query_.partitioned());
   assert(!query_.has_join_predicates());
 }
 
-void AseqEngine::OnEvent(const Event& e, std::vector<Output>* out) {
+void AseqEngine::ProcessEvent(const Event& e, std::vector<Output>* out) {
   ++stats_.events_processed;
-  counters_.Purge(e.ts());
-  const std::vector<Role>* roles = query_.FindRoles(e.type());
+  const std::vector<Role>* roles = LookupRoles(role_table_, e.type());
   if (roles == nullptr) return;
   bool trigger = false;
   for (const Role& role : *roles) {
@@ -59,6 +80,35 @@ void AseqEngine::OnEvent(const Event& e, std::vector<Output>* out) {
   }
 }
 
+void AseqEngine::OnEvent(const Event& e, std::vector<Output>* out) {
+  counters_.Purge(e.ts());
+  ProcessEvent(e, out);
+}
+
+void AseqEngine::OnBatch(std::span<const Event> batch,
+                         std::vector<Output>* out) {
+  if (batch.empty()) return;
+  const bool windowed = counters_.windowed();
+  const Timestamp window_ms = counters_.window_ms();
+  // Lower bound on the earliest live expiration: Purge(now) is a no-op for
+  // now < next_expiry, so those calls are skipped without changing state.
+  Timestamp next_expiry = counters_.next_expiry();
+  for (const Event& e : batch) {
+    if (e.ts() >= next_expiry) {
+      counters_.Purge(e.ts());
+      next_expiry = counters_.next_expiry();
+    }
+    ProcessEvent(e, out);
+    if (windowed) {
+      // Any counter ProcessEvent created expires at e.ts() + window or
+      // later, so the cached bound stays a valid lower bound.
+      const Timestamp bound = e.ts() + window_ms;
+      if (bound < next_expiry) next_expiry = bound;
+    }
+  }
+  stats_.NoteBatch(batch.size());
+}
+
 std::vector<Output> AseqEngine::Poll(Timestamp now) {
   counters_.Purge(now);
   Output output;
@@ -76,75 +126,159 @@ HpcEngine::HpcEngine(CompiledQuery query)
       length_(query_.num_positive()),
       carrier_pos1_(query_.agg_positive_pos() >= 0
                         ? static_cast<size_t>(query_.agg_positive_pos()) + 1
-                        : 0) {
+                        : 0),
+      role_table_(BuildRoleTable(query_)) {
   assert(query_.partitioned());
   assert(!query_.has_join_predicates());
 }
 
-void HpcEngine::OnEvent(const Event& e, std::vector<Output>* out) {
-  ++stats_.events_processed;
-  const std::vector<Role>* roles = query_.FindRoles(e.type());
-  if (roles == nullptr) return;
+HpcEngine::RoleProbe& HpcEngine::NextProbe() {
+  if (probes_used_ == probes_.size()) probes_.emplace_back();
+  return probes_[probes_used_++];
+}
 
-  bool trigger = false;
-  PartitionKey trigger_key;
-  PartitionKey key;
-  std::vector<bool> covered;
-
-  for (const Role& role : *roles) {
-    if (!query_.QualifiesFor(e, role.elem_index)) continue;
-    if (role.negated) {
-      if (!query_.PartitionKeyFor(e, role.elem_index, &key, &covered)) {
-        continue;  // missing partition attribute: instance is ignored
+void HpcEngine::StageBatch(std::span<const Event> batch) {
+  probes_used_ = 0;
+  plans_.clear();
+  for (const Event& e : batch) {
+    EventPlan plan;
+    plan.first_probe = probes_used_;
+    const std::vector<Role>* roles = LookupRoles(role_table_, e.type());
+    if (roles != nullptr) {
+      for (const Role& role : *roles) {
+        if (!query_.QualifiesFor(e, role.elem_index)) continue;
+        RoleProbe& probe = NextProbe();
+        probe.role = &role;
+        if (role.negated) {
+          if (!query_.PartitionKeyFor(e, role.elem_index, &probe.key,
+                                      &probe.covered)) {
+            --probes_used_;  // missing partition attribute: ignored
+            continue;
+          }
+          probe.kind = RoleProbe::Kind::kNegated;
+          probe.fully_covered = true;
+          for (bool c : probe.covered) {
+            probe.fully_covered = probe.fully_covered && c;
+          }
+          probe.hash =
+              probe.fully_covered ? PartitionKeyHash{}(probe.key) : 0;
+        } else {
+          // Positive role: the key always fully covers positive elements.
+          if (!query_.PartitionKeyFor(e, role.elem_index, &probe.key)) {
+            --probes_used_;
+            continue;
+          }
+          probe.kind = RoleProbe::Kind::kPositive;
+          probe.fully_covered = true;
+          probe.hash = PartitionKeyHash{}(probe.key);
+        }
       }
-      bool fully_covered = true;
-      for (bool c : covered) fully_covered = fully_covered && c;
-      if (fully_covered) {
-        auto it = partitions_.find(key);
+    }
+    plan.num_probes = probes_used_ - plan.first_probe;
+    plans_.push_back(plan);
+  }
+}
+
+void HpcEngine::PrefetchPartitions() const {
+  const size_t buckets = partitions_.bucket_count();
+  if (buckets == 0) return;
+  for (size_t i = 0; i < probes_used_; ++i) {
+    const RoleProbe& probe = probes_[i];
+    // Partial-coverage negation scans every partition; nothing to target.
+    if (probe.kind == RoleProbe::Kind::kNegated && !probe.fully_covered) {
+      continue;
+    }
+    const size_t bucket = probe.hash % buckets;
+    auto it = partitions_.cbegin(bucket);
+    if (it != partitions_.cend(bucket)) {
+      // Pull the bucket's first node into cache without dereferencing it;
+      // the probe in ExecuteEvent then hits warm lines (DRAMHiT-style).
+      __builtin_prefetch(std::addressof(*it), /*rw=*/0, /*locality=*/3);
+    }
+  }
+}
+
+void HpcEngine::ExecuteEvent(const Event& e, const EventPlan& plan,
+                             std::vector<Output>* out) {
+  ++stats_.events_processed;
+  bool trigger = false;
+  const PartitionKey* trigger_key = nullptr;
+
+  for (size_t i = plan.first_probe; i < plan.first_probe + plan.num_probes;
+       ++i) {
+    RoleProbe& probe = probes_[i];
+    const Role& role = *probe.role;
+    if (probe.kind == RoleProbe::Kind::kNegated) {
+      if (probe.fully_covered) {
+        auto it = partitions_.find(HashedPartitionKeyRef{&probe.key,
+                                                         probe.hash});
         if (it != partitions_.end()) {
-          it->second.Purge(e.ts());
-          it->second.ResetPrefix(role.position);
+          MutatePartition(it, [&] {
+            it->second.Purge(e.ts());
+            it->second.ResetPrefix(role.position);
+          });
         }
       } else {
         // Invalidate every partition matching on the covering parts.
-        for (auto& [pkey, counters] : partitions_) {
+        for (auto it = partitions_.begin(); it != partitions_.end(); ++it) {
           bool match = true;
-          for (size_t i = 0; i < covered.size() && match; ++i) {
-            if (covered[i] && !pkey.parts[i].Equals(key.parts[i])) {
+          for (size_t p = 0; p < probe.covered.size() && match; ++p) {
+            if (probe.covered[p] &&
+                !it->first.parts[p].Equals(probe.key.parts[p])) {
               match = false;
             }
           }
           if (match) {
-            counters.Purge(e.ts());
-            counters.ResetPrefix(role.position);
+            MutatePartition(it, [&] {
+              it->second.Purge(e.ts());
+              it->second.ResetPrefix(role.position);
+            });
           }
         }
       }
       continue;
     }
-    // Positive role: the key always fully covers positive elements.
-    if (!query_.PartitionKeyFor(e, role.elem_index, &key)) continue;
+    // Positive role.
     if (role.position == 1) {
-      auto [it, inserted] = partitions_.try_emplace(
-          key, length_, query_.agg().func, carrier_pos1_, query_.window_ms(),
-          &stats_);
-      it->second.Purge(e.ts());
-      it->second.OnStart(e, role.position == carrier_pos1_
-                                ? CarrierValue(query_, e)
-                                : 0);
-    } else {
-      auto it = partitions_.find(key);
-      if (it != partitions_.end()) {
-        it->second.Purge(e.ts());
-        it->second.ApplyUpdate(role.position,
-                               role.position == carrier_pos1_
-                                   ? CarrierValue(query_, e)
-                                   : 0);
+      auto it = partitions_.find(HashedPartitionKeyRef{&probe.key, probe.hash});
+      if (it == partitions_.end()) {
+        it = partitions_
+                 .try_emplace(std::move(probe.key), length_, query_.agg().func,
+                              carrier_pos1_, query_.window_ms(), &stats_)
+                 .first;
       }
-    }
-    if (role.position == length_) {
-      trigger = true;
-      trigger_key = key;
+      MutatePartition(it, [&] { it->second.Purge(e.ts()); });
+      // A start landing in an empty windowed partition establishes a new
+      // earliest expiration; put it on the expiry heap.
+      const bool was_empty =
+          it->second.windowed() && it->second.num_counters() == 0;
+      MutatePartition(it, [&] {
+        it->second.OnStart(e, role.position == carrier_pos1_
+                                  ? CarrierValue(query_, e)
+                                  : 0);
+      });
+      if (was_empty) EnqueueExpiry(it, probe.hash);
+      if (role.position == length_) {
+        trigger = true;
+        trigger_key = &it->first;  // node-stable under rehash
+      }
+    } else {
+      auto it = partitions_.find(HashedPartitionKeyRef{&probe.key, probe.hash});
+      if (it != partitions_.end()) {
+        MutatePartition(it, [&] {
+          it->second.Purge(e.ts());
+          it->second.ApplyUpdate(role.position,
+                                 role.position == carrier_pos1_
+                                     ? CarrierValue(query_, e)
+                                     : 0);
+        });
+      }
+      if (role.position == length_) {
+        trigger = true;
+        // Triggers fire even into an absent partition (the total is then
+        // whatever the other live partitions hold).
+        trigger_key = &probe.key;
+      }
     }
   }
 
@@ -153,8 +287,24 @@ void HpcEngine::OnEvent(const Event& e, std::vector<Output>* out) {
     output.ts = e.ts();
     output.seq = e.seq();
     const PartitionSpec& spec = query_.partition_spec();
-    if (spec.per_group_output) {
-      const Value& group = trigger_key.parts[spec.group_part];
+    if (count_fast_path()) {
+      // O(1) trigger: purge what is due, then read the running totals —
+      // integer-exact, so identical to the full partition scan.
+      AdvanceExpiry(e.ts());
+      AggAccum acc;
+      if (spec.per_group_output) {
+        const Value& group = trigger_key->parts[spec.group_part];
+        output.group = group;
+        auto git = group_counts_.find(group);
+        acc.count = git == group_counts_.end()
+                        ? 0
+                        : static_cast<uint64_t>(git->second);
+      } else {
+        acc.count = static_cast<uint64_t>(running_count_);
+      }
+      output.value = acc.Finalize(AggFunc::kCount);
+    } else if (spec.per_group_output) {
+      const Value& group = trigger_key->parts[spec.group_part];
       output.group = group;
       output.value =
           ScanTotal(e.ts(), /*match_group=*/true, group)
@@ -168,12 +318,28 @@ void HpcEngine::OnEvent(const Event& e, std::vector<Output>* out) {
   }
 }
 
+void HpcEngine::OnEvent(const Event& e, std::vector<Output>* out) {
+  StageBatch(std::span<const Event>(&e, 1));
+  ExecuteEvent(e, plans_[0], out);
+}
+
+void HpcEngine::OnBatch(std::span<const Event> batch,
+                        std::vector<Output>* out) {
+  if (batch.empty()) return;
+  StageBatch(batch);
+  PrefetchPartitions();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExecuteEvent(batch[i], plans_[i], out);
+  }
+  stats_.NoteBatch(batch.size());
+}
+
 AggAccum HpcEngine::ScanTotal(Timestamp now, bool match_group,
                               const Value& group) {
   const PartitionSpec& spec = query_.partition_spec();
   AggAccum acc;
   for (auto it = partitions_.begin(); it != partitions_.end();) {
-    it->second.Purge(now);
+    MutatePartition(it, [&] { it->second.Purge(now); });
     if (it->second.windowed() && it->second.num_counters() == 0) {
       it = partitions_.erase(it);
       continue;
@@ -185,6 +351,33 @@ AggAccum HpcEngine::ScanTotal(Timestamp now, bool match_group,
     ++it;
   }
   return acc;
+}
+
+void HpcEngine::EnqueueExpiry(PartitionMap::iterator it, size_t hash) {
+  if (!count_fast_path()) return;  // triggers re-scan; no heap needed
+  const Timestamp exp = it->second.next_expiry();
+  if (exp == std::numeric_limits<Timestamp>::max()) return;
+  expiry_heap_.push(ExpiryEntry{exp, hash, it->first});
+}
+
+void HpcEngine::AdvanceExpiry(Timestamp now) {
+  while (!expiry_heap_.empty() && expiry_heap_.top().exp <= now) {
+    ExpiryEntry top = expiry_heap_.top();
+    expiry_heap_.pop();
+    auto it = partitions_.find(HashedPartitionKeyRef{&top.key, top.hash});
+    if (it == partitions_.end()) continue;  // stale: already erased
+    MutatePartition(it, [&] { it->second.Purge(now); });
+    const Timestamp next = it->second.next_expiry();
+    if (next == std::numeric_limits<Timestamp>::max()) {
+      if (it->second.windowed() && it->second.num_counters() == 0) {
+        partitions_.erase(it);
+      }
+      continue;
+    }
+    // Still live (or the heap entry was stale-early): revisit when due.
+    top.exp = next;
+    expiry_heap_.push(std::move(top));
+  }
 }
 
 std::vector<Output> HpcEngine::Poll(Timestamp now) {
@@ -201,7 +394,7 @@ std::vector<Output> HpcEngine::Poll(Timestamp now) {
   // One output per live group.
   std::unordered_map<Value, AggAccum, ValueHash> groups;
   for (auto it = partitions_.begin(); it != partitions_.end();) {
-    it->second.Purge(now);
+    MutatePartition(it, [&] { it->second.Purge(now); });
     if (it->second.windowed() && it->second.num_counters() == 0) {
       it = partitions_.erase(it);
       continue;

@@ -1,7 +1,10 @@
 #ifndef ASEQ_ASEQ_ASEQ_ENGINE_H_
 #define ASEQ_ASEQ_ASEQ_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
+#include <queue>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +28,12 @@ class AseqEngine : public QueryEngine {
   explicit AseqEngine(CompiledQuery query);
 
   void OnEvent(const Event& e, std::vector<Output>* out) override;
+  /// Batched path: hoists the window-expiry check out of the per-event
+  /// loop via a cached next-expiry lower bound (purge calls that would be
+  /// no-ops are skipped, so state and stats stay byte-identical to the
+  /// per-event path) and dispatches roles through a flat per-type table
+  /// instead of a hash probe.
+  void OnBatch(std::span<const Event> batch, std::vector<Output>* out) override;
   std::vector<Output> Poll(Timestamp now) override;
   const EngineStats& stats() const override { return stats_; }
   std::string name() const override {
@@ -36,12 +45,22 @@ class AseqEngine : public QueryEngine {
   /// Number of live prefix counters (testing hook).
   size_t num_counters() const { return counters_.num_counters(); }
 
+ protected:
+  EngineStats* mutable_stats() override { return &stats_; }
+
  private:
+  /// Role dispatch + trigger handling for one event; the caller has
+  /// already ensured expired counters are purged as of e.ts().
+  void ProcessEvent(const Event& e, std::vector<Output>* out);
+
   CompiledQuery query_;
   EngineStats stats_;
   size_t length_;        // L: number of positive elements
   size_t carrier_pos1_;  // 1-based aggregate carrier position; 0 for COUNT
   CounterSet counters_;
+  /// Flat role table indexed by EventTypeId (nullptr = type not in
+  /// pattern); replaces the per-event FindRoles hash lookup.
+  std::vector<const std::vector<Role>*> role_table_;
 };
 
 /// \brief The partitioned A-Seq engine: Hashed Prefix Counters (Sec. 3.4)
@@ -50,11 +69,19 @@ class AseqEngine : public QueryEngine {
 /// Each distinct partition key owns a CounterSet; positive instances route
 /// to their partition, negated instances invalidate the partitions matching
 /// on the key parts that constrain them.
+///
+/// Execution is staged: StageBatch extracts and hashes every partition key
+/// of a batch up front, PrefetchPartitions issues DRAMHiT-style software
+/// prefetches for the partition-map buckets the batch will probe, and
+/// ExecuteEvent replays the staged probes in arrival order. OnEvent stages
+/// a one-event batch through the same path, so both paths share one code
+/// path and stay exactly equivalent.
 class HpcEngine : public QueryEngine {
  public:
   explicit HpcEngine(CompiledQuery query);
 
   void OnEvent(const Event& e, std::vector<Output>* out) override;
+  void OnBatch(std::span<const Event> batch, std::vector<Output>* out) override;
   std::vector<Output> Poll(Timestamp now) override;
   const EngineStats& stats() const override { return stats_; }
   std::string name() const override { return "A-Seq(HPC)"; }
@@ -63,20 +90,125 @@ class HpcEngine : public QueryEngine {
 
   size_t num_partitions() const { return partitions_.size(); }
 
+ protected:
+  EngineStats* mutable_stats() override { return &stats_; }
+
  private:
-  using PartitionMap =
-      std::unordered_map<PartitionKey, CounterSet, PartitionKeyHash>;
+  using PartitionMap = std::unordered_map<PartitionKey, CounterSet,
+                                          PartitionKeyHash, PartitionKeyEq>;
+
+  /// One qualifying role of one batch event, with its partition key
+  /// extracted and pre-hashed. Probe slots are pooled (grow-only) so key
+  /// vectors keep their capacity across batches.
+  struct RoleProbe {
+    enum class Kind : uint8_t { kPositive, kNegated };
+
+    const Role* role = nullptr;
+    Kind kind = Kind::kPositive;
+    /// Negated roles only: does the partition key cover every part? A
+    /// fully covered probe targets one partition; a partial one scans all.
+    bool fully_covered = true;
+    /// Precomputed PartitionKeyHash (meaningless for partial negation).
+    size_t hash = 0;
+    PartitionKey key;
+    /// Per-part coverage flags (negated roles only).
+    std::vector<bool> covered;
+  };
+
+  /// The staged probes of one event: probes_[first_probe, first_probe+n).
+  struct EventPlan {
+    size_t first_probe = 0;
+    size_t num_probes = 0;
+  };
+
+  /// Extracts, qualifies, and hashes every role probe of the batch into
+  /// probes_/plans_. Pure with respect to partition state.
+  void StageBatch(std::span<const Event> batch);
+
+  /// Issues software prefetches for the partition-map buckets the staged
+  /// probes will touch (read intent, high temporal locality).
+  void PrefetchPartitions() const;
+
+  /// Replays one event's staged probes against the partition map.
+  void ExecuteEvent(const Event& e, const EventPlan& plan,
+                    std::vector<Output>* out);
+
+  RoleProbe& NextProbe();
 
   /// Sums live counters of partitions matching `key` on the group part;
   /// with `match_group == false`, sums every partition. Purges as it goes
   /// and drops empty partitions.
   AggAccum ScanTotal(Timestamp now, bool match_group, const Value& group);
 
+  /// A due date in the partition-expiry heap. Keys are stored by value so
+  /// stale entries (the partition was purged further, or erased) can be
+  /// recognized and skipped safely after the map node is gone.
+  struct ExpiryEntry {
+    Timestamp exp = 0;
+    size_t hash = 0;
+    PartitionKey key;
+  };
+  struct ExpiryLater {
+    bool operator()(const ExpiryEntry& a, const ExpiryEntry& b) const {
+      return a.exp > b.exp;
+    }
+  };
+
+  /// True when triggers read the O(1) running COUNT totals instead of
+  /// scanning every partition.
+  bool count_fast_path() const { return query_.agg().func == AggFunc::kCount; }
+
+  /// Runs `mutate` against partition `it` and folds the resulting change
+  /// of its full-match count into the running totals (COUNT fast path
+  /// only; other aggregates still scan at trigger time).
+  template <typename Fn>
+  void MutatePartition(PartitionMap::iterator it, Fn&& mutate) {
+    if (!count_fast_path()) {
+      mutate();
+      return;
+    }
+    const uint64_t before = it->second.total_count();
+    mutate();
+    const uint64_t after = it->second.total_count();
+    if (after != before) {
+      const int64_t delta =
+          static_cast<int64_t>(after) - static_cast<int64_t>(before);
+      const PartitionSpec& spec = query_.partition_spec();
+      if (spec.per_group_output) {
+        group_counts_[it->first.parts[spec.group_part]] += delta;
+      } else {
+        running_count_ += delta;
+      }
+    }
+  }
+
+  /// Pushes `it`'s next expiration onto the heap (windowed mode, COUNT
+  /// fast path; a no-op when nothing can expire).
+  void EnqueueExpiry(PartitionMap::iterator it, size_t hash);
+
+  /// Purges every partition whose earliest expiration is due at `now`,
+  /// keeping the running totals exact; erases partitions left empty. The
+  /// lazy heap makes this amortized O(expired counters), so COUNT triggers
+  /// are O(1) instead of O(partitions).
+  void AdvanceExpiry(Timestamp now);
+
   CompiledQuery query_;
   EngineStats stats_;
   size_t length_;
   size_t carrier_pos1_;
   PartitionMap partitions_;
+  /// Flat role table indexed by EventTypeId (see AseqEngine::role_table_).
+  std::vector<const std::vector<Role>*> role_table_;
+  // Staging scratch, reused (clear-not-shrink) across batches.
+  std::vector<RoleProbe> probes_;
+  size_t probes_used_ = 0;
+  std::vector<EventPlan> plans_;
+  // COUNT fast path: running full-match totals (global, or per group) and
+  // the partition-expiry heap that keeps them exact under lazy purging.
+  int64_t running_count_ = 0;
+  std::unordered_map<Value, int64_t, ValueHash> group_counts_;
+  std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>, ExpiryLater>
+      expiry_heap_;
 };
 
 /// \brief Builds the right A-Seq engine for an analyzed query.

@@ -29,15 +29,18 @@ CounterSet::CounterSet(CounterSet&& other) noexcept
       window_ms_(other.window_ms_),
       stats_(other.stats_),
       entries_(std::move(other.entries_)),
-      single_(std::move(other.single_)) {
+      single_(std::move(other.single_)),
+      total_count_(other.total_count_) {
   // Ownership of the object accounting moves with the state.
   other.stats_ = nullptr;
   other.entries_.clear();
   other.single_.reset();
+  other.total_count_ = 0;
 }
 
 void CounterSet::Purge(Timestamp now) {
   while (!entries_.empty() && entries_.front().exp <= now) {
+    total_count_ -= entries_.front().counter.count_at(length_);
     entries_.pop_front();
     if (stats_ != nullptr) stats_->objects.Remove(1);
   }
@@ -51,6 +54,7 @@ void CounterSet::OnStart(const Event& e, double value) {
   }
   Entry entry{e.ts() + window_ms_, PrefixCounter(length_, func_, carrier_)};
   entry.counter.ApplyPositive(1, value);
+  total_count_ += entry.counter.count_at(length_);  // non-zero iff L == 1
   entries_.push_back(std::move(entry));
   if (stats_ != nullptr) {
     stats_->objects.Add(1);
@@ -64,7 +68,10 @@ void CounterSet::ApplyUpdate(size_t pos, double value) {
     if (stats_ != nullptr) ++stats_->work_units;
     return;
   }
+  const bool tail = pos == length_;
   for (Entry& entry : entries_) {
+    // Lemma 1: the tail cell grows by the length-(L-1) prefix count.
+    if (tail) total_count_ += entry.counter.count_at(length_ - 1);
     entry.counter.ApplyPositive(pos, value);
   }
   if (stats_ != nullptr) stats_->work_units += entries_.size();
@@ -86,6 +93,12 @@ AggAccum CounterSet::Total() const {
   AggAccum acc;
   if (!windowed()) {
     acc.Merge(single_->Tail(), func_);
+    return acc;
+  }
+  if (func_ == AggFunc::kCount) {
+    // Integer-exact running total: identical to the walk below, without
+    // visiting every live counter.
+    acc.count = total_count_;
     return acc;
   }
   for (const Entry& entry : entries_) {

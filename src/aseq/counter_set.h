@@ -1,7 +1,9 @@
 #ifndef ASEQ_ASEQ_COUNTER_SET_H_
 #define ASEQ_ASEQ_COUNTER_SET_H_
 
+#include <cstdint>
 #include <deque>
+#include <limits>
 #include <optional>
 
 #include "aseq/prefix_counter.h"
@@ -54,8 +56,16 @@ class CounterSet {
   void ResetPrefix(size_t gap);
 
   /// Aggregate over the full pattern across all live counters. Call after
-  /// Purge(now).
+  /// Purge(now). O(1) for COUNT (a running tail total is maintained across
+  /// updates and purges); O(live counters) otherwise.
   AggAccum Total() const;
+
+  /// Count of full-pattern matches across all live counters. O(1): starts,
+  /// tail updates, and purges maintain it incrementally (integer-exact, so
+  /// it always equals the freshly-recomputed sum). Call after Purge(now).
+  uint64_t total_count() const {
+    return windowed() ? total_count_ : single_->count_at(length_);
+  }
 
   /// Number of live per-start counters (1 in unbounded mode once any START
   /// arrived).
@@ -63,6 +73,17 @@ class CounterSet {
 
   bool windowed() const { return window_ms_ > 0; }
   Timestamp window_ms() const { return window_ms_; }
+
+  /// Earliest expiration among live counters, or Timestamp max when nothing
+  /// can expire (unbounded mode, or no live counters). Purge(now) is a
+  /// no-op for any `now < next_expiry()` — the batched engines use this to
+  /// skip provably-idle purge calls without changing observable state.
+  Timestamp next_expiry() const {
+    if (window_ms_ <= 0 || entries_.empty()) {
+      return std::numeric_limits<Timestamp>::max();
+    }
+    return entries_.front().exp;
+  }
 
  private:
   struct Entry {
@@ -80,6 +101,12 @@ class CounterSet {
   std::deque<Entry> entries_;
   // Unbounded mode: the single global counter.
   std::optional<PrefixCounter> single_;
+  // Windowed mode: running sum of the live counters' tail counts (full
+  // matches). The tail only changes on OnStart (a length-1 pattern's start
+  // is itself a match), on ApplyUpdate at the last position (Lemma 1:
+  // cell L grows by cell L-1), and when a counter is purged — ResetPrefix
+  // never touches the tail (negation may not trail the pattern).
+  uint64_t total_count_ = 0;
 };
 
 }  // namespace aseq

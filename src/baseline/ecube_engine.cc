@@ -124,6 +124,30 @@ void EcubeEngine::Purge(Timestamp now) {
       stats_.objects.Remove(1);
     }
   }
+  next_expiry_ = ComputeNextExpiry();
+}
+
+Timestamp EcubeEngine::ComputeNextExpiry() const {
+  Timestamp min_exp = std::numeric_limits<Timestamp>::max();
+  if (window_ms_ <= 0) return min_exp;
+  auto scan_stack = [&](const PosStack& stack) {
+    if (!stack.entries.empty()) {
+      min_exp = std::min(min_exp, stack.entries.front().ts + window_ms_);
+    }
+  };
+  for (const PosStack& stack : shared_stacks_) scan_stack(stack);
+  for (const QueryState& state : states_) {
+    for (const PosStack& stack : state.prefix_stacks) scan_stack(stack);
+    for (const PosStack& stack : state.tail_stacks) scan_stack(stack);
+    if (!state.composites.empty()) {
+      min_exp = std::min(
+          min_exp, state.composites.front().match.start_ts + window_ms_);
+    }
+    if (!state.expiry.empty()) {
+      min_exp = std::min(min_exp, state.expiry.top());
+    }
+  }
+  return min_exp;
 }
 
 void EcubeEngine::ConstructShared(Timestamp now,
@@ -252,8 +276,30 @@ void EcubeEngine::CountNewMatches(size_t qi, Timestamp now) {
 }
 
 void EcubeEngine::OnEvent(const Event& e, std::vector<MultiOutput>* out) {
-  ++stats_.events_processed;
   Purge(e.ts());
+  ProcessEvent(e, out);
+  // Keep the cached bound valid for a subsequent OnBatch (new stack
+  // entries expire at e.ts() + window; composites and retained matches
+  // inherit a live entry's expiry, already covered by the bound).
+  if (window_ms_ > 0) {
+    next_expiry_ = std::min(next_expiry_, e.ts() + window_ms_);
+  }
+}
+
+void EcubeEngine::OnBatch(std::span<const Event> batch,
+                          std::vector<MultiOutput>* out) {
+  if (batch.empty()) return;
+  const bool windowed = window_ms_ > 0;
+  for (const Event& e : batch) {
+    if (e.ts() >= next_expiry_) Purge(e.ts());
+    ProcessEvent(e, out);
+    if (windowed) next_expiry_ = std::min(next_expiry_, e.ts() + window_ms_);
+  }
+  stats_.NoteBatch(batch.size());
+}
+
+void EcubeEngine::ProcessEvent(const Event& e, std::vector<MultiOutput>* out) {
+  ++stats_.events_processed;
 
   // Shared stacks (descending position order).
   bool shared_trigger = false;

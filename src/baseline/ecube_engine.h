@@ -2,8 +2,10 @@
 #define ASEQ_BASELINE_ECUBE_ENGINE_H_
 
 #include <deque>
+#include <limits>
 #include <memory>
 #include <queue>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,8 +37,15 @@ class EcubeEngine : public MultiQueryEngine {
       std::vector<CompiledQuery> queries, std::vector<EventTypeId> shared_types);
 
   void OnEvent(const Event& e, std::vector<MultiOutput>* out) override;
+  /// Batched path: skips per-event purge scans that a cached next-expiry
+  /// lower bound proves are no-ops.
+  void OnBatch(std::span<const Event> batch,
+               std::vector<MultiOutput>* out) override;
   const EngineStats& stats() const override { return stats_; }
   std::string name() const override { return "ECube"; }
+
+ protected:
+  EngineStats* mutable_stats() override { return &stats_; }
 
  private:
   struct StackEntry {
@@ -85,6 +94,10 @@ class EcubeEngine : public MultiQueryEngine {
               std::vector<EventTypeId> shared_types);
 
   void Purge(Timestamp now);
+  /// Exact earliest expiration over all retained state, or Timestamp max.
+  Timestamp ComputeNextExpiry() const;
+  /// Stack maintenance + triggers for one event (caller already purged).
+  void ProcessEvent(const Event& e, std::vector<MultiOutput>* out);
   /// DFS over the shared stacks; appends new composites.
   void ConstructShared(Timestamp now, std::vector<Composite>* created);
   /// Counts new full matches of query q rooted at a new tail entry /
@@ -101,6 +114,8 @@ class EcubeEngine : public MultiQueryEngine {
 
   std::vector<PosStack> shared_stacks_;
   std::vector<QueryState> states_;
+  /// Lower bound on the earliest live expiration (see StackEngine).
+  Timestamp next_expiry_ = std::numeric_limits<Timestamp>::max();
 
   // DFS scratch.
   std::vector<SeqNum> shared_dfs_;

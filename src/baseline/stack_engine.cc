@@ -84,11 +84,54 @@ void StackEngine::PurgeExpired(Timestamp now) {
     --live_matches_;
     stats_.objects.Remove(1);
   }
+  next_expiry_ = ComputeNextExpiry();
+}
+
+Timestamp StackEngine::ComputeNextExpiry() const {
+  Timestamp min_exp = std::numeric_limits<Timestamp>::max();
+  if (!query_.has_window()) return min_exp;
+  const Timestamp win = query_.window_ms();
+  for (const PosStack& stack : stacks_) {
+    if (!stack.entries.empty()) {
+      min_exp = std::min(min_exp, stack.entries.front().event.ts() + win);
+    }
+  }
+  for (const std::deque<NegEvent>& events : neg_events_) {
+    if (!events.empty()) min_exp = std::min(min_exp, events.front().ts + win);
+  }
+  if (!expiry_.empty()) min_exp = std::min(min_exp, expiry_.top().exp);
+  if (!lazy_expiry_.empty()) {
+    min_exp = std::min(min_exp, lazy_expiry_.top().exp);
+  }
+  return min_exp;
 }
 
 void StackEngine::OnEvent(const Event& e, std::vector<Output>* out) {
-  ++stats_.events_processed;
   PurgeExpired(e.ts());
+  ProcessEvent(e, out);
+  // Keep the cached bound valid for a subsequent OnBatch: state created
+  // here expires at e.ts() + window or later (retained matches inherit
+  // their start entry's expiry, which the bound already covers).
+  if (query_.has_window()) {
+    next_expiry_ = std::min(next_expiry_, e.ts() + query_.window_ms());
+  }
+}
+
+void StackEngine::OnBatch(std::span<const Event> batch,
+                          std::vector<Output>* out) {
+  if (batch.empty()) return;
+  const bool windowed = query_.has_window();
+  const Timestamp win = query_.window_ms();
+  for (const Event& e : batch) {
+    if (e.ts() >= next_expiry_) PurgeExpired(e.ts());
+    ProcessEvent(e, out);
+    if (windowed) next_expiry_ = std::min(next_expiry_, e.ts() + win);
+  }
+  stats_.NoteBatch(batch.size());
+}
+
+void StackEngine::ProcessEvent(const Event& e, std::vector<Output>* out) {
+  ++stats_.events_processed;
   const std::vector<Role>* roles = query_.FindRoles(e.type());
   if (roles == nullptr) return;
 

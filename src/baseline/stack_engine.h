@@ -2,9 +2,11 @@
 #define ASEQ_BASELINE_STACK_ENGINE_H_
 
 #include <deque>
+#include <limits>
 #include <map>
 #include <queue>
 #include <set>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -44,6 +46,10 @@ class StackEngine : public QueryEngine {
   explicit StackEngine(CompiledQuery query);
 
   void OnEvent(const Event& e, std::vector<Output>* out) override;
+  /// Batched path: skips per-event purge calls that a cached next-expiry
+  /// lower bound proves are no-ops (state and stats stay byte-identical to
+  /// the per-event path).
+  void OnBatch(std::span<const Event> batch, std::vector<Output>* out) override;
   std::vector<Output> Poll(Timestamp now) override;
   const EngineStats& stats() const override { return stats_; }
   std::string name() const override { return "StackBased"; }
@@ -52,6 +58,9 @@ class StackEngine : public QueryEngine {
 
   /// Number of currently retained (non-expired) matches (testing hook).
   size_t num_live_matches() const { return live_matches_; }
+
+ protected:
+  EngineStats* mutable_stats() override { return &stats_; }
 
  private:
   struct StackEntry {
@@ -111,6 +120,13 @@ class StackEngine : public QueryEngine {
   };
 
   void PurgeExpired(Timestamp now);
+  /// Exact earliest expiration over all retained state (stack entries,
+  /// negated instances, retained matches), or Timestamp max when nothing
+  /// can expire.
+  Timestamp ComputeNextExpiry() const;
+  /// Role dispatch, stack pushes, and trigger handling for one event; the
+  /// caller has already purged expired state as of e.ts().
+  void ProcessEvent(const Event& e, std::vector<Output>* out);
   /// DFS from a freshly pushed trigger entry; records every valid match.
   void ConstructMatches(Timestamp now);
   void RecordMatch(Timestamp now);
@@ -145,6 +161,11 @@ class StackEngine : public QueryEngine {
                       std::greater<LazyExpiry>>
       lazy_expiry_;
   uint64_t live_matches_ = 0;
+  /// Lower bound on the earliest live expiration; PurgeExpired(now) is a
+  /// no-op for now < next_expiry_, letting OnBatch skip the purge scan.
+  /// PurgeExpired recomputes it exactly; event processing tightens it with
+  /// min(next_expiry_, e.ts() + window).
+  Timestamp next_expiry_ = std::numeric_limits<Timestamp>::max();
 
   /// DFS scratch: the partially built match, positions L-1 down to 0.
   std::vector<const StackEntry*> dfs_match_;

@@ -32,12 +32,29 @@ constexpr const char* kUsage =
     "                (--trace FILE | --stock N | --clicks N)\n"
     "                [--engine aseq|stack] [--slack MS] [--seed S]\n"
     "                [--gap MS] [--limit N] [--quiet] [--emit-on-change]\n"
+    "                [--batch-size N]\n"
     "  aseq explain  --query \"...\"\n"
     "  aseq generate (--stock N | --clicks N) --out FILE [--seed S] [--gap MS]\n"
     "  aseq compare  --query \"...\" (--trace FILE | --stock N | --clicks N)\n"
+    "                [--batch-size N]\n"
     "  aseq workload --queries FILE (--trace FILE | --stock N | --clicks N)\n"
     "                [--strategy nonshare|sase|pretree|cc|hybrid]\n"
-    "                [--seed S] [--gap MS]\n";
+    "                [--seed S] [--gap MS] [--batch-size N]\n"
+    "  (--batch-size controls the ingestion batch fed to OnBatch; default "
+    "256, 1 = per-event)\n";
+
+/// Reads --batch-size into RunOptions (default kDefaultBatchSize).
+Result<RunOptions> BatchOptionsFromFlags(const FlagSet& flags) {
+  ASEQ_ASSIGN_OR_RETURN(
+      int64_t batch,
+      flags.GetInt("batch-size", static_cast<int64_t>(kDefaultBatchSize)));
+  if (batch <= 0) {
+    return Status::InvalidArgument("--batch-size expects N > 0");
+  }
+  RunOptions options;
+  options.batch_size = static_cast<size_t>(batch);
+  return options;
+}
 
 /// Loads/creates the event stream named by the source flags.
 Result<std::vector<Event>> LoadEvents(const FlagSet& flags, Schema* schema) {
@@ -117,7 +134,7 @@ void PrintOutput(std::ostream& out, const Output& output) {
 int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   Status known = flags.CheckKnown({"query", "trace", "stock", "clicks",
                                    "engine", "slack", "seed", "gap", "limit",
-                                   "quiet", "emit-on-change"});
+                                   "quiet", "emit-on-change", "batch-size"});
   if (!known.ok()) {
     err << known.ToString() << "\n";
     return 2;
@@ -138,7 +155,13 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     err << engine.status().ToString() << "\n";
     return 1;
   }
-  RunResult result = Runtime::RunEvents(*events, engine->get());
+  auto options = BatchOptionsFromFlags(flags);
+  if (!options.ok()) {
+    err << options.status().ToString() << "\n";
+    return 1;
+  }
+  BatchRunner runner(*options);
+  RunResult result = runner.RunEvents(*events, engine->get());
   if (auto* reordering = dynamic_cast<ReorderingEngine*>(engine->get())) {
     std::vector<Output> tail;
     StopWatch watch;
@@ -168,6 +191,7 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   out << "engine:        " << engine->get()->name() << "\n";
   out << "query:         " << query->ToString() << "\n";
   out << "events:        " << result.events << "\n";
+  out << "batch size:    " << result.batch_size << "\n";
   out << "results:       " << result.outputs.size() << "\n";
   out << "ms/slide:      " << result.MillisPerSlide() << "\n";
   out << "peak objects:  " << engine->get()->stats().objects.peak() << "\n";
@@ -253,8 +277,8 @@ int CmdGenerate(const FlagSet& flags, std::ostream& out, std::ostream& err) {
 }
 
 int CmdCompare(const FlagSet& flags, std::ostream& out, std::ostream& err) {
-  Status known =
-      flags.CheckKnown({"query", "trace", "stock", "clicks", "seed", "gap"});
+  Status known = flags.CheckKnown(
+      {"query", "trace", "stock", "clicks", "seed", "gap", "batch-size"});
   if (!known.ok()) {
     err << known.ToString() << "\n";
     return 2;
@@ -270,8 +294,14 @@ int CmdCompare(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     err << events.status().ToString() << "\n";
     return 1;
   }
+  auto options = BatchOptionsFromFlags(flags);
+  if (!options.ok()) {
+    err << options.status().ToString() << "\n";
+    return 1;
+  }
+  BatchRunner runner(*options);
   StackEngine stack(*query);
-  RunResult stack_run = Runtime::RunEvents(*events, &stack);
+  RunResult stack_run = runner.RunEvents(*events, &stack);
 
   auto aseq = CreateAseqEngine(*query);
   if (!aseq.ok()) {
@@ -281,7 +311,7 @@ int CmdCompare(const FlagSet& flags, std::ostream& out, std::ostream& err) {
         << stack.stats().objects.peak() << " objects\n";
     return 0;
   }
-  RunResult aseq_run = Runtime::RunEvents(*events, aseq->get());
+  RunResult aseq_run = runner.RunEvents(*events, aseq->get());
 
   size_t mismatches = 0;
   if (aseq_run.outputs.size() != stack_run.outputs.size()) {
@@ -328,8 +358,8 @@ int CmdCompare(const FlagSet& flags, std::ostream& out, std::ostream& err) {
 }
 
 int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
-  Status known = flags.CheckKnown(
-      {"queries", "trace", "stock", "clicks", "strategy", "seed", "gap"});
+  Status known = flags.CheckKnown({"queries", "trace", "stock", "clicks",
+                                   "strategy", "seed", "gap", "batch-size"});
   if (!known.ok()) {
     err << known.ToString() << "\n";
     return 2;
@@ -414,7 +444,13 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     return 1;
   }
 
-  MultiRunResult result = Runtime::RunMultiEvents(*events, engine.get());
+  auto options = BatchOptionsFromFlags(flags);
+  if (!options.ok()) {
+    err << options.status().ToString() << "\n";
+    return 1;
+  }
+  BatchRunner runner(*options);
+  MultiRunResult result = runner.RunMultiEvents(*events, engine.get());
   std::vector<size_t> per_query(queries.size(), 0);
   std::vector<Value> last(queries.size());
   for (const MultiOutput& mo : result.outputs) {
@@ -424,6 +460,7 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   out << "strategy:      " << engine->name() << "\n";
   out << "queries:       " << queries.size() << "\n";
   out << "events:        " << result.events << "\n";
+  out << "batch size:    " << result.batch_size << "\n";
   out << "ms/slide:      " << result.MillisPerSlide() << "\n";
   out << "peak objects:  " << engine->stats().objects.peak() << "\n";
   for (size_t qi = 0; qi < queries.size(); ++qi) {

@@ -59,6 +59,12 @@ class ChangeDetectingEngine : public QueryEngine {
     }
   }
 
+  // OnBatch deliberately keeps the base-class per-event loop: the change
+  // contract requires one Poll of the inner engine after *every* event,
+  // so there is no per-event work to hoist. mutable_stats() stays null
+  // (stats forward to the inner engine, whose own OnBatch does the batch
+  // accounting when driven batched directly).
+
   std::vector<Output> Poll(Timestamp now) override {
     return inner_->Poll(now);
   }

@@ -2,6 +2,7 @@
 #define ASEQ_ENGINE_ENGINE_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,19 @@ class QueryEngine {
   /// timestamps and strictly increasing sequence numbers.
   virtual void OnEvent(const Event& e, std::vector<Output>* out) = 0;
 
+  /// Processes a batch of events in arrival order. Exactly equivalent to
+  /// calling OnEvent once per event — byte-identical Output sequences and
+  /// identical EngineStats (modulo the batch counters) — but engines
+  /// override it to amortize per-event overheads: window-expiry checks,
+  /// role/hash lookups, and (HpcEngine) software-prefetched partition
+  /// probes. The default implementation is the per-event loop.
+  virtual void OnBatch(std::span<const Event> batch,
+                       std::vector<Output>* out) {
+    if (batch.empty()) return;
+    for (const Event& e : batch) OnEvent(e, out);
+    if (EngineStats* stats = mutable_stats()) stats->NoteBatch(batch.size());
+  }
+
   /// Reports the current aggregation value(s) as of time `now` (expired
   /// state excluded), without consuming an event — SEM step (4): "if an
   /// output result were to be required at this time". Grouped queries
@@ -54,6 +68,13 @@ class QueryEngine {
 
   /// Human-readable engine name ("A-Seq(SEM)", "StackBased", ...).
   virtual std::string name() const = 0;
+
+ protected:
+  /// Hook for the default OnBatch to record batch counters. Engines that
+  /// own an EngineStats return it here; wrappers that merely forward
+  /// stats() to an inner engine leave it null so the inner engine's own
+  /// OnBatch (or fallback loop) does the accounting exactly once.
+  virtual EngineStats* mutable_stats() { return nullptr; }
 };
 
 /// \brief An Output attributed to one query of a multi-query workload.
@@ -71,10 +92,23 @@ class MultiQueryEngine {
   /// Processes one event for all queries; appends results to `out`.
   virtual void OnEvent(const Event& e, std::vector<MultiOutput>* out) = 0;
 
+  /// Batched counterpart of OnEvent with the same exact-equivalence
+  /// contract as QueryEngine::OnBatch. Default: per-event loop.
+  virtual void OnBatch(std::span<const Event> batch,
+                       std::vector<MultiOutput>* out) {
+    if (batch.empty()) return;
+    for (const Event& e : batch) OnEvent(e, out);
+    if (EngineStats* stats = mutable_stats()) stats->NoteBatch(batch.size());
+  }
+
   /// Per-workload statistics.
   virtual const EngineStats& stats() const = 0;
 
   virtual std::string name() const = 0;
+
+ protected:
+  /// See QueryEngine::mutable_stats.
+  virtual EngineStats* mutable_stats() { return nullptr; }
 };
 
 }  // namespace aseq

@@ -2,6 +2,7 @@
 #define ASEQ_ENGINE_REORDERING_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,18 @@ class ReorderingEngine : public QueryEngine {
       r.set_seq(next_seq_++);
       inner_->OnEvent(r, out);
     }
+  }
+
+  /// Batched path: pushes the whole batch through the reorder buffer,
+  /// then feeds everything released — in the same release order as the
+  /// per-event path — to the inner engine as one batch.
+  void OnBatch(std::span<const Event> batch,
+               std::vector<Output>* out) override {
+    if (batch.empty()) return;
+    released_.clear();
+    for (const Event& e : batch) reorderer_.Push(e, &released_);
+    for (Event& r : released_) r.set_seq(next_seq_++);
+    inner_->OnBatch(released_, out);
   }
 
   /// Drains the reorder buffer into the wrapped engine.
@@ -78,6 +91,16 @@ class ReorderingMultiEngine : public MultiQueryEngine {
       r.set_seq(next_seq_++);
       inner_->OnEvent(r, out);
     }
+  }
+
+  /// Batched path (see ReorderingEngine::OnBatch).
+  void OnBatch(std::span<const Event> batch,
+               std::vector<MultiOutput>* out) override {
+    if (batch.empty()) return;
+    released_.clear();
+    for (const Event& e : batch) reorderer_.Push(e, &released_);
+    for (Event& r : released_) r.set_seq(next_seq_++);
+    inner_->OnBatch(released_, out);
   }
 
   /// Drains the reorder buffer into the wrapped engine.

@@ -1,5 +1,8 @@
 #include "engine/runtime.h"
 
+#include <algorithm>
+#include <span>
+
 #include "metrics/metrics.h"
 
 namespace aseq {
@@ -16,6 +19,91 @@ std::string Output::ToString() const {
 void AssignSeqNums(std::vector<Event>* events) {
   SeqNum seq = 0;
   for (Event& e : *events) e.set_seq(seq++);
+}
+
+RunResult BatchRunner::Run(StreamSource* source, QueryEngine* engine) {
+  RunResult result;
+  result.batch_size = options_.batch_size;
+  SeqNum seq = 0;
+  StopWatch watch;
+  while (source->NextBatch(options_.batch_size, &batch_buf_) > 0) {
+    for (Event& e : batch_buf_) e.set_seq(seq++);
+    scratch_.clear();
+    engine->OnBatch(batch_buf_, &scratch_);
+    if (options_.collect_outputs) {
+      result.outputs.insert(result.outputs.end(), scratch_.begin(),
+                            scratch_.end());
+    }
+  }
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  result.events = seq;
+  return result;
+}
+
+RunResult BatchRunner::RunEvents(const std::vector<Event>& events,
+                                 QueryEngine* engine) {
+  RunResult result;
+  result.batch_size = options_.batch_size;
+  SeqNum seq = 0;
+  StopWatch watch;
+  for (size_t pos = 0; pos < events.size(); pos += options_.batch_size) {
+    const size_t n = std::min(options_.batch_size, events.size() - pos);
+    batch_buf_.assign(events.begin() + static_cast<ptrdiff_t>(pos),
+                      events.begin() + static_cast<ptrdiff_t>(pos + n));
+    for (Event& e : batch_buf_) e.set_seq(seq++);
+    scratch_.clear();
+    engine->OnBatch(batch_buf_, &scratch_);
+    if (options_.collect_outputs) {
+      result.outputs.insert(result.outputs.end(), scratch_.begin(),
+                            scratch_.end());
+    }
+  }
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  result.events = seq;
+  return result;
+}
+
+MultiRunResult BatchRunner::RunMulti(StreamSource* source,
+                                     MultiQueryEngine* engine) {
+  MultiRunResult result;
+  result.batch_size = options_.batch_size;
+  SeqNum seq = 0;
+  StopWatch watch;
+  while (source->NextBatch(options_.batch_size, &batch_buf_) > 0) {
+    for (Event& e : batch_buf_) e.set_seq(seq++);
+    multi_scratch_.clear();
+    engine->OnBatch(batch_buf_, &multi_scratch_);
+    if (options_.collect_outputs) {
+      result.outputs.insert(result.outputs.end(), multi_scratch_.begin(),
+                            multi_scratch_.end());
+    }
+  }
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  result.events = seq;
+  return result;
+}
+
+MultiRunResult BatchRunner::RunMultiEvents(const std::vector<Event>& events,
+                                           MultiQueryEngine* engine) {
+  MultiRunResult result;
+  result.batch_size = options_.batch_size;
+  SeqNum seq = 0;
+  StopWatch watch;
+  for (size_t pos = 0; pos < events.size(); pos += options_.batch_size) {
+    const size_t n = std::min(options_.batch_size, events.size() - pos);
+    batch_buf_.assign(events.begin() + static_cast<ptrdiff_t>(pos),
+                      events.begin() + static_cast<ptrdiff_t>(pos + n));
+    for (Event& e : batch_buf_) e.set_seq(seq++);
+    multi_scratch_.clear();
+    engine->OnBatch(batch_buf_, &multi_scratch_);
+    if (options_.collect_outputs) {
+      result.outputs.insert(result.outputs.end(), multi_scratch_.begin(),
+                            multi_scratch_.end());
+    }
+  }
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  result.events = seq;
+  return result;
 }
 
 RunResult Runtime::Run(StreamSource* source, QueryEngine* engine,

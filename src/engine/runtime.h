@@ -1,6 +1,7 @@
 #ifndef ASEQ_ENGINE_RUNTIME_H_
 #define ASEQ_ENGINE_RUNTIME_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "engine/engine.h"
@@ -8,12 +9,31 @@
 
 namespace aseq {
 
+/// Default ingestion batch size for the batched execution pipeline (CLI
+/// `--batch-size`, BatchRunner, and the bench harnesses). 256 events keeps
+/// the refill buffer well inside L2 while amortizing per-event overheads.
+inline constexpr size_t kDefaultBatchSize = 256;
+
+/// \brief Knobs for a batched run.
+struct RunOptions {
+  /// Collect engine outputs into the result (benchmarks turn this off to
+  /// avoid measuring vector growth — the scratch buffer is still reused,
+  /// clear-not-shrink, between batches).
+  bool collect_outputs = true;
+  /// Events pulled from the source and handed to OnBatch per refill.
+  /// A batch size of 1 degenerates to the per-event path (one OnBatch
+  /// call per event).
+  size_t batch_size = kDefaultBatchSize;
+};
+
 /// \brief Result of driving a stream through an engine.
 struct RunResult {
   std::vector<Output> outputs;
   uint64_t events = 0;
   /// Wall-clock seconds spent inside the engine.
   double elapsed_seconds = 0;
+  /// Ingestion batch size used for the run (1 for the per-event path).
+  size_t batch_size = 1;
 
   /// Average execution time per window slide in milliseconds — the paper's
   /// primary metric (the window slides once per event).
@@ -27,6 +47,8 @@ struct MultiRunResult {
   std::vector<MultiOutput> outputs;
   uint64_t events = 0;
   double elapsed_seconds = 0;
+  /// Ingestion batch size used for the run (1 for the per-event path).
+  size_t batch_size = 1;
 
   double MillisPerSlide() const {
     return events == 0 ? 0 : elapsed_seconds * 1e3 / static_cast<double>(events);
@@ -38,8 +60,44 @@ struct MultiRunResult {
 /// this before feeding.
 void AssignSeqNums(std::vector<Event>* events);
 
-/// \brief Drives streams through engines, assigning sequence numbers and
-/// timing the engine work.
+/// \brief Batched pipeline driver: pulls event batches from a source,
+/// assigns sequence numbers, and feeds them to an engine through OnBatch.
+///
+/// Owns its refill and scratch buffers and reuses them (clear, never
+/// shrink) across batches and across runs, so a harness that loops Run
+/// per benchmark iteration allocates only on the first pass.
+class BatchRunner {
+ public:
+  BatchRunner() = default;
+  explicit BatchRunner(RunOptions options) : options_(options) {}
+
+  void set_options(RunOptions options) { options_ = options; }
+  const RunOptions& options() const { return options_; }
+
+  /// Runs the whole source through `engine` in batches.
+  RunResult Run(StreamSource* source, QueryEngine* engine);
+
+  /// Runs pre-built events through `engine` in batches, assigning
+  /// sequence numbers 0..n-1 to the fed copies.
+  RunResult RunEvents(const std::vector<Event>& events, QueryEngine* engine);
+
+  /// Multi-query variants.
+  MultiRunResult RunMulti(StreamSource* source, MultiQueryEngine* engine);
+  MultiRunResult RunMultiEvents(const std::vector<Event>& events,
+                                MultiQueryEngine* engine);
+
+ private:
+  RunOptions options_;
+  std::vector<Event> batch_buf_;
+  std::vector<Output> scratch_;
+  std::vector<MultiOutput> multi_scratch_;
+};
+
+/// \brief Per-event compatibility driver.
+///
+/// The static methods preserve the original one-event-per-OnEvent shape
+/// (batch size 1 through OnEvent directly, not OnBatch) — tests use them
+/// as the reference path the batched pipeline must match exactly.
 class Runtime {
  public:
   /// Runs the whole source through `engine`; collects outputs if

@@ -1,6 +1,7 @@
 #ifndef ASEQ_METRICS_METRICS_H_
 #define ASEQ_METRICS_METRICS_H_
 
+#include <cassert>
 #include <chrono>
 #include <cstdint>
 
@@ -19,7 +20,13 @@ class ObjectCounter {
     current_ += n;
     if (current_ > peak_) peak_ = current_;
   }
-  void Remove(int64_t n) { current_ -= n; }
+  void Remove(int64_t n) {
+    current_ -= n;
+    // Live-object accounting must never go negative: a negative count means
+    // an engine removed state it never added (double-purge, lost Add).
+    assert(current_ >= 0 &&
+           "ObjectCounter::Remove drove the live count negative");
+  }
 
   int64_t current() const { return current_; }
   int64_t peak() const { return peak_; }
@@ -47,12 +54,25 @@ struct EngineStats {
   uint64_t work_units = 0;
   /// Live/peak state objects (see ObjectCounter).
   ObjectCounter objects;
+  /// Batches consumed through OnBatch (a per-event OnEvent feed leaves
+  /// these at zero; batched and per-event runs are otherwise stat-identical).
+  uint64_t batches_processed = 0;
+  /// Largest batch seen by OnBatch.
+  uint64_t max_batch_events = 0;
+
+  /// Records one OnBatch call of `n` events.
+  void NoteBatch(size_t n) {
+    ++batches_processed;
+    if (n > max_batch_events) max_batch_events = n;
+  }
 
   void Reset() {
     events_processed = 0;
     outputs = 0;
     work_units = 0;
     objects.Reset();
+    batches_processed = 0;
+    max_batch_events = 0;
   }
 };
 

@@ -124,6 +124,17 @@ void ChopConnectEngine::PurgeSegment(Segment* seg, Timestamp now) {
   }
 }
 
+void ChopConnectEngine::Purge(Timestamp now) {
+  Timestamp min_exp = std::numeric_limits<Timestamp>::max();
+  for (Segment& seg : segments_) {
+    PurgeSegment(&seg, now);
+    if (!seg.entries.empty()) {
+      min_exp = std::min(min_exp, seg.entries.front().exp);
+    }
+  }
+  next_expiry_ = min_exp;
+}
+
 ChopConnectEngine::SnapshotTable ChopConnectEngine::ComputeSnapshot(
     const Hook& hook, Timestamp now) {
   SnapshotTable table;
@@ -189,8 +200,26 @@ uint64_t ChopConnectEngine::QueryTotal(size_t qi, Timestamp now) {
 }
 
 void ChopConnectEngine::OnEvent(const Event& e, std::vector<MultiOutput>* out) {
+  Purge(e.ts());
+  ProcessEvent(e, out);
+  // New segment entries expire at e.ts() + window; keep the bound valid.
+  next_expiry_ = std::min(next_expiry_, e.ts() + window_ms_);
+}
+
+void ChopConnectEngine::OnBatch(std::span<const Event> batch,
+                                std::vector<MultiOutput>* out) {
+  if (batch.empty()) return;
+  for (const Event& e : batch) {
+    if (e.ts() >= next_expiry_) Purge(e.ts());
+    ProcessEvent(e, out);
+    next_expiry_ = std::min(next_expiry_, e.ts() + window_ms_);
+  }
+  stats_.NoteBatch(batch.size());
+}
+
+void ChopConnectEngine::ProcessEvent(const Event& e,
+                                     std::vector<MultiOutput>* out) {
   ++stats_.events_processed;
-  for (Segment& seg : segments_) PurgeSegment(&seg, e.ts());
 
   // CNET pre-pass (Lemma 7): snapshots use counts from *before* this
   // arrival's updates.

@@ -2,7 +2,9 @@
 #define ASEQ_MULTI_CHOP_CONNECT_ENGINE_H_
 
 #include <deque>
+#include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -42,11 +44,18 @@ class ChopConnectEngine : public MultiQueryEngine {
       std::vector<CompiledQuery> queries, ChopPlan plan);
 
   void OnEvent(const Event& e, std::vector<MultiOutput>* out) override;
+  /// Batched path: skips per-segment purge scans that a cached
+  /// next-expiry lower bound proves are no-ops.
+  void OnBatch(std::span<const Event> batch,
+               std::vector<MultiOutput>* out) override;
   const EngineStats& stats() const override { return stats_; }
   std::string name() const override { return "ChopConnect"; }
 
   /// Number of unique shared segments (testing hook).
   size_t num_segments() const { return segments_.size(); }
+
+ protected:
+  EngineStats* mutable_stats() override { return &stats_; }
 
  private:
   /// One snapshot row: the count of the query's pattern-prefix (through the
@@ -115,6 +124,11 @@ class ChopConnectEngine : public MultiQueryEngine {
   void Build();
 
   void PurgeSegment(Segment* seg, Timestamp now);
+  /// Purges every segment and recomputes next_expiry_.
+  void Purge(Timestamp now);
+  /// Snapshot pre-pass, updates, and triggers for one event (caller
+  /// already purged).
+  void ProcessEvent(const Event& e, std::vector<MultiOutput>* out);
   SnapshotTable ComputeSnapshot(const Hook& hook, Timestamp now);
   uint64_t QueryTotal(size_t qi, Timestamp now);
 
@@ -132,6 +146,9 @@ class ChopConnectEngine : public MultiQueryEngine {
   /// -1 for single-segment queries.
   std::vector<int> final_hook_;
   EngineStats stats_;
+  /// Lower bound on the earliest live entry expiration (see
+  /// StackEngine::next_expiry_).
+  Timestamp next_expiry_ = std::numeric_limits<Timestamp>::max();
 };
 
 }  // namespace aseq

@@ -2,6 +2,7 @@
 #define ASEQ_MULTI_HYBRID_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,12 +37,20 @@ class HybridMultiEngine : public MultiQueryEngine {
       std::vector<CompiledQuery> queries);
 
   void OnEvent(const Event& e, std::vector<MultiOutput>* out) override;
+  /// Batched path. Parts still see events one at a time (see
+  /// NonSharedEngine::OnBatch — the combined object peak is sampled per
+  /// event); only the work-unit summation is hoisted per batch.
+  void OnBatch(std::span<const Event> batch,
+               std::vector<MultiOutput>* out) override;
   const EngineStats& stats() const override { return stats_; }
   std::string name() const override { return "Hybrid"; }
 
   /// Human-readable routing decisions ("Q1 -> PreTree", ...), one per
   /// workload query, in workload order.
   const std::vector<std::string>& routing() const { return routing_; }
+
+ protected:
+  EngineStats* mutable_stats() override { return &stats_; }
 
  private:
   /// A sub-engine handling a subset of the workload; `global_index` maps
@@ -56,6 +65,12 @@ class HybridMultiEngine : public MultiQueryEngine {
   };
 
   HybridMultiEngine() = default;
+
+  /// Feeds one event to every part and samples the combined live-object
+  /// total (work-unit summation deferred to SumWorkUnits).
+  void ProcessEvent(const Event& e, std::vector<MultiOutput>* out);
+  /// Refreshes stats_.work_units from all parts.
+  void SumWorkUnits();
 
   std::vector<MultiPart> multi_parts_;
   std::vector<SinglePart> single_parts_;

@@ -33,9 +33,9 @@ std::unique_ptr<NonSharedEngine> NonSharedEngine::CreateStackBased(
                                            "NonShare(StackBased)");
 }
 
-void NonSharedEngine::OnEvent(const Event& e, std::vector<MultiOutput>* out) {
+void NonSharedEngine::ProcessEvent(const Event& e,
+                                   std::vector<MultiOutput>* out) {
   ++stats_.events_processed;
-  uint64_t work = 0;
   int64_t objects = 0;
   for (size_t i = 0; i < engines_.size(); ++i) {
     scratch_.clear();
@@ -47,13 +47,37 @@ void NonSharedEngine::OnEvent(const Event& e, std::vector<MultiOutput>* out) {
       out->push_back(std::move(mo));
       ++stats_.outputs;
     }
-    work += engines_[i]->stats().work_units;
     objects += engines_[i]->stats().objects.current();
   }
-  stats_.work_units = work;
   // Track the combined live-object total so the peak of the sum is exact.
   stats_.objects.Add(objects - last_objects_);
   last_objects_ = objects;
+}
+
+void NonSharedEngine::SumWorkUnits() {
+  uint64_t work = 0;
+  for (const std::unique_ptr<QueryEngine>& engine : engines_) {
+    work += engine->stats().work_units;
+  }
+  stats_.work_units = work;
+}
+
+void NonSharedEngine::OnEvent(const Event& e, std::vector<MultiOutput>* out) {
+  ProcessEvent(e, out);
+  SumWorkUnits();
+}
+
+void NonSharedEngine::OnBatch(std::span<const Event> batch,
+                              std::vector<MultiOutput>* out) {
+  if (batch.empty()) return;
+  // Sub-engines must see events interleaved per arrival (not per-engine
+  // batches): the combined live-object peak is sampled after every event,
+  // and outputs interleave across queries in arrival order. Only the
+  // work-unit summation is batch-hoisted — intermediate sums are never
+  // observable, and the final value is identical.
+  for (const Event& e : batch) ProcessEvent(e, out);
+  SumWorkUnits();
+  stats_.NoteBatch(batch.size());
 }
 
 }  // namespace aseq

@@ -2,6 +2,7 @@
 #define ASEQ_MULTI_NONSHARED_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,13 +32,28 @@ class NonSharedEngine : public MultiQueryEngine {
       const std::vector<CompiledQuery>& queries);
 
   void OnEvent(const Event& e, std::vector<MultiOutput>* out) override;
+  /// Batched path. Sub-engines still see events one at a time (the
+  /// combined object peak is sampled per event and outputs interleave per
+  /// arrival, so deeper batching would change observable stats); the
+  /// per-event work-unit summation is hoisted to once per batch.
+  void OnBatch(std::span<const Event> batch,
+               std::vector<MultiOutput>* out) override;
   const EngineStats& stats() const override { return stats_; }
   std::string name() const override { return name_; }
 
   QueryEngine* engine(size_t i) { return engines_[i].get(); }
   size_t num_queries() const { return engines_.size(); }
 
+ protected:
+  EngineStats* mutable_stats() override { return &stats_; }
+
  private:
+  /// Feeds one event to every sub-engine and samples the combined
+  /// live-object total (work-unit summation deferred to SumWorkUnits).
+  void ProcessEvent(const Event& e, std::vector<MultiOutput>* out);
+  /// Refreshes stats_.work_units from the sub-engines.
+  void SumWorkUnits();
+
   std::vector<std::unique_ptr<QueryEngine>> engines_;
   std::string name_;
   EngineStats stats_;

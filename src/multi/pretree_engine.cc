@@ -88,14 +88,43 @@ size_t PreTreeEngine::num_trie_nodes() const {
   return total;
 }
 
-void PreTreeEngine::OnEvent(const Event& e, std::vector<MultiOutput>* out) {
-  ++stats_.events_processed;
+void PreTreeEngine::Purge(Timestamp now) {
+  Timestamp min_exp = std::numeric_limits<Timestamp>::max();
   for (Trie& trie : tries_) {
-    // Expire START instances.
-    while (!trie.instances.empty() && trie.instances.front().exp <= e.ts()) {
+    // Expire START instances (fronts expire first: arrival order).
+    while (!trie.instances.empty() && trie.instances.front().exp <= now) {
       trie.instances.pop_front();
       stats_.objects.Remove(1);
     }
+    if (!trie.instances.empty()) {
+      min_exp = std::min(min_exp, trie.instances.front().exp);
+    }
+  }
+  next_expiry_ = min_exp;
+}
+
+void PreTreeEngine::OnEvent(const Event& e, std::vector<MultiOutput>* out) {
+  Purge(e.ts());
+  ProcessEvent(e, out);
+  // New instances expire at e.ts() + window; keep the bound valid.
+  next_expiry_ = std::min(next_expiry_, e.ts() + window_ms_);
+}
+
+void PreTreeEngine::OnBatch(std::span<const Event> batch,
+                            std::vector<MultiOutput>* out) {
+  if (batch.empty()) return;
+  for (const Event& e : batch) {
+    if (e.ts() >= next_expiry_) Purge(e.ts());
+    ProcessEvent(e, out);
+    next_expiry_ = std::min(next_expiry_, e.ts() + window_ms_);
+  }
+  stats_.NoteBatch(batch.size());
+}
+
+void PreTreeEngine::ProcessEvent(const Event& e,
+                                 std::vector<MultiOutput>* out) {
+  ++stats_.events_processed;
+  for (Trie& trie : tries_) {
     // UPD: one update per shared node per live instance, deepest first.
     auto uit = trie.update_index.find(e.type());
     if (uit != trie.update_index.end()) {

@@ -2,7 +2,9 @@
 #define ASEQ_MULTI_PRETREE_ENGINE_H_
 
 #include <deque>
+#include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,11 +35,18 @@ class PreTreeEngine : public MultiQueryEngine {
       std::vector<CompiledQuery> queries);
 
   void OnEvent(const Event& e, std::vector<MultiOutput>* out) override;
+  /// Batched path: skips per-trie expiry scans that a cached next-expiry
+  /// lower bound proves are no-ops.
+  void OnBatch(std::span<const Event> batch,
+               std::vector<MultiOutput>* out) override;
   const EngineStats& stats() const override { return stats_; }
   std::string name() const override { return "PrefixShare(PreTree)"; }
 
   /// Total trie nodes across tries (testing hook: measures sharing).
   size_t num_trie_nodes() const;
+
+ protected:
+  EngineStats* mutable_stats() override { return &stats_; }
 
  private:
   /// One trie node = one shared prefix pattern (beyond the START type).
@@ -68,12 +77,19 @@ class PreTreeEngine : public MultiQueryEngine {
   explicit PreTreeEngine(std::vector<CompiledQuery> queries);
 
   Status Build();
+  /// Expires START instances across tries and recomputes next_expiry_.
+  void Purge(Timestamp now);
+  /// UPD/START/TRIG handling for one event (caller already purged).
+  void ProcessEvent(const Event& e, std::vector<MultiOutput>* out);
 
   std::vector<CompiledQuery> queries_;
   Timestamp window_ms_ = 0;
   std::vector<Trie> tries_;
   std::unordered_map<EventTypeId, size_t> trie_by_start_;
   EngineStats stats_;
+  /// Lower bound on the earliest live instance expiration (see
+  /// StackEngine::next_expiry_).
+  Timestamp next_expiry_ = std::numeric_limits<Timestamp>::max();
 };
 
 }  // namespace aseq

@@ -36,13 +36,44 @@ struct PartitionKey {
   }
 };
 
+/// \brief A partition key paired with its precomputed hash.
+///
+/// The batched HpcEngine hashes every key in a batch up front (so the
+/// partition-map buckets can be software-prefetched) and then probes with
+/// this reference type via C++20 heterogeneous lookup — no rehash, no key
+/// copy on the hit path.
+struct HashedPartitionKeyRef {
+  const PartitionKey* key = nullptr;
+  size_t hash = 0;
+};
+
 struct PartitionKeyHash {
+  using is_transparent = void;
+
   size_t operator()(const PartitionKey& k) const {
     size_t h = 0x9e3779b97f4a7c15ULL;
     for (const Value& v : k.parts) {
       h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
     }
     return h;
+  }
+
+  size_t operator()(const HashedPartitionKeyRef& ref) const {
+    return ref.hash;
+  }
+};
+
+struct PartitionKeyEq {
+  using is_transparent = void;
+
+  bool operator()(const PartitionKey& a, const PartitionKey& b) const {
+    return a == b;
+  }
+  bool operator()(const HashedPartitionKeyRef& a, const PartitionKey& b) const {
+    return *a.key == b;
+  }
+  bool operator()(const PartitionKey& a, const HashedPartitionKeyRef& b) const {
+    return a == *b.key;
   }
 };
 
@@ -111,6 +142,12 @@ class CompiledQuery {
   const std::vector<Role>* FindRoles(EventTypeId type) const {
     auto it = roles_.find(type);
     return it == roles_.end() ? nullptr : &it->second;
+  }
+
+  /// Full role table (engines build flat per-type-id dispatch tables from
+  /// this to skip the hash probe on the per-event hot path).
+  const std::unordered_map<EventTypeId, std::vector<Role>>& roles() const {
+    return roles_;
   }
 
   /// Local-predicate filter: does `e` qualify for the pattern element at

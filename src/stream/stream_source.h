@@ -1,6 +1,7 @@
 #ifndef ASEQ_STREAM_STREAM_SOURCE_H_
 #define ASEQ_STREAM_STREAM_SOURCE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -22,6 +23,16 @@ class StreamSource {
   /// Yields the next event into `*out`; returns false at end of stream.
   virtual bool Next(Event* out) = 0;
 
+  /// Fills `*out` (cleared first) with up to `max` events in arrival
+  /// order; returns the number yielded (0 at end of stream). The default
+  /// wraps Next; bulk sources override for a single memcpy-style refill.
+  virtual size_t NextBatch(size_t max, std::vector<Event>* out) {
+    out->clear();
+    Event e;
+    while (out->size() < max && Next(&e)) out->push_back(std::move(e));
+    return out->size();
+  }
+
   /// Restarts the stream from the beginning.
   virtual void Reset() = 0;
 };
@@ -36,6 +47,15 @@ class VectorSource : public StreamSource {
     if (pos_ >= events_.size()) return false;
     *out = events_[pos_++];
     return true;
+  }
+
+  size_t NextBatch(size_t max, std::vector<Event>* out) override {
+    out->clear();
+    const size_t n = std::min(max, events_.size() - pos_);
+    out->assign(events_.begin() + static_cast<ptrdiff_t>(pos_),
+                events_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return n;
   }
 
   void Reset() override { pos_ = 0; }

@@ -1,0 +1,478 @@
+// Batched-vs-per-event equivalence: the contract of the batched execution
+// core is that OnBatch produces *byte-identical* output sequences and
+// identical engine stats (modulo the batch counters themselves) to the
+// per-event reference path, for every engine and every batch size —
+// including sizes that straddle window-expiry boundaries mid-batch.
+//
+// Every engine runs fresh per configuration: the per-event reference via
+// Runtime::RunEvents, then one batched run per size in {1, 3, 7, 64, 1024}
+// via BatchRunner. Any divergence in an output's (ts, seq, group, value)
+// or in (events_processed, outputs, work_units, objects) is a bug in a
+// batched override's hoisting logic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aseq/aseq_engine.h"
+#include "baseline/ecube_engine.h"
+#include "baseline/stack_engine.h"
+#include "common/rng.h"
+#include "engine/change_detector.h"
+#include "engine/reordering_engine.h"
+#include "engine/runtime.h"
+#include "multi/chop_connect_engine.h"
+#include "multi/chop_plan.h"
+#include "multi/hybrid_engine.h"
+#include "multi/nonshared_engine.h"
+#include "multi/pretree_engine.h"
+#include "query/analyzer.h"
+#include "stream/stock_stream.h"
+#include "stream/workload.h"
+#include "tests/test_util.h"
+
+namespace aseq {
+namespace {
+
+using testing_util::MustCompile;
+
+const size_t kBatchSizes[] = {1, 3, 7, 64, 1024};
+
+// ---------------------------------------------------------------------------
+// Comparison helpers
+// ---------------------------------------------------------------------------
+
+void ExpectOutputEqual(const Output& ref, const Output& got, size_t index,
+                       const std::string& context) {
+  EXPECT_EQ(ref.ts, got.ts) << context << " output#" << index;
+  EXPECT_EQ(ref.seq, got.seq) << context << " output#" << index;
+  ASSERT_EQ(ref.group.has_value(), got.group.has_value())
+      << context << " output#" << index;
+  if (ref.group.has_value()) {
+    EXPECT_TRUE(ref.group->Equals(*got.group))
+        << context << " output#" << index << ": group "
+        << ref.group->ToString() << " vs " << got.group->ToString();
+  }
+  EXPECT_TRUE(ref.value.Equals(got.value))
+      << context << " output#" << index << ": " << ref.value.ToString()
+      << " vs " << got.value.ToString();
+}
+
+void ExpectOutputsEqual(const std::vector<Output>& ref,
+                        const std::vector<Output>& got,
+                        const std::string& context) {
+  ASSERT_EQ(ref.size(), got.size()) << context;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ExpectOutputEqual(ref[i], got[i], i, context);
+  }
+}
+
+void ExpectMultiOutputsEqual(const std::vector<MultiOutput>& ref,
+                             const std::vector<MultiOutput>& got,
+                             const std::string& context) {
+  ASSERT_EQ(ref.size(), got.size()) << context;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].query_index, got[i].query_index)
+        << context << " output#" << i;
+    ExpectOutputEqual(ref[i].output, got[i].output, i, context);
+  }
+}
+
+/// Stats must match exactly except for the batch counters, which exist
+/// only on the batched path by construction.
+void ExpectStatsEqual(const EngineStats& ref, const EngineStats& got,
+                      const std::string& context) {
+  EXPECT_EQ(ref.events_processed, got.events_processed) << context;
+  EXPECT_EQ(ref.outputs, got.outputs) << context;
+  EXPECT_EQ(ref.work_units, got.work_units) << context;
+  EXPECT_EQ(ref.objects.peak(), got.objects.peak()) << context;
+  EXPECT_EQ(ref.objects.current(), got.objects.current()) << context;
+}
+
+/// Runs `factory`-built engines over `events` per-event (reference) and
+/// batched at every size, comparing outputs and stats.
+void CheckSingle(const std::function<std::unique_ptr<QueryEngine>()>& factory,
+                 const std::vector<Event>& events, const std::string& label) {
+  auto ref_engine = factory();
+  RunResult ref = Runtime::RunEvents(events, ref_engine.get());
+  ASSERT_GT(ref.outputs.size(), 0u) << label << ": vacuous workload";
+  for (size_t batch_size : kBatchSizes) {
+    const std::string context =
+        label + " @batch=" + std::to_string(batch_size);
+    auto engine = factory();
+    BatchRunner runner(RunOptions{/*collect_outputs=*/true, batch_size});
+    RunResult got = runner.RunEvents(events, engine.get());
+    EXPECT_EQ(got.batch_size, batch_size) << context;
+    ExpectOutputsEqual(ref.outputs, got.outputs, context);
+    ExpectStatsEqual(ref_engine->stats(), engine->stats(), context);
+  }
+}
+
+/// Multi-query counterpart of CheckSingle.
+void CheckMulti(
+    const std::function<std::unique_ptr<MultiQueryEngine>()>& factory,
+    const std::vector<Event>& events, const std::string& label) {
+  auto ref_engine = factory();
+  MultiRunResult ref = Runtime::RunMultiEvents(events, ref_engine.get());
+  ASSERT_GT(ref.outputs.size(), 0u) << label << ": vacuous workload";
+  for (size_t batch_size : kBatchSizes) {
+    const std::string context =
+        label + " @batch=" + std::to_string(batch_size);
+    auto engine = factory();
+    BatchRunner runner(RunOptions{/*collect_outputs=*/true, batch_size});
+    MultiRunResult got = runner.RunMultiEvents(events, engine.get());
+    ExpectMultiOutputsEqual(ref.outputs, got.outputs, context);
+    ExpectStatsEqual(ref_engine->stats(), engine->stats(), context);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+struct StockCase {
+  Schema schema;
+  std::vector<Event> events;
+};
+
+std::unique_ptr<StockCase> MakeStock(uint64_t seed, size_t n) {
+  auto c = std::make_unique<StockCase>();
+  StockStreamOptions options;
+  options.seed = seed;
+  options.num_events = n;
+  options.max_gap_ms = 8;
+  options.num_traders = 6;
+  c->events = GenerateStockStream(options, &c->schema);
+  AssignSeqNums(&c->events);
+  return c;
+}
+
+std::unique_ptr<QueryEngine> MustCreateAseq(const CompiledQuery& cq) {
+  auto engine = CreateAseqEngine(cq);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+// ---------------------------------------------------------------------------
+// Single-query engines
+// ---------------------------------------------------------------------------
+
+TEST(BatchEquivalenceTest, AseqDpcUnbounded) {
+  auto c = MakeStock(21, 1200);
+  CompiledQuery cq =
+      MustCompile(&c->schema, "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT");
+  CheckSingle([&] { return MustCreateAseq(cq); }, c->events, "aseq-dpc");
+}
+
+TEST(BatchEquivalenceTest, AseqSemWindowed) {
+  auto c = MakeStock(22, 2500);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 800ms");
+  CheckSingle([&] { return MustCreateAseq(cq); }, c->events, "aseq-sem");
+}
+
+TEST(BatchEquivalenceTest, AseqSemNegation) {
+  auto c = MakeStock(23, 2500);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, !QQQ, AMAT) AGG COUNT WITHIN 800ms");
+  CheckSingle([&] { return MustCreateAseq(cq); }, c->events,
+              "aseq-sem-negation");
+}
+
+TEST(BatchEquivalenceTest, AseqSemSumAggregate) {
+  auto c = MakeStock(24, 2500);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX, AMAT) AGG SUM(IPIX.volume) WITHIN 800ms");
+  CheckSingle([&] { return MustCreateAseq(cq); }, c->events, "aseq-sem-sum");
+}
+
+TEST(BatchEquivalenceTest, HpcGroupBy) {
+  auto c = MakeStock(25, 2500);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms");
+  CheckSingle([&] { return MustCreateAseq(cq); }, c->events, "hpc-groupby");
+}
+
+TEST(BatchEquivalenceTest, HpcEquivalencePredicate) {
+  auto c = MakeStock(26, 2500);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX, AMAT) WHERE DELL.traderId = IPIX.traderId = "
+      "AMAT.traderId AGG COUNT WITHIN 800ms");
+  CheckSingle([&] { return MustCreateAseq(cq); }, c->events, "hpc-equiv");
+}
+
+TEST(BatchEquivalenceTest, HpcEquivalenceWithNegation) {
+  auto c = MakeStock(27, 2500);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, !QQQ, AMAT) WHERE DELL.traderId = QQQ.traderId = "
+      "AMAT.traderId AGG COUNT WITHIN 800ms");
+  CheckSingle([&] { return MustCreateAseq(cq); }, c->events,
+              "hpc-equiv-negation");
+}
+
+TEST(BatchEquivalenceTest, StackEngineJoinPredicate) {
+  auto c = MakeStock(28, 1500);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) WHERE DELL.price < IPIX.price AGG COUNT "
+      "WITHIN 800ms");
+  CheckSingle([&] { return std::make_unique<StackEngine>(cq); }, c->events,
+              "stack-join");
+}
+
+TEST(BatchEquivalenceTest, StackEngineNegation) {
+  auto c = MakeStock(29, 1500);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, !QQQ, AMAT) AGG COUNT WITHIN 800ms");
+  CheckSingle([&] { return std::make_unique<StackEngine>(cq); }, c->events,
+              "stack-negation");
+}
+
+TEST(BatchEquivalenceTest, ChangeDetectingEngine) {
+  auto c = MakeStock(30, 1500);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, IPIX) AGG COUNT WITHIN 500ms");
+  CheckSingle(
+      [&] {
+        return std::make_unique<ChangeDetectingEngine>(MustCreateAseq(cq));
+      },
+      c->events, "change-detector");
+}
+
+// ---------------------------------------------------------------------------
+// Reordering adapters over out-of-order input
+// ---------------------------------------------------------------------------
+
+/// Displaces events by disjoint two-apart swaps: bounded disorder that a
+/// 200ms K-slack absorbs without drops.
+std::vector<Event> Shuffle(std::vector<Event> events, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i + 3 < events.size(); i += 3) {
+    if (rng.NextBool(0.5)) std::swap(events[i], events[i + 2]);
+  }
+  AssignSeqNums(&events);
+  return events;
+}
+
+TEST(BatchEquivalenceTest, ReorderingEngineOutOfOrder) {
+  auto c = MakeStock(31, 1500);
+  std::vector<Event> shuffled = Shuffle(c->events, 99);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 800ms");
+
+  auto factory = [&] {
+    return std::make_unique<ReorderingEngine>(MustCreateAseq(cq),
+                                              /*slack_ms=*/200);
+  };
+  // Inline CheckSingle so both paths can also drain via Finish() — the
+  // outputs produced after end-of-stream must match too.
+  auto ref_engine = factory();
+  RunResult ref = Runtime::RunEvents(shuffled, ref_engine.get());
+  ref_engine->Finish(&ref.outputs);
+  EXPECT_EQ(ref_engine->dropped_events(), 0u);
+  ASSERT_GT(ref.outputs.size(), 0u);
+  for (size_t batch_size : kBatchSizes) {
+    const std::string context =
+        "reordering @batch=" + std::to_string(batch_size);
+    auto engine = factory();
+    BatchRunner runner(RunOptions{/*collect_outputs=*/true, batch_size});
+    RunResult got = runner.RunEvents(shuffled, engine.get());
+    engine->Finish(&got.outputs);
+    ExpectOutputsEqual(ref.outputs, got.outputs, context);
+    ExpectStatsEqual(ref_engine->stats(), engine->stats(), context);
+  }
+}
+
+TEST(BatchEquivalenceTest, ReorderingMultiEngineOutOfOrder) {
+  Schema schema;
+  SharedWorkload workload = MakePrefixSharedWorkload(3, 2, 4, 2000);
+  Analyzer analyzer(&schema);
+  std::vector<CompiledQuery> queries;
+  for (const Query& q : workload.queries) {
+    auto cq = analyzer.Analyze(q);
+    ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+    queries.push_back(std::move(cq).value());
+  }
+  StreamConfig config = MakeWorkloadStreamConfig(workload, 32, 1200, 0, 50);
+  StreamGenerator gen(config, &schema);
+  std::vector<Event> events = Shuffle(gen.Generate(), 7);
+
+  auto factory = [&]() -> std::unique_ptr<MultiQueryEngine> {
+    auto inner = NonSharedEngine::CreateAseq(queries);
+    EXPECT_TRUE(inner.ok()) << inner.status().ToString();
+    return std::make_unique<ReorderingMultiEngine>(std::move(inner).value(),
+                                                   /*slack_ms=*/300);
+  };
+  auto ref_engine = factory();
+  MultiRunResult ref = Runtime::RunMultiEvents(events, ref_engine.get());
+  static_cast<ReorderingMultiEngine*>(ref_engine.get())->Finish(&ref.outputs);
+  ASSERT_GT(ref.outputs.size(), 0u);
+  for (size_t batch_size : kBatchSizes) {
+    const std::string context =
+        "reordering-multi @batch=" + std::to_string(batch_size);
+    auto engine = factory();
+    BatchRunner runner(RunOptions{/*collect_outputs=*/true, batch_size});
+    MultiRunResult got = runner.RunMultiEvents(events, engine.get());
+    static_cast<ReorderingMultiEngine*>(engine.get())->Finish(&got.outputs);
+    ExpectMultiOutputsEqual(ref.outputs, got.outputs, context);
+    ExpectStatsEqual(ref_engine->stats(), engine->stats(), context);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-query engines
+// ---------------------------------------------------------------------------
+
+struct MultiCase {
+  Schema schema;
+  SharedWorkload workload;
+  std::vector<CompiledQuery> queries;
+  std::vector<Event> events;
+};
+
+std::unique_ptr<MultiCase> MakeMulti(SharedWorkload workload, uint64_t seed,
+                                     size_t n) {
+  auto c = std::make_unique<MultiCase>();
+  c->workload = std::move(workload);
+  Analyzer analyzer(&c->schema);
+  for (const Query& q : c->workload.queries) {
+    auto cq = analyzer.Analyze(q);
+    EXPECT_TRUE(cq.ok()) << cq.status().ToString();
+    c->queries.push_back(std::move(cq).value());
+  }
+  StreamConfig config =
+      MakeWorkloadStreamConfig(c->workload, seed, n, 0, 50);
+  StreamGenerator gen(config, &c->schema);
+  c->events = gen.Generate();
+  AssignSeqNums(&c->events);
+  return c;
+}
+
+TEST(BatchEquivalenceTest, PreTreeEngine) {
+  auto c = MakeMulti(MakePrefixSharedWorkload(3, 2, 4, 2000), 41, 1500);
+  CheckMulti(
+      [&]() -> std::unique_ptr<MultiQueryEngine> {
+        auto engine = PreTreeEngine::Create(c->queries);
+        EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+        return std::move(engine).value();
+      },
+      c->events, "pretree");
+}
+
+TEST(BatchEquivalenceTest, ChopConnectEngine) {
+  auto c = MakeMulti(MakeSubstringSharedWorkload(3, 1, 2, 1, 1500), 42, 1500);
+  ChopPlan plan = PlanChopConnect(c->queries);
+  CheckMulti(
+      [&]() -> std::unique_ptr<MultiQueryEngine> {
+        auto engine = ChopConnectEngine::Create(c->queries, plan);
+        EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+        return std::move(engine).value();
+      },
+      c->events, "chop-connect");
+}
+
+TEST(BatchEquivalenceTest, EcubeEngine) {
+  auto c = MakeMulti(MakeSubstringSharedWorkload(3, 1, 2, 1, 1500), 43, 1200);
+  std::vector<EventTypeId> shared;
+  for (const std::string& name : c->workload.shared_types) {
+    shared.push_back(*c->schema.FindEventType(name));
+  }
+  CheckMulti(
+      [&]() -> std::unique_ptr<MultiQueryEngine> {
+        auto engine = EcubeEngine::Create(c->queries, shared);
+        EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+        return std::move(engine).value();
+      },
+      c->events, "ecube");
+}
+
+TEST(BatchEquivalenceTest, NonSharedEngine) {
+  auto c = MakeMulti(MakePrefixSharedWorkload(3, 2, 4, 2000), 44, 1500);
+  CheckMulti(
+      [&]() -> std::unique_ptr<MultiQueryEngine> {
+        auto engine = NonSharedEngine::CreateAseq(c->queries);
+        EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+        return std::move(engine).value();
+      },
+      c->events, "nonshared");
+}
+
+TEST(BatchEquivalenceTest, NonSharedStackEngine) {
+  auto c = MakeMulti(MakePrefixSharedWorkload(2, 2, 3, 1000), 45, 1000);
+  CheckMulti(
+      [&]() -> std::unique_ptr<MultiQueryEngine> {
+        return NonSharedEngine::CreateStackBased(c->queries);
+      },
+      c->events, "nonshared-stack");
+}
+
+TEST(BatchEquivalenceTest, HybridEngine) {
+  Schema schema;
+  StockStreamOptions options;
+  options.seed = 46;
+  options.num_events = 2000;
+  options.max_gap_ms = 8;
+  options.num_traders = 5;
+  std::vector<Event> events = GenerateStockStream(options, &schema);
+  AssignSeqNums(&events);
+
+  // Mixed workload exercising every routing path (PreTree, ChopConnect,
+  // per-query A-Seq, stack fallback) inside one hybrid engine.
+  std::vector<const char*> texts = {
+      "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 1s",
+      "PATTERN SEQ(DELL, IPIX, QQQ) AGG COUNT WITHIN 1s",
+      "PATTERN SEQ(INTC, MSFT, CSCO) AGG COUNT WITHIN 1s",
+      "PATTERN SEQ(ORCL, MSFT, CSCO) AGG COUNT WITHIN 1s",
+      "PATTERN SEQ(DELL, !QQQ, AMAT) AGG COUNT WITHIN 1s",
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 1s",
+      "PATTERN SEQ(DELL, IPIX) WHERE DELL.price < IPIX.price AGG COUNT "
+      "WITHIN 1s",
+  };
+  Analyzer analyzer(&schema);
+  std::vector<CompiledQuery> queries;
+  for (const char* text : texts) {
+    auto cq = analyzer.AnalyzeText(text);
+    ASSERT_TRUE(cq.ok()) << text << ": " << cq.status().ToString();
+    queries.push_back(std::move(cq).value());
+  }
+  CheckMulti(
+      [&]() -> std::unique_ptr<MultiQueryEngine> {
+        auto engine = HybridMultiEngine::Create(queries);
+        EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+        return std::move(engine).value();
+      },
+      events, "hybrid");
+}
+
+// ---------------------------------------------------------------------------
+// Batch accounting sanity: the counters the equivalence check ignores
+// ---------------------------------------------------------------------------
+
+TEST(BatchEquivalenceTest, BatchCountersRecorded) {
+  auto c = MakeStock(47, 1000);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, IPIX) AGG COUNT WITHIN 800ms");
+  auto engine = MustCreateAseq(cq);
+  BatchRunner runner(RunOptions{/*collect_outputs=*/false, 64});
+  runner.RunEvents(c->events, engine.get());
+  const EngineStats& stats = engine->stats();
+  EXPECT_EQ(stats.batches_processed, (c->events.size() + 63) / 64);
+  EXPECT_EQ(stats.max_batch_events, 64u);
+
+  // The per-event reference path never touches the batch counters.
+  auto ref_engine = MustCreateAseq(cq);
+  Runtime::RunEvents(c->events, ref_engine.get());
+  EXPECT_EQ(ref_engine->stats().batches_processed, 0u);
+  EXPECT_EQ(ref_engine->stats().max_batch_events, 0u);
+}
+
+}  // namespace
+}  // namespace aseq

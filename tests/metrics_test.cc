@@ -40,18 +40,42 @@ TEST(ObjectCounterTest, ResetClearsBoth) {
   EXPECT_EQ(counter.peak(), 0);
 }
 
+TEST(ObjectCounterTest, RemoveBelowZeroAssertsInDebug) {
+#ifndef NDEBUG
+  ObjectCounter counter;
+  counter.Add(2);
+  EXPECT_DEATH(counter.Remove(3), "current_");
+#else
+  GTEST_SKIP() << "assert compiled out in release builds";
+#endif
+}
+
 TEST(EngineStatsTest, ResetClearsEverything) {
   EngineStats stats;
   stats.events_processed = 5;
   stats.outputs = 2;
   stats.work_units = 100;
   stats.objects.Add(3);
+  stats.NoteBatch(4);
   stats.Reset();
   EXPECT_EQ(stats.events_processed, 0u);
   EXPECT_EQ(stats.outputs, 0u);
   EXPECT_EQ(stats.work_units, 0u);
   EXPECT_EQ(stats.objects.current(), 0);
   EXPECT_EQ(stats.objects.peak(), 0);
+  EXPECT_EQ(stats.batches_processed, 0u);
+  EXPECT_EQ(stats.max_batch_events, 0u);
+}
+
+TEST(EngineStatsTest, NoteBatchCountsAndTracksMax) {
+  EngineStats stats;
+  EXPECT_EQ(stats.batches_processed, 0u);
+  EXPECT_EQ(stats.max_batch_events, 0u);
+  stats.NoteBatch(16);
+  stats.NoteBatch(256);
+  stats.NoteBatch(3);  // a short tail batch must not lower the max
+  EXPECT_EQ(stats.batches_processed, 3u);
+  EXPECT_EQ(stats.max_batch_events, 256u);
 }
 
 TEST(StopWatchTest, MeasuresElapsedNonNegativeMonotone) {
