@@ -79,7 +79,10 @@ inline void RunAndReport(benchmark::State& state,
                          const std::vector<Event>& events, QueryEngine* engine,
                          size_t batch_size = kDefaultBatchSize) {
   BatchRunner& runner = SharedRunner();
-  runner.set_options(RunOptions{/*collect_outputs=*/false, batch_size});
+  RunOptions options;
+  options.collect_outputs = false;
+  options.batch_size = batch_size;
+  runner.set_options(options);
   double total_seconds = 0;
   uint64_t total_events = 0;
   for (auto _ : state) {
@@ -103,7 +106,10 @@ inline void RunMultiAndReport(benchmark::State& state,
                               MultiQueryEngine* engine,
                               size_t batch_size = kDefaultBatchSize) {
   BatchRunner& runner = SharedRunner();
-  runner.set_options(RunOptions{/*collect_outputs=*/false, batch_size});
+  RunOptions options;
+  options.collect_outputs = false;
+  options.batch_size = batch_size;
+  runner.set_options(options);
   double total_seconds = 0;
   uint64_t total_events = 0;
   for (auto _ : state) {

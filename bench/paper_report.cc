@@ -51,7 +51,11 @@ struct Measured {
 // same path the CLI and the benchmark harnesses use. One shared runner so
 // refill/scratch buffers are reused across every measurement.
 BatchRunner& Runner() {
-  static BatchRunner runner{RunOptions{/*collect_outputs=*/false}};
+  static BatchRunner runner = [] {
+    RunOptions options;
+    options.collect_outputs = false;
+    return BatchRunner(options);
+  }();
   return runner;
 }
 

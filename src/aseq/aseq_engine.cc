@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "ckpt/ckpt.h"
+
 namespace aseq {
 
 namespace {
@@ -115,6 +117,22 @@ std::vector<Output> AseqEngine::Poll(Timestamp now) {
   output.ts = now;
   output.value = counters_.Total().Finalize(query_.agg().func);
   return {std::move(output)};
+}
+
+Status AseqEngine::Checkpoint(ckpt::Writer* writer) const {
+  ckpt::WriteStats(writer, stats_);
+  counters_.Checkpoint(writer);
+  return Status::OK();
+}
+
+Status AseqEngine::Restore(ckpt::Reader* reader) {
+  EngineStats stats;
+  ASEQ_RETURN_NOT_OK(ckpt::ReadStats(reader, &stats));
+  ASEQ_RETURN_NOT_OK(counters_.Restore(reader));
+  // Stats last: the structural rebuild above must not perturb the restored
+  // object accounting.
+  stats_ = stats;
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -411,6 +429,80 @@ std::vector<Output> HpcEngine::Poll(Timestamp now) {
     outputs.push_back(std::move(output));
   }
   return outputs;
+}
+
+Status HpcEngine::Checkpoint(ckpt::Writer* writer) const {
+  ckpt::WriteStats(writer, stats_);
+  // The bucket count pins the map's iteration order (see Restore), which
+  // floating-point aggregates observe through ScanTotal's merge order.
+  writer->WriteU64(partitions_.bucket_count());
+  writer->WriteU64(partitions_.size());
+  for (const auto& [key, counters] : partitions_) {
+    ckpt::WritePartitionKey(writer, key);
+    counters.Checkpoint(writer);
+  }
+  writer->WriteI64(running_count_);
+  writer->WriteU64(group_counts_.size());
+  for (const auto& [group, count] : group_counts_) {
+    ckpt::WriteValue(writer, group);
+    writer->WriteI64(count);
+  }
+  return Status::OK();
+}
+
+Status HpcEngine::Restore(ckpt::Reader* reader) {
+  EngineStats stats;
+  ASEQ_RETURN_NOT_OK(ckpt::ReadStats(reader, &stats));
+  uint64_t bucket_count = 0;
+  uint64_t n_partitions = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadU64(&bucket_count, "partition buckets"));
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_partitions, 16, "partitions"));
+  std::vector<std::pair<PartitionKey, CounterSet>> parsed;
+  parsed.reserve(n_partitions);
+  for (uint64_t i = 0; i < n_partitions; ++i) {
+    PartitionKey key;
+    ASEQ_RETURN_NOT_OK(ckpt::ReadPartitionKey(reader, &key));
+    CounterSet counters(length_, query_.agg().func, carrier_pos1_,
+                        query_.window_ms(), &stats_);
+    ASEQ_RETURN_NOT_OK(counters.Restore(reader));
+    parsed.emplace_back(std::move(key), std::move(counters));
+  }
+  // Rebuild the map with the checkpointed bucket count, inserting in
+  // *reverse* serialized order: libstdc++ keeps a bucket's nodes adjacent
+  // and inserts at the bucket head, so this reproduces the source map's
+  // iteration order exactly — which ScanTotal's floating-point merge order
+  // (SUM/AVG) observes. COUNT/MIN/MAX would be order-insensitive, but
+  // byte-identical recovery must not depend on the aggregate.
+  partitions_.clear();
+  partitions_.rehash(bucket_count);
+  for (auto it = parsed.rbegin(); it != parsed.rend(); ++it) {
+    if (!partitions_.emplace(std::move(it->first), std::move(it->second))
+             .second) {
+      return Status::ParseError(
+          "snapshot corrupt: duplicate partition key in HPC payload");
+    }
+  }
+  ASEQ_RETURN_NOT_OK(reader->ReadI64(&running_count_, "running count"));
+  uint64_t n_groups = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_groups, 9, "group counts"));
+  group_counts_.clear();
+  for (uint64_t i = 0; i < n_groups; ++i) {
+    Value group;
+    int64_t count = 0;
+    ASEQ_RETURN_NOT_OK(ckpt::ReadValue(reader, &group));
+    ASEQ_RETURN_NOT_OK(reader->ReadI64(&count, "group count"));
+    group_counts_[std::move(group)] = count;
+  }
+  // The expiry heap is rebuilt rather than serialized: one entry per live
+  // windowed partition at its next expiration. The original heap may have
+  // carried stale or duplicate entries, but those only ever trigger no-op
+  // purges, so the rebuilt heap is behaviorally identical.
+  expiry_heap_ = {};
+  for (auto it = partitions_.begin(); it != partitions_.end(); ++it) {
+    EnqueueExpiry(it, PartitionKeyHash{}(it->first));
+  }
+  stats_ = stats;
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

@@ -36,6 +36,8 @@ class AseqEngine : public QueryEngine {
   void OnBatch(std::span<const Event> batch, std::vector<Output>* out) override;
   std::vector<Output> Poll(Timestamp now) override;
   const EngineStats& stats() const override { return stats_; }
+  Status Checkpoint(ckpt::Writer* writer) const override;
+  Status Restore(ckpt::Reader* reader) override;
   std::string name() const override {
     return query_.has_window() ? "A-Seq(SEM)" : "A-Seq(DPC)";
   }
@@ -84,6 +86,13 @@ class HpcEngine : public QueryEngine {
   void OnBatch(std::span<const Event> batch, std::vector<Output>* out) override;
   std::vector<Output> Poll(Timestamp now) override;
   const EngineStats& stats() const override { return stats_; }
+  /// Serializes the partition map (bucket count + partitions in iteration
+  /// order), the running COUNT totals, and the stats. The expiry heap is
+  /// not serialized: Restore() rebuilds one entry per live windowed
+  /// partition, which is behaviorally equivalent (stale heap entries only
+  /// ever cause no-op purges).
+  Status Checkpoint(ckpt::Writer* writer) const override;
+  Status Restore(ckpt::Reader* reader) override;
   std::string name() const override { return "A-Seq(HPC)"; }
 
   const CompiledQuery& query() const { return query_; }

@@ -1,5 +1,7 @@
 #include "aseq/counter_set.h"
 
+#include "ckpt/ckpt.h"
+
 namespace aseq {
 
 CounterSet::CounterSet(size_t length, AggFunc func, size_t carrier_pos1,
@@ -109,6 +111,52 @@ AggAccum CounterSet::Total() const {
 
 size_t CounterSet::num_counters() const {
   return windowed() ? entries_.size() : 1;
+}
+
+void CounterSet::Checkpoint(ckpt::Writer* w) const {
+  w->WriteBool(windowed());
+  if (!windowed()) {
+    single_->Checkpoint(w);
+    return;
+  }
+  w->WriteU64(entries_.size());
+  for (const Entry& entry : entries_) {
+    w->WriteI64(entry.exp);
+    entry.counter.Checkpoint(w);
+  }
+  w->WriteU64(total_count_);
+}
+
+Status CounterSet::Restore(ckpt::Reader* r) {
+  bool windowed_flag = false;
+  ASEQ_RETURN_NOT_OK(r->ReadBool(&windowed_flag, "counter set mode"));
+  if (windowed_flag != windowed()) {
+    return Status::ParseError(
+        "snapshot corrupt: counter set mode mismatch (snapshot is " +
+        std::string(windowed_flag ? "windowed" : "unbounded") +
+        ", query compiles to the opposite)");
+  }
+  if (!windowed()) {
+    return single_->Restore(r);
+  }
+  uint64_t n = 0;
+  // A serialized entry is at least 8 (exp) + 8 (counter length) bytes.
+  ASEQ_RETURN_NOT_OK(r->ReadCount(&n, 16, "counter set entries"));
+  entries_.clear();
+  Timestamp prev_exp = std::numeric_limits<Timestamp>::min();
+  for (uint64_t i = 0; i < n; ++i) {
+    Entry entry{0, PrefixCounter(length_, func_, carrier_)};
+    ASEQ_RETURN_NOT_OK(r->ReadI64(&entry.exp, "counter entry expiry"));
+    if (entry.exp < prev_exp) {
+      return Status::ParseError(
+          "snapshot corrupt: counter entries out of expiry order");
+    }
+    prev_exp = entry.exp;
+    ASEQ_RETURN_NOT_OK(entry.counter.Restore(r));
+    entries_.push_back(std::move(entry));
+  }
+  ASEQ_RETURN_NOT_OK(r->ReadU64(&total_count_, "counter set total"));
+  return Status::OK();
 }
 
 }  // namespace aseq

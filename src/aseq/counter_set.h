@@ -8,9 +8,15 @@
 
 #include "aseq/prefix_counter.h"
 #include "common/event.h"
+#include "common/status.h"
 #include "metrics/metrics.h"
 
 namespace aseq {
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
 
 /// \brief The live prefix-counter state of one (sub)stream.
 ///
@@ -84,6 +90,16 @@ class CounterSet {
     }
     return entries_.front().exp;
   }
+
+  /// Serializes the live counters (per-start entries or the single DPC
+  /// counter) and the running total.
+  void Checkpoint(ckpt::Writer* w) const;
+
+  /// Restores into a freshly constructed set with the same shape. Fills
+  /// the structures directly *without* object accounting — the owning
+  /// engine restores its EngineStats wholesale afterwards, which already
+  /// includes these objects (and the destructor's removal stays balanced).
+  Status Restore(ckpt::Reader* r);
 
  private:
   struct Entry {

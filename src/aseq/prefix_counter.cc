@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "ckpt/ckpt.h"
+
 namespace aseq {
 
 PrefixCounter::PrefixCounter(size_t length, AggFunc func, size_t carrier_pos1)
@@ -75,6 +77,51 @@ AggAccum PrefixCounter::At(size_t m) const {
     acc.ext = ext_[m];
   }
   return acc;
+}
+
+void PrefixCounter::Checkpoint(ckpt::Writer* w) const {
+  w->WriteU64(length_);
+  for (size_t m = 0; m <= length_; ++m) w->WriteU64(counts_[m]);
+  if (!wsum_.empty()) {
+    for (size_t m = 0; m <= length_; ++m) w->WriteDouble(wsum_[m]);
+  }
+  if (!ext_.empty()) {
+    for (size_t m = 0; m <= length_; ++m) {
+      w->WriteDouble(ext_[m]);
+      w->WriteU8(ext_valid_[m]);
+    }
+  }
+}
+
+Status PrefixCounter::Restore(ckpt::Reader* r) {
+  uint64_t length = 0;
+  ASEQ_RETURN_NOT_OK(r->ReadU64(&length, "prefix counter length"));
+  if (length != length_) {
+    return Status::ParseError(
+        "snapshot corrupt: prefix counter has length " +
+        std::to_string(length) + " but the query expects " +
+        std::to_string(length_));
+  }
+  for (size_t m = 0; m <= length_; ++m) {
+    ASEQ_RETURN_NOT_OK(r->ReadU64(&counts_[m], "prefix counter cell"));
+  }
+  if (counts_[0] != 1) {
+    return Status::ParseError(
+        "snapshot corrupt: prefix counter virtual cell 0 holds " +
+        std::to_string(counts_[0]) + " (must be 1)");
+  }
+  if (!wsum_.empty()) {
+    for (size_t m = 0; m <= length_; ++m) {
+      ASEQ_RETURN_NOT_OK(r->ReadDouble(&wsum_[m], "prefix counter wsum"));
+    }
+  }
+  if (!ext_.empty()) {
+    for (size_t m = 0; m <= length_; ++m) {
+      ASEQ_RETURN_NOT_OK(r->ReadDouble(&ext_[m], "prefix counter ext"));
+      ASEQ_RETURN_NOT_OK(r->ReadU8(&ext_valid_[m], "prefix counter ext flag"));
+    }
+  }
+  return Status::OK();
 }
 
 std::string PrefixCounter::ToString() const {

@@ -7,9 +7,15 @@
 #include <vector>
 
 #include "aseq/aggregate.h"
+#include "common/status.h"
 #include "query/aggregate_spec.h"
 
 namespace aseq {
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
 
 /// \brief The PreCntr structure (Sec. 3.1): one cell per prefix pattern.
 ///
@@ -63,6 +69,13 @@ class PrefixCounter {
 
   size_t length() const { return length_; }
   AggFunc func() const { return func_; }
+
+  /// Serializes the cells (counts, wsum, ext/ext_valid as configured).
+  void Checkpoint(ckpt::Writer* w) const;
+
+  /// Restores the cells into a counter constructed with the same
+  /// (length, func, carrier); fails on any shape mismatch.
+  Status Restore(ckpt::Reader* r);
 
   /// Debug rendering: "[3 5 2 1]".
   std::string ToString() const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ckpt/ckpt.h"
+
 namespace aseq {
 
 namespace {
@@ -368,6 +370,116 @@ void EcubeEngine::ProcessEvent(const Event& e, std::vector<MultiOutput>* out) {
     out->push_back(std::move(mo));
     ++stats_.outputs;
   }
+}
+
+Status EcubeEngine::Checkpoint(ckpt::Writer* writer) const {
+  ckpt::WriteStats(writer, stats_);
+  writer->WriteI64(next_expiry_);
+  auto write_stacks = [writer](const std::vector<PosStack>& stacks) {
+    writer->WriteU64(stacks.size());
+    for (const PosStack& stack : stacks) {
+      writer->WriteU64(stack.base);
+      writer->WriteU64(stack.entries.size());
+      for (const StackEntry& entry : stack.entries) {
+        writer->WriteU64(entry.seq);
+        writer->WriteI64(entry.ts);
+        writer->WriteU64(entry.ptr);
+      }
+    }
+  };
+  write_stacks(shared_stacks_);
+  writer->WriteU64(states_.size());
+  for (const QueryState& state : states_) {
+    write_stacks(state.prefix_stacks);
+    writer->WriteU64(state.composites.size());
+    for (const CompositeEntry& entry : state.composites) {
+      writer->WriteU64(entry.match.start_seq);
+      writer->WriteI64(entry.match.start_ts);
+      writer->WriteU64(entry.match.end_seq);
+      writer->WriteI64(entry.match.end_ts);
+      writer->WriteU64(entry.prefix_ptr);
+    }
+    writer->WriteU64(state.composites_pushed);
+    writer->WriteU64(state.composites_base);
+    write_stacks(state.tail_stacks);
+    writer->WriteU64(state.live_count);
+    auto expiry_copy = state.expiry;
+    writer->WriteU64(expiry_copy.size());
+    while (!expiry_copy.empty()) {
+      writer->WriteI64(expiry_copy.top());
+      expiry_copy.pop();
+    }
+  }
+  return Status::OK();
+}
+
+Status EcubeEngine::Restore(ckpt::Reader* reader) {
+  EngineStats stats;
+  ASEQ_RETURN_NOT_OK(ckpt::ReadStats(reader, &stats));
+  ASEQ_RETURN_NOT_OK(reader->ReadI64(&next_expiry_, "ecube next expiry"));
+  auto read_stacks = [reader](std::vector<PosStack>* stacks,
+                              const char* what) -> Status {
+    uint64_t n_stacks = 0;
+    ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_stacks, 16, what));
+    if (n_stacks != stacks->size()) {
+      return Status::ParseError(
+          std::string("snapshot corrupt: ") + std::to_string(n_stacks) + " " +
+          what + " but the workload builds " + std::to_string(stacks->size()));
+    }
+    for (PosStack& stack : *stacks) {
+      stack.entries.clear();
+      ASEQ_RETURN_NOT_OK(reader->ReadU64(&stack.base, "stack base"));
+      uint64_t n_entries = 0;
+      ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_entries, 24, "stack entries"));
+      for (uint64_t i = 0; i < n_entries; ++i) {
+        StackEntry entry;
+        ASEQ_RETURN_NOT_OK(reader->ReadU64(&entry.seq, "entry seq"));
+        ASEQ_RETURN_NOT_OK(reader->ReadI64(&entry.ts, "entry ts"));
+        ASEQ_RETURN_NOT_OK(reader->ReadU64(&entry.ptr, "entry ptr"));
+        stack.entries.push_back(entry);
+      }
+    }
+    return Status::OK();
+  };
+  ASEQ_RETURN_NOT_OK(read_stacks(&shared_stacks_, "shared stacks"));
+  uint64_t n_states = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_states, 8, "query states"));
+  if (n_states != states_.size()) {
+    return Status::ParseError(
+        "snapshot corrupt: " + std::to_string(n_states) +
+        " query states but the workload has " + std::to_string(states_.size()));
+  }
+  for (QueryState& state : states_) {
+    ASEQ_RETURN_NOT_OK(read_stacks(&state.prefix_stacks, "prefix stacks"));
+    uint64_t n_composites = 0;
+    ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_composites, 40, "composites"));
+    state.composites.clear();
+    for (uint64_t i = 0; i < n_composites; ++i) {
+      CompositeEntry entry;
+      ASEQ_RETURN_NOT_OK(reader->ReadU64(&entry.match.start_seq, "start seq"));
+      ASEQ_RETURN_NOT_OK(reader->ReadI64(&entry.match.start_ts, "start ts"));
+      ASEQ_RETURN_NOT_OK(reader->ReadU64(&entry.match.end_seq, "end seq"));
+      ASEQ_RETURN_NOT_OK(reader->ReadI64(&entry.match.end_ts, "end ts"));
+      ASEQ_RETURN_NOT_OK(reader->ReadU64(&entry.prefix_ptr, "prefix ptr"));
+      state.composites.push_back(entry);
+    }
+    ASEQ_RETURN_NOT_OK(
+        reader->ReadU64(&state.composites_pushed, "composites pushed"));
+    ASEQ_RETURN_NOT_OK(
+        reader->ReadU64(&state.composites_base, "composites base"));
+    ASEQ_RETURN_NOT_OK(read_stacks(&state.tail_stacks, "tail stacks"));
+    ASEQ_RETURN_NOT_OK(reader->ReadU64(&state.live_count, "live matches"));
+    state.expiry = {};
+    uint64_t n_expiry = 0;
+    ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_expiry, 8, "match expirations"));
+    for (uint64_t i = 0; i < n_expiry; ++i) {
+      Timestamp exp = 0;
+      ASEQ_RETURN_NOT_OK(reader->ReadI64(&exp, "match expiry"));
+      state.expiry.push(exp);
+    }
+  }
+  stats_ = stats;
+  return Status::OK();
 }
 
 }  // namespace aseq

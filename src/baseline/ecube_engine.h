@@ -42,6 +42,8 @@ class EcubeEngine : public MultiQueryEngine {
   void OnBatch(std::span<const Event> batch,
                std::vector<MultiOutput>* out) override;
   const EngineStats& stats() const override { return stats_; }
+  Status Checkpoint(ckpt::Writer* writer) const override;
+  Status Restore(ckpt::Reader* reader) override;
   std::string name() const override { return "ECube"; }
 
  protected:

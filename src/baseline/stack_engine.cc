@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ckpt/ckpt.h"
+
 namespace aseq {
 
 namespace {
@@ -427,6 +429,207 @@ Output StackEngine::MakeLazyOutput(Timestamp ts, SeqNum seq,
       break;
   }
   return output;
+}
+
+Status StackEngine::Checkpoint(ckpt::Writer* writer) const {
+  ckpt::WriteStats(writer, stats_);
+  writer->WriteI64(next_expiry_);
+  writer->WriteU64(stacks_.size());
+  for (const PosStack& stack : stacks_) {
+    writer->WriteU64(stack.base);
+    writer->WriteU64(stack.entries.size());
+    for (const StackEntry& entry : stack.entries) {
+      ckpt::WriteEvent(writer, entry.event);
+      writer->WriteU64(entry.ptr);
+    }
+  }
+  writer->WriteU64(neg_events_.size());
+  for (const std::deque<NegEvent>& events : neg_events_) {
+    writer->WriteU64(events.size());
+    for (const NegEvent& neg : events) {
+      writer->WriteU64(neg.seq);
+      writer->WriteI64(neg.ts);
+      ckpt::WritePartitionKey(writer, neg.key);
+      writer->WriteU64(neg.covered.size());
+      for (bool covered : neg.covered) writer->WriteBool(covered);
+    }
+  }
+  writer->WriteU64(groups_.size());
+  for (const auto& [group, agg] : groups_) {
+    ckpt::WriteValue(writer, group);
+    writer->WriteU64(agg.count);
+    writer->WriteDouble(agg.sum);
+    writer->WriteU64(agg.values.size());
+    for (double v : agg.values) writer->WriteDouble(v);
+  }
+  // Expiry heaps serialize their underlying array verbatim, not a drained
+  // copy: the comparator keys on exp alone, so equal expirations pop in
+  // array-layout order, and PurgeExpired retracts match values from agg.sum
+  // in that order — a floating-point sum the pop order must reproduce
+  // exactly (see ckpt::HeapContainer).
+  const auto& expiry_heap = ckpt::HeapContainer(expiry_);
+  writer->WriteU64(expiry_heap.size());
+  for (const ExpiryItem& item : expiry_heap) {
+    writer->WriteI64(item.exp);
+    ckpt::WriteValue(writer, item.group);
+    writer->WriteDouble(item.value);
+  }
+  writer->WriteU64(next_lazy_id_);
+  writer->WriteU64(live_matches_);
+  // Bucket count pins lazy_matches_' iteration order, which MakeLazyOutput's
+  // floating-point merge order observes (see HpcEngine::Restore).
+  writer->WriteU64(lazy_matches_.bucket_count());
+  writer->WriteU64(lazy_matches_.size());
+  for (const auto& [id, match] : lazy_matches_) {
+    writer->WriteU64(id);
+    writer->WriteI64(match.exp);
+    writer->WriteDouble(match.value);
+    ckpt::WriteValue(writer, match.group);
+    ckpt::WritePartitionKey(writer, match.key);
+    writer->WriteU64(match.bounds.size());
+    for (const auto& [lo, hi] : match.bounds) {
+      writer->WriteU64(lo);
+      writer->WriteU64(hi);
+    }
+  }
+  const auto& lazy_heap = ckpt::HeapContainer(lazy_expiry_);
+  writer->WriteU64(lazy_heap.size());
+  for (const LazyExpiry& item : lazy_heap) {
+    writer->WriteI64(item.exp);
+    writer->WriteU64(item.id);
+  }
+  return Status::OK();
+}
+
+Status StackEngine::Restore(ckpt::Reader* reader) {
+  EngineStats stats;
+  ASEQ_RETURN_NOT_OK(ckpt::ReadStats(reader, &stats));
+  ASEQ_RETURN_NOT_OK(reader->ReadI64(&next_expiry_, "stack next expiry"));
+  uint64_t n_stacks = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_stacks, 16, "position stacks"));
+  if (n_stacks != stacks_.size()) {
+    return Status::ParseError(
+        "snapshot corrupt: " + std::to_string(n_stacks) +
+        " position stacks but the query has " + std::to_string(stacks_.size()));
+  }
+  for (PosStack& stack : stacks_) {
+    stack.entries.clear();
+    ASEQ_RETURN_NOT_OK(reader->ReadU64(&stack.base, "stack base"));
+    uint64_t n_entries = 0;
+    ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_entries, 28, "stack entries"));
+    for (uint64_t i = 0; i < n_entries; ++i) {
+      StackEntry entry;
+      ASEQ_RETURN_NOT_OK(ckpt::ReadEvent(reader, &entry.event));
+      ASEQ_RETURN_NOT_OK(reader->ReadU64(&entry.ptr, "stack entry ptr"));
+      stack.entries.push_back(std::move(entry));
+    }
+  }
+  uint64_t n_neg = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_neg, 8, "negation deques"));
+  if (n_neg != neg_events_.size()) {
+    return Status::ParseError(
+        "snapshot corrupt: " + std::to_string(n_neg) +
+        " negation deques but the query has " +
+        std::to_string(neg_events_.size()));
+  }
+  for (std::deque<NegEvent>& events : neg_events_) {
+    events.clear();
+    uint64_t n_events = 0;
+    ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_events, 24, "negated instances"));
+    for (uint64_t i = 0; i < n_events; ++i) {
+      NegEvent neg;
+      ASEQ_RETURN_NOT_OK(reader->ReadU64(&neg.seq, "negated seq"));
+      ASEQ_RETURN_NOT_OK(reader->ReadI64(&neg.ts, "negated ts"));
+      ASEQ_RETURN_NOT_OK(ckpt::ReadPartitionKey(reader, &neg.key));
+      uint64_t n_covered = 0;
+      ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_covered, 1, "coverage flags"));
+      neg.covered.resize(n_covered);
+      for (uint64_t j = 0; j < n_covered; ++j) {
+        bool covered = false;
+        ASEQ_RETURN_NOT_OK(reader->ReadBool(&covered, "coverage flag"));
+        neg.covered[j] = covered;
+      }
+      events.push_back(std::move(neg));
+    }
+  }
+  groups_.clear();
+  uint64_t n_groups = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_groups, 25, "aggregation groups"));
+  for (uint64_t i = 0; i < n_groups; ++i) {
+    Value group;
+    ASEQ_RETURN_NOT_OK(ckpt::ReadValue(reader, &group));
+    GroupAgg agg;
+    ASEQ_RETURN_NOT_OK(reader->ReadU64(&agg.count, "group count"));
+    ASEQ_RETURN_NOT_OK(reader->ReadDouble(&agg.sum, "group sum"));
+    uint64_t n_values = 0;
+    ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_values, 8, "group values"));
+    for (uint64_t j = 0; j < n_values; ++j) {
+      double v = 0;
+      ASEQ_RETURN_NOT_OK(reader->ReadDouble(&v, "group value"));
+      agg.values.insert(v);
+    }
+    groups_[std::move(group)] = std::move(agg);
+  }
+  expiry_ = {};
+  uint64_t n_expiry = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_expiry, 17, "match expirations"));
+  auto& expiry_heap = ckpt::MutableHeapContainer(expiry_);
+  expiry_heap.reserve(n_expiry);
+  for (uint64_t i = 0; i < n_expiry; ++i) {
+    ExpiryItem item;
+    ASEQ_RETURN_NOT_OK(reader->ReadI64(&item.exp, "match expiry"));
+    ASEQ_RETURN_NOT_OK(ckpt::ReadValue(reader, &item.group));
+    ASEQ_RETURN_NOT_OK(reader->ReadDouble(&item.value, "match value"));
+    expiry_heap.push_back(std::move(item));
+  }
+  ASEQ_RETURN_NOT_OK(reader->ReadU64(&next_lazy_id_, "next lazy id"));
+  ASEQ_RETURN_NOT_OK(reader->ReadU64(&live_matches_, "live match count"));
+  uint64_t lazy_buckets = 0;
+  uint64_t n_lazy = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadU64(&lazy_buckets, "lazy bucket count"));
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_lazy, 49, "retained matches"));
+  std::vector<std::pair<uint64_t, LazyMatch>> parsed;
+  parsed.reserve(n_lazy);
+  for (uint64_t i = 0; i < n_lazy; ++i) {
+    uint64_t id = 0;
+    LazyMatch match;
+    ASEQ_RETURN_NOT_OK(reader->ReadU64(&id, "lazy match id"));
+    ASEQ_RETURN_NOT_OK(reader->ReadI64(&match.exp, "lazy match expiry"));
+    ASEQ_RETURN_NOT_OK(reader->ReadDouble(&match.value, "lazy match value"));
+    ASEQ_RETURN_NOT_OK(ckpt::ReadValue(reader, &match.group));
+    ASEQ_RETURN_NOT_OK(ckpt::ReadPartitionKey(reader, &match.key));
+    uint64_t n_bounds = 0;
+    ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_bounds, 16, "lazy match bounds"));
+    for (uint64_t j = 0; j < n_bounds; ++j) {
+      uint64_t lo = 0, hi = 0;
+      ASEQ_RETURN_NOT_OK(reader->ReadU64(&lo, "bound lo"));
+      ASEQ_RETURN_NOT_OK(reader->ReadU64(&hi, "bound hi"));
+      match.bounds.emplace_back(lo, hi);
+    }
+    parsed.emplace_back(id, std::move(match));
+  }
+  lazy_matches_.clear();
+  lazy_matches_.rehash(lazy_buckets);
+  for (auto it = parsed.rbegin(); it != parsed.rend(); ++it) {
+    if (!lazy_matches_.emplace(it->first, std::move(it->second)).second) {
+      return Status::ParseError(
+          "snapshot corrupt: duplicate retained-match id");
+    }
+  }
+  lazy_expiry_ = {};
+  uint64_t n_lazy_expiry = 0;
+  ASEQ_RETURN_NOT_OK(
+      reader->ReadCount(&n_lazy_expiry, 16, "lazy expirations"));
+  auto& lazy_heap = ckpt::MutableHeapContainer(lazy_expiry_);
+  lazy_heap.reserve(n_lazy_expiry);
+  for (uint64_t i = 0; i < n_lazy_expiry; ++i) {
+    LazyExpiry item;
+    ASEQ_RETURN_NOT_OK(reader->ReadI64(&item.exp, "lazy expiry ts"));
+    ASEQ_RETURN_NOT_OK(reader->ReadU64(&item.id, "lazy expiry id"));
+    lazy_heap.push_back(item);
+  }
+  stats_ = stats;
+  return Status::OK();
 }
 
 std::vector<Output> StackEngine::Poll(Timestamp now) {

@@ -52,6 +52,8 @@ class StackEngine : public QueryEngine {
   void OnBatch(std::span<const Event> batch, std::vector<Output>* out) override;
   std::vector<Output> Poll(Timestamp now) override;
   const EngineStats& stats() const override { return stats_; }
+  Status Checkpoint(ckpt::Writer* writer) const override;
+  Status Restore(ckpt::Reader* reader) override;
   std::string name() const override { return "StackBased"; }
 
   const CompiledQuery& query() const { return query_; }

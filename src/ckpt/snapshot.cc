@@ -1,0 +1,201 @@
+#include "ckpt/snapshot.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+namespace aseq {
+namespace ckpt {
+
+namespace {
+
+constexpr size_t kMagicLen = 8;
+
+std::string ErrnoSuffix() {
+  return std::string(": ") + std::strerror(errno);
+}
+
+Status PayloadToEngine(const std::string& path, const std::string& name,
+                       const std::function<Status(Reader*)>& restore,
+                       uint64_t* stream_offset) {
+  SnapshotInfo info;
+  std::string payload;
+  ASEQ_RETURN_NOT_OK(ReadSnapshotFile(path, &info, &payload));
+  if (info.engine_name != name) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' was taken by engine '" + info.engine_name +
+        "' but is being restored into '" + name + "'");
+  }
+  Reader reader(payload);
+  ASEQ_RETURN_NOT_OK(restore(&reader));
+  ASEQ_RETURN_NOT_OK(reader.ExpectEnd());
+  *stream_offset = info.stream_offset;
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Status WriteSnapshotFile(const std::string& path,
+                         const std::string& engine_name,
+                         uint64_t stream_offset, std::string_view payload) {
+  Writer body;
+  body.WriteString(engine_name);
+  body.WriteU64(stream_offset);
+
+  std::string out;
+  out.append(kSnapshotMagic, kMagicLen);
+  Writer header;
+  header.WriteU32(kSnapshotFormatVersion);
+  header.WriteU64(body.size() + payload.size());
+  out.append(header.buffer());
+  out.append(body.buffer());
+  out.append(payload.data(), payload.size());
+  Writer checksum;
+  std::string_view full_body(out.data() + kMagicLen + 12,
+                             body.size() + payload.size());
+  checksum.WriteU64(Fnv1a64(full_body));
+  out.append(checksum.buffer());
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      return Status::IoError("cannot open checkpoint temp file '" + tmp + "'" +
+                             ErrnoSuffix());
+    }
+    f.write(out.data(), static_cast<std::streamsize>(out.size()));
+    f.flush();
+    if (!f) {
+      std::remove(tmp.c_str());
+      return Status::IoError("failed writing checkpoint temp file '" + tmp +
+                             "'" + ErrnoSuffix());
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = Status::IoError("failed renaming checkpoint '" + tmp +
+                                "' to '" + path + "'" + ErrnoSuffix());
+    std::remove(tmp.c_str());
+    return st;
+  }
+  return Status::OK();
+}
+
+Status ReadSnapshotFile(const std::string& path, SnapshotInfo* info,
+                        std::string* payload) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    return Status::IoError("cannot open snapshot file '" + path + "'" +
+                           ErrnoSuffix());
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  std::string data = std::move(buf).str();
+
+  if (data.size() < kMagicLen + 12 + 8) {
+    return Status::ParseError("snapshot file '" + path +
+                              "' is truncated: " + std::to_string(data.size()) +
+                              " byte(s), smaller than the fixed framing");
+  }
+  if (std::memcmp(data.data(), kSnapshotMagic, kMagicLen) != 0) {
+    return Status::ParseError("snapshot file '" + path +
+                              "' has a bad magic header (not an A-Seq "
+                              "checkpoint, or the header was corrupted)");
+  }
+  Reader header(std::string_view(data).substr(kMagicLen, 12));
+  uint32_t version = 0;
+  uint64_t body_len = 0;
+  ASEQ_RETURN_NOT_OK(header.ReadU32(&version, "snapshot format version"));
+  if (version != kSnapshotFormatVersion) {
+    return Status::ParseError(
+        "snapshot file '" + path + "' has format version " +
+        std::to_string(version) + " but this build reads version " +
+        std::to_string(kSnapshotFormatVersion));
+  }
+  ASEQ_RETURN_NOT_OK(header.ReadU64(&body_len, "snapshot body length"));
+  const size_t body_off = kMagicLen + 12;
+  if (body_len > data.size() - body_off - 8) {
+    return Status::ParseError(
+        "snapshot file '" + path + "' is truncated: body length field says " +
+        std::to_string(body_len) + " byte(s) but only " +
+        std::to_string(data.size() - body_off - 8) + " are present");
+  }
+  if (data.size() != body_off + body_len + 8) {
+    return Status::ParseError("snapshot file '" + path + "' carries " +
+                              std::to_string(data.size() - body_off -
+                                             body_len - 8) +
+                              " trailing byte(s) after the checksum");
+  }
+  std::string_view body = std::string_view(data).substr(body_off, body_len);
+  Reader footer(std::string_view(data).substr(body_off + body_len, 8));
+  uint64_t stored_sum = 0;
+  ASEQ_RETURN_NOT_OK(footer.ReadU64(&stored_sum, "snapshot checksum"));
+  const uint64_t actual_sum = Fnv1a64(body);
+  if (stored_sum != actual_sum) {
+    return Status::ParseError(
+        "snapshot file '" + path + "' failed its checksum (stored " +
+        std::to_string(stored_sum) + ", computed " +
+        std::to_string(actual_sum) + "): the body is corrupted");
+  }
+
+  Reader body_reader(body);
+  ASEQ_RETURN_NOT_OK(
+      body_reader.ReadString(&info->engine_name, "snapshot engine name"));
+  ASEQ_RETURN_NOT_OK(
+      body_reader.ReadU64(&info->stream_offset, "snapshot stream offset"));
+  payload->assign(body.substr(body_reader.position()));
+  return Status::OK();
+}
+
+Status SaveEngineSnapshot(const std::string& path, const QueryEngine& engine,
+                          uint64_t stream_offset) {
+  Writer payload;
+  ASEQ_RETURN_NOT_OK(engine.Checkpoint(&payload));
+  return WriteSnapshotFile(path, engine.name(), stream_offset,
+                           payload.buffer());
+}
+
+Status SaveMultiSnapshot(const std::string& path,
+                         const MultiQueryEngine& engine,
+                         uint64_t stream_offset) {
+  Writer payload;
+  ASEQ_RETURN_NOT_OK(engine.Checkpoint(&payload));
+  return WriteSnapshotFile(path, engine.name(), stream_offset,
+                           payload.buffer());
+}
+
+Status RestoreEngineSnapshot(const std::string& path, QueryEngine* engine,
+                             uint64_t* stream_offset) {
+  return PayloadToEngine(
+      path, engine->name(),
+      [engine](Reader* r) { return engine->Restore(r); }, stream_offset);
+}
+
+Status RestoreMultiSnapshot(const std::string& path, MultiQueryEngine* engine,
+                            uint64_t* stream_offset) {
+  return PayloadToEngine(
+      path, engine->name(),
+      [engine](Reader* r) { return engine->Restore(r); }, stream_offset);
+}
+
+std::string SnapshotPathForOffset(const std::string& dir, uint64_t offset) {
+  std::string digits = std::to_string(offset);
+  std::string padded(20 - std::min<size_t>(20, digits.size()), '0');
+  padded += digits;
+  return dir + "/ckpt-" + padded + ".aseqckpt";
+}
+
+}  // namespace ckpt
+}  // namespace aseq

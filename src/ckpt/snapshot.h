@@ -1,0 +1,75 @@
+#ifndef ASEQ_CKPT_SNAPSHOT_H_
+#define ASEQ_CKPT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ckpt/ckpt.h"
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace aseq {
+namespace ckpt {
+
+/// Snapshot file layout (all integers little-endian):
+///
+///   [8]  magic "ASEQCKPT"
+///   [4]  u32 format version (kSnapshotFormatVersion)
+///   [8]  u64 body length B
+///   [B]  body: engine name (length-prefixed) + u64 stream offset +
+///        the engine's Checkpoint() payload
+///   [8]  u64 FNV-1a checksum of the body
+///
+/// Writes are atomic: the file is written to `<path>.tmp` and renamed over
+/// `path`, so a crash mid-write can never leave a half-written snapshot
+/// under the published name.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr char kSnapshotMagic[] = "ASEQCKPT";  // 8 bytes, no NUL
+
+/// Header fields recovered before the engine payload is touched.
+struct SnapshotInfo {
+  std::string engine_name;
+  /// Number of stream events the engine had consumed when the snapshot was
+  /// taken; resuming replays the trace from this offset.
+  uint64_t stream_offset = 0;
+};
+
+/// FNV-1a 64-bit over `data` (the body checksum).
+uint64_t Fnv1a64(std::string_view data);
+
+/// Writes a complete snapshot file atomically (temp file + rename).
+Status WriteSnapshotFile(const std::string& path,
+                         const std::string& engine_name,
+                         uint64_t stream_offset, std::string_view payload);
+
+/// Reads and validates a snapshot file: magic, version, body length, and
+/// checksum. On success `*info` holds the header and `*payload` the engine
+/// payload bytes. Corrupt, truncated, or version-skewed files fail with a
+/// descriptive ParseError/IoError and never touch an engine.
+Status ReadSnapshotFile(const std::string& path, SnapshotInfo* info,
+                        std::string* payload);
+
+/// Checkpoints `engine` (plus the stream offset) into a snapshot file.
+Status SaveEngineSnapshot(const std::string& path, const QueryEngine& engine,
+                          uint64_t stream_offset);
+Status SaveMultiSnapshot(const std::string& path,
+                         const MultiQueryEngine& engine,
+                         uint64_t stream_offset);
+
+/// Restores a snapshot into a freshly constructed engine for the same
+/// query. Fails without modifying `engine` if the file is invalid or was
+/// taken by a different engine (name mismatch).
+Status RestoreEngineSnapshot(const std::string& path, QueryEngine* engine,
+                             uint64_t* stream_offset);
+Status RestoreMultiSnapshot(const std::string& path, MultiQueryEngine* engine,
+                            uint64_t* stream_offset);
+
+/// Canonical snapshot filename for a stream offset: `<dir>/ckpt-<offset
+/// zero-padded to 20>.aseqckpt` — zero-padding makes lexicographic order
+/// equal numeric order, so "latest" is the last name in a sorted listing.
+std::string SnapshotPathForOffset(const std::string& dir, uint64_t offset);
+
+}  // namespace ckpt
+}  // namespace aseq
+
+#endif  // ASEQ_CKPT_SNAPSHOT_H_

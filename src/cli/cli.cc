@@ -6,6 +6,7 @@
 
 #include "aseq/aseq_engine.h"
 #include "baseline/stack_engine.h"
+#include "ckpt/snapshot.h"
 #include "common/string_util.h"
 #include "common/version.h"
 #include "multi/chop_connect_engine.h"
@@ -33,6 +34,8 @@ constexpr const char* kUsage =
     "                [--engine aseq|stack] [--slack MS] [--seed S]\n"
     "                [--gap MS] [--limit N] [--quiet] [--emit-on-change]\n"
     "                [--batch-size N]\n"
+    "                [--checkpoint-every N --checkpoint-dir DIR]\n"
+    "                [--restore-from SNAPSHOT]\n"
     "  aseq explain  --query \"...\"\n"
     "  aseq generate (--stock N | --clicks N) --out FILE [--seed S] [--gap MS]\n"
     "  aseq compare  --query \"...\" (--trace FILE | --stock N | --clicks N)\n"
@@ -40,8 +43,13 @@ constexpr const char* kUsage =
     "  aseq workload --queries FILE (--trace FILE | --stock N | --clicks N)\n"
     "                [--strategy nonshare|sase|pretree|cc|hybrid]\n"
     "                [--seed S] [--gap MS] [--batch-size N]\n"
+    "                [--checkpoint-every N --checkpoint-dir DIR]\n"
+    "                [--restore-from SNAPSHOT]\n"
     "  (--batch-size controls the ingestion batch fed to OnBatch; default "
-    "256, 1 = per-event)\n";
+    "256, 1 = per-event)\n"
+    "  (--checkpoint-every N snapshots engine state every N events into\n"
+    "   --checkpoint-dir; --restore-from resumes a killed run from a\n"
+    "   snapshot, replaying the trace tail from the recorded offset)\n";
 
 /// Reads --batch-size into RunOptions (default kDefaultBatchSize).
 Result<RunOptions> BatchOptionsFromFlags(const FlagSet& flags) {
@@ -49,17 +57,67 @@ Result<RunOptions> BatchOptionsFromFlags(const FlagSet& flags) {
       int64_t batch,
       flags.GetInt("batch-size", static_cast<int64_t>(kDefaultBatchSize)));
   if (batch <= 0) {
-    return Status::InvalidArgument("--batch-size expects N > 0");
+    return Status::InvalidArgument(
+        "--batch-size expects N > 0 (e.g. --batch-size 256; 1 = per-event)");
   }
   RunOptions options;
   options.batch_size = static_cast<size_t>(batch);
   return options;
 }
 
+/// Validates the checkpoint/restore flag combination up front — before any
+/// trace is loaded or engine built — so misuse fails immediately with a
+/// usage hint instead of after minutes of processing. Fills the checkpoint
+/// fields of `options` and the snapshot path (empty if not restoring).
+Status CheckpointFlagsInto(const FlagSet& flags, RunOptions* options,
+                           std::string* restore_from) {
+  ASEQ_ASSIGN_OR_RETURN(int64_t every, flags.GetInt("checkpoint-every", 0));
+  if (every < 0) {
+    return Status::InvalidArgument(
+        "--checkpoint-every expects N >= 0 events (0 disables; e.g. "
+        "--checkpoint-every 100000 --checkpoint-dir ckpts)");
+  }
+  std::string dir = flags.GetString("checkpoint-dir");
+  if (every > 0 && dir.empty()) {
+    return Status::InvalidArgument(
+        "--checkpoint-every requires --checkpoint-dir DIR to write "
+        "snapshots into (e.g. --checkpoint-dir ckpts)");
+  }
+  if (every == 0 && !dir.empty()) {
+    return Status::InvalidArgument(
+        "--checkpoint-dir has no effect without --checkpoint-every N "
+        "(N > 0 enables periodic snapshots)");
+  }
+  options->checkpoint_every = static_cast<size_t>(every);
+  options->checkpoint_dir = dir;
+  restore_from->clear();
+  if (flags.Has("restore-from")) {
+    *restore_from = flags.GetString("restore-from");
+    if (restore_from->empty()) {
+      return Status::InvalidArgument(
+          "--restore-from expects a snapshot FILE (written by a previous "
+          "run's --checkpoint-every; see --checkpoint-dir)");
+    }
+    std::ifstream probe(*restore_from, std::ios::binary);
+    if (!probe) {
+      return Status::InvalidArgument(
+          "--restore-from: cannot open snapshot '" + *restore_from +
+          "' (does the file exist? snapshots are named "
+          "ckpt-<offset>.aseqckpt under --checkpoint-dir)");
+    }
+  }
+  return Status::OK();
+}
+
 /// Loads/creates the event stream named by the source flags.
 Result<std::vector<Event>> LoadEvents(const FlagSet& flags, Schema* schema) {
   ASEQ_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("seed", 42));
   ASEQ_ASSIGN_OR_RETURN(int64_t gap, flags.GetInt("gap", 6));
+  if (gap < 0) {
+    return Status::InvalidArgument(
+        "--gap expects MS >= 0 (maximum inter-event gap for generated "
+        "streams)");
+  }
   int sources = 0;
   if (flags.Has("trace")) ++sources;
   if (flags.Has("stock")) ++sources;
@@ -117,6 +175,11 @@ Result<std::unique_ptr<QueryEngine>> MakeEngine(const FlagSet& flags,
     engine = std::make_unique<ChangeDetectingEngine>(std::move(engine));
   }
   ASEQ_ASSIGN_OR_RETURN(int64_t slack, flags.GetInt("slack", 0));
+  if (slack < 0) {
+    return Status::InvalidArgument(
+        "--slack expects MS >= 0 (the K-slack disorder bound; 0 disables "
+        "reordering)");
+  }
   if (slack > 0) {
     engine = std::make_unique<ReorderingEngine>(std::move(engine), slack);
   }
@@ -134,10 +197,25 @@ void PrintOutput(std::ostream& out, const Output& output) {
 int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   Status known = flags.CheckKnown({"query", "trace", "stock", "clicks",
                                    "engine", "slack", "seed", "gap", "limit",
-                                   "quiet", "emit-on-change", "batch-size"});
+                                   "quiet", "emit-on-change", "batch-size",
+                                   "checkpoint-every", "checkpoint-dir",
+                                   "restore-from"});
   if (!known.ok()) {
     err << known.ToString() << "\n";
     return 2;
+  }
+  // Validate every flag combination before any expensive work so a typo'd
+  // invocation fails in microseconds.
+  auto options = BatchOptionsFromFlags(flags);
+  if (!options.ok()) {
+    err << options.status().ToString() << "\n";
+    return 1;
+  }
+  std::string restore_from;
+  Status ckpt_flags = CheckpointFlagsInto(flags, &*options, &restore_from);
+  if (!ckpt_flags.ok()) {
+    err << ckpt_flags.ToString() << "\n";
+    return 1;
   }
   Schema schema;
   auto query = CompileQuery(flags, &schema);
@@ -155,13 +233,34 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     err << engine.status().ToString() << "\n";
     return 1;
   }
-  auto options = BatchOptionsFromFlags(flags);
-  if (!options.ok()) {
-    err << options.status().ToString() << "\n";
-    return 1;
+  if (!restore_from.empty()) {
+    uint64_t offset = 0;
+    Status restored =
+        ckpt::RestoreEngineSnapshot(restore_from, engine->get(), &offset);
+    if (!restored.ok()) {
+      err << restored.ToString() << "\n";
+      return 1;
+    }
+    if (offset > events->size()) {
+      err << "InvalidArgument: snapshot '" << restore_from
+          << "' was taken at stream offset " << offset
+          << " but this source has only " << events->size() << " events\n";
+      return 1;
+    }
+    options->start_offset = offset;
+    // Replay only the tail; RunEvents re-assigns the same seq numbers the
+    // events had in the original run.
+    events->erase(events->begin(),
+                  events->begin() + static_cast<ptrdiff_t>(offset));
+    out << "restored from " << restore_from << " at offset " << offset
+        << "; replaying " << events->size() << " remaining events\n";
   }
   BatchRunner runner(*options);
   RunResult result = runner.RunEvents(*events, engine->get());
+  if (!result.checkpoint_status.ok()) {
+    err << "warning: checkpointing stopped: "
+        << result.checkpoint_status.ToString() << "\n";
+  }
   if (auto* reordering = dynamic_cast<ReorderingEngine*>(engine->get())) {
     std::vector<Output> tail;
     StopWatch watch;
@@ -195,6 +294,13 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   out << "results:       " << result.outputs.size() << "\n";
   out << "ms/slide:      " << result.MillisPerSlide() << "\n";
   out << "peak objects:  " << engine->get()->stats().objects.peak() << "\n";
+  if (options->checkpoint_every > 0) {
+    out << "checkpoints:   " << result.checkpoints_written;
+    if (result.checkpoints_written > 0) {
+      out << " (latest at offset " << result.last_checkpoint_offset << ")";
+    }
+    out << "\n";
+  }
   return 0;
 }
 
@@ -359,10 +465,23 @@ int CmdCompare(const FlagSet& flags, std::ostream& out, std::ostream& err) {
 
 int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   Status known = flags.CheckKnown({"queries", "trace", "stock", "clicks",
-                                   "strategy", "seed", "gap", "batch-size"});
+                                   "strategy", "seed", "gap", "batch-size",
+                                   "checkpoint-every", "checkpoint-dir",
+                                   "restore-from"});
   if (!known.ok()) {
     err << known.ToString() << "\n";
     return 2;
+  }
+  auto options = BatchOptionsFromFlags(flags);
+  if (!options.ok()) {
+    err << options.status().ToString() << "\n";
+    return 1;
+  }
+  std::string restore_from;
+  Status ckpt_flags = CheckpointFlagsInto(flags, &*options, &restore_from);
+  if (!ckpt_flags.ok()) {
+    err << ckpt_flags.ToString() << "\n";
+    return 1;
   }
   std::string path = flags.GetString("queries");
   if (path.empty()) {
@@ -444,13 +563,32 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     return 1;
   }
 
-  auto options = BatchOptionsFromFlags(flags);
-  if (!options.ok()) {
-    err << options.status().ToString() << "\n";
-    return 1;
+  if (!restore_from.empty()) {
+    uint64_t offset = 0;
+    Status restored =
+        ckpt::RestoreMultiSnapshot(restore_from, engine.get(), &offset);
+    if (!restored.ok()) {
+      err << restored.ToString() << "\n";
+      return 1;
+    }
+    if (offset > events->size()) {
+      err << "InvalidArgument: snapshot '" << restore_from
+          << "' was taken at stream offset " << offset
+          << " but this source has only " << events->size() << " events\n";
+      return 1;
+    }
+    options->start_offset = offset;
+    events->erase(events->begin(),
+                  events->begin() + static_cast<ptrdiff_t>(offset));
+    out << "restored from " << restore_from << " at offset " << offset
+        << "; replaying " << events->size() << " remaining events\n";
   }
   BatchRunner runner(*options);
   MultiRunResult result = runner.RunMultiEvents(*events, engine.get());
+  if (!result.checkpoint_status.ok()) {
+    err << "warning: checkpointing stopped: "
+        << result.checkpoint_status.ToString() << "\n";
+  }
   std::vector<size_t> per_query(queries.size(), 0);
   std::vector<Value> last(queries.size());
   for (const MultiOutput& mo : result.outputs) {
@@ -463,6 +601,13 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   out << "batch size:    " << result.batch_size << "\n";
   out << "ms/slide:      " << result.MillisPerSlide() << "\n";
   out << "peak objects:  " << engine->stats().objects.peak() << "\n";
+  if (options->checkpoint_every > 0) {
+    out << "checkpoints:   " << result.checkpoints_written;
+    if (result.checkpoints_written > 0) {
+      out << " (latest at offset " << result.last_checkpoint_offset << ")";
+    }
+    out << "\n";
+  }
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     out << "  Q" << (qi + 1) << ": " << per_query[qi]
         << " results, last=" << last[qi].ToString() << "  — "

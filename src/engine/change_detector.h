@@ -4,8 +4,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "ckpt/ckpt.h"
 #include "common/value.h"
 #include "engine/engine.h"
 
@@ -70,6 +72,31 @@ class ChangeDetectingEngine : public QueryEngine {
   }
 
   const EngineStats& stats() const override { return inner_->stats(); }
+
+  Status Checkpoint(ckpt::Writer* writer) const override {
+    writer->WriteBool(primed_);
+    writer->WriteU64(last_.size());
+    for (const auto& [key, value] : last_) {
+      ckpt::WriteValue(writer, key);
+      ckpt::WriteValue(writer, value);
+    }
+    return inner_->Checkpoint(writer);
+  }
+
+  Status Restore(ckpt::Reader* reader) override {
+    ASEQ_RETURN_NOT_OK(reader->ReadBool(&primed_, "change detector primed"));
+    uint64_t n = 0;
+    ASEQ_RETURN_NOT_OK(reader->ReadCount(&n, 2, "last reported values"));
+    last_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      Value key, value;
+      ASEQ_RETURN_NOT_OK(ckpt::ReadValue(reader, &key));
+      ASEQ_RETURN_NOT_OK(ckpt::ReadValue(reader, &value));
+      last_[std::move(key)] = std::move(value);
+    }
+    return inner_->Restore(reader);
+  }
+
   std::string name() const override {
     return inner_->name() + "+OnChange";
   }

@@ -7,10 +7,16 @@
 #include <vector>
 
 #include "common/event.h"
+#include "common/status.h"
 #include "common/value.h"
 #include "metrics/metrics.h"
 
 namespace aseq {
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
 
 /// \brief One aggregation result delivered by an engine.
 struct Output {
@@ -66,6 +72,26 @@ class QueryEngine {
   /// Execution statistics (object accounting per DESIGN.md).
   virtual const EngineStats& stats() const = 0;
 
+  /// Serializes the engine's complete dynamic state — everything that is
+  /// not rebuilt by constructing the engine for the same query — so that
+  /// Restore() on a freshly constructed twin reproduces byte-identical
+  /// outputs and stats for the remainder of the stream. Engines write only
+  /// fixed-width, length-prefixed primitives through the Writer (see
+  /// docs/internals.md §10 for the per-engine payloads).
+  virtual Status Checkpoint(ckpt::Writer* writer) const {
+    (void)writer;
+    return Status::Unsupported(name() + " does not support checkpointing");
+  }
+
+  /// Inverse of Checkpoint: loads the serialized state into this engine.
+  /// Must be called on a freshly constructed engine for the same query; a
+  /// malformed payload fails with a descriptive Status (the engine is then
+  /// in an unspecified state and must be discarded, but no UB occurs).
+  virtual Status Restore(ckpt::Reader* reader) {
+    (void)reader;
+    return Status::Unsupported(name() + " does not support checkpointing");
+  }
+
   /// Human-readable engine name ("A-Seq(SEM)", "StackBased", ...).
   virtual std::string name() const = 0;
 
@@ -103,6 +129,16 @@ class MultiQueryEngine {
 
   /// Per-workload statistics.
   virtual const EngineStats& stats() const = 0;
+
+  /// See QueryEngine::Checkpoint / QueryEngine::Restore.
+  virtual Status Checkpoint(ckpt::Writer* writer) const {
+    (void)writer;
+    return Status::Unsupported(name() + " does not support checkpointing");
+  }
+  virtual Status Restore(ckpt::Reader* reader) {
+    (void)reader;
+    return Status::Unsupported(name() + " does not support checkpointing");
+  }
 
   virtual std::string name() const = 0;
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/ckpt.h"
 #include "engine/engine.h"
 #include "stream/reorder.h"
 
@@ -18,6 +19,9 @@ namespace aseq {
 /// re-sequenced and fed to the wrapped engine. Results are therefore
 /// delayed by up to the slack bound — the price of disorder tolerance.
 /// Call Finish() at end of stream to drain the buffer.
+///
+/// Late events past the slack bound are dropped by the reorderer, but never
+/// silently: stats() folds the drop count into EngineStats::dropped_events.
 class ReorderingEngine : public QueryEngine {
  public:
   ReorderingEngine(std::unique_ptr<QueryEngine> inner, Timestamp slack_ms)
@@ -44,14 +48,14 @@ class ReorderingEngine : public QueryEngine {
     inner_->OnBatch(released_, out);
   }
 
-  /// Drains the reorder buffer into the wrapped engine.
+  /// Drains the reorder buffer into the wrapped engine through OnBatch —
+  /// the same code path as steady-state batches, so the drain cannot
+  /// diverge from normal processing.
   void Finish(std::vector<Output>* out) {
     released_.clear();
     reorderer_.Flush(&released_);
-    for (Event& r : released_) {
-      r.set_seq(next_seq_++);
-      inner_->OnEvent(r, out);
-    }
+    for (Event& r : released_) r.set_seq(next_seq_++);
+    inner_->OnBatch(released_, out);
   }
 
   /// Current value as of the *released* stream time; buffered events are
@@ -60,7 +64,26 @@ class ReorderingEngine : public QueryEngine {
     return inner_->Poll(now);
   }
 
-  const EngineStats& stats() const override { return inner_->stats(); }
+  /// Inner engine stats with the reorderer's drop count folded into
+  /// dropped_events.
+  const EngineStats& stats() const override {
+    stats_cache_ = inner_->stats();
+    stats_cache_.dropped_events += reorderer_.dropped();
+    return stats_cache_;
+  }
+
+  Status Checkpoint(ckpt::Writer* writer) const override {
+    reorderer_.Checkpoint(writer);
+    writer->WriteU64(next_seq_);
+    return inner_->Checkpoint(writer);
+  }
+
+  Status Restore(ckpt::Reader* reader) override {
+    ASEQ_RETURN_NOT_OK(reorderer_.Restore(reader));
+    ASEQ_RETURN_NOT_OK(reader->ReadU64(&next_seq_, "reorder next seq"));
+    return inner_->Restore(reader);
+  }
+
   std::string name() const override {
     return inner_->name() + "+KSlack";
   }
@@ -74,6 +97,9 @@ class ReorderingEngine : public QueryEngine {
   KSlackReorderer reorderer_;
   SeqNum next_seq_ = 0;
   std::vector<Event> released_;
+  /// stats() composes inner stats + drop count on demand; mutable because
+  /// the interface returns a reference.
+  mutable EngineStats stats_cache_;
 };
 
 /// \brief Multi-query counterpart of ReorderingEngine: one shared K-slack
@@ -103,17 +129,35 @@ class ReorderingMultiEngine : public MultiQueryEngine {
     inner_->OnBatch(released_, out);
   }
 
-  /// Drains the reorder buffer into the wrapped engine.
+  /// Drains the reorder buffer into the wrapped engine through OnBatch
+  /// (see ReorderingEngine::Finish).
   void Finish(std::vector<MultiOutput>* out) {
     released_.clear();
     reorderer_.Flush(&released_);
-    for (Event& r : released_) {
-      r.set_seq(next_seq_++);
-      inner_->OnEvent(r, out);
-    }
+    for (Event& r : released_) r.set_seq(next_seq_++);
+    inner_->OnBatch(released_, out);
   }
 
-  const EngineStats& stats() const override { return inner_->stats(); }
+  /// Inner engine stats with the reorderer's drop count folded into
+  /// dropped_events.
+  const EngineStats& stats() const override {
+    stats_cache_ = inner_->stats();
+    stats_cache_.dropped_events += reorderer_.dropped();
+    return stats_cache_;
+  }
+
+  Status Checkpoint(ckpt::Writer* writer) const override {
+    reorderer_.Checkpoint(writer);
+    writer->WriteU64(next_seq_);
+    return inner_->Checkpoint(writer);
+  }
+
+  Status Restore(ckpt::Reader* reader) override {
+    ASEQ_RETURN_NOT_OK(reorderer_.Restore(reader));
+    ASEQ_RETURN_NOT_OK(reader->ReadU64(&next_seq_, "reorder next seq"));
+    return inner_->Restore(reader);
+  }
+
   std::string name() const override { return inner_->name() + "+KSlack"; }
 
   uint64_t dropped_events() const { return reorderer_.dropped(); }
@@ -124,6 +168,7 @@ class ReorderingMultiEngine : public MultiQueryEngine {
   KSlackReorderer reorderer_;
   SeqNum next_seq_ = 0;
   std::vector<Event> released_;
+  mutable EngineStats stats_cache_;
 };
 
 }  // namespace aseq

@@ -2,8 +2,10 @@
 #define ASEQ_ENGINE_RUNTIME_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/engine.h"
 #include "stream/stream_source.h"
 
@@ -24,6 +26,19 @@ struct RunOptions {
   /// A batch size of 1 degenerates to the per-event path (one OnBatch
   /// call per event).
   size_t batch_size = kDefaultBatchSize;
+  /// Checkpoint the engine every N events (0 disables). Snapshots land at
+  /// the first batch boundary at or past each multiple of N, named by the
+  /// stream offset they cover (ckpt::SnapshotPathForOffset), so a resumed
+  /// run knows exactly where to replay from.
+  size_t checkpoint_every = 0;
+  /// Directory snapshots are written to; must be set (and exist) when
+  /// checkpoint_every > 0.
+  std::string checkpoint_dir;
+  /// Sequence number assigned to the first event fed this run. A restored
+  /// run passes the snapshot's stream offset here and feeds only the trace
+  /// tail, so replayed events carry the same seq numbers they would have
+  /// had in the uninterrupted run.
+  uint64_t start_offset = 0;
 };
 
 /// \brief Result of driving a stream through an engine.
@@ -34,6 +49,15 @@ struct RunResult {
   double elapsed_seconds = 0;
   /// Ingestion batch size used for the run (1 for the per-event path).
   size_t batch_size = 1;
+  /// First checkpoint I/O failure, or OK. Checkpointing stops after the
+  /// first failure (the run itself continues), so a full disk does not
+  /// spam one error per batch.
+  Status checkpoint_status = Status::OK();
+  /// Snapshots successfully written this run.
+  uint64_t checkpoints_written = 0;
+  /// Stream offset of the newest snapshot (meaningful when
+  /// checkpoints_written > 0).
+  uint64_t last_checkpoint_offset = 0;
 
   /// Average execution time per window slide in milliseconds — the paper's
   /// primary metric (the window slides once per event).
@@ -49,6 +73,10 @@ struct MultiRunResult {
   double elapsed_seconds = 0;
   /// Ingestion batch size used for the run (1 for the per-event path).
   size_t batch_size = 1;
+  /// See RunResult::checkpoint_status.
+  Status checkpoint_status = Status::OK();
+  uint64_t checkpoints_written = 0;
+  uint64_t last_checkpoint_offset = 0;
 
   double MillisPerSlide() const {
     return events == 0 ? 0 : elapsed_seconds * 1e3 / static_cast<double>(events);
@@ -78,7 +106,8 @@ class BatchRunner {
   RunResult Run(StreamSource* source, QueryEngine* engine);
 
   /// Runs pre-built events through `engine` in batches, assigning
-  /// sequence numbers 0..n-1 to the fed copies.
+  /// sequence numbers start_offset..start_offset+n-1 to the fed copies
+  /// (start_offset is 0 unless the run resumes from a snapshot).
   RunResult RunEvents(const std::vector<Event>& events, QueryEngine* engine);
 
   /// Multi-query variants.

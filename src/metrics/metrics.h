@@ -36,6 +36,16 @@ class ObjectCounter {
     peak_ = 0;
   }
 
+  /// Overwrites both counters from a checkpoint. Engines restore stats
+  /// wholesale after rebuilding their state structures, whose constructors
+  /// would otherwise have double-counted the rebuilt objects.
+  void RestoreCounts(int64_t current, int64_t peak) {
+    assert(current >= 0 && peak >= current &&
+           "restored object counters are inconsistent");
+    current_ = current;
+    peak_ = peak;
+  }
+
  private:
   int64_t current_ = 0;
   int64_t peak_ = 0;
@@ -59,6 +69,10 @@ struct EngineStats {
   uint64_t batches_processed = 0;
   /// Largest batch seen by OnBatch.
   uint64_t max_batch_events = 0;
+  /// Events discarded before reaching the engine — today that is late
+  /// arrivals past the K-slack bound in the reordering layer. Anything
+  /// dropped must be visible here, never silently swallowed.
+  uint64_t dropped_events = 0;
 
   /// Records one OnBatch call of `n` events.
   void NoteBatch(size_t n) {
@@ -73,6 +87,7 @@ struct EngineStats {
     objects.Reset();
     batches_processed = 0;
     max_batch_events = 0;
+    dropped_events = 0;
   }
 };
 

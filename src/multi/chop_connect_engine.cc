@@ -5,6 +5,8 @@
 #include <optional>
 #include <map>
 
+#include "ckpt/ckpt.h"
+
 namespace aseq {
 
 ChopConnectEngine::ChopConnectEngine(std::vector<CompiledQuery> queries,
@@ -281,6 +283,83 @@ void ChopConnectEngine::ProcessEvent(const Event& e,
       ++stats_.outputs;
     }
   }
+}
+
+Status ChopConnectEngine::Checkpoint(ckpt::Writer* writer) const {
+  ckpt::WriteStats(writer, stats_);
+  writer->WriteI64(next_expiry_);
+  writer->WriteU64(segments_.size());
+  for (const Segment& seg : segments_) {
+    writer->WriteU64(seg.next_id);
+    writer->WriteU64(seg.entries.size());
+    for (const SegEntry& entry : seg.entries) {
+      writer->WriteU64(entry.id);
+      writer->WriteI64(entry.exp);
+      for (uint64_t count : entry.counts) writer->WriteU64(count);
+      for (const SnapshotTable& table : entry.snapshots) {
+        writer->WriteU64(table.cursor);
+        writer->WriteU64(table.rows.size());
+        for (const SnapRow& row : table.rows) {
+          writer->WriteU64(row.tag);
+          writer->WriteI64(row.exp);
+          writer->WriteU64(row.count);
+          writer->WriteU64(row.cum);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ChopConnectEngine::Restore(ckpt::Reader* reader) {
+  EngineStats stats;
+  ASEQ_RETURN_NOT_OK(ckpt::ReadStats(reader, &stats));
+  ASEQ_RETURN_NOT_OK(reader->ReadI64(&next_expiry_, "chop next expiry"));
+  uint64_t n_segments = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_segments, 16, "segments"));
+  if (n_segments != segments_.size()) {
+    return Status::ParseError(
+        "snapshot corrupt: " + std::to_string(n_segments) +
+        " segments but the plan builds " + std::to_string(segments_.size()));
+  }
+  for (Segment& seg : segments_) {
+    seg.entries.clear();
+    ASEQ_RETURN_NOT_OK(reader->ReadU64(&seg.next_id, "segment next id"));
+    uint64_t n_entries = 0;
+    ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_entries, 16, "segment entries"));
+    for (uint64_t i = 0; i < n_entries; ++i) {
+      SegEntry entry;
+      ASEQ_RETURN_NOT_OK(reader->ReadU64(&entry.id, "entry id"));
+      ASEQ_RETURN_NOT_OK(reader->ReadI64(&entry.exp, "entry expiry"));
+      entry.counts.resize(seg.types.size());
+      for (uint64_t& count : entry.counts) {
+        ASEQ_RETURN_NOT_OK(reader->ReadU64(&count, "entry count"));
+      }
+      entry.snapshots.resize(seg.hooks.size());
+      for (SnapshotTable& table : entry.snapshots) {
+        uint64_t cursor = 0;
+        ASEQ_RETURN_NOT_OK(reader->ReadU64(&cursor, "snapshot cursor"));
+        uint64_t n_rows = 0;
+        ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_rows, 32, "snapshot rows"));
+        if (cursor > n_rows) {
+          return Status::ParseError(
+              "snapshot corrupt: snapshot cursor " + std::to_string(cursor) +
+              " beyond its " + std::to_string(n_rows) + " row(s)");
+        }
+        table.cursor = cursor;
+        table.rows.resize(n_rows);
+        for (SnapRow& row : table.rows) {
+          ASEQ_RETURN_NOT_OK(reader->ReadU64(&row.tag, "row tag"));
+          ASEQ_RETURN_NOT_OK(reader->ReadI64(&row.exp, "row expiry"));
+          ASEQ_RETURN_NOT_OK(reader->ReadU64(&row.count, "row count"));
+          ASEQ_RETURN_NOT_OK(reader->ReadU64(&row.cum, "row cum"));
+        }
+      }
+      seg.entries.push_back(std::move(entry));
+    }
+  }
+  stats_ = stats;
+  return Status::OK();
 }
 
 }  // namespace aseq

@@ -49,6 +49,8 @@ class ChopConnectEngine : public MultiQueryEngine {
   void OnBatch(std::span<const Event> batch,
                std::vector<MultiOutput>* out) override;
   const EngineStats& stats() const override { return stats_; }
+  Status Checkpoint(ckpt::Writer* writer) const override;
+  Status Restore(ckpt::Reader* reader) override;
   std::string name() const override { return "ChopConnect"; }
 
   /// Number of unique shared segments (testing hook).

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "aseq/aseq_engine.h"
+#include "ckpt/ckpt.h"
 #include "baseline/stack_engine.h"
 #include "multi/chop_connect_engine.h"
 #include "multi/chop_plan.h"
@@ -171,6 +172,49 @@ void HybridMultiEngine::OnBatch(std::span<const Event> batch,
   for (const Event& e : batch) ProcessEvent(e, out);
   SumWorkUnits();
   stats_.NoteBatch(batch.size());
+}
+
+Status HybridMultiEngine::Checkpoint(ckpt::Writer* writer) const {
+  ckpt::WriteStats(writer, stats_);
+  writer->WriteI64(last_objects_);
+  writer->WriteU64(multi_parts_.size());
+  for (const MultiPart& part : multi_parts_) {
+    ASEQ_RETURN_NOT_OK(part.engine->Checkpoint(writer));
+  }
+  writer->WriteU64(single_parts_.size());
+  for (const SinglePart& part : single_parts_) {
+    ASEQ_RETURN_NOT_OK(part.engine->Checkpoint(writer));
+  }
+  return Status::OK();
+}
+
+Status HybridMultiEngine::Restore(ckpt::Reader* reader) {
+  EngineStats stats;
+  ASEQ_RETURN_NOT_OK(ckpt::ReadStats(reader, &stats));
+  ASEQ_RETURN_NOT_OK(reader->ReadI64(&last_objects_, "last objects"));
+  uint64_t n_multi = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_multi, 8, "multi parts"));
+  if (n_multi != multi_parts_.size()) {
+    return Status::ParseError(
+        "snapshot corrupt: " + std::to_string(n_multi) +
+        " multi parts but routing built " + std::to_string(multi_parts_.size()));
+  }
+  for (MultiPart& part : multi_parts_) {
+    ASEQ_RETURN_NOT_OK(part.engine->Restore(reader));
+  }
+  uint64_t n_single = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_single, 8, "single parts"));
+  if (n_single != single_parts_.size()) {
+    return Status::ParseError(
+        "snapshot corrupt: " + std::to_string(n_single) +
+        " single parts but routing built " +
+        std::to_string(single_parts_.size()));
+  }
+  for (SinglePart& part : single_parts_) {
+    ASEQ_RETURN_NOT_OK(part.engine->Restore(reader));
+  }
+  stats_ = stats;
+  return Status::OK();
 }
 
 }  // namespace aseq

@@ -43,6 +43,10 @@ class HybridMultiEngine : public MultiQueryEngine {
   void OnBatch(std::span<const Event> batch,
                std::vector<MultiOutput>* out) override;
   const EngineStats& stats() const override { return stats_; }
+  /// Serializes the wrapper's own accounting plus every part's payload
+  /// (multi parts, then single parts, in Create()'s deterministic order).
+  Status Checkpoint(ckpt::Writer* writer) const override;
+  Status Restore(ckpt::Reader* reader) override;
   std::string name() const override { return "Hybrid"; }
 
   /// Human-readable routing decisions ("Q1 -> PreTree", ...), one per

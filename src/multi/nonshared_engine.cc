@@ -2,6 +2,7 @@
 
 #include "aseq/aseq_engine.h"
 #include "baseline/stack_engine.h"
+#include "ckpt/ckpt.h"
 
 namespace aseq {
 
@@ -78,6 +79,34 @@ void NonSharedEngine::OnBatch(std::span<const Event> batch,
   for (const Event& e : batch) ProcessEvent(e, out);
   SumWorkUnits();
   stats_.NoteBatch(batch.size());
+}
+
+Status NonSharedEngine::Checkpoint(ckpt::Writer* writer) const {
+  ckpt::WriteStats(writer, stats_);
+  writer->WriteI64(last_objects_);
+  writer->WriteU64(engines_.size());
+  for (const auto& engine : engines_) {
+    ASEQ_RETURN_NOT_OK(engine->Checkpoint(writer));
+  }
+  return Status::OK();
+}
+
+Status NonSharedEngine::Restore(ckpt::Reader* reader) {
+  EngineStats stats;
+  ASEQ_RETURN_NOT_OK(ckpt::ReadStats(reader, &stats));
+  ASEQ_RETURN_NOT_OK(reader->ReadI64(&last_objects_, "last objects"));
+  uint64_t n_engines = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_engines, 8, "sub-engines"));
+  if (n_engines != engines_.size()) {
+    return Status::ParseError(
+        "snapshot corrupt: " + std::to_string(n_engines) +
+        " sub-engines but the workload has " + std::to_string(engines_.size()));
+  }
+  for (auto& engine : engines_) {
+    ASEQ_RETURN_NOT_OK(engine->Restore(reader));
+  }
+  stats_ = stats;
+  return Status::OK();
 }
 
 }  // namespace aseq

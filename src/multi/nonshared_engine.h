@@ -39,6 +39,10 @@ class NonSharedEngine : public MultiQueryEngine {
   void OnBatch(std::span<const Event> batch,
                std::vector<MultiOutput>* out) override;
   const EngineStats& stats() const override { return stats_; }
+  /// Serializes the wrapper's own accounting plus every sub-engine's
+  /// payload in query order.
+  Status Checkpoint(ckpt::Writer* writer) const override;
+  Status Restore(ckpt::Reader* reader) override;
   std::string name() const override { return name_; }
 
   QueryEngine* engine(size_t i) { return engines_[i].get(); }

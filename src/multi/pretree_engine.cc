@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ckpt/ckpt.h"
+
 namespace aseq {
 
 PreTreeEngine::PreTreeEngine(std::vector<CompiledQuery> queries)
@@ -171,6 +173,49 @@ void PreTreeEngine::ProcessEvent(const Event& e,
       }
     }
   }
+}
+
+Status PreTreeEngine::Checkpoint(ckpt::Writer* writer) const {
+  ckpt::WriteStats(writer, stats_);
+  writer->WriteI64(next_expiry_);
+  writer->WriteU64(tries_.size());
+  for (const Trie& trie : tries_) {
+    writer->WriteU64(trie.instances.size());
+    for (const Instance& inst : trie.instances) {
+      writer->WriteI64(inst.exp);
+      for (uint64_t count : inst.counts) writer->WriteU64(count);
+    }
+  }
+  return Status::OK();
+}
+
+Status PreTreeEngine::Restore(ckpt::Reader* reader) {
+  EngineStats stats;
+  ASEQ_RETURN_NOT_OK(ckpt::ReadStats(reader, &stats));
+  ASEQ_RETURN_NOT_OK(reader->ReadI64(&next_expiry_, "pretree next expiry"));
+  uint64_t n_tries = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_tries, 8, "tries"));
+  if (n_tries != tries_.size()) {
+    return Status::ParseError("snapshot corrupt: " + std::to_string(n_tries) +
+                              " tries but the workload builds " +
+                              std::to_string(tries_.size()));
+  }
+  for (Trie& trie : tries_) {
+    trie.instances.clear();
+    uint64_t n_instances = 0;
+    ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_instances, 8, "trie instances"));
+    for (uint64_t i = 0; i < n_instances; ++i) {
+      Instance inst;
+      ASEQ_RETURN_NOT_OK(reader->ReadI64(&inst.exp, "instance expiry"));
+      inst.counts.resize(trie.nodes.size());
+      for (uint64_t& count : inst.counts) {
+        ASEQ_RETURN_NOT_OK(reader->ReadU64(&count, "instance count"));
+      }
+      trie.instances.push_back(std::move(inst));
+    }
+  }
+  stats_ = stats;
+  return Status::OK();
 }
 
 }  // namespace aseq

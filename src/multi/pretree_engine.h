@@ -40,6 +40,8 @@ class PreTreeEngine : public MultiQueryEngine {
   void OnBatch(std::span<const Event> batch,
                std::vector<MultiOutput>* out) override;
   const EngineStats& stats() const override { return stats_; }
+  Status Checkpoint(ckpt::Writer* writer) const override;
+  Status Restore(ckpt::Reader* reader) override;
   std::string name() const override { return "PrefixShare(PreTree)"; }
 
   /// Total trie nodes across tries (testing hook: measures sharing).

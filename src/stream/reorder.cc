@@ -1,5 +1,7 @@
 #include "stream/reorder.h"
 
+#include "ckpt/ckpt.h"
+
 namespace aseq {
 
 void KSlackReorderer::Push(Event e, std::vector<Event>* out) {
@@ -21,6 +23,48 @@ void KSlackReorderer::Flush(std::vector<Event>* out) {
     out->push_back(heap_.top().event);
     heap_.pop();
   }
+}
+
+void KSlackReorderer::Checkpoint(ckpt::Writer* w) const {
+  w->WriteI64(slack_ms_);
+  w->WriteI64(max_ts_);
+  w->WriteU64(next_arrival_);
+  w->WriteU64(dropped_);
+  // Drain a copy in release order — (ts, arrival) is a total order, so the
+  // restored heap pops in exactly the same sequence.
+  auto heap_copy = heap_;
+  w->WriteU64(heap_copy.size());
+  while (!heap_copy.empty()) {
+    const Item& item = heap_copy.top();
+    w->WriteI64(item.ts);
+    w->WriteU64(item.arrival);
+    ckpt::WriteEvent(w, item.event);
+    heap_copy.pop();
+  }
+}
+
+Status KSlackReorderer::Restore(ckpt::Reader* r) {
+  Timestamp slack = 0;
+  ASEQ_RETURN_NOT_OK(r->ReadI64(&slack, "reorder slack"));
+  if (slack != slack_ms_) {
+    return Status::ParseError(
+        "snapshot corrupt: reorder slack is " + std::to_string(slack) +
+        "ms but this run configured " + std::to_string(slack_ms_) + "ms");
+  }
+  ASEQ_RETURN_NOT_OK(r->ReadI64(&max_ts_, "reorder max ts"));
+  ASEQ_RETURN_NOT_OK(r->ReadU64(&next_arrival_, "reorder next arrival"));
+  ASEQ_RETURN_NOT_OK(r->ReadU64(&dropped_, "reorder dropped"));
+  heap_ = {};
+  uint64_t n = 0;
+  ASEQ_RETURN_NOT_OK(r->ReadCount(&n, 36, "buffered events"));
+  for (uint64_t i = 0; i < n; ++i) {
+    Item item;
+    ASEQ_RETURN_NOT_OK(r->ReadI64(&item.ts, "buffered ts"));
+    ASEQ_RETURN_NOT_OK(r->ReadU64(&item.arrival, "buffered arrival"));
+    ASEQ_RETURN_NOT_OK(ckpt::ReadEvent(r, &item.event));
+    heap_.push(std::move(item));
+  }
+  return Status::OK();
 }
 
 }  // namespace aseq

@@ -6,8 +6,14 @@
 #include <vector>
 
 #include "common/event.h"
+#include "common/status.h"
 
 namespace aseq {
+
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
 
 /// \brief K-slack reordering buffer for out-of-order event streams.
 ///
@@ -35,6 +41,12 @@ class KSlackReorderer {
   size_t buffered() const { return heap_.size(); }
   /// Events discarded for arriving later than the slack bound.
   uint64_t dropped() const { return dropped_; }
+
+  /// Serializes the buffer (watermark state + in-flight events in release
+  /// order) so a restored reorderer releases and drops exactly like the
+  /// original from the next Push on.
+  void Checkpoint(ckpt::Writer* w) const;
+  Status Restore(ckpt::Reader* r);
   Timestamp watermark() const {
     return max_ts_ == INT64_MIN ? INT64_MIN : max_ts_ - slack_ms_;
   }

@@ -1,6 +1,8 @@
 #include "stream/trace_io.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -12,8 +14,13 @@ namespace aseq {
 namespace {
 
 /// Parses a CSV value token into the narrowest matching Value type.
-Value ParseValueToken(std::string_view token) {
-  if (token.empty()) return Value();
+/// Numeric-looking tokens that overflow their type are an error — silently
+/// saturating to INT64_MAX/inf would corrupt aggregates downstream.
+Status ParseValueToken(std::string_view token, Value* out) {
+  if (token.empty()) {
+    *out = Value();
+    return Status::OK();
+  }
   bool digits = false, dot = false, other = false;
   size_t start = (token[0] == '-' || token[0] == '+') ? 1 : 0;
   if (start == token.size()) other = true;
@@ -30,18 +37,37 @@ Value ParseValueToken(std::string_view token) {
   }
   std::string s(token);
   if (!other && digits && !dot) {
-    return Value(static_cast<int64_t>(std::strtoll(s.c_str(), nullptr, 10)));
+    errno = 0;
+    long long v = std::strtoll(s.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      return Status::ParseError("integer value '" + s +
+                                "' overflows 64-bit range");
+    }
+    *out = Value(static_cast<int64_t>(v));
+    return Status::OK();
   }
   if (!other && digits && dot) {
-    return Value(std::strtod(s.c_str(), nullptr));
+    errno = 0;
+    double v = std::strtod(s.c_str(), nullptr);
+    if (errno == ERANGE && std::isinf(v)) {
+      return Status::ParseError("numeric value '" + s +
+                                "' overflows double range");
+    }
+    *out = Value(v);
+    return Status::OK();
   }
-  return Value(s);
+  *out = Value(s);
+  return Status::OK();
 }
 
 }  // namespace
 
 Result<std::vector<Event>> ParseTrace(const std::string& content,
                                       Schema* schema) {
+  // All registrations go into a staging copy that is committed only when
+  // the whole trace parses: a malformed line must not leave the caller's
+  // schema with half the file's types/attributes registered.
+  Schema staging = *schema;
   std::vector<Event> events;
   std::istringstream in(content);
   std::string line;
@@ -57,13 +83,19 @@ Result<std::vector<Event>> ParseTrace(const std::string& content,
                                 ": expected 'type,timestamp[,attr=value]...'");
     }
     Event e;
-    e.set_type(schema->RegisterEventType(TrimWhitespace(fields[0])));
+    e.set_type(staging.RegisterEventType(TrimWhitespace(fields[0])));
     std::string ts_str(TrimWhitespace(fields[1]));
     char* end = nullptr;
+    errno = 0;
     int64_t ts = std::strtoll(ts_str.c_str(), &end, 10);
     if (end == ts_str.c_str() || *end != '\0') {
       return Status::ParseError("trace line " + std::to_string(lineno) +
                                 ": bad timestamp '" + ts_str + "'");
+    }
+    if (errno == ERANGE) {
+      return Status::ParseError("trace line " + std::to_string(lineno) +
+                                ": timestamp '" + ts_str +
+                                "' overflows 64-bit range");
     }
     if (ts < prev_ts) {
       return Status::ParseError(
@@ -81,11 +113,20 @@ Result<std::vector<Event>> ParseTrace(const std::string& content,
                                   ": expected attr=value, got '" +
                                   std::string(field) + "'");
       }
-      AttrId attr = schema->RegisterAttribute(TrimWhitespace(field.substr(0, eq)));
-      e.SetAttr(attr, ParseValueToken(TrimWhitespace(field.substr(eq + 1))));
+      AttrId attr =
+          staging.RegisterAttribute(TrimWhitespace(field.substr(0, eq)));
+      Value value;
+      Status parsed =
+          ParseValueToken(TrimWhitespace(field.substr(eq + 1)), &value);
+      if (!parsed.ok()) {
+        return Status::ParseError("trace line " + std::to_string(lineno) +
+                                  ": " + parsed.message());
+      }
+      e.SetAttr(attr, std::move(value));
     }
     events.push_back(std::move(e));
   }
+  *schema = std::move(staging);
   return events;
 }
 

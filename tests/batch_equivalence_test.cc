@@ -104,7 +104,12 @@ void CheckSingle(const std::function<std::unique_ptr<QueryEngine>()>& factory,
     const std::string context =
         label + " @batch=" + std::to_string(batch_size);
     auto engine = factory();
-    BatchRunner runner(RunOptions{/*collect_outputs=*/true, batch_size});
+    BatchRunner runner;
+    {
+      RunOptions options;
+      options.batch_size = batch_size;
+      runner.set_options(options);
+    }
     RunResult got = runner.RunEvents(events, engine.get());
     EXPECT_EQ(got.batch_size, batch_size) << context;
     ExpectOutputsEqual(ref.outputs, got.outputs, context);
@@ -123,7 +128,12 @@ void CheckMulti(
     const std::string context =
         label + " @batch=" + std::to_string(batch_size);
     auto engine = factory();
-    BatchRunner runner(RunOptions{/*collect_outputs=*/true, batch_size});
+    BatchRunner runner;
+    {
+      RunOptions options;
+      options.batch_size = batch_size;
+      runner.set_options(options);
+    }
     MultiRunResult got = runner.RunMultiEvents(events, engine.get());
     ExpectMultiOutputsEqual(ref.outputs, got.outputs, context);
     ExpectStatsEqual(ref_engine->stats(), engine->stats(), context);
@@ -283,7 +293,12 @@ TEST(BatchEquivalenceTest, ReorderingEngineOutOfOrder) {
     const std::string context =
         "reordering @batch=" + std::to_string(batch_size);
     auto engine = factory();
-    BatchRunner runner(RunOptions{/*collect_outputs=*/true, batch_size});
+    BatchRunner runner;
+    {
+      RunOptions options;
+      options.batch_size = batch_size;
+      runner.set_options(options);
+    }
     RunResult got = runner.RunEvents(shuffled, engine.get());
     engine->Finish(&got.outputs);
     ExpectOutputsEqual(ref.outputs, got.outputs, context);
@@ -319,7 +334,12 @@ TEST(BatchEquivalenceTest, ReorderingMultiEngineOutOfOrder) {
     const std::string context =
         "reordering-multi @batch=" + std::to_string(batch_size);
     auto engine = factory();
-    BatchRunner runner(RunOptions{/*collect_outputs=*/true, batch_size});
+    BatchRunner runner;
+    {
+      RunOptions options;
+      options.batch_size = batch_size;
+      runner.set_options(options);
+    }
     MultiRunResult got = runner.RunMultiEvents(events, engine.get());
     static_cast<ReorderingMultiEngine*>(engine.get())->Finish(&got.outputs);
     ExpectMultiOutputsEqual(ref.outputs, got.outputs, context);
@@ -461,7 +481,10 @@ TEST(BatchEquivalenceTest, BatchCountersRecorded) {
   CompiledQuery cq = MustCompile(
       &c->schema, "PATTERN SEQ(DELL, IPIX) AGG COUNT WITHIN 800ms");
   auto engine = MustCreateAseq(cq);
-  BatchRunner runner(RunOptions{/*collect_outputs=*/false, 64});
+  RunOptions options;
+  options.collect_outputs = false;
+  options.batch_size = 64;
+  BatchRunner runner(options);
   runner.RunEvents(c->events, engine.get());
   const EngineStats& stats = engine->stats();
   EXPECT_EQ(stats.batches_processed, (c->events.size() + 63) / 64);

@@ -1,0 +1,327 @@
+// Snapshot wire-format robustness: the Writer/Reader primitives round-trip
+// every scalar exactly, and every way a snapshot file can be damaged —
+// truncation at any byte, flipped magic, version skew, checksum corruption,
+// trailing garbage, wrong engine name — fails with a precise Status and
+// never undefined behavior. Also checks the atomic write protocol: a
+// published snapshot exists in full or not at all, with no .tmp litter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ckpt/ckpt.h"
+#include "ckpt/snapshot.h"
+#include "common/event.h"
+#include "common/value.h"
+
+namespace aseq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/ckpt-io-" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// ---------------------------------------------------------------------------
+// Writer/Reader round-trips
+// ---------------------------------------------------------------------------
+
+TEST(CkptIoTest, ScalarRoundTrip) {
+  ckpt::Writer w;
+  w.WriteU8(0xAB);
+  w.WriteBool(true);
+  w.WriteBool(false);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(std::numeric_limits<uint64_t>::max());
+  w.WriteI64(std::numeric_limits<int64_t>::min());
+  w.WriteI64(-1);
+  w.WriteDouble(3.141592653589793);
+  w.WriteDouble(-0.0);
+  w.WriteString("hello \0 world");
+  w.WriteString("");
+
+  ckpt::Reader r(w.buffer());
+  uint8_t u8 = 0;
+  bool b = false;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double d = 0;
+  std::string s;
+  ASSERT_TRUE(r.ReadU8(&u8, "u8").ok());
+  EXPECT_EQ(u8, 0xAB);
+  ASSERT_TRUE(r.ReadBool(&b, "b1").ok());
+  EXPECT_TRUE(b);
+  ASSERT_TRUE(r.ReadBool(&b, "b2").ok());
+  EXPECT_FALSE(b);
+  ASSERT_TRUE(r.ReadU32(&u32, "u32").ok());
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  ASSERT_TRUE(r.ReadU64(&u64, "u64").ok());
+  EXPECT_EQ(u64, std::numeric_limits<uint64_t>::max());
+  ASSERT_TRUE(r.ReadI64(&i64, "i64min").ok());
+  EXPECT_EQ(i64, std::numeric_limits<int64_t>::min());
+  ASSERT_TRUE(r.ReadI64(&i64, "minus1").ok());
+  EXPECT_EQ(i64, -1);
+  ASSERT_TRUE(r.ReadDouble(&d, "pi").ok());
+  EXPECT_EQ(d, 3.141592653589793);
+  ASSERT_TRUE(r.ReadDouble(&d, "negzero").ok());
+  EXPECT_EQ(d, -0.0);
+  EXPECT_TRUE(std::signbit(d));
+  ASSERT_TRUE(r.ReadString(&s, "str").ok());
+  EXPECT_EQ(s, std::string("hello \0 world"));
+  ASSERT_TRUE(r.ReadString(&s, "empty").ok());
+  EXPECT_EQ(s, "");
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(CkptIoTest, ValueAndEventRoundTrip) {
+  ckpt::Writer w;
+  ckpt::WriteValue(&w, Value());
+  ckpt::WriteValue(&w, Value(static_cast<int64_t>(-42)));
+  ckpt::WriteValue(&w, Value(2.5));
+  ckpt::WriteValue(&w, Value(std::string("abc")));
+  Event e;
+  e.set_type(7);
+  e.set_ts(-123);
+  e.set_seq(99);
+  e.SetAttr(3, Value(static_cast<int64_t>(5)));
+  e.SetAttr(1, Value(std::string("x")));
+  ckpt::WriteEvent(&w, e);
+
+  ckpt::Reader r(w.buffer());
+  Value v;
+  ASSERT_TRUE(ckpt::ReadValue(&r, &v).ok());
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(ckpt::ReadValue(&r, &v).ok());
+  EXPECT_EQ(v.AsInt64(), -42);
+  ASSERT_TRUE(ckpt::ReadValue(&r, &v).ok());
+  EXPECT_EQ(v.AsDouble(), 2.5);
+  ASSERT_TRUE(ckpt::ReadValue(&r, &v).ok());
+  EXPECT_EQ(v.AsString(), "abc");
+  Event back;
+  ASSERT_TRUE(ckpt::ReadEvent(&r, &back).ok());
+  EXPECT_EQ(back.type(), e.type());
+  EXPECT_EQ(back.ts(), e.ts());
+  EXPECT_EQ(back.seq(), e.seq());
+  ASSERT_NE(back.FindAttr(3), nullptr);
+  EXPECT_EQ(back.FindAttr(3)->AsInt64(), 5);
+  ASSERT_NE(back.FindAttr(1), nullptr);
+  EXPECT_EQ(back.FindAttr(1)->AsString(), "x");
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(CkptIoTest, ReaderRejectsTruncationEverywhere) {
+  ckpt::Writer w;
+  w.WriteU64(77);
+  w.WriteString("payload");
+  w.WriteDouble(1.5);
+  const std::string full(w.buffer());
+  // Every proper prefix must fail with ParseError — never crash or read
+  // out of bounds.
+  for (size_t len = 0; len < full.size(); ++len) {
+    ckpt::Reader r(std::string_view(full.data(), len));
+    uint64_t u = 0;
+    std::string s;
+    double d = 0;
+    Status st = r.ReadU64(&u, "u");
+    if (st.ok()) st = r.ReadString(&s, "s");
+    if (st.ok()) st = r.ReadDouble(&d, "d");
+    EXPECT_FALSE(st.ok()) << "prefix of " << len << " bytes parsed fully";
+    // The message names the field and the byte shortfall — either as a
+    // truncation or as a count exceeding the remaining payload.
+    EXPECT_EQ(st.code(), StatusCode::kParseError) << st.ToString();
+  }
+}
+
+TEST(CkptIoTest, ReaderRejectsBadBool) {
+  ckpt::Writer w;
+  w.WriteU8(2);
+  ckpt::Reader r(w.buffer());
+  bool b = false;
+  Status st = r.ReadBool(&b, "flag");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(CkptIoTest, ReadCountGuardsHugeCounts) {
+  // A corrupt count field claiming 2^60 elements must be rejected by the
+  // remaining-bytes bound, not attempted as an allocation.
+  ckpt::Writer w;
+  w.WriteU64(1ull << 60);
+  ckpt::Reader r(w.buffer());
+  uint64_t n = 0;
+  Status st = r.ReadCount(&n, /*min_elem_bytes=*/8, "elements");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(CkptIoTest, ExpectEndRejectsTrailingBytes) {
+  ckpt::Writer w;
+  w.WriteU32(1);
+  w.WriteU8(0);
+  ckpt::Reader r(w.buffer());
+  uint32_t u = 0;
+  ASSERT_TRUE(r.ReadU32(&u, "u").ok());
+  Status st = r.ExpectEnd();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot file validation
+// ---------------------------------------------------------------------------
+
+TEST(CkptIoTest, SnapshotFileRoundTrip) {
+  const std::string path = TempPath("roundtrip.aseqckpt");
+  ASSERT_TRUE(
+      ckpt::WriteSnapshotFile(path, "TestEngine", 12345, "payload-bytes")
+          .ok());
+  ckpt::SnapshotInfo info;
+  std::string payload;
+  Status st = ckpt::ReadSnapshotFile(path, &info, &payload);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(info.engine_name, "TestEngine");
+  EXPECT_EQ(info.stream_offset, 12345u);
+  EXPECT_EQ(payload, "payload-bytes");
+  std::remove(path.c_str());
+}
+
+TEST(CkptIoTest, AtomicWriteLeavesNoTempFile) {
+  const std::string path = TempPath("atomic.aseqckpt");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "E", 1, "x").ok());
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "temp file left behind after publish";
+  std::remove(path.c_str());
+}
+
+TEST(CkptIoTest, WriteToMissingDirectoryIsIoError) {
+  Status st = ckpt::WriteSnapshotFile(
+      ::testing::TempDir() + "/no-such-dir-xyz/snap.aseqckpt", "E", 1, "x");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError) << st.ToString();
+}
+
+TEST(CkptIoTest, ReadMissingFileIsIoError) {
+  ckpt::SnapshotInfo info;
+  std::string payload;
+  Status st = ckpt::ReadSnapshotFile(TempPath("never-written.aseqckpt"),
+                                     &info, &payload);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError) << st.ToString();
+}
+
+TEST(CkptIoTest, RejectsBadMagic) {
+  const std::string path = TempPath("badmagic.aseqckpt");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "E", 1, "x").ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[0] = 'Z';
+  WriteFileBytes(path, bytes);
+  ckpt::SnapshotInfo info;
+  std::string payload;
+  Status st = ckpt::ReadSnapshotFile(path, &info, &payload);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("magic"), std::string::npos) << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CkptIoTest, RejectsVersionSkew) {
+  const std::string path = TempPath("verskew.aseqckpt");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "E", 1, "x").ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[8] = static_cast<char>(ckpt::kSnapshotFormatVersion + 1);
+  WriteFileBytes(path, bytes);
+  ckpt::SnapshotInfo info;
+  std::string payload;
+  Status st = ckpt::ReadSnapshotFile(path, &info, &payload);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("version"), std::string::npos) << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CkptIoTest, RejectsChecksumCorruption) {
+  const std::string path = TempPath("badsum.aseqckpt");
+  ASSERT_TRUE(
+      ckpt::WriteSnapshotFile(path, "Engine", 42, "important-state").ok());
+  std::string bytes = ReadFileBytes(path);
+  // Flip one bit in the body (past the 20-byte header).
+  bytes[24] = static_cast<char>(bytes[24] ^ 0x01);
+  WriteFileBytes(path, bytes);
+  ckpt::SnapshotInfo info;
+  std::string payload;
+  Status st = ckpt::ReadSnapshotFile(path, &info, &payload);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("checksum"), std::string::npos)
+      << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CkptIoTest, RejectsTruncatedFileAtEveryLength) {
+  const std::string path = TempPath("truncated.aseqckpt");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "Engine", 7, "state").ok());
+  const std::string full = ReadFileBytes(path);
+  for (size_t len = 0; len < full.size(); ++len) {
+    WriteFileBytes(path, full.substr(0, len));
+    ckpt::SnapshotInfo info;
+    std::string payload;
+    Status st = ckpt::ReadSnapshotFile(path, &info, &payload);
+    EXPECT_FALSE(st.ok()) << "accepted a " << len << "-byte prefix of a "
+                          << full.size() << "-byte snapshot";
+    EXPECT_EQ(st.code(), StatusCode::kParseError)
+        << "len=" << len << ": " << st.ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CkptIoTest, RejectsTrailingGarbage) {
+  const std::string path = TempPath("trailing.aseqckpt");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "E", 1, "x").ok());
+  WriteFileBytes(path, ReadFileBytes(path) + "junk");
+  ckpt::SnapshotInfo info;
+  std::string payload;
+  Status st = ckpt::ReadSnapshotFile(path, &info, &payload);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError) << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CkptIoTest, SnapshotPathForOffsetSortsNumerically) {
+  std::string a = ckpt::SnapshotPathForOffset("d", 999);
+  std::string b = ckpt::SnapshotPathForOffset("d", 1000);
+  std::string c = ckpt::SnapshotPathForOffset("d", 10000000000ull);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_NE(a.find("ckpt-"), std::string::npos);
+  EXPECT_NE(a.find(".aseqckpt"), std::string::npos);
+}
+
+TEST(CkptIoTest, Fnv1a64KnownVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(ckpt::Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(ckpt::Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(ckpt::Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+}  // namespace
+}  // namespace aseq

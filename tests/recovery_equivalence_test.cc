@@ -1,0 +1,570 @@
+// Crash-recovery equivalence: for every engine, killing a run at an
+// arbitrary stream offset, checkpointing, restoring into a freshly
+// constructed engine, and replaying the trace tail must produce outputs
+// and stats *byte-identical* to the uninterrupted run. The kill-offset
+// matrix includes mid-batch offsets (not multiples of the batch size) and,
+// for the reordering adapters, offsets where the K-slack buffer is
+// non-empty — the snapshot must capture buffered events exactly.
+//
+// Checked per (engine, kill offset):
+//   - combined outputs (prefix run + resumed tail) == uninterrupted outputs,
+//     comparing (ts, seq, group, value) exactly — including float sums,
+//     which forces the snapshot to reproduce hash-map iteration order;
+//   - EngineStats match modulo the batch counters (a mid-batch kill
+//     legitimately splits one batch into two).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aseq/aseq_engine.h"
+#include "baseline/ecube_engine.h"
+#include "baseline/stack_engine.h"
+#include "ckpt/snapshot.h"
+#include "common/rng.h"
+#include "engine/change_detector.h"
+#include "engine/reordering_engine.h"
+#include "engine/runtime.h"
+#include "multi/chop_connect_engine.h"
+#include "multi/chop_plan.h"
+#include "multi/hybrid_engine.h"
+#include "multi/nonshared_engine.h"
+#include "multi/pretree_engine.h"
+#include "query/analyzer.h"
+#include "stream/stock_stream.h"
+#include "stream/workload.h"
+#include "tests/test_util.h"
+
+namespace aseq {
+namespace {
+
+using testing_util::MustCompile;
+
+constexpr size_t kBatchSize = 64;
+
+// ---------------------------------------------------------------------------
+// Comparison helpers
+// ---------------------------------------------------------------------------
+
+void ExpectOutputEqual(const Output& ref, const Output& got, size_t index,
+                       const std::string& context) {
+  EXPECT_EQ(ref.ts, got.ts) << context << " output#" << index;
+  EXPECT_EQ(ref.seq, got.seq) << context << " output#" << index;
+  ASSERT_EQ(ref.group.has_value(), got.group.has_value())
+      << context << " output#" << index;
+  if (ref.group.has_value()) {
+    EXPECT_TRUE(ref.group->Equals(*got.group))
+        << context << " output#" << index << ": group "
+        << ref.group->ToString() << " vs " << got.group->ToString();
+  }
+  EXPECT_TRUE(ref.value.Equals(got.value))
+      << context << " output#" << index << ": " << ref.value.ToString()
+      << " vs " << got.value.ToString();
+}
+
+void ExpectOutputsEqual(const std::vector<Output>& ref,
+                        const std::vector<Output>& got,
+                        const std::string& context) {
+  ASSERT_EQ(ref.size(), got.size()) << context;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ExpectOutputEqual(ref[i], got[i], i, context);
+  }
+}
+
+void ExpectMultiOutputsEqual(const std::vector<MultiOutput>& ref,
+                             const std::vector<MultiOutput>& got,
+                             const std::string& context) {
+  ASSERT_EQ(ref.size(), got.size()) << context;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].query_index, got[i].query_index)
+        << context << " output#" << i;
+    ExpectOutputEqual(ref[i].output, got[i].output, i, context);
+  }
+}
+
+/// Stats must match exactly except the batch counters: a kill mid-batch
+/// splits that batch in two, so batches_processed may differ by one.
+void ExpectStatsEqual(const EngineStats& ref, const EngineStats& got,
+                      const std::string& context) {
+  EXPECT_EQ(ref.events_processed, got.events_processed) << context;
+  EXPECT_EQ(ref.outputs, got.outputs) << context;
+  EXPECT_EQ(ref.work_units, got.work_units) << context;
+  EXPECT_EQ(ref.dropped_events, got.dropped_events) << context;
+  EXPECT_EQ(ref.objects.peak(), got.objects.peak()) << context;
+  EXPECT_EQ(ref.objects.current(), got.objects.current()) << context;
+}
+
+/// Kill points: batch boundaries, mid-batch offsets, and the very first /
+/// last event.
+std::vector<size_t> KillOffsets(size_t n) {
+  std::vector<size_t> offsets = {1, 37, kBatchSize, 100, 333, n / 2, n - 1};
+  std::sort(offsets.begin(), offsets.end());
+  offsets.erase(std::unique(offsets.begin(), offsets.end()), offsets.end());
+  offsets.erase(
+      std::remove_if(offsets.begin(), offsets.end(),
+                     [n](size_t k) { return k == 0 || k >= n; }),
+      offsets.end());
+  return offsets;
+}
+
+std::string SnapshotPath(const std::string& label, size_t kill) {
+  return ::testing::TempDir() + "/recovery-" + label + "-" +
+         std::to_string(kill) + ".aseqckpt";
+}
+
+BatchRunner MakeRunner(uint64_t start_offset = 0) {
+  RunOptions options;
+  options.batch_size = kBatchSize;
+  options.start_offset = start_offset;
+  return BatchRunner(options);
+}
+
+/// The full kill/checkpoint/destroy/restore/replay cycle for one engine
+/// family. `finish` optionally drains end-of-stream state (reordering
+/// adapters) and is applied identically to both runs.
+void CheckRecovery(
+    const std::function<std::unique_ptr<QueryEngine>()>& factory,
+    const std::vector<Event>& events, const std::string& label,
+    const std::function<void(QueryEngine*, std::vector<Output>*)>& finish =
+        nullptr) {
+  auto ref_engine = factory();
+  BatchRunner ref_runner = MakeRunner();
+  RunResult ref = ref_runner.RunEvents(events, ref_engine.get());
+  if (finish) finish(ref_engine.get(), &ref.outputs);
+  ASSERT_GT(ref.outputs.size(), 0u) << label << ": vacuous workload";
+
+  for (size_t kill : KillOffsets(events.size())) {
+    const std::string context = label + " @kill=" + std::to_string(kill);
+    // Run the prefix, snapshot at the kill point, then destroy the engine —
+    // the moral equivalent of SIGKILL after the last checkpoint.
+    auto victim = factory();
+    std::vector<Event> prefix(events.begin(),
+                              events.begin() + static_cast<ptrdiff_t>(kill));
+    BatchRunner prefix_runner = MakeRunner();
+    RunResult pre = prefix_runner.RunEvents(prefix, victim.get());
+    const std::string path = SnapshotPath(label, kill);
+    Status saved = ckpt::SaveEngineSnapshot(path, *victim, kill);
+    ASSERT_TRUE(saved.ok()) << context << ": " << saved.ToString();
+    victim.reset();
+
+    auto revived = factory();
+    uint64_t offset = 0;
+    Status restored = ckpt::RestoreEngineSnapshot(path, revived.get(), &offset);
+    ASSERT_TRUE(restored.ok()) << context << ": " << restored.ToString();
+    ASSERT_EQ(offset, kill) << context;
+
+    std::vector<Event> tail(events.begin() + static_cast<ptrdiff_t>(kill),
+                            events.end());
+    BatchRunner tail_runner = MakeRunner(offset);
+    RunResult post = tail_runner.RunEvents(tail, revived.get());
+    if (finish) finish(revived.get(), &post.outputs);
+
+    std::vector<Output> combined = pre.outputs;
+    combined.insert(combined.end(), post.outputs.begin(), post.outputs.end());
+    ExpectOutputsEqual(ref.outputs, combined, context);
+    ExpectStatsEqual(ref_engine->stats(), revived->stats(), context);
+    std::remove(path.c_str());
+  }
+}
+
+/// Multi-query counterpart of CheckRecovery.
+void CheckMultiRecovery(
+    const std::function<std::unique_ptr<MultiQueryEngine>()>& factory,
+    const std::vector<Event>& events, const std::string& label,
+    const std::function<void(MultiQueryEngine*, std::vector<MultiOutput>*)>&
+        finish = nullptr) {
+  auto ref_engine = factory();
+  BatchRunner ref_runner = MakeRunner();
+  MultiRunResult ref = ref_runner.RunMultiEvents(events, ref_engine.get());
+  if (finish) finish(ref_engine.get(), &ref.outputs);
+  ASSERT_GT(ref.outputs.size(), 0u) << label << ": vacuous workload";
+
+  for (size_t kill : KillOffsets(events.size())) {
+    const std::string context = label + " @kill=" + std::to_string(kill);
+    auto victim = factory();
+    std::vector<Event> prefix(events.begin(),
+                              events.begin() + static_cast<ptrdiff_t>(kill));
+    BatchRunner prefix_runner = MakeRunner();
+    MultiRunResult pre = prefix_runner.RunMultiEvents(prefix, victim.get());
+    const std::string path = SnapshotPath(label, kill);
+    Status saved = ckpt::SaveMultiSnapshot(path, *victim, kill);
+    ASSERT_TRUE(saved.ok()) << context << ": " << saved.ToString();
+    victim.reset();
+
+    auto revived = factory();
+    uint64_t offset = 0;
+    Status restored = ckpt::RestoreMultiSnapshot(path, revived.get(), &offset);
+    ASSERT_TRUE(restored.ok()) << context << ": " << restored.ToString();
+    ASSERT_EQ(offset, kill) << context;
+
+    std::vector<Event> tail(events.begin() + static_cast<ptrdiff_t>(kill),
+                            events.end());
+    BatchRunner tail_runner = MakeRunner(offset);
+    MultiRunResult post = tail_runner.RunMultiEvents(tail, revived.get());
+    if (finish) finish(revived.get(), &post.outputs);
+
+    std::vector<MultiOutput> combined = pre.outputs;
+    combined.insert(combined.end(), post.outputs.begin(), post.outputs.end());
+    ExpectMultiOutputsEqual(ref.outputs, combined, context);
+    ExpectStatsEqual(ref_engine->stats(), revived->stats(), context);
+    std::remove(path.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+struct StockCase {
+  Schema schema;
+  std::vector<Event> events;
+};
+
+std::unique_ptr<StockCase> MakeStock(uint64_t seed, size_t n) {
+  auto c = std::make_unique<StockCase>();
+  StockStreamOptions options;
+  options.seed = seed;
+  options.num_events = n;
+  options.max_gap_ms = 8;
+  options.num_traders = 6;
+  c->events = GenerateStockStream(options, &c->schema);
+  AssignSeqNums(&c->events);
+  return c;
+}
+
+std::unique_ptr<QueryEngine> MustCreateAseq(const CompiledQuery& cq) {
+  auto engine = CreateAseqEngine(cq);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+struct MultiCase {
+  Schema schema;
+  SharedWorkload workload;
+  std::vector<CompiledQuery> queries;
+  std::vector<Event> events;
+};
+
+std::unique_ptr<MultiCase> MakeMulti(SharedWorkload workload, uint64_t seed,
+                                     size_t n) {
+  auto c = std::make_unique<MultiCase>();
+  c->workload = std::move(workload);
+  Analyzer analyzer(&c->schema);
+  for (const Query& q : c->workload.queries) {
+    auto cq = analyzer.Analyze(q);
+    EXPECT_TRUE(cq.ok()) << cq.status().ToString();
+    c->queries.push_back(std::move(cq).value());
+  }
+  StreamConfig config = MakeWorkloadStreamConfig(c->workload, seed, n, 0, 50);
+  StreamGenerator gen(config, &c->schema);
+  c->events = gen.Generate();
+  AssignSeqNums(&c->events);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Single-query engines
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryEquivalenceTest, AseqDpcUnbounded) {
+  auto c = MakeStock(61, 900);
+  CompiledQuery cq =
+      MustCompile(&c->schema, "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT");
+  CheckRecovery([&] { return MustCreateAseq(cq); }, c->events, "aseq-dpc");
+}
+
+TEST(RecoveryEquivalenceTest, AseqSemWindowed) {
+  auto c = MakeStock(62, 1200);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 800ms");
+  CheckRecovery([&] { return MustCreateAseq(cq); }, c->events, "aseq-sem");
+}
+
+TEST(RecoveryEquivalenceTest, AseqSemNegation) {
+  auto c = MakeStock(63, 1200);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, !QQQ, AMAT) AGG COUNT WITHIN 800ms");
+  CheckRecovery([&] { return MustCreateAseq(cq); }, c->events,
+                "aseq-sem-negation");
+}
+
+TEST(RecoveryEquivalenceTest, AseqSemSumAggregate) {
+  auto c = MakeStock(64, 1200);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX, AMAT) AGG SUM(IPIX.volume) WITHIN 800ms");
+  CheckRecovery([&] { return MustCreateAseq(cq); }, c->events,
+                "aseq-sem-sum");
+}
+
+TEST(RecoveryEquivalenceTest, HpcGroupByCount) {
+  auto c = MakeStock(65, 1200);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms");
+  CheckRecovery([&] { return MustCreateAseq(cq); }, c->events,
+                "hpc-groupby");
+}
+
+// Float sums merged across grouped partitions are sensitive to hash-map
+// iteration order; exact equality here proves the snapshot reproduces the
+// restored map's node order, not just its contents.
+TEST(RecoveryEquivalenceTest, HpcGroupBySumFloat) {
+  auto c = MakeStock(66, 1200);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG SUM(IPIX.price) "
+      "WITHIN 800ms");
+  CheckRecovery([&] { return MustCreateAseq(cq); }, c->events,
+                "hpc-groupby-sum");
+}
+
+TEST(RecoveryEquivalenceTest, HpcEquivalencePredicate) {
+  auto c = MakeStock(67, 1200);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX, AMAT) WHERE DELL.traderId = IPIX.traderId = "
+      "AMAT.traderId AGG COUNT WITHIN 800ms");
+  CheckRecovery([&] { return MustCreateAseq(cq); }, c->events, "hpc-equiv");
+}
+
+TEST(RecoveryEquivalenceTest, StackEngineJoinPredicate) {
+  auto c = MakeStock(68, 900);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) WHERE DELL.price < IPIX.price AGG COUNT "
+      "WITHIN 800ms");
+  CheckRecovery([&] { return std::make_unique<StackEngine>(cq); }, c->events,
+                "stack-join");
+}
+
+TEST(RecoveryEquivalenceTest, StackEngineNegation) {
+  auto c = MakeStock(69, 900);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, !QQQ, AMAT) AGG COUNT WITHIN 800ms");
+  CheckRecovery([&] { return std::make_unique<StackEngine>(cq); }, c->events,
+                "stack-negation");
+}
+
+// SUM through the stack engine's lazy-match table: float accumulation in
+// lazy_matches_ iteration order (the second map whose node order the
+// snapshot must reproduce exactly).
+TEST(RecoveryEquivalenceTest, StackEngineLazySum) {
+  auto c = MakeStock(70, 900);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) WHERE DELL.price < IPIX.price "
+      "AGG SUM(IPIX.price) WITHIN 800ms");
+  CheckRecovery([&] { return std::make_unique<StackEngine>(cq); }, c->events,
+                "stack-lazy-sum");
+}
+
+TEST(RecoveryEquivalenceTest, ChangeDetectingEngine) {
+  auto c = MakeStock(71, 900);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, IPIX) AGG COUNT WITHIN 500ms");
+  CheckRecovery(
+      [&] {
+        return std::make_unique<ChangeDetectingEngine>(MustCreateAseq(cq));
+      },
+      c->events, "change-detector");
+}
+
+// ---------------------------------------------------------------------------
+// Reordering adapters: kills land while the K-slack buffer holds events
+// ---------------------------------------------------------------------------
+
+/// Displaces events by disjoint two-apart swaps: bounded disorder that a
+/// 200ms K-slack absorbs without drops, keeping the buffer non-empty at
+/// nearly every kill offset.
+std::vector<Event> Shuffle(std::vector<Event> events, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i + 3 < events.size(); i += 3) {
+    if (rng.NextBool(0.5)) std::swap(events[i], events[i + 2]);
+  }
+  AssignSeqNums(&events);
+  return events;
+}
+
+TEST(RecoveryEquivalenceTest, ReorderingEngineMidSlack) {
+  auto c = MakeStock(72, 900);
+  std::vector<Event> shuffled = Shuffle(c->events, 17);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 800ms");
+  CheckRecovery(
+      [&] {
+        return std::make_unique<ReorderingEngine>(MustCreateAseq(cq),
+                                                  /*slack_ms=*/200);
+      },
+      shuffled, "reordering",
+      [](QueryEngine* engine, std::vector<Output>* out) {
+        static_cast<ReorderingEngine*>(engine)->Finish(out);
+      });
+}
+
+TEST(RecoveryEquivalenceTest, ReorderingMultiEngineMidSlack) {
+  auto c = MakeMulti(MakePrefixSharedWorkload(3, 2, 4, 2000), 73, 1000);
+  std::vector<Event> shuffled = Shuffle(c->events, 19);
+  CheckMultiRecovery(
+      [&]() -> std::unique_ptr<MultiQueryEngine> {
+        auto inner = NonSharedEngine::CreateAseq(c->queries);
+        EXPECT_TRUE(inner.ok()) << inner.status().ToString();
+        return std::make_unique<ReorderingMultiEngine>(
+            std::move(inner).value(), /*slack_ms=*/300);
+      },
+      shuffled, "reordering-multi",
+      [](MultiQueryEngine* engine, std::vector<MultiOutput>* out) {
+        static_cast<ReorderingMultiEngine*>(engine)->Finish(out);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Multi-query engines
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryEquivalenceTest, PreTreeEngine) {
+  auto c = MakeMulti(MakePrefixSharedWorkload(3, 2, 4, 2000), 74, 1000);
+  CheckMultiRecovery(
+      [&]() -> std::unique_ptr<MultiQueryEngine> {
+        auto engine = PreTreeEngine::Create(c->queries);
+        EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+        return std::move(engine).value();
+      },
+      c->events, "pretree");
+}
+
+TEST(RecoveryEquivalenceTest, ChopConnectEngine) {
+  auto c = MakeMulti(MakeSubstringSharedWorkload(3, 1, 2, 1, 1500), 75, 1000);
+  ChopPlan plan = PlanChopConnect(c->queries);
+  CheckMultiRecovery(
+      [&]() -> std::unique_ptr<MultiQueryEngine> {
+        auto engine = ChopConnectEngine::Create(c->queries, plan);
+        EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+        return std::move(engine).value();
+      },
+      c->events, "chop-connect");
+}
+
+TEST(RecoveryEquivalenceTest, EcubeEngine) {
+  auto c = MakeMulti(MakeSubstringSharedWorkload(3, 1, 2, 1, 1500), 76, 900);
+  std::vector<EventTypeId> shared;
+  for (const std::string& name : c->workload.shared_types) {
+    shared.push_back(*c->schema.FindEventType(name));
+  }
+  CheckMultiRecovery(
+      [&]() -> std::unique_ptr<MultiQueryEngine> {
+        auto engine = EcubeEngine::Create(c->queries, shared);
+        EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+        return std::move(engine).value();
+      },
+      c->events, "ecube");
+}
+
+TEST(RecoveryEquivalenceTest, NonSharedAseqEngine) {
+  auto c = MakeMulti(MakePrefixSharedWorkload(3, 2, 4, 2000), 77, 1000);
+  CheckMultiRecovery(
+      [&]() -> std::unique_ptr<MultiQueryEngine> {
+        auto engine = NonSharedEngine::CreateAseq(c->queries);
+        EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+        return std::move(engine).value();
+      },
+      c->events, "nonshared");
+}
+
+TEST(RecoveryEquivalenceTest, NonSharedStackEngine) {
+  auto c = MakeMulti(MakePrefixSharedWorkload(2, 2, 3, 1000), 78, 800);
+  CheckMultiRecovery(
+      [&]() -> std::unique_ptr<MultiQueryEngine> {
+        return NonSharedEngine::CreateStackBased(c->queries);
+      },
+      c->events, "nonshared-stack");
+}
+
+TEST(RecoveryEquivalenceTest, HybridEngine) {
+  Schema schema;
+  StockStreamOptions options;
+  options.seed = 79;
+  options.num_events = 1200;
+  options.max_gap_ms = 8;
+  options.num_traders = 5;
+  std::vector<Event> events = GenerateStockStream(options, &schema);
+  AssignSeqNums(&events);
+
+  // Mixed workload exercising every routing path (PreTree, ChopConnect,
+  // per-query A-Seq, stack fallback) inside one hybrid engine.
+  std::vector<const char*> texts = {
+      "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 1s",
+      "PATTERN SEQ(DELL, IPIX, QQQ) AGG COUNT WITHIN 1s",
+      "PATTERN SEQ(INTC, MSFT, CSCO) AGG COUNT WITHIN 1s",
+      "PATTERN SEQ(ORCL, MSFT, CSCO) AGG COUNT WITHIN 1s",
+      "PATTERN SEQ(DELL, !QQQ, AMAT) AGG COUNT WITHIN 1s",
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 1s",
+      "PATTERN SEQ(DELL, IPIX) WHERE DELL.price < IPIX.price AGG COUNT "
+      "WITHIN 1s",
+  };
+  Analyzer analyzer(&schema);
+  std::vector<CompiledQuery> queries;
+  for (const char* text : texts) {
+    auto cq = analyzer.AnalyzeText(text);
+    ASSERT_TRUE(cq.ok()) << text << ": " << cq.status().ToString();
+    queries.push_back(std::move(cq).value());
+  }
+  CheckMultiRecovery(
+      [&]() -> std::unique_ptr<MultiQueryEngine> {
+        auto engine = HybridMultiEngine::Create(queries);
+        EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+        return std::move(engine).value();
+      },
+      events, "hybrid");
+}
+
+// ---------------------------------------------------------------------------
+// Restore rejects mismatched configurations
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryEquivalenceTest, RestoreRejectsWrongEngine) {
+  auto c = MakeStock(80, 400);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, IPIX) AGG COUNT WITHIN 800ms");
+  auto aseq = MustCreateAseq(cq);
+  BatchRunner runner = MakeRunner();
+  runner.RunEvents(c->events, aseq.get());
+  const std::string path = SnapshotPath("wrong-engine", 0);
+  ASSERT_TRUE(ckpt::SaveEngineSnapshot(path, *aseq, c->events.size()).ok());
+
+  StackEngine stack(cq);
+  uint64_t offset = 0;
+  Status restored = ckpt::RestoreEngineSnapshot(path, &stack, &offset);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(restored.message().find("A-Seq"), std::string::npos)
+      << restored.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryEquivalenceTest, RestoreRejectsWrongSlack) {
+  auto c = MakeStock(81, 400);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, IPIX) AGG COUNT WITHIN 800ms");
+  ReorderingEngine original(MustCreateAseq(cq), /*slack_ms=*/200);
+  BatchRunner runner = MakeRunner();
+  runner.RunEvents(c->events, &original);
+  const std::string path = SnapshotPath("wrong-slack", 0);
+  ASSERT_TRUE(
+      ckpt::SaveEngineSnapshot(path, original, c->events.size()).ok());
+
+  ReorderingEngine different(MustCreateAseq(cq), /*slack_ms=*/500);
+  uint64_t offset = 0;
+  Status restored = ckpt::RestoreEngineSnapshot(path, &different, &offset);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_NE(restored.message().find("slack"), std::string::npos)
+      << restored.ToString();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aseq

@@ -217,6 +217,102 @@ TEST(ReorderingMultiEngineTest, MatchesInOrderExecution) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Slack-bound boundary cases
+// --------------------------------------------------------------------------
+
+TEST(KSlackReordererTest, EventExactlyAtSlackBoundIsAccepted) {
+  KSlackReorderer reorderer(100);
+  std::vector<Event> out;
+  reorderer.Push(Event(0, 200), &out);  // watermark 200, release bound 100
+  // ts == watermark - slack is the oldest still-orderable event: accepted
+  // (and immediately releasable), not dropped.
+  reorderer.Push(Event(1, 100), &out);
+  EXPECT_EQ(reorderer.dropped(), 0u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ts(), 100);
+  // One millisecond older is beyond the bound: dropped.
+  reorderer.Push(Event(2, 99), &out);
+  EXPECT_EQ(reorderer.dropped(), 1u);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(KSlackReordererTest, DuplicateTimestampsExactlyAtSlackBound) {
+  KSlackReorderer reorderer(50);
+  std::vector<Event> out;
+  reorderer.Push(Event(1, 150), &out);  // release bound 100
+  // Several duplicates squarely on the bound: all accepted, all released
+  // in arrival order (none may be misclassified as late).
+  reorderer.Push(Event(2, 100), &out);
+  reorderer.Push(Event(3, 100), &out);
+  reorderer.Push(Event(4, 100), &out);
+  EXPECT_EQ(reorderer.dropped(), 0u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].type(), 2u);
+  EXPECT_EQ(out[1].type(), 3u);
+  EXPECT_EQ(out[2].type(), 4u);
+  reorderer.Flush(&out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[3].ts(), 150);
+}
+
+TEST(KSlackReordererTest, DuplicateWatermarkTimestampsDoNotAdvanceBound) {
+  KSlackReorderer reorderer(30);
+  std::vector<Event> out;
+  reorderer.Push(Event(1, 100), &out);
+  reorderer.Push(Event(2, 100), &out);  // duplicate watermark: bound stays 70
+  reorderer.Push(Event(3, 70), &out);   // still exactly at the bound
+  EXPECT_EQ(reorderer.dropped(), 0u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ts(), 70);
+}
+
+// --------------------------------------------------------------------------
+// Drop accounting and end-of-stream drain (robustness satellites)
+// --------------------------------------------------------------------------
+
+TEST(ReorderingEngineTest, DroppedEventsFoldIntoEngineStats) {
+  Schema schema;
+  CompiledQuery cq = MustCompile(&schema, "PATTERN SEQ(A, B) WITHIN 1s");
+  auto inner = CreateAseqEngine(cq);
+  ReorderingEngine engine(std::move(*inner), /*slack_ms=*/50);
+  std::vector<Output> outputs;
+  EventTypeId a = schema.RegisterEventType("A");
+  Event first(a, 1000);
+  first.set_seq(0);
+  engine.OnEvent(first, &outputs);
+  Event late(a, 100);  // 900ms late against a 50ms slack
+  late.set_seq(1);
+  engine.OnEvent(late, &outputs);
+  EXPECT_EQ(engine.dropped_events(), 1u);
+  // The drop is never silently swallowed: stats() folds it into
+  // EngineStats::dropped_events even though the inner engine never saw
+  // the event.
+  EXPECT_EQ(engine.stats().dropped_events, 1u);
+  engine.Finish(&outputs);
+  EXPECT_EQ(engine.stats().events_processed, 1u);
+  EXPECT_EQ(engine.stats().dropped_events, 1u);
+}
+
+TEST(ReorderingEngineTest, FinishDrainsThroughOnBatch) {
+  Schema schema;
+  CompiledQuery cq = MustCompile(&schema, "PATTERN SEQ(A, B) WITHIN 1s");
+  auto inner = CreateAseqEngine(cq);
+  ReorderingEngine engine(std::move(*inner), /*slack_ms=*/100);
+  std::vector<Output> outputs;
+  EventTypeId a = schema.RegisterEventType("A");
+  Event e(a, 10);
+  e.set_seq(0);
+  engine.OnEvent(e, &outputs);
+  EXPECT_EQ(engine.buffered_events(), 1u);
+  engine.Finish(&outputs);
+  EXPECT_EQ(engine.buffered_events(), 0u);
+  // The drain goes through the inner engine's batched path — the same code
+  // as steady-state processing — so the batch counter must have moved.
+  EXPECT_EQ(engine.inner()->stats().batches_processed, 1u);
+  EXPECT_EQ(engine.stats().events_processed, 1u);
+}
+
 TEST(ReorderingEngineTest, NameAndStatsForwarded) {
   Schema schema;
   CompiledQuery cq = MustCompile(&schema, "PATTERN SEQ(A, B) WITHIN 1s");

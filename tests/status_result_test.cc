@@ -1,0 +1,192 @@
+// Status/Result edge cases: move-only payloads through Result and
+// ASEQ_ASSIGN_OR_RETURN, error propagation through nested calls, and the
+// copy/move semantics the error-handling idiom relies on. These are the
+// primitives every fallible path in the library goes through — a subtle
+// double-move or slicing bug here corrupts everything above it.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aseq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status basics
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::ParseError("bad byte at 7");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.message(), "bad byte at 7");
+  EXPECT_EQ(st.ToString(), "ParseError: bad byte at 7");
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsCode) {
+  EXPECT_EQ(Status::InvalidArgument("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::ParseError("m").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::NotFound("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("m").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("m").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unsupported("m").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::IoError("m").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("m").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CopyPreservesError) {
+  Status original = Status::IoError("disk full");
+  Status copy = original;
+  EXPECT_EQ(copy.code(), StatusCode::kIoError);
+  EXPECT_EQ(copy.message(), "disk full");
+  EXPECT_EQ(original.message(), "disk full");
+}
+
+// ---------------------------------------------------------------------------
+// Result with move-only types
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<int>> MakeBox(int v) {
+  return std::make_unique<int>(v);
+}
+
+Result<std::unique_ptr<int>> FailBox() {
+  return Status::NotFound("no box");
+}
+
+TEST(ResultTest, MoveOnlyValueRoundTrip) {
+  Result<std::unique_ptr<int>> r = MakeBox(41);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> box = std::move(r).value();
+  ASSERT_NE(box, nullptr);
+  EXPECT_EQ(*box, 41);
+}
+
+TEST(ResultTest, MoveValueExtractsOwnership) {
+  Result<std::unique_ptr<int>> r = MakeBox(7);
+  std::unique_ptr<int> box = r.MoveValue();
+  ASSERT_NE(box, nullptr);
+  EXPECT_EQ(*box, 7);
+}
+
+TEST(ResultTest, ErrorResultReportsStatus) {
+  Result<std::unique_ptr<int>> r = FailBox();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "no box");
+}
+
+TEST(ResultTest, ArrowAndDereferenceAccessors) {
+  Result<std::string> r(std::string("hello"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 5u);
+  EXPECT_EQ(*r, "hello");
+  r->append("!");
+  EXPECT_EQ(*r, "hello!");
+}
+
+TEST(ResultTest, ConstAccessors) {
+  const Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[2], 3);
+  EXPECT_EQ(r.value().front(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// ASEQ_ASSIGN_OR_RETURN / ASEQ_RETURN_NOT_OK propagation
+// ---------------------------------------------------------------------------
+
+Status ConsumeBoxes(bool fail_second, int* sum) {
+  ASEQ_ASSIGN_OR_RETURN(std::unique_ptr<int> a, MakeBox(10));
+  ASEQ_ASSIGN_OR_RETURN(std::unique_ptr<int> b,
+                        fail_second ? FailBox() : MakeBox(32));
+  *sum = *a + *b;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnWithMoveOnlyType) {
+  int sum = 0;
+  Status st = ConsumeBoxes(/*fail_second=*/false, &sum);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(sum, 42);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  int sum = -1;
+  Status st = ConsumeBoxes(/*fail_second=*/true, &sum);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "no box");
+  EXPECT_EQ(sum, -1) << "failed call must not have partially assigned";
+}
+
+Status Inner(int depth) {
+  if (depth == 0) return Status::OutOfRange("bottom");
+  ASEQ_RETURN_NOT_OK(Inner(depth - 1));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkPropagatesThroughNesting) {
+  Status st = Inner(5);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(st.message(), "bottom");
+}
+
+// Assigning to a pre-declared variable (no declaration in the macro) must
+// also work — the macro is used both ways in the codebase.
+Status AssignToExisting(std::string* out) {
+  std::string value;
+  ASEQ_ASSIGN_OR_RETURN(value, Result<std::string>(std::string("filled")));
+  *out = std::move(value);
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnToExistingVariable) {
+  std::string out;
+  ASSERT_TRUE(AssignToExisting(&out).ok());
+  EXPECT_EQ(out, "filled");
+}
+
+// A Result holding a type that is expensive to copy should be moved, not
+// copied, by the macro. Track copies explicitly.
+struct CopyCounter {
+  int copies = 0;
+  CopyCounter() = default;
+  CopyCounter(const CopyCounter& other) : copies(other.copies + 1) {}
+  CopyCounter& operator=(const CopyCounter& other) {
+    copies = other.copies + 1;
+    return *this;
+  }
+  CopyCounter(CopyCounter&&) = default;
+  CopyCounter& operator=(CopyCounter&&) = default;
+};
+
+Status PassThrough(CopyCounter* out) {
+  ASEQ_ASSIGN_OR_RETURN(CopyCounter c, Result<CopyCounter>(CopyCounter{}));
+  *out = std::move(c);
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMovesNotCopies) {
+  CopyCounter out;
+  ASSERT_TRUE(PassThrough(&out).ok());
+  EXPECT_EQ(out.copies, 0) << "macro copied the value instead of moving it";
+}
+
+}  // namespace
+}  // namespace aseq

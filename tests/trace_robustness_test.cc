@@ -1,0 +1,141 @@
+// Malformed-trace robustness: every way a trace file can be damaged —
+// truncated lines, non-numeric or overflowing timestamps, overflowing
+// attribute values, bare attributes — must fail with a line-numbered
+// ParseError, never crash, and never leave the caller's schema partially
+// mutated (types from lines before the error must not leak in).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "stream/trace_io.h"
+
+namespace aseq {
+namespace {
+
+void ExpectParseErrorAtLine(const std::string& content, size_t lineno,
+                            const std::string& fragment) {
+  Schema schema;
+  auto result = ParseTrace(content, &schema);
+  ASSERT_FALSE(result.ok()) << "accepted: " << content;
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  const std::string& msg = result.status().message();
+  EXPECT_NE(msg.find("line " + std::to_string(lineno)), std::string::npos)
+      << "missing line number " << lineno << " in: " << msg;
+  EXPECT_NE(msg.find(fragment), std::string::npos)
+      << "missing '" << fragment << "' in: " << msg;
+}
+
+TEST(TraceRobustnessTest, ValidTraceParses) {
+  Schema schema;
+  auto result = ParseTrace(
+      "# comment\n"
+      "DELL,5,price=31.5,volume=100\n"
+      "\n"
+      "IPIX,9,price=27,note=hello\n",
+      &schema);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].ts(), 5);
+  EXPECT_EQ((*result)[1].ts(), 9);
+  EXPECT_EQ(schema.num_event_types(), 2u);
+  EXPECT_EQ(schema.num_attributes(), 3u);
+}
+
+TEST(TraceRobustnessTest, TruncatedLine) {
+  ExpectParseErrorAtLine("DELL,5\nIPIX\n", 2, "type,timestamp");
+}
+
+TEST(TraceRobustnessTest, NonNumericTimestamp) {
+  ExpectParseErrorAtLine("DELL,banana\n", 1, "bad timestamp");
+}
+
+TEST(TraceRobustnessTest, TrailingGarbageInTimestamp) {
+  ExpectParseErrorAtLine("DELL,12x\n", 1, "bad timestamp");
+}
+
+TEST(TraceRobustnessTest, TimestampOverflow) {
+  ExpectParseErrorAtLine("DELL,99999999999999999999999\n", 1, "overflow");
+}
+
+TEST(TraceRobustnessTest, IntegerValueOverflow) {
+  ExpectParseErrorAtLine("DELL,5,volume=99999999999999999999999\n", 1,
+                         "overflow");
+}
+
+TEST(TraceRobustnessTest, DoubleValueOverflow) {
+  ExpectParseErrorAtLine("DELL,5,price=" + std::string(400, '9') + ".5\n", 1,
+                         "overflow");
+}
+
+TEST(TraceRobustnessTest, AttributeWithoutEquals) {
+  ExpectParseErrorAtLine("DELL,5,price\n", 1, "attr=value");
+}
+
+TEST(TraceRobustnessTest, OutOfOrderTimestamps) {
+  ExpectParseErrorAtLine("DELL,10\nIPIX,9\n", 2, "out-of-order");
+}
+
+TEST(TraceRobustnessTest, ErrorReportsCorrectLineSkippingComments) {
+  ExpectParseErrorAtLine(
+      "# header\n"
+      "\n"
+      "DELL,5\n"
+      "IPIX,bad\n",
+      4, "bad timestamp");
+}
+
+TEST(TraceRobustnessTest, FailedParseLeavesSchemaUntouched) {
+  Schema schema;
+  schema.RegisterEventType("EXISTING");
+  // Two clean lines register DELL/IPIX and attributes before line 3 fails;
+  // none of that may leak into the caller's schema.
+  auto result = ParseTrace(
+      "DELL,5,price=1\n"
+      "IPIX,6,volume=2\n"
+      "AMAT,bad\n",
+      &schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(schema.num_event_types(), 1u)
+      << "failed parse registered event types";
+  EXPECT_EQ(schema.num_attributes(), 0u)
+      << "failed parse registered attributes";
+  EXPECT_TRUE(schema.FindEventType("DELL").status().code() ==
+              StatusCode::kNotFound);
+}
+
+TEST(TraceRobustnessTest, SuccessfulParseCommitsSchema) {
+  Schema schema;
+  auto result = ParseTrace("DELL,5,price=1\n", &schema);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(schema.FindEventType("DELL").ok());
+  EXPECT_TRUE(schema.FindAttribute("price").ok());
+}
+
+TEST(TraceRobustnessTest, MissingFileIsIoError) {
+  Schema schema;
+  auto result = ReadTraceFile("/nonexistent/trace.txt", &schema);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(TraceRobustnessTest, ValuesRoundTripThroughFormat) {
+  Schema schema;
+  auto parsed = ParseTrace(
+      "DELL,5,price=31.25,volume=100,note=plain\n", &schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string formatted = FormatTrace(*parsed, schema);
+  Schema schema2;
+  auto reparsed = ParseTrace(formatted, &schema2);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->size(), 1u);
+  const Event& e = (*reparsed)[0];
+  EXPECT_EQ(e.FindAttr(*schema2.FindAttribute("price"))->AsDouble(), 31.25);
+  EXPECT_EQ(e.FindAttr(*schema2.FindAttribute("volume"))->AsInt64(), 100);
+  EXPECT_EQ(e.FindAttr(*schema2.FindAttribute("note"))->AsString(), "plain");
+}
+
+}  // namespace
+}  // namespace aseq
