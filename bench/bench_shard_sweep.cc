@@ -1,0 +1,133 @@
+// Shard sweep: the partition-parallel executor over a shards x batch-size
+// grid on the Fig. 13 grouped workload (GROUP BY traderId, COUNT, high
+// trader cardinality — the regime hash-partitioning is built for).
+//
+// Two metrics per configuration:
+//   - wall ms/slide: end-to-end time including routing and merge. On a
+//     single-core container this cannot beat serial (N workers time-slice
+//     one core), so it mostly measures coordination overhead.
+//   - critical-path ms/slide: max over shards of per-worker busy time,
+//     divided by events — the run's wall time on a machine with >= N idle
+//     cores. speedup_vs_serial = serial busy / max-shard busy is the
+//     hardware-independent scaling number; the acceptance gate is >= 2x at
+//     8 shards.
+//
+//   ./build/bench/bench_shard_sweep --benchmark_out=BENCH_shard_sweep.json
+//       --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+
+#include "aseq/aseq_engine.h"
+#include "bench/bench_util.h"
+#include "exec/execution_policy.h"
+#include "query/analyzer.h"
+
+namespace aseq {
+namespace bench {
+namespace {
+
+const size_t kNumEvents = ScaledEvents(100000);
+constexpr int64_t kMaxGapMs = 2;
+constexpr size_t kNumTraders = 1000;
+
+const BenchStream& Stream() {
+  static const BenchStream* stream =
+      MakeStockStream(kNumEvents, kMaxGapMs, /*seed=*/42, kNumTraders)
+          .release();
+  return *stream;
+}
+
+const CompiledQuery& Query() {
+  static const CompiledQuery* query = [] {
+    Schema schema = Stream().schema;  // copy: analysis must not mutate shared
+    Analyzer analyzer(&schema);
+    return new CompiledQuery(std::move(
+        analyzer.AnalyzeText(
+            "PATTERN SEQ(DELL, IPIX, AMAT) GROUP BY traderId "
+            "AGG COUNT WITHIN 2s"))
+        .value());
+  }();
+  return *query;
+}
+
+/// Serial critical path (== busy == wall for one thread) per batch size,
+/// recorded by the shards=1 runs; the grid runs serial-first so later
+/// configurations can report speedup_vs_serial.
+std::map<size_t, double>& SerialBusyByBatch() {
+  static std::map<size_t, double> busy;
+  return busy;
+}
+
+void BM_ShardSweep(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const size_t batch_size = static_cast<size_t>(state.range(1));
+  const CompiledQuery& cq = Query();
+
+  RunOptions options;
+  options.collect_outputs = false;
+  options.batch_size = batch_size;
+  options.num_shards = shards;
+
+  double total_seconds = 0;
+  double busy_max = 0;
+  double busy_total = 0;
+  uint64_t total_events = 0;
+  for (auto _ : state) {
+    // Fresh policy (and therefore fresh engines) per iteration: a run
+    // consumes the stream from seq 0, so engine state must not carry over.
+    std::string reason;
+    auto policy = exec::MakePolicy(
+        cq, [&cq] { return CreateAseqEngine(cq); }, options, &reason);
+    if (!policy.ok() || !reason.empty()) {
+      state.SkipWithError(("policy: " + reason).c_str());
+      return;
+    }
+    RunResult result = (*policy)->RunEvents(Stream().events);
+    total_seconds += result.elapsed_seconds;
+    total_events += result.events;
+    for (double busy : (*policy)->shard_busy_seconds()) {
+      busy_max = std::max(busy_max, busy);
+      busy_total += busy;
+    }
+  }
+  const double events = static_cast<double>(total_events);
+  state.counters["shards"] = benchmark::Counter(static_cast<double>(shards));
+  state.counters["batch_size"] =
+      benchmark::Counter(static_cast<double>(batch_size));
+  state.counters["ms_per_slide"] =
+      benchmark::Counter(events == 0 ? 0 : total_seconds * 1e3 / events);
+  state.counters["critical_path_ms_per_slide"] =
+      benchmark::Counter(events == 0 ? 0 : busy_max * 1e3 / events);
+  state.counters["busy_total_seconds"] = benchmark::Counter(busy_total);
+  if (shards == 1) {
+    SerialBusyByBatch()[batch_size] = busy_max;
+  } else {
+    auto it = SerialBusyByBatch().find(batch_size);
+    if (it != SerialBusyByBatch().end() && busy_max > 0) {
+      state.counters["speedup_vs_serial"] =
+          benchmark::Counter(it->second / busy_max);
+    }
+  }
+}
+BENCHMARK(BM_ShardSweep)
+    ->ArgsProduct({{1, 2, 4, 8}, {64, 256, 1024}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aseq
+
+int main(int argc, char** argv) {
+  aseq::bench::PrintFigureBanner(
+      "Shard sweep",
+      "partition-parallel executor: shards x batch size on the grouped "
+      "workload (critical-path speedup vs serial)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "ckpt/ckpt.h"
+#include "query/role_table.h"
 
 namespace aseq {
 
@@ -14,24 +15,6 @@ namespace {
 /// Carrier attribute value of an event, for roles at the carrier position.
 double CarrierValue(const CompiledQuery& q, const Event& e) {
   return e.GetAttr(q.agg().attr).ToDouble();
-}
-
-/// Flattens the query's role map into a table indexed by EventTypeId so the
-/// hot path dispatches with one bounds check instead of a hash probe. The
-/// entries point into `q`'s own role storage (node-stable), so `q` must
-/// outlive the table.
-std::vector<const std::vector<Role>*> BuildRoleTable(const CompiledQuery& q) {
-  std::vector<const std::vector<Role>*> table;
-  for (const auto& [type, roles] : q.roles()) {
-    if (type >= table.size()) table.resize(type + 1, nullptr);
-    table[type] = &roles;
-  }
-  return table;
-}
-
-const std::vector<Role>* LookupRoles(
-    const std::vector<const std::vector<Role>*>& table, EventTypeId type) {
-  return type < table.size() ? table[type] : nullptr;
 }
 
 }  // namespace
@@ -369,6 +352,25 @@ AggAccum HpcEngine::ScanTotal(Timestamp now, bool match_group,
     ++it;
   }
   return acc;
+}
+
+void HpcEngine::SyncPurgeTo(Timestamp now) {
+  if (!query_.has_window()) return;  // nothing ever expires
+  if (count_fast_path()) {
+    AdvanceExpiry(now);
+    return;
+  }
+  // Mirror ScanTotal's purge-and-erase sweep exactly, minus the
+  // accumulation: the serial trigger purges *every* partition as it scans,
+  // and erases the ones left empty.
+  for (auto it = partitions_.begin(); it != partitions_.end();) {
+    it->second.Purge(now);
+    if (it->second.windowed() && it->second.num_counters() == 0) {
+      it = partitions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void HpcEngine::EnqueueExpiry(PartitionMap::iterator it, size_t hash) {

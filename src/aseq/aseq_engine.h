@@ -78,7 +78,13 @@ class AseqEngine : public QueryEngine {
 /// ExecuteEvent replays the staged probes in arrival order. OnEvent stages
 /// a one-event batch through the same path, so both paths share one code
 /// path and stay exactly equivalent.
-class HpcEngine : public QueryEngine {
+///
+/// HPC is the one engine that shards: each partition key owns disjoint
+/// state, so the executor can split the partition map across N twin
+/// instances by GROUP BY key. The only cross-partition coupling is window
+/// expiry at trigger time, which ShardableEngine::SyncPurgeTo replicates
+/// on the shards that do not own the trigger.
+class HpcEngine : public QueryEngine, public ShardableEngine {
  public:
   explicit HpcEngine(CompiledQuery query);
 
@@ -98,6 +104,12 @@ class HpcEngine : public QueryEngine {
   const CompiledQuery& query() const { return query_; }
 
   size_t num_partitions() const { return partitions_.size(); }
+
+  /// ShardableEngine: replays the cross-partition purge a trigger at `now`
+  /// performs — AdvanceExpiry on the COUNT fast path, ScanTotal's
+  /// purge-and-erase sweep (without the aggregation) otherwise.
+  void SyncPurgeTo(Timestamp now) override;
+  EngineStats* shard_mutable_stats() override { return &stats_; }
 
  protected:
   EngineStats* mutable_stats() override { return &stats_; }

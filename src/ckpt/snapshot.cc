@@ -190,6 +190,64 @@ Status RestoreMultiSnapshot(const std::string& path, MultiQueryEngine* engine,
       [engine](Reader* r) { return engine->Restore(r); }, stream_offset);
 }
 
+Status SaveShardedSnapshot(const std::string& path,
+                           std::span<const QueryEngine* const> shards,
+                           uint64_t stream_offset, const EngineStats& merged) {
+  if (shards.empty()) {
+    return Status::InvalidArgument(
+        "sharded snapshot requires at least one shard engine");
+  }
+  Writer payload;
+  payload.WriteU32(static_cast<uint32_t>(shards.size()));
+  WriteStats(&payload, merged);
+  for (const QueryEngine* shard : shards) {
+    Writer sub;
+    ASEQ_RETURN_NOT_OK(shard->Checkpoint(&sub));
+    payload.WriteString(sub.buffer());
+  }
+  return WriteSnapshotFile(path, "Sharded[" + shards[0]->name() + "]",
+                           stream_offset, payload.buffer());
+}
+
+Status RestoreShardedSnapshot(const std::string& path,
+                              std::span<QueryEngine* const> shards,
+                              uint64_t* stream_offset, EngineStats* merged) {
+  if (shards.empty()) {
+    return Status::InvalidArgument(
+        "sharded snapshot requires at least one shard engine");
+  }
+  SnapshotInfo info;
+  std::string payload;
+  ASEQ_RETURN_NOT_OK(ReadSnapshotFile(path, &info, &payload));
+  const std::string expected = "Sharded[" + shards[0]->name() + "]";
+  if (info.engine_name != expected) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' was taken by engine '" + info.engine_name +
+        "' but is being restored into '" + expected +
+        "' (a non-sharded snapshot cannot seed a sharded run)");
+  }
+  Reader reader(payload);
+  uint32_t count = 0;
+  ASEQ_RETURN_NOT_OK(reader.ReadU32(&count, "shard count"));
+  if (count != shards.size()) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' holds " + std::to_string(count) +
+        " shard(s) but " + std::to_string(shards.size()) +
+        " were supplied; rerun with --shards " + std::to_string(count));
+  }
+  ASEQ_RETURN_NOT_OK(ReadStats(&reader, merged));
+  for (size_t i = 0; i < shards.size(); ++i) {
+    std::string sub;
+    ASEQ_RETURN_NOT_OK(reader.ReadString(&sub, "shard payload"));
+    Reader sub_reader(sub);
+    ASEQ_RETURN_NOT_OK(shards[i]->Restore(&sub_reader));
+    ASEQ_RETURN_NOT_OK(sub_reader.ExpectEnd());
+  }
+  ASEQ_RETURN_NOT_OK(reader.ExpectEnd());
+  *stream_offset = info.stream_offset;
+  return Status::OK();
+}
+
 std::string SnapshotPathForOffset(const std::string& dir, uint64_t offset) {
   std::string digits = std::to_string(offset);
   std::string padded(20 - std::min<size_t>(20, digits.size()), '0');

@@ -2,6 +2,7 @@
 #define ASEQ_CKPT_SNAPSHOT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "ckpt/ckpt.h"
@@ -63,6 +64,29 @@ Status RestoreEngineSnapshot(const std::string& path, QueryEngine* engine,
                              uint64_t* stream_offset);
 Status RestoreMultiSnapshot(const std::string& path, MultiQueryEngine* engine,
                             uint64_t* stream_offset);
+
+/// \brief Multi-shard snapshot container (sharded execution).
+///
+/// Same outer file format as every snapshot; the engine name is
+/// "Sharded[<inner engine name>]" so restoring a sharded container into a
+/// serial engine (or vice versa) fails the existing name check up front.
+/// The payload packs every shard under the one body checksum:
+///
+///   [4]  u32 shard count N
+///   [..] merged EngineStats — the exact cross-shard merged view at the
+///        checkpoint (the restored run seeds its peak-object merge from
+///        it; per-shard stats live inside each shard payload)
+///   N x  u64 length prefix + the shard engine's Checkpoint() payload
+///
+/// Restore validates the shard count against the engines supplied, so a
+/// run restored with a different --shards N fails with a clear message
+/// instead of scrambling partition ownership.
+Status SaveShardedSnapshot(const std::string& path,
+                           std::span<const QueryEngine* const> shards,
+                           uint64_t stream_offset, const EngineStats& merged);
+Status RestoreShardedSnapshot(const std::string& path,
+                              std::span<QueryEngine* const> shards,
+                              uint64_t* stream_offset, EngineStats* merged);
 
 /// Canonical snapshot filename for a stream offset: `<dir>/ckpt-<offset
 /// zero-padded to 20>.aseqckpt` — zero-padding makes lexicographic order

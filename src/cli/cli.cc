@@ -18,6 +18,7 @@
 #include "engine/change_detector.h"
 #include "engine/reordering_engine.h"
 #include "engine/runtime.h"
+#include "exec/execution_policy.h"
 #include "query/analyzer.h"
 #include "stream/clickstream.h"
 #include "stream/stock_stream.h"
@@ -33,7 +34,7 @@ constexpr const char* kUsage =
     "                (--trace FILE | --stock N | --clicks N)\n"
     "                [--engine aseq|stack] [--slack MS] [--seed S]\n"
     "                [--gap MS] [--limit N] [--quiet] [--emit-on-change]\n"
-    "                [--batch-size N]\n"
+    "                [--batch-size N] [--shards N]\n"
     "                [--checkpoint-every N --checkpoint-dir DIR]\n"
     "                [--restore-from SNAPSHOT]\n"
     "  aseq explain  --query \"...\"\n"
@@ -49,7 +50,11 @@ constexpr const char* kUsage =
     "256, 1 = per-event)\n"
     "  (--checkpoint-every N snapshots engine state every N events into\n"
     "   --checkpoint-dir; --restore-from resumes a killed run from a\n"
-    "   snapshot, replaying the trace tail from the recorded offset)\n";
+    "   snapshot, replaying the trace tail from the recorded offset)\n"
+    "  (--shards N > 1 runs the partition-parallel executor: events are\n"
+    "   hash-routed by GROUP BY key to N engine shards on worker threads,\n"
+    "   with results identical to the serial run; queries that cannot\n"
+    "   shard safely fall back to serial with a note)\n";
 
 /// Reads --batch-size into RunOptions (default kDefaultBatchSize).
 Result<RunOptions> BatchOptionsFromFlags(const FlagSet& flags) {
@@ -62,6 +67,12 @@ Result<RunOptions> BatchOptionsFromFlags(const FlagSet& flags) {
   }
   RunOptions options;
   options.batch_size = static_cast<size_t>(batch);
+  ASEQ_ASSIGN_OR_RETURN(int64_t shards, flags.GetInt("shards", 1));
+  if (shards < 1 || shards > 64) {
+    return Status::InvalidArgument(
+        "--shards expects 1 <= N <= 64 (1 = serial; e.g. --shards 8)");
+  }
+  options.num_shards = static_cast<size_t>(shards);
   return options;
 }
 
@@ -198,8 +209,8 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   Status known = flags.CheckKnown({"query", "trace", "stock", "clicks",
                                    "engine", "slack", "seed", "gap", "limit",
                                    "quiet", "emit-on-change", "batch-size",
-                                   "checkpoint-every", "checkpoint-dir",
-                                   "restore-from"});
+                                   "shards", "checkpoint-every",
+                                   "checkpoint-dir", "restore-from"});
   if (!known.ok()) {
     err << known.ToString() << "\n";
     return 2;
@@ -228,15 +239,24 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     err << events.status().ToString() << "\n";
     return 1;
   }
-  auto engine = MakeEngine(flags, *query);
-  if (!engine.ok()) {
-    err << engine.status().ToString() << "\n";
+  // All execution goes through a policy: serial for --shards 1 (the
+  // default, byte-identical to the old direct path), partition-parallel
+  // otherwise. Unshardable queries fall back to serial with a note.
+  std::string fallback_reason;
+  auto policy = exec::MakePolicy(
+      *query, [&] { return MakeEngine(flags, *query); }, *options,
+      &fallback_reason);
+  if (!policy.ok()) {
+    err << policy.status().ToString() << "\n";
     return 1;
+  }
+  if (!fallback_reason.empty()) {
+    err << "note: sharding disabled (" << fallback_reason
+        << "); running serially\n";
   }
   if (!restore_from.empty()) {
     uint64_t offset = 0;
-    Status restored =
-        ckpt::RestoreEngineSnapshot(restore_from, engine->get(), &offset);
+    Status restored = (*policy)->Restore(restore_from, &offset);
     if (!restored.ok()) {
       err << restored.ToString() << "\n";
       return 1;
@@ -247,7 +267,6 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
           << " but this source has only " << events->size() << " events\n";
       return 1;
     }
-    options->start_offset = offset;
     // Replay only the tail; RunEvents re-assigns the same seq numbers the
     // events had in the original run.
     events->erase(events->begin(),
@@ -255,13 +274,13 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     out << "restored from " << restore_from << " at offset " << offset
         << "; replaying " << events->size() << " remaining events\n";
   }
-  BatchRunner runner(*options);
-  RunResult result = runner.RunEvents(*events, engine->get());
+  RunResult result = (*policy)->RunEvents(*events);
   if (!result.checkpoint_status.ok()) {
     err << "warning: checkpointing stopped: "
         << result.checkpoint_status.ToString() << "\n";
   }
-  if (auto* reordering = dynamic_cast<ReorderingEngine*>(engine->get())) {
+  if (auto* reordering =
+          dynamic_cast<ReorderingEngine*>((*policy)->serial_engine())) {
     std::vector<Output> tail;
     StopWatch watch;
     reordering->Finish(&tail);
@@ -287,13 +306,16 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
       PrintOutput(out, result.outputs[i]);
     }
   }
-  out << "engine:        " << engine->get()->name() << "\n";
+  out << "engine:        " << (*policy)->name() << "\n";
   out << "query:         " << query->ToString() << "\n";
   out << "events:        " << result.events << "\n";
   out << "batch size:    " << result.batch_size << "\n";
+  if (options->num_shards > 1) {
+    out << "shards:        " << result.num_shards << "\n";
+  }
   out << "results:       " << result.outputs.size() << "\n";
   out << "ms/slide:      " << result.MillisPerSlide() << "\n";
-  out << "peak objects:  " << engine->get()->stats().objects.peak() << "\n";
+  out << "peak objects:  " << (*policy)->stats().objects.peak() << "\n";
   if (options->checkpoint_every > 0) {
     out << "checkpoints:   " << result.checkpoints_written;
     if (result.checkpoints_written > 0) {

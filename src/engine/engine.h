@@ -103,6 +103,33 @@ class QueryEngine {
   virtual EngineStats* mutable_stats() { return nullptr; }
 };
 
+/// \brief Optional capability interface for engines whose grouped state
+/// can be hash-partitioned across independent twin instances (see
+/// exec::ShardedExecutor). Engines opt in by also deriving from this; the
+/// executor discovers support with a dynamic_cast and falls back to serial
+/// execution when the cast fails (wrappers and baselines never shard).
+///
+/// A shardable engine promises that events whose GROUP BY key values
+/// differ touch disjoint state *except* for window expiry: a trigger
+/// event purges expired state across every partition, not only its own.
+/// SyncPurgeTo replicates exactly that cross-partition purge — no output,
+/// no work-unit charge, only object expiry — so a shard that observes a
+/// purge marker for a trigger it does not own ends up byte-identical to
+/// its slice of the serial engine.
+class ShardableEngine {
+ public:
+  virtual ~ShardableEngine() = default;
+
+  /// Applies the cross-partition purges a trigger event with timestamp
+  /// `now` performs on state the trigger's own key does not cover.
+  virtual void SyncPurgeTo(Timestamp now) = 0;
+
+  /// Mutable stats access for the executor's per-event object-peak
+  /// windows (ObjectCounter::BeginPeakWindow) — the merge needs mid-event
+  /// maxima, which const stats() cannot expose.
+  virtual EngineStats* shard_mutable_stats() = 0;
+};
+
 /// \brief An Output attributed to one query of a multi-query workload.
 struct MultiOutput {
   size_t query_index = 0;

@@ -1,39 +1,9 @@
 #include "engine/runtime.h"
 
-#include <algorithm>
-#include <span>
-#include <utility>
-
-#include "ckpt/snapshot.h"
+#include "exec/serial_executor.h"
 #include "metrics/metrics.h"
 
 namespace aseq {
-
-namespace {
-
-/// Writes a snapshot when the stream offset crosses the next checkpoint
-/// threshold. `save` is called with (path, offset); shared between the
-/// single- and multi-query loops. After the first I/O failure the status
-/// is latched and no further snapshots are attempted.
-template <typename ResultT, typename SaveFn>
-void MaybeCheckpoint(const RunOptions& options, uint64_t offset,
-                     uint64_t* next_due, ResultT* result, SaveFn&& save) {
-  if (options.checkpoint_every == 0 || !result->checkpoint_status.ok() ||
-      offset < *next_due) {
-    return;
-  }
-  Status s = save(ckpt::SnapshotPathForOffset(options.checkpoint_dir, offset),
-                  offset);
-  if (s.ok()) {
-    ++result->checkpoints_written;
-    result->last_checkpoint_offset = offset;
-  } else {
-    result->checkpoint_status = std::move(s);
-  }
-  while (*next_due <= offset) *next_due += options.checkpoint_every;
-}
-
-}  // namespace
 
 std::string Output::ToString() const {
   std::string out = "@" + std::to_string(ts);
@@ -50,108 +20,22 @@ void AssignSeqNums(std::vector<Event>* events) {
 }
 
 RunResult BatchRunner::Run(StreamSource* source, QueryEngine* engine) {
-  RunResult result;
-  result.batch_size = options_.batch_size;
-  SeqNum seq = options_.start_offset;
-  uint64_t next_ckpt = options_.start_offset + options_.checkpoint_every;
-  StopWatch watch;
-  while (source->NextBatch(options_.batch_size, &batch_buf_) > 0) {
-    for (Event& e : batch_buf_) e.set_seq(seq++);
-    scratch_.clear();
-    engine->OnBatch(batch_buf_, &scratch_);
-    if (options_.collect_outputs) {
-      result.outputs.insert(result.outputs.end(), scratch_.begin(),
-                            scratch_.end());
-    }
-    MaybeCheckpoint(options_, seq, &next_ckpt, &result,
-                    [&](const std::string& path, uint64_t offset) {
-                      return ckpt::SaveEngineSnapshot(path, *engine, offset);
-                    });
-  }
-  result.elapsed_seconds = watch.ElapsedSeconds();
-  result.events = seq - options_.start_offset;
-  return result;
+  return exec::RunSerialStream(options_, &buffers_, source, engine);
 }
 
 RunResult BatchRunner::RunEvents(const std::vector<Event>& events,
                                  QueryEngine* engine) {
-  RunResult result;
-  result.batch_size = options_.batch_size;
-  SeqNum seq = options_.start_offset;
-  uint64_t next_ckpt = options_.start_offset + options_.checkpoint_every;
-  StopWatch watch;
-  for (size_t pos = 0; pos < events.size(); pos += options_.batch_size) {
-    const size_t n = std::min(options_.batch_size, events.size() - pos);
-    batch_buf_.assign(events.begin() + static_cast<ptrdiff_t>(pos),
-                      events.begin() + static_cast<ptrdiff_t>(pos + n));
-    for (Event& e : batch_buf_) e.set_seq(seq++);
-    scratch_.clear();
-    engine->OnBatch(batch_buf_, &scratch_);
-    if (options_.collect_outputs) {
-      result.outputs.insert(result.outputs.end(), scratch_.begin(),
-                            scratch_.end());
-    }
-    MaybeCheckpoint(options_, seq, &next_ckpt, &result,
-                    [&](const std::string& path, uint64_t offset) {
-                      return ckpt::SaveEngineSnapshot(path, *engine, offset);
-                    });
-  }
-  result.elapsed_seconds = watch.ElapsedSeconds();
-  result.events = seq - options_.start_offset;
-  return result;
+  return exec::RunSerialEvents(options_, &buffers_, events, engine);
 }
 
 MultiRunResult BatchRunner::RunMulti(StreamSource* source,
                                      MultiQueryEngine* engine) {
-  MultiRunResult result;
-  result.batch_size = options_.batch_size;
-  SeqNum seq = options_.start_offset;
-  uint64_t next_ckpt = options_.start_offset + options_.checkpoint_every;
-  StopWatch watch;
-  while (source->NextBatch(options_.batch_size, &batch_buf_) > 0) {
-    for (Event& e : batch_buf_) e.set_seq(seq++);
-    multi_scratch_.clear();
-    engine->OnBatch(batch_buf_, &multi_scratch_);
-    if (options_.collect_outputs) {
-      result.outputs.insert(result.outputs.end(), multi_scratch_.begin(),
-                            multi_scratch_.end());
-    }
-    MaybeCheckpoint(options_, seq, &next_ckpt, &result,
-                    [&](const std::string& path, uint64_t offset) {
-                      return ckpt::SaveMultiSnapshot(path, *engine, offset);
-                    });
-  }
-  result.elapsed_seconds = watch.ElapsedSeconds();
-  result.events = seq - options_.start_offset;
-  return result;
+  return exec::RunSerialMultiStream(options_, &buffers_, source, engine);
 }
 
 MultiRunResult BatchRunner::RunMultiEvents(const std::vector<Event>& events,
                                            MultiQueryEngine* engine) {
-  MultiRunResult result;
-  result.batch_size = options_.batch_size;
-  SeqNum seq = options_.start_offset;
-  uint64_t next_ckpt = options_.start_offset + options_.checkpoint_every;
-  StopWatch watch;
-  for (size_t pos = 0; pos < events.size(); pos += options_.batch_size) {
-    const size_t n = std::min(options_.batch_size, events.size() - pos);
-    batch_buf_.assign(events.begin() + static_cast<ptrdiff_t>(pos),
-                      events.begin() + static_cast<ptrdiff_t>(pos + n));
-    for (Event& e : batch_buf_) e.set_seq(seq++);
-    multi_scratch_.clear();
-    engine->OnBatch(batch_buf_, &multi_scratch_);
-    if (options_.collect_outputs) {
-      result.outputs.insert(result.outputs.end(), multi_scratch_.begin(),
-                            multi_scratch_.end());
-    }
-    MaybeCheckpoint(options_, seq, &next_ckpt, &result,
-                    [&](const std::string& path, uint64_t offset) {
-                      return ckpt::SaveMultiSnapshot(path, *engine, offset);
-                    });
-  }
-  result.elapsed_seconds = watch.ElapsedSeconds();
-  result.events = seq - options_.start_offset;
-  return result;
+  return exec::RunSerialMultiEvents(options_, &buffers_, events, engine);
 }
 
 RunResult Runtime::Run(StreamSource* source, QueryEngine* engine,

@@ -26,6 +26,12 @@ struct RunOptions {
   /// A batch size of 1 degenerates to the per-event path (one OnBatch
   /// call per event).
   size_t batch_size = kDefaultBatchSize;
+  /// Number of execution shards (1 = serial). Values > 1 request the
+  /// partition-parallel policy (exec::MakePolicy): events are hash-routed
+  /// by GROUP BY key to per-shard engine twins on worker threads, with
+  /// results and stats merged back byte-identical to the serial run.
+  /// Queries that cannot shard safely fall back to serial execution.
+  size_t num_shards = 1;
   /// Checkpoint the engine every N events (0 disables). Snapshots land at
   /// the first batch boundary at or past each multiple of N, named by the
   /// stream offset they cover (ckpt::SnapshotPathForOffset), so a resumed
@@ -41,14 +47,17 @@ struct RunOptions {
   uint64_t start_offset = 0;
 };
 
-/// \brief Result of driving a stream through an engine.
-struct RunResult {
-  std::vector<Output> outputs;
+/// \brief Fields common to every run result (single- and multi-query).
+struct RunResultBase {
   uint64_t events = 0;
-  /// Wall-clock seconds spent inside the engine.
+  /// Wall-clock seconds spent inside the engine (for sharded runs: the
+  /// whole route/execute/merge pipeline).
   double elapsed_seconds = 0;
   /// Ingestion batch size used for the run (1 for the per-event path).
   size_t batch_size = 1;
+  /// Execution shards the run actually used (1 = serial, including
+  /// serial fallback of an unshardable query).
+  size_t num_shards = 1;
   /// First checkpoint I/O failure, or OK. Checkpointing stops after the
   /// first failure (the run itself continues), so a full disk does not
   /// spam one error per batch.
@@ -66,21 +75,25 @@ struct RunResult {
   }
 };
 
-/// Result of a multi-query run.
-struct MultiRunResult {
-  std::vector<MultiOutput> outputs;
-  uint64_t events = 0;
-  double elapsed_seconds = 0;
-  /// Ingestion batch size used for the run (1 for the per-event path).
-  size_t batch_size = 1;
-  /// See RunResult::checkpoint_status.
-  Status checkpoint_status = Status::OK();
-  uint64_t checkpoints_written = 0;
-  uint64_t last_checkpoint_offset = 0;
+/// \brief Result of driving a stream through an engine.
+struct RunResult : RunResultBase {
+  std::vector<Output> outputs;
+};
 
-  double MillisPerSlide() const {
-    return events == 0 ? 0 : elapsed_seconds * 1e3 / static_cast<double>(events);
-  }
+/// Result of a multi-query run.
+struct MultiRunResult : RunResultBase {
+  std::vector<MultiOutput> outputs;
+};
+
+/// \brief Reusable buffers of the serial execution core (refill batch plus
+/// output scratch), owned by the caller and reused clear-not-shrink across
+/// batches and across runs — a harness that loops a run per benchmark
+/// iteration allocates only on the first pass. BatchRunner and
+/// exec::SerialExecutor each own one.
+struct SerialBuffers {
+  std::vector<Event> batch;
+  std::vector<Output> scratch;
+  std::vector<MultiOutput> multi_scratch;
 };
 
 /// Assigns strictly increasing sequence numbers (0, 1, ...) to events in
@@ -91,9 +104,12 @@ void AssignSeqNums(std::vector<Event>* events);
 /// \brief Batched pipeline driver: pulls event batches from a source,
 /// assigns sequence numbers, and feeds them to an engine through OnBatch.
 ///
-/// Owns its refill and scratch buffers and reuses them (clear, never
-/// shrink) across batches and across runs, so a harness that loops Run
-/// per benchmark iteration allocates only on the first pass.
+/// The loops themselves live in the execution layer (exec::RunSerial*);
+/// BatchRunner binds them to a caller-owned engine and its reusable
+/// buffers. Sharded execution (RunOptions::num_shards > 1) needs one
+/// engine per shard and therefore an engine factory — use
+/// exec::MakePolicy; the engine-pointer entry points here always run the
+/// serial policy.
 class BatchRunner {
  public:
   BatchRunner() = default;
@@ -117,9 +133,7 @@ class BatchRunner {
 
  private:
   RunOptions options_;
-  std::vector<Event> batch_buf_;
-  std::vector<Output> scratch_;
-  std::vector<MultiOutput> multi_scratch_;
+  SerialBuffers buffers_;
 };
 
 /// \brief Per-event compatibility driver.

@@ -1,0 +1,55 @@
+#include "exec/execution_policy.h"
+
+#include <utility>
+
+#include "exec/serial_executor.h"
+#include "exec/sharded_executor.h"
+#include "exec/shard_router.h"
+
+namespace aseq {
+namespace exec {
+
+Result<std::unique_ptr<ExecutionPolicy>> MakePolicy(
+    const CompiledQuery& query, const EngineFactory& factory,
+    const RunOptions& options, std::string* fallback_reason) {
+  if (fallback_reason != nullptr) fallback_reason->clear();
+  ASEQ_ASSIGN_OR_RETURN(std::unique_ptr<QueryEngine> first, factory());
+  const size_t shards = options.num_shards == 0 ? 1 : options.num_shards;
+  if (shards == 1) {
+    return std::unique_ptr<ExecutionPolicy>(
+        new SerialExecutor(options, std::move(first)));
+  }
+
+  ShardPlan plan = PlanSharding(query);
+  std::string reason = plan.reason;
+  if (reason.empty() && dynamic_cast<ShardableEngine*>(first.get()) == nullptr) {
+    // The query shards, but this engine configuration does not — a
+    // baseline engine, or a wrapper (reordering, change detection) whose
+    // buffering is inherently cross-key-sequential.
+    reason = "engine '" + first->name() + "' does not support sharding";
+  }
+  if (!reason.empty()) {
+    if (fallback_reason != nullptr) *fallback_reason = reason;
+    return std::unique_ptr<ExecutionPolicy>(
+        new SerialExecutor(options, std::move(first)));
+  }
+
+  std::vector<std::unique_ptr<QueryEngine>> engines;
+  engines.reserve(shards);
+  engines.push_back(std::move(first));
+  for (size_t i = 1; i < shards; ++i) {
+    ASEQ_ASSIGN_OR_RETURN(std::unique_ptr<QueryEngine> twin, factory());
+    if (dynamic_cast<ShardableEngine*>(twin.get()) == nullptr) {
+      return Status::InvalidArgument(
+          "engine factory is not deterministic: shard 0 supports sharding "
+          "but shard " +
+          std::to_string(i) + " ('" + twin->name() + "') does not");
+    }
+    engines.push_back(std::move(twin));
+  }
+  return std::unique_ptr<ExecutionPolicy>(
+      new ShardedExecutor(query, options, std::move(engines)));
+}
+
+}  // namespace exec
+}  // namespace aseq

@@ -1,0 +1,169 @@
+#include "exec/serial_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ckpt/snapshot.h"
+#include "metrics/metrics.h"
+
+namespace aseq {
+namespace exec {
+
+namespace {
+
+/// Writes a snapshot when the stream offset crosses the next checkpoint
+/// threshold. `save` is called with (path, offset); shared between the
+/// single- and multi-query loops. After the first I/O failure the status
+/// is latched and no further snapshots are attempted.
+template <typename SaveFn>
+void MaybeCheckpoint(const RunOptions& options, uint64_t offset,
+                     uint64_t* next_due, RunResultBase* result, SaveFn&& save) {
+  if (options.checkpoint_every == 0 || !result->checkpoint_status.ok() ||
+      offset < *next_due) {
+    return;
+  }
+  Status s = save(ckpt::SnapshotPathForOffset(options.checkpoint_dir, offset),
+                  offset);
+  if (s.ok()) {
+    ++result->checkpoints_written;
+    result->last_checkpoint_offset = offset;
+  } else {
+    result->checkpoint_status = std::move(s);
+  }
+  while (*next_due <= offset) *next_due += options.checkpoint_every;
+}
+
+/// The serial loop, shared across {stream, events} x {single, multi}:
+/// `refill` fills buffers->batch and returns false when the stream is
+/// exhausted; `scratch`/`result->outputs` are the matching Output types.
+template <typename ResultT, typename EngineT, typename ScratchT,
+          typename RefillFn, typename SaveFn>
+ResultT RunSerialLoop(const RunOptions& options, std::vector<Event>* batch,
+                      ScratchT* scratch, EngineT* engine, RefillFn&& refill,
+                      SaveFn&& save) {
+  ResultT result;
+  result.batch_size = options.batch_size;
+  SeqNum seq = options.start_offset;
+  uint64_t next_ckpt = options.start_offset + options.checkpoint_every;
+  StopWatch watch;
+  while (refill(batch)) {
+    for (Event& e : *batch) e.set_seq(seq++);
+    scratch->clear();
+    engine->OnBatch(*batch, scratch);
+    if (options.collect_outputs) {
+      result.outputs.insert(result.outputs.end(), scratch->begin(),
+                            scratch->end());
+    }
+    MaybeCheckpoint(options, seq, &next_ckpt, &result,
+                    [&](const std::string& path, uint64_t offset) {
+                      return save(path, offset);
+                    });
+  }
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  result.events = seq - options.start_offset;
+  return result;
+}
+
+/// Refill from a StreamSource.
+struct StreamRefill {
+  StreamSource* source;
+  size_t batch_size;
+  bool operator()(std::vector<Event>* batch) const {
+    return source->NextBatch(batch_size, batch) > 0;
+  }
+};
+
+/// Refill by slicing a pre-built event vector.
+struct EventsRefill {
+  const std::vector<Event>* events;
+  size_t batch_size;
+  size_t pos = 0;
+  bool operator()(std::vector<Event>* batch) {
+    if (pos >= events->size()) return false;
+    const size_t n = std::min(batch_size, events->size() - pos);
+    batch->assign(events->begin() + static_cast<ptrdiff_t>(pos),
+                  events->begin() + static_cast<ptrdiff_t>(pos + n));
+    pos += n;
+    return true;
+  }
+};
+
+}  // namespace
+
+RunResult RunSerialStream(const RunOptions& options, SerialBuffers* buffers,
+                          StreamSource* source, QueryEngine* engine) {
+  return RunSerialLoop<RunResult>(
+      options, &buffers->batch, &buffers->scratch, engine,
+      StreamRefill{source, options.batch_size},
+      [&](const std::string& path, uint64_t offset) {
+        return ckpt::SaveEngineSnapshot(path, *engine, offset);
+      });
+}
+
+RunResult RunSerialEvents(const RunOptions& options, SerialBuffers* buffers,
+                          const std::vector<Event>& events,
+                          QueryEngine* engine) {
+  return RunSerialLoop<RunResult>(
+      options, &buffers->batch, &buffers->scratch, engine,
+      EventsRefill{&events, options.batch_size},
+      [&](const std::string& path, uint64_t offset) {
+        return ckpt::SaveEngineSnapshot(path, *engine, offset);
+      });
+}
+
+MultiRunResult RunSerialMultiStream(const RunOptions& options,
+                                    SerialBuffers* buffers,
+                                    StreamSource* source,
+                                    MultiQueryEngine* engine) {
+  return RunSerialLoop<MultiRunResult>(
+      options, &buffers->batch, &buffers->multi_scratch, engine,
+      StreamRefill{source, options.batch_size},
+      [&](const std::string& path, uint64_t offset) {
+        return ckpt::SaveMultiSnapshot(path, *engine, offset);
+      });
+}
+
+MultiRunResult RunSerialMultiEvents(const RunOptions& options,
+                                    SerialBuffers* buffers,
+                                    const std::vector<Event>& events,
+                                    MultiQueryEngine* engine) {
+  return RunSerialLoop<MultiRunResult>(
+      options, &buffers->batch, &buffers->multi_scratch, engine,
+      EventsRefill{&events, options.batch_size},
+      [&](const std::string& path, uint64_t offset) {
+        return ckpt::SaveMultiSnapshot(path, *engine, offset);
+      });
+}
+
+SerialExecutor::SerialExecutor(const RunOptions& options,
+                               std::unique_ptr<QueryEngine> engine)
+    : options_(options), engine_(std::move(engine)) {
+  options_.num_shards = 1;
+}
+
+RunResult SerialExecutor::Run(StreamSource* source) {
+  RunResult result =
+      RunSerialStream(options_, &buffers_, source, engine_.get());
+  stats_view_ = engine_->stats();
+  busy_seconds_ = result.elapsed_seconds;
+  return result;
+}
+
+RunResult SerialExecutor::RunEvents(const std::vector<Event>& events) {
+  RunResult result =
+      RunSerialEvents(options_, &buffers_, events, engine_.get());
+  stats_view_ = engine_->stats();
+  busy_seconds_ = result.elapsed_seconds;
+  return result;
+}
+
+Status SerialExecutor::Restore(const std::string& path,
+                               uint64_t* stream_offset) {
+  ASEQ_RETURN_NOT_OK(
+      ckpt::RestoreEngineSnapshot(path, engine_.get(), stream_offset));
+  options_.start_offset = *stream_offset;
+  return Status::OK();
+}
+
+}  // namespace exec
+}  // namespace aseq

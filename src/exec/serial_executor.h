@@ -1,0 +1,73 @@
+#ifndef ASEQ_EXEC_SERIAL_EXECUTOR_H_
+#define ASEQ_EXEC_SERIAL_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/execution_policy.h"
+
+namespace aseq {
+namespace exec {
+
+// ---- The serial execution core, extracted from BatchRunner. ----
+//
+// These free functions are the one implementation of the batched serial
+// loop: refill `buffers->batch` from the source (or a slice of the event
+// vector), assign sequence numbers, feed OnBatch, collect outputs, and
+// checkpoint at due batch boundaries. BatchRunner and SerialExecutor both
+// delegate here, so the engine-pointer API and the policy API can never
+// drift apart. All buffers are reused clear-not-shrink.
+
+RunResult RunSerialStream(const RunOptions& options, SerialBuffers* buffers,
+                          StreamSource* source, QueryEngine* engine);
+RunResult RunSerialEvents(const RunOptions& options, SerialBuffers* buffers,
+                          const std::vector<Event>& events,
+                          QueryEngine* engine);
+MultiRunResult RunSerialMultiStream(const RunOptions& options,
+                                    SerialBuffers* buffers,
+                                    StreamSource* source,
+                                    MultiQueryEngine* engine);
+MultiRunResult RunSerialMultiEvents(const RunOptions& options,
+                                    SerialBuffers* buffers,
+                                    const std::vector<Event>& events,
+                                    MultiQueryEngine* engine);
+
+/// \brief The single-threaded policy: owns one engine and drives it on the
+/// calling thread through the serial core — exactly the pre-policy
+/// BatchRunner behavior.
+class SerialExecutor : public ExecutionPolicy {
+ public:
+  SerialExecutor(const RunOptions& options,
+                 std::unique_ptr<QueryEngine> engine);
+
+  std::string name() const override { return engine_->name(); }
+  size_t num_shards() const override { return 1; }
+
+  RunResult Run(StreamSource* source) override;
+  RunResult RunEvents(const std::vector<Event>& events) override;
+
+  const EngineStats& stats() const override { return engine_->stats(); }
+  std::span<const EngineStats> shard_stats() const override {
+    return {&stats_view_, 1};
+  }
+  std::span<const double> shard_busy_seconds() const override {
+    return {&busy_seconds_, 1};
+  }
+
+  Status Restore(const std::string& path, uint64_t* stream_offset) override;
+
+  QueryEngine* serial_engine() override { return engine_.get(); }
+
+ private:
+  RunOptions options_;
+  std::unique_ptr<QueryEngine> engine_;
+  SerialBuffers buffers_;
+  EngineStats stats_view_;   // snapshot of engine stats after the last run
+  double busy_seconds_ = 0;  // == elapsed_seconds of the last run
+};
+
+}  // namespace exec
+}  // namespace aseq
+
+#endif  // ASEQ_EXEC_SERIAL_EXECUTOR_H_

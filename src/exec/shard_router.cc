@@ -1,0 +1,102 @@
+#include "exec/shard_router.h"
+
+#include <cassert>
+
+#include "query/role_table.h"
+
+namespace aseq {
+namespace exec {
+
+ShardPlan PlanSharding(const CompiledQuery& query) {
+  ShardPlan plan;
+  if (query.has_join_predicates()) {
+    plan.reason =
+        "query has join predicates: only match-constructing engines "
+        "support them, and those do not shard";
+    return plan;
+  }
+  if (!query.partitioned()) {
+    plan.reason =
+        "query has no GROUP BY or equivalence partitioning: all events "
+        "share one counter set";
+    return plan;
+  }
+  const PartitionSpec& spec = query.partition_spec();
+  if (!spec.per_group_output) {
+    plan.reason =
+        "query partitions by equivalence only (no GROUP BY): triggers "
+        "aggregate across every partition, which sharding would split";
+    return plan;
+  }
+  assert(spec.group_part >= 0);
+  const PartitionSpec::Part& group =
+      spec.parts[static_cast<size_t>(spec.group_part)];
+  for (const auto& [type, roles] : query.roles()) {
+    (void)type;
+    for (const Role& role : roles) {
+      if (!role.negated) continue;
+      if (role.elem_index >= group.covers_elem.size() ||
+          !group.covers_elem[role.elem_index]) {
+        plan.reason =
+            "a negated element is not constrained by the GROUP BY "
+            "attribute: negative instances would invalidate partitions "
+            "across shards";
+        return plan;
+      }
+    }
+  }
+  const AggFunc f = query.agg().func;
+  if (f != AggFunc::kCount && spec.parts.size() > 1 && f != AggFunc::kMin &&
+      f != AggFunc::kMax) {
+    plan.reason =
+        "AGG SUM/AVG over a multi-part partition key merges a group's "
+        "partitions in map-iteration order at trigger time; resharding "
+        "cannot reproduce that floating-point order bit-exact";
+    return plan;
+  }
+  plan.shardable = true;
+  return plan;
+}
+
+ShardRouter::ShardRouter(const CompiledQuery& query, size_t num_shards)
+    : query_(&query),
+      num_shards_(num_shards),
+      length_(query.num_positive()),
+      group_part_(static_cast<size_t>(query.partition_spec().group_part)),
+      role_table_(BuildRoleTable(query)) {
+  assert(num_shards_ > 0);
+  assert(query.partition_spec().per_group_output);
+}
+
+ShardRouter::Route ShardRouter::RouteEvent(const Event& e) {
+  Route route;
+  route.shard = static_cast<size_t>(e.seq() % num_shards_);
+  const std::vector<Role>* roles = LookupRoles(role_table_, e.type());
+  if (roles == nullptr) return route;
+  bool has_key = false;
+  for (const Role& role : *roles) {
+    // Exactly HpcEngine::StageBatch's staging condition: a probe exists
+    // iff the local predicates pass and the partition key extracts.
+    if (!query_->QualifiesFor(e, role.elem_index)) continue;
+    if (!query_->PartitionKeyFor(e, role.elem_index, &scratch_key_,
+                                 &scratch_covered_)) {
+      continue;
+    }
+    if (!has_key) {
+      has_key = true;
+      // Every role extracts the same GROUP BY part value (it comes from
+      // the event's own attribute), so the first staged probe fixes the
+      // owner shard.
+      route.shard =
+          ValueHash{}(scratch_key_.parts[group_part_]) % num_shards_;
+    }
+    if (!role.negated && role.position == length_) {
+      route.trigger = true;
+      break;  // shard already fixed; nothing left to learn
+    }
+  }
+  return route;
+}
+
+}  // namespace exec
+}  // namespace aseq

@@ -1,0 +1,77 @@
+#ifndef ASEQ_EXEC_SHARD_ROUTER_H_
+#define ASEQ_EXEC_SHARD_ROUTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "query/compiled_query.h"
+
+namespace aseq {
+namespace exec {
+
+/// \brief Whether a query's state can be split by GROUP BY key across
+/// independent engine twins with byte-identical outputs and stats.
+struct ShardPlan {
+  bool shardable = false;
+  /// Why not, phrased for the CLI's fallback log (empty when shardable).
+  std::string reason;
+};
+
+/// The fallback matrix (docs/internals.md §11). A query shards iff:
+///  - it is partitioned with per-group output (GROUP BY): each group's
+///    partitions then share one GROUP BY key value, so hash-routing on
+///    that value keeps all state a trigger reads on one shard;
+///  - every negated role is constrained by the GROUP BY part (always true
+///    for GROUP BY queries — the group part covers every element — but
+///    checked, not assumed), so negative instances cannot invalidate
+///    partitions on other shards;
+///  - the aggregate's cross-partition merge is order-insensitive: COUNT
+///    (integer totals), any aggregate over a single-part key (one
+///    partition per group, nothing to merge), or MIN/MAX (exact in any
+///    order). SUM/AVG over a multi-part key merge a group's partitions in
+///    map-iteration order, which resharding cannot reproduce bit-exact.
+/// Everything else — ungrouped queries, equivalence-only partitioning,
+/// join predicates — falls back to serial with the reason logged.
+ShardPlan PlanSharding(const CompiledQuery& query);
+
+/// \brief Routes events to shards with the engine's own role dispatch and
+/// partition-key extraction (query/role_table.h + CompiledQuery), so an
+/// event always lands on the shard whose engine twin owns its GROUP BY
+/// key — and trigger events are recognized with exactly the condition
+/// HpcEngine stages them under (a qualifying positive role at the final
+/// position whose partition key extracts).
+class ShardRouter {
+ public:
+  ShardRouter(const CompiledQuery& query, size_t num_shards);
+
+  struct Route {
+    /// Owner shard. Events that stage no probe (type not in the pattern,
+    /// failed local predicates, missing key attribute) touch no partition
+    /// state on any shard; they spread round-robin by seq for balanced
+    /// event accounting.
+    size_t shard = 0;
+    /// True when the event completes the pattern: the serial engine then
+    /// purges expired state across *every* partition, so the executor
+    /// must send purge markers to the non-owner shards.
+    bool trigger = false;
+  };
+
+  /// `e` must carry its final seq number.
+  Route RouteEvent(const Event& e);
+
+ private:
+  const CompiledQuery* query_;
+  size_t num_shards_;
+  size_t length_;
+  size_t group_part_;
+  std::vector<const std::vector<Role>*> role_table_;
+  // Extraction scratch, reused per event.
+  PartitionKey scratch_key_;
+  std::vector<bool> scratch_covered_;
+};
+
+}  // namespace exec
+}  // namespace aseq
+
+#endif  // ASEQ_EXEC_SHARD_ROUTER_H_

@@ -1,0 +1,322 @@
+#include "exec/sharded_executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+#include "ckpt/snapshot.h"
+
+namespace aseq {
+namespace exec {
+
+namespace {
+
+/// Bounded-queue depth per lane: enough to keep workers fed ahead of the
+/// router, small enough that a fast router cannot buffer the stream.
+constexpr size_t kMaxQueuedItems = 16;
+
+}  // namespace
+
+ShardedExecutor::ShardedExecutor(
+    const CompiledQuery& query, const RunOptions& options,
+    std::vector<std::unique_ptr<QueryEngine>> engines)
+    : query_(&query),
+      options_(options),
+      engines_(std::move(engines)),
+      router_(query, engines_.size()),
+      send_markers_(query.has_window()) {
+  assert(engines_.size() > 1);
+  options_.num_shards = engines_.size();
+  for (auto& e : engines_) {
+    auto* shardable = dynamic_cast<ShardableEngine*>(e.get());
+    assert(shardable != nullptr &&
+           "ShardedExecutor requires ShardableEngine twins (MakePolicy "
+           "enforces this)");
+    shardables_.push_back(shardable);
+  }
+  lanes_.reserve(engines_.size());
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  pending_.resize(engines_.size());
+  shard_stats_view_.resize(engines_.size());
+  busy_view_.resize(engines_.size(), 0);
+}
+
+void ShardedExecutor::WorkerMain(size_t shard) {
+  Lane& lane = *lanes_[shard];
+  QueryEngine* engine = engines_[shard].get();
+  ShardableEngine* shardable = shardables_[shard];
+  EngineStats* stats = shardable->shard_mutable_stats();
+  for (;;) {
+    LaneItem item;
+    {
+      std::unique_lock<std::mutex> lk(lane.mu);
+      lane.cv.wait(lk, [&] { return !lane.queue.empty(); });
+      item = std::move(lane.queue.front());
+      lane.queue.pop_front();
+    }
+    // The router may be parked on a full queue.
+    lane.cv.notify_all();
+    if (item.tag == LaneItem::Tag::kStop) return;
+    if (item.tag == LaneItem::Tag::kBarrier) {
+      std::unique_lock<std::mutex> lk(coord_mu_);
+      const uint64_t epoch = barrier_epoch_;
+      ++barrier_arrived_;
+      coord_cv_.notify_all();
+      coord_cv_.wait(lk, [&] { return barrier_epoch_ != epoch; });
+      continue;
+    }
+    StopWatch watch;
+    for (ShardOp& op : item.ops) {
+      ObjectCounter& objects = stats->objects;
+      objects.BeginPeakWindow();
+      const int64_t before = objects.current();
+      if (op.kind == ShardOp::Kind::kEvent) {
+        lane.scratch.clear();
+        engine->OnEvent(op.event, &lane.scratch);
+        if (options_.collect_outputs && !lane.scratch.empty()) {
+          lane.outputs.insert(lane.outputs.end(), lane.scratch.begin(),
+                              lane.scratch.end());
+        }
+      } else {
+        shardable->SyncPurgeTo(op.ts);
+      }
+      const int64_t after = objects.current();
+      const int64_t window_peak = objects.window_peak();
+      // Record only state changes: the merge needs every current
+      // transition and every mid-event maximum above the entry count.
+      if (after != before || window_peak > before) {
+        lane.records.push_back({op.seq, after, window_peak});
+      }
+    }
+    lane.busy_seconds += watch.ElapsedSeconds();
+    {
+      std::lock_guard<std::mutex> lk(lane.mu);
+      item.ops.clear();
+      lane.free_ops.push_back(std::move(item.ops));
+    }
+  }
+}
+
+void ShardedExecutor::Enqueue(size_t shard, LaneItem item) {
+  Lane& lane = *lanes_[shard];
+  {
+    std::unique_lock<std::mutex> lk(lane.mu);
+    lane.cv.wait(lk, [&] { return lane.queue.size() < kMaxQueuedItems; });
+    lane.queue.push_back(std::move(item));
+  }
+  lane.cv.notify_all();
+}
+
+void ShardedExecutor::FlushPending(size_t shard) {
+  if (pending_[shard].empty()) return;
+  Lane& lane = *lanes_[shard];
+  std::vector<ShardOp> replacement;
+  {
+    std::unique_lock<std::mutex> lk(lane.mu);
+    lane.cv.wait(lk, [&] { return lane.queue.size() < kMaxQueuedItems; });
+    lane.queue.push_back(
+        LaneItem{LaneItem::Tag::kOps, std::move(pending_[shard])});
+    if (!lane.free_ops.empty()) {
+      replacement = std::move(lane.free_ops.back());
+      lane.free_ops.pop_back();
+    }
+  }
+  lane.cv.notify_all();
+  pending_[shard] = std::move(replacement);
+}
+
+void ShardedExecutor::BarrierAll() {
+  {
+    std::lock_guard<std::mutex> lk(coord_mu_);
+    barrier_arrived_ = 0;
+  }
+  for (size_t s = 0; s < lanes_.size(); ++s) {
+    Enqueue(s, LaneItem{LaneItem::Tag::kBarrier, {}});
+  }
+  std::unique_lock<std::mutex> lk(coord_mu_);
+  coord_cv_.wait(lk, [&] { return barrier_arrived_ == lanes_.size(); });
+}
+
+void ShardedExecutor::ResumeAll() {
+  {
+    std::lock_guard<std::mutex> lk(coord_mu_);
+    ++barrier_epoch_;
+  }
+  coord_cv_.notify_all();
+}
+
+void ShardedExecutor::DrainMerger() {
+  std::vector<std::span<const StatsTimelineMerger::Record>> spans;
+  spans.reserve(lanes_.size());
+  for (auto& lane : lanes_) {
+    spans.push_back(std::span<const StatsTimelineMerger::Record>(
+        lane->records.data() + lane->records_consumed,
+        lane->records.size() - lane->records_consumed));
+  }
+  merger_.Consume(spans);
+  for (auto& lane : lanes_) lane->records_consumed = lane->records.size();
+}
+
+EngineStats ShardedExecutor::ComputeMergedStats() const {
+  EngineStats merged;
+  for (const auto& e : engines_) MergeBulkStats(e->stats(), &merged);
+  merged.objects.RestoreCounts(merger_.merged_current(),
+                               merger_.merged_peak());
+  return merged;
+}
+
+RunResult ShardedExecutor::RunImpl(
+    const std::function<bool(std::vector<Event>*)>& refill) {
+  const size_t n = engines_.size();
+  RunResult result;
+  result.batch_size = options_.batch_size;
+  result.num_shards = n;
+
+  // Per-run lane state, clear-not-shrink.
+  for (auto& lane : lanes_) {
+    lane->outputs.clear();
+    lane->records.clear();
+    lane->records_consumed = 0;
+    lane->busy_seconds = 0;
+  }
+  {
+    std::vector<int64_t> currents;
+    currents.reserve(n);
+    for (const auto& e : engines_) {
+      currents.push_back(e->stats().objects.current());
+    }
+    // Seed with the merged view carried across runs/restores: engines
+    // keep their state, so the peak must continue from where it stood.
+    merger_.Reset(currents, merged_.objects.peak());
+  }
+
+  StopWatch watch;
+  workers_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    workers_.emplace_back(&ShardedExecutor::WorkerMain, this, s);
+  }
+
+  SeqNum seq = options_.start_offset;
+  uint64_t next_ckpt = options_.start_offset + options_.checkpoint_every;
+  while (refill(&batch_buf_)) {
+    for (Event& e : batch_buf_) {
+      e.set_seq(seq++);
+      const Timestamp ts = e.ts();
+      const SeqNum eseq = e.seq();
+      const ShardRouter::Route route = router_.RouteEvent(e);
+      pending_[route.shard].push_back(ShardOp{
+          ShardOp::Kind::kEvent, ts, eseq, std::move(e)});
+      if (route.trigger && send_markers_) {
+        // The serial trigger purges every partition; non-owner shards
+        // replay it as a marker at the same seq, keeping their state and
+        // object counts in lockstep.
+        for (size_t s = 0; s < n; ++s) {
+          if (s == route.shard) continue;
+          pending_[s].push_back(
+              ShardOp{ShardOp::Kind::kPurgeMarker, ts, eseq, Event()});
+        }
+      }
+    }
+    for (size_t s = 0; s < n; ++s) FlushPending(s);
+    if (options_.checkpoint_every > 0 && result.checkpoint_status.ok() &&
+        seq >= next_ckpt) {
+      BarrierAll();
+      DrainMerger();
+      const EngineStats merged_now = ComputeMergedStats();
+      std::vector<const QueryEngine*> shards;
+      shards.reserve(n);
+      for (const auto& e : engines_) shards.push_back(e.get());
+      Status s = ckpt::SaveShardedSnapshot(
+          ckpt::SnapshotPathForOffset(options_.checkpoint_dir, seq), shards,
+          seq, merged_now);
+      ResumeAll();
+      if (s.ok()) {
+        ++result.checkpoints_written;
+        result.last_checkpoint_offset = seq;
+      } else {
+        result.checkpoint_status = std::move(s);
+      }
+      while (next_ckpt <= seq) next_ckpt += options_.checkpoint_every;
+    }
+  }
+
+  for (size_t s = 0; s < n; ++s) {
+    Enqueue(s, LaneItem{LaneItem::Tag::kStop, {}});
+  }
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+
+  DrainMerger();
+  merged_ = ComputeMergedStats();
+  for (size_t s = 0; s < n; ++s) {
+    shard_stats_view_[s] = engines_[s]->stats();
+    busy_view_[s] = lanes_[s]->busy_seconds;
+  }
+
+  if (options_.collect_outputs) {
+    size_t total = 0;
+    for (const auto& lane : lanes_) total += lane->outputs.size();
+    result.outputs.reserve(total);
+    std::vector<size_t> cursor(n, 0);
+    for (;;) {
+      size_t best = n;
+      SeqNum best_seq = std::numeric_limits<SeqNum>::max();
+      for (size_t s = 0; s < n; ++s) {
+        const auto& outs = lanes_[s]->outputs;
+        if (cursor[s] < outs.size() && outs[cursor[s]].seq < best_seq) {
+          best_seq = outs[cursor[s]].seq;
+          best = s;
+        }
+      }
+      if (best == n) break;
+      // One event's outputs all come from its owner shard, in order.
+      auto& outs = lanes_[best]->outputs;
+      while (cursor[best] < outs.size() &&
+             outs[cursor[best]].seq == best_seq) {
+        result.outputs.push_back(std::move(outs[cursor[best]]));
+        ++cursor[best];
+      }
+    }
+  }
+
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  result.events = seq - options_.start_offset;
+  return result;
+}
+
+RunResult ShardedExecutor::Run(StreamSource* source) {
+  return RunImpl([&](std::vector<Event>* batch) {
+    return source->NextBatch(options_.batch_size, batch) > 0;
+  });
+}
+
+RunResult ShardedExecutor::RunEvents(const std::vector<Event>& events) {
+  size_t pos = 0;
+  return RunImpl([&](std::vector<Event>* batch) {
+    if (pos >= events.size()) return false;
+    const size_t count = std::min(options_.batch_size, events.size() - pos);
+    batch->assign(events.begin() + static_cast<ptrdiff_t>(pos),
+                  events.begin() + static_cast<ptrdiff_t>(pos + count));
+    pos += count;
+    return true;
+  });
+}
+
+Status ShardedExecutor::Restore(const std::string& path,
+                                uint64_t* stream_offset) {
+  std::vector<QueryEngine*> shards;
+  shards.reserve(engines_.size());
+  for (auto& e : engines_) shards.push_back(e.get());
+  EngineStats merged;
+  ASEQ_RETURN_NOT_OK(
+      ckpt::RestoreShardedSnapshot(path, shards, stream_offset, &merged));
+  merged_ = merged;
+  options_.start_offset = *stream_offset;
+  return Status::OK();
+}
+
+}  // namespace exec
+}  // namespace aseq

@@ -1,0 +1,152 @@
+#ifndef ASEQ_EXEC_SHARDED_EXECUTOR_H_
+#define ASEQ_EXEC_SHARDED_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/execution_policy.h"
+#include "exec/shard_router.h"
+#include "metrics/shard_stats.h"
+
+namespace aseq {
+namespace exec {
+
+/// \brief The partition-parallel policy: N engine twins, each owning the
+/// partitions whose GROUP BY key hashes to it, pumped by one worker
+/// thread over a bounded per-shard queue.
+///
+/// Serial equivalence, piece by piece:
+///  - Routing: events go to hash(GROUP BY key) % N — all partitions a
+///    trigger reads share that key (PlanSharding guarantees it), so every
+///    output is computed from exactly the state the serial engine would
+///    read.
+///  - Purge markers: a serial trigger purges expired state across every
+///    partition. The router detects triggers (same staging logic as the
+///    engine) and enqueues a purge marker, in seq order, to every
+///    non-owner shard; ShardableEngine::SyncPurgeTo applies exactly the
+///    serial cross-partition purge. Unbounded queries skip markers
+///    (nothing ever expires).
+///  - Outputs: each event's outputs come from exactly one shard, tagged
+///    with the event's global seq; a k-way merge by seq restores the
+///    serial order byte-identical.
+///  - Stats: bulk counters are charged on exactly one shard per event and
+///    sum exactly (metrics/shard_stats.h); live/peak objects are
+///    reconstructed exactly by StatsTimelineMerger from per-event
+///    (seq, current_after, window_peak) records. Workers therefore drive
+///    engines through OnEvent — per-event observation boundaries are what
+///    make the peak merge exact — so batch counters stay zero, which the
+///    equivalence contract already excludes.
+///  - Checkpoints: at a due batch boundary the coordinator parks all
+///    workers at a barrier and writes one multi-shard container
+///    (ckpt::SaveShardedSnapshot) holding every shard's payload plus the
+///    merged stats; restore refills the twins and re-seeds the merge.
+class ShardedExecutor : public ExecutionPolicy {
+ public:
+  /// `engines` must all be freshly constructed twins for `query`, each
+  /// implementing ShardableEngine (MakePolicy guarantees both).
+  ShardedExecutor(const CompiledQuery& query, const RunOptions& options,
+                  std::vector<std::unique_ptr<QueryEngine>> engines);
+  ~ShardedExecutor() override = default;
+
+  std::string name() const override {
+    return "Sharded[" + engines_[0]->name() + "]";
+  }
+  size_t num_shards() const override { return engines_.size(); }
+
+  RunResult Run(StreamSource* source) override;
+  RunResult RunEvents(const std::vector<Event>& events) override;
+
+  const EngineStats& stats() const override { return merged_; }
+  std::span<const EngineStats> shard_stats() const override {
+    return shard_stats_view_;
+  }
+  std::span<const double> shard_busy_seconds() const override {
+    return busy_view_;
+  }
+
+  Status Restore(const std::string& path, uint64_t* stream_offset) override;
+
+ private:
+  struct ShardOp {
+    enum class Kind : uint8_t { kEvent, kPurgeMarker };
+    Kind kind = Kind::kEvent;
+    Timestamp ts = 0;
+    SeqNum seq = 0;
+    Event event;  // meaningful for kEvent only
+  };
+
+  struct LaneItem {
+    enum class Tag : uint8_t { kOps, kBarrier, kStop };
+    Tag tag = Tag::kOps;
+    std::vector<ShardOp> ops;
+  };
+
+  /// One shard's queue plus its worker-owned run state. The coordinator
+  /// touches outputs/records/busy_seconds only while the worker is parked
+  /// at a barrier or joined.
+  struct Lane {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<LaneItem> queue;
+    /// Drained op vectors recycled back to the router (clear-not-shrink).
+    std::vector<std::vector<ShardOp>> free_ops;
+
+    std::vector<Output> outputs;
+    std::vector<StatsTimelineMerger::Record> records;
+    size_t records_consumed = 0;
+    std::vector<Output> scratch;
+    double busy_seconds = 0;
+  };
+
+  /// The shared run loop; `refill` fills batch_buf_ or returns false.
+  RunResult RunImpl(const std::function<bool(std::vector<Event>*)>& refill);
+
+  void WorkerMain(size_t shard);
+  /// Pushes an item, honoring the bounded-queue cap.
+  void Enqueue(size_t shard, LaneItem item);
+  /// Moves pending_[shard] into the lane's queue and re-arms pending_
+  /// with a recycled vector.
+  void FlushPending(size_t shard);
+  /// Parks every worker at a barrier; returns once all have arrived.
+  void BarrierAll();
+  /// Releases workers parked by BarrierAll.
+  void ResumeAll();
+  /// Feeds each lane's new records to the merger (lanes quiescent).
+  void DrainMerger();
+  /// Bulk-sums engine stats + the merger's object view.
+  EngineStats ComputeMergedStats() const;
+
+  const CompiledQuery* query_;
+  RunOptions options_;
+  std::vector<std::unique_ptr<QueryEngine>> engines_;
+  std::vector<ShardableEngine*> shardables_;
+  ShardRouter router_;
+  bool send_markers_;  // windowed queries only
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> workers_;
+  std::vector<std::vector<ShardOp>> pending_;
+  std::vector<Event> batch_buf_;
+
+  // Barrier coordination (checkpoints).
+  std::mutex coord_mu_;
+  std::condition_variable coord_cv_;
+  size_t barrier_arrived_ = 0;
+  uint64_t barrier_epoch_ = 0;
+
+  StatsTimelineMerger merger_;
+  EngineStats merged_;
+  std::vector<EngineStats> shard_stats_view_;
+  std::vector<double> busy_view_;
+};
+
+}  // namespace exec
+}  // namespace aseq
+
+#endif  // ASEQ_EXEC_SHARDED_EXECUTOR_H_

@@ -19,6 +19,7 @@ class ObjectCounter {
   void Add(int64_t n) {
     current_ += n;
     if (current_ > peak_) peak_ = current_;
+    if (current_ > window_peak_) window_peak_ = current_;
   }
   void Remove(int64_t n) {
     current_ -= n;
@@ -31,9 +32,18 @@ class ObjectCounter {
   int64_t current() const { return current_; }
   int64_t peak() const { return peak_; }
 
+  /// Opens a peak-observation window: window_peak() then reports the
+  /// maximum the live count reaches from this point on. The sharded
+  /// executor opens one window per event so the cross-shard stats merge
+  /// can reconstruct the serial global peak exactly — a shard's peak may
+  /// occur mid-event, between an Add and the purges a later probe runs.
+  void BeginPeakWindow() { window_peak_ = current_; }
+  int64_t window_peak() const { return window_peak_; }
+
   void Reset() {
     current_ = 0;
     peak_ = 0;
+    window_peak_ = 0;
   }
 
   /// Overwrites both counters from a checkpoint. Engines restore stats
@@ -44,11 +54,15 @@ class ObjectCounter {
            "restored object counters are inconsistent");
     current_ = current;
     peak_ = peak;
+    window_peak_ = current;
   }
 
  private:
   int64_t current_ = 0;
   int64_t peak_ = 0;
+  /// Maximum since the last BeginPeakWindow (see above); transient — not
+  /// checkpointed, not compared by the equivalence tests.
+  int64_t window_peak_ = 0;
 };
 
 /// \brief Per-engine execution statistics.

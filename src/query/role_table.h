@@ -1,0 +1,33 @@
+#ifndef ASEQ_QUERY_ROLE_TABLE_H_
+#define ASEQ_QUERY_ROLE_TABLE_H_
+
+#include <vector>
+
+#include "query/compiled_query.h"
+
+namespace aseq {
+
+/// Flattens a query's role map into a table indexed by EventTypeId so hot
+/// paths dispatch with one bounds check instead of a hash probe. The
+/// entries point into `q`'s own role storage (node-stable), so `q` must
+/// outlive the table. Shared by the A-Seq engines and the shard router —
+/// both must dispatch roles identically or routing would diverge from
+/// execution.
+inline std::vector<const std::vector<Role>*> BuildRoleTable(
+    const CompiledQuery& q) {
+  std::vector<const std::vector<Role>*> table;
+  for (const auto& [type, roles] : q.roles()) {
+    if (type >= table.size()) table.resize(type + 1, nullptr);
+    table[type] = &roles;
+  }
+  return table;
+}
+
+inline const std::vector<Role>* LookupRoles(
+    const std::vector<const std::vector<Role>*>& table, EventTypeId type) {
+  return type < table.size() ? table[type] : nullptr;
+}
+
+}  // namespace aseq
+
+#endif  // ASEQ_QUERY_ROLE_TABLE_H_

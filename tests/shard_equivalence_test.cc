@@ -1,0 +1,328 @@
+// Sharded-vs-serial equivalence: the partition-parallel executor
+// (exec::ShardedExecutor) must produce outputs *byte-identical* to the
+// serial per-event reference — same (ts, seq, group, value) in the same
+// global order — and identical merged EngineStats (modulo the batch
+// counters, exactly as the OnBatch contract), for every shardable query
+// shape, every shard count, and every ingestion batch size.
+//
+// Also covered: the fallback matrix. Queries (or engines) that cannot
+// shard safely must run serially with a stated reason — never produce a
+// sharded-but-wrong answer.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aseq/aseq_engine.h"
+#include "baseline/stack_engine.h"
+#include "engine/runtime.h"
+#include "exec/execution_policy.h"
+#include "exec/shard_router.h"
+#include "query/analyzer.h"
+#include "stream/stock_stream.h"
+#include "tests/test_util.h"
+
+namespace aseq {
+namespace {
+
+using testing_util::MustCompile;
+
+const size_t kShardCounts[] = {2, 3, 8};
+const size_t kBatchSizes[] = {1, 64, 256};
+
+// ---------------------------------------------------------------------------
+// Comparison helpers
+// ---------------------------------------------------------------------------
+
+void ExpectOutputEqual(const Output& ref, const Output& got, size_t index,
+                       const std::string& context) {
+  EXPECT_EQ(ref.ts, got.ts) << context << " output#" << index;
+  EXPECT_EQ(ref.seq, got.seq) << context << " output#" << index;
+  ASSERT_EQ(ref.group.has_value(), got.group.has_value())
+      << context << " output#" << index;
+  if (ref.group.has_value()) {
+    EXPECT_TRUE(ref.group->Equals(*got.group))
+        << context << " output#" << index << ": group "
+        << ref.group->ToString() << " vs " << got.group->ToString();
+  }
+  EXPECT_TRUE(ref.value.Equals(got.value))
+      << context << " output#" << index << ": " << ref.value.ToString()
+      << " vs " << got.value.ToString();
+}
+
+void ExpectOutputsEqual(const std::vector<Output>& ref,
+                        const std::vector<Output>& got,
+                        const std::string& context) {
+  ASSERT_EQ(ref.size(), got.size()) << context;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ExpectOutputEqual(ref[i], got[i], i, context);
+  }
+}
+
+/// The merged stats must match the serial engine exactly — including the
+/// object-accounting peak, which the executor reconstructs from per-event
+/// timelines — except the batch counters (sharded workers drive engines
+/// per-event, so theirs stay zero by construction).
+void ExpectStatsEqual(const EngineStats& ref, const EngineStats& got,
+                      const std::string& context) {
+  EXPECT_EQ(ref.events_processed, got.events_processed) << context;
+  EXPECT_EQ(ref.outputs, got.outputs) << context;
+  EXPECT_EQ(ref.work_units, got.work_units) << context;
+  EXPECT_EQ(ref.dropped_events, got.dropped_events) << context;
+  EXPECT_EQ(ref.objects.peak(), got.objects.peak()) << context;
+  EXPECT_EQ(ref.objects.current(), got.objects.current()) << context;
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+struct StockCase {
+  Schema schema;
+  std::vector<Event> events;
+};
+
+std::unique_ptr<StockCase> MakeStock(uint64_t seed, size_t n,
+                                     size_t traders = 6) {
+  auto c = std::make_unique<StockCase>();
+  StockStreamOptions options;
+  options.seed = seed;
+  options.num_events = n;
+  options.max_gap_ms = 8;
+  options.num_traders = traders;
+  c->events = GenerateStockStream(options, &c->schema);
+  AssignSeqNums(&c->events);
+  return c;
+}
+
+exec::EngineFactory AseqFactory(const CompiledQuery& cq) {
+  return [&cq] { return CreateAseqEngine(cq); };
+}
+
+/// Serial per-event reference, then one sharded policy per (shards, batch)
+/// combination; every run must match the reference byte-for-byte.
+void CheckSharded(const CompiledQuery& cq, const std::vector<Event>& events,
+                  const std::string& label) {
+  auto ref_result = CreateAseqEngine(cq);
+  ASSERT_TRUE(ref_result.ok()) << label << ": " << ref_result.status().ToString();
+  std::unique_ptr<QueryEngine> ref_engine = std::move(ref_result).value();
+  RunResult ref = Runtime::RunEvents(events, ref_engine.get());
+  ASSERT_GT(ref.outputs.size(), 0u) << label << ": vacuous workload";
+
+  for (size_t shards : kShardCounts) {
+    for (size_t batch_size : kBatchSizes) {
+      const std::string context = label + " @shards=" +
+                                  std::to_string(shards) +
+                                  " batch=" + std::to_string(batch_size);
+      RunOptions options;
+      options.num_shards = shards;
+      options.batch_size = batch_size;
+      std::string reason;
+      auto policy = exec::MakePolicy(cq, AseqFactory(cq), options, &reason);
+      ASSERT_TRUE(policy.ok()) << context << ": "
+                               << policy.status().ToString();
+      ASSERT_TRUE(reason.empty()) << context << ": unexpected fallback — "
+                                  << reason;
+      ASSERT_EQ((*policy)->num_shards(), shards) << context;
+      RunResult got = (*policy)->RunEvents(events);
+      EXPECT_EQ(got.num_shards, shards) << context;
+      ExpectOutputsEqual(ref.outputs, got.outputs, context);
+      ExpectStatsEqual(ref_engine->stats(), (*policy)->stats(), context);
+
+      // The per-shard breakdown must sum back to the merged bulk view.
+      uint64_t shard_events = 0;
+      for (const EngineStats& s : (*policy)->shard_stats()) {
+        shard_events += s.events_processed;
+      }
+      EXPECT_EQ(shard_events, (*policy)->stats().events_processed) << context;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shardable query shapes
+// ---------------------------------------------------------------------------
+
+TEST(ShardEquivalenceTest, GroupedCountWindowed) {
+  auto c = MakeStock(121, 4000);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms");
+  CheckSharded(cq, c->events, "grouped-count-windowed");
+}
+
+TEST(ShardEquivalenceTest, GroupedCountUnbounded) {
+  auto c = MakeStock(122, 2500);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT");
+  CheckSharded(cq, c->events, "grouped-count-unbounded");
+}
+
+TEST(ShardEquivalenceTest, GroupedCountLongerPattern) {
+  auto c = MakeStock(123, 4000);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX, AMAT) GROUP BY traderId AGG COUNT "
+      "WITHIN 1s");
+  CheckSharded(cq, c->events, "grouped-count-3step");
+}
+
+TEST(ShardEquivalenceTest, GroupedNegation) {
+  auto c = MakeStock(124, 4000);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, !QQQ, AMAT) GROUP BY traderId AGG COUNT "
+      "WITHIN 800ms");
+  CheckSharded(cq, c->events, "grouped-negation");
+}
+
+TEST(ShardEquivalenceTest, GroupedSumSinglePart) {
+  // SUM shards when the GROUP BY key is the only partition part: each
+  // group's running sum lives on exactly one shard, so float accumulation
+  // order is untouched.
+  auto c = MakeStock(125, 4000);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG SUM(IPIX.volume) "
+      "WITHIN 800ms");
+  CheckSharded(cq, c->events, "grouped-sum");
+}
+
+TEST(ShardEquivalenceTest, GroupedAvgSinglePart) {
+  auto c = MakeStock(126, 4000);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG AVG(IPIX.price) "
+      "WITHIN 800ms");
+  CheckSharded(cq, c->events, "grouped-avg");
+}
+
+TEST(ShardEquivalenceTest, GroupedMaxMultiPart) {
+  // GROUP BY + an equivalence class makes a multi-part key; MAX is
+  // order-insensitive, so the cross-partition merge still shards.
+  auto c = MakeStock(127, 4000);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) WHERE DELL.volume = IPIX.volume "
+      "GROUP BY traderId AGG MAX(IPIX.price) WITHIN 800ms");
+  CheckSharded(cq, c->events, "grouped-max-multipart");
+}
+
+TEST(ShardEquivalenceTest, ManyGroupsFewShards) {
+  auto c = MakeStock(128, 6000, /*traders=*/40);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 600ms");
+  CheckSharded(cq, c->events, "many-groups");
+}
+
+TEST(ShardEquivalenceTest, MoreShardsThanGroups) {
+  // Shard counts above the group cardinality leave some shards idle; the
+  // merge must still be exact.
+  auto c = MakeStock(129, 2500, /*traders=*/2);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms");
+  CheckSharded(cq, c->events, "more-shards-than-groups");
+}
+
+// ---------------------------------------------------------------------------
+// Fallback matrix — requesting shards must never change the answer; it
+// either shards exactly or runs serially with a reason.
+// ---------------------------------------------------------------------------
+
+/// Requests `shards` shards and expects a serial fallback whose reason
+/// contains `reason_substr`; the run must still match the reference.
+void CheckFallback(const CompiledQuery& cq, const exec::EngineFactory& factory,
+                   const std::vector<Event>& events,
+                   const std::string& reason_substr,
+                   const std::string& label) {
+  auto ref_result = factory();
+  ASSERT_TRUE(ref_result.ok()) << label;
+  std::unique_ptr<QueryEngine> ref_engine = std::move(ref_result).value();
+  RunResult ref = Runtime::RunEvents(events, ref_engine.get());
+
+  RunOptions options;
+  options.num_shards = 4;
+  std::string reason;
+  auto policy = exec::MakePolicy(cq, factory, options, &reason);
+  ASSERT_TRUE(policy.ok()) << label << ": " << policy.status().ToString();
+  EXPECT_EQ((*policy)->num_shards(), 1u) << label;
+  EXPECT_NE(reason.find(reason_substr), std::string::npos)
+      << label << ": reason was '" << reason << "', expected it to mention '"
+      << reason_substr << "'";
+  RunResult got = (*policy)->RunEvents(events);
+  EXPECT_EQ(got.num_shards, 1u) << label;
+  ExpectOutputsEqual(ref.outputs, got.outputs, label);
+}
+
+TEST(ShardFallbackTest, UngroupedQuery) {
+  auto c = MakeStock(131, 1500);
+  CompiledQuery cq = MustCompile(
+      &c->schema, "PATTERN SEQ(DELL, IPIX) AGG COUNT WITHIN 800ms");
+  CheckFallback(cq, AseqFactory(cq), c->events, "no GROUP BY", "ungrouped");
+}
+
+TEST(ShardFallbackTest, EquivalenceOnlyPartitioning) {
+  // Partitioned, but per-partition results are summed into one global
+  // answer — merging them would need every partition on one shard.
+  auto c = MakeStock(132, 1500);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) WHERE DELL.traderId = IPIX.traderId "
+      "AGG COUNT WITHIN 800ms");
+  CheckFallback(cq, AseqFactory(cq), c->events, "equivalence only",
+                "equivalence-only");
+}
+
+TEST(ShardFallbackTest, SumAcrossMultiPartKey) {
+  // SUM over a multi-part key merges a group's partitions in hash-map
+  // iteration order; splitting them across shards would reorder float
+  // accumulation. Must fall back.
+  auto c = MakeStock(133, 1500);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) WHERE DELL.volume = IPIX.volume "
+      "GROUP BY traderId AGG SUM(IPIX.price) WITHIN 800ms");
+  CheckFallback(cq, AseqFactory(cq), c->events, "order", "sum-multipart");
+}
+
+TEST(ShardFallbackTest, JoinPredicates) {
+  auto c = MakeStock(134, 1500);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) WHERE DELL.price < IPIX.price "
+      "GROUP BY traderId AGG COUNT WITHIN 800ms");
+  CheckFallback(
+      cq, [&cq] { return Result<std::unique_ptr<QueryEngine>>(
+                      std::make_unique<StackEngine>(cq)); },
+      c->events, "join predicate", "join-predicates");
+}
+
+TEST(ShardFallbackTest, UnshardableEngine) {
+  // The query shards, but the stack baseline has no partitioned state.
+  auto c = MakeStock(135, 1500);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms");
+  CheckFallback(
+      cq, [&cq] { return Result<std::unique_ptr<QueryEngine>>(
+                      std::make_unique<StackEngine>(cq)); },
+      c->events, "does not support sharding", "stack-engine");
+}
+
+TEST(ShardFallbackTest, PlanShardingReportsShardable) {
+  Schema schema;
+  CompiledQuery cq = MustCompile(
+      &schema,
+      "PATTERN SEQ(A, B) GROUP BY ip AGG COUNT WITHIN 10s");
+  exec::ShardPlan plan = exec::PlanSharding(cq);
+  EXPECT_TRUE(plan.shardable) << plan.reason;
+  EXPECT_TRUE(plan.reason.empty());
+}
+
+}  // namespace
+}  // namespace aseq

@@ -1,0 +1,245 @@
+// Sharded crash recovery: a sharded run that checkpoints periodically,
+// dies, and is restored into a *freshly built* sharded policy must replay
+// the trace tail to outputs and merged stats byte-identical to both the
+// uninterrupted serial run and the uninterrupted sharded run. The
+// multi-shard snapshot container must also reject mismatched shard counts
+// and non-sharded snapshots up front.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aseq/aseq_engine.h"
+#include "ckpt/snapshot.h"
+#include "engine/runtime.h"
+#include "exec/execution_policy.h"
+#include "query/analyzer.h"
+#include "stream/stock_stream.h"
+#include "tests/test_util.h"
+
+namespace aseq {
+namespace {
+
+using testing_util::MustCompile;
+
+constexpr size_t kShards = 3;
+constexpr size_t kBatchSize = 64;
+constexpr size_t kCheckpointEvery = 500;
+
+void ExpectOutputsEqual(const std::vector<Output>& ref,
+                        const std::vector<Output>& got,
+                        const std::string& context) {
+  ASSERT_EQ(ref.size(), got.size()) << context;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].ts, got[i].ts) << context << " output#" << i;
+    EXPECT_EQ(ref[i].seq, got[i].seq) << context << " output#" << i;
+    ASSERT_EQ(ref[i].group.has_value(), got[i].group.has_value())
+        << context << " output#" << i;
+    if (ref[i].group.has_value()) {
+      EXPECT_TRUE(ref[i].group->Equals(*got[i].group))
+          << context << " output#" << i;
+    }
+    EXPECT_TRUE(ref[i].value.Equals(got[i].value))
+        << context << " output#" << i << ": " << ref[i].value.ToString()
+        << " vs " << got[i].value.ToString();
+  }
+}
+
+void ExpectStatsEqual(const EngineStats& ref, const EngineStats& got,
+                      const std::string& context) {
+  EXPECT_EQ(ref.events_processed, got.events_processed) << context;
+  EXPECT_EQ(ref.outputs, got.outputs) << context;
+  EXPECT_EQ(ref.work_units, got.work_units) << context;
+  EXPECT_EQ(ref.objects.peak(), got.objects.peak()) << context;
+  EXPECT_EQ(ref.objects.current(), got.objects.current()) << context;
+}
+
+struct StockCase {
+  Schema schema;
+  std::vector<Event> events;
+};
+
+std::unique_ptr<StockCase> MakeStock(uint64_t seed, size_t n) {
+  auto c = std::make_unique<StockCase>();
+  StockStreamOptions options;
+  options.seed = seed;
+  options.num_events = n;
+  options.max_gap_ms = 8;
+  options.num_traders = 6;
+  c->events = GenerateStockStream(options, &c->schema);
+  AssignSeqNums(&c->events);
+  return c;
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::unique_ptr<exec::ExecutionPolicy> MustMakeSharded(
+    const CompiledQuery& cq, const RunOptions& options) {
+  std::string reason;
+  auto policy = exec::MakePolicy(
+      cq, [&cq] { return CreateAseqEngine(cq); }, options, &reason);
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+  EXPECT_TRUE(reason.empty()) << reason;
+  EXPECT_EQ((*policy)->num_shards(), options.num_shards);
+  return std::move(policy).value();
+}
+
+/// The full kill/restore matrix over one query: run sharded with periodic
+/// checkpoints, then for every snapshot written, restore a fresh sharded
+/// policy from it, replay the tail, and require (prefix + tail) outputs
+/// and final merged stats to equal the uninterrupted serial reference.
+void CheckShardedRecovery(const std::string& query_text,
+                          const std::string& label) {
+  auto c = MakeStock(321, 3000);
+  CompiledQuery cq = MustCompile(&c->schema, query_text);
+
+  // Serial uninterrupted reference.
+  auto ref_engine_or = CreateAseqEngine(cq);
+  ASSERT_TRUE(ref_engine_or.ok());
+  std::unique_ptr<QueryEngine> ref_engine = std::move(ref_engine_or).value();
+  RunResult ref = Runtime::RunEvents(c->events, ref_engine.get());
+  ASSERT_GT(ref.outputs.size(), 0u) << label << ": vacuous workload";
+
+  // Sharded run with periodic checkpoints.
+  const std::string dir = FreshDir("shard-recovery-" + label);
+  RunOptions options;
+  options.num_shards = kShards;
+  options.batch_size = kBatchSize;
+  options.checkpoint_every = kCheckpointEvery;
+  options.checkpoint_dir = dir;
+  auto full = MustMakeSharded(cq, options);
+  RunResult full_run = full->RunEvents(c->events);
+  ASSERT_TRUE(full_run.checkpoint_status.ok())
+      << full_run.checkpoint_status.ToString();
+  ASSERT_GT(full_run.checkpoints_written, 2u) << label;
+  ExpectOutputsEqual(ref.outputs, full_run.outputs, label + " full-sharded");
+
+  std::vector<std::string> snapshots;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    snapshots.push_back(entry.path().string());
+  }
+  std::sort(snapshots.begin(), snapshots.end());
+  ASSERT_EQ(snapshots.size(), full_run.checkpoints_written) << label;
+
+  for (const std::string& snapshot : snapshots) {
+    const std::string context = label + " restore@" + snapshot;
+    RunOptions tail_options;
+    tail_options.num_shards = kShards;
+    tail_options.batch_size = kBatchSize;
+    auto resumed = MustMakeSharded(cq, tail_options);
+    uint64_t offset = 0;
+    Status restored = resumed->Restore(snapshot, &offset);
+    ASSERT_TRUE(restored.ok()) << context << ": " << restored.ToString();
+    ASSERT_LE(offset, c->events.size()) << context;
+
+    std::vector<Event> tail(c->events.begin() + static_cast<ptrdiff_t>(offset),
+                            c->events.end());
+    RunResult tail_run = resumed->RunEvents(tail);
+
+    // Prefix outputs (everything with seq < offset) + tail outputs must be
+    // exactly the uninterrupted output sequence.
+    std::vector<Output> combined;
+    for (const Output& o : ref.outputs) {
+      if (o.seq < offset) combined.push_back(o);
+    }
+    const size_t prefix_count = combined.size();
+    combined.insert(combined.end(), tail_run.outputs.begin(),
+                    tail_run.outputs.end());
+    // The final snapshot may land exactly at end-of-stream — its tail is
+    // legitimately empty; mid-stream snapshots must produce tail outputs.
+    if (offset < c->events.size()) {
+      EXPECT_GT(tail_run.outputs.size(), 0u) << context;
+    }
+    EXPECT_GT(prefix_count, 0u) << context;
+    ExpectOutputsEqual(ref.outputs, combined, context);
+    ExpectStatsEqual(ref_engine->stats(), resumed->stats(), context);
+  }
+}
+
+TEST(ShardRecoveryTest, GroupedCount) {
+  CheckShardedRecovery(
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms",
+      "count");
+}
+
+TEST(ShardRecoveryTest, GroupedSum) {
+  CheckShardedRecovery(
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG SUM(IPIX.volume) "
+      "WITHIN 800ms",
+      "sum");
+}
+
+TEST(ShardRecoveryTest, GroupedNegation) {
+  CheckShardedRecovery(
+      "PATTERN SEQ(DELL, !QQQ, AMAT) GROUP BY traderId AGG COUNT "
+      "WITHIN 800ms",
+      "negation");
+}
+
+// ---------------------------------------------------------------------------
+// Container validation
+// ---------------------------------------------------------------------------
+
+TEST(ShardRecoveryTest, ShardCountMismatchRejected) {
+  auto c = MakeStock(322, 1500);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms");
+  const std::string dir = FreshDir("shard-recovery-mismatch");
+  RunOptions options;
+  options.num_shards = kShards;
+  options.batch_size = kBatchSize;
+  options.checkpoint_every = 700;
+  options.checkpoint_dir = dir;
+  auto policy = MustMakeSharded(cq, options);
+  RunResult run = policy->RunEvents(c->events);
+  ASSERT_GT(run.checkpoints_written, 0u);
+  const std::string snapshot =
+      ckpt::SnapshotPathForOffset(dir, run.last_checkpoint_offset);
+
+  RunOptions other;
+  other.num_shards = kShards + 1;
+  auto resumed = MustMakeSharded(cq, other);
+  uint64_t offset = 0;
+  Status restored = resumed->Restore(snapshot, &offset);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.ToString().find("rerun with --shards"),
+            std::string::npos)
+      << restored.ToString();
+}
+
+TEST(ShardRecoveryTest, SerialSnapshotRejectedBySharded) {
+  auto c = MakeStock(323, 1500);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms");
+  auto engine_or = CreateAseqEngine(cq);
+  ASSERT_TRUE(engine_or.ok());
+  std::unique_ptr<QueryEngine> engine = std::move(engine_or).value();
+  Runtime::RunEvents(c->events, engine.get());
+  const std::string path =
+      ::testing::TempDir() + "/shard-recovery-serial.aseqckpt";
+  ASSERT_TRUE(ckpt::SaveEngineSnapshot(path, *engine, c->events.size()).ok());
+
+  RunOptions options;
+  options.num_shards = kShards;
+  auto resumed = MustMakeSharded(cq, options);
+  uint64_t offset = 0;
+  Status restored = resumed->Restore(path, &offset);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.ToString().find("Sharded["), std::string::npos)
+      << restored.ToString();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aseq
