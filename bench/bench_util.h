@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -124,6 +125,86 @@ inline void RunMultiAndReport(benchmark::State& state,
       benchmark::Counter(static_cast<double>(engine->stats().objects.peak()));
   state.counters["batch_size"] =
       benchmark::Counter(static_cast<double>(batch_size));
+}
+
+// ---- Noise control: warm-up passes + median-of-N reporting. -------------
+//
+// Engines are stateful, so repetitions must not re-feed a stream into the
+// engine that already consumed it (windowed state would never expire and
+// the second pass would measure different work). RunStable therefore
+// builds a *fresh* engine per pass via a caller factory, discards warm-up
+// passes (page-cache, allocator, and branch-predictor warming), and hands
+// back every timed pass so callers can report the median — the estimator
+// that before/after comparisons (BENCH_partition_store.json) rely on,
+// since it shrugs off the occasional descheduled pass that poisons a mean.
+
+/// Median of `samples` (middle pair averaged for even counts).
+inline double Median(std::vector<double> samples) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  return n % 2 == 1 ? samples[n / 2]
+                    : (samples[n / 2 - 1] + samples[n / 2]) / 2;
+}
+
+/// One multi-pass measurement: per-pass engine seconds plus the final
+/// pass's engine-side stats.
+struct StableRun {
+  std::vector<double> seconds;  // timed passes only (warm-ups discarded)
+  uint64_t events_per_pass = 0;
+  uint64_t outputs = 0;        // last pass
+  int64_t peak_objects = 0;    // last pass
+  uint64_t ht_probes = 0;      // last pass (flat-store diagnostics)
+  uint64_t ht_probe_steps = 0;
+  uint64_t ht_slots = 0;
+  uint64_t ht_entries = 0;
+
+  double MedianSeconds() const {
+    return Median(std::vector<double>(seconds));
+  }
+  double MedianMsPerSlide() const {
+    return events_per_pass == 0 ? 0
+                                : MedianSeconds() * 1e3 /
+                                      static_cast<double>(events_per_pass);
+  }
+  double MedianEventsPerSec() const {
+    const double s = MedianSeconds();
+    return s == 0 ? 0 : static_cast<double>(events_per_pass) / s;
+  }
+};
+
+/// Feeds `events` through `warmup + reps` freshly built engines (one per
+/// pass, from `make_engine`) and times the `reps` post-warm-up passes.
+/// The stream is staged into a VectorSource once, so each timed pass
+/// borrows batches straight out of the source's storage
+/// (StreamSource::BorrowBatch) — the run loop never copies an event.
+template <typename MakeEngine>
+inline StableRun RunStable(const std::vector<Event>& events,
+                           MakeEngine&& make_engine, size_t batch_size,
+                           int warmup, int reps) {
+  BatchRunner& runner = SharedRunner();
+  RunOptions options;
+  options.collect_outputs = false;
+  options.batch_size = batch_size;
+  runner.set_options(options);
+  VectorSource source(events);
+  StableRun out;
+  for (int pass = 0; pass < warmup + reps; ++pass) {
+    auto engine = make_engine();
+    source.Reset();
+    RunResult result = runner.Run(&source, engine.get());
+    if (pass < warmup) continue;
+    out.seconds.push_back(result.elapsed_seconds);
+    out.events_per_pass = result.events;
+    const EngineStats& stats = engine->stats();
+    out.outputs = stats.outputs;
+    out.peak_objects = stats.objects.peak();
+    out.ht_probes = stats.ht_probes;
+    out.ht_probe_steps = stats.ht_probe_steps;
+    out.ht_slots = stats.ht_slots;
+    out.ht_entries = stats.ht_entries;
+  }
+  return out;
 }
 
 /// Prints the figure banner once per binary.

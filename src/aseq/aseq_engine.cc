@@ -1,5 +1,6 @@
 #include "aseq/aseq_engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <memory>
@@ -128,9 +129,18 @@ HpcEngine::HpcEngine(CompiledQuery query)
       carrier_pos1_(query_.agg_positive_pos() >= 0
                         ? static_cast<size_t>(query_.agg_positive_pos()) + 1
                         : 0),
+      num_parts_(query_.partition_spec().parts.size()),
+      full_mask_((uint64_t{1} << num_parts_) - 1),
+      per_group_(query_.partition_spec().per_group_output),
+      group_part_(query_.partition_spec().group_part >= 0
+                      ? static_cast<size_t>(query_.partition_spec().group_part)
+                      : 0),
+      single_part_(num_parts_ == 1),
       role_table_(BuildRoleTable(query_)) {
   assert(query_.partitioned());
   assert(!query_.has_join_predicates());
+  assert(num_parts_ <= container::kMaxKeyParts &&
+         "CreateAseqEngine rejects wider keys");
 }
 
 HpcEngine::RoleProbe& HpcEngine::NextProbe() {
@@ -138,9 +148,66 @@ HpcEngine::RoleProbe& HpcEngine::NextProbe() {
   return probes_[probes_used_++];
 }
 
+bool HpcEngine::ExtractKey(const Event& e, size_t elem_index,
+                           RoleProbe* probe) {
+  uint64_t mask = 0;
+  const auto& parts = query_.partition_spec().parts;
+  for (size_t p = 0; p < num_parts_; ++p) {
+    const PartitionSpec::Part& part = parts[p];
+    const bool covers = elem_index < part.covers_elem.size() &&
+                        part.covers_elem[elem_index];
+    if (!covers) {
+      // Key slot stays kNoId: matches any partition.
+      probe->part_vals[p] = nullptr;
+      continue;
+    }
+    const Value* v = e.FindAttr(part.attr);
+    if (v == nullptr || v->is_null()) return false;
+    const uint64_t vh = ValueHash{}(*v);
+    probe->part_vals[p] = v;
+    probe->part_hashes[p] = vh;
+    interner_.PrefetchSlot(vh);
+    mask |= uint64_t{1} << p;
+  }
+  probe->covered_mask = mask;
+  return true;
+}
+
+void HpcEngine::InternKey(RoleProbe* probe) {
+  const bool negated = probe->kind == RoleProbe::Kind::kNegated;
+  probe->key = container::InternedKey();
+  for (size_t p = 0; p < num_parts_; ++p) {
+    const Value* v = probe->part_vals[p];
+    if (v == nullptr) continue;
+    probe->key.ids[p] = negated
+                            ? interner_.LookupHashed(probe->part_hashes[p], *v)
+                            : interner_.InternHashed(probe->part_hashes[p], *v);
+  }
+  if (negated && !probe->fully_covered) return;  // scans; nothing to target
+  probe->hash = container::InternedKeyHash{}(probe->key);
+  if (single_part_) {
+    const uint32_t idx = DenseIdx(probe->key.ids[0]);
+    if (idx < slot_by_id_.size()) {
+      __builtin_prefetch(&slot_by_id_[idx], /*rw=*/0, /*locality=*/3);
+    }
+  } else {
+    index_.PrefetchSlot(probe->hash);
+  }
+  if (per_group_ && count_fast_path()) {
+    // The COUNT fast path folds counter deltas into group_counts_; warm
+    // that cell too while the batch pipeline has distance to spare.
+    const uint32_t idx = DenseIdx(probe->key.ids[group_part_]);
+    if (idx < group_counts_.size()) {
+      __builtin_prefetch(&group_counts_[idx], /*rw=*/1, /*locality=*/3);
+    }
+  }
+}
+
 void HpcEngine::StageBatch(std::span<const Event> batch) {
   probes_used_ = 0;
   plans_.clear();
+  // Pass 1: qualify, extract attribute values, hash them, and prefetch
+  // the interner slots they will probe.
   for (const Event& e : batch) {
     EventPlan plan;
     plan.first_probe = probes_used_;
@@ -150,51 +217,43 @@ void HpcEngine::StageBatch(std::span<const Event> batch) {
         if (!query_.QualifiesFor(e, role.elem_index)) continue;
         RoleProbe& probe = NextProbe();
         probe.role = &role;
-        if (role.negated) {
-          if (!query_.PartitionKeyFor(e, role.elem_index, &probe.key,
-                                      &probe.covered)) {
-            --probes_used_;  // missing partition attribute: ignored
-            continue;
-          }
-          probe.kind = RoleProbe::Kind::kNegated;
-          probe.fully_covered = true;
-          for (bool c : probe.covered) {
-            probe.fully_covered = probe.fully_covered && c;
-          }
-          probe.hash =
-              probe.fully_covered ? PartitionKeyHash{}(probe.key) : 0;
-        } else {
-          // Positive role: the key always fully covers positive elements.
-          if (!query_.PartitionKeyFor(e, role.elem_index, &probe.key)) {
-            --probes_used_;
-            continue;
-          }
-          probe.kind = RoleProbe::Kind::kPositive;
-          probe.fully_covered = true;
-          probe.hash = PartitionKeyHash{}(probe.key);
+        probe.kind = role.negated ? RoleProbe::Kind::kNegated
+                                  : RoleProbe::Kind::kPositive;
+        if (!ExtractKey(e, role.elem_index, &probe)) {
+          --probes_used_;  // missing partition attribute: ignored
+          continue;
         }
+        // Positive keys always fully cover positive elements.
+        probe.fully_covered =
+            role.negated ? probe.covered_mask == full_mask_ : true;
+        probe.hash = 0;
       }
     }
     plan.num_probes = probes_used_ - plan.first_probe;
     plans_.push_back(plan);
   }
+  // Pass 2: intern against the now-warm interner lines — in probe order,
+  // so id assignment stays a pure function of the event stream — and
+  // prefetch the partition-index slots ExecuteEvent will probe.
+  for (size_t i = 0; i < probes_used_; ++i) {
+    InternKey(&probes_[i]);
+  }
 }
 
 void HpcEngine::PrefetchPartitions() const {
-  const size_t buckets = partitions_.bucket_count();
-  if (buckets == 0) return;
   for (size_t i = 0; i < probes_used_; ++i) {
     const RoleProbe& probe = probes_[i];
     // Partial-coverage negation scans every partition; nothing to target.
     if (probe.kind == RoleProbe::Kind::kNegated && !probe.fully_covered) {
       continue;
     }
-    const size_t bucket = probe.hash % buckets;
-    auto it = partitions_.cbegin(bucket);
-    if (it != partitions_.cend(bucket)) {
-      // Pull the bucket's first node into cache without dereferencing it;
-      // the probe in ExecuteEvent then hits warm lines (DRAMHiT-style).
-      __builtin_prefetch(std::addressof(*it), /*rw=*/0, /*locality=*/3);
+    // The index lines are warm from staging; resolve the slot now and
+    // pull the slab partition itself into cache (DRAMHiT-style). The
+    // result is deliberately discarded: executing earlier batch events
+    // can create or erase partitions, so a cached slot could go stale.
+    const uint32_t slot = LookupSlot(probe.hash, probe.key);
+    if (slot != kNoSlot) {
+      __builtin_prefetch(&slab_.at(slot), /*rw=*/0, /*locality=*/3);
     }
   }
 }
@@ -203,7 +262,7 @@ void HpcEngine::ExecuteEvent(const Event& e, const EventPlan& plan,
                              std::vector<Output>* out) {
   ++stats_.events_processed;
   bool trigger = false;
-  const PartitionKey* trigger_key = nullptr;
+  container::InternedKey trigger_key;
 
   for (size_t i = plan.first_probe; i < plan.first_probe + plan.num_probes;
        ++i) {
@@ -211,28 +270,33 @@ void HpcEngine::ExecuteEvent(const Event& e, const EventPlan& plan,
     const Role& role = *probe.role;
     if (probe.kind == RoleProbe::Kind::kNegated) {
       if (probe.fully_covered) {
-        auto it = partitions_.find(HashedPartitionKeyRef{&probe.key,
-                                                         probe.hash});
-        if (it != partitions_.end()) {
-          MutatePartition(it, [&] {
-            it->second.Purge(e.ts());
-            it->second.ResetPrefix(role.position);
+        const uint32_t slot = LookupSlot(probe.hash, probe.key);
+        if (slot != kNoSlot) {
+          Partition& part = slab_.at(slot);
+          MutatePartition(part, [&] {
+            part.counters.Purge(e.ts());
+            part.counters.ResetPrefix(role.position);
           });
         }
       } else {
-        // Invalidate every partition matching on the covering parts.
-        for (auto it = partitions_.begin(); it != partitions_.end(); ++it) {
+        // Invalidate every partition matching on the covering parts —
+        // slab slot order, like every observable sweep. An id compare is
+        // exactly a Value::Equals compare (the interner is
+        // Equals-consistent), and an unseen value staged as kNoId matches
+        // no live partition.
+        for (uint32_t s = 0; s < slab_.end(); ++s) {
+          if (!slab_.live(s)) continue;
+          Partition& part = slab_.at(s);
           bool match = true;
-          for (size_t p = 0; p < probe.covered.size() && match; ++p) {
-            if (probe.covered[p] &&
-                !it->first.parts[p].Equals(probe.key.parts[p])) {
-              match = false;
+          for (size_t p = 0; p < num_parts_ && match; ++p) {
+            if ((probe.covered_mask >> p) & 1) {
+              match = part.key.ids[p] == probe.key.ids[p];
             }
           }
           if (match) {
-            MutatePartition(it, [&] {
-              it->second.Purge(e.ts());
-              it->second.ResetPrefix(role.position);
+            MutatePartition(part, [&] {
+              part.counters.Purge(e.ts());
+              part.counters.ResetPrefix(role.position);
             });
           }
         }
@@ -241,44 +305,47 @@ void HpcEngine::ExecuteEvent(const Event& e, const EventPlan& plan,
     }
     // Positive role.
     if (role.position == 1) {
-      auto it = partitions_.find(HashedPartitionKeyRef{&probe.key, probe.hash});
-      if (it == partitions_.end()) {
-        it = partitions_
-                 .try_emplace(std::move(probe.key), length_, query_.agg().func,
-                              carrier_pos1_, query_.window_ms(), &stats_)
-                 .first;
+      // Single-probe upsert: the index entry is created first (with a
+      // placeholder slot), then the partition is slab-allocated into it.
+      auto [slot_ref, inserted] = UpsertSlot(probe);
+      if (inserted) {
+        *slot_ref = slab_.Emplace(probe.key, probe.hash, length_,
+                                  query_.agg().func, carrier_pos1_,
+                                  query_.window_ms(), &stats_);
       }
-      MutatePartition(it, [&] { it->second.Purge(e.ts()); });
+      Partition& part = slab_.at(*slot_ref);
+      MutatePartition(part, [&] { part.counters.Purge(e.ts()); });
       // A start landing in an empty windowed partition establishes a new
       // earliest expiration; put it on the expiry heap.
       const bool was_empty =
-          it->second.windowed() && it->second.num_counters() == 0;
-      MutatePartition(it, [&] {
-        it->second.OnStart(e, role.position == carrier_pos1_
-                                  ? CarrierValue(query_, e)
-                                  : 0);
-      });
-      if (was_empty) EnqueueExpiry(it, probe.hash);
-      if (role.position == length_) {
-        trigger = true;
-        trigger_key = &it->first;  // node-stable under rehash
-      }
-    } else {
-      auto it = partitions_.find(HashedPartitionKeyRef{&probe.key, probe.hash});
-      if (it != partitions_.end()) {
-        MutatePartition(it, [&] {
-          it->second.Purge(e.ts());
-          it->second.ApplyUpdate(role.position,
-                                 role.position == carrier_pos1_
+          part.counters.windowed() && part.counters.num_counters() == 0;
+      MutatePartition(part, [&] {
+        part.counters.OnStart(e, role.position == carrier_pos1_
                                      ? CarrierValue(query_, e)
                                      : 0);
+      });
+      if (was_empty) EnqueueExpiry(part);
+      if (role.position == length_) {
+        trigger = true;
+        trigger_key = part.key;
+      }
+    } else {
+      const uint32_t found = LookupSlot(probe.hash, probe.key);
+      if (found != kNoSlot) {
+        Partition& part = slab_.at(found);
+        MutatePartition(part, [&] {
+          part.counters.Purge(e.ts());
+          part.counters.ApplyUpdate(role.position,
+                                    role.position == carrier_pos1_
+                                        ? CarrierValue(query_, e)
+                                        : 0);
         });
       }
       if (role.position == length_) {
         trigger = true;
         // Triggers fire even into an absent partition (the total is then
         // whatever the other live partitions hold).
-        trigger_key = &probe.key;
+        trigger_key = probe.key;
       }
     }
   }
@@ -287,31 +354,29 @@ void HpcEngine::ExecuteEvent(const Event& e, const EventPlan& plan,
     Output output;
     output.ts = e.ts();
     output.seq = e.seq();
-    const PartitionSpec& spec = query_.partition_spec();
     if (count_fast_path()) {
       // O(1) trigger: purge what is due, then read the running totals —
       // integer-exact, so identical to the full partition scan.
       AdvanceExpiry(e.ts());
       AggAccum acc;
-      if (spec.per_group_output) {
-        const Value& group = trigger_key->parts[spec.group_part];
-        output.group = group;
-        auto git = group_counts_.find(group);
-        acc.count = git == group_counts_.end()
-                        ? 0
-                        : static_cast<uint64_t>(git->second);
+      if (per_group_) {
+        const uint32_t gid = trigger_key.ids[group_part_];
+        output.group = interner_.ValueOf(gid);
+        const uint32_t idx = DenseIdx(gid);
+        acc.count = idx < group_counts_.size()
+                        ? static_cast<uint64_t>(group_counts_[idx])
+                        : 0;
       } else {
         acc.count = static_cast<uint64_t>(running_count_);
       }
       output.value = acc.Finalize(AggFunc::kCount);
-    } else if (spec.per_group_output) {
-      const Value& group = trigger_key->parts[spec.group_part];
-      output.group = group;
-      output.value =
-          ScanTotal(e.ts(), /*match_group=*/true, group)
-              .Finalize(query_.agg().func);
+    } else if (per_group_) {
+      const uint32_t gid = trigger_key.ids[group_part_];
+      output.group = interner_.ValueOf(gid);
+      output.value = ScanTotal(e.ts(), /*match_group=*/true, gid)
+                         .Finalize(query_.agg().func);
     } else {
-      output.value = ScanTotal(e.ts(), /*match_group=*/false, Value())
+      output.value = ScanTotal(e.ts(), /*match_group=*/false, 0)
                          .Finalize(query_.agg().func);
     }
     out->push_back(std::move(output));
@@ -322,6 +387,7 @@ void HpcEngine::ExecuteEvent(const Event& e, const EventPlan& plan,
 void HpcEngine::OnEvent(const Event& e, std::vector<Output>* out) {
   StageBatch(std::span<const Event>(&e, 1));
   ExecuteEvent(e, plans_[0], out);
+  UpdateHtStats();
 }
 
 void HpcEngine::OnBatch(std::span<const Event> batch,
@@ -333,25 +399,43 @@ void HpcEngine::OnBatch(std::span<const Event> batch,
     ExecuteEvent(batch[i], plans_[i], out);
   }
   stats_.NoteBatch(batch.size());
+  UpdateHtStats();
 }
 
-AggAccum HpcEngine::ScanTotal(Timestamp now, bool match_group,
-                              const Value& group) {
-  const PartitionSpec& spec = query_.partition_spec();
+void HpcEngine::UpdateHtStats() {
+  // The dense slot/group arrays are not hash tables; only the interner and
+  // the multi-part index probe.
+  stats_.ht_probes = index_.probes() + interner_.probes();
+  stats_.ht_probe_steps = index_.probe_steps() + interner_.probe_steps();
+  stats_.ht_slots = index_.capacity() + interner_.capacity();
+  stats_.ht_entries = index_.size() + interner_.size();
+}
+
+AggAccum HpcEngine::ScanTotal(Timestamp now, bool match_group, uint32_t gid) {
   AggAccum acc;
-  for (auto it = partitions_.begin(); it != partitions_.end();) {
-    MutatePartition(it, [&] { it->second.Purge(now); });
-    if (it->second.windowed() && it->second.num_counters() == 0) {
-      it = partitions_.erase(it);
+  // Slab slot order is the engine's observable iteration order: the
+  // floating-point merge order below (SUM/AVG) must survive
+  // checkpoint/restore byte-identically, and the checkpointed slab
+  // geometry guarantees exactly that.
+  for (uint32_t s = 0; s < slab_.end(); ++s) {
+    if (!slab_.live(s)) continue;
+    Partition& part = slab_.at(s);
+    MutatePartition(part, [&] { part.counters.Purge(now); });
+    if (part.counters.windowed() && part.counters.num_counters() == 0) {
+      ErasePartition(s);
       continue;
     }
-    if (!match_group ||
-        it->first.parts[spec.group_part].Equals(group)) {
-      acc.Merge(it->second.Total(), query_.agg().func);
+    if (!match_group || part.key.ids[group_part_] == gid) {
+      acc.Merge(part.counters.Total(), query_.agg().func);
     }
-    ++it;
   }
   return acc;
+}
+
+void HpcEngine::ErasePartition(uint32_t slot) {
+  Partition& part = slab_.at(slot);
+  EraseIndexEntry(part);
+  slab_.Free(slot);
 }
 
 void HpcEngine::SyncPurgeTo(Timestamp now) {
@@ -363,34 +447,35 @@ void HpcEngine::SyncPurgeTo(Timestamp now) {
   // Mirror ScanTotal's purge-and-erase sweep exactly, minus the
   // accumulation: the serial trigger purges *every* partition as it scans,
   // and erases the ones left empty.
-  for (auto it = partitions_.begin(); it != partitions_.end();) {
-    it->second.Purge(now);
-    if (it->second.windowed() && it->second.num_counters() == 0) {
-      it = partitions_.erase(it);
-    } else {
-      ++it;
+  for (uint32_t s = 0; s < slab_.end(); ++s) {
+    if (!slab_.live(s)) continue;
+    Partition& part = slab_.at(s);
+    part.counters.Purge(now);
+    if (part.counters.windowed() && part.counters.num_counters() == 0) {
+      ErasePartition(s);
     }
   }
 }
 
-void HpcEngine::EnqueueExpiry(PartitionMap::iterator it, size_t hash) {
+void HpcEngine::EnqueueExpiry(const Partition& part) {
   if (!count_fast_path()) return;  // triggers re-scan; no heap needed
-  const Timestamp exp = it->second.next_expiry();
+  const Timestamp exp = part.counters.next_expiry();
   if (exp == std::numeric_limits<Timestamp>::max()) return;
-  expiry_heap_.push(ExpiryEntry{exp, hash, it->first});
+  expiry_heap_.push(ExpiryEntry{exp, part.hash, part.key});
 }
 
 void HpcEngine::AdvanceExpiry(Timestamp now) {
   while (!expiry_heap_.empty() && expiry_heap_.top().exp <= now) {
     ExpiryEntry top = expiry_heap_.top();
     expiry_heap_.pop();
-    auto it = partitions_.find(HashedPartitionKeyRef{&top.key, top.hash});
-    if (it == partitions_.end()) continue;  // stale: already erased
-    MutatePartition(it, [&] { it->second.Purge(now); });
-    const Timestamp next = it->second.next_expiry();
+    const uint32_t slot = LookupSlot(top.hash, top.key);
+    if (slot == kNoSlot) continue;  // stale: already erased
+    Partition& part = slab_.at(slot);
+    MutatePartition(part, [&] { part.counters.Purge(now); });
+    const Timestamp next = part.counters.next_expiry();
     if (next == std::numeric_limits<Timestamp>::max()) {
-      if (it->second.windowed() && it->second.num_counters() == 0) {
-        partitions_.erase(it);
+      if (part.counters.windowed() && part.counters.num_counters() == 0) {
+        ErasePartition(slot);
       }
       continue;
     }
@@ -401,32 +486,37 @@ void HpcEngine::AdvanceExpiry(Timestamp now) {
 }
 
 std::vector<Output> HpcEngine::Poll(Timestamp now) {
-  const PartitionSpec& spec = query_.partition_spec();
   std::vector<Output> outputs;
-  if (!spec.per_group_output) {
+  if (!per_group_) {
     Output output;
     output.ts = now;
-    output.value = ScanTotal(now, /*match_group=*/false, Value())
+    output.value = ScanTotal(now, /*match_group=*/false, 0)
                        .Finalize(query_.agg().func);
     outputs.push_back(std::move(output));
     return outputs;
   }
-  // One output per live group.
-  std::unordered_map<Value, AggAccum, ValueHash> groups;
-  for (auto it = partitions_.begin(); it != partitions_.end();) {
-    MutatePartition(it, [&] { it->second.Purge(now); });
-    if (it->second.windowed() && it->second.num_counters() == 0) {
-      it = partitions_.erase(it);
+  // One output per live group, in first-seen slab-slot order — a pure
+  // function of engine state, so a restored engine polls byte-identically.
+  std::vector<std::pair<uint32_t, AggAccum>> groups;
+  container::FlatMap<uint32_t, uint32_t, container::IdHash> group_pos;
+  for (uint32_t s = 0; s < slab_.end(); ++s) {
+    if (!slab_.live(s)) continue;
+    Partition& part = slab_.at(s);
+    MutatePartition(part, [&] { part.counters.Purge(now); });
+    if (part.counters.windowed() && part.counters.num_counters() == 0) {
+      ErasePartition(s);
       continue;
     }
-    groups[it->first.parts[spec.group_part]].Merge(it->second.Total(),
-                                                   query_.agg().func);
-    ++it;
+    const uint32_t gid = part.key.ids[group_part_];
+    auto [pos, inserted] = group_pos.TryEmplaceHashed(
+        container::IdHash{}(gid), gid, static_cast<uint32_t>(groups.size()));
+    if (inserted) groups.emplace_back(gid, AggAccum());
+    groups[*pos].second.Merge(part.counters.Total(), query_.agg().func);
   }
-  for (const auto& [group, acc] : groups) {
+  for (const auto& [gid, acc] : groups) {
     Output output;
     output.ts = now;
-    output.group = group;
+    output.group = interner_.ValueOf(gid);
     output.value = acc.Finalize(query_.agg().func);
     outputs.push_back(std::move(output));
   }
@@ -435,75 +525,216 @@ std::vector<Output> HpcEngine::Poll(Timestamp now) {
 
 Status HpcEngine::Checkpoint(ckpt::Writer* writer) const {
   ckpt::WriteStats(writer, stats_);
-  // The bucket count pins the map's iteration order (see Restore), which
-  // floating-point aggregates observe through ScanTotal's merge order.
-  writer->WriteU64(partitions_.bucket_count());
-  writer->WriteU64(partitions_.size());
-  for (const auto& [key, counters] : partitions_) {
-    ckpt::WritePartitionKey(writer, key);
-    counters.Checkpoint(writer);
+  // Interner table, values in id order: restoring this sequence reproduces
+  // every id, so the stream suffix interns identically after a restore.
+  writer->WriteU64(interner_.size());
+  for (const Value& v : interner_.values()) ckpt::WriteValue(writer, v);
+  // Partition slab. The slab's slot order is the engine's observable
+  // iteration order, so its geometry is serialized exactly: the high-water
+  // mark, every live entry's slot index, and the freelist in stack order.
+  // Entries are written in canonical interned-id key order (not history-
+  // dependent slot order), so two logically identical states produce
+  // identical payload bytes.
+  writer->WriteU64(slab_.end());
+  writer->WriteU64(slab_.size());
+  std::vector<uint32_t> order;
+  order.reserve(slab_.size());
+  for (uint32_t s = 0; s < slab_.end(); ++s) {
+    if (slab_.live(s)) order.push_back(s);
   }
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return slab_.at(a).key.ids < slab_.at(b).key.ids;
+  });
+  for (uint32_t s : order) {
+    const Partition& part = slab_.at(s);
+    for (uint32_t id : part.key.ids) writer->WriteU32(id);
+    writer->WriteU32(s);
+    part.counters.Checkpoint(writer);
+  }
+  writer->WriteU64(slab_.freelist().size());
+  for (uint32_t s : slab_.freelist()) writer->WriteU32(s);
+  // (The FlatMap index is not serialized: its layout is unobservable and
+  // Restore rebuilds it from the slab.)
   writer->WriteI64(running_count_);
-  writer->WriteU64(group_counts_.size());
-  for (const auto& [group, count] : group_counts_) {
-    ckpt::WriteValue(writer, group);
+  // Nonzero group totals, ascending group id. Zero and absent are the same
+  // reading (see group_counts_), so nonzero-only is the canonical payload:
+  // two logically identical states serialize byte-identically no matter
+  // which groups ever held a count. (DenseIdx wraps kNoId to cell 0, and
+  // wraps back here — it sorts last, as the old map payload had it.)
+  std::vector<std::pair<uint32_t, int64_t>> groups;
+  for (uint32_t idx = 0; idx < group_counts_.size(); ++idx) {
+    if (group_counts_[idx] != 0) {
+      groups.emplace_back(idx - 1u, group_counts_[idx]);
+    }
+  }
+  std::sort(groups.begin(), groups.end());
+  writer->WriteU64(groups.size());
+  for (const auto& [gid, count] : groups) {
+    writer->WriteU32(gid);
     writer->WriteI64(count);
+  }
+  // Expiry heap, verbatim array order: the pop order of equal deadlines
+  // depends on the heap's internal layout, and AdvanceExpiry's
+  // purge-then-erase order feeds the slab freelist — observable through
+  // later slot assignment. Entries are plain id arrays now, so the exact
+  // heap is cheap to carry (see ckpt::HeapContainer).
+  const auto& heap = ckpt::HeapContainer(expiry_heap_);
+  writer->WriteU64(heap.size());
+  for (const ExpiryEntry& entry : heap) {
+    writer->WriteI64(entry.exp);
+    writer->WriteU64(entry.hash);
+    for (uint32_t id : entry.key.ids) writer->WriteU32(id);
   }
   return Status::OK();
 }
 
+namespace {
+
+/// A serialized interned id is either kNoId (uncovered slot) or a live id.
+bool ValidId(uint32_t id, uint32_t interner_size) {
+  return id == container::kNoId || id < interner_size;
+}
+
+}  // namespace
+
 Status HpcEngine::Restore(ckpt::Reader* reader) {
   EngineStats stats;
   ASEQ_RETURN_NOT_OK(ckpt::ReadStats(reader, &stats));
-  uint64_t bucket_count = 0;
-  uint64_t n_partitions = 0;
-  ASEQ_RETURN_NOT_OK(reader->ReadU64(&bucket_count, "partition buckets"));
-  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_partitions, 16, "partitions"));
-  std::vector<std::pair<PartitionKey, CounterSet>> parsed;
-  parsed.reserve(n_partitions);
-  for (uint64_t i = 0; i < n_partitions; ++i) {
-    PartitionKey key;
-    ASEQ_RETURN_NOT_OK(ckpt::ReadPartitionKey(reader, &key));
-    CounterSet counters(length_, query_.agg().func, carrier_pos1_,
-                        query_.window_ms(), &stats_);
-    ASEQ_RETURN_NOT_OK(counters.Restore(reader));
-    parsed.emplace_back(std::move(key), std::move(counters));
+  // Interner.
+  uint64_t n_values = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_values, 1, "interned values"));
+  std::vector<Value> values;
+  values.reserve(n_values);
+  for (uint64_t i = 0; i < n_values; ++i) {
+    Value v;
+    ASEQ_RETURN_NOT_OK(ckpt::ReadValue(reader, &v));
+    values.push_back(std::move(v));
   }
-  // Rebuild the map with the checkpointed bucket count, inserting in
-  // *reverse* serialized order: libstdc++ keeps a bucket's nodes adjacent
-  // and inserts at the bucket head, so this reproduces the source map's
-  // iteration order exactly — which ScanTotal's floating-point merge order
-  // (SUM/AVG) observes. COUNT/MIN/MAX would be order-insensitive, but
-  // byte-identical recovery must not depend on the aggregate.
-  partitions_.clear();
-  partitions_.rehash(bucket_count);
-  for (auto it = parsed.rbegin(); it != parsed.rend(); ++it) {
-    if (!partitions_.emplace(std::move(it->first), std::move(it->second))
-             .second) {
+  if (!interner_.RestoreFromValues(std::move(values))) {
+    return Status::ParseError(
+        "snapshot corrupt: duplicate value in interner table");
+  }
+  // Slab geometry: every slot below the high-water mark must come back
+  // either live (a partition entry names it) or on the freelist.
+  uint64_t slab_end = 0;
+  uint64_t n_partitions = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadU64(&slab_end, "partition slab end"));
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_partitions, 40, "partitions"));
+  if (slab_end > 0xFFFFFFFFull) {
+    return Status::ParseError("snapshot corrupt: partition slab end " +
+                              std::to_string(slab_end) +
+                              " exceeds the 32-bit slot space");
+  }
+  if (n_partitions > slab_end) {
+    return Status::ParseError(
+        "snapshot corrupt: more partitions than slab slots");
+  }
+  slab_.ResetGeometry(static_cast<uint32_t>(slab_end));
+  index_ = PartitionIndex();
+  if (single_part_) {
+    slot_by_id_.assign(interner_.size() + 1, kNoSlot);
+  } else {
+    index_.Reserve(n_partitions);
+  }
+  container::InternedKey prev_key;
+  for (uint64_t i = 0; i < n_partitions; ++i) {
+    container::InternedKey key;
+    for (size_t p = 0; p < container::kMaxKeyParts; ++p) {
+      ASEQ_RETURN_NOT_OK(reader->ReadU32(&key.ids[p], "partition key id"));
+      if (!ValidId(key.ids[p], interner_.size())) {
+        return Status::ParseError(
+            "snapshot corrupt: partition key id out of interner range");
+      }
+    }
+    // Canonical order doubles as the duplicate-key check.
+    if (i > 0 && !(prev_key.ids < key.ids)) {
       return Status::ParseError(
-          "snapshot corrupt: duplicate partition key in HPC payload");
+          "snapshot corrupt: partitions not in canonical interned-id order");
+    }
+    prev_key = key;
+    uint32_t slot = 0;
+    ASEQ_RETURN_NOT_OK(reader->ReadU32(&slot, "partition slot"));
+    if (slot >= slab_end || slab_.live(slot)) {
+      return Status::ParseError(
+          "snapshot corrupt: partition slot out of range or duplicated");
+    }
+    const uint64_t hash = container::InternedKeyHash{}(key);
+    Partition& part =
+        slab_.EmplaceAt(slot, key, hash, length_, query_.agg().func,
+                        carrier_pos1_, query_.window_ms(), &stats_);
+    ASEQ_RETURN_NOT_OK(part.counters.Restore(reader));
+    if (single_part_) {
+      slot_by_id_[DenseIdx(key.ids[0])] = slot;
+    } else {
+      index_.TryEmplaceHashed(hash, key, slot);
     }
   }
+  uint64_t n_free = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_free, 4, "slab freelist"));
+  if (n_partitions + n_free != slab_end) {
+    return Status::ParseError(
+        "snapshot corrupt: slab geometry mismatch (live " +
+        std::to_string(n_partitions) + " + free " + std::to_string(n_free) +
+        " != end " + std::to_string(slab_end) + ")");
+  }
+  std::vector<uint32_t> freelist;
+  freelist.reserve(n_free);
+  std::vector<uint8_t> freed(slab_end, 0);
+  for (uint64_t i = 0; i < n_free; ++i) {
+    uint32_t slot = 0;
+    ASEQ_RETURN_NOT_OK(reader->ReadU32(&slot, "freelist slot"));
+    if (slot >= slab_end || slab_.live(slot) || freed[slot]) {
+      return Status::ParseError(
+          "snapshot corrupt: freelist slot out of range, live, or "
+          "duplicated");
+    }
+    freed[slot] = 1;
+    freelist.push_back(slot);
+  }
+  slab_.RestoreFreelist(std::move(freelist));
   ASEQ_RETURN_NOT_OK(reader->ReadI64(&running_count_, "running count"));
   uint64_t n_groups = 0;
-  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_groups, 9, "group counts"));
-  group_counts_.clear();
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_groups, 12, "group counts"));
+  group_counts_.assign(interner_.size() + 1, 0);
+  uint32_t prev_gid = 0;
   for (uint64_t i = 0; i < n_groups; ++i) {
-    Value group;
+    uint32_t gid = 0;
     int64_t count = 0;
-    ASEQ_RETURN_NOT_OK(ckpt::ReadValue(reader, &group));
+    ASEQ_RETURN_NOT_OK(reader->ReadU32(&gid, "group id"));
     ASEQ_RETURN_NOT_OK(reader->ReadI64(&count, "group count"));
-    group_counts_[std::move(group)] = count;
+    if (gid >= interner_.size() || (i > 0 && gid <= prev_gid)) {
+      return Status::ParseError(
+          "snapshot corrupt: group id out of range or out of order");
+    }
+    prev_gid = gid;
+    group_counts_[DenseIdx(gid)] = count;
   }
-  // The expiry heap is rebuilt rather than serialized: one entry per live
-  // windowed partition at its next expiration. The original heap may have
-  // carried stale or duplicate entries, but those only ever trigger no-op
-  // purges, so the rebuilt heap is behaviorally identical.
+  // Expiry heap, verbatim: the array was a valid heap when written, so it
+  // is appended without re-heapify (ckpt::MutableHeapContainer) and pops
+  // replay in exactly the original order.
   expiry_heap_ = {};
-  for (auto it = partitions_.begin(); it != partitions_.end(); ++it) {
-    EnqueueExpiry(it, PartitionKeyHash{}(it->first));
+  uint64_t n_heap = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_heap, 48, "expiry heap"));
+  auto& heap = ckpt::MutableHeapContainer(expiry_heap_);
+  heap.reserve(n_heap);
+  for (uint64_t i = 0; i < n_heap; ++i) {
+    ExpiryEntry entry;
+    ASEQ_RETURN_NOT_OK(reader->ReadI64(&entry.exp, "expiry deadline"));
+    ASEQ_RETURN_NOT_OK(reader->ReadU64(&entry.hash, "expiry key hash"));
+    for (size_t p = 0; p < container::kMaxKeyParts; ++p) {
+      ASEQ_RETURN_NOT_OK(reader->ReadU32(&entry.key.ids[p], "expiry key id"));
+      if (!ValidId(entry.key.ids[p], interner_.size())) {
+        return Status::ParseError(
+            "snapshot corrupt: expiry key id out of interner range");
+      }
+    }
+    heap.push_back(std::move(entry));
   }
+  // Stats last: the structural rebuild above must not perturb the restored
+  // object accounting; the transient ht_* gauges refresh from the rebuilt
+  // tables.
   stats_ = stats;
+  UpdateHtStats();
   return Status::OK();
 }
 

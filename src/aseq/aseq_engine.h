@@ -6,11 +6,13 @@
 #include <queue>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "aseq/counter_set.h"
 #include "common/status.h"
+#include "container/flat_map.h"
+#include "container/key_interner.h"
+#include "container/slab_pool.h"
 #include "engine/engine.h"
 #include "query/compiled_query.h"
 
@@ -72,15 +74,31 @@ class AseqEngine : public QueryEngine {
 /// to their partition, negated instances invalidate the partitions matching
 /// on the key parts that constrain them.
 ///
-/// Execution is staged: StageBatch extracts and hashes every partition key
-/// of a batch up front, PrefetchPartitions issues DRAMHiT-style software
-/// prefetches for the partition-map buckets the batch will probe, and
+/// Execution is staged: StageBatch extracts and *interns* every partition
+/// key of a batch up front (each distinct key Value maps to a dense
+/// uint32_t id, so a staged key is a fixed-size id array — no Value copies
+/// or allocations), PrefetchPartitions issues DRAMHiT-style software
+/// prefetches for the flat-table slots the batch will probe, and
 /// ExecuteEvent replays the staged probes in arrival order. OnEvent stages
 /// a one-event batch through the same path, so both paths share one code
 /// path and stay exactly equivalent.
 ///
+/// State lives in the flat partition store (src/container/):
+///  - a SlabPool of Partition objects — the *iteration authority*: every
+///    observable sweep (ScanTotal's SUM/AVG merge order, Poll's per-group
+///    output order, partial-negation scans) walks ascending slot order,
+///    and checkpoints carry the exact slab geometry so restores reproduce
+///    it byte-for-byte;
+///  - a partition index with no ordering obligations, rebuilt fresh on
+///    restore: single-part keys (the common GROUP BY / single-equivalence
+///    case) use a dense direct-mapped slot array — interned ids index it
+///    outright, no hashing — and wider keys use an open-addressing FlatMap
+///    from InternedKey to slab slot;
+///  - a KeyInterner mapping distinct key Values to ids, append-only and
+///    serialized in id order.
+///
 /// HPC is the one engine that shards: each partition key owns disjoint
-/// state, so the executor can split the partition map across N twin
+/// state, so the executor can split the partition store across N twin
 /// instances by GROUP BY key. The only cross-partition coupling is window
 /// expiry at trigger time, which ShardableEngine::SyncPurgeTo replicates
 /// on the shards that do not own the trigger.
@@ -92,18 +110,21 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
   void OnBatch(std::span<const Event> batch, std::vector<Output>* out) override;
   std::vector<Output> Poll(Timestamp now) override;
   const EngineStats& stats() const override { return stats_; }
-  /// Serializes the partition map (bucket count + partitions in iteration
-  /// order), the running COUNT totals, and the stats. The expiry heap is
-  /// not serialized: Restore() rebuilds one entry per live windowed
-  /// partition, which is behaviorally equivalent (stale heap entries only
-  /// ever cause no-op purges).
+  /// Serializes the interner table (values in id order), the partition
+  /// slab — entries in canonical interned-id key order, each with its slot
+  /// index, plus the freelist and high-water mark, pinning the slab's
+  /// observable iteration order exactly — the running COUNT totals (group
+  /// counts sorted by group id), and the expiry heap verbatim in array
+  /// order (equal-deadline pops must replay identically after a restore;
+  /// see ckpt::HeapContainer). The FlatMap index is *not* serialized: its
+  /// layout is never observable, so Restore() rebuilds it fresh.
   Status Checkpoint(ckpt::Writer* writer) const override;
   Status Restore(ckpt::Reader* reader) override;
   std::string name() const override { return "A-Seq(HPC)"; }
 
   const CompiledQuery& query() const { return query_; }
 
-  size_t num_partitions() const { return partitions_.size(); }
+  size_t num_partitions() const { return slab_.size(); }
 
   /// ShardableEngine: replays the cross-partition purge a trigger at `now`
   /// performs — AdvanceExpiry on the COUNT fast path, ScanTotal's
@@ -115,12 +136,38 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
   EngineStats* mutable_stats() override { return &stats_; }
 
  private:
-  using PartitionMap = std::unordered_map<PartitionKey, CounterSet,
-                                          PartitionKeyHash, PartitionKeyEq>;
+  /// One partition: its interned key (plus the key's hash, pinned at
+  /// creation so erase/expiry paths never rehash) and its counter state.
+  /// Slab-allocated; the CounterSet's deque storage is the only per-
+  /// partition heap allocation left.
+  struct Partition {
+    container::InternedKey key;
+    uint64_t hash = 0;
+    CounterSet counters;
+
+    Partition(const container::InternedKey& k, uint64_t h, size_t length,
+              AggFunc func, size_t carrier_pos1, Timestamp window_ms,
+              EngineStats* stats)
+        : key(k),
+          hash(h),
+          counters(length, func, carrier_pos1, window_ms, stats) {}
+  };
+
+  using PartitionIndex =
+      container::FlatMap<container::InternedKey, uint32_t,
+                         container::InternedKeyHash>;
+
+  /// "No partition" sentinel in the dense slot index.
+  static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  /// Dense-index position for an interned id. Ids map to id+1 and the
+  /// kNoId sentinel wraps to 0, so wildcard keys (a key part no spec part
+  /// covers) get a reserved bucket instead of an out-of-range access.
+  static constexpr uint32_t DenseIdx(uint32_t id) { return id + 1u; }
 
   /// One qualifying role of one batch event, with its partition key
-  /// extracted and pre-hashed. Probe slots are pooled (grow-only) so key
-  /// vectors keep their capacity across batches.
+  /// interned and pre-hashed. Trivially reusable: staging after warm-up
+  /// performs zero allocations.
   struct RoleProbe {
     enum class Kind : uint8_t { kPositive, kNegated };
 
@@ -129,11 +176,16 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
     /// Negated roles only: does the partition key cover every part? A
     /// fully covered probe targets one partition; a partial one scans all.
     bool fully_covered = true;
-    /// Precomputed PartitionKeyHash (meaningless for partial negation).
-    size_t hash = 0;
-    PartitionKey key;
-    /// Per-part coverage flags (negated roles only).
-    std::vector<bool> covered;
+    /// Precomputed InternedKeyHash (meaningless for partial negation).
+    uint64_t hash = 0;
+    container::InternedKey key;
+    /// Bit p set = part p constrains this element (negated roles only).
+    uint64_t covered_mask = 0;
+    /// Extraction pass scratch: the covered parts' attribute values and
+    /// their ValueHashes, pending interning. Pointers into the batch's
+    /// events, valid for the one StageBatch that wrote them.
+    std::array<const Value*, container::kMaxKeyParts> part_vals;
+    std::array<uint64_t, container::kMaxKeyParts> part_hashes;
   };
 
   /// The staged probes of one event: probes_[first_probe, first_probe+n).
@@ -142,32 +194,57 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
     size_t num_probes = 0;
   };
 
-  /// Extracts, qualifies, and hashes every role probe of the batch into
-  /// probes_/plans_. Pure with respect to partition state.
+  /// Extraction pass of StageKey: records the covered parts' attribute
+  /// values and ValueHashes into the probe (PartitionKeyFor semantics,
+  /// minus the Value copies) and prefetches the interner slots those
+  /// hashes will probe. Returns false if a covering part's attribute is
+  /// missing or null (the probe is then dropped). Interning happens a
+  /// pass later, against warm cache lines.
+  bool ExtractKey(const Event& e, size_t elem_index, RoleProbe* probe);
+
+  /// Intern pass of StageKey: maps the extracted values to dense ids —
+  /// positive roles intern unseen values (they may create partitions and
+  /// their group value must be recoverable for output); negated roles use
+  /// non-mutating lookups, so a miss yields kNoId, which matches no live
+  /// partition — then seals the probe's key hash and prefetches the
+  /// partition-index (and group-count) slots the probe will touch.
+  void InternKey(RoleProbe* probe);
+
+  /// Stages every role probe of the batch into probes_/plans_, as two
+  /// pipelined passes (extract+hash, then intern+hash) so each pass's
+  /// table probes run against cache lines prefetched by the previous one.
+  /// Mutates only the interner (first-seen values).
   void StageBatch(std::span<const Event> batch);
 
-  /// Issues software prefetches for the partition-map buckets the staged
-  /// probes will touch (read intent, high temporal locality).
+  /// Resolves each staged probe against the partition index and issues
+  /// software prefetches for the slab lines ExecuteEvent will touch (read
+  /// intent, high temporal locality). Purely a cache warmer: results are
+  /// deliberately not reused, since executing earlier batch events can
+  /// create or erase partitions and stale slots must never be trusted.
   void PrefetchPartitions() const;
 
-  /// Replays one event's staged probes against the partition map.
+  /// Replays one event's staged probes against the partition store.
   void ExecuteEvent(const Event& e, const EventPlan& plan,
                     std::vector<Output>* out);
 
   RoleProbe& NextProbe();
 
-  /// Sums live counters of partitions matching `key` on the group part;
-  /// with `match_group == false`, sums every partition. Purges as it goes
-  /// and drops empty partitions.
-  AggAccum ScanTotal(Timestamp now, bool match_group, const Value& group);
+  /// Sums live counters of partitions whose group id equals `gid`; with
+  /// `match_group == false`, sums every partition. Walks the slab in slot
+  /// order (the engine's observable iteration order), purging as it goes
+  /// and erasing partitions left empty.
+  AggAccum ScanTotal(Timestamp now, bool match_group, uint32_t gid);
 
-  /// A due date in the partition-expiry heap. Keys are stored by value so
-  /// stale entries (the partition was purged further, or erased) can be
-  /// recognized and skipped safely after the map node is gone.
+  /// Removes the partition at `slot` from the index and the slab.
+  void ErasePartition(uint32_t slot);
+
+  /// A due date in the partition-expiry heap. Keys are carried by value
+  /// (trivially copyable id arrays) so stale entries — the partition was
+  /// purged further, or erased — can be recognized and skipped safely.
   struct ExpiryEntry {
     Timestamp exp = 0;
-    size_t hash = 0;
-    PartitionKey key;
+    uint64_t hash = 0;
+    container::InternedKey key;
   };
   struct ExpiryLater {
     bool operator()(const ExpiryEntry& a, const ExpiryEntry& b) const {
@@ -179,33 +256,73 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
   /// scanning every partition.
   bool count_fast_path() const { return query_.agg().func == AggFunc::kCount; }
 
-  /// Runs `mutate` against partition `it` and folds the resulting change
-  /// of its full-match count into the running totals (COUNT fast path
-  /// only; other aggregates still scan at trigger time).
+  /// Runs `mutate` against `part` and folds the resulting change of its
+  /// full-match count into the running totals (COUNT fast path only;
+  /// other aggregates still scan at trigger time).
   template <typename Fn>
-  void MutatePartition(PartitionMap::iterator it, Fn&& mutate) {
+  void MutatePartition(Partition& part, Fn&& mutate) {
     if (!count_fast_path()) {
       mutate();
       return;
     }
-    const uint64_t before = it->second.total_count();
+    const uint64_t before = part.counters.total_count();
     mutate();
-    const uint64_t after = it->second.total_count();
+    const uint64_t after = part.counters.total_count();
     if (after != before) {
       const int64_t delta =
           static_cast<int64_t>(after) - static_cast<int64_t>(before);
-      const PartitionSpec& spec = query_.partition_spec();
-      if (spec.per_group_output) {
-        group_counts_[it->first.parts[spec.group_part]] += delta;
+      if (per_group_) {
+        const uint32_t idx = DenseIdx(part.key.ids[group_part_]);
+        if (idx >= group_counts_.size()) {
+          // Interned ids are dense, so the interner size bounds every
+          // group id the engine can ever hand us right now.
+          group_counts_.resize(interner_.size() + 1, 0);
+        }
+        group_counts_[idx] += delta;
       } else {
         running_count_ += delta;
       }
     }
   }
 
-  /// Pushes `it`'s next expiration onto the heap (windowed mode, COUNT
+  /// Resolves a sealed probe key to its partition's slab slot, or kNoSlot.
+  /// Single-part keys are a direct array access; wider keys probe the
+  /// hash index.
+  uint32_t LookupSlot(uint64_t hash, const container::InternedKey& key) const {
+    if (single_part_) {
+      const uint32_t idx = DenseIdx(key.ids[0]);
+      return idx < slot_by_id_.size() ? slot_by_id_[idx] : kNoSlot;
+    }
+    const uint32_t* slot = index_.FindHashed(hash, key);
+    return slot == nullptr ? kNoSlot : *slot;
+  }
+
+  /// Index entry for a position-1 probe: returns the slot cell (holding
+  /// kNoSlot if the entry was just created) and whether it was created.
+  std::pair<uint32_t*, bool> UpsertSlot(const RoleProbe& probe) {
+    if (single_part_) {
+      const uint32_t idx = DenseIdx(probe.key.ids[0]);
+      if (idx >= slot_by_id_.size()) {
+        slot_by_id_.resize(interner_.size() + 1, kNoSlot);
+      }
+      uint32_t* slot = &slot_by_id_[idx];
+      return {slot, *slot == kNoSlot};
+    }
+    return index_.TryEmplaceHashed(probe.hash, probe.key, kNoSlot);
+  }
+
+  /// Drops `part`'s index entry (the slab slot itself is freed separately).
+  void EraseIndexEntry(const Partition& part) {
+    if (single_part_) {
+      slot_by_id_[DenseIdx(part.key.ids[0])] = kNoSlot;
+    } else {
+      index_.EraseHashed(part.hash, part.key);
+    }
+  }
+
+  /// Pushes `part`'s next expiration onto the heap (windowed mode, COUNT
   /// fast path; a no-op when nothing can expire).
-  void EnqueueExpiry(PartitionMap::iterator it, size_t hash);
+  void EnqueueExpiry(const Partition& part);
 
   /// Purges every partition whose earliest expiration is due at `now`,
   /// keeping the running totals exact; erases partitions left empty. The
@@ -213,21 +330,43 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
   /// are O(1) instead of O(partitions).
   void AdvanceExpiry(Timestamp now);
 
+  /// Refreshes the transient EngineStats::ht_* probe/occupancy gauges
+  /// from the flat tables (index + group counts + interner).
+  void UpdateHtStats();
+
   CompiledQuery query_;
   EngineStats stats_;
   size_t length_;
   size_t carrier_pos1_;
-  PartitionMap partitions_;
+  size_t num_parts_;
+  uint64_t full_mask_;    // covered_mask value meaning "every part"
+  bool per_group_;        // GROUP BY present
+  size_t group_part_;     // index of the GROUP BY part (0 if none)
+  bool single_part_;      // one-part key: dense slot_by_id_ index
+  // The flat partition store.
+  container::KeyInterner interner_;
+  /// Hash index, used only when the key has several parts.
+  PartitionIndex index_;
+  /// Dense index for single-part keys: slot_by_id_[DenseIdx(id)] is the
+  /// partition's slab slot (kNoSlot = none). Interned ids are dense, so
+  /// this stays as small as the key cardinality itself and a probe is one
+  /// array read — no hashing, no collisions.
+  std::vector<uint32_t> slot_by_id_;
+  container::SlabPool<Partition> slab_;
   /// Flat role table indexed by EventTypeId (see AseqEngine::role_table_).
   std::vector<const std::vector<Role>*> role_table_;
   // Staging scratch, reused (clear-not-shrink) across batches.
   std::vector<RoleProbe> probes_;
   size_t probes_used_ = 0;
   std::vector<EventPlan> plans_;
-  // COUNT fast path: running full-match totals (global, or per group) and
-  // the partition-expiry heap that keeps them exact under lazy purging.
+  // COUNT fast path: running full-match totals (global, or per group id)
+  // and the partition-expiry heap that keeps them exact under lazy
+  // purging. Group totals live in a flat array indexed by DenseIdx(gid) —
+  // interned group ids are dense, so a trigger reads its total with one
+  // array access and zero means "no full matches", exactly as an absent
+  // hash-table entry used to.
   int64_t running_count_ = 0;
-  std::unordered_map<Value, int64_t, ValueHash> group_counts_;
+  std::vector<int64_t> group_counts_;
   std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>, ExpiryLater>
       expiry_heap_;
 };
@@ -236,7 +375,9 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
 ///
 /// Fails with Unsupported if the query carries join predicates (A-Seq
 /// pushes only local and equivalence predicates into counting; use the
-/// stack-based baseline for general joins).
+/// stack-based baseline for general joins), or if a partitioned query's
+/// composite key is wider than container::kMaxKeyParts (the flat store
+/// carries keys as fixed-size interned-id arrays).
 Result<std::unique_ptr<QueryEngine>> CreateAseqEngine(
     const CompiledQuery& query);
 

@@ -192,7 +192,8 @@ Status RestoreMultiSnapshot(const std::string& path, MultiQueryEngine* engine,
 
 Status SaveShardedSnapshot(const std::string& path,
                            std::span<const QueryEngine* const> shards,
-                           uint64_t stream_offset, const EngineStats& merged) {
+                           uint64_t stream_offset, const EngineStats& merged,
+                           std::string_view router_state) {
   if (shards.empty()) {
     return Status::InvalidArgument(
         "sharded snapshot requires at least one shard engine");
@@ -200,6 +201,7 @@ Status SaveShardedSnapshot(const std::string& path,
   Writer payload;
   payload.WriteU32(static_cast<uint32_t>(shards.size()));
   WriteStats(&payload, merged);
+  payload.WriteString(router_state);
   for (const QueryEngine* shard : shards) {
     Writer sub;
     ASEQ_RETURN_NOT_OK(shard->Checkpoint(&sub));
@@ -211,7 +213,8 @@ Status SaveShardedSnapshot(const std::string& path,
 
 Status RestoreShardedSnapshot(const std::string& path,
                               std::span<QueryEngine* const> shards,
-                              uint64_t* stream_offset, EngineStats* merged) {
+                              uint64_t* stream_offset, EngineStats* merged,
+                              std::string* router_state) {
   if (shards.empty()) {
     return Status::InvalidArgument(
         "sharded snapshot requires at least one shard engine");
@@ -236,6 +239,7 @@ Status RestoreShardedSnapshot(const std::string& path,
         " were supplied; rerun with --shards " + std::to_string(count));
   }
   ASEQ_RETURN_NOT_OK(ReadStats(&reader, merged));
+  ASEQ_RETURN_NOT_OK(reader.ReadString(router_state, "router state"));
   for (size_t i = 0; i < shards.size(); ++i) {
     std::string sub;
     ASEQ_RETURN_NOT_OK(reader.ReadString(&sub, "shard payload"));

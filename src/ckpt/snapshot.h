@@ -24,7 +24,12 @@ namespace ckpt {
 /// Writes are atomic: the file is written to `<path>.tmp` and renamed over
 /// `path`, so a crash mid-write can never leave a half-written snapshot
 /// under the published name.
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+///
+/// Version history:
+///   1  node-based partition map (bucket-count + insertion-order payload)
+///   2  flat partition store: interner table + slab geometry + verbatim
+///      expiry heap; sharded containers additionally carry router state
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
 inline constexpr char kSnapshotMagic[] = "ASEQCKPT";  // 8 bytes, no NUL
 
 /// Header fields recovered before the engine payload is touched.
@@ -76,6 +81,10 @@ Status RestoreMultiSnapshot(const std::string& path, MultiQueryEngine* engine,
 ///   [..] merged EngineStats — the exact cross-shard merged view at the
 ///        checkpoint (the restored run seeds its peak-object merge from
 ///        it; per-shard stats live inside each shard payload)
+///   [..] u64 length prefix + the router's Checkpoint() payload (the
+///        router's key-interner table, whose dense ids decide shard
+///        ownership; restoring it makes the replayed suffix route every
+///        key to the shard that already owns it)
 ///   N x  u64 length prefix + the shard engine's Checkpoint() payload
 ///
 /// Restore validates the shard count against the engines supplied, so a
@@ -83,10 +92,12 @@ Status RestoreMultiSnapshot(const std::string& path, MultiQueryEngine* engine,
 /// instead of scrambling partition ownership.
 Status SaveShardedSnapshot(const std::string& path,
                            std::span<const QueryEngine* const> shards,
-                           uint64_t stream_offset, const EngineStats& merged);
+                           uint64_t stream_offset, const EngineStats& merged,
+                           std::string_view router_state);
 Status RestoreShardedSnapshot(const std::string& path,
                               std::span<QueryEngine* const> shards,
-                              uint64_t* stream_offset, EngineStats* merged);
+                              uint64_t* stream_offset, EngineStats* merged,
+                              std::string* router_state);
 
 /// Canonical snapshot filename for a stream offset: `<dir>/ckpt-<offset
 /// zero-padded to 20>.aseqckpt` — zero-padding makes lexicographic order

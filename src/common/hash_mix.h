@@ -1,0 +1,36 @@
+#ifndef ASEQ_COMMON_HASH_MIX_H_
+#define ASEQ_COMMON_HASH_MIX_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aseq {
+
+/// \brief 64-bit avalanching finalizer (MurmurHash3 fmix64).
+///
+/// Open addressing needs every input bit to influence every output bit:
+/// the probe start is taken from the high bits and the 7-bit control tag
+/// from the low bits, so the identity-like std::hash<int64_t> of libstdc++
+/// (fine for chained buckets) would cluster sequential keys into one probe
+/// chain and collide every tag. All flat-store hashing funnels through
+/// this finalizer; tests/hash_distribution_test.cc smoke-tests the
+/// avalanche and bucket spread.
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Order-dependent combiner for composite keys: fold `value` into `seed`
+/// and re-avalanche, so part order matters and no part can cancel another.
+inline uint64_t HashCombine64(uint64_t seed, uint64_t value) {
+  return HashMix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                           (seed >> 2)));
+}
+
+}  // namespace aseq
+
+#endif  // ASEQ_COMMON_HASH_MIX_H_

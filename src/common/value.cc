@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/hash_mix.h"
+
 namespace aseq {
 
 const char* ValueTypeToString(ValueType type) {
@@ -67,22 +69,26 @@ bool Value::LessThan(const Value& other) const {
 }
 
 std::size_t Value::Hash() const {
+  // Every case runs through the HashMix64 avalanche: the open-addressing
+  // flat tables (src/container/) slice this hash into a probe start (high
+  // bits) and a 7-bit tag (low bits), and libstdc++'s identity-like
+  // std::hash<int64_t> would cluster sequential ids into one probe chain.
   switch (type()) {
     case ValueType::kNull:
-      return 0x9e3779b97f4a7c15ULL;
+      return HashMix64(0x9e3779b97f4a7c15ULL);
     case ValueType::kInt64:
-      return std::hash<int64_t>()(AsInt64());
+      return HashMix64(static_cast<uint64_t>(AsInt64()));
     case ValueType::kDouble: {
       // Hash integral doubles like the equal int64 so Equals/Hash agree.
       double d = AsDouble();
       double i;
       if (std::modf(d, &i) == 0.0 && i >= -9.2e18 && i <= 9.2e18) {
-        return std::hash<int64_t>()(static_cast<int64_t>(i));
+        return HashMix64(static_cast<uint64_t>(static_cast<int64_t>(i)));
       }
-      return std::hash<double>()(d);
+      return HashMix64(std::hash<double>()(d));
     }
     case ValueType::kString:
-      return std::hash<std::string>()(AsString());
+      return HashMix64(std::hash<std::string>()(AsString()));
   }
   return 0;
 }

@@ -1,0 +1,24 @@
+#include "container/key_interner.h"
+
+#include <utility>
+
+namespace aseq {
+namespace container {
+
+bool KeyInterner::RestoreFromValues(std::vector<Value> values) {
+  Clear();
+  index_.Reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Value& v = values[i];
+    const uint64_t h = ValueHash{}(v);
+    if (!index_.TryEmplaceHashed(h, v, static_cast<uint32_t>(i)).second) {
+      Clear();
+      return false;
+    }
+  }
+  values_ = std::move(values);
+  return true;
+}
+
+}  // namespace container
+}  // namespace aseq

@@ -1,6 +1,7 @@
 #include "exec/serial_executor.h"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "ckpt/snapshot.h"
@@ -34,22 +35,24 @@ void MaybeCheckpoint(const RunOptions& options, uint64_t offset,
 }
 
 /// The serial loop, shared across {stream, events} x {single, multi}:
-/// `refill` fills buffers->batch and returns false when the stream is
-/// exhausted; `scratch`/`result->outputs` are the matching Output types.
+/// `refill` yields the next batch as a mutable view (empty = stream
+/// exhausted); the loop stamps sequence numbers straight into the viewed
+/// events, so a source that lends its own storage (VectorSource) feeds
+/// the engine with zero per-batch copies. `scratch`/`result->outputs`
+/// are the matching Output types.
 template <typename ResultT, typename EngineT, typename ScratchT,
           typename RefillFn, typename SaveFn>
-ResultT RunSerialLoop(const RunOptions& options, std::vector<Event>* batch,
-                      ScratchT* scratch, EngineT* engine, RefillFn&& refill,
-                      SaveFn&& save) {
+ResultT RunSerialLoop(const RunOptions& options, ScratchT* scratch,
+                      EngineT* engine, RefillFn&& refill, SaveFn&& save) {
   ResultT result;
   result.batch_size = options.batch_size;
   SeqNum seq = options.start_offset;
   uint64_t next_ckpt = options.start_offset + options.checkpoint_every;
   StopWatch watch;
-  while (refill(batch)) {
-    for (Event& e : *batch) e.set_seq(seq++);
+  for (std::span<Event> batch = refill(); !batch.empty(); batch = refill()) {
+    for (Event& e : batch) e.set_seq(seq++);
     scratch->clear();
-    engine->OnBatch(*batch, scratch);
+    engine->OnBatch(std::span<const Event>(batch), scratch);
     if (options.collect_outputs) {
       result.outputs.insert(result.outputs.end(), scratch->begin(),
                             scratch->end());
@@ -64,27 +67,28 @@ ResultT RunSerialLoop(const RunOptions& options, std::vector<Event>* batch,
   return result;
 }
 
-/// Refill from a StreamSource.
+/// Refill by borrowing from a StreamSource.
 struct StreamRefill {
   StreamSource* source;
   size_t batch_size;
-  bool operator()(std::vector<Event>* batch) const {
-    return source->NextBatch(batch_size, batch) > 0;
+  std::span<Event> operator()() const {
+    return source->BorrowBatch(batch_size);
   }
 };
 
-/// Refill by slicing a pre-built event vector.
+/// Refill by slicing a caller-owned (const) event vector: the slice is
+/// staged through `batch` because the loop stamps sequence numbers.
 struct EventsRefill {
   const std::vector<Event>* events;
+  std::vector<Event>* batch;
   size_t batch_size;
   size_t pos = 0;
-  bool operator()(std::vector<Event>* batch) {
-    if (pos >= events->size()) return false;
+  std::span<Event> operator()() {
     const size_t n = std::min(batch_size, events->size() - pos);
     batch->assign(events->begin() + static_cast<ptrdiff_t>(pos),
                   events->begin() + static_cast<ptrdiff_t>(pos + n));
     pos += n;
-    return true;
+    return {batch->data(), n};
   }
 };
 
@@ -93,7 +97,7 @@ struct EventsRefill {
 RunResult RunSerialStream(const RunOptions& options, SerialBuffers* buffers,
                           StreamSource* source, QueryEngine* engine) {
   return RunSerialLoop<RunResult>(
-      options, &buffers->batch, &buffers->scratch, engine,
+      options, &buffers->scratch, engine,
       StreamRefill{source, options.batch_size},
       [&](const std::string& path, uint64_t offset) {
         return ckpt::SaveEngineSnapshot(path, *engine, offset);
@@ -104,8 +108,8 @@ RunResult RunSerialEvents(const RunOptions& options, SerialBuffers* buffers,
                           const std::vector<Event>& events,
                           QueryEngine* engine) {
   return RunSerialLoop<RunResult>(
-      options, &buffers->batch, &buffers->scratch, engine,
-      EventsRefill{&events, options.batch_size},
+      options, &buffers->scratch, engine,
+      EventsRefill{&events, &buffers->batch, options.batch_size},
       [&](const std::string& path, uint64_t offset) {
         return ckpt::SaveEngineSnapshot(path, *engine, offset);
       });
@@ -116,7 +120,7 @@ MultiRunResult RunSerialMultiStream(const RunOptions& options,
                                     StreamSource* source,
                                     MultiQueryEngine* engine) {
   return RunSerialLoop<MultiRunResult>(
-      options, &buffers->batch, &buffers->multi_scratch, engine,
+      options, &buffers->multi_scratch, engine,
       StreamRefill{source, options.batch_size},
       [&](const std::string& path, uint64_t offset) {
         return ckpt::SaveMultiSnapshot(path, *engine, offset);
@@ -128,8 +132,8 @@ MultiRunResult RunSerialMultiEvents(const RunOptions& options,
                                     const std::vector<Event>& events,
                                     MultiQueryEngine* engine) {
   return RunSerialLoop<MultiRunResult>(
-      options, &buffers->batch, &buffers->multi_scratch, engine,
-      EventsRefill{&events, options.batch_size},
+      options, &buffers->multi_scratch, engine,
+      EventsRefill{&events, &buffers->batch, options.batch_size},
       [&](const std::string& path, uint64_t offset) {
         return ckpt::SaveMultiSnapshot(path, *engine, offset);
       });

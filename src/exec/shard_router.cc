@@ -86,9 +86,12 @@ ShardRouter::Route ShardRouter::RouteEvent(const Event& e) {
       has_key = true;
       // Every role extracts the same GROUP BY part value (it comes from
       // the event's own attribute), so the first staged probe fixes the
-      // owner shard.
-      route.shard =
-          ValueHash{}(scratch_key_.parts[group_part_]) % num_shards_;
+      // owner shard. Interning gives a dense id per distinct key, so
+      // `id % num_shards` spreads keys round-robin in first-seen order —
+      // immune to hash clustering — at the cost of making the table part
+      // of the checkpointed router state (see Checkpoint).
+      route.shard = interner_.Intern(scratch_key_.parts[group_part_]) %
+                    num_shards_;
     }
     if (!role.negated && role.position == length_) {
       route.trigger = true;
@@ -96,6 +99,28 @@ ShardRouter::Route ShardRouter::RouteEvent(const Event& e) {
     }
   }
   return route;
+}
+
+void ShardRouter::Checkpoint(ckpt::Writer* writer) const {
+  writer->WriteU64(interner_.size());
+  for (const Value& v : interner_.values()) ckpt::WriteValue(writer, v);
+}
+
+Status ShardRouter::Restore(ckpt::Reader* reader) {
+  uint64_t n = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n, 1, "router interned values"));
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Value v;
+    ASEQ_RETURN_NOT_OK(ckpt::ReadValue(reader, &v));
+    values.push_back(std::move(v));
+  }
+  if (!interner_.RestoreFromValues(std::move(values))) {
+    return Status::ParseError(
+        "snapshot corrupt: duplicate value in router interner table");
+  }
+  return Status::OK();
 }
 
 }  // namespace exec

@@ -4,7 +4,10 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/ckpt.h"
 #include "common/event.h"
+#include "common/status.h"
+#include "container/key_interner.h"
 #include "query/compiled_query.h"
 
 namespace aseq {
@@ -60,12 +63,27 @@ class ShardRouter {
   /// `e` must carry its final seq number.
   Route RouteEvent(const Event& e);
 
+  /// \brief Router state round-trip for sharded snapshots.
+  ///
+  /// Shard ownership is `interned id % num_shards`, and ids are assigned
+  /// in first-routed order — so the interner table is part of the sharded
+  /// run's durable state. A restored run must replay the stream suffix
+  /// through a router holding the checkpointed table, or previously-seen
+  /// keys would re-intern under fresh ids and land on the wrong shards.
+  /// The payload is the interner's values in id order.
+  void Checkpoint(ckpt::Writer* writer) const;
+  Status Restore(ckpt::Reader* reader);
+
  private:
   const CompiledQuery* query_;
   size_t num_shards_;
   size_t length_;
   size_t group_part_;
   std::vector<const std::vector<Role>*> role_table_;
+  /// GROUP BY values → dense ids, in first-routed order. Independent of
+  /// any engine-side interner: routing only needs its *own* ids to be
+  /// stable, and shard engines never see them.
+  container::KeyInterner interner_;
   // Extraction scratch, reused per event.
   PartitionKey scratch_key_;
   std::vector<bool> scratch_covered_;

@@ -169,7 +169,7 @@ EngineStats ShardedExecutor::ComputeMergedStats() const {
 }
 
 RunResult ShardedExecutor::RunImpl(
-    const std::function<bool(std::vector<Event>*)>& refill) {
+    const std::function<std::span<Event>()>& refill) {
   const size_t n = engines_.size();
   RunResult result;
   result.batch_size = options_.batch_size;
@@ -201,14 +201,16 @@ RunResult ShardedExecutor::RunImpl(
 
   SeqNum seq = options_.start_offset;
   uint64_t next_ckpt = options_.start_offset + options_.checkpoint_every;
-  while (refill(&batch_buf_)) {
-    for (Event& e : batch_buf_) {
+  for (std::span<Event> batch = refill(); !batch.empty(); batch = refill()) {
+    for (Event& e : batch) {
       e.set_seq(seq++);
       const Timestamp ts = e.ts();
       const SeqNum eseq = e.seq();
       const ShardRouter::Route route = router_.RouteEvent(e);
-      pending_[route.shard].push_back(ShardOp{
-          ShardOp::Kind::kEvent, ts, eseq, std::move(e)});
+      // Copy, not move: the batch may be borrowed source storage that a
+      // Reset replay will serve again.
+      pending_[route.shard].push_back(
+          ShardOp{ShardOp::Kind::kEvent, ts, eseq, e});
       if (route.trigger && send_markers_) {
         // The serial trigger purges every partition; non-owner shards
         // replay it as a marker at the same seq, keeping their state and
@@ -229,9 +231,14 @@ RunResult ShardedExecutor::RunImpl(
       std::vector<const QueryEngine*> shards;
       shards.reserve(n);
       for (const auto& e : engines_) shards.push_back(e.get());
+      // The router is quiescent here (this coordinator thread is the only
+      // one that touches it, and the workers are parked at the barrier),
+      // so its interner table is captured consistently with shard state.
+      ckpt::Writer router_state;
+      router_.Checkpoint(&router_state);
       Status s = ckpt::SaveShardedSnapshot(
           ckpt::SnapshotPathForOffset(options_.checkpoint_dir, seq), shards,
-          seq, merged_now);
+          seq, merged_now, router_state.buffer());
       ResumeAll();
       if (s.ok()) {
         ++result.checkpoints_written;
@@ -288,20 +295,20 @@ RunResult ShardedExecutor::RunImpl(
 }
 
 RunResult ShardedExecutor::Run(StreamSource* source) {
-  return RunImpl([&](std::vector<Event>* batch) {
-    return source->NextBatch(options_.batch_size, batch) > 0;
-  });
+  return RunImpl(
+      [&]() { return source->BorrowBatch(options_.batch_size); });
 }
 
 RunResult ShardedExecutor::RunEvents(const std::vector<Event>& events) {
+  // The caller's vector is const, and the loop stamps sequence numbers,
+  // so slices stage through batch_buf_.
   size_t pos = 0;
-  return RunImpl([&](std::vector<Event>* batch) {
-    if (pos >= events.size()) return false;
+  return RunImpl([&]() -> std::span<Event> {
     const size_t count = std::min(options_.batch_size, events.size() - pos);
-    batch->assign(events.begin() + static_cast<ptrdiff_t>(pos),
-                  events.begin() + static_cast<ptrdiff_t>(pos + count));
+    batch_buf_.assign(events.begin() + static_cast<ptrdiff_t>(pos),
+                      events.begin() + static_cast<ptrdiff_t>(pos + count));
     pos += count;
-    return true;
+    return {batch_buf_.data(), count};
   });
 }
 
@@ -311,8 +318,12 @@ Status ShardedExecutor::Restore(const std::string& path,
   shards.reserve(engines_.size());
   for (auto& e : engines_) shards.push_back(e.get());
   EngineStats merged;
-  ASEQ_RETURN_NOT_OK(
-      ckpt::RestoreShardedSnapshot(path, shards, stream_offset, &merged));
+  std::string router_state;
+  ASEQ_RETURN_NOT_OK(ckpt::RestoreShardedSnapshot(path, shards, stream_offset,
+                                                  &merged, &router_state));
+  ckpt::Reader router_reader(router_state);
+  ASEQ_RETURN_NOT_OK(router_.Restore(&router_reader));
+  ASEQ_RETURN_NOT_OK(router_reader.ExpectEnd());
   merged_ = merged;
   options_.start_offset = *stream_offset;
   return Status::OK();

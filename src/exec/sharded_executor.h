@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -104,8 +105,11 @@ class ShardedExecutor : public ExecutionPolicy {
     double busy_seconds = 0;
   };
 
-  /// The shared run loop; `refill` fills batch_buf_ or returns false.
-  RunResult RunImpl(const std::function<bool(std::vector<Event>*)>& refill);
+  /// The shared run loop; `refill` yields the next batch as a view
+  /// (empty = exhausted). The view may be borrowed source storage, so the
+  /// loop stamps sequence numbers in place but copies events into shard
+  /// ops instead of consuming them.
+  RunResult RunImpl(const std::function<std::span<Event>()>& refill);
 
   void WorkerMain(size_t shard);
   /// Pushes an item, honoring the bounded-queue cap.

@@ -88,6 +88,24 @@ struct EngineStats {
   /// dropped must be visible here, never silently swallowed.
   uint64_t dropped_events = 0;
 
+  // ---- Flat partition-store diagnostics (src/container/) ----
+  //
+  // Transient performance counters, like ObjectCounter::window_peak: they
+  // are not checkpointed and are NOT part of the equivalence contract —
+  // probe lengths depend on the physical table layout, which a restore
+  // rebuilds from the canonical snapshot order rather than replaying the
+  // original insert/erase history.
+  /// Lookups issued against the engine's open-addressing tables.
+  uint64_t ht_probes = 0;
+  /// Total probe steps across those lookups (1 step = a direct hit; the
+  /// average ht_probe_steps / ht_probes is the probe-length health metric).
+  uint64_t ht_probe_steps = 0;
+  /// Current slot capacity across the engine's flat tables (load factor =
+  /// ht_entries / ht_slots).
+  uint64_t ht_slots = 0;
+  /// Current live entries across the engine's flat tables.
+  uint64_t ht_entries = 0;
+
   /// Records one OnBatch call of `n` events.
   void NoteBatch(size_t n) {
     ++batches_processed;
@@ -102,6 +120,10 @@ struct EngineStats {
     batches_processed = 0;
     max_batch_events = 0;
     dropped_events = 0;
+    ht_probes = 0;
+    ht_probe_steps = 0;
+    ht_slots = 0;
+    ht_entries = 0;
   }
 };
 

@@ -30,6 +30,13 @@ inline void MergeBulkStats(const EngineStats& shard, EngineStats* merged) {
     merged->max_batch_events = shard.max_batch_events;
   }
   merged->dropped_events += shard.dropped_events;
+  // Flat-store diagnostics: sums over shards (each shard owns its own
+  // tables). Diagnostic-only — per-shard probe lengths legitimately differ
+  // from a serial run's, so these are outside the equivalence contract.
+  merged->ht_probes += shard.ht_probes;
+  merged->ht_probe_steps += shard.ht_probe_steps;
+  merged->ht_slots += shard.ht_slots;
+  merged->ht_entries += shard.ht_entries;
 }
 
 /// \brief Reconstructs the serial engine's global live/peak object counts

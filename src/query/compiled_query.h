@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/event.h"
+#include "common/hash_mix.h"
 #include "common/schema.h"
 #include "query/query.h"
 
@@ -51,9 +52,12 @@ struct PartitionKeyHash {
   using is_transparent = void;
 
   size_t operator()(const PartitionKey& k) const {
+    // HashCombine64 re-avalanches after every part: the old xor-shift fold
+    // let a part cancel another and left the low bits weak, which the
+    // flat-store probing (src/container/flat_map.h) cannot tolerate.
     size_t h = 0x9e3779b97f4a7c15ULL;
     for (const Value& v : k.parts) {
-      h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h = HashCombine64(h, v.Hash());
     }
     return h;
   }

@@ -259,6 +259,36 @@ TEST(CkptIoTest, RejectsVersionSkew) {
   std::remove(path.c_str());
 }
 
+// Version 2 (flat partition store) restructured every HPC payload:
+// interner table + slab geometry replaced the bucket-ordered node list. A
+// v1 file must be rejected at the header — before any payload parsing
+// could misread old bytes as new structure — with a message naming both
+// the file's version and the version this build reads.
+TEST(CkptIoTest, RejectsOldFormatVersion) {
+  static_assert(ckpt::kSnapshotFormatVersion >= 2,
+                "this test fakes a version-1 file; it must be old");
+  const std::string path = TempPath("verold.aseqckpt");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "E", 1, "x").ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[8] = 1;  // u32 LE version field starts right after the magic
+  bytes[9] = 0;
+  bytes[10] = 0;
+  bytes[11] = 0;
+  WriteFileBytes(path, bytes);
+  ckpt::SnapshotInfo info;
+  std::string payload;
+  Status st = ckpt::ReadSnapshotFile(path, &info, &payload);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("version 1"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("version " +
+                              std::to_string(ckpt::kSnapshotFormatVersion)),
+            std::string::npos)
+      << st.ToString();
+  std::remove(path.c_str());
+}
+
 TEST(CkptIoTest, RejectsChecksumCorruption) {
   const std::string path = TempPath("badsum.aseqckpt");
   ASSERT_TRUE(

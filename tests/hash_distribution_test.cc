@@ -1,0 +1,101 @@
+// Distribution smoke tests for the hash functions feeding the
+// open-addressing tables. An open table is far less forgiving than a
+// chained one: structured key populations (sequential trader ids, small
+// composite keys) must still spread across both the probe start (H1) and
+// the control byte (H2), or probe chains collapse into linear scans.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/hash_mix.h"
+#include "common/value.h"
+#include "query/compiled_query.h"
+
+namespace aseq {
+namespace {
+
+constexpr size_t kKeys = 10000;
+constexpr size_t kBuckets = 1024;
+
+/// Max bucket occupancy after throwing `hashes` into kBuckets buckets by
+/// the given bit-slice. For 10k keys over 1k buckets a uniform hash lands
+/// ~9.8 per bucket with a Poisson tail; 30 is a generous bound that a
+/// clustered hash (pre-avalanche Value::Hash put sequential ints into
+/// sequential buckets — fine for chaining, fatal for open addressing)
+/// blows past by an order of magnitude.
+size_t MaxBucketLoad(const std::vector<uint64_t>& hashes, unsigned shift) {
+  std::vector<size_t> buckets(kBuckets, 0);
+  for (uint64_t h : hashes) {
+    ++buckets[(h >> shift) & (kBuckets - 1)];
+  }
+  return *std::max_element(buckets.begin(), buckets.end());
+}
+
+TEST(HashDistributionTest, HashMix64AvalanchesSequentialInputs) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(kKeys);
+  std::set<uint64_t> distinct;
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    const uint64_t h = HashMix64(i);
+    hashes.push_back(h);
+    distinct.insert(h);
+  }
+  EXPECT_EQ(distinct.size(), kKeys);
+  EXPECT_LE(MaxBucketLoad(hashes, 0), 30u);   // low bits (H2 region)
+  EXPECT_LE(MaxBucketLoad(hashes, 7), 30u);   // probe-start bits (H1)
+  EXPECT_LE(MaxBucketLoad(hashes, 32), 30u);  // high half
+}
+
+TEST(HashDistributionTest, ValueHashSpreadsSequentialInts) {
+  std::vector<uint64_t> hashes;
+  hashes.reserve(kKeys);
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    hashes.push_back(ValueHash{}(Value(static_cast<int64_t>(i))));
+  }
+  EXPECT_LE(MaxBucketLoad(hashes, 0), 30u);
+  EXPECT_LE(MaxBucketLoad(hashes, 7), 30u);
+  // The 7-bit control byte must use its full range, or every probe
+  // degenerates to a key compare.
+  std::set<uint8_t> h2;
+  for (uint64_t h : hashes) h2.insert(static_cast<uint8_t>(h & 0x7F));
+  EXPECT_GE(h2.size(), 120u);
+}
+
+TEST(HashDistributionTest, ValueHashEqualsConsistency) {
+  // Equals-equal values must hash equal (integral doubles alias ints).
+  EXPECT_EQ(ValueHash{}(Value(7)), ValueHash{}(Value(7.0)));
+  EXPECT_NE(ValueHash{}(Value(7)), ValueHash{}(Value(7.5)));
+}
+
+TEST(HashDistributionTest, PartitionKeyHashSpreadsSmallCompositeKeys) {
+  // 100x100 two-part grid of small ints — the GROUP BY + equivalence
+  // shape. Every pair must hash distinctly and spread.
+  std::vector<uint64_t> hashes;
+  hashes.reserve(kKeys);
+  std::set<uint64_t> distinct;
+  for (int64_t i = 0; i < 100; ++i) {
+    for (int64_t j = 0; j < 100; ++j) {
+      PartitionKey key;
+      key.parts = {Value(i), Value(j)};
+      const uint64_t h = PartitionKeyHash{}(key);
+      hashes.push_back(h);
+      distinct.insert(h);
+    }
+  }
+  EXPECT_EQ(distinct.size(), kKeys);
+  EXPECT_LE(MaxBucketLoad(hashes, 0), 30u);
+  EXPECT_LE(MaxBucketLoad(hashes, 7), 30u);
+  // Part order matters: (i, j) and (j, i) are different keys.
+  PartitionKey ab;
+  ab.parts = {Value(1), Value(2)};
+  PartitionKey ba;
+  ba.parts = {Value(2), Value(1)};
+  EXPECT_NE(PartitionKeyHash{}(ab), PartitionKeyHash{}(ba));
+}
+
+}  // namespace
+}  // namespace aseq

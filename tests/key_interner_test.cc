@@ -1,0 +1,109 @@
+// KeyInterner and InternedKey: the dense-id layer between partition-key
+// Values and the flat partition store. The contract under test: ids are
+// assigned in first-intern order, interning is Value::Equals-consistent,
+// Lookup never mutates, and a checkpoint round-trip (values in id order)
+// reproduces every id exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+#include "container/key_interner.h"
+
+namespace aseq {
+namespace container {
+namespace {
+
+TEST(KeyInternerTest, IdsAssignedInFirstInternOrder) {
+  KeyInterner interner;
+  EXPECT_EQ(interner.Intern(Value("alice")), 0u);
+  EXPECT_EQ(interner.Intern(Value("bob")), 1u);
+  EXPECT_EQ(interner.Intern(Value(42)), 2u);
+  // Re-interning returns the existing id.
+  EXPECT_EQ(interner.Intern(Value("alice")), 0u);
+  EXPECT_EQ(interner.Intern(Value(42)), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+  EXPECT_TRUE(interner.ValueOf(0).Equals(Value("alice")));
+  EXPECT_TRUE(interner.ValueOf(1).Equals(Value("bob")));
+  EXPECT_TRUE(interner.ValueOf(2).Equals(Value(42)));
+}
+
+TEST(KeyInternerTest, EqualsConsistentAcrossNumericTypes) {
+  // Value(1) and Value(1.0) are Equals-equal and must share an id — the
+  // id compare on the probe path stands in for a Value::Equals compare.
+  KeyInterner interner;
+  const uint32_t id = interner.Intern(Value(1));
+  EXPECT_EQ(interner.Intern(Value(1.0)), id);
+  EXPECT_EQ(interner.Lookup(Value(1.0)), id);
+  EXPECT_EQ(interner.size(), 1u);
+  // The stored representative is the first-seen one.
+  EXPECT_TRUE(interner.ValueOf(id).Equals(Value(1)));
+  // A non-integral double is its own key.
+  EXPECT_NE(interner.Intern(Value(1.5)), id);
+}
+
+TEST(KeyInternerTest, LookupDoesNotMutate) {
+  KeyInterner interner;
+  interner.Intern(Value("seen"));
+  EXPECT_EQ(interner.Lookup(Value("never-interned")), kNoId);
+  EXPECT_EQ(interner.size(), 1u);
+  EXPECT_EQ(interner.Lookup(Value("seen")), 0u);
+}
+
+TEST(KeyInternerTest, RestoreFromValuesReproducesIds) {
+  KeyInterner original;
+  for (int i = 0; i < 500; ++i) original.Intern(Value(i * 7));
+  original.Intern(Value("trader-x"));
+
+  KeyInterner restored;
+  ASSERT_TRUE(restored.RestoreFromValues(original.values()));
+  ASSERT_EQ(restored.size(), original.size());
+  for (uint32_t id = 0; id < original.size(); ++id) {
+    EXPECT_TRUE(restored.ValueOf(id).Equals(original.ValueOf(id))) << id;
+    EXPECT_EQ(restored.Lookup(original.ValueOf(id)), id) << id;
+  }
+  // The restored interner continues assigning ids exactly where the
+  // original would: the next unseen value gets the next dense id.
+  EXPECT_EQ(restored.Intern(Value("unseen")), original.size());
+}
+
+TEST(KeyInternerTest, RestoreRejectsDuplicateValues) {
+  // A duplicate in the id-ordered sequence would alias two ids; the
+  // restore must fail and leave the interner empty rather than guess.
+  std::vector<Value> corrupt = {Value(1), Value(2), Value(1.0)};
+  KeyInterner interner;
+  EXPECT_FALSE(interner.RestoreFromValues(std::move(corrupt)));
+  EXPECT_EQ(interner.size(), 0u);
+}
+
+TEST(InternedKeyTest, DefaultIsAllNoIdAndComparesWholeArray) {
+  InternedKey a;
+  for (uint32_t id : a.ids) EXPECT_EQ(id, kNoId);
+  InternedKey b;
+  EXPECT_EQ(a, b);
+  a.ids[0] = 7;
+  EXPECT_NE(a, b);
+  b.ids[0] = 7;
+  EXPECT_EQ(a, b);
+  // A difference in any part — including trailing ones — breaks equality.
+  b.ids[kMaxKeyParts - 1] = 0;
+  EXPECT_NE(a, b);
+}
+
+TEST(InternedKeyTest, HashIsContentPure) {
+  InternedKey a;
+  a.ids[0] = 1;
+  a.ids[1] = 2;
+  InternedKey b;
+  b.ids[0] = 1;
+  b.ids[1] = 2;
+  EXPECT_EQ(InternedKeyHash{}(a), InternedKeyHash{}(b));
+  b.ids[1] = 3;
+  EXPECT_NE(InternedKeyHash{}(a), InternedKeyHash{}(b));
+}
+
+}  // namespace
+}  // namespace container
+}  // namespace aseq

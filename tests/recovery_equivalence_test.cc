@@ -323,6 +323,46 @@ TEST(RecoveryEquivalenceTest, HpcGroupBySumFloat) {
                 "hpc-groupby-sum");
 }
 
+// High-cardinality grouped workloads drive the flat partition store through
+// its full lifecycle across the kill-offset matrix: FlatMap growth and
+// tombstone churn, slab freelist reuse, interner growth, and (for COUNT)
+// the verbatim-serialized expiry heap. A kill at any offset must land in
+// the middle of that churn and still restore byte-identically.
+TEST(RecoveryEquivalenceTest, HpcGroupByCountHighCardinality) {
+  auto c = std::make_unique<StockCase>();
+  StockStreamOptions options;
+  options.seed = 68;
+  options.num_events = 2000;
+  options.max_gap_ms = 8;
+  options.num_traders = 400;
+  c->events = GenerateStockStream(options, &c->schema);
+  AssignSeqNums(&c->events);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 200ms");
+  CheckRecovery([&] { return MustCreateAseq(cq); }, c->events,
+                "hpc-groupby-hicard");
+}
+
+// Same cardinality pressure, but SUM makes the slab's slot order directly
+// observable through the floating-point merge order of every trigger scan.
+TEST(RecoveryEquivalenceTest, HpcGroupBySumHighCardinality) {
+  auto c = std::make_unique<StockCase>();
+  StockStreamOptions options;
+  options.seed = 69;
+  options.num_events = 2000;
+  options.max_gap_ms = 8;
+  options.num_traders = 400;
+  c->events = GenerateStockStream(options, &c->schema);
+  AssignSeqNums(&c->events);
+  CompiledQuery cq = MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG SUM(IPIX.price) "
+      "WITHIN 200ms");
+  CheckRecovery([&] { return MustCreateAseq(cq); }, c->events,
+                "hpc-groupby-sum-hicard");
+}
+
 TEST(RecoveryEquivalenceTest, HpcEquivalencePredicate) {
   auto c = MakeStock(67, 1200);
   CompiledQuery cq = MustCompile(
