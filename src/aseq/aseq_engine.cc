@@ -7,18 +7,8 @@
 #include <utility>
 
 #include "ckpt/ckpt.h"
-#include "query/role_table.h"
 
 namespace aseq {
-
-namespace {
-
-/// Carrier attribute value of an event, for roles at the carrier position.
-double CarrierValue(const CompiledQuery& q, const Event& e) {
-  return e.GetAttr(q.agg().attr).ToDouble();
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // AseqEngine (DPC / SEM)
@@ -32,27 +22,27 @@ AseqEngine::AseqEngine(CompiledQuery query)
                         : 0),
       counters_(length_, query_.agg().func, carrier_pos1_, query_.window_ms(),
                 &stats_),
-      role_table_(BuildRoleTable(query_)) {
+      program_(query_) {
   assert(!query_.partitioned());
   assert(!query_.has_join_predicates());
 }
 
 void AseqEngine::ProcessEvent(const Event& e, std::vector<Output>* out) {
   ++stats_.events_processed;
-  const std::vector<Role>* roles = LookupRoles(role_table_, e.type());
-  if (roles == nullptr) return;
   bool trigger = false;
-  for (const Role& role : *roles) {
-    if (!query_.QualifiesFor(e, role.elem_index)) continue;
+  plan::AdmissionRecord rec;
+  for (const plan::RoleProgram& rp : program_.RolesFor(e.type())) {
+    // Fused qualify + carrier load; no partition parts to extract here.
+    if (!program_.AdmitRole(e, rp, &rec, &stats_)) continue;
+    const Role& role = rp.role;
     if (role.negated) {
       counters_.ResetPrefix(role.position);
       continue;
     }
-    double v = role.position == carrier_pos1_ ? CarrierValue(query_, e) : 0;
     if (role.position == 1) {
-      counters_.OnStart(e, v);
+      counters_.OnStart(e, rec.carrier);
     } else {
-      counters_.ApplyUpdate(role.position, v);
+      counters_.ApplyUpdate(role.position, rec.carrier);
     }
     if (role.position == length_) trigger = true;
   }
@@ -136,141 +126,63 @@ HpcEngine::HpcEngine(CompiledQuery query)
                       ? static_cast<size_t>(query_.partition_spec().group_part)
                       : 0),
       single_part_(num_parts_ == 1),
-      role_table_(BuildRoleTable(query_)) {
+      program_(query_) {
   assert(query_.partitioned());
   assert(!query_.has_join_predicates());
   assert(num_parts_ <= container::kMaxKeyParts &&
          "CreateAseqEngine rejects wider keys");
 }
 
-HpcEngine::RoleProbe& HpcEngine::NextProbe() {
-  if (probes_used_ == probes_.size()) probes_.emplace_back();
-  return probes_[probes_used_++];
-}
-
-bool HpcEngine::ExtractKey(const Event& e, size_t elem_index,
-                           RoleProbe* probe) {
-  uint64_t mask = 0;
-  const auto& parts = query_.partition_spec().parts;
-  for (size_t p = 0; p < num_parts_; ++p) {
-    const PartitionSpec::Part& part = parts[p];
-    const bool covers = elem_index < part.covers_elem.size() &&
-                        part.covers_elem[elem_index];
-    if (!covers) {
-      // Key slot stays kNoId: matches any partition.
-      probe->part_vals[p] = nullptr;
-      continue;
+void HpcEngine::PrefetchIndex() const {
+  for (const plan::AdmissionRecord& rec : admitter_.records()) {
+    // Partial-coverage negation scans every partition; nothing to target.
+    if (rec.role->role.negated && !rec.role->fully_covered) continue;
+    if (single_part_) {
+      const uint32_t idx = DenseIdx(rec.key.ids[0]);
+      if (idx < slot_by_id_.size()) {
+        __builtin_prefetch(&slot_by_id_[idx], /*rw=*/0, /*locality=*/3);
+      }
+    } else {
+      index_.PrefetchSlot(rec.key_hash);
     }
-    const Value* v = e.FindAttr(part.attr);
-    if (v == nullptr || v->is_null()) return false;
-    const uint64_t vh = ValueHash{}(*v);
-    probe->part_vals[p] = v;
-    probe->part_hashes[p] = vh;
-    interner_.PrefetchSlot(vh);
-    mask |= uint64_t{1} << p;
-  }
-  probe->covered_mask = mask;
-  return true;
-}
-
-void HpcEngine::InternKey(RoleProbe* probe) {
-  const bool negated = probe->kind == RoleProbe::Kind::kNegated;
-  probe->key = container::InternedKey();
-  for (size_t p = 0; p < num_parts_; ++p) {
-    const Value* v = probe->part_vals[p];
-    if (v == nullptr) continue;
-    probe->key.ids[p] = negated
-                            ? interner_.LookupHashed(probe->part_hashes[p], *v)
-                            : interner_.InternHashed(probe->part_hashes[p], *v);
-  }
-  if (negated && !probe->fully_covered) return;  // scans; nothing to target
-  probe->hash = container::InternedKeyHash{}(probe->key);
-  if (single_part_) {
-    const uint32_t idx = DenseIdx(probe->key.ids[0]);
-    if (idx < slot_by_id_.size()) {
-      __builtin_prefetch(&slot_by_id_[idx], /*rw=*/0, /*locality=*/3);
-    }
-  } else {
-    index_.PrefetchSlot(probe->hash);
-  }
-  if (per_group_ && count_fast_path()) {
-    // The COUNT fast path folds counter deltas into group_counts_; warm
-    // that cell too while the batch pipeline has distance to spare.
-    const uint32_t idx = DenseIdx(probe->key.ids[group_part_]);
-    if (idx < group_counts_.size()) {
-      __builtin_prefetch(&group_counts_[idx], /*rw=*/1, /*locality=*/3);
-    }
-  }
-}
-
-void HpcEngine::StageBatch(std::span<const Event> batch) {
-  probes_used_ = 0;
-  plans_.clear();
-  // Pass 1: qualify, extract attribute values, hash them, and prefetch
-  // the interner slots they will probe.
-  for (const Event& e : batch) {
-    EventPlan plan;
-    plan.first_probe = probes_used_;
-    const std::vector<Role>* roles = LookupRoles(role_table_, e.type());
-    if (roles != nullptr) {
-      for (const Role& role : *roles) {
-        if (!query_.QualifiesFor(e, role.elem_index)) continue;
-        RoleProbe& probe = NextProbe();
-        probe.role = &role;
-        probe.kind = role.negated ? RoleProbe::Kind::kNegated
-                                  : RoleProbe::Kind::kPositive;
-        if (!ExtractKey(e, role.elem_index, &probe)) {
-          --probes_used_;  // missing partition attribute: ignored
-          continue;
-        }
-        // Positive keys always fully cover positive elements.
-        probe.fully_covered =
-            role.negated ? probe.covered_mask == full_mask_ : true;
-        probe.hash = 0;
+    if (per_group_ && count_fast_path()) {
+      // The COUNT fast path folds counter deltas into group_counts_; warm
+      // that cell too while the batch pipeline has distance to spare.
+      const uint32_t idx = DenseIdx(rec.key.ids[group_part_]);
+      if (idx < group_counts_.size()) {
+        __builtin_prefetch(&group_counts_[idx], /*rw=*/1, /*locality=*/3);
       }
     }
-    plan.num_probes = probes_used_ - plan.first_probe;
-    plans_.push_back(plan);
-  }
-  // Pass 2: intern against the now-warm interner lines — in probe order,
-  // so id assignment stays a pure function of the event stream — and
-  // prefetch the partition-index slots ExecuteEvent will probe.
-  for (size_t i = 0; i < probes_used_; ++i) {
-    InternKey(&probes_[i]);
   }
 }
 
 void HpcEngine::PrefetchPartitions() const {
-  for (size_t i = 0; i < probes_used_; ++i) {
-    const RoleProbe& probe = probes_[i];
+  for (const plan::AdmissionRecord& rec : admitter_.records()) {
     // Partial-coverage negation scans every partition; nothing to target.
-    if (probe.kind == RoleProbe::Kind::kNegated && !probe.fully_covered) {
-      continue;
-    }
+    if (rec.role->role.negated && !rec.role->fully_covered) continue;
     // The index lines are warm from staging; resolve the slot now and
     // pull the slab partition itself into cache (DRAMHiT-style). The
     // result is deliberately discarded: executing earlier batch events
     // can create or erase partitions, so a cached slot could go stale.
-    const uint32_t slot = LookupSlot(probe.hash, probe.key);
+    const uint32_t slot = LookupSlot(rec.key_hash, rec.key);
     if (slot != kNoSlot) {
       __builtin_prefetch(&slab_.at(slot), /*rw=*/0, /*locality=*/3);
     }
   }
 }
 
-void HpcEngine::ExecuteEvent(const Event& e, const EventPlan& plan,
+void HpcEngine::ExecuteEvent(const Event& e,
+                             std::span<const plan::AdmissionRecord> records,
                              std::vector<Output>* out) {
   ++stats_.events_processed;
   bool trigger = false;
   container::InternedKey trigger_key;
 
-  for (size_t i = plan.first_probe; i < plan.first_probe + plan.num_probes;
-       ++i) {
-    RoleProbe& probe = probes_[i];
-    const Role& role = *probe.role;
-    if (probe.kind == RoleProbe::Kind::kNegated) {
-      if (probe.fully_covered) {
-        const uint32_t slot = LookupSlot(probe.hash, probe.key);
+  for (const plan::AdmissionRecord& rec : records) {
+    const Role& role = rec.role->role;
+    if (role.negated) {
+      if (rec.role->fully_covered) {
+        const uint32_t slot = LookupSlot(rec.key_hash, rec.key);
         if (slot != kNoSlot) {
           Partition& part = slab_.at(slot);
           MutatePartition(part, [&] {
@@ -289,8 +201,8 @@ void HpcEngine::ExecuteEvent(const Event& e, const EventPlan& plan,
           Partition& part = slab_.at(s);
           bool match = true;
           for (size_t p = 0; p < num_parts_ && match; ++p) {
-            if ((probe.covered_mask >> p) & 1) {
-              match = part.key.ids[p] == probe.key.ids[p];
+            if ((rec.role->covered_mask >> p) & 1) {
+              match = part.key.ids[p] == rec.key.ids[p];
             }
           }
           if (match) {
@@ -307,9 +219,9 @@ void HpcEngine::ExecuteEvent(const Event& e, const EventPlan& plan,
     if (role.position == 1) {
       // Single-probe upsert: the index entry is created first (with a
       // placeholder slot), then the partition is slab-allocated into it.
-      auto [slot_ref, inserted] = UpsertSlot(probe);
+      auto [slot_ref, inserted] = UpsertSlot(rec.key_hash, rec.key);
       if (inserted) {
-        *slot_ref = slab_.Emplace(probe.key, probe.hash, length_,
+        *slot_ref = slab_.Emplace(rec.key, rec.key_hash, length_,
                                   query_.agg().func, carrier_pos1_,
                                   query_.window_ms(), &stats_);
       }
@@ -319,33 +231,26 @@ void HpcEngine::ExecuteEvent(const Event& e, const EventPlan& plan,
       // earliest expiration; put it on the expiry heap.
       const bool was_empty =
           part.counters.windowed() && part.counters.num_counters() == 0;
-      MutatePartition(part, [&] {
-        part.counters.OnStart(e, role.position == carrier_pos1_
-                                     ? CarrierValue(query_, e)
-                                     : 0);
-      });
+      MutatePartition(part, [&] { part.counters.OnStart(e, rec.carrier); });
       if (was_empty) EnqueueExpiry(part);
       if (role.position == length_) {
         trigger = true;
         trigger_key = part.key;
       }
     } else {
-      const uint32_t found = LookupSlot(probe.hash, probe.key);
+      const uint32_t found = LookupSlot(rec.key_hash, rec.key);
       if (found != kNoSlot) {
         Partition& part = slab_.at(found);
         MutatePartition(part, [&] {
           part.counters.Purge(e.ts());
-          part.counters.ApplyUpdate(role.position,
-                                    role.position == carrier_pos1_
-                                        ? CarrierValue(query_, e)
-                                        : 0);
+          part.counters.ApplyUpdate(role.position, rec.carrier);
         });
       }
       if (role.position == length_) {
         trigger = true;
         // Triggers fire even into an absent partition (the total is then
         // whatever the other live partitions hold).
-        trigger_key = probe.key;
+        trigger_key = rec.key;
       }
     }
   }
@@ -385,18 +290,21 @@ void HpcEngine::ExecuteEvent(const Event& e, const EventPlan& plan,
 }
 
 void HpcEngine::OnEvent(const Event& e, std::vector<Output>* out) {
-  StageBatch(std::span<const Event>(&e, 1));
-  ExecuteEvent(e, plans_[0], out);
+  admitter_.AdmitBatch(program_, std::span<const Event>(&e, 1), &interner_,
+                       &stats_);
+  PrefetchIndex();
+  ExecuteEvent(e, admitter_.RecordsFor(0), out);
   UpdateHtStats();
 }
 
 void HpcEngine::OnBatch(std::span<const Event> batch,
                         std::vector<Output>* out) {
   if (batch.empty()) return;
-  StageBatch(batch);
+  admitter_.AdmitBatch(program_, batch, &interner_, &stats_);
+  PrefetchIndex();
   PrefetchPartitions();
   for (size_t i = 0; i < batch.size(); ++i) {
-    ExecuteEvent(batch[i], plans_[i], out);
+    ExecuteEvent(batch[i], admitter_.RecordsFor(i), out);
   }
   stats_.NoteBatch(batch.size());
   UpdateHtStats();

@@ -14,6 +14,7 @@
 #include "container/key_interner.h"
 #include "container/slab_pool.h"
 #include "engine/engine.h"
+#include "plan/admission.h"
 #include "query/compiled_query.h"
 
 namespace aseq {
@@ -62,9 +63,10 @@ class AseqEngine : public QueryEngine {
   size_t length_;        // L: number of positive elements
   size_t carrier_pos1_;  // 1-based aggregate carrier position; 0 for COUNT
   CounterSet counters_;
-  /// Flat role table indexed by EventTypeId (nullptr = type not in
-  /// pattern); replaces the per-event FindRoles hash lookup.
-  std::vector<const std::vector<Role>*> role_table_;
+  /// Compiled admission program (src/plan/): dense EventTypeId-indexed
+  /// role dispatch + typed local-predicate opcodes + fused carrier load.
+  /// Borrows query_'s predicate storage — declared after it.
+  plan::AdmissionProgram program_;
 };
 
 /// \brief The partitioned A-Seq engine: Hashed Prefix Counters (Sec. 3.4)
@@ -74,14 +76,15 @@ class AseqEngine : public QueryEngine {
 /// to their partition, negated instances invalidate the partitions matching
 /// on the key parts that constrain them.
 ///
-/// Execution is staged: StageBatch extracts and *interns* every partition
-/// key of a batch up front (each distinct key Value maps to a dense
-/// uint32_t id, so a staged key is a fixed-size id array — no Value copies
-/// or allocations), PrefetchPartitions issues DRAMHiT-style software
-/// prefetches for the flat-table slots the batch will probe, and
-/// ExecuteEvent replays the staged probes in arrival order. OnEvent stages
-/// a one-event batch through the same path, so both paths share one code
-/// path and stay exactly equivalent.
+/// Execution is staged through the compiled admission layer (src/plan/):
+/// plan::BatchAdmitter::AdmitBatch qualifies, extracts, and *interns*
+/// every partition key of a batch up front (each distinct key Value maps
+/// to a dense uint32_t id, so a staged key is a fixed-size id array — no
+/// Value copies or allocations), PrefetchIndex/PrefetchPartitions issue
+/// DRAMHiT-style software prefetches for the flat-table slots the batch
+/// will probe, and ExecuteEvent replays the staged records in arrival
+/// order. OnEvent stages a one-event batch through the same path, so both
+/// paths share one code path and stay exactly equivalent.
 ///
 /// State lives in the flat partition store (src/container/):
 ///  - a SlabPool of Partition objects — the *iteration authority*: every
@@ -165,69 +168,23 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
   /// covers) get a reserved bucket instead of an out-of-range access.
   static constexpr uint32_t DenseIdx(uint32_t id) { return id + 1u; }
 
-  /// One qualifying role of one batch event, with its partition key
-  /// interned and pre-hashed. Trivially reusable: staging after warm-up
-  /// performs zero allocations.
-  struct RoleProbe {
-    enum class Kind : uint8_t { kPositive, kNegated };
+  /// Prefetch pass after admission: warms the partition-index (and
+  /// group-count) slots each staged record will probe. The interner slots
+  /// were already prefetched during admission's extraction pass.
+  void PrefetchIndex() const;
 
-    const Role* role = nullptr;
-    Kind kind = Kind::kPositive;
-    /// Negated roles only: does the partition key cover every part? A
-    /// fully covered probe targets one partition; a partial one scans all.
-    bool fully_covered = true;
-    /// Precomputed InternedKeyHash (meaningless for partial negation).
-    uint64_t hash = 0;
-    container::InternedKey key;
-    /// Bit p set = part p constrains this element (negated roles only).
-    uint64_t covered_mask = 0;
-    /// Extraction pass scratch: the covered parts' attribute values and
-    /// their ValueHashes, pending interning. Pointers into the batch's
-    /// events, valid for the one StageBatch that wrote them.
-    std::array<const Value*, container::kMaxKeyParts> part_vals;
-    std::array<uint64_t, container::kMaxKeyParts> part_hashes;
-  };
-
-  /// The staged probes of one event: probes_[first_probe, first_probe+n).
-  struct EventPlan {
-    size_t first_probe = 0;
-    size_t num_probes = 0;
-  };
-
-  /// Extraction pass of StageKey: records the covered parts' attribute
-  /// values and ValueHashes into the probe (PartitionKeyFor semantics,
-  /// minus the Value copies) and prefetches the interner slots those
-  /// hashes will probe. Returns false if a covering part's attribute is
-  /// missing or null (the probe is then dropped). Interning happens a
-  /// pass later, against warm cache lines.
-  bool ExtractKey(const Event& e, size_t elem_index, RoleProbe* probe);
-
-  /// Intern pass of StageKey: maps the extracted values to dense ids —
-  /// positive roles intern unseen values (they may create partitions and
-  /// their group value must be recoverable for output); negated roles use
-  /// non-mutating lookups, so a miss yields kNoId, which matches no live
-  /// partition — then seals the probe's key hash and prefetches the
-  /// partition-index (and group-count) slots the probe will touch.
-  void InternKey(RoleProbe* probe);
-
-  /// Stages every role probe of the batch into probes_/plans_, as two
-  /// pipelined passes (extract+hash, then intern+hash) so each pass's
-  /// table probes run against cache lines prefetched by the previous one.
-  /// Mutates only the interner (first-seen values).
-  void StageBatch(std::span<const Event> batch);
-
-  /// Resolves each staged probe against the partition index and issues
+  /// Resolves each staged record against the partition index and issues
   /// software prefetches for the slab lines ExecuteEvent will touch (read
   /// intent, high temporal locality). Purely a cache warmer: results are
   /// deliberately not reused, since executing earlier batch events can
   /// create or erase partitions and stale slots must never be trusted.
   void PrefetchPartitions() const;
 
-  /// Replays one event's staged probes against the partition store.
-  void ExecuteEvent(const Event& e, const EventPlan& plan,
+  /// Replays one event's staged admission records against the partition
+  /// store.
+  void ExecuteEvent(const Event& e,
+                    std::span<const plan::AdmissionRecord> records,
                     std::vector<Output>* out);
-
-  RoleProbe& NextProbe();
 
   /// Sums live counters of partitions whose group id equals `gid`; with
   /// `match_group == false`, sums every partition. Walks the slab in slot
@@ -297,18 +254,19 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
     return slot == nullptr ? kNoSlot : *slot;
   }
 
-  /// Index entry for a position-1 probe: returns the slot cell (holding
+  /// Index entry for a position-1 record: returns the slot cell (holding
   /// kNoSlot if the entry was just created) and whether it was created.
-  std::pair<uint32_t*, bool> UpsertSlot(const RoleProbe& probe) {
+  std::pair<uint32_t*, bool> UpsertSlot(uint64_t hash,
+                                        const container::InternedKey& key) {
     if (single_part_) {
-      const uint32_t idx = DenseIdx(probe.key.ids[0]);
+      const uint32_t idx = DenseIdx(key.ids[0]);
       if (idx >= slot_by_id_.size()) {
         slot_by_id_.resize(interner_.size() + 1, kNoSlot);
       }
       uint32_t* slot = &slot_by_id_[idx];
       return {slot, *slot == kNoSlot};
     }
-    return index_.TryEmplaceHashed(probe.hash, probe.key, kNoSlot);
+    return index_.TryEmplaceHashed(hash, key, kNoSlot);
   }
 
   /// Drops `part`'s index entry (the slab slot itself is freed separately).
@@ -353,12 +311,12 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
   /// array read — no hashing, no collisions.
   std::vector<uint32_t> slot_by_id_;
   container::SlabPool<Partition> slab_;
-  /// Flat role table indexed by EventTypeId (see AseqEngine::role_table_).
-  std::vector<const std::vector<Role>*> role_table_;
-  // Staging scratch, reused (clear-not-shrink) across batches.
-  std::vector<RoleProbe> probes_;
-  size_t probes_used_ = 0;
-  std::vector<EventPlan> plans_;
+  /// Compiled admission program (src/plan/): dense role dispatch, typed
+  /// local-predicate opcodes, fused carrier load + key extraction.
+  /// Borrows query_'s predicate storage — declared after it.
+  plan::AdmissionProgram program_;
+  /// Batched admission scratch, reused (clear-not-shrink) across batches.
+  plan::BatchAdmitter admitter_;
   // COUNT fast path: running full-match totals (global, or per group id)
   // and the partition-expiry heap that keeps them exact under lazy
   // purging. Group totals live in a flat array indexed by DenseIdx(gid) —

@@ -86,6 +86,14 @@ EcubeEngine::EcubeEngine(std::vector<CompiledQuery> queries,
                          std::vector<EventTypeId> shared_types)
     : queries_(std::move(queries)), shared_types_(std::move(shared_types)) {
   window_ms_ = queries_[0].window_ms();
+  for (const CompiledQuery& q : queries_) {
+    plan::AdmissionProgram program(q);
+    for (EventTypeId t : q.positive_types()) {
+      if (t >= type_relevant_.size()) type_relevant_.resize(t + 1, 0);
+      if (program.Relevant(t)) type_relevant_[t] = 1;
+    }
+    programs_.push_back(std::move(program));
+  }
   shared_stacks_.resize(shared_types_.size());
   shared_dfs_.resize(shared_types_.size());
   states_.resize(queries_.size());
@@ -302,6 +310,9 @@ void EcubeEngine::OnBatch(std::span<const Event> batch,
 
 void EcubeEngine::ProcessEvent(const Event& e, std::vector<MultiOutput>* out) {
   ++stats_.events_processed;
+  // Type-level early-out: a type outside every query's pattern touches no
+  // stack and cannot trigger (the caller's purge already ran).
+  if (e.type() >= type_relevant_.size() || !type_relevant_[e.type()]) return;
 
   // Shared stacks (descending position order).
   bool shared_trigger = false;

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "aseq/aggregate.h"
+#include "plan/admission.h"
 
 namespace aseq {
 
@@ -48,16 +49,21 @@ std::vector<Output> NaiveEnumerator::Aggregate(const std::vector<Event>& events,
     elem_to_pos[pos_elem[p]] = static_cast<int>(p);
   }
 
+  // Admission runs through the compiled program — the oracle exercises the
+  // same lowering the engines execute, and the differential fuzz suite pins
+  // the program against the interpreted QualifiesFor/PartitionKeyFor pair.
+  const plan::AdmissionProgram program(query_);
+  plan::AdmissionRecord rec;
+
   // Candidate instances per position.
   std::vector<std::vector<const Event*>> candidates(L);
   for (size_t i = 0; i <= upto && i < events.size(); ++i) {
     const Event& e = events[i];
     for (size_t p = 0; p < L; ++p) {
       if (e.type() != elems[pos_elem[p]].type) continue;
-      if (!query_.QualifiesFor(e, pos_elem[p])) continue;
-      if (query_.partitioned()) {
-        PartitionKey key;
-        if (!query_.PartitionKeyFor(e, pos_elem[p], &key)) continue;
+      const plan::RoleProgram* rp = program.FindRole(e.type(), pos_elem[p]);
+      if (rp == nullptr || !program.AdmitRole(e, *rp, &rec, nullptr)) {
+        continue;
       }
       candidates[p].push_back(&e);
     }
@@ -90,12 +96,14 @@ std::vector<Output> NaiveEnumerator::Aggregate(const std::vector<Event>& events,
         if (x.seq() <= lo) continue;
         if (x.seq() >= hi) break;
         if (x.type() != elems[role.elem_index].type) continue;
-        if (!query_.QualifiesFor(x, role.elem_index)) continue;
-        PartitionKey key;
-        std::vector<bool> covered;
-        if (!query_.PartitionKeyFor(x, role.elem_index, &key, &covered)) {
+        const plan::RoleProgram* nrp =
+            program.FindRole(x.type(), role.elem_index);
+        if (nrp == nullptr || !program.AdmitRole(x, *nrp, &rec, nullptr)) {
           continue;
         }
+        PartitionKey key;
+        std::vector<bool> covered;
+        program.MaterializeKey(rec, &key, &covered);
         bool applies = true;
         for (size_t p = 0; p < spec.parts.size(); ++p) {
           if (covered[p] &&

@@ -27,7 +27,8 @@ StackEngine::StackEngine(CompiledQuery query)
     : query_(std::move(query)),
       length_(query_.num_positive()),
       carrier_pos_(query_.agg_positive_pos()),
-      grouped_(query_.partition_spec().per_group_output) {
+      grouped_(query_.partition_spec().per_group_output),
+      program_(query_) {
   stacks_.resize(length_);
   for (size_t i = 0; i < query_.pattern().size(); ++i) {
     if (!query_.pattern().elements()[i].negated) continue;
@@ -134,22 +135,21 @@ void StackEngine::OnBatch(std::span<const Event> batch,
 
 void StackEngine::ProcessEvent(const Event& e, std::vector<Output>* out) {
   ++stats_.events_processed;
-  const std::vector<Role>* roles = query_.FindRoles(e.type());
-  if (roles == nullptr) return;
 
   bool trigger = false;
-  PartitionKey key;
-  for (const Role& role : *roles) {
-    if (!query_.QualifiesFor(e, role.elem_index)) continue;
+  plan::AdmissionRecord rec;
+  for (const plan::RoleProgram& rp : program_.RolesFor(e.type())) {
+    // Fused qualify + key extraction: AdmitRole rejects exactly when the
+    // interpreted QualifiesFor/PartitionKeyFor pair did (failed local
+    // predicate, or a covering partition attribute missing/null).
+    if (!program_.AdmitRole(e, rp, &rec, &stats_)) continue;
+    const Role& role = rp.role;
     if (role.negated) {
       // Retain the instance for the post-filter over constructed matches.
       NegEvent neg;
       neg.seq = e.seq();
       neg.ts = e.ts();
-      if (!query_.PartitionKeyFor(e, role.elem_index, &neg.key,
-                                  &neg.covered)) {
-        continue;  // missing partition attribute: ignored
-      }
+      program_.MaterializeKey(rec, &neg.key, &neg.covered);
       for (size_t r = 0; r < neg_roles_.size(); ++r) {
         if (neg_roles_[r].elem_index == role.elem_index) {
           neg_events_[r].push_back(neg);
@@ -161,10 +161,6 @@ void StackEngine::ProcessEvent(const Event& e, std::vector<Output>* out) {
     }
     // Positive role: push onto the position's stack (roles arrive in
     // descending position order, so an instance never pairs with itself).
-    if (query_.partitioned() &&
-        !query_.PartitionKeyFor(e, role.elem_index, &key)) {
-      continue;  // cannot participate in any equivalence partition
-    }
     size_t pos = role.position - 1;  // 0-based
     StackEntry entry;
     entry.event = e;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "plan/admission.h"
 #include "query/compiled_query.h"
 
 namespace aseq {
@@ -144,6 +145,11 @@ class StackEngine : public QueryEngine {
   size_t length_;        // L
   int carrier_pos_;      // 0-based positive carrier position; -1 for COUNT
   bool grouped_;
+  /// Compiled admission program (src/plan/): dense role dispatch + typed
+  /// local-predicate opcodes; AdmitRole fails exactly when the interpreted
+  /// QualifiesFor/PartitionKeyFor pair rejected the instance. Borrows
+  /// query_'s predicate storage — declared after it.
+  plan::AdmissionProgram program_;
   std::vector<PosStack> stacks_;  // per positive position
   /// Negated roles in pattern order; parallel retained-instance deques.
   std::vector<Role> neg_roles_;

@@ -316,6 +316,11 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   out << "results:       " << result.outputs.size() << "\n";
   out << "ms/slide:      " << result.MillisPerSlide() << "\n";
   out << "peak objects:  " << (*policy)->stats().objects.peak() << "\n";
+  const EngineStats& run_stats = (*policy)->stats();
+  out << "admission:     " << run_stats.adm_admitted << " admitted, "
+      << run_stats.adm_rejected_local << " rejected, "
+      << run_stats.adm_missing_attr << " missing-attr, "
+      << run_stats.adm_generic_cmps << " generic cmps\n";
   if (options->checkpoint_every > 0) {
     out << "checkpoints:   " << result.checkpoints_written;
     if (result.checkpoints_written > 0) {
@@ -623,6 +628,11 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   out << "batch size:    " << result.batch_size << "\n";
   out << "ms/slide:      " << result.MillisPerSlide() << "\n";
   out << "peak objects:  " << engine->stats().objects.peak() << "\n";
+  const EngineStats& wl_stats = engine->stats();
+  out << "admission:     " << wl_stats.adm_admitted << " admitted, "
+      << wl_stats.adm_rejected_local << " rejected, "
+      << wl_stats.adm_missing_attr << " missing-attr, "
+      << wl_stats.adm_generic_cmps << " generic cmps\n";
   if (options->checkpoint_every > 0) {
     out << "checkpoints:   " << result.checkpoints_written;
     if (result.checkpoints_written > 0) {

@@ -2,10 +2,6 @@
 
 namespace aseq {
 
-namespace {
-const Value kNullValue;
-}  // namespace
-
 void Event::SetAttr(AttrId attr, Value value) {
   for (auto& kv : attrs_) {
     if (kv.first == attr) {
@@ -14,18 +10,6 @@ void Event::SetAttr(AttrId attr, Value value) {
     }
   }
   attrs_.emplace_back(attr, std::move(value));
-}
-
-const Value* Event::FindAttr(AttrId attr) const {
-  for (const auto& kv : attrs_) {
-    if (kv.first == attr) return &kv.second;
-  }
-  return nullptr;
-}
-
-const Value& Event::GetAttr(AttrId attr) const {
-  const Value* v = FindAttr(attr);
-  return v != nullptr ? *v : kNullValue;
 }
 
 std::string Event::ToString(const Schema& schema) const {

@@ -40,11 +40,22 @@ class Event {
   /// Sets (or overwrites) an attribute value.
   void SetAttr(AttrId attr, Value value);
 
-  /// Returns the attribute value, or nullptr if absent.
-  const Value* FindAttr(AttrId attr) const;
+  /// Returns the attribute value, or nullptr if absent. Inline: this is
+  /// the single hottest call of the admission path (a few compares over a
+  /// tiny flat vector — the call overhead used to cost more than the scan).
+  const Value* FindAttr(AttrId attr) const {
+    for (const auto& kv : attrs_) {
+      if (kv.first == attr) return &kv.second;
+    }
+    return nullptr;
+  }
 
   /// Returns the attribute value, or a null Value if absent.
-  const Value& GetAttr(AttrId attr) const;
+  const Value& GetAttr(AttrId attr) const {
+    static const Value kNull;
+    const Value* v = FindAttr(attr);
+    return v != nullptr ? *v : kNull;
+  }
 
   const std::vector<std::pair<AttrId, Value>>& attrs() const { return attrs_; }
 

@@ -21,77 +21,6 @@ const char* ValueTypeToString(ValueType type) {
   return "unknown";
 }
 
-double Value::ToDouble() const {
-  switch (type()) {
-    case ValueType::kInt64:
-      return static_cast<double>(AsInt64());
-    case ValueType::kDouble:
-      return AsDouble();
-    default:
-      return 0.0;
-  }
-}
-
-bool Value::Equals(const Value& other) const {
-  if (is_numeric() && other.is_numeric()) {
-    if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
-      return AsInt64() == other.AsInt64();
-    }
-    return ToDouble() == other.ToDouble();
-  }
-  if (type() != other.type()) return false;
-  switch (type()) {
-    case ValueType::kNull:
-      return true;
-    case ValueType::kString:
-      return AsString() == other.AsString();
-    default:
-      return false;  // unreachable; numerics handled above
-  }
-}
-
-bool Value::ComparableWith(const Value& other) const {
-  if (is_numeric() && other.is_numeric()) return true;
-  return type() == ValueType::kString && other.type() == ValueType::kString;
-}
-
-bool Value::LessThan(const Value& other) const {
-  if (is_numeric() && other.is_numeric()) {
-    if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
-      return AsInt64() < other.AsInt64();
-    }
-    return ToDouble() < other.ToDouble();
-  }
-  if (type() == ValueType::kString && other.type() == ValueType::kString) {
-    return AsString() < other.AsString();
-  }
-  return false;
-}
-
-std::size_t Value::Hash() const {
-  // Every case runs through the HashMix64 avalanche: the open-addressing
-  // flat tables (src/container/) slice this hash into a probe start (high
-  // bits) and a 7-bit tag (low bits), and libstdc++'s identity-like
-  // std::hash<int64_t> would cluster sequential ids into one probe chain.
-  switch (type()) {
-    case ValueType::kNull:
-      return HashMix64(0x9e3779b97f4a7c15ULL);
-    case ValueType::kInt64:
-      return HashMix64(static_cast<uint64_t>(AsInt64()));
-    case ValueType::kDouble: {
-      // Hash integral doubles like the equal int64 so Equals/Hash agree.
-      double d = AsDouble();
-      double i;
-      if (std::modf(d, &i) == 0.0 && i >= -9.2e18 && i <= 9.2e18) {
-        return HashMix64(static_cast<uint64_t>(static_cast<int64_t>(i)));
-      }
-      return HashMix64(std::hash<double>()(d));
-    }
-    case ValueType::kString:
-      return HashMix64(std::hash<std::string>()(AsString()));
-  }
-  return 0;
-}
 
 std::string Value::ToString() const {
   switch (type()) {

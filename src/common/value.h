@@ -1,10 +1,13 @@
 #ifndef ASEQ_COMMON_VALUE_H_
 #define ASEQ_COMMON_VALUE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <variant>
+
+#include "common/hash_mix.h"
 
 namespace aseq {
 
@@ -53,25 +56,92 @@ class Value {
   }
 
   /// Accessors assume the matching type; call only after checking type().
-  int64_t AsInt64() const { return std::get<int64_t>(rep_); }
-  double AsDouble() const { return std::get<double>(rep_); }
-  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  /// get_if instead of get: the admission opcodes sit on these, and get's
+  /// bad_variant_access throw path is a branch they never need.
+  int64_t AsInt64() const { return *std::get_if<int64_t>(&rep_); }
+  double AsDouble() const { return *std::get_if<double>(&rep_); }
+  const std::string& AsString() const { return *std::get_if<std::string>(&rep_); }
+
+  // The comparison/hash kernel is inline: admission evaluates these on
+  // every event, and the call overhead measurably outweighed the bodies.
 
   /// Numeric value widened to double; 0.0 for non-numeric values.
-  double ToDouble() const;
+  double ToDouble() const {
+    switch (type()) {
+      case ValueType::kInt64:
+        return static_cast<double>(AsInt64());
+      case ValueType::kDouble:
+        return AsDouble();
+      default:
+        return 0.0;
+    }
+  }
 
   /// Equality: numerics compare by magnitude across int64/double; other
   /// cross-type comparisons are unequal. Null equals only null.
-  bool Equals(const Value& other) const;
+  bool Equals(const Value& other) const {
+    if (is_numeric() && other.is_numeric()) {
+      if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+        return AsInt64() == other.AsInt64();
+      }
+      return ToDouble() == other.ToDouble();
+    }
+    if (type() != other.type()) return false;
+    switch (type()) {
+      case ValueType::kNull:
+        return true;
+      case ValueType::kString:
+        return AsString() == other.AsString();
+      default:
+        return false;  // unreachable; numerics handled above
+    }
+  }
 
   /// Strict-weak "less than" for same-kind values (numeric vs numeric or
   /// string vs string). Returns false for unordered combinations.
-  bool LessThan(const Value& other) const;
+  bool LessThan(const Value& other) const {
+    if (is_numeric() && other.is_numeric()) {
+      if (type() == ValueType::kInt64 && other.type() == ValueType::kInt64) {
+        return AsInt64() < other.AsInt64();
+      }
+      return ToDouble() < other.ToDouble();
+    }
+    if (type() == ValueType::kString && other.type() == ValueType::kString) {
+      return AsString() < other.AsString();
+    }
+    return false;
+  }
 
   /// True when the two values are comparable with relational operators.
-  bool ComparableWith(const Value& other) const;
+  bool ComparableWith(const Value& other) const {
+    if (is_numeric() && other.is_numeric()) return true;
+    return type() == ValueType::kString && other.type() == ValueType::kString;
+  }
 
-  std::size_t Hash() const;
+  std::size_t Hash() const {
+    // Every case runs through the HashMix64 avalanche: the open-addressing
+    // flat tables (src/container/) slice this hash into a probe start (high
+    // bits) and a 7-bit tag (low bits), and libstdc++'s identity-like
+    // std::hash<int64_t> would cluster sequential ids into one probe chain.
+    switch (type()) {
+      case ValueType::kNull:
+        return HashMix64(0x9e3779b97f4a7c15ULL);
+      case ValueType::kInt64:
+        return HashMix64(static_cast<uint64_t>(AsInt64()));
+      case ValueType::kDouble: {
+        // Hash integral doubles like the equal int64 so Equals/Hash agree.
+        double d = AsDouble();
+        double i;
+        if (std::modf(d, &i) == 0.0 && i >= -9.2e18 && i <= 9.2e18) {
+          return HashMix64(static_cast<uint64_t>(static_cast<int64_t>(i)));
+        }
+        return HashMix64(std::hash<double>()(d));
+      }
+      case ValueType::kString:
+        return HashMix64(std::hash<std::string>()(AsString()));
+    }
+    return 0;
+  }
 
   std::string ToString() const;
 

@@ -2,8 +2,6 @@
 
 #include <cassert>
 
-#include "query/role_table.h"
-
 namespace aseq {
 namespace exec {
 
@@ -63,7 +61,7 @@ ShardRouter::ShardRouter(const CompiledQuery& query, size_t num_shards)
       num_shards_(num_shards),
       length_(query.num_positive()),
       group_part_(static_cast<size_t>(query.partition_spec().group_part)),
-      role_table_(BuildRoleTable(query)) {
+      program_(query) {
   assert(num_shards_ > 0);
   assert(query.partition_spec().per_group_output);
 }
@@ -71,28 +69,27 @@ ShardRouter::ShardRouter(const CompiledQuery& query, size_t num_shards)
 ShardRouter::Route ShardRouter::RouteEvent(const Event& e) {
   Route route;
   route.shard = static_cast<size_t>(e.seq() % num_shards_);
-  const std::vector<Role>* roles = LookupRoles(role_table_, e.type());
-  if (roles == nullptr) return route;
+  // Exactly HpcEngine's staging condition: a record exists iff the local
+  // predicates pass and the partition key extracts. No interner is passed —
+  // the router speaks its *own* id space, interned below.
+  admitter_.AdmitBatch(program_, std::span<const Event>(&e, 1),
+                       /*interner=*/nullptr, /*stats=*/nullptr);
   bool has_key = false;
-  for (const Role& role : *roles) {
-    // Exactly HpcEngine::StageBatch's staging condition: a probe exists
-    // iff the local predicates pass and the partition key extracts.
-    if (!query_->QualifiesFor(e, role.elem_index)) continue;
-    if (!query_->PartitionKeyFor(e, role.elem_index, &scratch_key_,
-                                 &scratch_covered_)) {
-      continue;
-    }
+  for (const plan::AdmissionRecord& rec : admitter_.RecordsFor(0)) {
     if (!has_key) {
       has_key = true;
       // Every role extracts the same GROUP BY part value (it comes from
-      // the event's own attribute), so the first staged probe fixes the
-      // owner shard. Interning gives a dense id per distinct key, so
+      // the event's own attribute; sharding requires the group part to
+      // cover every element), so the first staged record fixes the owner
+      // shard. Interning gives a dense id per distinct key, so
       // `id % num_shards` spreads keys round-robin in first-seen order —
       // immune to hash clustering — at the cost of making the table part
       // of the checkpointed router state (see Checkpoint).
-      route.shard = interner_.Intern(scratch_key_.parts[group_part_]) %
+      route.shard = interner_.InternHashed(rec.part_hashes[group_part_],
+                                           *rec.part_vals[group_part_]) %
                     num_shards_;
     }
+    const Role& role = rec.role->role;
     if (!role.negated && role.position == length_) {
       route.trigger = true;
       break;  // shard already fixed; nothing left to learn

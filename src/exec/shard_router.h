@@ -8,6 +8,7 @@
 #include "common/event.h"
 #include "common/status.h"
 #include "container/key_interner.h"
+#include "plan/admission.h"
 #include "query/compiled_query.h"
 
 namespace aseq {
@@ -38,12 +39,11 @@ struct ShardPlan {
 /// join predicates — falls back to serial with the reason logged.
 ShardPlan PlanSharding(const CompiledQuery& query);
 
-/// \brief Routes events to shards with the engine's own role dispatch and
-/// partition-key extraction (query/role_table.h + CompiledQuery), so an
-/// event always lands on the shard whose engine twin owns its GROUP BY
-/// key — and trigger events are recognized with exactly the condition
-/// HpcEngine stages them under (a qualifying positive role at the final
-/// position whose partition key extracts).
+/// \brief Routes events to shards with the engine's own compiled admission
+/// program (src/plan/), so an event always lands on the shard whose engine
+/// twin owns its GROUP BY key — and trigger events are recognized with
+/// exactly the condition HpcEngine stages them under (a qualifying positive
+/// role at the final position whose partition key extracts).
 class ShardRouter {
  public:
   ShardRouter(const CompiledQuery& query, size_t num_shards);
@@ -79,14 +79,18 @@ class ShardRouter {
   size_t num_shards_;
   size_t length_;
   size_t group_part_;
-  std::vector<const std::vector<Role>*> role_table_;
+  /// Compiled admission program — the *same* lowering the shard engines
+  /// run, so "stages a probe" means exactly the same thing on both sides.
+  /// Borrows query_'s predicate storage (the query outlives the router).
+  plan::AdmissionProgram program_;
+  /// Admission scratch. The batch interning pass is NOT used (AdmitBatch
+  /// runs with a null interner): the router interns only the GROUP BY part
+  /// value, below, and its id order is durable state.
+  plan::BatchAdmitter admitter_;
   /// GROUP BY values → dense ids, in first-routed order. Independent of
   /// any engine-side interner: routing only needs its *own* ids to be
   /// stable, and shard engines never see them.
   container::KeyInterner interner_;
-  // Extraction scratch, reused per event.
-  PartitionKey scratch_key_;
-  std::vector<bool> scratch_covered_;
 };
 
 }  // namespace exec

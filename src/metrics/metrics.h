@@ -106,6 +106,24 @@ struct EngineStats {
   /// Current live entries across the engine's flat tables.
   uint64_t ht_entries = 0;
 
+  // ---- Admission diagnostics (src/plan/) ----
+  //
+  // Transient like the ht_* gauges above: not checkpointed, not part of
+  // the equivalence contract, summed additively across shards (each event
+  // is admitted on exactly one owner shard).
+  /// (event, role) pairs admitted: qualified, carrier-valid, and with a
+  /// complete partition key.
+  uint64_t adm_admitted = 0;
+  /// (event, role) pairs rejected by a local predicate (including a
+  /// missing/non-numeric aggregate-carrier attribute).
+  uint64_t adm_rejected_local = 0;
+  /// (event, role) pairs dropped because a covering partition part's
+  /// attribute was missing or null.
+  uint64_t adm_missing_attr = 0;
+  /// Comparisons that took the generic EvalCmp fallback instead of a typed
+  /// opcode (mixed-type operands, attr-vs-attr terms, missing attributes).
+  uint64_t adm_generic_cmps = 0;
+
   /// Records one OnBatch call of `n` events.
   void NoteBatch(size_t n) {
     ++batches_processed;
@@ -124,6 +142,10 @@ struct EngineStats {
     ht_probe_steps = 0;
     ht_slots = 0;
     ht_entries = 0;
+    adm_admitted = 0;
+    adm_rejected_local = 0;
+    adm_missing_attr = 0;
+    adm_generic_cmps = 0;
   }
 };
 

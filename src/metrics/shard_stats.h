@@ -37,6 +37,13 @@ inline void MergeBulkStats(const EngineStats& shard, EngineStats* merged) {
   merged->ht_probe_steps += shard.ht_probe_steps;
   merged->ht_slots += shard.ht_slots;
   merged->ht_entries += shard.ht_entries;
+  // Admission counters: each serial event is admitted on exactly one owner
+  // shard (the router's purge markers never reach admission), so sums
+  // reproduce the serial engine's admission counts exactly.
+  merged->adm_admitted += shard.adm_admitted;
+  merged->adm_rejected_local += shard.adm_rejected_local;
+  merged->adm_missing_attr += shard.adm_missing_attr;
+  merged->adm_generic_cmps += shard.adm_generic_cmps;
 }
 
 /// \brief Reconstructs the serial engine's global live/peak object counts

@@ -11,7 +11,16 @@ namespace aseq {
 
 ChopConnectEngine::ChopConnectEngine(std::vector<CompiledQuery> queries,
                                      ChopPlan plan)
-    : queries_(std::move(queries)), plan_(std::move(plan)) {}
+    : queries_(std::move(queries)), plan_(std::move(plan)) {
+  for (const CompiledQuery& q : queries_) {
+    plan::AdmissionProgram program(q);
+    for (EventTypeId t : q.positive_types()) {
+      if (t >= type_relevant_.size()) type_relevant_.resize(t + 1, 0);
+      if (program.Relevant(t)) type_relevant_[t] = 1;
+    }
+    programs_.push_back(std::move(program));
+  }
+}
 
 Result<std::unique_ptr<ChopConnectEngine>> ChopConnectEngine::Create(
     std::vector<CompiledQuery> queries, ChopPlan plan) {
@@ -222,6 +231,9 @@ void ChopConnectEngine::OnBatch(std::span<const Event> batch,
 void ChopConnectEngine::ProcessEvent(const Event& e,
                                      std::vector<MultiOutput>* out) {
   ++stats_.events_processed;
+  // Type-level early-out via the compiled programs: a type outside every
+  // query's pattern is CNET/UPD/TRIG for no segment.
+  if (e.type() >= type_relevant_.size() || !type_relevant_[e.type()]) return;
 
   // CNET pre-pass (Lemma 7): snapshots use counts from *before* this
   // arrival's updates.

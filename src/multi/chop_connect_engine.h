@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "engine/engine.h"
 #include "multi/chop_plan.h"
+#include "plan/admission.h"
 #include "query/compiled_query.h"
 
 namespace aseq {
@@ -135,6 +136,13 @@ class ChopConnectEngine : public MultiQueryEngine {
   uint64_t QueryTotal(size_t qi, Timestamp now);
 
   std::vector<CompiledQuery> queries_;
+  /// Per-query compiled admission programs (src/plan/); the workload shape
+  /// has no predicates, so they serve as the dense type-relevance test.
+  /// Borrow queries_'s storage — declared after it.
+  std::vector<plan::AdmissionProgram> programs_;
+  /// Union of the programs' relevance, EventTypeId-indexed: an event whose
+  /// type is outside every query's pattern touches no segment.
+  std::vector<uint8_t> type_relevant_;
   ChopPlan plan_;
   Timestamp window_ms_ = 0;
   std::vector<Segment> segments_;

@@ -148,11 +148,23 @@ void HybridMultiEngine::ProcessEvent(const Event& e,
 
 void HybridMultiEngine::SumWorkUnits() {
   uint64_t work = 0;
+  stats_.adm_admitted = 0;
+  stats_.adm_rejected_local = 0;
+  stats_.adm_missing_attr = 0;
+  stats_.adm_generic_cmps = 0;
+  auto accrue = [this](const EngineStats& s) {
+    stats_.adm_admitted += s.adm_admitted;
+    stats_.adm_rejected_local += s.adm_rejected_local;
+    stats_.adm_missing_attr += s.adm_missing_attr;
+    stats_.adm_generic_cmps += s.adm_generic_cmps;
+  };
   for (const MultiPart& part : multi_parts_) {
     work += part.engine->stats().work_units;
+    accrue(part.engine->stats());
   }
   for (const SinglePart& part : single_parts_) {
     work += part.engine->stats().work_units;
+    accrue(part.engine->stats());
   }
   stats_.work_units = work;
 }

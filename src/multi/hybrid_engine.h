@@ -30,6 +30,11 @@ namespace aseq {
 ///  3. queries with general join predicates fall back to the stack-based
 ///     baseline (the only engine that can evaluate them).
 ///
+/// Admission flows through the sub-engines: each wrapped engine runs its
+/// own compiled plan::AdmissionProgram (typed predicate opcodes + dense
+/// role dispatch), and the shared engines use the programs' type-relevance
+/// test as their event-level early-out.
+///
 /// Output `query_index`es always refer to the original workload order.
 class HybridMultiEngine : public MultiQueryEngine {
  public:
@@ -73,7 +78,8 @@ class HybridMultiEngine : public MultiQueryEngine {
   /// Feeds one event to every part and samples the combined live-object
   /// total (work-unit summation deferred to SumWorkUnits).
   void ProcessEvent(const Event& e, std::vector<MultiOutput>* out);
-  /// Refreshes stats_.work_units from all parts.
+  /// Refreshes stats_.work_units and the adm_* admission counters from
+  /// all parts.
   void SumWorkUnits();
 
   std::vector<MultiPart> multi_parts_;

@@ -57,8 +57,17 @@ void NonSharedEngine::ProcessEvent(const Event& e,
 
 void NonSharedEngine::SumWorkUnits() {
   uint64_t work = 0;
+  stats_.adm_admitted = 0;
+  stats_.adm_rejected_local = 0;
+  stats_.adm_missing_attr = 0;
+  stats_.adm_generic_cmps = 0;
   for (const std::unique_ptr<QueryEngine>& engine : engines_) {
-    work += engine->stats().work_units;
+    const EngineStats& s = engine->stats();
+    work += s.work_units;
+    stats_.adm_admitted += s.adm_admitted;
+    stats_.adm_rejected_local += s.adm_rejected_local;
+    stats_.adm_missing_attr += s.adm_missing_attr;
+    stats_.adm_generic_cmps += s.adm_generic_cmps;
   }
   stats_.work_units = work;
 }

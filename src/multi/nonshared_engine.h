@@ -17,6 +17,10 @@ namespace aseq {
 ///
 /// The "NonShare" competitor of Fig. 16 (with A-Seq engines inside) and the
 /// "SASE" competitor of Fig. 15 (with stack-based engines inside).
+///
+/// Admission runs inside the wrapped engines: each carries its own compiled
+/// plan::AdmissionProgram, so every query pays its full per-event admission
+/// cost independently — exactly the redundancy the shared engines remove.
 class NonSharedEngine : public MultiQueryEngine {
  public:
   /// Wraps pre-built engines (one per query).
@@ -55,7 +59,8 @@ class NonSharedEngine : public MultiQueryEngine {
   /// Feeds one event to every sub-engine and samples the combined
   /// live-object total (work-unit summation deferred to SumWorkUnits).
   void ProcessEvent(const Event& e, std::vector<MultiOutput>* out);
-  /// Refreshes stats_.work_units from the sub-engines.
+  /// Refreshes stats_.work_units and the adm_* admission counters from
+  /// the sub-engines.
   void SumWorkUnits();
 
   std::vector<std::unique_ptr<QueryEngine>> engines_;

@@ -8,7 +8,16 @@
 namespace aseq {
 
 PreTreeEngine::PreTreeEngine(std::vector<CompiledQuery> queries)
-    : queries_(std::move(queries)) {}
+    : queries_(std::move(queries)) {
+  for (const CompiledQuery& q : queries_) {
+    plan::AdmissionProgram program(q);
+    for (EventTypeId t : q.positive_types()) {
+      if (t >= type_relevant_.size()) type_relevant_.resize(t + 1, 0);
+      if (program.Relevant(t)) type_relevant_[t] = 1;
+    }
+    programs_.push_back(std::move(program));
+  }
+}
 
 Result<std::unique_ptr<PreTreeEngine>> PreTreeEngine::Create(
     std::vector<CompiledQuery> queries) {
@@ -126,6 +135,9 @@ void PreTreeEngine::OnBatch(std::span<const Event> batch,
 void PreTreeEngine::ProcessEvent(const Event& e,
                                  std::vector<MultiOutput>* out) {
   ++stats_.events_processed;
+  // Type-level early-out via the compiled programs: a type outside every
+  // query's pattern is UPD/START/TRIG for no trie.
+  if (e.type() >= type_relevant_.size() || !type_relevant_[e.type()]) return;
   for (Trie& trie : tries_) {
     // UPD: one update per shared node per live instance, deepest first.
     auto uit = trie.update_index.find(e.type());

@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "engine/engine.h"
+#include "plan/admission.h"
 #include "query/compiled_query.h"
 
 namespace aseq {
@@ -85,6 +86,13 @@ class PreTreeEngine : public MultiQueryEngine {
   void ProcessEvent(const Event& e, std::vector<MultiOutput>* out);
 
   std::vector<CompiledQuery> queries_;
+  /// Per-query compiled admission programs (src/plan/); the workload shape
+  /// has no predicates, so they serve as the dense type-relevance test.
+  /// Borrow queries_'s storage — declared after it.
+  std::vector<plan::AdmissionProgram> programs_;
+  /// Union of the programs' relevance, EventTypeId-indexed: an event whose
+  /// type is outside every query's pattern touches no trie.
+  std::vector<uint8_t> type_relevant_;
   Timestamp window_ms_ = 0;
   std::vector<Trie> tries_;
   std::unordered_map<EventTypeId, size_t> trie_by_start_;

@@ -36,19 +36,24 @@ bool CompiledQuery::QualifiesFor(const Event& e, size_t elem_index) const {
 bool CompiledQuery::PartitionKeyFor(const Event& e, size_t elem_index,
                                     PartitionKey* key,
                                     std::vector<bool>* covered_out) const {
-  key->parts.clear();
-  if (covered_out != nullptr) covered_out->clear();
-  for (const PartitionSpec::Part& part : partition_spec_.parts) {
-    bool covers = elem_index < part.covers_elem.size() &&
-                  part.covers_elem[elem_index];
+  const size_t n = partition_spec_.parts.size();
+  // Resize-and-assign into the caller's scratch: slot capacity (string
+  // payloads included) survives across calls, so a reused key allocates
+  // nothing once warm — clear()+push_back discarded it every call.
+  key->parts.resize(n);
+  if (covered_out != nullptr) covered_out->assign(n, false);
+  for (size_t p = 0; p < n; ++p) {
+    const PartitionSpec::Part& part = partition_spec_.parts[p];
+    const bool covers = elem_index < part.covers_elem.size() &&
+                        part.covers_elem[elem_index];
     if (covers) {
       const Value* v = e.FindAttr(part.attr);
       if (v == nullptr || v->is_null()) return false;
-      key->parts.push_back(*v);
+      key->parts[p] = *v;
+      if (covered_out != nullptr) (*covered_out)[p] = true;
     } else {
-      key->parts.emplace_back();  // null placeholder: matches any partition
+      key->parts[p] = Value();  // null placeholder: matches any partition
     }
-    if (covered_out != nullptr) covered_out->push_back(covers);
   }
   return true;
 }

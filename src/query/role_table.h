@@ -7,12 +7,19 @@
 
 namespace aseq {
 
-/// Flattens a query's role map into a table indexed by EventTypeId so hot
-/// paths dispatch with one bounds check instead of a hash probe. The
+/// DEPRECATED: superseded by plan::AdmissionProgram (src/plan/admission.h),
+/// which folds this dense dispatch table into the compiled admission
+/// program every engine and the shard router now share — one lowering, so
+/// dispatch cannot drift between consumers.
+///
+/// This shim is retained only for the dispatch-order regression test
+/// (tests/admission_equivalence_test.cc), which pins that
+/// AdmissionProgram::RolesFor yields exactly the role sequence this table
+/// yields for every event type. Do not add new callers.
+///
+/// Flattens a query's role map into a table indexed by EventTypeId. The
 /// entries point into `q`'s own role storage (node-stable), so `q` must
-/// outlive the table. Shared by the A-Seq engines and the shard router —
-/// both must dispatch roles identically or routing would diverge from
-/// execution.
+/// outlive the table.
 inline std::vector<const std::vector<Role>*> BuildRoleTable(
     const CompiledQuery& q) {
   std::vector<const std::vector<Role>*> table;
