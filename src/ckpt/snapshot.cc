@@ -3,10 +3,18 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <sstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "fault/fault.h"
 
 namespace aseq {
 namespace ckpt {
@@ -17,6 +25,41 @@ constexpr size_t kMagicLen = 8;
 
 std::string ErrnoSuffix() {
   return std::string(": ") + std::strerror(errno);
+}
+
+/// Fsyncs a file or directory by path. POSIX durability for an atomic
+/// write-then-rename needs both halves: the temp file's *contents* must be
+/// on disk before the rename publishes them, and the *directory entry*
+/// created by the rename is only durable once the parent directory itself
+/// is synced — without the latter, a crash after rename can come back with
+/// the old (or no) snapshot under the published name.
+Status SyncPath(const std::string& path, bool directory) {
+#ifndef _WIN32
+  const int fd =
+      ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path + "' for fsync" +
+                           ErrnoSuffix());
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved_errno;
+    return Status::IoError("fsync failed for '" + path + "'" + ErrnoSuffix());
+  }
+#else
+  (void)path;
+  (void)directory;
+#endif
+  return Status::OK();
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
 }
 
 Status PayloadToEngine(const std::string& path, const std::string& name,
@@ -51,6 +94,17 @@ uint64_t Fnv1a64(std::string_view data) {
 Status WriteSnapshotFile(const std::string& path,
                          const std::string& engine_name,
                          uint64_t stream_offset, std::string_view payload) {
+  if (fault::Injector::Global().armed()) {
+    if (auto fired = fault::Injector::Global().Hit(fault::Point::kCkptWrite)) {
+      if (fired->kind == fault::Kind::kIoError) {
+        return Status::IoError("injected ckpt.write fault writing '" + path +
+                               "'");
+      }
+      if (fired->kind == fault::Kind::kCrash) {
+        std::_Exit(fault::kCrashExitCode);
+      }
+    }
+  }
   Writer body;
   body.WriteString(engine_name);
   body.WriteU64(stream_offset);
@@ -84,13 +138,17 @@ Status WriteSnapshotFile(const std::string& path,
                              "'" + ErrnoSuffix());
     }
   }
+  if (Status st = SyncPath(tmp, /*directory=*/false); !st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     Status st = Status::IoError("failed renaming checkpoint '" + tmp +
                                 "' to '" + path + "'" + ErrnoSuffix());
     std::remove(tmp.c_str());
     return st;
   }
-  return Status::OK();
+  return SyncPath(ParentDir(path), /*directory=*/true);
 }
 
 Status ReadSnapshotFile(const std::string& path, SnapshotInfo* info,

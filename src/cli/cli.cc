@@ -19,12 +19,18 @@
 #include "engine/reordering_engine.h"
 #include "engine/runtime.h"
 #include "exec/execution_policy.h"
+#include "fault/fault.h"
 #include "query/analyzer.h"
 #include "stream/clickstream.h"
 #include "stream/stock_stream.h"
 #include "stream/trace_io.h"
 
 namespace aseq {
+
+std::atomic<bool>& CliStopFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
 
 namespace {
 
@@ -54,7 +60,23 @@ constexpr const char* kUsage =
     "  (--shards N > 1 runs the partition-parallel executor: events are\n"
     "   hash-routed by GROUP BY key to N engine shards on worker threads,\n"
     "   with results identical to the serial run; queries that cannot\n"
-    "   shard safely fall back to serial with a note)\n";
+    "   shard safely fall back to serial with a note)\n"
+    "  (run also accepts the supervised-runtime flags, --shards >= 2:\n"
+    "   --supervise enables the shard watchdog — dead or stalled workers\n"
+    "   are restarted from the last recovery point and their event slice\n"
+    "   replayed, keeping output bit-exact; tune with\n"
+    "   --watchdog-timeout-ms MS, --recovery-every N, --max-restarts N.\n"
+    "   --overload-policy block|degrade-serial|shed picks the response to\n"
+    "   a shard queue at its high-watermark (--overload-watermark N\n"
+    "   queued items, default 12): keep blocking (default),\n"
+    "   drain all queues before routing on, or deterministically drop the\n"
+    "   overloaded partition (accounted in shed counters; surviving\n"
+    "   partitions stay exact).\n"
+    "   --fault-spec point[@lane]:trigger[:kind[:repeat]],... arms\n"
+    "   deterministic fault injection (points: router.route, worker.op,\n"
+    "   ckpt.write, admit.batch; kinds: crash, stall, slow, io-error,\n"
+    "   overload) with --fault-seed S; SIGINT/SIGTERM drain in-flight\n"
+    "   batches, write a final checkpoint when enabled, and exit 0)\n";
 
 /// Reads --batch-size into RunOptions (default kDefaultBatchSize).
 Result<RunOptions> BatchOptionsFromFlags(const FlagSet& flags) {
@@ -74,6 +96,72 @@ Result<RunOptions> BatchOptionsFromFlags(const FlagSet& flags) {
   }
   options.num_shards = static_cast<size_t>(shards);
   return options;
+}
+
+/// Parses the supervised-runtime flag group (watchdog, overload policy,
+/// fault injection) into `options` and arms the process-global injector.
+/// Supervision and the non-blocking overload policies live in the sharded
+/// executor, so they require --shards >= 2.
+Status SupervisionFlagsInto(const FlagSet& flags, RunOptions* options) {
+  options->supervise = flags.GetBool("supervise");
+  ASEQ_ASSIGN_OR_RETURN(int64_t wd, flags.GetInt("watchdog-timeout-ms", 1000));
+  if (wd <= 0) {
+    return Status::InvalidArgument(
+        "--watchdog-timeout-ms expects MS > 0 (how long a non-idle shard "
+        "may go silent before it is restarted; default 1000)");
+  }
+  options->watchdog_timeout_ms = static_cast<double>(wd);
+  ASEQ_ASSIGN_OR_RETURN(int64_t rec, flags.GetInt("recovery-every", 4096));
+  if (rec < 0) {
+    return Status::InvalidArgument(
+        "--recovery-every expects N >= 0 events between in-memory recovery "
+        "points (0 = only the initial one; default 4096)");
+  }
+  options->recovery_every = static_cast<size_t>(rec);
+  ASEQ_ASSIGN_OR_RETURN(int64_t budget, flags.GetInt("max-restarts", 4));
+  if (budget < 0) {
+    return Status::InvalidArgument(
+        "--max-restarts expects N >= 0 restarts per shard per recovery "
+        "interval (default 4)");
+  }
+  options->max_restarts = static_cast<size_t>(budget);
+  const std::string policy = flags.GetString("overload-policy", "block");
+  if (policy == "block") {
+    options->overload_policy = OverloadPolicy::kBlock;
+  } else if (policy == "degrade-serial") {
+    options->overload_policy = OverloadPolicy::kDegradeSerial;
+  } else if (policy == "shed") {
+    options->overload_policy = OverloadPolicy::kShed;
+  } else {
+    return Status::InvalidArgument(
+        "--overload-policy must be block, degrade-serial, or shed");
+  }
+  ASEQ_ASSIGN_OR_RETURN(int64_t watermark,
+                        flags.GetInt("overload-watermark", 12));
+  if (watermark <= 0) {
+    return Status::InvalidArgument(
+        "--overload-watermark expects N > 0 queued items per shard before "
+        "the overload policy engages (default 12)");
+  }
+  options->overload_high_watermark = static_cast<size_t>(watermark);
+  if ((options->supervise ||
+       options->overload_policy != OverloadPolicy::kBlock) &&
+      options->num_shards < 2) {
+    return Status::InvalidArgument(
+        "--supervise and --overload-policy degrade-serial|shed require "
+        "--shards N >= 2 (both live in the sharded executor)");
+  }
+  const std::string spec = flags.GetString("fault-spec");
+  if (!spec.empty()) {
+    ASEQ_ASSIGN_OR_RETURN(int64_t seed, flags.GetInt("fault-seed", 42));
+    ASEQ_RETURN_NOT_OK(
+        fault::Injector::Global().Arm(spec, static_cast<uint64_t>(seed)));
+  } else if (flags.Has("fault-seed")) {
+    return Status::InvalidArgument(
+        "--fault-seed has no effect without --fault-spec "
+        "(point[@lane]:trigger[:kind[:repeat]],...)");
+  }
+  return Status::OK();
 }
 
 /// Validates the checkpoint/restore flag combination up front — before any
@@ -206,11 +294,12 @@ void PrintOutput(std::ostream& out, const Output& output) {
 }
 
 int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
-  Status known = flags.CheckKnown({"query", "trace", "stock", "clicks",
-                                   "engine", "slack", "seed", "gap", "limit",
-                                   "quiet", "emit-on-change", "batch-size",
-                                   "shards", "checkpoint-every",
-                                   "checkpoint-dir", "restore-from"});
+  Status known = flags.CheckKnown(
+      {"query", "trace", "stock", "clicks", "engine", "slack", "seed", "gap",
+       "limit", "quiet", "emit-on-change", "batch-size", "shards",
+       "checkpoint-every", "checkpoint-dir", "restore-from", "supervise",
+       "watchdog-timeout-ms", "recovery-every", "max-restarts",
+       "overload-policy", "overload-watermark", "fault-spec", "fault-seed"});
   if (!known.ok()) {
     err << known.ToString() << "\n";
     return 2;
@@ -228,6 +317,12 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     err << ckpt_flags.ToString() << "\n";
     return 1;
   }
+  Status sup_flags = SupervisionFlagsInto(flags, &*options);
+  if (!sup_flags.ok()) {
+    err << sup_flags.ToString() << "\n";
+    return 1;
+  }
+  options->stop_requested = &CliStopFlag();
   Schema schema;
   auto query = CompileQuery(flags, &schema);
   if (!query.ok()) {
@@ -275,6 +370,15 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
         << "; replaying " << events->size() << " remaining events\n";
   }
   RunResult result = (*policy)->RunEvents(*events);
+  if (!result.fault_status.ok()) {
+    err << "fault: run aborted: " << result.fault_status.ToString() << "\n";
+    return 1;
+  }
+  if (result.interrupted) {
+    out << "interrupted: stop signal received; drained in-flight batches "
+           "after "
+        << result.events << " events\n";
+  }
   if (!result.checkpoint_status.ok()) {
     err << "warning: checkpointing stopped: "
         << result.checkpoint_status.ToString() << "\n";
@@ -321,6 +425,23 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
       << run_stats.adm_rejected_local << " rejected, "
       << run_stats.adm_missing_attr << " missing-attr, "
       << run_stats.adm_generic_cmps << " generic cmps\n";
+  if (options->supervise) {
+    out << "supervisor:    " << run_stats.fault_restarts << " restarts, "
+        << run_stats.fault_replayed_events << " events replayed\n";
+  }
+  if (options->overload_policy == OverloadPolicy::kShed) {
+    out << "overload:      shed " << run_stats.shed_partitions
+        << " partitions (" << run_stats.shed_events << " events)\n";
+  } else if (options->overload_policy == OverloadPolicy::kDegradeSerial) {
+    out << "overload:      " << run_stats.overload_stalls
+        << " serial drains\n";
+  }
+  if (fault::Injector::Global().armed()) {
+    // Serial runs don't fold injector counters into engine stats, so the
+    // process-wide count is the honest number for every policy.
+    out << "faults:        " << fault::Injector::Global().fired_count()
+        << " injected\n";
+  }
   if (options->checkpoint_every > 0) {
     out << "checkpoints:   " << result.checkpoints_written;
     if (result.checkpoints_written > 0) {
@@ -510,6 +631,7 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     err << ckpt_flags.ToString() << "\n";
     return 1;
   }
+  options->stop_requested = &CliStopFlag();
   std::string path = flags.GetString("queries");
   if (path.empty()) {
     err << "InvalidArgument: --queries FILE is required (one query per "
@@ -612,6 +734,11 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   }
   BatchRunner runner(*options);
   MultiRunResult result = runner.RunMultiEvents(*events, engine.get());
+  if (result.interrupted) {
+    out << "interrupted: stop signal received; drained in-flight batches "
+           "after "
+        << result.events << " events\n";
+  }
   if (!result.checkpoint_status.ok()) {
     err << "warning: checkpointing stopped: "
         << result.checkpoint_status.ToString() << "\n";

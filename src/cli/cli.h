@@ -1,11 +1,19 @@
 #ifndef ASEQ_CLI_CLI_H_
 #define ASEQ_CLI_CLI_H_
 
+#include <atomic>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace aseq {
+
+/// Process-wide graceful-stop flag. The signal handlers installed by
+/// main.cc set it on SIGINT/SIGTERM (the only async-signal-safe thing they
+/// do); the run loops poll it between batches, drain in-flight work, write
+/// a final checkpoint when checkpointing is enabled, and exit 0 with a
+/// summary.
+std::atomic<bool>& CliStopFlag();
 
 /// \brief Entry point of the `aseq` command-line tool (testable: all I/O
 /// goes through the provided streams).

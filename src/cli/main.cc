@@ -1,13 +1,27 @@
 // The `aseq` command-line tool: run / explain / compare CEP aggregation
 // queries over traces and synthetic streams. See cli.h for the commands.
 
+#include <csignal>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cli/cli.h"
 
+namespace {
+
+// Async-signal-safe by construction: a lock-free atomic store and nothing
+// else. The run loops notice the flag between batches and shut down
+// gracefully (drain, final checkpoint, summary, exit 0).
+void HandleStopSignal(int) {
+  aseq::CliStopFlag().store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
   std::vector<std::string> args(argv + 1, argv + argc);
   return aseq::RunCli(args, std::cout, std::cerr);
 }

@@ -1,6 +1,7 @@
 #ifndef ASEQ_ENGINE_RUNTIME_H_
 #define ASEQ_ENGINE_RUNTIME_H_
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -15,6 +16,28 @@ namespace aseq {
 /// `--batch-size`, BatchRunner, and the bench harnesses). 256 events keeps
 /// the refill buffer well inside L2 while amortizing per-event overheads.
 inline constexpr size_t kDefaultBatchSize = 256;
+
+/// \brief What the sharded coordinator does when a shard's bounded queue
+/// reaches its high-watermark (or the fault injector simulates that).
+///
+/// Exactness per policy (docs/internals.md §14): block and degrade-serial
+/// are lossless — outputs and stats stay bit-exact with the serial run;
+/// shed preserves bit-exact outputs for every surviving partition and
+/// accounts all drops in the shed_* counters (whole-run stats are then
+/// intentionally not comparable to any serial oracle).
+enum class OverloadPolicy : uint8_t {
+  /// Park the router until the queue drains (the default bounded-queue
+  /// backpressure behavior).
+  kBlock,
+  /// Stop routing ahead: after the overloaded batch, drain every shard
+  /// queue to empty before feeding the next batch — pipelining is
+  /// sacrificed while the overload lasts, nothing is lost.
+  kDegradeSerial,
+  /// Deterministically drop whole partitions: the overloaded event's
+  /// GROUP BY key joins a shed set, and every current and future event of
+  /// that key is discarded before routing.
+  kShed,
+};
 
 /// \brief Knobs for a batched run.
 struct RunOptions {
@@ -45,6 +68,36 @@ struct RunOptions {
   /// tail, so replayed events carry the same seq numbers they would have
   /// had in the uninterrupted run.
   uint64_t start_offset = 0;
+  /// Supervise sharded workers (sharded runs only): per-shard heartbeats,
+  /// a watchdog that quarantines dead/stalled workers, and
+  /// checkpoint-backed single-shard restart with routed-slice replay —
+  /// results stay bit-exact with an unfailed run.
+  bool supervise = false;
+  /// Supervised runs capture an in-memory recovery point (per-shard engine
+  /// snapshot + replay-log truncation) at the first batch boundary at or
+  /// past each multiple of N events. Disk checkpoints (checkpoint_every)
+  /// piggyback on the same barriers.
+  size_t recovery_every = 4096;
+  /// A worker with queued work is declared stalled after this long without
+  /// heartbeat progress; the supervisor then quarantines and restarts it.
+  double watchdog_timeout_ms = 1000;
+  /// Restart budget per shard between recovery points (each recovery point
+  /// resets it). Exceeding the budget aborts the run with
+  /// RunResultBase::fault_status.
+  size_t max_restarts = 4;
+  /// Bounded-queue overload response (sharded runs only).
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  /// Queue depth (in queued items, not events) at which a lane counts as
+  /// overloaded and the non-blocking overload policies engage. Values
+  /// above the bounded queue capacity mean depth alone never triggers the
+  /// policy — only an injected overload signal
+  /// (--fault-spec router.route:...:overload) does.
+  size_t overload_high_watermark = 12;
+  /// Cooperative stop flag (graceful SIGTERM/SIGINT): when non-null and
+  /// set, the run stops at the next batch boundary, drains in-flight work,
+  /// writes a final checkpoint when checkpoint_dir is set, and returns
+  /// with RunResultBase::interrupted.
+  const std::atomic<bool>* stop_requested = nullptr;
 };
 
 /// \brief Fields common to every run result (single- and multi-query).
@@ -67,6 +120,14 @@ struct RunResultBase {
   /// Stream offset of the newest snapshot (meaningful when
   /// checkpoints_written > 0).
   uint64_t last_checkpoint_offset = 0;
+  /// True when the run stopped early because RunOptions::stop_requested
+  /// was set: `events` counts only what was consumed before the stop, and
+  /// in-flight work was drained, so engine state is resumable.
+  bool interrupted = false;
+  /// First unrecoverable supervisor failure (a shard's restart budget
+  /// exhausted, or a worker that cannot be rebuilt), or OK. A non-OK
+  /// status means the run aborted early and its results are partial.
+  Status fault_status = Status::OK();
 
   /// Average execution time per window slide in milliseconds — the paper's
   /// primary metric (the window slides once per event).

@@ -48,7 +48,7 @@ Result<std::unique_ptr<ExecutionPolicy>> MakePolicy(
     engines.push_back(std::move(twin));
   }
   return std::unique_ptr<ExecutionPolicy>(
-      new ShardedExecutor(query, options, std::move(engines)));
+      new ShardedExecutor(query, options, std::move(engines), factory));
 }
 
 }  // namespace exec

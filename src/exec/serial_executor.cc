@@ -49,7 +49,16 @@ ResultT RunSerialLoop(const RunOptions& options, ScratchT* scratch,
   SeqNum seq = options.start_offset;
   uint64_t next_ckpt = options.start_offset + options.checkpoint_every;
   StopWatch watch;
-  for (std::span<Event> batch = refill(); !batch.empty(); batch = refill()) {
+  for (;;) {
+    // Stop-flag check before refill: no batch is pulled and then dropped,
+    // so the final checkpoint covers exactly the events already fed.
+    if (options.stop_requested != nullptr &&
+        options.stop_requested->load(std::memory_order_relaxed)) {
+      result.interrupted = true;
+      break;
+    }
+    std::span<Event> batch = refill();
+    if (batch.empty()) break;
     for (Event& e : batch) e.set_seq(seq++);
     scratch->clear();
     engine->OnBatch(std::span<const Event>(batch), scratch);
@@ -61,6 +70,21 @@ ResultT RunSerialLoop(const RunOptions& options, ScratchT* scratch,
                     [&](const std::string& path, uint64_t offset) {
                       return save(path, offset);
                     });
+  }
+  // Graceful stop: write one final snapshot at the current offset so a
+  // later --restore-from resumes without replaying anything.
+  if (result.interrupted && !options.checkpoint_dir.empty() &&
+      result.checkpoint_status.ok() &&
+      (result.checkpoints_written == 0 ||
+       result.last_checkpoint_offset < seq)) {
+    Status s =
+        save(ckpt::SnapshotPathForOffset(options.checkpoint_dir, seq), seq);
+    if (s.ok()) {
+      ++result.checkpoints_written;
+      result.last_checkpoint_offset = seq;
+    } else {
+      result.checkpoint_status = std::move(s);
+    }
   }
   result.elapsed_seconds = watch.ElapsedSeconds();
   result.events = seq - options.start_offset;

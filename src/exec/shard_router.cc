@@ -1,6 +1,9 @@
 #include "exec/shard_router.h"
 
 #include <cassert>
+#include <cstdlib>
+
+#include "fault/fault.h"
 
 namespace aseq {
 namespace exec {
@@ -68,6 +71,16 @@ ShardRouter::ShardRouter(const CompiledQuery& query, size_t num_shards)
 
 ShardRouter::Route ShardRouter::RouteEvent(const Event& e) {
   Route route;
+  if (fault::Injector::Global().armed()) {
+    if (auto fired = fault::Injector::Global().Hit(fault::Point::kRouterRoute)) {
+      if (fired->kind == fault::Kind::kCrash) {
+        // Coordinator death: the process is gone; recovery is the
+        // restore-from-snapshot path, exercised by the CI fault smoke.
+        std::_Exit(fault::kCrashExitCode);
+      }
+      if (fired->kind == fault::Kind::kOverload) route.inject_overload = true;
+    }
+  }
   route.shard = static_cast<size_t>(e.seq() % num_shards_);
   // Exactly HpcEngine's staging condition: a record exists iff the local
   // predicates pass and the partition key extracts. No interner is passed —
@@ -78,6 +91,7 @@ ShardRouter::Route ShardRouter::RouteEvent(const Event& e) {
   for (const plan::AdmissionRecord& rec : admitter_.RecordsFor(0)) {
     if (!has_key) {
       has_key = true;
+      route.has_key = true;
       // Every role extracts the same GROUP BY part value (it comes from
       // the event's own attribute; sharding requires the group part to
       // cover every element), so the first staged record fixes the owner
@@ -85,9 +99,9 @@ ShardRouter::Route ShardRouter::RouteEvent(const Event& e) {
       // `id % num_shards` spreads keys round-robin in first-seen order —
       // immune to hash clustering — at the cost of making the table part
       // of the checkpointed router state (see Checkpoint).
-      route.shard = interner_.InternHashed(rec.part_hashes[group_part_],
-                                           *rec.part_vals[group_part_]) %
-                    num_shards_;
+      route.key_id = interner_.InternHashed(rec.part_hashes[group_part_],
+                                            *rec.part_vals[group_part_]);
+      route.shard = route.key_id % num_shards_;
     }
     const Role& role = rec.role->role;
     if (!role.negated && role.position == length_) {

@@ -58,6 +58,16 @@ class ShardRouter {
     /// purges expired state across *every* partition, so the executor
     /// must send purge markers to the non-owner shards.
     bool trigger = false;
+    /// True when the event staged a probe and its GROUP BY key extracted;
+    /// key_id then holds the router's dense id for that key. The shed
+    /// overload policy drops whole partitions by key_id — events without
+    /// a key touch no partition state and are never shed.
+    bool has_key = false;
+    uint32_t key_id = 0;
+    /// Fault injection (point router.route, kind overload): the executor
+    /// treats this event as if the owner shard's queue had hit its
+    /// high-watermark, engaging the overload policy deterministically.
+    bool inject_overload = false;
   };
 
   /// `e` must carry its final seq number.

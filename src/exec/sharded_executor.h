@@ -1,6 +1,8 @@
 #ifndef ASEQ_EXEC_SHARDED_EXECUTOR_H_
 #define ASEQ_EXEC_SHARDED_EXECUTOR_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -9,6 +11,7 @@
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "exec/execution_policy.h"
@@ -47,12 +50,33 @@ namespace exec {
 ///    workers at a barrier and writes one multi-shard container
 ///    (ckpt::SaveShardedSnapshot) holding every shard's payload plus the
 ///    merged stats; restore refills the twins and re-seeds the merge.
+///
+/// Supervision (RunOptions::supervise; docs/internals.md §14): the
+/// coordinator doubles as a watchdog. Every worker heartbeats once per op;
+/// a worker that dies (injected crash) or goes silent with queued work for
+/// longer than the watchdog timeout is quarantined and restarted alone:
+/// its engine twin is rebuilt from the lane's last recovery point (an
+/// in-memory engine snapshot captured at every barrier) and its routed op
+/// slice since that point is replayed from the lane's replay log — outputs
+/// and stats end bit-exact with an unfailed run. Restarts back off
+/// exponentially and are budgeted per recovery interval; exhausting the
+/// budget aborts the run with RunResultBase::fault_status.
+///
+/// Overload control (RunOptions::overload_policy): when a lane's bounded
+/// queue reaches its high-watermark (or the router.route fault point
+/// injects overload), the coordinator either keeps blocking (kBlock, the
+/// default), drains every queue before routing on (kDegradeSerial), or
+/// deterministically sheds the overloaded event's whole partition (kShed,
+/// accounted in shed_* counters; surviving partitions stay exact).
 class ShardedExecutor : public ExecutionPolicy {
  public:
   /// `engines` must all be freshly constructed twins for `query`, each
-  /// implementing ShardableEngine (MakePolicy guarantees both).
+  /// implementing ShardableEngine (MakePolicy guarantees both). `factory`
+  /// rebuilds a twin after a supervised restart; supervision requires it
+  /// (MakePolicy always passes its own factory through).
   ShardedExecutor(const CompiledQuery& query, const RunOptions& options,
-                  std::vector<std::unique_ptr<QueryEngine>> engines);
+                  std::vector<std::unique_ptr<QueryEngine>> engines,
+                  EngineFactory factory = nullptr);
   ~ShardedExecutor() override = default;
 
   std::string name() const override {
@@ -90,7 +114,8 @@ class ShardedExecutor : public ExecutionPolicy {
 
   /// One shard's queue plus its worker-owned run state. The coordinator
   /// touches outputs/records/busy_seconds only while the worker is parked
-  /// at a barrier or joined.
+  /// at a barrier or joined (including the joined window of a supervised
+  /// restart).
   struct Lane {
     std::mutex mu;
     std::condition_variable cv;
@@ -103,6 +128,54 @@ class ShardedExecutor : public ExecutionPolicy {
     size_t records_consumed = 0;
     std::vector<Output> scratch;
     double busy_seconds = 0;
+
+    // ---- Worker-side supervision state (atomics; coordinator reads). ----
+    /// Heartbeat: bumped once per executed op. Frozen progress with queued
+    /// work for longer than the watchdog timeout means a stalled worker.
+    std::atomic<uint64_t> progress{0};
+    /// True while the worker is parked waiting for work (an idle worker is
+    /// never "stalled").
+    std::atomic<bool> idle{false};
+    /// Worker died (injected crash): its thread returned without cleanup.
+    std::atomic<bool> dead{false};
+    /// Coordinator order to exit: wakes a parked (idle or stalled) worker
+    /// so the restart path can join its thread.
+    std::atomic<bool> quarantine{false};
+    /// Worker is parked at a coordinator barrier (never a failure).
+    std::atomic<bool> at_barrier{false};
+    /// Queue depth mirror, maintained under mu, read lock-free by the
+    /// router loop for the overload high-watermark.
+    std::atomic<size_t> depth{0};
+
+    // ---- Coordinator-only recovery state (supervised runs). ----
+    /// Engine Checkpoint payload at the last recovery point (barrier).
+    std::string snapshot;
+    /// outputs/records high-water marks at that recovery point: a restart
+    /// truncates back to them before replaying.
+    size_t ckpt_outputs = 0;
+    size_t ckpt_records = 0;
+    /// Every op routed to this lane since the recovery point, in order —
+    /// the restart replay slice. Cleared at each barrier.
+    std::vector<ShardOp> replay_log;
+    /// Restarts burned since the last recovery point (budgeted).
+    size_t restart_attempts = 0;
+    /// A barrier token is owed: it was enqueued (or lost with a cleared
+    /// queue) and the worker has not arrived yet — a restart re-issues it
+    /// after the replay slice.
+    bool barrier_pending = false;
+    /// Watchdog bookkeeping: last observed heartbeat and when it changed.
+    uint64_t last_progress = 0;
+    std::chrono::steady_clock::time_point last_change;
+  };
+
+  /// Coordinator-owned fault/overload accounting, folded into the merged
+  /// stats at the end of the run.
+  struct FaultCounters {
+    uint64_t restarts = 0;
+    uint64_t replayed_events = 0;
+    uint64_t shed_partitions = 0;
+    uint64_t shed_events = 0;
+    uint64_t overload_stalls = 0;
   };
 
   /// The shared run loop; `refill` yields the next batch as a view
@@ -112,24 +185,54 @@ class ShardedExecutor : public ExecutionPolicy {
   RunResult RunImpl(const std::function<std::span<Event>()>& refill);
 
   void WorkerMain(size_t shard);
-  /// Pushes an item, honoring the bounded-queue cap.
+  /// Pushes an item, honoring the bounded-queue cap (unsupervised: blocks
+  /// indefinitely; a worker always drains).
   void Enqueue(size_t shard, LaneItem item);
+  /// Supervised push: bounded waits, restarting the lane if it fails
+  /// while the coordinator is parked on its full queue.
+  Status EnqueueSupervised(size_t shard, LaneItem item);
   /// Moves pending_[shard] into the lane's queue and re-arms pending_
   /// with a recycled vector.
-  void FlushPending(size_t shard);
+  Status FlushPending(size_t shard);
   /// Parks every worker at a barrier; returns once all have arrived.
   void BarrierAll();
-  /// Releases workers parked by BarrierAll.
+  /// Supervised barrier: same contract, but failed lanes are restarted
+  /// (with their barrier token re-issued) until every lane arrives.
+  Status BarrierAllSupervised();
+  /// Releases workers parked by BarrierAll / BarrierAllSupervised.
   void ResumeAll();
   /// Feeds each lane's new records to the merger (lanes quiescent).
   void DrainMerger();
   /// Bulk-sums engine stats + the merger's object view.
   EngineStats ComputeMergedStats() const;
 
+  // ---- Supervision (coordinator side). ----
+  /// True when the lane's worker is dead, or silent with queued work past
+  /// the watchdog timeout. Updates the lane's watchdog bookkeeping.
+  bool LaneFailed(size_t shard);
+  /// Sweeps all lanes, restarting any that failed.
+  Status CheckLanes();
+  /// Quarantines + joins the failed worker, rebuilds the engine twin from
+  /// the lane's recovery snapshot, truncates outputs/records to the
+  /// recovery watermarks, respawns the worker, and replays the lane's
+  /// routed slice (plus any owed barrier token). Bounded exponential
+  /// backoff; exceeding the restart budget returns an error.
+  Status RestartShard(size_t shard);
+  /// Captures a recovery point per lane: engine snapshot, output/record
+  /// watermarks, replay log truncation, budget reset. Workers must be
+  /// parked at a barrier.
+  Status CaptureRecoveryPoints();
+  /// Waits until every lane is empty and idle (degrade-serial overload
+  /// response), restarting failed lanes when supervised.
+  Status DrainAllQueues();
+  /// Pushes stop tokens to live lanes and joins every worker thread.
+  void StopWorkers();
+
   const CompiledQuery* query_;
   RunOptions options_;
   std::vector<std::unique_ptr<QueryEngine>> engines_;
   std::vector<ShardableEngine*> shardables_;
+  EngineFactory factory_;
   ShardRouter router_;
   bool send_markers_;  // windowed queries only
 
@@ -138,11 +241,16 @@ class ShardedExecutor : public ExecutionPolicy {
   std::vector<std::vector<ShardOp>> pending_;
   std::vector<Event> batch_buf_;
 
-  // Barrier coordination (checkpoints).
+  // Barrier coordination (checkpoints + recovery points).
   std::mutex coord_mu_;
   std::condition_variable coord_cv_;
   size_t barrier_arrived_ = 0;
   uint64_t barrier_epoch_ = 0;
+
+  // Per-run supervision/overload state (coordinator only).
+  FaultCounters fcounters_;
+  std::unordered_set<uint32_t> shed_keys_;
+  uint64_t fired_at_start_ = 0;
 
   StatsTimelineMerger merger_;
   EngineStats merged_;

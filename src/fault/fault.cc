@@ -1,0 +1,207 @@
+#include "fault/fault.h"
+
+#include "common/rng.h"
+
+namespace aseq {
+namespace fault {
+namespace {
+
+constexpr const char* kPointNames[kNumPoints] = {
+    "router.route",
+    "worker.op",
+    "ckpt.write",
+    "admit.batch",
+};
+
+bool ParsePoint(std::string_view name, Point* point) {
+  for (size_t i = 0; i < kNumPoints; ++i) {
+    if (name == kPointNames[i]) {
+      *point = static_cast<Point>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseU64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+// Slow-fire delays: long enough to visibly back up a bounded queue, short
+// enough that a few hundred fires stay well under test timeouts.
+constexpr uint32_t kMinSlowDelayUs = 50;
+constexpr uint32_t kMaxSlowDelayUs = 250;
+constexpr uint64_t kSlowDefaultRepeat = 256;
+
+}  // namespace
+
+const char* PointName(Point p) {
+  const size_t i = static_cast<size_t>(p);
+  return i < kNumPoints ? kPointNames[i] : "unknown";
+}
+
+const char* KindName(Kind k) {
+  switch (k) {
+    case Kind::kCrash:
+      return "crash";
+    case Kind::kStall:
+      return "stall";
+    case Kind::kSlow:
+      return "slow";
+    case Kind::kIoError:
+      return "io-error";
+    case Kind::kOverload:
+      return "overload";
+  }
+  return "unknown";
+}
+
+Status ParseKind(std::string_view name, Kind* kind) {
+  if (name == "crash") {
+    *kind = Kind::kCrash;
+  } else if (name == "stall") {
+    *kind = Kind::kStall;
+  } else if (name == "slow") {
+    *kind = Kind::kSlow;
+  } else if (name == "io-error") {
+    *kind = Kind::kIoError;
+  } else if (name == "overload") {
+    *kind = Kind::kOverload;
+  } else {
+    return Status::InvalidArgument("unknown fault kind '" + std::string(name) +
+                                   "' (crash|stall|slow|io-error|overload)");
+  }
+  return Status::OK();
+}
+
+Injector& Injector::Global() {
+  static Injector injector;
+  return injector;
+}
+
+Status Injector::Arm(std::string_view spec, uint64_t seed) {
+  Disarm();
+  std::vector<ArmedFault> entries;
+  Rng rng(seed ^ 0x5eedfau);
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) {
+      return Status::InvalidArgument(
+          "empty fault-spec entry (expected point[@lane]:trigger[:kind[:repeat]])");
+    }
+
+    // Split entry into up to four ':'-separated fields.
+    std::string_view fields[4];
+    size_t num_fields = 0;
+    size_t fpos = 0;
+    while (num_fields < 4) {
+      size_t colon = entry.find(':', fpos);
+      if (colon == std::string_view::npos) {
+        fields[num_fields++] = entry.substr(fpos);
+        fpos = entry.size() + 1;
+        break;
+      }
+      fields[num_fields++] = entry.substr(fpos, colon - fpos);
+      fpos = colon + 1;
+    }
+    if (fpos <= entry.size()) {
+      return Status::InvalidArgument("too many fields in fault-spec entry '" +
+                                     std::string(entry) + "'");
+    }
+    if (num_fields < 2) {
+      return Status::InvalidArgument(
+          "fault-spec entry '" + std::string(entry) +
+          "' missing trigger (expected point[@lane]:trigger[:kind[:repeat]])");
+    }
+
+    ArmedFault fault;
+    std::string_view point_name = fields[0];
+    const size_t at = point_name.find('@');
+    if (at != std::string_view::npos) {
+      uint64_t lane = 0;
+      if (!ParseU64(point_name.substr(at + 1), &lane) || lane >= kMaxLanes) {
+        return Status::InvalidArgument("bad lane selector in fault-spec entry '" +
+                                       std::string(entry) + "'");
+      }
+      fault.lane = static_cast<uint32_t>(lane);
+      point_name = point_name.substr(0, at);
+    }
+    if (!ParsePoint(point_name, &fault.point)) {
+      return Status::InvalidArgument(
+          "unknown injection point '" + std::string(point_name) +
+          "' (router.route|worker.op|ckpt.write|admit.batch)");
+    }
+    if (!ParseU64(fields[1], &fault.trigger) || fault.trigger == 0) {
+      return Status::InvalidArgument("bad trigger count in fault-spec entry '" +
+                                     std::string(entry) + "' (1-based integer)");
+    }
+    if (num_fields >= 3 && !fields[2].empty()) {
+      ASEQ_RETURN_NOT_OK(ParseKind(fields[2], &fault.kind));
+    }
+    fault.repeat = fault.kind == Kind::kSlow ? kSlowDefaultRepeat : 1;
+    if (num_fields >= 4) {
+      if (!ParseU64(fields[3], &fault.repeat) || fault.repeat == 0) {
+        return Status::InvalidArgument("bad repeat count in fault-spec entry '" +
+                                       std::string(entry) + "'");
+      }
+    }
+    if (fault.kind == Kind::kSlow) {
+      fault.delay_us = kMinSlowDelayUs +
+                       static_cast<uint32_t>(rng.NextUInt(
+                           kMaxSlowDelayUs - kMinSlowDelayUs + 1));
+    }
+    entries.push_back(fault);
+  }
+  if (entries.empty()) {
+    return Status::InvalidArgument("empty fault spec");
+  }
+  entries_ = std::move(entries);
+  armed_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void Injector::Disarm() {
+  armed_.store(false, std::memory_order_release);
+  entries_.clear();
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  fired_.store(0, std::memory_order_relaxed);
+}
+
+std::optional<Injector::Fired> Injector::Hit(Point point, size_t lane) {
+  // Disarmed hits neither count nor fire: call sites gate on armed(), but
+  // the gate is advisory — this is the authoritative check.
+  if (!armed_.load(std::memory_order_acquire)) return std::nullopt;
+  if (lane >= kMaxLanes) lane = kMaxLanes - 1;
+  const size_t slot = static_cast<size_t>(point) * kMaxLanes + lane;
+  const uint64_t n = counters_[slot].fetch_add(1, std::memory_order_relaxed) + 1;
+  for (const ArmedFault& f : entries_) {
+    if (f.point != point || f.lane != lane) continue;
+    if (n >= f.trigger && n < f.trigger + f.repeat) {
+      fired_.fetch_add(1, std::memory_order_relaxed);
+      return Fired{f.kind, f.delay_us};
+    }
+  }
+  return std::nullopt;
+}
+
+uint64_t Injector::hits(Point point, size_t lane) const {
+  if (lane >= kMaxLanes) lane = kMaxLanes - 1;
+  const size_t slot = static_cast<size_t>(point) * kMaxLanes + lane;
+  return counters_[slot].load(std::memory_order_relaxed);
+}
+
+}  // namespace fault
+}  // namespace aseq

@@ -124,6 +124,27 @@ struct EngineStats {
   /// opcode (mixed-type operands, attr-vs-attr terms, missing attributes).
   uint64_t adm_generic_cmps = 0;
 
+  // ---- Supervised-runtime fault/overload counters (src/fault/, exec/) ----
+  //
+  // Transient like the diagnostics above: not checkpointed and outside the
+  // equivalence contract. The sharded coordinator owns them (workers never
+  // touch them); serial runs leave them zero. shed_events is deliberately
+  // separate from dropped_events: dropped_events is part of the durable
+  // equivalence contract, while shedding is a live-overload response whose
+  // accounting must not perturb checkpointed state.
+  /// Faults fired by the process-wide fault::Injector during the run.
+  uint64_t fault_injected = 0;
+  /// Shard workers restarted by the supervisor after a crash or stall.
+  uint64_t fault_restarts = 0;
+  /// Events re-executed from supervisor replay logs during restarts.
+  uint64_t fault_replayed_events = 0;
+  /// Partitions (GROUP BY keys) dropped by the shed overload policy.
+  uint64_t shed_partitions = 0;
+  /// Events discarded because their partition was shed.
+  uint64_t shed_events = 0;
+  /// Full-drain stalls taken by the degrade-serial overload policy.
+  uint64_t overload_stalls = 0;
+
   /// Records one OnBatch call of `n` events.
   void NoteBatch(size_t n) {
     ++batches_processed;
@@ -146,6 +167,12 @@ struct EngineStats {
     adm_rejected_local = 0;
     adm_missing_attr = 0;
     adm_generic_cmps = 0;
+    fault_injected = 0;
+    fault_restarts = 0;
+    fault_replayed_events = 0;
+    shed_partitions = 0;
+    shed_events = 0;
+    overload_stalls = 0;
   }
 };
 

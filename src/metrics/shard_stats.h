@@ -44,6 +44,16 @@ inline void MergeBulkStats(const EngineStats& shard, EngineStats* merged) {
   merged->adm_rejected_local += shard.adm_rejected_local;
   merged->adm_missing_attr += shard.adm_missing_attr;
   merged->adm_generic_cmps += shard.adm_generic_cmps;
+  // Fault/overload counters: owned by the sharded coordinator, which folds
+  // its own totals into the merged view after this sum — shard engines
+  // always carry zeros here, so the sums are inert but keep the merge
+  // total-preserving if that ever changes.
+  merged->fault_injected += shard.fault_injected;
+  merged->fault_restarts += shard.fault_restarts;
+  merged->fault_replayed_events += shard.fault_replayed_events;
+  merged->shed_partitions += shard.shed_partitions;
+  merged->shed_events += shard.shed_events;
+  merged->overload_stalls += shard.overload_stalls;
 }
 
 /// \brief Reconstructs the serial engine's global live/peak object counts

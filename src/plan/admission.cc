@@ -1,6 +1,11 @@
 #include "plan/admission.h"
 
 #include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "fault/fault.h"
 
 namespace aseq {
 namespace plan {
@@ -337,6 +342,16 @@ void BatchAdmitter::AdmitBatch(const AdmissionProgram& program,
                                std::span<const Event> batch,
                                container::KeyInterner* interner,
                                EngineStats* stats) {
+  if (fault::Injector::Global().armed()) {
+    if (auto fired = fault::Injector::Global().Hit(fault::Point::kAdmitBatch)) {
+      if (fired->kind == fault::Kind::kCrash) {
+        std::_Exit(fault::kCrashExitCode);
+      }
+      if (fired->kind == fault::Kind::kSlow) {
+        std::this_thread::sleep_for(std::chrono::microseconds(fired->delay_us));
+      }
+    }
+  }
   used_ = 0;
   events_.clear();
   if (events_.capacity() < batch.size()) events_.reserve(batch.size());

@@ -336,6 +336,38 @@ TEST(CkptIoTest, RejectsTrailingGarbage) {
   std::remove(path.c_str());
 }
 
+// The durable-write protocol is write-tmp, fsync-tmp, rename, fsync-dir:
+// overwriting a published snapshot must go through the same path —
+// replacing the contents atomically with no .tmp litter — including when
+// the target path has no directory component (the parent to fsync is ".").
+TEST(CkptIoTest, OverwritePublishesAtomicallyAndDurably) {
+  const std::string path = TempPath("overwrite.aseqckpt");
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "E", 1, "old-state").ok());
+  ASSERT_TRUE(ckpt::WriteSnapshotFile(path, "E", 2, "new-state").ok());
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "temp file left behind after overwrite";
+  ckpt::SnapshotInfo info;
+  std::string payload;
+  Status st = ckpt::ReadSnapshotFile(path, &info, &payload);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(info.stream_offset, 2u);
+  EXPECT_EQ(payload, "new-state");
+  std::remove(path.c_str());
+}
+
+TEST(CkptIoTest, WritesBareRelativePath) {
+  // No '/' in the path: the parent directory to sync is the working
+  // directory, which must not trip the post-rename fsync.
+  const std::string name = "ckpt-io-bare-relative.aseqckpt";
+  Status st = ckpt::WriteSnapshotFile(name, "E", 3, "rel");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ckpt::SnapshotInfo info;
+  std::string payload;
+  ASSERT_TRUE(ckpt::ReadSnapshotFile(name, &info, &payload).ok());
+  EXPECT_EQ(payload, "rel");
+  std::remove(name.c_str());
+}
+
 TEST(CkptIoTest, SnapshotPathForOffsetSortsNumerically) {
   std::string a = ckpt::SnapshotPathForOffset("d", 999);
   std::string b = ckpt::SnapshotPathForOffset("d", 1000);

@@ -17,6 +17,7 @@
 #include "ckpt/snapshot.h"
 #include "engine/runtime.h"
 #include "exec/execution_policy.h"
+#include "fault/fault.h"
 #include "query/analyzer.h"
 #include "stream/stock_stream.h"
 #include "tests/test_util.h"
@@ -97,8 +98,11 @@ std::unique_ptr<exec::ExecutionPolicy> MustMakeSharded(
 /// checkpoints, then for every snapshot written, restore a fresh sharded
 /// policy from it, replay the tail, and require (prefix + tail) outputs
 /// and final merged stats to equal the uninterrupted serial reference.
+/// `fault_spec`, if set, is armed for the checkpointing run only (the
+/// backlogged-queue variant injects slow workers with it).
 void CheckShardedRecovery(const std::string& query_text,
-                          const std::string& label) {
+                          const std::string& label,
+                          const std::string& fault_spec = "") {
   auto c = MakeStock(321, 3000);
   CompiledQuery cq = MustCompile(&c->schema, query_text);
 
@@ -117,7 +121,12 @@ void CheckShardedRecovery(const std::string& query_text,
   options.checkpoint_every = kCheckpointEvery;
   options.checkpoint_dir = dir;
   auto full = MustMakeSharded(cq, options);
+  if (!fault_spec.empty()) {
+    ASSERT_TRUE(fault::Injector::Global().Arm(fault_spec, 5).ok())
+        << fault_spec;
+  }
   RunResult full_run = full->RunEvents(c->events);
+  fault::Injector::Global().Disarm();
   ASSERT_TRUE(full_run.checkpoint_status.ok())
       << full_run.checkpoint_status.ToString();
   ASSERT_GT(full_run.checkpoints_written, 2u) << label;
@@ -183,6 +192,16 @@ TEST(ShardRecoveryTest, GroupedNegation) {
       "PATTERN SEQ(DELL, !QQQ, AMAT) GROUP BY traderId AGG COUNT "
       "WITHIN 800ms",
       "negation");
+}
+
+TEST(ShardRecoveryTest, CheckpointWithBackloggedQueues) {
+  // Injected slow workers keep the per-shard queues non-empty when the
+  // checkpoint barrier is requested: the barrier must drain every queue
+  // before capture, so the snapshots stay consistent and the whole
+  // restore matrix still replays bit-exact.
+  CheckShardedRecovery(
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms",
+      "backlog", "worker.op@0:1:slow:2000,worker.op@1:1:slow:2000");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,377 @@
+// The supervised sharded runtime: injected worker crashes and stalls are
+// detected by the watchdog, the failed shard alone is rebuilt from its
+// recovery point and its routed slice replayed, and the merged outputs and
+// stats stay bit-exact with the unfailed serial run. Overload policies:
+// degrade-serial drains and stays exact; shed drops whole partitions
+// deterministically, with surviving partitions exact against a filtered
+// serial oracle and shed_* counters matching the drop counts exactly.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "aseq/aseq_engine.h"
+#include "engine/runtime.h"
+#include "exec/execution_policy.h"
+#include "exec/shard_router.h"
+#include "fault/fault.h"
+#include "query/analyzer.h"
+#include "stream/stock_stream.h"
+#include "tests/test_util.h"
+
+namespace aseq {
+namespace {
+
+using testing_util::MustCompile;
+
+constexpr size_t kShards = 3;
+constexpr size_t kBatchSize = 64;
+const char* kQuery =
+    "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms";
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Injector::Global().Disarm(); }
+  void TearDown() override { fault::Injector::Global().Disarm(); }
+};
+
+struct StockCase {
+  Schema schema;
+  std::vector<Event> events;
+};
+
+std::unique_ptr<StockCase> MakeStock(uint64_t seed, size_t n) {
+  auto c = std::make_unique<StockCase>();
+  StockStreamOptions options;
+  options.seed = seed;
+  options.num_events = n;
+  options.max_gap_ms = 8;
+  options.num_traders = 6;
+  c->events = GenerateStockStream(options, &c->schema);
+  AssignSeqNums(&c->events);
+  return c;
+}
+
+void ExpectOutputsEqual(const std::vector<Output>& ref,
+                        const std::vector<Output>& got,
+                        const std::string& context) {
+  ASSERT_EQ(ref.size(), got.size()) << context;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].ts, got[i].ts) << context << " output#" << i;
+    EXPECT_EQ(ref[i].seq, got[i].seq) << context << " output#" << i;
+    ASSERT_EQ(ref[i].group.has_value(), got[i].group.has_value())
+        << context << " output#" << i;
+    if (ref[i].group.has_value()) {
+      EXPECT_TRUE(ref[i].group->Equals(*got[i].group))
+          << context << " output#" << i;
+    }
+    EXPECT_TRUE(ref[i].value.Equals(got[i].value))
+        << context << " output#" << i << ": " << ref[i].value.ToString()
+        << " vs " << got[i].value.ToString();
+  }
+}
+
+std::unique_ptr<exec::ExecutionPolicy> MustMakeSharded(
+    const CompiledQuery& cq, const RunOptions& options) {
+  std::string reason;
+  auto policy = exec::MakePolicy(
+      cq, [&cq] { return CreateAseqEngine(cq); }, options, &reason);
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+  EXPECT_TRUE(reason.empty()) << reason;
+  return std::move(policy).value();
+}
+
+RunOptions SupervisedOptions() {
+  RunOptions options;
+  options.num_shards = kShards;
+  options.batch_size = kBatchSize;
+  options.supervise = true;
+  options.recovery_every = 512;
+  return options;
+}
+
+/// Arms `spec`, runs the supervised sharded executor over a fresh stock
+/// case, and requires bit-exact equivalence with the unfailed serial run
+/// plus at least `min_restarts` supervised restarts.
+void CheckSupervisedEquivalence(const std::string& spec, uint64_t seed,
+                                size_t min_restarts,
+                                const std::string& label,
+                                double watchdog_timeout_ms = 1000) {
+  auto c = MakeStock(777, 3000);
+  CompiledQuery cq = MustCompile(&c->schema, kQuery);
+
+  auto ref_or = CreateAseqEngine(cq);
+  ASSERT_TRUE(ref_or.ok());
+  std::unique_ptr<QueryEngine> ref_engine = std::move(ref_or).value();
+  RunResult ref = Runtime::RunEvents(c->events, ref_engine.get());
+  ASSERT_GT(ref.outputs.size(), 0u) << label << ": vacuous workload";
+
+  RunOptions options = SupervisedOptions();
+  options.watchdog_timeout_ms = watchdog_timeout_ms;
+  auto policy = MustMakeSharded(cq, options);
+  if (!spec.empty()) {
+    ASSERT_TRUE(fault::Injector::Global().Arm(spec, seed).ok()) << spec;
+  }
+  RunResult run = policy->RunEvents(c->events);
+  fault::Injector::Global().Disarm();
+
+  ASSERT_TRUE(run.fault_status.ok()) << label << ": "
+                                     << run.fault_status.ToString();
+  EXPECT_EQ(run.events, c->events.size()) << label;
+  ExpectOutputsEqual(ref.outputs, run.outputs, label);
+  const EngineStats& stats = policy->stats();
+  EXPECT_EQ(ref_engine->stats().events_processed, stats.events_processed)
+      << label;
+  EXPECT_EQ(ref_engine->stats().outputs, stats.outputs) << label;
+  EXPECT_EQ(ref_engine->stats().work_units, stats.work_units) << label;
+  EXPECT_EQ(ref_engine->stats().objects.peak(), stats.objects.peak())
+      << label;
+  EXPECT_EQ(ref_engine->stats().objects.current(), stats.objects.current())
+      << label;
+  EXPECT_GE(stats.fault_restarts, min_restarts) << label;
+  if (min_restarts > 0) {
+    EXPECT_GE(stats.fault_injected, 1u) << label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------------
+
+TEST_F(SupervisorTest, CrashedShardRestartsBitExact) {
+  CheckSupervisedEquivalence("worker.op@1:200:crash", 7, 1, "crash-early");
+}
+
+TEST_F(SupervisorTest, CrashAfterRecoveryPointReplaysOnlyTheSlice) {
+  // Shard 2 owns roughly a third of the 3000 events; op 900 lands late in
+  // its lane, past several 512-event recovery barriers, so the restart
+  // replays from a mid-stream snapshot, not from scratch.
+  CheckSupervisedEquivalence("worker.op@2:900:crash", 7, 1, "crash-late");
+}
+
+TEST_F(SupervisorTest, MultipleShardsCrashIndependently) {
+  CheckSupervisedEquivalence(
+      "worker.op@0:150:crash,worker.op@2:400:crash,worker.op@1:700:crash", 7,
+      3, "multi-crash");
+}
+
+TEST_F(SupervisorTest, StalledShardIsQuarantinedAndRestarted) {
+  // The stalled worker stops heartbeating with work outstanding; a short
+  // watchdog timeout keeps the test fast.
+  CheckSupervisedEquivalence("worker.op@1:300:stall", 7, 1, "stall",
+                             /*watchdog_timeout_ms=*/50);
+}
+
+TEST_F(SupervisorTest, SlowShardIsNotMistakenForStalled) {
+  // Slow ops keep heartbeating between delays — the watchdog must not
+  // fire on a shard that is merely behind.
+  auto c = MakeStock(778, 2000);
+  CompiledQuery cq = MustCompile(&c->schema, kQuery);
+  auto ref_or = CreateAseqEngine(cq);
+  ASSERT_TRUE(ref_or.ok());
+  std::unique_ptr<QueryEngine> ref_engine = std::move(ref_or).value();
+  RunResult ref = Runtime::RunEvents(c->events, ref_engine.get());
+
+  RunOptions options = SupervisedOptions();
+  auto policy = MustMakeSharded(cq, options);
+  ASSERT_TRUE(
+      fault::Injector::Global().Arm("worker.op@1:100:slow:512", 7).ok());
+  RunResult run = policy->RunEvents(c->events);
+  fault::Injector::Global().Disarm();
+
+  ASSERT_TRUE(run.fault_status.ok()) << run.fault_status.ToString();
+  ExpectOutputsEqual(ref.outputs, run.outputs, "slow");
+  EXPECT_EQ(policy->stats().fault_restarts, 0u);
+  EXPECT_GE(policy->stats().fault_injected, 1u);
+}
+
+TEST_F(SupervisorTest, SupervisedCleanRunIsExactWithZeroRestarts) {
+  CheckSupervisedEquivalence("", 0, 0, "clean");
+}
+
+TEST_F(SupervisorTest, ExhaustedRestartBudgetAbortsTheRun) {
+  auto c = MakeStock(779, 2000);
+  CompiledQuery cq = MustCompile(&c->schema, kQuery);
+  RunOptions options = SupervisedOptions();
+  options.max_restarts = 3;
+  auto policy = MustMakeSharded(cq, options);
+  // Every hit of shard 1 from 50 on crashes: each restart's replay dies
+  // immediately, so the budget runs out and the run aborts with a status
+  // instead of looping forever.
+  ASSERT_TRUE(
+      fault::Injector::Global().Arm("worker.op@1:50:crash:100000000", 7).ok());
+  RunResult run = policy->RunEvents(c->events);
+  fault::Injector::Global().Disarm();
+
+  ASSERT_FALSE(run.fault_status.ok());
+  EXPECT_NE(run.fault_status.ToString().find("restart budget"),
+            std::string::npos)
+      << run.fault_status.ToString();
+  EXPECT_GE(policy->stats().fault_restarts, 4u);  // 3 allowed + the fatal one
+}
+
+// ---------------------------------------------------------------------------
+// Overload control
+// ---------------------------------------------------------------------------
+
+TEST_F(SupervisorTest, DegradeSerialDrainsAndStaysExact) {
+  auto c = MakeStock(780, 3000);
+  CompiledQuery cq = MustCompile(&c->schema, kQuery);
+  auto ref_or = CreateAseqEngine(cq);
+  ASSERT_TRUE(ref_or.ok());
+  std::unique_ptr<QueryEngine> ref_engine = std::move(ref_or).value();
+  RunResult ref = Runtime::RunEvents(c->events, ref_engine.get());
+
+  RunOptions options;
+  options.num_shards = kShards;
+  options.batch_size = kBatchSize;
+  options.overload_policy = OverloadPolicy::kDegradeSerial;
+  auto policy = MustMakeSharded(cq, options);
+  // Injected overload signals stand in for a queue at its high-watermark,
+  // so the policy engages deterministically without real load.
+  ASSERT_TRUE(
+      fault::Injector::Global().Arm("router.route:100:overload:50", 7).ok());
+  RunResult run = policy->RunEvents(c->events);
+  fault::Injector::Global().Disarm();
+
+  ASSERT_TRUE(run.fault_status.ok()) << run.fault_status.ToString();
+  ExpectOutputsEqual(ref.outputs, run.outputs, "degrade-serial");
+  EXPECT_GE(policy->stats().overload_stalls, 1u);
+  EXPECT_EQ(policy->stats().shed_events, 0u);
+}
+
+TEST_F(SupervisorTest, ShedDropsWholePartitionsExactly) {
+  auto c = MakeStock(781, 3000);
+  CompiledQuery cq = MustCompile(&c->schema, kQuery);
+
+  // Pick an injection trigger that lands on a keyed event: replicate the
+  // router's hit sequence (disarmed — replica hits must not advance the
+  // real run's counters) and take the first keyed hit at or after 200.
+  uint64_t trigger = 0;
+  {
+    exec::ShardRouter probe(cq, kShards);
+    uint64_t hit = 0;
+    for (Event e : c->events) {
+      ++hit;
+      if (probe.RouteEvent(e).has_key && hit >= 200) {
+        trigger = hit;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(trigger, 0u) << "no keyed event in the stream";
+
+  // Shed run. Lift the depth watermark out of reach so the only overload
+  // signal is the injected one — organic backlog (a fast router against a
+  // bounded queue) would otherwise shed timing-dependent partitions and
+  // make the oracle below unpredictable.
+  RunOptions options;
+  options.num_shards = kShards;
+  options.batch_size = kBatchSize;
+  options.overload_policy = OverloadPolicy::kShed;
+  options.overload_high_watermark = 1u << 30;
+  auto policy = MustMakeSharded(cq, options);
+  ASSERT_TRUE(fault::Injector::Global()
+                  .Arm("router.route:" + std::to_string(trigger) +
+                           ":overload:1",
+                       7)
+                  .ok());
+  RunResult run = policy->RunEvents(c->events);
+  fault::Injector::Global().Disarm();
+  ASSERT_TRUE(run.fault_status.ok()) << run.fault_status.ToString();
+  // Shed events still consumed their arrival seq, so the event count is
+  // the full stream's.
+  EXPECT_EQ(run.events, c->events.size());
+
+  // Oracle: replay the router's exact decision sequence to derive the
+  // surviving stream (original seqs preserved), then run it serially.
+  // Shed events carry no purge markers — every event of a partition
+  // belongs to exactly one group and engines purge on arrival, so the
+  // filtered serial run is the exact expectation.
+  std::unordered_set<uint32_t> shed_keys;
+  std::vector<Event> surviving;
+  uint64_t expected_shed_events = 0;
+  uint64_t expected_shed_partitions = 0;
+  {
+    exec::ShardRouter replica(cq, kShards);
+    uint64_t hit = 0;
+    for (const Event& e : c->events) {
+      ++hit;
+      Event stamped = e;
+      stamped.set_seq(hit - 1);  // the executor assigns arrival order
+      const exec::ShardRouter::Route route = replica.RouteEvent(stamped);
+      if (route.has_key) {
+        if (shed_keys.count(route.key_id) != 0) {
+          ++expected_shed_events;
+          continue;
+        }
+        if (hit == trigger) {
+          shed_keys.insert(route.key_id);
+          ++expected_shed_partitions;
+          ++expected_shed_events;
+          continue;
+        }
+      }
+      surviving.push_back(stamped);
+    }
+  }
+  ASSERT_EQ(expected_shed_partitions, 1u);
+  ASSERT_GT(expected_shed_events, 1u) << "trigger key must recur";
+
+  EXPECT_EQ(policy->stats().shed_partitions, expected_shed_partitions);
+  EXPECT_EQ(policy->stats().shed_events, expected_shed_events);
+
+  // Serial oracle over the surviving events, seqs pre-assigned (engines
+  // require strictly increasing seq, not contiguous).
+  auto oracle_or = CreateAseqEngine(cq);
+  ASSERT_TRUE(oracle_or.ok());
+  std::unique_ptr<QueryEngine> oracle = std::move(oracle_or).value();
+  std::vector<Output> oracle_outputs;
+  std::vector<Output> scratch;
+  for (size_t i = 0; i < surviving.size(); i += kBatchSize) {
+    const size_t n = std::min(kBatchSize, surviving.size() - i);
+    scratch.clear();
+    oracle->OnBatch(std::span<const Event>(surviving.data() + i, n),
+                    &scratch);
+    oracle_outputs.insert(oracle_outputs.end(), scratch.begin(),
+                          scratch.end());
+  }
+  ASSERT_GT(oracle_outputs.size(), 0u) << "vacuous surviving workload";
+  ExpectOutputsEqual(oracle_outputs, run.outputs, "shed");
+  EXPECT_EQ(oracle->stats().objects.peak(), policy->stats().objects.peak());
+}
+
+// ---------------------------------------------------------------------------
+// Flag plumbing guards
+// ---------------------------------------------------------------------------
+
+TEST_F(SupervisorTest, SupervisionComposesWithCrashAndOverloadInjection) {
+  // Supervision plus degrade-serial plus a crash in the same run: the
+  // drain restarts the dead lane, and the result is still exact.
+  auto c = MakeStock(782, 2500);
+  CompiledQuery cq = MustCompile(&c->schema, kQuery);
+  auto ref_or = CreateAseqEngine(cq);
+  ASSERT_TRUE(ref_or.ok());
+  std::unique_ptr<QueryEngine> ref_engine = std::move(ref_or).value();
+  RunResult ref = Runtime::RunEvents(c->events, ref_engine.get());
+
+  RunOptions options = SupervisedOptions();
+  options.overload_policy = OverloadPolicy::kDegradeSerial;
+  auto policy = MustMakeSharded(cq, options);
+  ASSERT_TRUE(fault::Injector::Global()
+                  .Arm("worker.op@1:300:crash,router.route:500:overload:20", 7)
+                  .ok());
+  RunResult run = policy->RunEvents(c->events);
+  fault::Injector::Global().Disarm();
+
+  ASSERT_TRUE(run.fault_status.ok()) << run.fault_status.ToString();
+  ExpectOutputsEqual(ref.outputs, run.outputs, "compose");
+  EXPECT_GE(policy->stats().fault_restarts, 1u);
+  EXPECT_GE(policy->stats().overload_stalls, 1u);
+}
+
+}  // namespace
+}  // namespace aseq
