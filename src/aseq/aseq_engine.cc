@@ -126,6 +126,7 @@ HpcEngine::HpcEngine(CompiledQuery query)
                       ? static_cast<size_t>(query_.partition_spec().group_part)
                       : 0),
       single_part_(num_parts_ == 1),
+      store_(single_part_),
       program_(query_) {
   assert(query_.partitioned());
   assert(!query_.has_join_predicates());
@@ -137,14 +138,7 @@ void HpcEngine::PrefetchIndex() const {
   for (const plan::AdmissionRecord& rec : admitter_.records()) {
     // Partial-coverage negation scans every partition; nothing to target.
     if (rec.role->role.negated && !rec.role->fully_covered) continue;
-    if (single_part_) {
-      const uint32_t idx = DenseIdx(rec.key.ids[0]);
-      if (idx < slot_by_id_.size()) {
-        __builtin_prefetch(&slot_by_id_[idx], /*rw=*/0, /*locality=*/3);
-      }
-    } else {
-      index_.PrefetchSlot(rec.key_hash);
-    }
+    store_.PrefetchLookup(rec.key_hash, rec.key);
     if (per_group_ && count_fast_path()) {
       // The COUNT fast path folds counter deltas into group_counts_; warm
       // that cell too while the batch pipeline has distance to spare.
@@ -160,14 +154,9 @@ void HpcEngine::PrefetchPartitions() const {
   for (const plan::AdmissionRecord& rec : admitter_.records()) {
     // Partial-coverage negation scans every partition; nothing to target.
     if (rec.role->role.negated && !rec.role->fully_covered) continue;
-    // The index lines are warm from staging; resolve the slot now and
-    // pull the slab partition itself into cache (DRAMHiT-style). The
-    // result is deliberately discarded: executing earlier batch events
-    // can create or erase partitions, so a cached slot could go stale.
-    const uint32_t slot = LookupSlot(rec.key_hash, rec.key);
-    if (slot != kNoSlot) {
-      __builtin_prefetch(&slab_.at(slot), /*rw=*/0, /*locality=*/3);
-    }
+    // The index lines are warm from staging (see store_.PrefetchEntry for
+    // why the resolved slot is deliberately discarded).
+    store_.PrefetchEntry(rec.key_hash, rec.key);
   }
 }
 
@@ -182,9 +171,9 @@ void HpcEngine::ExecuteEvent(const Event& e,
     const Role& role = rec.role->role;
     if (role.negated) {
       if (rec.role->fully_covered) {
-        const uint32_t slot = LookupSlot(rec.key_hash, rec.key);
+        const uint32_t slot = store_.Lookup(rec.key_hash, rec.key);
         if (slot != kNoSlot) {
-          Partition& part = slab_.at(slot);
+          Partition& part = store_.at(slot);
           MutatePartition(part, [&] {
             part.counters.Purge(e.ts());
             part.counters.ResetPrefix(role.position);
@@ -196,9 +185,9 @@ void HpcEngine::ExecuteEvent(const Event& e,
         // exactly a Value::Equals compare (the interner is
         // Equals-consistent), and an unseen value staged as kNoId matches
         // no live partition.
-        for (uint32_t s = 0; s < slab_.end(); ++s) {
-          if (!slab_.live(s)) continue;
-          Partition& part = slab_.at(s);
+        for (uint32_t s = 0; s < store_.end(); ++s) {
+          if (!store_.live(s)) continue;
+          Partition& part = store_.at(s);
           bool match = true;
           for (size_t p = 0; p < num_parts_ && match; ++p) {
             if ((rec.role->covered_mask >> p) & 1) {
@@ -219,13 +208,13 @@ void HpcEngine::ExecuteEvent(const Event& e,
     if (role.position == 1) {
       // Single-probe upsert: the index entry is created first (with a
       // placeholder slot), then the partition is slab-allocated into it.
-      auto [slot_ref, inserted] = UpsertSlot(rec.key_hash, rec.key);
+      auto [slot_ref, inserted] = store_.Upsert(rec.key_hash, rec.key);
       if (inserted) {
-        *slot_ref = slab_.Emplace(rec.key, rec.key_hash, length_,
-                                  query_.agg().func, carrier_pos1_,
-                                  query_.window_ms(), &stats_);
+        *slot_ref = store_.Emplace(rec.key, rec.key_hash, length_,
+                                   query_.agg().func, carrier_pos1_,
+                                   query_.window_ms(), &stats_);
       }
-      Partition& part = slab_.at(*slot_ref);
+      Partition& part = store_.at(*slot_ref);
       MutatePartition(part, [&] { part.counters.Purge(e.ts()); });
       // A start landing in an empty windowed partition establishes a new
       // earliest expiration; put it on the expiry heap.
@@ -238,9 +227,9 @@ void HpcEngine::ExecuteEvent(const Event& e,
         trigger_key = part.key;
       }
     } else {
-      const uint32_t found = LookupSlot(rec.key_hash, rec.key);
+      const uint32_t found = store_.Lookup(rec.key_hash, rec.key);
       if (found != kNoSlot) {
-        Partition& part = slab_.at(found);
+        Partition& part = store_.at(found);
         MutatePartition(part, [&] {
           part.counters.Purge(e.ts());
           part.counters.ApplyUpdate(role.position, rec.carrier);
@@ -266,7 +255,7 @@ void HpcEngine::ExecuteEvent(const Event& e,
       AggAccum acc;
       if (per_group_) {
         const uint32_t gid = trigger_key.ids[group_part_];
-        output.group = interner_.ValueOf(gid);
+        output.group = store_.interner().ValueOf(gid);
         const uint32_t idx = DenseIdx(gid);
         acc.count = idx < group_counts_.size()
                         ? static_cast<uint64_t>(group_counts_[idx])
@@ -277,7 +266,7 @@ void HpcEngine::ExecuteEvent(const Event& e,
       output.value = acc.Finalize(AggFunc::kCount);
     } else if (per_group_) {
       const uint32_t gid = trigger_key.ids[group_part_];
-      output.group = interner_.ValueOf(gid);
+      output.group = store_.interner().ValueOf(gid);
       output.value = ScanTotal(e.ts(), /*match_group=*/true, gid)
                          .Finalize(query_.agg().func);
     } else {
@@ -290,8 +279,8 @@ void HpcEngine::ExecuteEvent(const Event& e,
 }
 
 void HpcEngine::OnEvent(const Event& e, std::vector<Output>* out) {
-  admitter_.AdmitBatch(program_, std::span<const Event>(&e, 1), &interner_,
-                       &stats_);
+  admitter_.AdmitBatch(program_, std::span<const Event>(&e, 1),
+                       &store_.interner(), &stats_);
   PrefetchIndex();
   ExecuteEvent(e, admitter_.RecordsFor(0), out);
   UpdateHtStats();
@@ -300,7 +289,7 @@ void HpcEngine::OnEvent(const Event& e, std::vector<Output>* out) {
 void HpcEngine::OnBatch(std::span<const Event> batch,
                         std::vector<Output>* out) {
   if (batch.empty()) return;
-  admitter_.AdmitBatch(program_, batch, &interner_, &stats_);
+  admitter_.AdmitBatch(program_, batch, &store_.interner(), &stats_);
   PrefetchIndex();
   PrefetchPartitions();
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -312,11 +301,11 @@ void HpcEngine::OnBatch(std::span<const Event> batch,
 
 void HpcEngine::UpdateHtStats() {
   // The dense slot/group arrays are not hash tables; only the interner and
-  // the multi-part index probe.
-  stats_.ht_probes = index_.probes() + interner_.probes();
-  stats_.ht_probe_steps = index_.probe_steps() + interner_.probe_steps();
-  stats_.ht_slots = index_.capacity() + interner_.capacity();
-  stats_.ht_entries = index_.size() + interner_.size();
+  // the multi-part index probe (see PartitionStore's gauges).
+  stats_.ht_probes = store_.probes();
+  stats_.ht_probe_steps = store_.probe_steps();
+  stats_.ht_slots = store_.table_capacity();
+  stats_.ht_entries = store_.table_entries();
 }
 
 AggAccum HpcEngine::ScanTotal(Timestamp now, bool match_group, uint32_t gid) {
@@ -325,9 +314,9 @@ AggAccum HpcEngine::ScanTotal(Timestamp now, bool match_group, uint32_t gid) {
   // floating-point merge order below (SUM/AVG) must survive
   // checkpoint/restore byte-identically, and the checkpointed slab
   // geometry guarantees exactly that.
-  for (uint32_t s = 0; s < slab_.end(); ++s) {
-    if (!slab_.live(s)) continue;
-    Partition& part = slab_.at(s);
+  for (uint32_t s = 0; s < store_.end(); ++s) {
+    if (!store_.live(s)) continue;
+    Partition& part = store_.at(s);
     MutatePartition(part, [&] { part.counters.Purge(now); });
     if (part.counters.windowed() && part.counters.num_counters() == 0) {
       ErasePartition(s);
@@ -340,11 +329,7 @@ AggAccum HpcEngine::ScanTotal(Timestamp now, bool match_group, uint32_t gid) {
   return acc;
 }
 
-void HpcEngine::ErasePartition(uint32_t slot) {
-  Partition& part = slab_.at(slot);
-  EraseIndexEntry(part);
-  slab_.Free(slot);
-}
+void HpcEngine::ErasePartition(uint32_t slot) { store_.Erase(slot); }
 
 void HpcEngine::SyncPurgeTo(Timestamp now) {
   if (!query_.has_window()) return;  // nothing ever expires
@@ -355,9 +340,9 @@ void HpcEngine::SyncPurgeTo(Timestamp now) {
   // Mirror ScanTotal's purge-and-erase sweep exactly, minus the
   // accumulation: the serial trigger purges *every* partition as it scans,
   // and erases the ones left empty.
-  for (uint32_t s = 0; s < slab_.end(); ++s) {
-    if (!slab_.live(s)) continue;
-    Partition& part = slab_.at(s);
+  for (uint32_t s = 0; s < store_.end(); ++s) {
+    if (!store_.live(s)) continue;
+    Partition& part = store_.at(s);
     part.counters.Purge(now);
     if (part.counters.windowed() && part.counters.num_counters() == 0) {
       ErasePartition(s);
@@ -366,31 +351,29 @@ void HpcEngine::SyncPurgeTo(Timestamp now) {
 }
 
 void HpcEngine::EnqueueExpiry(const Partition& part) {
-  if (!count_fast_path()) return;  // triggers re-scan; no heap needed
-  const Timestamp exp = part.counters.next_expiry();
-  if (exp == std::numeric_limits<Timestamp>::max()) return;
-  expiry_heap_.push(ExpiryEntry{exp, part.hash, part.key});
+  if (!count_fast_path()) return;  // triggers re-scan; no clock needed
+  clock_.Schedule(part.counters.next_expiry(), part.hash, part.key);
 }
 
 void HpcEngine::AdvanceExpiry(Timestamp now) {
-  while (!expiry_heap_.empty() && expiry_heap_.top().exp <= now) {
-    ExpiryEntry top = expiry_heap_.top();
-    expiry_heap_.pop();
-    const uint32_t slot = LookupSlot(top.hash, top.key);
-    if (slot == kNoSlot) continue;  // stale: already erased
-    Partition& part = slab_.at(slot);
-    MutatePartition(part, [&] { part.counters.Purge(now); });
-    const Timestamp next = part.counters.next_expiry();
-    if (next == std::numeric_limits<Timestamp>::max()) {
-      if (part.counters.windowed() && part.counters.num_counters() == 0) {
-        ErasePartition(slot);
-      }
-      continue;
-    }
-    // Still live (or the heap entry was stale-early): revisit when due.
-    top.exp = next;
-    expiry_heap_.push(std::move(top));
-  }
+  clock_.AdvanceTo(
+      now, [&](const state::WindowClock::Entry& top) -> Timestamp {
+        const uint32_t slot = store_.Lookup(top.hash, top.key);
+        if (slot == kNoSlot) {  // stale: already erased
+          return state::WindowClock::kNever;
+        }
+        Partition& part = store_.at(slot);
+        MutatePartition(part, [&] { part.counters.Purge(now); });
+        const Timestamp next = part.counters.next_expiry();
+        if (next == state::WindowClock::kNever) {
+          if (part.counters.windowed() && part.counters.num_counters() == 0) {
+            ErasePartition(slot);
+          }
+          return state::WindowClock::kNever;
+        }
+        // Still live (or the entry was stale-early): revisit when due.
+        return next;
+      });
 }
 
 std::vector<Output> HpcEngine::Poll(Timestamp now) {
@@ -407,9 +390,9 @@ std::vector<Output> HpcEngine::Poll(Timestamp now) {
   // function of engine state, so a restored engine polls byte-identically.
   std::vector<std::pair<uint32_t, AggAccum>> groups;
   container::FlatMap<uint32_t, uint32_t, container::IdHash> group_pos;
-  for (uint32_t s = 0; s < slab_.end(); ++s) {
-    if (!slab_.live(s)) continue;
-    Partition& part = slab_.at(s);
+  for (uint32_t s = 0; s < store_.end(); ++s) {
+    if (!store_.live(s)) continue;
+    Partition& part = store_.at(s);
     MutatePartition(part, [&] { part.counters.Purge(now); });
     if (part.counters.windowed() && part.counters.num_counters() == 0) {
       ErasePartition(s);
@@ -424,7 +407,7 @@ std::vector<Output> HpcEngine::Poll(Timestamp now) {
   for (const auto& [gid, acc] : groups) {
     Output output;
     output.ts = now;
-    output.group = interner_.ValueOf(gid);
+    output.group = store_.interner().ValueOf(gid);
     output.value = acc.Finalize(query_.agg().func);
     outputs.push_back(std::move(output));
   }
@@ -433,36 +416,14 @@ std::vector<Output> HpcEngine::Poll(Timestamp now) {
 
 Status HpcEngine::Checkpoint(ckpt::Writer* writer) const {
   ckpt::WriteStats(writer, stats_);
-  // Interner table, values in id order: restoring this sequence reproduces
-  // every id, so the stream suffix interns identically after a restore.
-  writer->WriteU64(interner_.size());
-  for (const Value& v : interner_.values()) ckpt::WriteValue(writer, v);
-  // Partition slab. The slab's slot order is the engine's observable
-  // iteration order, so its geometry is serialized exactly: the high-water
-  // mark, every live entry's slot index, and the freelist in stack order.
-  // Entries are written in canonical interned-id key order (not history-
-  // dependent slot order), so two logically identical states produce
-  // identical payload bytes.
-  writer->WriteU64(slab_.end());
-  writer->WriteU64(slab_.size());
-  std::vector<uint32_t> order;
-  order.reserve(slab_.size());
-  for (uint32_t s = 0; s < slab_.end(); ++s) {
-    if (slab_.live(s)) order.push_back(s);
-  }
-  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
-    return slab_.at(a).key.ids < slab_.at(b).key.ids;
-  });
-  for (uint32_t s : order) {
-    const Partition& part = slab_.at(s);
-    for (uint32_t id : part.key.ids) writer->WriteU32(id);
-    writer->WriteU32(s);
-    part.counters.Checkpoint(writer);
-  }
-  writer->WriteU64(slab_.freelist().size());
-  for (uint32_t s : slab_.freelist()) writer->WriteU32(s);
-  // (The FlatMap index is not serialized: its layout is unobservable and
-  // Restore rebuilds it from the slab.)
+  // The store serializes the structural spine (interner values in id
+  // order, slab geometry, entries in canonical key order, freelist); the
+  // per-partition counter payload rides along via the callback.
+  ASEQ_RETURN_NOT_OK(
+      store_.Checkpoint(writer, [](const Partition& part, ckpt::Writer* w) {
+        part.counters.Checkpoint(w);
+        return Status::OK();
+      }));
   writer->WriteI64(running_count_);
   // Nonzero group totals, ascending group id. Zero and absent are the same
   // reading (see group_counts_), so nonzero-only is the canonical payload:
@@ -481,163 +442,46 @@ Status HpcEngine::Checkpoint(ckpt::Writer* writer) const {
     writer->WriteU32(gid);
     writer->WriteI64(count);
   }
-  // Expiry heap, verbatim array order: the pop order of equal deadlines
+  // Window clock, verbatim heap order: the pop order of equal deadlines
   // depends on the heap's internal layout, and AdvanceExpiry's
   // purge-then-erase order feeds the slab freelist — observable through
-  // later slot assignment. Entries are plain id arrays now, so the exact
-  // heap is cheap to carry (see ckpt::HeapContainer).
-  const auto& heap = ckpt::HeapContainer(expiry_heap_);
-  writer->WriteU64(heap.size());
-  for (const ExpiryEntry& entry : heap) {
-    writer->WriteI64(entry.exp);
-    writer->WriteU64(entry.hash);
-    for (uint32_t id : entry.key.ids) writer->WriteU32(id);
-  }
+  // later slot assignment.
+  clock_.Checkpoint(writer);
   return Status::OK();
 }
-
-namespace {
-
-/// A serialized interned id is either kNoId (uncovered slot) or a live id.
-bool ValidId(uint32_t id, uint32_t interner_size) {
-  return id == container::kNoId || id < interner_size;
-}
-
-}  // namespace
 
 Status HpcEngine::Restore(ckpt::Reader* reader) {
   EngineStats stats;
   ASEQ_RETURN_NOT_OK(ckpt::ReadStats(reader, &stats));
-  // Interner.
-  uint64_t n_values = 0;
-  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_values, 1, "interned values"));
-  std::vector<Value> values;
-  values.reserve(n_values);
-  for (uint64_t i = 0; i < n_values; ++i) {
-    Value v;
-    ASEQ_RETURN_NOT_OK(ckpt::ReadValue(reader, &v));
-    values.push_back(std::move(v));
-  }
-  if (!interner_.RestoreFromValues(std::move(values))) {
-    return Status::ParseError(
-        "snapshot corrupt: duplicate value in interner table");
-  }
-  // Slab geometry: every slot below the high-water mark must come back
-  // either live (a partition entry names it) or on the freelist.
-  uint64_t slab_end = 0;
-  uint64_t n_partitions = 0;
-  ASEQ_RETURN_NOT_OK(reader->ReadU64(&slab_end, "partition slab end"));
-  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_partitions, 40, "partitions"));
-  if (slab_end > 0xFFFFFFFFull) {
-    return Status::ParseError("snapshot corrupt: partition slab end " +
-                              std::to_string(slab_end) +
-                              " exceeds the 32-bit slot space");
-  }
-  if (n_partitions > slab_end) {
-    return Status::ParseError(
-        "snapshot corrupt: more partitions than slab slots");
-  }
-  slab_.ResetGeometry(static_cast<uint32_t>(slab_end));
-  index_ = PartitionIndex();
-  if (single_part_) {
-    slot_by_id_.assign(interner_.size() + 1, kNoSlot);
-  } else {
-    index_.Reserve(n_partitions);
-  }
-  container::InternedKey prev_key;
-  for (uint64_t i = 0; i < n_partitions; ++i) {
-    container::InternedKey key;
-    for (size_t p = 0; p < container::kMaxKeyParts; ++p) {
-      ASEQ_RETURN_NOT_OK(reader->ReadU32(&key.ids[p], "partition key id"));
-      if (!ValidId(key.ids[p], interner_.size())) {
-        return Status::ParseError(
-            "snapshot corrupt: partition key id out of interner range");
-      }
-    }
-    // Canonical order doubles as the duplicate-key check.
-    if (i > 0 && !(prev_key.ids < key.ids)) {
-      return Status::ParseError(
-          "snapshot corrupt: partitions not in canonical interned-id order");
-    }
-    prev_key = key;
-    uint32_t slot = 0;
-    ASEQ_RETURN_NOT_OK(reader->ReadU32(&slot, "partition slot"));
-    if (slot >= slab_end || slab_.live(slot)) {
-      return Status::ParseError(
-          "snapshot corrupt: partition slot out of range or duplicated");
-    }
-    const uint64_t hash = container::InternedKeyHash{}(key);
-    Partition& part =
-        slab_.EmplaceAt(slot, key, hash, length_, query_.agg().func,
-                        carrier_pos1_, query_.window_ms(), &stats_);
-    ASEQ_RETURN_NOT_OK(part.counters.Restore(reader));
-    if (single_part_) {
-      slot_by_id_[DenseIdx(key.ids[0])] = slot;
-    } else {
-      index_.TryEmplaceHashed(hash, key, slot);
-    }
-  }
-  uint64_t n_free = 0;
-  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_free, 4, "slab freelist"));
-  if (n_partitions + n_free != slab_end) {
-    return Status::ParseError(
-        "snapshot corrupt: slab geometry mismatch (live " +
-        std::to_string(n_partitions) + " + free " + std::to_string(n_free) +
-        " != end " + std::to_string(slab_end) + ")");
-  }
-  std::vector<uint32_t> freelist;
-  freelist.reserve(n_free);
-  std::vector<uint8_t> freed(slab_end, 0);
-  for (uint64_t i = 0; i < n_free; ++i) {
-    uint32_t slot = 0;
-    ASEQ_RETURN_NOT_OK(reader->ReadU32(&slot, "freelist slot"));
-    if (slot >= slab_end || slab_.live(slot) || freed[slot]) {
-      return Status::ParseError(
-          "snapshot corrupt: freelist slot out of range, live, or "
-          "duplicated");
-    }
-    freed[slot] = 1;
-    freelist.push_back(slot);
-  }
-  slab_.RestoreFreelist(std::move(freelist));
+  // The store validates the slab geometry and rebuilds the index; the
+  // callback re-creates each partition in its checkpointed slot and reads
+  // its counter payload.
+  ASEQ_RETURN_NOT_OK(store_.Restore(
+      reader, [&](uint32_t slot, const container::InternedKey& key,
+                  uint64_t hash, ckpt::Reader* r) -> Status {
+        Partition& part = store_.RestoreEmplaceAt(
+            slot, key, hash, length_, query_.agg().func, carrier_pos1_,
+            query_.window_ms(), &stats_);
+        return part.counters.Restore(r);
+      }));
   ASEQ_RETURN_NOT_OK(reader->ReadI64(&running_count_, "running count"));
   uint64_t n_groups = 0;
   ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_groups, 12, "group counts"));
-  group_counts_.assign(interner_.size() + 1, 0);
+  group_counts_.assign(store_.interner().size() + 1, 0);
   uint32_t prev_gid = 0;
   for (uint64_t i = 0; i < n_groups; ++i) {
     uint32_t gid = 0;
     int64_t count = 0;
     ASEQ_RETURN_NOT_OK(reader->ReadU32(&gid, "group id"));
     ASEQ_RETURN_NOT_OK(reader->ReadI64(&count, "group count"));
-    if (gid >= interner_.size() || (i > 0 && gid <= prev_gid)) {
+    if (gid >= store_.interner().size() || (i > 0 && gid <= prev_gid)) {
       return Status::ParseError(
           "snapshot corrupt: group id out of range or out of order");
     }
     prev_gid = gid;
     group_counts_[DenseIdx(gid)] = count;
   }
-  // Expiry heap, verbatim: the array was a valid heap when written, so it
-  // is appended without re-heapify (ckpt::MutableHeapContainer) and pops
-  // replay in exactly the original order.
-  expiry_heap_ = {};
-  uint64_t n_heap = 0;
-  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n_heap, 48, "expiry heap"));
-  auto& heap = ckpt::MutableHeapContainer(expiry_heap_);
-  heap.reserve(n_heap);
-  for (uint64_t i = 0; i < n_heap; ++i) {
-    ExpiryEntry entry;
-    ASEQ_RETURN_NOT_OK(reader->ReadI64(&entry.exp, "expiry deadline"));
-    ASEQ_RETURN_NOT_OK(reader->ReadU64(&entry.hash, "expiry key hash"));
-    for (size_t p = 0; p < container::kMaxKeyParts; ++p) {
-      ASEQ_RETURN_NOT_OK(reader->ReadU32(&entry.key.ids[p], "expiry key id"));
-      if (!ValidId(entry.key.ids[p], interner_.size())) {
-        return Status::ParseError(
-            "snapshot corrupt: expiry key id out of interner range");
-      }
-    }
-    heap.push_back(std::move(entry));
-  }
+  ASEQ_RETURN_NOT_OK(clock_.Restore(reader, store_.interner().size()));
   // Stats last: the structural rebuild above must not perturb the restored
   // object accounting; the transient ht_* gauges refresh from the rebuilt
   // tables.

@@ -3,19 +3,18 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "aseq/counter_set.h"
 #include "common/status.h"
-#include "container/flat_map.h"
 #include "container/key_interner.h"
-#include "container/slab_pool.h"
 #include "engine/engine.h"
 #include "plan/admission.h"
 #include "query/compiled_query.h"
+#include "state/partition_store.h"
+#include "state/window_clock.h"
 
 namespace aseq {
 
@@ -86,25 +85,20 @@ class AseqEngine : public QueryEngine {
 /// order. OnEvent stages a one-event batch through the same path, so both
 /// paths share one code path and stay exactly equivalent.
 ///
-/// State lives in the flat partition store (src/container/):
-///  - a SlabPool of Partition objects — the *iteration authority*: every
-///    observable sweep (ScanTotal's SUM/AVG merge order, Poll's per-group
-///    output order, partial-negation scans) walks ascending slot order,
-///    and checkpoints carry the exact slab geometry so restores reproduce
-///    it byte-for-byte;
-///  - a partition index with no ordering obligations, rebuilt fresh on
-///    restore: single-part keys (the common GROUP BY / single-equivalence
-///    case) use a dense direct-mapped slot array — interned ids index it
-///    outright, no hashing — and wider keys use an open-addressing FlatMap
-///    from InternedKey to slab slot;
-///  - a KeyInterner mapping distinct key Values to ids, append-only and
-///    serialized in id order.
+/// State lives in the partition-state spine (src/state/): a
+/// state::PartitionStore of Partition entries (interned keys, slab slots
+/// as the observable iteration order, dense single-part index) and a
+/// state::WindowClock driving lazy window expiry on the COUNT fast path.
+/// Every observable sweep (ScanTotal's SUM/AVG merge order, Poll's
+/// per-group output order, partial-negation scans) walks ascending slot
+/// order, and checkpoints carry the exact slab geometry so restores
+/// reproduce it byte-for-byte.
 ///
-/// HPC is the one engine that shards: each partition key owns disjoint
-/// state, so the executor can split the partition store across N twin
-/// instances by GROUP BY key. The only cross-partition coupling is window
-/// expiry at trigger time, which ShardableEngine::SyncPurgeTo replicates
-/// on the shards that do not own the trigger.
+/// Each partition key owns disjoint state, so the executor can split the
+/// partition store across N twin instances by GROUP BY key (the grouped
+/// sharing engines shard the same way). The only cross-partition coupling
+/// is window expiry at trigger time, which ShardableEngine::SyncPurgeTo
+/// replicates on the shards that do not own the trigger.
 class HpcEngine : public QueryEngine, public ShardableEngine {
  public:
   explicit HpcEngine(CompiledQuery query);
@@ -127,7 +121,7 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
 
   const CompiledQuery& query() const { return query_; }
 
-  size_t num_partitions() const { return slab_.size(); }
+  size_t num_partitions() const { return store_.size(); }
 
   /// ShardableEngine: replays the cross-partition purge a trigger at `now`
   /// performs — AdvanceExpiry on the COUNT fast path, ScanTotal's
@@ -156,17 +150,15 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
           counters(length, func, carrier_pos1, window_ms, stats) {}
   };
 
-  using PartitionIndex =
-      container::FlatMap<container::InternedKey, uint32_t,
-                         container::InternedKeyHash>;
+  /// "No partition" sentinel in the dense slot index (see src/state/).
+  static constexpr uint32_t kNoSlot = state::kNoSlot;
 
-  /// "No partition" sentinel in the dense slot index.
-  static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
-
-  /// Dense-index position for an interned id. Ids map to id+1 and the
-  /// kNoId sentinel wraps to 0, so wildcard keys (a key part no spec part
-  /// covers) get a reserved bucket instead of an out-of-range access.
-  static constexpr uint32_t DenseIdx(uint32_t id) { return id + 1u; }
+  /// Dense-index position for an interned id (see state::DenseIdx): used
+  /// here for the group_counts_ array, which is indexed the same way the
+  /// store's single-part slot array is.
+  static constexpr uint32_t DenseIdx(uint32_t id) {
+    return state::DenseIdx(id);
+  }
 
   /// Prefetch pass after admission: warms the partition-index (and
   /// group-count) slots each staged record will probe. The interner slots
@@ -195,20 +187,6 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
   /// Removes the partition at `slot` from the index and the slab.
   void ErasePartition(uint32_t slot);
 
-  /// A due date in the partition-expiry heap. Keys are carried by value
-  /// (trivially copyable id arrays) so stale entries — the partition was
-  /// purged further, or erased — can be recognized and skipped safely.
-  struct ExpiryEntry {
-    Timestamp exp = 0;
-    uint64_t hash = 0;
-    container::InternedKey key;
-  };
-  struct ExpiryLater {
-    bool operator()(const ExpiryEntry& a, const ExpiryEntry& b) const {
-      return a.exp > b.exp;
-    }
-  };
-
   /// True when triggers read the O(1) running COUNT totals instead of
   /// scanning every partition.
   bool count_fast_path() const { return query_.agg().func == AggFunc::kCount; }
@@ -233,7 +211,7 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
         if (idx >= group_counts_.size()) {
           // Interned ids are dense, so the interner size bounds every
           // group id the engine can ever hand us right now.
-          group_counts_.resize(interner_.size() + 1, 0);
+          group_counts_.resize(store_.interner().size() + 1, 0);
         }
         group_counts_[idx] += delta;
       } else {
@@ -242,43 +220,7 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
     }
   }
 
-  /// Resolves a sealed probe key to its partition's slab slot, or kNoSlot.
-  /// Single-part keys are a direct array access; wider keys probe the
-  /// hash index.
-  uint32_t LookupSlot(uint64_t hash, const container::InternedKey& key) const {
-    if (single_part_) {
-      const uint32_t idx = DenseIdx(key.ids[0]);
-      return idx < slot_by_id_.size() ? slot_by_id_[idx] : kNoSlot;
-    }
-    const uint32_t* slot = index_.FindHashed(hash, key);
-    return slot == nullptr ? kNoSlot : *slot;
-  }
-
-  /// Index entry for a position-1 record: returns the slot cell (holding
-  /// kNoSlot if the entry was just created) and whether it was created.
-  std::pair<uint32_t*, bool> UpsertSlot(uint64_t hash,
-                                        const container::InternedKey& key) {
-    if (single_part_) {
-      const uint32_t idx = DenseIdx(key.ids[0]);
-      if (idx >= slot_by_id_.size()) {
-        slot_by_id_.resize(interner_.size() + 1, kNoSlot);
-      }
-      uint32_t* slot = &slot_by_id_[idx];
-      return {slot, *slot == kNoSlot};
-    }
-    return index_.TryEmplaceHashed(hash, key, kNoSlot);
-  }
-
-  /// Drops `part`'s index entry (the slab slot itself is freed separately).
-  void EraseIndexEntry(const Partition& part) {
-    if (single_part_) {
-      slot_by_id_[DenseIdx(part.key.ids[0])] = kNoSlot;
-    } else {
-      index_.EraseHashed(part.hash, part.key);
-    }
-  }
-
-  /// Pushes `part`'s next expiration onto the heap (windowed mode, COUNT
+  /// Pushes `part`'s next expiration onto the clock (windowed mode, COUNT
   /// fast path; a no-op when nothing can expire).
   void EnqueueExpiry(const Partition& part);
 
@@ -300,17 +242,9 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
   uint64_t full_mask_;    // covered_mask value meaning "every part"
   bool per_group_;        // GROUP BY present
   size_t group_part_;     // index of the GROUP BY part (0 if none)
-  bool single_part_;      // one-part key: dense slot_by_id_ index
-  // The flat partition store.
-  container::KeyInterner interner_;
-  /// Hash index, used only when the key has several parts.
-  PartitionIndex index_;
-  /// Dense index for single-part keys: slot_by_id_[DenseIdx(id)] is the
-  /// partition's slab slot (kNoSlot = none). Interned ids are dense, so
-  /// this stays as small as the key cardinality itself and a probe is one
-  /// array read — no hashing, no collisions.
-  std::vector<uint32_t> slot_by_id_;
-  container::SlabPool<Partition> slab_;
+  bool single_part_;      // one-part key: dense direct-mapped store index
+  /// The partition-state spine (src/state/): interner + index + slab.
+  state::PartitionStore<Partition> store_;
   /// Compiled admission program (src/plan/): dense role dispatch, typed
   /// local-predicate opcodes, fused carrier load + key extraction.
   /// Borrows query_'s predicate storage — declared after it.
@@ -318,15 +252,14 @@ class HpcEngine : public QueryEngine, public ShardableEngine {
   /// Batched admission scratch, reused (clear-not-shrink) across batches.
   plan::BatchAdmitter admitter_;
   // COUNT fast path: running full-match totals (global, or per group id)
-  // and the partition-expiry heap that keeps them exact under lazy
-  // purging. Group totals live in a flat array indexed by DenseIdx(gid) —
-  // interned group ids are dense, so a trigger reads its total with one
-  // array access and zero means "no full matches", exactly as an absent
-  // hash-table entry used to.
+  // and the window clock that keeps them exact under lazy purging. Group
+  // totals live in a flat array indexed by DenseIdx(gid) — interned group
+  // ids are dense, so a trigger reads its total with one array access and
+  // zero means "no full matches", exactly as an absent hash-table entry
+  // used to.
   int64_t running_count_ = 0;
   std::vector<int64_t> group_counts_;
-  std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>, ExpiryLater>
-      expiry_heap_;
+  state::WindowClock clock_;
 };
 
 /// \brief Builds the right A-Seq engine for an analyzed query.

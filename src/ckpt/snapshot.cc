@@ -248,10 +248,18 @@ Status RestoreMultiSnapshot(const std::string& path, MultiQueryEngine* engine,
       [engine](Reader* r) { return engine->Restore(r); }, stream_offset);
 }
 
-Status SaveShardedSnapshot(const std::string& path,
-                           std::span<const QueryEngine* const> shards,
-                           uint64_t stream_offset, const EngineStats& merged,
-                           std::string_view router_state) {
+namespace {
+
+/// Shared container writer/reader behind both the single- and multi-query
+/// SaveShardedSnapshot / RestoreShardedSnapshot overloads: the layout is
+/// identical, only the engine type the shard payloads round-trip through
+/// differs (the engine name in the header separates the two families).
+template <typename EngineT>
+Status SaveShardedSnapshotImpl(const std::string& path,
+                               std::span<const EngineT* const> shards,
+                               uint64_t stream_offset,
+                               const EngineStats& merged,
+                               std::string_view router_state) {
   if (shards.empty()) {
     return Status::InvalidArgument(
         "sharded snapshot requires at least one shard engine");
@@ -260,7 +268,7 @@ Status SaveShardedSnapshot(const std::string& path,
   payload.WriteU32(static_cast<uint32_t>(shards.size()));
   WriteStats(&payload, merged);
   payload.WriteString(router_state);
-  for (const QueryEngine* shard : shards) {
+  for (const EngineT* shard : shards) {
     Writer sub;
     ASEQ_RETURN_NOT_OK(shard->Checkpoint(&sub));
     payload.WriteString(sub.buffer());
@@ -269,10 +277,11 @@ Status SaveShardedSnapshot(const std::string& path,
                            stream_offset, payload.buffer());
 }
 
-Status RestoreShardedSnapshot(const std::string& path,
-                              std::span<QueryEngine* const> shards,
-                              uint64_t* stream_offset, EngineStats* merged,
-                              std::string* router_state) {
+template <typename EngineT>
+Status RestoreShardedSnapshotImpl(const std::string& path,
+                                  std::span<EngineT* const> shards,
+                                  uint64_t* stream_offset, EngineStats* merged,
+                                  std::string* router_state) {
   if (shards.empty()) {
     return Status::InvalidArgument(
         "sharded snapshot requires at least one shard engine");
@@ -308,6 +317,40 @@ Status RestoreShardedSnapshot(const std::string& path,
   ASEQ_RETURN_NOT_OK(reader.ExpectEnd());
   *stream_offset = info.stream_offset;
   return Status::OK();
+}
+
+}  // namespace
+
+Status SaveShardedSnapshot(const std::string& path,
+                           std::span<const QueryEngine* const> shards,
+                           uint64_t stream_offset, const EngineStats& merged,
+                           std::string_view router_state) {
+  return SaveShardedSnapshotImpl(path, shards, stream_offset, merged,
+                                 router_state);
+}
+
+Status RestoreShardedSnapshot(const std::string& path,
+                              std::span<QueryEngine* const> shards,
+                              uint64_t* stream_offset, EngineStats* merged,
+                              std::string* router_state) {
+  return RestoreShardedSnapshotImpl(path, shards, stream_offset, merged,
+                                    router_state);
+}
+
+Status SaveShardedSnapshot(const std::string& path,
+                           std::span<const MultiQueryEngine* const> shards,
+                           uint64_t stream_offset, const EngineStats& merged,
+                           std::string_view router_state) {
+  return SaveShardedSnapshotImpl(path, shards, stream_offset, merged,
+                                 router_state);
+}
+
+Status RestoreShardedSnapshot(const std::string& path,
+                              std::span<MultiQueryEngine* const> shards,
+                              uint64_t* stream_offset, EngineStats* merged,
+                              std::string* router_state) {
+  return RestoreShardedSnapshotImpl(path, shards, stream_offset, merged,
+                                    router_state);
 }
 
 std::string SnapshotPathForOffset(const std::string& dir, uint64_t offset) {

@@ -99,6 +99,19 @@ Status RestoreShardedSnapshot(const std::string& path,
                               uint64_t* stream_offset, EngineStats* merged,
                               std::string* router_state);
 
+/// Multi-query variants: identical container layout, the shard payloads
+/// are MultiQueryEngine checkpoints (the engine name check keeps the two
+/// container families from restoring into each other — a multi-query
+/// engine's name never equals a single-query engine's).
+Status SaveShardedSnapshot(const std::string& path,
+                           std::span<const MultiQueryEngine* const> shards,
+                           uint64_t stream_offset, const EngineStats& merged,
+                           std::string_view router_state);
+Status RestoreShardedSnapshot(const std::string& path,
+                              std::span<MultiQueryEngine* const> shards,
+                              uint64_t* stream_offset, EngineStats* merged,
+                              std::string* router_state);
+
 /// Canonical snapshot filename for a stream offset: `<dir>/ckpt-<offset
 /// zero-padded to 20>.aseqckpt` — zero-padding makes lexicographic order
 /// equal numeric order, so "latest" is the last name in a sorted listing.

@@ -19,6 +19,7 @@
 #include "engine/reordering_engine.h"
 #include "engine/runtime.h"
 #include "exec/execution_policy.h"
+#include "exec/multi_execution_policy.h"
 #include "fault/fault.h"
 #include "query/analyzer.h"
 #include "stream/clickstream.h"
@@ -49,7 +50,7 @@ constexpr const char* kUsage =
     "                [--batch-size N]\n"
     "  aseq workload --queries FILE (--trace FILE | --stock N | --clicks N)\n"
     "                [--strategy nonshare|sase|pretree|cc|hybrid]\n"
-    "                [--seed S] [--gap MS] [--batch-size N]\n"
+    "                [--seed S] [--gap MS] [--batch-size N] [--shards N]\n"
     "                [--checkpoint-every N --checkpoint-dir DIR]\n"
     "                [--restore-from SNAPSHOT]\n"
     "  (--batch-size controls the ingestion batch fed to OnBatch; default "
@@ -60,8 +61,11 @@ constexpr const char* kUsage =
     "  (--shards N > 1 runs the partition-parallel executor: events are\n"
     "   hash-routed by GROUP BY key to N engine shards on worker threads,\n"
     "   with results identical to the serial run; queries that cannot\n"
-    "   shard safely fall back to serial with a note)\n"
-    "  (run also accepts the supervised-runtime flags, --shards >= 2:\n"
+    "   shard safely fall back to serial with a note. workload shards the\n"
+    "   whole multi-query engine the same way when every query groups by\n"
+    "   one shared attribute)\n"
+    "  (run and workload also accept the supervised-runtime flags,\n"
+    "   --shards >= 2:\n"
     "   --supervise enables the shard watchdog — dead or stalled workers\n"
     "   are restarted from the last recovery point and their event slice\n"
     "   replayed, keeping output bit-exact; tune with\n"
@@ -612,10 +616,12 @@ int CmdCompare(const FlagSet& flags, std::ostream& out, std::ostream& err) {
 }
 
 int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
-  Status known = flags.CheckKnown({"queries", "trace", "stock", "clicks",
-                                   "strategy", "seed", "gap", "batch-size",
-                                   "checkpoint-every", "checkpoint-dir",
-                                   "restore-from"});
+  Status known = flags.CheckKnown(
+      {"queries", "trace", "stock", "clicks", "strategy", "seed", "gap",
+       "batch-size", "shards", "checkpoint-every", "checkpoint-dir",
+       "restore-from", "supervise", "watchdog-timeout-ms", "recovery-every",
+       "max-restarts", "overload-policy", "overload-watermark", "fault-spec",
+       "fault-seed"});
   if (!known.ok()) {
     err << known.ToString() << "\n";
     return 2;
@@ -629,6 +635,11 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   Status ckpt_flags = CheckpointFlagsInto(flags, &*options, &restore_from);
   if (!ckpt_flags.ok()) {
     err << ckpt_flags.ToString() << "\n";
+    return 1;
+  }
+  Status sup_flags = SupervisionFlagsInto(flags, &*options);
+  if (!sup_flags.ok()) {
+    err << sup_flags.ToString() << "\n";
     return 1;
   }
   options->stop_requested = &CliStopFlag();
@@ -670,52 +681,72 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   }
 
   std::string strategy = flags.GetString("strategy", "nonshare");
-  std::unique_ptr<MultiQueryEngine> engine;
+  // The factory builds one engine per shard (once, serially); per-strategy
+  // plan/routing notes print on the first construction only.
+  bool plan_printed = false;
+  exec::MultiEngineFactory factory;
   if (strategy == "nonshare") {
-    auto created = NonSharedEngine::CreateAseq(queries);
-    if (!created.ok()) {
-      err << created.status().ToString() << "\n";
-      return 1;
-    }
-    engine = std::move(*created);
+    factory = [&queries]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+      ASEQ_ASSIGN_OR_RETURN(auto e, NonSharedEngine::CreateAseq(queries));
+      return std::unique_ptr<MultiQueryEngine>(std::move(e));
+    };
   } else if (strategy == "sase") {
-    engine = NonSharedEngine::CreateStackBased(queries);
+    factory = [&queries]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+      return std::unique_ptr<MultiQueryEngine>(
+          NonSharedEngine::CreateStackBased(queries));
+    };
   } else if (strategy == "pretree") {
-    auto created = PreTreeEngine::Create(queries);
-    if (!created.ok()) {
-      err << created.status().ToString() << "\n";
-      return 1;
-    }
-    engine = std::move(*created);
+    factory = [&queries]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+      ASEQ_ASSIGN_OR_RETURN(auto e, PreTreeEngine::Create(queries));
+      return std::unique_ptr<MultiQueryEngine>(std::move(e));
+    };
   } else if (strategy == "cc") {
-    ChopPlan plan = PlanChopConnect(queries);
-    out << "plan: " << plan.ToString(schema) << "\n";
-    auto created = ChopConnectEngine::Create(queries, plan);
-    if (!created.ok()) {
-      err << created.status().ToString() << "\n";
-      return 1;
-    }
-    engine = std::move(*created);
+    factory = [&queries, &schema, &out,
+               &plan_printed]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+      ChopPlan plan = PlanChopConnect(queries);
+      if (!plan_printed) {
+        plan_printed = true;
+        out << "plan: " << plan.ToString(schema) << "\n";
+      }
+      ASEQ_ASSIGN_OR_RETURN(auto e, ChopConnectEngine::Create(queries, plan));
+      return std::unique_ptr<MultiQueryEngine>(std::move(e));
+    };
   } else if (strategy == "hybrid") {
-    auto created = HybridMultiEngine::Create(queries);
-    if (!created.ok()) {
-      err << created.status().ToString() << "\n";
-      return 1;
-    }
-    for (size_t qi = 0; qi < queries.size(); ++qi) {
-      out << "  Q" << (qi + 1) << " -> " << (*created)->routing()[qi] << "\n";
-    }
-    engine = std::move(*created);
+    factory = [&queries, &out,
+               &plan_printed]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+      ASEQ_ASSIGN_OR_RETURN(auto e, HybridMultiEngine::Create(queries));
+      if (!plan_printed) {
+        plan_printed = true;
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          out << "  Q" << (qi + 1) << " -> " << e->routing()[qi] << "\n";
+        }
+      }
+      return std::unique_ptr<MultiQueryEngine>(std::move(e));
+    };
   } else {
     err << "InvalidArgument: --strategy must be "
            "nonshare|sase|pretree|cc|hybrid\n";
     return 1;
   }
 
+  // All workload execution goes through a policy: serial for --shards 1
+  // (the default), partition-parallel otherwise. Workloads that cannot
+  // shard fall back to serial with a note.
+  std::string fallback_reason;
+  auto policy = exec::MakeMultiPolicy(queries, factory, *options,
+                                      &fallback_reason);
+  if (!policy.ok()) {
+    err << policy.status().ToString() << "\n";
+    return 1;
+  }
+  if (!fallback_reason.empty()) {
+    err << "note: sharding disabled (" << fallback_reason
+        << "); running serially\n";
+  }
+
   if (!restore_from.empty()) {
     uint64_t offset = 0;
-    Status restored =
-        ckpt::RestoreMultiSnapshot(restore_from, engine.get(), &offset);
+    Status restored = (*policy)->Restore(restore_from, &offset);
     if (!restored.ok()) {
       err << restored.ToString() << "\n";
       return 1;
@@ -726,14 +757,16 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
           << " but this source has only " << events->size() << " events\n";
       return 1;
     }
-    options->start_offset = offset;
     events->erase(events->begin(),
                   events->begin() + static_cast<ptrdiff_t>(offset));
     out << "restored from " << restore_from << " at offset " << offset
         << "; replaying " << events->size() << " remaining events\n";
   }
-  BatchRunner runner(*options);
-  MultiRunResult result = runner.RunMultiEvents(*events, engine.get());
+  MultiRunResult result = (*policy)->RunEvents(*events);
+  if (!result.fault_status.ok()) {
+    err << "fault: run aborted: " << result.fault_status.ToString() << "\n";
+    return 1;
+  }
   if (result.interrupted) {
     out << "interrupted: stop signal received; drained in-flight batches "
            "after "
@@ -749,17 +782,35 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     ++per_query[mo.query_index];
     last[mo.query_index] = mo.output.value;
   }
-  out << "strategy:      " << engine->name() << "\n";
+  out << "strategy:      " << (*policy)->name() << "\n";
   out << "queries:       " << queries.size() << "\n";
   out << "events:        " << result.events << "\n";
   out << "batch size:    " << result.batch_size << "\n";
+  if (options->num_shards > 1) {
+    out << "shards:        " << result.num_shards << "\n";
+  }
   out << "ms/slide:      " << result.MillisPerSlide() << "\n";
-  out << "peak objects:  " << engine->stats().objects.peak() << "\n";
-  const EngineStats& wl_stats = engine->stats();
+  out << "peak objects:  " << (*policy)->stats().objects.peak() << "\n";
+  const EngineStats& wl_stats = (*policy)->stats();
   out << "admission:     " << wl_stats.adm_admitted << " admitted, "
       << wl_stats.adm_rejected_local << " rejected, "
       << wl_stats.adm_missing_attr << " missing-attr, "
       << wl_stats.adm_generic_cmps << " generic cmps\n";
+  if (options->supervise) {
+    out << "supervisor:    " << wl_stats.fault_restarts << " restarts, "
+        << wl_stats.fault_replayed_events << " events replayed\n";
+  }
+  if (options->overload_policy == OverloadPolicy::kShed) {
+    out << "overload:      shed " << wl_stats.shed_partitions
+        << " partitions (" << wl_stats.shed_events << " events)\n";
+  } else if (options->overload_policy == OverloadPolicy::kDegradeSerial) {
+    out << "overload:      " << wl_stats.overload_stalls
+        << " serial drains\n";
+  }
+  if (fault::Injector::Global().armed()) {
+    out << "faults:        " << fault::Injector::Global().fired_count()
+        << " injected\n";
+  }
   if (options->checkpoint_every > 0) {
     out << "checkpoints:   " << result.checkpoints_written;
     if (result.checkpoints_written > 0) {

@@ -136,6 +136,44 @@ struct MultiOutput {
   Output output;
 };
 
+/// \brief Optional capability interface for multi-query engines whose
+/// shared state can be hash-partitioned by a common GROUP BY key across
+/// independent twin instances (the multi-query counterpart of
+/// ShardableEngine; see exec::ShardedExecutor).
+///
+/// The promise generalizes the single-query one: events whose group key
+/// values differ touch disjoint state, *except* that a trigger event
+/// purges expired state across every partition of the engines owning the
+/// triggered queries. SyncPurgeTo replicates exactly that cross-partition
+/// purge for the queries that actually triggered — no output, no
+/// work-unit charge, only object expiry.
+class MultiShardableEngine {
+ public:
+  virtual ~MultiShardableEngine() = default;
+
+  /// True when this instance's workload actually supports partitioned
+  /// execution (e.g. every query groups by one shared attribute). Engines
+  /// implement the interface unconditionally and answer per workload, so
+  /// the execution policy can probe with one dynamic_cast plus this call.
+  virtual bool shardable() const = 0;
+
+  /// Applies the cross-partition purges that the trigger event at `now`
+  /// performs for the given triggered workload query indexes (ascending)
+  /// on state the trigger's own key does not cover.
+  virtual void SyncPurgeTo(Timestamp now,
+                           std::span<const size_t> trigger_queries) = 0;
+
+  /// True when this engine's object counter advances once per event (a
+  /// single Add of the combined delta, as the wrapper engines do), so its
+  /// window_peak never carries a real intra-event maximum. The sharded
+  /// executor then merges boundary totals only — a per-shard mid-event
+  /// high would be a point the serial engine never observed.
+  virtual bool objects_sampled_at_boundaries() const { return false; }
+
+  /// See ShardableEngine::shard_mutable_stats.
+  virtual EngineStats* shard_mutable_stats() = 0;
+};
+
 /// \brief Multi-query evaluation engine interface (Sec. 4): processes every
 /// workload query against the shared stream in one pass.
 class MultiQueryEngine {
@@ -152,6 +190,15 @@ class MultiQueryEngine {
     if (batch.empty()) return;
     for (const Event& e : batch) OnEvent(e, out);
     if (EngineStats* stats = mutable_stats()) stats->NoteBatch(batch.size());
+  }
+
+  /// Reports the current aggregation value(s) of every query as of time
+  /// `now` without consuming an event (see QueryEngine::Poll). Outputs are
+  /// ordered by query index, grouped queries reporting one Output per live
+  /// group. Engines without a poll surface report nothing.
+  virtual std::vector<MultiOutput> Poll(Timestamp now) {
+    (void)now;
+    return {};
   }
 
   /// Per-workload statistics.

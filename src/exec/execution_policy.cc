@@ -47,8 +47,9 @@ Result<std::unique_ptr<ExecutionPolicy>> MakePolicy(
     }
     engines.push_back(std::move(twin));
   }
-  return std::unique_ptr<ExecutionPolicy>(
-      new ShardedExecutor(query, options, std::move(engines), factory));
+  return std::unique_ptr<ExecutionPolicy>(new ShardedExecutor(
+      options, std::move(engines), ShardRouter(query, shards),
+      /*send_markers=*/query.has_window(), factory));
 }
 
 }  // namespace exec

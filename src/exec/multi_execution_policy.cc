@@ -1,0 +1,62 @@
+#include "exec/multi_execution_policy.h"
+
+#include <utility>
+
+#include "exec/serial_executor.h"
+#include "exec/shard_router.h"
+#include "exec/sharded_executor.h"
+
+namespace aseq {
+namespace exec {
+
+Result<std::unique_ptr<MultiExecutionPolicy>> MakeMultiPolicy(
+    std::span<const CompiledQuery> queries, const MultiEngineFactory& factory,
+    const RunOptions& options, std::string* fallback_reason) {
+  if (fallback_reason != nullptr) fallback_reason->clear();
+  ASEQ_ASSIGN_OR_RETURN(std::unique_ptr<MultiQueryEngine> first, factory());
+  const size_t shards = options.num_shards == 0 ? 1 : options.num_shards;
+  if (shards == 1) {
+    return std::unique_ptr<MultiExecutionPolicy>(
+        new SerialMultiExecutor(options, std::move(first)));
+  }
+
+  MultiShardPlan plan = PlanMultiSharding(queries);
+  std::string reason = std::move(plan.reason);
+  if (reason.empty()) {
+    // The workload shards; the engine must opt in too. The probe is a
+    // dynamic_cast plus shardable(): baselines and wrappers lack the
+    // interface, and an engine may implement it yet refuse this workload.
+    auto* shardable = dynamic_cast<MultiShardableEngine*>(first.get());
+    if (shardable == nullptr || !shardable->shardable()) {
+      reason = "engine '" + first->name() + "' does not support sharding";
+    }
+  }
+  if (!reason.empty()) {
+    if (fallback_reason != nullptr) *fallback_reason = reason;
+    return std::unique_ptr<MultiExecutionPolicy>(
+        new SerialMultiExecutor(options, std::move(first)));
+  }
+
+  std::vector<std::unique_ptr<MultiQueryEngine>> engines;
+  engines.reserve(shards);
+  engines.push_back(std::move(first));
+  for (size_t i = 1; i < shards; ++i) {
+    ASEQ_ASSIGN_OR_RETURN(std::unique_ptr<MultiQueryEngine> twin, factory());
+    auto* twin_shardable = dynamic_cast<MultiShardableEngine*>(twin.get());
+    if (twin_shardable == nullptr || !twin_shardable->shardable()) {
+      return Status::InvalidArgument(
+          "engine factory is not deterministic: shard 0 supports sharding "
+          "but shard " +
+          std::to_string(i) + " ('" + twin->name() + "') does not");
+    }
+    engines.push_back(std::move(twin));
+  }
+  bool any_window = false;
+  for (const CompiledQuery& q : queries) any_window |= q.has_window();
+  return std::unique_ptr<MultiExecutionPolicy>(new MultiShardedExecutor(
+      options, std::move(engines), MultiShardRouter(queries, shards),
+      /*send_markers=*/any_window, factory));
+}
+
+}  // namespace exec
+}  // namespace aseq

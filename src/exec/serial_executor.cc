@@ -193,5 +193,36 @@ Status SerialExecutor::Restore(const std::string& path,
   return Status::OK();
 }
 
+SerialMultiExecutor::SerialMultiExecutor(
+    const RunOptions& options, std::unique_ptr<MultiQueryEngine> engine)
+    : options_(options), engine_(std::move(engine)) {
+  options_.num_shards = 1;
+}
+
+MultiRunResult SerialMultiExecutor::Run(StreamSource* source) {
+  MultiRunResult result =
+      RunSerialMultiStream(options_, &buffers_, source, engine_.get());
+  stats_view_ = engine_->stats();
+  busy_seconds_ = result.elapsed_seconds;
+  return result;
+}
+
+MultiRunResult SerialMultiExecutor::RunEvents(
+    const std::vector<Event>& events) {
+  MultiRunResult result =
+      RunSerialMultiEvents(options_, &buffers_, events, engine_.get());
+  stats_view_ = engine_->stats();
+  busy_seconds_ = result.elapsed_seconds;
+  return result;
+}
+
+Status SerialMultiExecutor::Restore(const std::string& path,
+                                    uint64_t* stream_offset) {
+  ASEQ_RETURN_NOT_OK(
+      ckpt::RestoreMultiSnapshot(path, engine_.get(), stream_offset));
+  options_.start_offset = *stream_offset;
+  return Status::OK();
+}
+
 }  // namespace exec
 }  // namespace aseq

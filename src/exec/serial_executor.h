@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exec/execution_policy.h"
+#include "exec/multi_execution_policy.h"
 
 namespace aseq {
 namespace exec {
@@ -62,6 +63,40 @@ class SerialExecutor : public ExecutionPolicy {
  private:
   RunOptions options_;
   std::unique_ptr<QueryEngine> engine_;
+  SerialBuffers buffers_;
+  EngineStats stats_view_;   // snapshot of engine stats after the last run
+  double busy_seconds_ = 0;  // == elapsed_seconds of the last run
+};
+
+/// \brief The single-threaded multi-query policy: owns one multi-query
+/// engine and drives it on the calling thread through the serial core —
+/// exactly BatchRunner::RunMulti behavior.
+class SerialMultiExecutor : public MultiExecutionPolicy {
+ public:
+  SerialMultiExecutor(const RunOptions& options,
+                      std::unique_ptr<MultiQueryEngine> engine);
+
+  std::string name() const override { return engine_->name(); }
+  size_t num_shards() const override { return 1; }
+
+  MultiRunResult Run(StreamSource* source) override;
+  MultiRunResult RunEvents(const std::vector<Event>& events) override;
+
+  const EngineStats& stats() const override { return engine_->stats(); }
+  std::span<const EngineStats> shard_stats() const override {
+    return {&stats_view_, 1};
+  }
+  std::span<const double> shard_busy_seconds() const override {
+    return {&busy_seconds_, 1};
+  }
+
+  Status Restore(const std::string& path, uint64_t* stream_offset) override;
+
+  MultiQueryEngine* serial_engine() override { return engine_.get(); }
+
+ private:
+  RunOptions options_;
+  std::unique_ptr<MultiQueryEngine> engine_;
   SerialBuffers buffers_;
   EngineStats stats_view_;   // snapshot of engine stats after the last run
   double busy_seconds_ = 0;  // == elapsed_seconds of the last run

@@ -134,5 +134,119 @@ Status ShardRouter::Restore(ckpt::Reader* reader) {
   return Status::OK();
 }
 
+MultiShardPlan PlanMultiSharding(std::span<const CompiledQuery> queries) {
+  MultiShardPlan plan;
+  if (queries.empty()) {
+    plan.reason = "workload is empty: nothing to shard";
+    return plan;
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ShardPlan single = PlanSharding(queries[i]);
+    if (!single.shardable) {
+      plan.reason = "query " + std::to_string(i) + ": " + single.reason;
+      return plan;
+    }
+  }
+  // One event lands on exactly one shard, so every query's key must derive
+  // from the same event attribute; otherwise query A's hash placement
+  // would scatter query B's partitions for one B-key across shards.
+  const PartitionSpec& first = queries[0].partition_spec();
+  const AttrId group_attr =
+      first.parts[static_cast<size_t>(first.group_part)].attr;
+  for (size_t i = 1; i < queries.size(); ++i) {
+    const PartitionSpec& spec = queries[i].partition_spec();
+    if (spec.parts[static_cast<size_t>(spec.group_part)].attr != group_attr) {
+      plan.reason =
+          "queries group by different attributes ('" +
+          first.parts[static_cast<size_t>(first.group_part)].attr_name +
+          "' vs '" +
+          spec.parts[static_cast<size_t>(spec.group_part)].attr_name +
+          "' in query " + std::to_string(i) +
+          "): one event cannot land on every query's owner shard at once";
+      return plan;
+    }
+  }
+  plan.shardable = true;
+  return plan;
+}
+
+MultiShardRouter::MultiShardRouter(std::span<const CompiledQuery> queries,
+                                   size_t num_shards)
+    : num_shards_(num_shards) {
+  assert(num_shards_ > 0);
+  queries_.reserve(queries.size());
+  for (const CompiledQuery& q : queries) {
+    assert(q.partition_spec().per_group_output);
+    queries_.push_back(
+        PerQuery{q.num_positive(),
+                 static_cast<size_t>(q.partition_spec().group_part),
+                 q.has_window(), plan::AdmissionProgram(q)});
+  }
+}
+
+const MultiShardRouter::Route& MultiShardRouter::RouteEvent(const Event& e) {
+  Route& route = route_;
+  route.has_key = false;
+  route.key_id = 0;
+  route.inject_overload = false;
+  route.trigger_queries.clear();
+  if (fault::Injector::Global().armed()) {
+    if (auto fired = fault::Injector::Global().Hit(fault::Point::kRouterRoute)) {
+      if (fired->kind == fault::Kind::kCrash) {
+        std::_Exit(fault::kCrashExitCode);
+      }
+      if (fired->kind == fault::Kind::kOverload) route.inject_overload = true;
+    }
+  }
+  route.shard = static_cast<size_t>(e.seq() % num_shards_);
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    PerQuery& pq = queries_[qi];
+    admitter_.AdmitBatch(pq.program, std::span<const Event>(&e, 1),
+                         /*interner=*/nullptr, /*stats=*/nullptr);
+    bool triggered = false;
+    for (const plan::AdmissionRecord& rec : admitter_.RecordsFor(0)) {
+      if (!route.has_key) {
+        // Every query keys on the same attribute (PlanMultiSharding), so
+        // the first staged record of the event — whichever query it came
+        // from — fixes the one owner shard, and the part hash is a pure
+        // function of the value (ValueHash), identical across programs.
+        route.has_key = true;
+        route.key_id = interner_.InternHashed(rec.part_hashes[pq.group_part],
+                                              *rec.part_vals[pq.group_part]);
+        route.shard = route.key_id % num_shards_;
+      }
+      const Role& role = rec.role->role;
+      if (!role.negated && role.position == pq.length) {
+        triggered = true;
+        break;  // key already fixed (every staged record extracts it)
+      }
+    }
+    if (triggered && pq.windowed) route.trigger_queries.push_back(qi);
+  }
+  return route_;
+}
+
+void MultiShardRouter::Checkpoint(ckpt::Writer* writer) const {
+  writer->WriteU64(interner_.size());
+  for (const Value& v : interner_.values()) ckpt::WriteValue(writer, v);
+}
+
+Status MultiShardRouter::Restore(ckpt::Reader* reader) {
+  uint64_t n = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n, 1, "router interned values"));
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Value v;
+    ASEQ_RETURN_NOT_OK(ckpt::ReadValue(reader, &v));
+    values.push_back(std::move(v));
+  }
+  if (!interner_.RestoreFromValues(std::move(values))) {
+    return Status::ParseError(
+        "snapshot corrupt: duplicate value in router interner table");
+  }
+  return Status::OK();
+}
+
 }  // namespace exec
 }  // namespace aseq

@@ -1,6 +1,7 @@
 #ifndef ASEQ_EXEC_SHARD_ROUTER_H_
 #define ASEQ_EXEC_SHARD_ROUTER_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,73 @@ class ShardRouter {
   /// any engine-side interner: routing only needs its *own* ids to be
   /// stable, and shard engines never see them.
   container::KeyInterner interner_;
+};
+
+/// \brief Whether a *workload's* combined state can be split by GROUP BY
+/// key across independent multi-query engine twins, bit-exact.
+struct MultiShardPlan {
+  bool shardable = false;
+  /// Why not, phrased for the CLI's fallback log (empty when shardable).
+  std::string reason;
+};
+
+/// A workload shards iff every query shards on its own (PlanSharding) AND
+/// every query groups by the same attribute: a multi-query event lands on
+/// exactly one shard, so all queries' partition keys must derive from the
+/// same event attribute — otherwise one query's partitions for a key would
+/// scatter across shards chosen by another query's key.
+MultiShardPlan PlanMultiSharding(std::span<const CompiledQuery> queries);
+
+/// \brief Multi-query router: one compiled admission program per workload
+/// query over one shared key interner. An event's owner shard is fixed by
+/// the (common) GROUP BY attribute value; the route also carries which
+/// queries the event completes, so purge markers replay exactly the
+/// per-query purges the serial multi-engine would perform at that trigger.
+class MultiShardRouter {
+ public:
+  MultiShardRouter(std::span<const CompiledQuery> queries, size_t num_shards);
+
+  struct Route {
+    /// Owner shard (seq round-robin when no query stages a probe).
+    size_t shard = 0;
+    /// True when some query staged a probe and the GROUP BY key extracted;
+    /// key_id then holds the router's dense id for that key.
+    bool has_key = false;
+    uint32_t key_id = 0;
+    /// Fault injection (point router.route, kind overload).
+    bool inject_overload = false;
+    /// Ascending workload indexes of the windowed queries this event
+    /// completes — the serial engine purges those queries' expired state
+    /// at this event, so non-owner shards get a marker carrying the set.
+    /// Unbounded queries never appear (nothing of theirs expires).
+    std::vector<size_t> trigger_queries;
+  };
+
+  /// `e` must carry its final seq number. The returned reference is
+  /// invalidated by the next RouteEvent call (the route's trigger vector
+  /// is reused scratch).
+  const Route& RouteEvent(const Event& e);
+
+  /// Same contract as ShardRouter::Checkpoint/Restore: the shared
+  /// interner's values in id order are the router's durable state.
+  void Checkpoint(ckpt::Writer* writer) const;
+  Status Restore(ckpt::Reader* reader);
+
+ private:
+  struct PerQuery {
+    size_t length = 0;
+    size_t group_part = 0;
+    bool windowed = false;
+    /// Borrows the query's predicate storage (the workload outlives the
+    /// router — MakeMultiPolicy guarantees it).
+    plan::AdmissionProgram program;
+  };
+
+  size_t num_shards_;
+  std::vector<PerQuery> queries_;
+  plan::BatchAdmitter admitter_;
+  container::KeyInterner interner_;
+  Route route_;  // reused across calls (clear-not-shrink)
 };
 
 }  // namespace exec

@@ -1,860 +1,14 @@
 #include "exec/sharded_executor.h"
 
-#include <algorithm>
-#include <cassert>
-#include <limits>
-#include <utility>
-
-#include "ckpt/snapshot.h"
-#include "fault/fault.h"
-
 namespace aseq {
 namespace exec {
 
-namespace {
-
-/// Bounded-queue depth per lane: enough to keep workers fed ahead of the
-/// router, small enough that a fast router cannot buffer the stream.
-constexpr size_t kMaxQueuedItems = 16;
-
-/// Supervised waits poll at this period so the coordinator can run the
-/// watchdog while parked on a queue or barrier.
-constexpr std::chrono::milliseconds kSupervisedPoll{20};
-
-constexpr uint64_t kNeverDue = std::numeric_limits<uint64_t>::max();
-
-}  // namespace
-
-ShardedExecutor::ShardedExecutor(
-    const CompiledQuery& query, const RunOptions& options,
-    std::vector<std::unique_ptr<QueryEngine>> engines, EngineFactory factory)
-    : query_(&query),
-      options_(options),
-      engines_(std::move(engines)),
-      factory_(std::move(factory)),
-      router_(query, engines_.size()),
-      send_markers_(query.has_window()) {
-  assert(engines_.size() > 1);
-  options_.num_shards = engines_.size();
-  for (auto& e : engines_) {
-    auto* shardable = dynamic_cast<ShardableEngine*>(e.get());
-    assert(shardable != nullptr &&
-           "ShardedExecutor requires ShardableEngine twins (MakePolicy "
-           "enforces this)");
-    shardables_.push_back(shardable);
-  }
-  lanes_.reserve(engines_.size());
-  for (size_t i = 0; i < engines_.size(); ++i) {
-    lanes_.push_back(std::make_unique<Lane>());
-  }
-  pending_.resize(engines_.size());
-  shard_stats_view_.resize(engines_.size());
-  busy_view_.resize(engines_.size(), 0);
-}
-
-void ShardedExecutor::WorkerMain(size_t shard) {
-  Lane& lane = *lanes_[shard];
-  QueryEngine* engine = engines_[shard].get();
-  ShardableEngine* shardable = shardables_[shard];
-  EngineStats* stats = shardable->shard_mutable_stats();
-  const bool supervised = options_.supervise;
-  const bool check_faults = fault::Injector::Global().armed();
-  for (;;) {
-    LaneItem item;
-    {
-      std::unique_lock<std::mutex> lk(lane.mu);
-      lane.idle.store(true, std::memory_order_relaxed);
-      lane.cv.wait(lk, [&] {
-        return !lane.queue.empty() ||
-               lane.quarantine.load(std::memory_order_relaxed);
-      });
-      lane.idle.store(false, std::memory_order_relaxed);
-      if (lane.quarantine.load(std::memory_order_relaxed)) return;
-      item = std::move(lane.queue.front());
-      lane.queue.pop_front();
-      lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
-    }
-    // The router may be parked on a full queue.
-    lane.cv.notify_all();
-    if (item.tag == LaneItem::Tag::kStop) return;
-    if (item.tag == LaneItem::Tag::kBarrier) {
-      std::unique_lock<std::mutex> lk(coord_mu_);
-      const uint64_t epoch = barrier_epoch_;
-      ++barrier_arrived_;
-      lane.at_barrier.store(true, std::memory_order_release);
-      coord_cv_.notify_all();
-      // Quarantine must break a barrier park too: an aborted supervised
-      // barrier (restart budget exhausted elsewhere) never resumes the
-      // epoch, and teardown would otherwise join a thread parked here.
-      coord_cv_.wait(lk, [&] {
-        return barrier_epoch_ != epoch ||
-               lane.quarantine.load(std::memory_order_relaxed);
-      });
-      lane.at_barrier.store(false, std::memory_order_release);
-      continue;
-    }
-    StopWatch watch;
-    for (ShardOp& op : item.ops) {
-      if (check_faults) {
-        if (auto fired =
-                fault::Injector::Global().Hit(fault::Point::kWorkerOp, shard)) {
-          if (fired->kind == fault::Kind::kSlow) {
-            std::this_thread::sleep_for(
-                std::chrono::microseconds(fired->delay_us));
-          } else if (supervised && fired->kind == fault::Kind::kCrash) {
-            // Abrupt worker death: no cleanup, the op is lost mid-item.
-            // The supervisor detects the dead flag, rebuilds this shard
-            // from its recovery point, and replays the routed slice.
-            lane.dead.store(true, std::memory_order_release);
-            coord_cv_.notify_all();
-            lane.cv.notify_all();
-            return;
-          } else if (supervised && fired->kind == fault::Kind::kStall) {
-            // Hang without heartbeating until the watchdog quarantines us.
-            std::unique_lock<std::mutex> lk(lane.mu);
-            lane.cv.wait(lk, [&] {
-              return lane.quarantine.load(std::memory_order_relaxed);
-            });
-            return;
-          }
-          // Other kinds are not meaningful at this point; ignore.
-        }
-      }
-      ObjectCounter& objects = stats->objects;
-      objects.BeginPeakWindow();
-      const int64_t before = objects.current();
-      if (op.kind == ShardOp::Kind::kEvent) {
-        lane.scratch.clear();
-        engine->OnEvent(op.event, &lane.scratch);
-        if (options_.collect_outputs && !lane.scratch.empty()) {
-          lane.outputs.insert(lane.outputs.end(), lane.scratch.begin(),
-                              lane.scratch.end());
-        }
-      } else {
-        shardable->SyncPurgeTo(op.ts);
-      }
-      const int64_t after = objects.current();
-      const int64_t window_peak = objects.window_peak();
-      // Record only state changes: the merge needs every current
-      // transition and every mid-event maximum above the entry count.
-      if (after != before || window_peak > before) {
-        lane.records.push_back({op.seq, after, window_peak});
-      }
-      lane.progress.fetch_add(1, std::memory_order_relaxed);
-    }
-    lane.busy_seconds += watch.ElapsedSeconds();
-    {
-      std::lock_guard<std::mutex> lk(lane.mu);
-      item.ops.clear();
-      lane.free_ops.push_back(std::move(item.ops));
-    }
-  }
-}
-
-void ShardedExecutor::Enqueue(size_t shard, LaneItem item) {
-  Lane& lane = *lanes_[shard];
-  {
-    std::unique_lock<std::mutex> lk(lane.mu);
-    lane.cv.wait(lk, [&] { return lane.queue.size() < kMaxQueuedItems; });
-    lane.queue.push_back(std::move(item));
-    lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
-  }
-  lane.cv.notify_all();
-}
-
-Status ShardedExecutor::EnqueueSupervised(size_t shard, LaneItem item) {
-  Lane& lane = *lanes_[shard];
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lk(lane.mu);
-      const bool room = lane.cv.wait_for(lk, kSupervisedPoll, [&] {
-        return lane.queue.size() < kMaxQueuedItems ||
-               lane.dead.load(std::memory_order_relaxed);
-      });
-      if (room && !lane.dead.load(std::memory_order_relaxed)) {
-        lane.queue.push_back(std::move(item));
-        lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
-        lk.unlock();
-        lane.cv.notify_all();
-        return Status::OK();
-      }
-    }
-    if (LaneFailed(shard)) {
-      ASEQ_RETURN_NOT_OK(RestartShard(shard));
-    }
-  }
-}
-
-Status ShardedExecutor::FlushPending(size_t shard) {
-  if (pending_[shard].empty()) return Status::OK();
-  Lane& lane = *lanes_[shard];
-  std::vector<ShardOp> replacement;
-  if (!options_.supervise) {
-    {
-      std::unique_lock<std::mutex> lk(lane.mu);
-      lane.cv.wait(lk, [&] { return lane.queue.size() < kMaxQueuedItems; });
-      lane.queue.push_back(
-          LaneItem{LaneItem::Tag::kOps, std::move(pending_[shard])});
-      lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
-      if (!lane.free_ops.empty()) {
-        replacement = std::move(lane.free_ops.back());
-        lane.free_ops.pop_back();
-      }
-    }
-    lane.cv.notify_all();
-    pending_[shard] = std::move(replacement);
-    return Status::OK();
-  }
-  for (;;) {
-    bool pushed = false;
-    {
-      std::unique_lock<std::mutex> lk(lane.mu);
-      const bool room = lane.cv.wait_for(lk, kSupervisedPoll, [&] {
-        return lane.queue.size() < kMaxQueuedItems ||
-               lane.dead.load(std::memory_order_relaxed);
-      });
-      if (room && !lane.dead.load(std::memory_order_relaxed)) {
-        lane.queue.push_back(
-            LaneItem{LaneItem::Tag::kOps, std::move(pending_[shard])});
-        lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
-        if (!lane.free_ops.empty()) {
-          replacement = std::move(lane.free_ops.back());
-          lane.free_ops.pop_back();
-        }
-        pushed = true;
-      }
-    }
-    if (pushed) {
-      lane.cv.notify_all();
-      pending_[shard] = std::move(replacement);
-      return Status::OK();
-    }
-    if (LaneFailed(shard)) {
-      ASEQ_RETURN_NOT_OK(RestartShard(shard));
-      // The restart replayed everything routed since the recovery point —
-      // including the ops still sitting in pending_ — and cleared pending_.
-      if (pending_[shard].empty()) return Status::OK();
-    }
-  }
-}
-
-void ShardedExecutor::BarrierAll() {
-  {
-    std::lock_guard<std::mutex> lk(coord_mu_);
-    barrier_arrived_ = 0;
-  }
-  for (size_t s = 0; s < lanes_.size(); ++s) {
-    Enqueue(s, LaneItem{LaneItem::Tag::kBarrier, {}});
-  }
-  std::unique_lock<std::mutex> lk(coord_mu_);
-  coord_cv_.wait(lk, [&] { return barrier_arrived_ == lanes_.size(); });
-}
-
-Status ShardedExecutor::BarrierAllSupervised() {
-  const size_t n = lanes_.size();
-  {
-    std::lock_guard<std::mutex> lk(coord_mu_);
-    barrier_arrived_ = 0;
-  }
-  for (size_t s = 0; s < n; ++s) {
-    // barrier_pending flips true only once the token is actually queued:
-    // a restart during the enqueue must not re-issue a token that was
-    // never pushed (EnqueueSupervised pushes it right after the restart).
-    ASEQ_RETURN_NOT_OK(
-        EnqueueSupervised(s, LaneItem{LaneItem::Tag::kBarrier, {}}));
-    lanes_[s]->barrier_pending = true;
-  }
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lk(coord_mu_);
-      if (coord_cv_.wait_for(lk, kSupervisedPoll,
-                             [&] { return barrier_arrived_ == n; })) {
-        break;
-      }
-    }
-    for (size_t s = 0; s < n; ++s) {
-      if (!lanes_[s]->at_barrier.load(std::memory_order_acquire) &&
-          LaneFailed(s)) {
-        // The lane's barrier token died with its queue; RestartShard
-        // re-issues it after the replay slice (barrier_pending is set).
-        ASEQ_RETURN_NOT_OK(RestartShard(s));
-      }
-    }
-  }
-  for (auto& lane : lanes_) lane->barrier_pending = false;
-  return Status::OK();
-}
-
-void ShardedExecutor::ResumeAll() {
-  {
-    std::lock_guard<std::mutex> lk(coord_mu_);
-    ++barrier_epoch_;
-  }
-  coord_cv_.notify_all();
-}
-
-void ShardedExecutor::DrainMerger() {
-  std::vector<std::span<const StatsTimelineMerger::Record>> spans;
-  spans.reserve(lanes_.size());
-  for (auto& lane : lanes_) {
-    spans.push_back(std::span<const StatsTimelineMerger::Record>(
-        lane->records.data() + lane->records_consumed,
-        lane->records.size() - lane->records_consumed));
-  }
-  merger_.Consume(spans);
-  for (auto& lane : lanes_) lane->records_consumed = lane->records.size();
-}
-
-EngineStats ShardedExecutor::ComputeMergedStats() const {
-  EngineStats merged;
-  for (const auto& e : engines_) MergeBulkStats(e->stats(), &merged);
-  merged.objects.RestoreCounts(merger_.merged_current(),
-                               merger_.merged_peak());
-  return merged;
-}
-
-bool ShardedExecutor::LaneFailed(size_t shard) {
-  Lane& lane = *lanes_[shard];
-  if (lane.dead.load(std::memory_order_acquire)) return true;
-  const uint64_t p = lane.progress.load(std::memory_order_relaxed);
-  const auto now = std::chrono::steady_clock::now();
-  if (p != lane.last_progress || lane.idle.load(std::memory_order_relaxed) ||
-      lane.at_barrier.load(std::memory_order_relaxed)) {
-    lane.last_progress = p;
-    lane.last_change = now;
-    return false;
-  }
-  // Not idle, not at a barrier, heartbeat frozen: stalled once the silence
-  // outlasts the watchdog timeout.
-  return std::chrono::duration<double, std::milli>(now - lane.last_change)
-             .count() > options_.watchdog_timeout_ms;
-}
-
-Status ShardedExecutor::CheckLanes() {
-  for (size_t s = 0; s < lanes_.size(); ++s) {
-    if (LaneFailed(s)) {
-      ASEQ_RETURN_NOT_OK(RestartShard(s));
-    }
-  }
-  return Status::OK();
-}
-
-Status ShardedExecutor::RestartShard(size_t shard) {
-  Lane& lane = *lanes_[shard];
-  // Quarantine + reap: a stalled worker parks until the quarantine flag
-  // flips; a crashed one already returned; an idle one wakes and exits.
-  {
-    std::lock_guard<std::mutex> lk(lane.mu);
-    lane.quarantine.store(true, std::memory_order_relaxed);
-  }
-  lane.cv.notify_all();
-  if (workers_[shard].joinable()) workers_[shard].join();
-
-  ++lane.restart_attempts;
-  ++fcounters_.restarts;
-  if (lane.restart_attempts > options_.max_restarts) {
-    return Status::Internal(
-        "shard " + std::to_string(shard) + " exhausted its restart budget (" +
-        std::to_string(options_.max_restarts) +
-        " since the last recovery point); giving up");
-  }
-  // Bounded exponential backoff before respawning (first restart is
-  // immediate): 1, 2, 4, ... 64 ms.
-  if (lane.restart_attempts > 1) {
-    const size_t shift = std::min<size_t>(lane.restart_attempts - 2, 6);
-    std::this_thread::sleep_for(std::chrono::milliseconds(1ll << shift));
-  }
-
-  // Roll the lane back to its recovery point. The worker is joined, so
-  // everything here is single-threaded.
-  {
-    std::lock_guard<std::mutex> lk(lane.mu);
-    lane.queue.clear();
-    lane.free_ops.clear();
-    lane.depth.store(0, std::memory_order_relaxed);
-    lane.dead.store(false, std::memory_order_relaxed);
-    lane.quarantine.store(false, std::memory_order_relaxed);
-    lane.at_barrier.store(false, std::memory_order_relaxed);
-    lane.idle.store(false, std::memory_order_relaxed);
-  }
-  lane.outputs.resize(lane.ckpt_outputs);
-  lane.records.resize(lane.ckpt_records);
-  lane.records_consumed = lane.ckpt_records;
-  // Ops routed but not yet flushed are already in the replay log; dropping
-  // them here keeps the replay from double-feeding them.
-  pending_[shard].clear();
-
-  // Rebuild the engine twin from the recovery snapshot (engine Checkpoint
-  // payloads carry stats, so the merged view stays exact).
-  if (!factory_) {
-    return Status::Internal(
-        "supervised restart requires an engine factory (construct the "
-        "executor through exec::MakePolicy)");
-  }
-  ASEQ_ASSIGN_OR_RETURN(std::unique_ptr<QueryEngine> fresh, factory_());
-  auto* shardable = dynamic_cast<ShardableEngine*>(fresh.get());
-  if (shardable == nullptr) {
-    return Status::Internal(
-        "engine factory stopped producing shardable engines during a "
-        "supervised restart");
-  }
-  if (!lane.snapshot.empty()) {
-    ckpt::Reader reader(lane.snapshot);
-    ASEQ_RETURN_NOT_OK(fresh->Restore(&reader));
-    ASEQ_RETURN_NOT_OK(reader.ExpectEnd());
-  }
-  engines_[shard] = std::move(fresh);
-  shardables_[shard] = shardable;
-
-  lane.last_progress = lane.progress.load(std::memory_order_relaxed);
-  lane.last_change = std::chrono::steady_clock::now();
-  workers_[shard] = std::thread(&ShardedExecutor::WorkerMain, this, shard);
-
-  // Replay the routed slice since the recovery point. If the fresh worker
-  // dies again mid-replay (another armed fault), abandon — the caller's
-  // detection loop restarts again, and the budget bounds the loop.
-  uint64_t replayed = 0;
-  const size_t chunk_size =
-      options_.batch_size == 0 ? kDefaultBatchSize : options_.batch_size;
-  for (size_t i = 0; i < lane.replay_log.size();) {
-    const size_t chunk = std::min(chunk_size, lane.replay_log.size() - i);
-    LaneItem item;
-    item.tag = LaneItem::Tag::kOps;
-    item.ops.assign(lane.replay_log.begin() + static_cast<ptrdiff_t>(i),
-                    lane.replay_log.begin() + static_cast<ptrdiff_t>(i + chunk));
-    bool pushed = false;
-    while (!pushed) {
-      std::unique_lock<std::mutex> lk(lane.mu);
-      if (lane.dead.load(std::memory_order_relaxed)) break;
-      const bool room = lane.cv.wait_for(lk, kSupervisedPoll, [&] {
-        return lane.queue.size() < kMaxQueuedItems ||
-               lane.dead.load(std::memory_order_relaxed);
-      });
-      if (!room || lane.dead.load(std::memory_order_relaxed)) continue;
-      lane.queue.push_back(std::move(item));
-      lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
-      pushed = true;
-    }
-    if (!pushed) break;
-    lane.cv.notify_all();
-    for (size_t j = i; j < i + chunk; ++j) {
-      if (lane.replay_log[j].kind == ShardOp::Kind::kEvent) ++replayed;
-    }
-    i += chunk;
-  }
-  fcounters_.replayed_events += replayed;
-
-  // A barrier token lost with the cleared queue must be re-issued after
-  // the replay slice, or the coordinator's barrier would never complete.
-  if (lane.barrier_pending && !lane.dead.load(std::memory_order_acquire)) {
-    bool pushed = false;
-    while (!pushed) {
-      std::unique_lock<std::mutex> lk(lane.mu);
-      if (lane.dead.load(std::memory_order_relaxed)) break;
-      const bool room = lane.cv.wait_for(lk, kSupervisedPoll, [&] {
-        return lane.queue.size() < kMaxQueuedItems ||
-               lane.dead.load(std::memory_order_relaxed);
-      });
-      if (!room || lane.dead.load(std::memory_order_relaxed)) continue;
-      lane.queue.push_back(LaneItem{LaneItem::Tag::kBarrier, {}});
-      lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
-      pushed = true;
-    }
-    if (pushed) lane.cv.notify_all();
-  }
-  return Status::OK();
-}
-
-Status ShardedExecutor::CaptureRecoveryPoints() {
-  for (size_t s = 0; s < engines_.size(); ++s) {
-    Lane& lane = *lanes_[s];
-    ckpt::Writer writer;
-    ASEQ_RETURN_NOT_OK(engines_[s]->Checkpoint(&writer));
-    lane.snapshot = writer.buffer();
-    lane.ckpt_outputs = lane.outputs.size();
-    lane.ckpt_records = lane.records.size();
-    lane.replay_log.clear();
-    lane.restart_attempts = 0;
-  }
-  return Status::OK();
-}
-
-Status ShardedExecutor::DrainAllQueues() {
-  for (;;) {
-    bool drained = true;
-    for (size_t s = 0; s < lanes_.size(); ++s) {
-      Lane& lane = *lanes_[s];
-      if (lane.depth.load(std::memory_order_relaxed) != 0 ||
-          !lane.idle.load(std::memory_order_relaxed)) {
-        drained = false;
-        if (options_.supervise && LaneFailed(s)) {
-          ASEQ_RETURN_NOT_OK(RestartShard(s));
-        }
-      }
-    }
-    if (drained) return Status::OK();
-    std::this_thread::sleep_for(std::chrono::microseconds(100));
-  }
-}
-
-void ShardedExecutor::StopWorkers() {
-  if (options_.supervise) {
-    // Supervised teardown is quarantine-based, not token-based: queues are
-    // either empty (the final health barrier ran) or abandoned (the run
-    // aborted mid-flight), so nothing needs draining, and the quarantine
-    // flag wakes every kind of park — the idle wait, an injected stall,
-    // and (with the epoch bump below) a barrier whose resume was skipped
-    // when the abort path bailed out of BarrierAllSupervised. Dead lanes'
-    // threads have already returned; join just reaps them.
-    for (auto& lane : lanes_) {
-      {
-        std::lock_guard<std::mutex> lk(lane->mu);
-        lane->quarantine.store(true, std::memory_order_relaxed);
-      }
-      lane->cv.notify_all();
-    }
-    // Quarantine flags are set before the bump: a worker reaching a
-    // barrier token after this sees quarantine in the wait predicate and
-    // never blocks on the stale epoch.
-    ResumeAll();
-  } else {
-    for (size_t s = 0; s < lanes_.size(); ++s) {
-      Enqueue(s, LaneItem{LaneItem::Tag::kStop, {}});
-    }
-  }
-  for (std::thread& t : workers_) {
-    if (t.joinable()) t.join();
-  }
-  workers_.clear();
-}
-
-RunResult ShardedExecutor::RunImpl(
-    const std::function<std::span<Event>()>& refill) {
-  const size_t n = engines_.size();
-  const bool supervised = options_.supervise;
-  RunResult result;
-  result.batch_size = options_.batch_size;
-  result.num_shards = n;
-
-  // Per-run lane state, clear-not-shrink.
-  for (auto& lane : lanes_) {
-    lane->outputs.clear();
-    lane->records.clear();
-    lane->records_consumed = 0;
-    lane->busy_seconds = 0;
-    lane->progress.store(0, std::memory_order_relaxed);
-    lane->idle.store(false, std::memory_order_relaxed);
-    lane->dead.store(false, std::memory_order_relaxed);
-    lane->quarantine.store(false, std::memory_order_relaxed);
-    lane->at_barrier.store(false, std::memory_order_relaxed);
-    lane->depth.store(0, std::memory_order_relaxed);
-    lane->snapshot.clear();
-    lane->ckpt_outputs = 0;
-    lane->ckpt_records = 0;
-    lane->replay_log.clear();
-    lane->restart_attempts = 0;
-    lane->barrier_pending = false;
-    lane->last_progress = 0;
-    lane->last_change = std::chrono::steady_clock::now();
-  }
-  fcounters_ = FaultCounters{};
-  shed_keys_.clear();
-  fired_at_start_ = fault::Injector::Global().fired_count();
-  {
-    std::vector<int64_t> currents;
-    currents.reserve(n);
-    for (const auto& e : engines_) {
-      currents.push_back(e->stats().objects.current());
-    }
-    // Seed with the merged view carried across runs/restores: engines
-    // keep their state, so the peak must continue from where it stood.
-    merger_.Reset(currents, merged_.objects.peak());
-  }
-
-  if (supervised) {
-    // The initial recovery point: a restart before the first barrier must
-    // rebuild the engines' *current* state — which, after a Restore(), is
-    // not the fresh-constructed one.
-    Status cs = CaptureRecoveryPoints();
-    if (!cs.ok()) {
-      result.fault_status = std::move(cs);
-      return result;
-    }
-  }
-
-  StopWatch watch;
-  workers_.reserve(n);
-  for (size_t s = 0; s < n; ++s) {
-    workers_.emplace_back(&ShardedExecutor::WorkerMain, this, s);
-  }
-
-  SeqNum seq = options_.start_offset;
-  uint64_t next_ckpt = options_.checkpoint_every > 0
-                           ? options_.start_offset + options_.checkpoint_every
-                           : kNeverDue;
-  uint64_t next_rec = supervised && options_.recovery_every > 0
-                          ? options_.start_offset + options_.recovery_every
-                          : kNeverDue;
-  for (;;) {
-    if (options_.stop_requested != nullptr &&
-        options_.stop_requested->load(std::memory_order_relaxed)) {
-      result.interrupted = true;
-      break;
-    }
-    std::span<Event> batch = refill();
-    if (batch.empty()) break;
-    bool overload_hit = false;
-    for (Event& e : batch) {
-      e.set_seq(seq++);
-      const Timestamp ts = e.ts();
-      const SeqNum eseq = e.seq();
-      const ShardRouter::Route route = router_.RouteEvent(e);
-      if (options_.overload_policy != OverloadPolicy::kBlock) {
-        const bool overloaded =
-            route.inject_overload ||
-            lanes_[route.shard]->depth.load(std::memory_order_relaxed) >=
-                options_.overload_high_watermark;
-        if (options_.overload_policy == OverloadPolicy::kShed &&
-            route.has_key) {
-          // Drop whole partitions, deterministically: once a key is shed,
-          // every later event of that key is discarded before routing.
-          // Events of other keys never read a shed partition's state (the
-          // GROUP BY key scopes all reads), so survivors stay exact.
-          if (shed_keys_.count(route.key_id) != 0) {
-            ++fcounters_.shed_events;
-            continue;
-          }
-          if (overloaded) {
-            shed_keys_.insert(route.key_id);
-            ++fcounters_.shed_partitions;
-            ++fcounters_.shed_events;
-            continue;
-          }
-        } else if (overloaded) {
-          overload_hit = true;
-        }
-      }
-      // Copy, not move: the batch may be borrowed source storage that a
-      // Reset replay will serve again.
-      pending_[route.shard].push_back(
-          ShardOp{ShardOp::Kind::kEvent, ts, eseq, e});
-      if (supervised) {
-        lanes_[route.shard]->replay_log.push_back(
-            ShardOp{ShardOp::Kind::kEvent, ts, eseq, e});
-      }
-      if (route.trigger && send_markers_) {
-        // The serial trigger purges every partition; non-owner shards
-        // replay it as a marker at the same seq, keeping their state and
-        // object counts in lockstep.
-        for (size_t s = 0; s < n; ++s) {
-          if (s == route.shard) continue;
-          pending_[s].push_back(
-              ShardOp{ShardOp::Kind::kPurgeMarker, ts, eseq, Event()});
-          if (supervised) {
-            lanes_[s]->replay_log.push_back(
-                ShardOp{ShardOp::Kind::kPurgeMarker, ts, eseq, Event()});
-          }
-        }
-      }
-    }
-    for (size_t s = 0; s < n; ++s) {
-      Status fs = FlushPending(s);
-      if (!fs.ok()) {
-        result.fault_status = std::move(fs);
-        break;
-      }
-    }
-    if (!result.fault_status.ok()) break;
-    if (supervised) {
-      Status cs = CheckLanes();
-      if (!cs.ok()) {
-        result.fault_status = std::move(cs);
-        break;
-      }
-    }
-    if (overload_hit &&
-        options_.overload_policy == OverloadPolicy::kDegradeSerial) {
-      ++fcounters_.overload_stalls;
-      Status ds = DrainAllQueues();
-      if (!ds.ok()) {
-        result.fault_status = std::move(ds);
-        break;
-      }
-    }
-
-    const bool ckpt_due = result.checkpoint_status.ok() && seq >= next_ckpt;
-    const bool rec_due = seq >= next_rec;
-    if (ckpt_due || rec_due) {
-      if (supervised) {
-        Status bs = BarrierAllSupervised();
-        if (!bs.ok()) {
-          result.fault_status = std::move(bs);
-          break;
-        }
-      } else {
-        BarrierAll();
-      }
-      DrainMerger();
-      if (supervised) {
-        Status cs = CaptureRecoveryPoints();
-        if (!cs.ok()) {
-          result.fault_status = std::move(cs);
-          ResumeAll();
-          break;
-        }
-      }
-      if (ckpt_due) {
-        const EngineStats merged_now = ComputeMergedStats();
-        std::vector<const QueryEngine*> shards;
-        shards.reserve(n);
-        for (const auto& e : engines_) shards.push_back(e.get());
-        // The router is quiescent here (this coordinator thread is the
-        // only one that touches it, and the workers are parked at the
-        // barrier), so its interner table is captured consistently with
-        // shard state.
-        ckpt::Writer router_state;
-        router_.Checkpoint(&router_state);
-        Status s = ckpt::SaveShardedSnapshot(
-            ckpt::SnapshotPathForOffset(options_.checkpoint_dir, seq), shards,
-            seq, merged_now, router_state.buffer());
-        if (s.ok()) {
-          ++result.checkpoints_written;
-          result.last_checkpoint_offset = seq;
-        } else {
-          result.checkpoint_status = std::move(s);
-        }
-      }
-      ResumeAll();
-      if (next_ckpt != kNeverDue) {
-        while (next_ckpt <= seq) next_ckpt += options_.checkpoint_every;
-      }
-      if (next_rec != kNeverDue) {
-        while (next_rec <= seq) next_rec += options_.recovery_every;
-      }
-    }
-  }
-
-  // Graceful-stop drain + final snapshot, and (supervised) a final health
-  // barrier so a worker that died after the last check still gets its ops
-  // recovered before the stop tokens go out.
-  const bool want_final_ckpt =
-      result.interrupted && !options_.checkpoint_dir.empty() &&
-      result.checkpoint_status.ok() &&
-      (result.checkpoints_written == 0 ||
-       result.last_checkpoint_offset < seq);
-  if (result.fault_status.ok() && (supervised || want_final_ckpt)) {
-    Status bs;
-    if (supervised) {
-      bs = BarrierAllSupervised();
-    } else {
-      BarrierAll();
-    }
-    if (bs.ok()) {
-      if (want_final_ckpt) {
-        DrainMerger();
-        const EngineStats merged_now = ComputeMergedStats();
-        std::vector<const QueryEngine*> shards;
-        shards.reserve(n);
-        for (const auto& e : engines_) shards.push_back(e.get());
-        ckpt::Writer router_state;
-        router_.Checkpoint(&router_state);
-        Status s = ckpt::SaveShardedSnapshot(
-            ckpt::SnapshotPathForOffset(options_.checkpoint_dir, seq), shards,
-            seq, merged_now, router_state.buffer());
-        if (s.ok()) {
-          ++result.checkpoints_written;
-          result.last_checkpoint_offset = seq;
-        } else {
-          result.checkpoint_status = std::move(s);
-        }
-      }
-      ResumeAll();
-    } else {
-      result.fault_status = std::move(bs);
-    }
-  }
-
-  StopWorkers();
-
-  DrainMerger();
-  merged_ = ComputeMergedStats();
-  merged_.fault_injected =
-      fault::Injector::Global().fired_count() - fired_at_start_;
-  merged_.fault_restarts = fcounters_.restarts;
-  merged_.fault_replayed_events = fcounters_.replayed_events;
-  merged_.shed_partitions = fcounters_.shed_partitions;
-  merged_.shed_events = fcounters_.shed_events;
-  merged_.overload_stalls = fcounters_.overload_stalls;
-  for (size_t s = 0; s < n; ++s) {
-    shard_stats_view_[s] = engines_[s]->stats();
-    busy_view_[s] = lanes_[s]->busy_seconds;
-  }
-
-  if (options_.collect_outputs) {
-    size_t total = 0;
-    for (const auto& lane : lanes_) total += lane->outputs.size();
-    result.outputs.reserve(total);
-    std::vector<size_t> cursor(n, 0);
-    for (;;) {
-      size_t best = n;
-      SeqNum best_seq = std::numeric_limits<SeqNum>::max();
-      for (size_t s = 0; s < n; ++s) {
-        const auto& outs = lanes_[s]->outputs;
-        if (cursor[s] < outs.size() && outs[cursor[s]].seq < best_seq) {
-          best_seq = outs[cursor[s]].seq;
-          best = s;
-        }
-      }
-      if (best == n) break;
-      // One event's outputs all come from its owner shard, in order.
-      auto& outs = lanes_[best]->outputs;
-      while (cursor[best] < outs.size() &&
-             outs[cursor[best]].seq == best_seq) {
-        result.outputs.push_back(std::move(outs[cursor[best]]));
-        ++cursor[best];
-      }
-    }
-  }
-
-  result.elapsed_seconds = watch.ElapsedSeconds();
-  result.events = seq - options_.start_offset;
-  return result;
-}
-
-RunResult ShardedExecutor::Run(StreamSource* source) {
-  return RunImpl(
-      [&]() { return source->BorrowBatch(options_.batch_size); });
-}
-
-RunResult ShardedExecutor::RunEvents(const std::vector<Event>& events) {
-  // The caller's vector is const, and the loop stamps sequence numbers,
-  // so slices stage through batch_buf_.
-  size_t pos = 0;
-  return RunImpl([&]() -> std::span<Event> {
-    const size_t count = std::min(options_.batch_size, events.size() - pos);
-    batch_buf_.assign(events.begin() + static_cast<ptrdiff_t>(pos),
-                      events.begin() + static_cast<ptrdiff_t>(pos + count));
-    pos += count;
-    return {batch_buf_.data(), count};
-  });
-}
-
-Status ShardedExecutor::Restore(const std::string& path,
-                                uint64_t* stream_offset) {
-  std::vector<QueryEngine*> shards;
-  shards.reserve(engines_.size());
-  for (auto& e : engines_) shards.push_back(e.get());
-  EngineStats merged;
-  std::string router_state;
-  ASEQ_RETURN_NOT_OK(ckpt::RestoreShardedSnapshot(path, shards, stream_offset,
-                                                  &merged, &router_state));
-  ckpt::Reader router_reader(router_state);
-  ASEQ_RETURN_NOT_OK(router_.Restore(&router_reader));
-  ASEQ_RETURN_NOT_OK(router_reader.ExpectEnd());
-  merged_ = merged;
-  options_.start_offset = *stream_offset;
-  return Status::OK();
-}
+// The executor body lives in exec/sharded_executor_impl.h as a template
+// over the trait bindings; these are the only two instantiations, kept
+// here so every other translation unit links against them instead of
+// re-instantiating ~1k lines of coordinator code.
+template class ShardedExecutorT<SingleShardTraits>;
+template class ShardedExecutorT<MultiShardTraits>;
 
 }  // namespace exec
 }  // namespace aseq

@@ -1,262 +1,88 @@
 #ifndef ASEQ_EXEC_SHARDED_EXECUTOR_H_
 #define ASEQ_EXEC_SHARDED_EXECUTOR_H_
 
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
-#include <deque>
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <span>
-#include <string>
-#include <thread>
-#include <unordered_set>
-#include <vector>
+#include <utility>
 
 #include "exec/execution_policy.h"
+#include "exec/multi_execution_policy.h"
 #include "exec/shard_router.h"
-#include "metrics/shard_stats.h"
+#include "exec/sharded_executor_impl.h"
 
 namespace aseq {
 namespace exec {
 
-/// \brief The partition-parallel policy: N engine twins, each owning the
-/// partitions whose GROUP BY key hashes to it, pumped by one worker
-/// thread over a bounded per-shard queue.
-///
-/// Serial equivalence, piece by piece:
-///  - Routing: events go to hash(GROUP BY key) % N — all partitions a
-///    trigger reads share that key (PlanSharding guarantees it), so every
-///    output is computed from exactly the state the serial engine would
-///    read.
-///  - Purge markers: a serial trigger purges expired state across every
-///    partition. The router detects triggers (same staging logic as the
-///    engine) and enqueues a purge marker, in seq order, to every
-///    non-owner shard; ShardableEngine::SyncPurgeTo applies exactly the
-///    serial cross-partition purge. Unbounded queries skip markers
-///    (nothing ever expires).
-///  - Outputs: each event's outputs come from exactly one shard, tagged
-///    with the event's global seq; a k-way merge by seq restores the
-///    serial order byte-identical.
-///  - Stats: bulk counters are charged on exactly one shard per event and
-///    sum exactly (metrics/shard_stats.h); live/peak objects are
-///    reconstructed exactly by StatsTimelineMerger from per-event
-///    (seq, current_after, window_peak) records. Workers therefore drive
-///    engines through OnEvent — per-event observation boundaries are what
-///    make the peak merge exact — so batch counters stay zero, which the
-///    equivalence contract already excludes.
-///  - Checkpoints: at a due batch boundary the coordinator parks all
-///    workers at a barrier and writes one multi-shard container
-///    (ckpt::SaveShardedSnapshot) holding every shard's payload plus the
-///    merged stats; restore refills the twins and re-seeds the merge.
-///
-/// Supervision (RunOptions::supervise; docs/internals.md §14): the
-/// coordinator doubles as a watchdog. Every worker heartbeats once per op;
-/// a worker that dies (injected crash) or goes silent with queued work for
-/// longer than the watchdog timeout is quarantined and restarted alone:
-/// its engine twin is rebuilt from the lane's last recovery point (an
-/// in-memory engine snapshot captured at every barrier) and its routed op
-/// slice since that point is replayed from the lane's replay log — outputs
-/// and stats end bit-exact with an unfailed run. Restarts back off
-/// exponentially and are budgeted per recovery interval; exhausting the
-/// budget aborts the run with RunResultBase::fault_status.
-///
-/// Overload control (RunOptions::overload_policy): when a lane's bounded
-/// queue reaches its high-watermark (or the router.route fault point
-/// injects overload), the coordinator either keeps blocking (kBlock, the
-/// default), drains every queue before routing on (kDegradeSerial), or
-/// deterministically sheds the overloaded event's whole partition (kShed,
-/// accounted in shed_* counters; surviving partitions stay exact).
-class ShardedExecutor : public ExecutionPolicy {
- public:
-  /// `engines` must all be freshly constructed twins for `query`, each
-  /// implementing ShardableEngine (MakePolicy guarantees both). `factory`
-  /// rebuilds a twin after a supervised restart; supervision requires it
-  /// (MakePolicy always passes its own factory through).
-  ShardedExecutor(const CompiledQuery& query, const RunOptions& options,
-                  std::vector<std::unique_ptr<QueryEngine>> engines,
-                  EngineFactory factory = nullptr);
-  ~ShardedExecutor() override = default;
+/// Trait bindings for the single-query sharded executor: one CompiledQuery,
+/// ShardableEngine twins, scalar Output, ShardRouter. A route triggers when
+/// the query's last positive role matched; markers carry no payload (the
+/// purge covers the whole engine).
+struct SingleShardTraits {
+  using Policy = ExecutionPolicy;
+  using Engine = QueryEngine;
+  using Shardable = ShardableEngine;
+  using OutputT = Output;
+  using RunResultT = RunResult;
+  using RouterT = ShardRouter;
+  using FactoryT = EngineFactory;
 
-  std::string name() const override {
-    return "Sharded[" + engines_[0]->name() + "]";
+  static SeqNum OutputSeq(const OutputT& o) { return o.seq; }
+  static bool IsTrigger(const RouterT::Route& route) { return route.trigger; }
+  static void StampMarker(const RouterT::Route& route, ShardOp* op) {
+    (void)route;
+    (void)op;  // single-query markers carry no per-query payload
   }
-  size_t num_shards() const override { return engines_.size(); }
-
-  RunResult Run(StreamSource* source) override;
-  RunResult RunEvents(const std::vector<Event>& events) override;
-
-  const EngineStats& stats() const override { return merged_; }
-  std::span<const EngineStats> shard_stats() const override {
-    return shard_stats_view_;
+  static void SyncPurge(Shardable* shardable, const ShardOp& op) {
+    shardable->SyncPurgeTo(op.ts);
   }
-  std::span<const double> shard_busy_seconds() const override {
-    return busy_view_;
+  /// Single-query engines count objects at add/remove granularity, so
+  /// their mid-event peaks are real serial observations.
+  static bool BoundaryObjects(const Shardable* shardable) {
+    (void)shardable;
+    return false;
   }
-
-  Status Restore(const std::string& path, uint64_t* stream_offset) override;
-
- private:
-  struct ShardOp {
-    enum class Kind : uint8_t { kEvent, kPurgeMarker };
-    Kind kind = Kind::kEvent;
-    Timestamp ts = 0;
-    SeqNum seq = 0;
-    Event event;  // meaningful for kEvent only
-  };
-
-  struct LaneItem {
-    enum class Tag : uint8_t { kOps, kBarrier, kStop };
-    Tag tag = Tag::kOps;
-    std::vector<ShardOp> ops;
-  };
-
-  /// One shard's queue plus its worker-owned run state. The coordinator
-  /// touches outputs/records/busy_seconds only while the worker is parked
-  /// at a barrier or joined (including the joined window of a supervised
-  /// restart).
-  struct Lane {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<LaneItem> queue;
-    /// Drained op vectors recycled back to the router (clear-not-shrink).
-    std::vector<std::vector<ShardOp>> free_ops;
-
-    std::vector<Output> outputs;
-    std::vector<StatsTimelineMerger::Record> records;
-    size_t records_consumed = 0;
-    std::vector<Output> scratch;
-    double busy_seconds = 0;
-
-    // ---- Worker-side supervision state (atomics; coordinator reads). ----
-    /// Heartbeat: bumped once per executed op. Frozen progress with queued
-    /// work for longer than the watchdog timeout means a stalled worker.
-    std::atomic<uint64_t> progress{0};
-    /// True while the worker is parked waiting for work (an idle worker is
-    /// never "stalled").
-    std::atomic<bool> idle{false};
-    /// Worker died (injected crash): its thread returned without cleanup.
-    std::atomic<bool> dead{false};
-    /// Coordinator order to exit: wakes a parked (idle or stalled) worker
-    /// so the restart path can join its thread.
-    std::atomic<bool> quarantine{false};
-    /// Worker is parked at a coordinator barrier (never a failure).
-    std::atomic<bool> at_barrier{false};
-    /// Queue depth mirror, maintained under mu, read lock-free by the
-    /// router loop for the overload high-watermark.
-    std::atomic<size_t> depth{0};
-
-    // ---- Coordinator-only recovery state (supervised runs). ----
-    /// Engine Checkpoint payload at the last recovery point (barrier).
-    std::string snapshot;
-    /// outputs/records high-water marks at that recovery point: a restart
-    /// truncates back to them before replaying.
-    size_t ckpt_outputs = 0;
-    size_t ckpt_records = 0;
-    /// Every op routed to this lane since the recovery point, in order —
-    /// the restart replay slice. Cleared at each barrier.
-    std::vector<ShardOp> replay_log;
-    /// Restarts burned since the last recovery point (budgeted).
-    size_t restart_attempts = 0;
-    /// A barrier token is owed: it was enqueued (or lost with a cleared
-    /// queue) and the worker has not arrived yet — a restart re-issues it
-    /// after the replay slice.
-    bool barrier_pending = false;
-    /// Watchdog bookkeeping: last observed heartbeat and when it changed.
-    uint64_t last_progress = 0;
-    std::chrono::steady_clock::time_point last_change;
-  };
-
-  /// Coordinator-owned fault/overload accounting, folded into the merged
-  /// stats at the end of the run.
-  struct FaultCounters {
-    uint64_t restarts = 0;
-    uint64_t replayed_events = 0;
-    uint64_t shed_partitions = 0;
-    uint64_t shed_events = 0;
-    uint64_t overload_stalls = 0;
-  };
-
-  /// The shared run loop; `refill` yields the next batch as a view
-  /// (empty = exhausted). The view may be borrowed source storage, so the
-  /// loop stamps sequence numbers in place but copies events into shard
-  /// ops instead of consuming them.
-  RunResult RunImpl(const std::function<std::span<Event>()>& refill);
-
-  void WorkerMain(size_t shard);
-  /// Pushes an item, honoring the bounded-queue cap (unsupervised: blocks
-  /// indefinitely; a worker always drains).
-  void Enqueue(size_t shard, LaneItem item);
-  /// Supervised push: bounded waits, restarting the lane if it fails
-  /// while the coordinator is parked on its full queue.
-  Status EnqueueSupervised(size_t shard, LaneItem item);
-  /// Moves pending_[shard] into the lane's queue and re-arms pending_
-  /// with a recycled vector.
-  Status FlushPending(size_t shard);
-  /// Parks every worker at a barrier; returns once all have arrived.
-  void BarrierAll();
-  /// Supervised barrier: same contract, but failed lanes are restarted
-  /// (with their barrier token re-issued) until every lane arrives.
-  Status BarrierAllSupervised();
-  /// Releases workers parked by BarrierAll / BarrierAllSupervised.
-  void ResumeAll();
-  /// Feeds each lane's new records to the merger (lanes quiescent).
-  void DrainMerger();
-  /// Bulk-sums engine stats + the merger's object view.
-  EngineStats ComputeMergedStats() const;
-
-  // ---- Supervision (coordinator side). ----
-  /// True when the lane's worker is dead, or silent with queued work past
-  /// the watchdog timeout. Updates the lane's watchdog bookkeeping.
-  bool LaneFailed(size_t shard);
-  /// Sweeps all lanes, restarting any that failed.
-  Status CheckLanes();
-  /// Quarantines + joins the failed worker, rebuilds the engine twin from
-  /// the lane's recovery snapshot, truncates outputs/records to the
-  /// recovery watermarks, respawns the worker, and replays the lane's
-  /// routed slice (plus any owed barrier token). Bounded exponential
-  /// backoff; exceeding the restart budget returns an error.
-  Status RestartShard(size_t shard);
-  /// Captures a recovery point per lane: engine snapshot, output/record
-  /// watermarks, replay log truncation, budget reset. Workers must be
-  /// parked at a barrier.
-  Status CaptureRecoveryPoints();
-  /// Waits until every lane is empty and idle (degrade-serial overload
-  /// response), restarting failed lanes when supervised.
-  Status DrainAllQueues();
-  /// Pushes stop tokens to live lanes and joins every worker thread.
-  void StopWorkers();
-
-  const CompiledQuery* query_;
-  RunOptions options_;
-  std::vector<std::unique_ptr<QueryEngine>> engines_;
-  std::vector<ShardableEngine*> shardables_;
-  EngineFactory factory_;
-  ShardRouter router_;
-  bool send_markers_;  // windowed queries only
-
-  std::vector<std::unique_ptr<Lane>> lanes_;
-  std::vector<std::thread> workers_;
-  std::vector<std::vector<ShardOp>> pending_;
-  std::vector<Event> batch_buf_;
-
-  // Barrier coordination (checkpoints + recovery points).
-  std::mutex coord_mu_;
-  std::condition_variable coord_cv_;
-  size_t barrier_arrived_ = 0;
-  uint64_t barrier_epoch_ = 0;
-
-  // Per-run supervision/overload state (coordinator only).
-  FaultCounters fcounters_;
-  std::unordered_set<uint32_t> shed_keys_;
-  uint64_t fired_at_start_ = 0;
-
-  StatsTimelineMerger merger_;
-  EngineStats merged_;
-  std::vector<EngineStats> shard_stats_view_;
-  std::vector<double> busy_view_;
 };
+
+/// Trait bindings for the multi-query (workload) sharded executor:
+/// MultiShardableEngine twins over the whole workload, query-tagged
+/// MultiOutput, MultiShardRouter. A route triggers when any windowed query
+/// completed; the marker carries which ones, so engines with per-query
+/// clocks purge exactly the serial set.
+struct MultiShardTraits {
+  using Policy = MultiExecutionPolicy;
+  using Engine = MultiQueryEngine;
+  using Shardable = MultiShardableEngine;
+  using OutputT = MultiOutput;
+  using RunResultT = MultiRunResult;
+  using RouterT = MultiShardRouter;
+  using FactoryT = MultiEngineFactory;
+
+  static SeqNum OutputSeq(const OutputT& o) { return o.output.seq; }
+  static bool IsTrigger(const RouterT::Route& route) {
+    return !route.trigger_queries.empty();
+  }
+  static void StampMarker(const RouterT::Route& route, ShardOp* op) {
+    op->trigger_queries = route.trigger_queries;
+  }
+  static void SyncPurge(Shardable* shardable, const ShardOp& op) {
+    shardable->SyncPurgeTo(op.ts, op.trigger_queries);
+  }
+  /// Wrapper engines (NonShare, Hybrid) sample the combined sub-engine
+  /// total once per event, so their window_peak is not a serial
+  /// observation — merge boundary totals only.
+  static bool BoundaryObjects(const Shardable* shardable) {
+    return shardable->objects_sampled_at_boundaries();
+  }
+};
+
+/// The single-query partition-parallel policy (docs/internals.md §13).
+using ShardedExecutor = ShardedExecutorT<SingleShardTraits>;
+
+/// The multi-query partition-parallel policy: the same executor over a
+/// shared GROUP BY attribute, one engine-twin set for the whole workload
+/// (docs/internals.md §15).
+using MultiShardedExecutor = ShardedExecutorT<MultiShardTraits>;
+
+extern template class ShardedExecutorT<SingleShardTraits>;
+extern template class ShardedExecutorT<MultiShardTraits>;
 
 }  // namespace exec
 }  // namespace aseq

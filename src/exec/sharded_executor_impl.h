@@ -1,0 +1,1175 @@
+#ifndef ASEQ_EXEC_SHARDED_EXECUTOR_IMPL_H_
+#define ASEQ_EXEC_SHARDED_EXECUTOR_IMPL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "ckpt/snapshot.h"
+#include "engine/runtime.h"
+#include "fault/fault.h"
+#include "metrics/shard_stats.h"
+
+namespace aseq {
+namespace exec {
+
+namespace shard_detail {
+
+/// Bounded-queue depth per lane: enough to keep workers fed ahead of the
+/// router, small enough that a fast router cannot buffer the stream.
+inline constexpr size_t kMaxQueuedItems = 16;
+
+/// Supervised waits poll at this period so the coordinator can run the
+/// watchdog while parked on a queue or barrier.
+inline constexpr std::chrono::milliseconds kSupervisedPoll{20};
+
+inline constexpr uint64_t kNeverDue = std::numeric_limits<uint64_t>::max();
+
+}  // namespace shard_detail
+
+/// One unit of shard work: an event for the owner shard, or a purge marker
+/// replaying a trigger's cross-partition purge on a non-owner shard.
+/// Shared between the single- and multi-query executor instantiations;
+/// `trigger_queries` is meaningful for multi-query markers only (which
+/// workload queries the trigger completed) and stays empty otherwise.
+struct ShardOp {
+  enum class Kind : uint8_t { kEvent, kPurgeMarker };
+  Kind kind = Kind::kEvent;
+  Timestamp ts = 0;
+  SeqNum seq = 0;
+  Event event;  // meaningful for kEvent only
+  std::vector<size_t> trigger_queries;  // meaningful for multi markers only
+};
+
+/// \brief The partition-parallel policy, generic over single- vs
+/// multi-query execution: N engine twins, each owning the partitions whose
+/// GROUP BY key hashes to it, pumped by one worker thread over a bounded
+/// per-shard queue.
+///
+/// `Traits` binds the two instantiations (see exec/sharded_executor.h):
+///   - Policy        the policy interface implemented
+///                   (ExecutionPolicy / MultiExecutionPolicy)
+///   - Engine        QueryEngine / MultiQueryEngine
+///   - Shardable     ShardableEngine / MultiShardableEngine
+///   - OutputT       Output / MultiOutput
+///   - RunResultT    RunResult / MultiRunResult
+///   - RouterT       ShardRouter / MultiShardRouter
+///   - FactoryT      EngineFactory / MultiEngineFactory
+///   - OutputSeq     the output's global event seq (merge key)
+///   - IsTrigger     whether a route completes any (windowed) query
+///   - StampMarker   copies the route's trigger payload into a marker op
+///   - SyncPurge     applies a marker through the shardable interface
+///
+/// Serial equivalence, piece by piece:
+///  - Routing: events go to hash(GROUP BY key) % N — all partitions a
+///    trigger reads share that key (PlanSharding / PlanMultiSharding
+///    guarantees it), so every output is computed from exactly the state
+///    the serial engine would read.
+///  - Purge markers: a serial trigger purges expired state across every
+///    partition (of the triggered queries, for a workload). The router
+///    detects triggers with the engines' own admission programs and
+///    enqueues a purge marker, in seq order, to every non-owner shard;
+///    SyncPurgeTo applies exactly the serial cross-partition purge.
+///    Unbounded queries skip markers (nothing ever expires).
+///  - Outputs: each event's outputs come from exactly one shard, tagged
+///    with the event's global seq; a k-way merge by seq restores the
+///    serial order byte-identical.
+///  - Stats: bulk counters are charged on exactly one shard per event and
+///    sum exactly (metrics/shard_stats.h); live/peak objects are
+///    reconstructed exactly by StatsTimelineMerger from per-event
+///    (seq, current_after, window_peak) records. Workers therefore drive
+///    engines through OnEvent — per-event observation boundaries are what
+///    make the peak merge exact — so batch counters stay zero, which the
+///    equivalence contract already excludes.
+///  - Checkpoints: at a due batch boundary the coordinator parks all
+///    workers at a barrier and writes one multi-shard container
+///    (ckpt::SaveShardedSnapshot) holding every shard's payload plus the
+///    merged stats; restore refills the twins and re-seeds the merge.
+///
+/// Supervision (RunOptions::supervise; docs/internals.md §14): the
+/// coordinator doubles as a watchdog. Every worker heartbeats once per op;
+/// a worker that dies (injected crash) or goes silent with queued work for
+/// longer than the watchdog timeout is quarantined and restarted alone:
+/// its engine twin is rebuilt from the lane's last recovery point (an
+/// in-memory engine snapshot captured at every barrier) and its routed op
+/// slice since that point is replayed from the lane's replay log — outputs
+/// and stats end bit-exact with an unfailed run. Restarts back off
+/// exponentially and are budgeted per recovery interval; exhausting the
+/// budget aborts the run with RunResultBase::fault_status.
+///
+/// Overload control (RunOptions::overload_policy): when a lane's bounded
+/// queue reaches its high-watermark (or the router.route fault point
+/// injects overload), the coordinator either keeps blocking (kBlock, the
+/// default), drains every queue before routing on (kDegradeSerial), or
+/// deterministically sheds the overloaded event's whole partition (kShed,
+/// accounted in shed_* counters; surviving partitions stay exact).
+template <class Traits>
+class ShardedExecutorT : public Traits::Policy {
+ public:
+  using Engine = typename Traits::Engine;
+  using Shardable = typename Traits::Shardable;
+  using OutputT = typename Traits::OutputT;
+  using RunResultT = typename Traits::RunResultT;
+  using RouterT = typename Traits::RouterT;
+  using FactoryT = typename Traits::FactoryT;
+
+  /// `engines` must all be freshly constructed twins for the workload,
+  /// each implementing `Shardable` (the policy factory guarantees both).
+  /// `router` is the matching pre-built router; `send_markers` gates
+  /// purge markers (false when nothing ever expires). `factory` rebuilds
+  /// a twin after a supervised restart; supervision requires it.
+  ShardedExecutorT(const RunOptions& options,
+                   std::vector<std::unique_ptr<Engine>> engines,
+                   RouterT router, bool send_markers, FactoryT factory);
+  ~ShardedExecutorT() override = default;
+
+  std::string name() const override {
+    return "Sharded[" + engines_[0]->name() + "]";
+  }
+  size_t num_shards() const override { return engines_.size(); }
+
+  RunResultT Run(StreamSource* source) override;
+  RunResultT RunEvents(const std::vector<Event>& events) override;
+
+  const EngineStats& stats() const override { return merged_; }
+  std::span<const EngineStats> shard_stats() const override {
+    return shard_stats_view_;
+  }
+  std::span<const double> shard_busy_seconds() const override {
+    return busy_view_;
+  }
+
+  Status Restore(const std::string& path, uint64_t* stream_offset) override;
+
+ private:
+  struct LaneItem {
+    enum class Tag : uint8_t { kOps, kBarrier, kStop };
+    Tag tag = Tag::kOps;
+    std::vector<ShardOp> ops;
+  };
+
+  /// One shard's queue plus its worker-owned run state. The coordinator
+  /// touches outputs/records/busy_seconds only while the worker is parked
+  /// at a barrier or joined (including the joined window of a supervised
+  /// restart).
+  struct Lane {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<LaneItem> queue;
+    /// Drained op vectors recycled back to the router (clear-not-shrink).
+    std::vector<std::vector<ShardOp>> free_ops;
+
+    std::vector<OutputT> outputs;
+    std::vector<StatsTimelineMerger::Record> records;
+    size_t records_consumed = 0;
+    std::vector<OutputT> scratch;
+    double busy_seconds = 0;
+
+    // ---- Worker-side supervision state (atomics; coordinator reads). ----
+    /// Heartbeat: bumped once per executed op. Frozen progress with queued
+    /// work for longer than the watchdog timeout means a stalled worker.
+    std::atomic<uint64_t> progress{0};
+    /// True while the worker is parked waiting for work (an idle worker is
+    /// never "stalled").
+    std::atomic<bool> idle{false};
+    /// Worker died (injected crash): its thread returned without cleanup.
+    std::atomic<bool> dead{false};
+    /// Coordinator order to exit: wakes a parked (idle or stalled) worker
+    /// so the restart path can join its thread.
+    std::atomic<bool> quarantine{false};
+    /// Worker is parked at a coordinator barrier (never a failure).
+    std::atomic<bool> at_barrier{false};
+    /// Queue depth mirror, maintained under mu, read lock-free by the
+    /// router loop for the overload high-watermark.
+    std::atomic<size_t> depth{0};
+
+    // ---- Coordinator-only recovery state (supervised runs). ----
+    /// Engine Checkpoint payload at the last recovery point (barrier).
+    std::string snapshot;
+    /// outputs/records high-water marks at that recovery point: a restart
+    /// truncates back to them before replaying.
+    size_t ckpt_outputs = 0;
+    size_t ckpt_records = 0;
+    /// Every op routed to this lane since the recovery point, in order —
+    /// the restart replay slice. Cleared at each barrier.
+    std::vector<ShardOp> replay_log;
+    /// Restarts burned since the last recovery point (budgeted).
+    size_t restart_attempts = 0;
+    /// A barrier token is owed: it was enqueued (or lost with a cleared
+    /// queue) and the worker has not arrived yet — a restart re-issues it
+    /// after the replay slice.
+    bool barrier_pending = false;
+    /// Watchdog bookkeeping: last observed heartbeat and when it changed.
+    uint64_t last_progress = 0;
+    std::chrono::steady_clock::time_point last_change;
+  };
+
+  /// Coordinator-owned fault/overload accounting, folded into the merged
+  /// stats at the end of the run.
+  struct FaultCounters {
+    uint64_t restarts = 0;
+    uint64_t replayed_events = 0;
+    uint64_t shed_partitions = 0;
+    uint64_t shed_events = 0;
+    uint64_t overload_stalls = 0;
+  };
+
+  /// The shared run loop; `refill` yields the next batch as a view
+  /// (empty = exhausted). The view may be borrowed source storage, so the
+  /// loop stamps sequence numbers in place but copies events into shard
+  /// ops instead of consuming them.
+  RunResultT RunImpl(const std::function<std::span<Event>()>& refill);
+
+  void WorkerMain(size_t shard);
+  /// Pushes an item, honoring the bounded-queue cap (unsupervised: blocks
+  /// indefinitely; a worker always drains).
+  void Enqueue(size_t shard, LaneItem item);
+  /// Supervised push: bounded waits, restarting the lane if it fails
+  /// while the coordinator is parked on its full queue.
+  Status EnqueueSupervised(size_t shard, LaneItem item);
+  /// Moves pending_[shard] into the lane's queue and re-arms pending_
+  /// with a recycled vector.
+  Status FlushPending(size_t shard);
+  /// Parks every worker at a barrier; returns once all have arrived.
+  void BarrierAll();
+  /// Supervised barrier: same contract, but failed lanes are restarted
+  /// (with their barrier token re-issued) until every lane arrives.
+  Status BarrierAllSupervised();
+  /// Releases workers parked by BarrierAll / BarrierAllSupervised.
+  void ResumeAll();
+  /// Feeds each lane's new records to the merger (lanes quiescent).
+  void DrainMerger();
+  /// Bulk-sums engine stats + the merger's object view.
+  EngineStats ComputeMergedStats() const;
+  /// Writes the multi-shard snapshot container at `seq` (workers parked).
+  Status SaveSnapshotAt(uint64_t seq);
+
+  // ---- Supervision (coordinator side). ----
+  /// True when the lane's worker is dead, or silent with queued work past
+  /// the watchdog timeout. Updates the lane's watchdog bookkeeping.
+  bool LaneFailed(size_t shard);
+  /// Sweeps all lanes, restarting any that failed.
+  Status CheckLanes();
+  /// Quarantines + joins the failed worker, rebuilds the engine twin from
+  /// the lane's recovery snapshot, truncates outputs/records to the
+  /// recovery watermarks, respawns the worker, and replays the lane's
+  /// routed slice (plus any owed barrier token). Bounded exponential
+  /// backoff; exceeding the restart budget returns an error.
+  Status RestartShard(size_t shard);
+  /// Captures a recovery point per lane: engine snapshot, output/record
+  /// watermarks, replay log truncation, budget reset. Workers must be
+  /// parked at a barrier.
+  Status CaptureRecoveryPoints();
+  /// Waits until every lane is empty and idle (degrade-serial overload
+  /// response), restarting failed lanes when supervised.
+  Status DrainAllQueues();
+  /// Pushes stop tokens to live lanes and joins every worker thread.
+  void StopWorkers();
+
+  RunOptions options_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<Shardable*> shardables_;
+  FactoryT factory_;
+  RouterT router_;
+  bool send_markers_;  // false when nothing ever expires
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> workers_;
+  std::vector<std::vector<ShardOp>> pending_;
+  std::vector<Event> batch_buf_;
+
+  // Barrier coordination (checkpoints + recovery points).
+  std::mutex coord_mu_;
+  std::condition_variable coord_cv_;
+  size_t barrier_arrived_ = 0;
+  uint64_t barrier_epoch_ = 0;
+
+  // Per-run supervision/overload state (coordinator only).
+  FaultCounters fcounters_;
+  std::unordered_set<uint32_t> shed_keys_;
+  uint64_t fired_at_start_ = 0;
+
+  StatsTimelineMerger merger_;
+  EngineStats merged_;
+  std::vector<EngineStats> shard_stats_view_;
+  std::vector<double> busy_view_;
+};
+
+template <class Traits>
+ShardedExecutorT<Traits>::ShardedExecutorT(
+    const RunOptions& options, std::vector<std::unique_ptr<Engine>> engines,
+    RouterT router, bool send_markers, FactoryT factory)
+    : options_(options),
+      engines_(std::move(engines)),
+      factory_(std::move(factory)),
+      router_(std::move(router)),
+      send_markers_(send_markers) {
+  assert(engines_.size() > 1);
+  options_.num_shards = engines_.size();
+  for (auto& e : engines_) {
+    auto* shardable = dynamic_cast<Shardable*>(e.get());
+    assert(shardable != nullptr &&
+           "ShardedExecutorT requires shardable engine twins (the policy "
+           "factory enforces this)");
+    shardables_.push_back(shardable);
+  }
+  lanes_.reserve(engines_.size());
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  pending_.resize(engines_.size());
+  shard_stats_view_.resize(engines_.size());
+  busy_view_.resize(engines_.size(), 0);
+}
+
+template <class Traits>
+void ShardedExecutorT<Traits>::WorkerMain(size_t shard) {
+  Lane& lane = *lanes_[shard];
+  Engine* engine = engines_[shard].get();
+  Shardable* shardable = shardables_[shard];
+  EngineStats* stats = shardable->shard_mutable_stats();
+  const bool boundary_objects = Traits::BoundaryObjects(shardable);
+  const bool supervised = options_.supervise;
+  const bool check_faults = fault::Injector::Global().armed();
+  for (;;) {
+    LaneItem item;
+    {
+      std::unique_lock<std::mutex> lk(lane.mu);
+      lane.idle.store(true, std::memory_order_relaxed);
+      lane.cv.wait(lk, [&] {
+        return !lane.queue.empty() ||
+               lane.quarantine.load(std::memory_order_relaxed);
+      });
+      lane.idle.store(false, std::memory_order_relaxed);
+      if (lane.quarantine.load(std::memory_order_relaxed)) return;
+      item = std::move(lane.queue.front());
+      lane.queue.pop_front();
+      lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
+    }
+    // The router may be parked on a full queue.
+    lane.cv.notify_all();
+    if (item.tag == LaneItem::Tag::kStop) return;
+    if (item.tag == LaneItem::Tag::kBarrier) {
+      std::unique_lock<std::mutex> lk(coord_mu_);
+      const uint64_t epoch = barrier_epoch_;
+      ++barrier_arrived_;
+      lane.at_barrier.store(true, std::memory_order_release);
+      coord_cv_.notify_all();
+      // Quarantine must break a barrier park too: an aborted supervised
+      // barrier (restart budget exhausted elsewhere) never resumes the
+      // epoch, and teardown would otherwise join a thread parked here.
+      coord_cv_.wait(lk, [&] {
+        return barrier_epoch_ != epoch ||
+               lane.quarantine.load(std::memory_order_relaxed);
+      });
+      lane.at_barrier.store(false, std::memory_order_release);
+      continue;
+    }
+    StopWatch watch;
+    for (ShardOp& op : item.ops) {
+      if (check_faults) {
+        if (auto fired =
+                fault::Injector::Global().Hit(fault::Point::kWorkerOp, shard)) {
+          if (fired->kind == fault::Kind::kSlow) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(fired->delay_us));
+          } else if (supervised && fired->kind == fault::Kind::kCrash) {
+            // Abrupt worker death: no cleanup, the op is lost mid-item.
+            // The supervisor detects the dead flag, rebuilds this shard
+            // from its recovery point, and replays the routed slice.
+            lane.dead.store(true, std::memory_order_release);
+            coord_cv_.notify_all();
+            lane.cv.notify_all();
+            return;
+          } else if (supervised && fired->kind == fault::Kind::kStall) {
+            // Hang without heartbeating until the watchdog quarantines us.
+            std::unique_lock<std::mutex> lk(lane.mu);
+            lane.cv.wait(lk, [&] {
+              return lane.quarantine.load(std::memory_order_relaxed);
+            });
+            return;
+          }
+          // Other kinds are not meaningful at this point; ignore.
+        }
+      }
+      ObjectCounter& objects = stats->objects;
+      objects.BeginPeakWindow();
+      const int64_t before = objects.current();
+      if (op.kind == ShardOp::Kind::kEvent) {
+        lane.scratch.clear();
+        engine->OnEvent(op.event, &lane.scratch);
+        if (options_.collect_outputs && !lane.scratch.empty()) {
+          lane.outputs.insert(lane.outputs.end(), lane.scratch.begin(),
+                              lane.scratch.end());
+        }
+      } else {
+        Traits::SyncPurge(shardable, op);
+      }
+      const int64_t after = objects.current();
+      int64_t window_peak = objects.window_peak();
+      // Boundary-sampled engines take one Add per event, so window_peak
+      // (= max(before, after)) is not a point the serial engine observed;
+      // clamping it to min(before, after) silences the merger's mid-event
+      // candidate and leaves the exact boundary totals.
+      if (boundary_objects) window_peak = std::min(before, after);
+      // Record only state changes: the merge needs every current
+      // transition and every mid-event maximum above the entry count.
+      if (after != before || window_peak > before) {
+        lane.records.push_back({op.seq, after, window_peak});
+      }
+      lane.progress.fetch_add(1, std::memory_order_relaxed);
+    }
+    lane.busy_seconds += watch.ElapsedSeconds();
+    {
+      std::lock_guard<std::mutex> lk(lane.mu);
+      item.ops.clear();
+      lane.free_ops.push_back(std::move(item.ops));
+    }
+  }
+}
+
+template <class Traits>
+void ShardedExecutorT<Traits>::Enqueue(size_t shard, LaneItem item) {
+  Lane& lane = *lanes_[shard];
+  {
+    std::unique_lock<std::mutex> lk(lane.mu);
+    lane.cv.wait(
+        lk, [&] { return lane.queue.size() < shard_detail::kMaxQueuedItems; });
+    lane.queue.push_back(std::move(item));
+    lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
+  }
+  lane.cv.notify_all();
+}
+
+template <class Traits>
+Status ShardedExecutorT<Traits>::EnqueueSupervised(size_t shard,
+                                                   LaneItem item) {
+  Lane& lane = *lanes_[shard];
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(lane.mu);
+      const bool room = lane.cv.wait_for(lk, shard_detail::kSupervisedPoll, [&] {
+        return lane.queue.size() < shard_detail::kMaxQueuedItems ||
+               lane.dead.load(std::memory_order_relaxed);
+      });
+      if (room && !lane.dead.load(std::memory_order_relaxed)) {
+        lane.queue.push_back(std::move(item));
+        lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
+        lk.unlock();
+        lane.cv.notify_all();
+        return Status::OK();
+      }
+    }
+    if (LaneFailed(shard)) {
+      ASEQ_RETURN_NOT_OK(RestartShard(shard));
+    }
+  }
+}
+
+template <class Traits>
+Status ShardedExecutorT<Traits>::FlushPending(size_t shard) {
+  if (pending_[shard].empty()) return Status::OK();
+  Lane& lane = *lanes_[shard];
+  std::vector<ShardOp> replacement;
+  if (!options_.supervise) {
+    {
+      std::unique_lock<std::mutex> lk(lane.mu);
+      lane.cv.wait(lk, [&] {
+        return lane.queue.size() < shard_detail::kMaxQueuedItems;
+      });
+      lane.queue.push_back(
+          LaneItem{LaneItem::Tag::kOps, std::move(pending_[shard])});
+      lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
+      if (!lane.free_ops.empty()) {
+        replacement = std::move(lane.free_ops.back());
+        lane.free_ops.pop_back();
+      }
+    }
+    lane.cv.notify_all();
+    pending_[shard] = std::move(replacement);
+    return Status::OK();
+  }
+  for (;;) {
+    bool pushed = false;
+    {
+      std::unique_lock<std::mutex> lk(lane.mu);
+      const bool room = lane.cv.wait_for(lk, shard_detail::kSupervisedPoll, [&] {
+        return lane.queue.size() < shard_detail::kMaxQueuedItems ||
+               lane.dead.load(std::memory_order_relaxed);
+      });
+      if (room && !lane.dead.load(std::memory_order_relaxed)) {
+        lane.queue.push_back(
+            LaneItem{LaneItem::Tag::kOps, std::move(pending_[shard])});
+        lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
+        if (!lane.free_ops.empty()) {
+          replacement = std::move(lane.free_ops.back());
+          lane.free_ops.pop_back();
+        }
+        pushed = true;
+      }
+    }
+    if (pushed) {
+      lane.cv.notify_all();
+      pending_[shard] = std::move(replacement);
+      return Status::OK();
+    }
+    if (LaneFailed(shard)) {
+      ASEQ_RETURN_NOT_OK(RestartShard(shard));
+      // The restart replayed everything routed since the recovery point —
+      // including the ops still sitting in pending_ — and cleared pending_.
+      if (pending_[shard].empty()) return Status::OK();
+    }
+  }
+}
+
+template <class Traits>
+void ShardedExecutorT<Traits>::BarrierAll() {
+  {
+    std::lock_guard<std::mutex> lk(coord_mu_);
+    barrier_arrived_ = 0;
+  }
+  for (size_t s = 0; s < lanes_.size(); ++s) {
+    Enqueue(s, LaneItem{LaneItem::Tag::kBarrier, {}});
+  }
+  std::unique_lock<std::mutex> lk(coord_mu_);
+  coord_cv_.wait(lk, [&] { return barrier_arrived_ == lanes_.size(); });
+}
+
+template <class Traits>
+Status ShardedExecutorT<Traits>::BarrierAllSupervised() {
+  const size_t n = lanes_.size();
+  {
+    std::lock_guard<std::mutex> lk(coord_mu_);
+    barrier_arrived_ = 0;
+  }
+  for (size_t s = 0; s < n; ++s) {
+    // barrier_pending flips true only once the token is actually queued:
+    // a restart during the enqueue must not re-issue a token that was
+    // never pushed (EnqueueSupervised pushes it right after the restart).
+    ASEQ_RETURN_NOT_OK(
+        EnqueueSupervised(s, LaneItem{LaneItem::Tag::kBarrier, {}}));
+    lanes_[s]->barrier_pending = true;
+  }
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(coord_mu_);
+      if (coord_cv_.wait_for(lk, shard_detail::kSupervisedPoll,
+                             [&] { return barrier_arrived_ == n; })) {
+        break;
+      }
+    }
+    for (size_t s = 0; s < n; ++s) {
+      if (!lanes_[s]->at_barrier.load(std::memory_order_acquire) &&
+          LaneFailed(s)) {
+        // The lane's barrier token died with its queue; RestartShard
+        // re-issues it after the replay slice (barrier_pending is set).
+        ASEQ_RETURN_NOT_OK(RestartShard(s));
+      }
+    }
+  }
+  for (auto& lane : lanes_) lane->barrier_pending = false;
+  return Status::OK();
+}
+
+template <class Traits>
+void ShardedExecutorT<Traits>::ResumeAll() {
+  {
+    std::lock_guard<std::mutex> lk(coord_mu_);
+    ++barrier_epoch_;
+  }
+  coord_cv_.notify_all();
+}
+
+template <class Traits>
+void ShardedExecutorT<Traits>::DrainMerger() {
+  std::vector<std::span<const StatsTimelineMerger::Record>> spans;
+  spans.reserve(lanes_.size());
+  for (auto& lane : lanes_) {
+    spans.push_back(std::span<const StatsTimelineMerger::Record>(
+        lane->records.data() + lane->records_consumed,
+        lane->records.size() - lane->records_consumed));
+  }
+  merger_.Consume(spans);
+  for (auto& lane : lanes_) lane->records_consumed = lane->records.size();
+}
+
+template <class Traits>
+EngineStats ShardedExecutorT<Traits>::ComputeMergedStats() const {
+  EngineStats merged;
+  for (const auto& e : engines_) MergeBulkStats(e->stats(), &merged);
+  merged.objects.RestoreCounts(merger_.merged_current(),
+                               merger_.merged_peak());
+  return merged;
+}
+
+template <class Traits>
+Status ShardedExecutorT<Traits>::SaveSnapshotAt(uint64_t seq) {
+  const EngineStats merged_now = ComputeMergedStats();
+  std::vector<const Engine*> shards;
+  shards.reserve(engines_.size());
+  for (const auto& e : engines_) shards.push_back(e.get());
+  // The router is quiescent here (this coordinator thread is the only one
+  // that touches it, and the workers are parked at the barrier), so its
+  // interner table is captured consistently with shard state.
+  ckpt::Writer router_state;
+  router_.Checkpoint(&router_state);
+  return ckpt::SaveShardedSnapshot(
+      ckpt::SnapshotPathForOffset(options_.checkpoint_dir, seq), shards, seq,
+      merged_now, router_state.buffer());
+}
+
+template <class Traits>
+bool ShardedExecutorT<Traits>::LaneFailed(size_t shard) {
+  Lane& lane = *lanes_[shard];
+  if (lane.dead.load(std::memory_order_acquire)) return true;
+  const uint64_t p = lane.progress.load(std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  if (p != lane.last_progress || lane.idle.load(std::memory_order_relaxed) ||
+      lane.at_barrier.load(std::memory_order_relaxed)) {
+    lane.last_progress = p;
+    lane.last_change = now;
+    return false;
+  }
+  // Not idle, not at a barrier, heartbeat frozen: stalled once the silence
+  // outlasts the watchdog timeout.
+  return std::chrono::duration<double, std::milli>(now - lane.last_change)
+             .count() > options_.watchdog_timeout_ms;
+}
+
+template <class Traits>
+Status ShardedExecutorT<Traits>::CheckLanes() {
+  for (size_t s = 0; s < lanes_.size(); ++s) {
+    if (LaneFailed(s)) {
+      ASEQ_RETURN_NOT_OK(RestartShard(s));
+    }
+  }
+  return Status::OK();
+}
+
+template <class Traits>
+Status ShardedExecutorT<Traits>::RestartShard(size_t shard) {
+  Lane& lane = *lanes_[shard];
+  // Quarantine + reap: a stalled worker parks until the quarantine flag
+  // flips; a crashed one already returned; an idle one wakes and exits.
+  {
+    std::lock_guard<std::mutex> lk(lane.mu);
+    lane.quarantine.store(true, std::memory_order_relaxed);
+  }
+  lane.cv.notify_all();
+  if (workers_[shard].joinable()) workers_[shard].join();
+
+  ++lane.restart_attempts;
+  ++fcounters_.restarts;
+  if (lane.restart_attempts > options_.max_restarts) {
+    return Status::Internal(
+        "shard " + std::to_string(shard) + " exhausted its restart budget (" +
+        std::to_string(options_.max_restarts) +
+        " since the last recovery point); giving up");
+  }
+  // Bounded exponential backoff before respawning (first restart is
+  // immediate): 1, 2, 4, ... 64 ms.
+  if (lane.restart_attempts > 1) {
+    const size_t shift = std::min<size_t>(lane.restart_attempts - 2, 6);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1ll << shift));
+  }
+
+  // Roll the lane back to its recovery point. The worker is joined, so
+  // everything here is single-threaded.
+  {
+    std::lock_guard<std::mutex> lk(lane.mu);
+    lane.queue.clear();
+    lane.free_ops.clear();
+    lane.depth.store(0, std::memory_order_relaxed);
+    lane.dead.store(false, std::memory_order_relaxed);
+    lane.quarantine.store(false, std::memory_order_relaxed);
+    lane.at_barrier.store(false, std::memory_order_relaxed);
+    lane.idle.store(false, std::memory_order_relaxed);
+  }
+  lane.outputs.resize(lane.ckpt_outputs);
+  lane.records.resize(lane.ckpt_records);
+  lane.records_consumed = lane.ckpt_records;
+  // Ops routed but not yet flushed are already in the replay log; dropping
+  // them here keeps the replay from double-feeding them.
+  pending_[shard].clear();
+
+  // Rebuild the engine twin from the recovery snapshot (engine Checkpoint
+  // payloads carry stats, so the merged view stays exact).
+  if (!factory_) {
+    return Status::Internal(
+        "supervised restart requires an engine factory (construct the "
+        "executor through exec::MakePolicy / exec::MakeMultiPolicy)");
+  }
+  ASEQ_ASSIGN_OR_RETURN(std::unique_ptr<Engine> fresh, factory_());
+  auto* shardable = dynamic_cast<Shardable*>(fresh.get());
+  if (shardable == nullptr) {
+    return Status::Internal(
+        "engine factory stopped producing shardable engines during a "
+        "supervised restart");
+  }
+  if (!lane.snapshot.empty()) {
+    ckpt::Reader reader(lane.snapshot);
+    ASEQ_RETURN_NOT_OK(fresh->Restore(&reader));
+    ASEQ_RETURN_NOT_OK(reader.ExpectEnd());
+  }
+  engines_[shard] = std::move(fresh);
+  shardables_[shard] = shardable;
+
+  lane.last_progress = lane.progress.load(std::memory_order_relaxed);
+  lane.last_change = std::chrono::steady_clock::now();
+  workers_[shard] =
+      std::thread(&ShardedExecutorT<Traits>::WorkerMain, this, shard);
+
+  // Replay the routed slice since the recovery point. If the fresh worker
+  // dies again mid-replay (another armed fault), abandon — the caller's
+  // detection loop restarts again, and the budget bounds the loop.
+  uint64_t replayed = 0;
+  const size_t chunk_size =
+      options_.batch_size == 0 ? kDefaultBatchSize : options_.batch_size;
+  for (size_t i = 0; i < lane.replay_log.size();) {
+    const size_t chunk = std::min(chunk_size, lane.replay_log.size() - i);
+    LaneItem item;
+    item.tag = LaneItem::Tag::kOps;
+    item.ops.assign(lane.replay_log.begin() + static_cast<ptrdiff_t>(i),
+                    lane.replay_log.begin() + static_cast<ptrdiff_t>(i + chunk));
+    bool pushed = false;
+    while (!pushed) {
+      std::unique_lock<std::mutex> lk(lane.mu);
+      if (lane.dead.load(std::memory_order_relaxed)) break;
+      const bool room = lane.cv.wait_for(lk, shard_detail::kSupervisedPoll, [&] {
+        return lane.queue.size() < shard_detail::kMaxQueuedItems ||
+               lane.dead.load(std::memory_order_relaxed);
+      });
+      if (!room || lane.dead.load(std::memory_order_relaxed)) continue;
+      lane.queue.push_back(std::move(item));
+      lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
+      pushed = true;
+    }
+    if (!pushed) break;
+    lane.cv.notify_all();
+    for (size_t j = i; j < i + chunk; ++j) {
+      if (lane.replay_log[j].kind == ShardOp::Kind::kEvent) ++replayed;
+    }
+    i += chunk;
+  }
+  fcounters_.replayed_events += replayed;
+
+  // A barrier token lost with the cleared queue must be re-issued after
+  // the replay slice, or the coordinator's barrier would never complete.
+  if (lane.barrier_pending && !lane.dead.load(std::memory_order_acquire)) {
+    bool pushed = false;
+    while (!pushed) {
+      std::unique_lock<std::mutex> lk(lane.mu);
+      if (lane.dead.load(std::memory_order_relaxed)) break;
+      const bool room = lane.cv.wait_for(lk, shard_detail::kSupervisedPoll, [&] {
+        return lane.queue.size() < shard_detail::kMaxQueuedItems ||
+               lane.dead.load(std::memory_order_relaxed);
+      });
+      if (!room || lane.dead.load(std::memory_order_relaxed)) continue;
+      lane.queue.push_back(LaneItem{LaneItem::Tag::kBarrier, {}});
+      lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
+      pushed = true;
+    }
+    if (pushed) lane.cv.notify_all();
+  }
+  return Status::OK();
+}
+
+template <class Traits>
+Status ShardedExecutorT<Traits>::CaptureRecoveryPoints() {
+  for (size_t s = 0; s < engines_.size(); ++s) {
+    Lane& lane = *lanes_[s];
+    ckpt::Writer writer;
+    ASEQ_RETURN_NOT_OK(engines_[s]->Checkpoint(&writer));
+    lane.snapshot = writer.buffer();
+    lane.ckpt_outputs = lane.outputs.size();
+    lane.ckpt_records = lane.records.size();
+    lane.replay_log.clear();
+    lane.restart_attempts = 0;
+  }
+  return Status::OK();
+}
+
+template <class Traits>
+Status ShardedExecutorT<Traits>::DrainAllQueues() {
+  for (;;) {
+    bool drained = true;
+    for (size_t s = 0; s < lanes_.size(); ++s) {
+      Lane& lane = *lanes_[s];
+      if (lane.depth.load(std::memory_order_relaxed) != 0 ||
+          !lane.idle.load(std::memory_order_relaxed)) {
+        drained = false;
+        if (options_.supervise && LaneFailed(s)) {
+          ASEQ_RETURN_NOT_OK(RestartShard(s));
+        }
+      }
+    }
+    if (drained) return Status::OK();
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+template <class Traits>
+void ShardedExecutorT<Traits>::StopWorkers() {
+  if (options_.supervise) {
+    // Supervised teardown is quarantine-based, not token-based: queues are
+    // either empty (the final health barrier ran) or abandoned (the run
+    // aborted mid-flight), so nothing needs draining, and the quarantine
+    // flag wakes every kind of park — the idle wait, an injected stall,
+    // and (with the epoch bump below) a barrier whose resume was skipped
+    // when the abort path bailed out of BarrierAllSupervised. Dead lanes'
+    // threads have already returned; join just reaps them.
+    for (auto& lane : lanes_) {
+      {
+        std::lock_guard<std::mutex> lk(lane->mu);
+        lane->quarantine.store(true, std::memory_order_relaxed);
+      }
+      lane->cv.notify_all();
+    }
+    // Quarantine flags are set before the bump: a worker reaching a
+    // barrier token after this sees quarantine in the wait predicate and
+    // never blocks on the stale epoch.
+    ResumeAll();
+  } else {
+    for (size_t s = 0; s < lanes_.size(); ++s) {
+      Enqueue(s, LaneItem{LaneItem::Tag::kStop, {}});
+    }
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+template <class Traits>
+typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
+    const std::function<std::span<Event>()>& refill) {
+  const size_t n = engines_.size();
+  const bool supervised = options_.supervise;
+  RunResultT result;
+  result.batch_size = options_.batch_size;
+  result.num_shards = n;
+
+  // Per-run lane state, clear-not-shrink.
+  for (auto& lane : lanes_) {
+    lane->outputs.clear();
+    lane->records.clear();
+    lane->records_consumed = 0;
+    lane->busy_seconds = 0;
+    lane->progress.store(0, std::memory_order_relaxed);
+    lane->idle.store(false, std::memory_order_relaxed);
+    lane->dead.store(false, std::memory_order_relaxed);
+    lane->quarantine.store(false, std::memory_order_relaxed);
+    lane->at_barrier.store(false, std::memory_order_relaxed);
+    lane->depth.store(0, std::memory_order_relaxed);
+    lane->snapshot.clear();
+    lane->ckpt_outputs = 0;
+    lane->ckpt_records = 0;
+    lane->replay_log.clear();
+    lane->restart_attempts = 0;
+    lane->barrier_pending = false;
+    lane->last_progress = 0;
+    lane->last_change = std::chrono::steady_clock::now();
+  }
+  fcounters_ = FaultCounters{};
+  shed_keys_.clear();
+  fired_at_start_ = fault::Injector::Global().fired_count();
+  {
+    std::vector<int64_t> currents;
+    currents.reserve(n);
+    for (const auto& e : engines_) {
+      currents.push_back(e->stats().objects.current());
+    }
+    // Seed with the merged view carried across runs/restores: engines
+    // keep their state, so the peak must continue from where it stood.
+    merger_.Reset(currents, merged_.objects.peak());
+  }
+
+  if (supervised) {
+    // The initial recovery point: a restart before the first barrier must
+    // rebuild the engines' *current* state — which, after a Restore(), is
+    // not the fresh-constructed one.
+    Status cs = CaptureRecoveryPoints();
+    if (!cs.ok()) {
+      result.fault_status = std::move(cs);
+      return result;
+    }
+  }
+
+  StopWatch watch;
+  workers_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    workers_.emplace_back(&ShardedExecutorT<Traits>::WorkerMain, this, s);
+  }
+
+  SeqNum seq = options_.start_offset;
+  uint64_t next_ckpt = options_.checkpoint_every > 0
+                           ? options_.start_offset + options_.checkpoint_every
+                           : shard_detail::kNeverDue;
+  uint64_t next_rec = supervised && options_.recovery_every > 0
+                          ? options_.start_offset + options_.recovery_every
+                          : shard_detail::kNeverDue;
+  for (;;) {
+    if (options_.stop_requested != nullptr &&
+        options_.stop_requested->load(std::memory_order_relaxed)) {
+      result.interrupted = true;
+      break;
+    }
+    std::span<Event> batch = refill();
+    if (batch.empty()) break;
+    bool overload_hit = false;
+    for (Event& e : batch) {
+      e.set_seq(seq++);
+      const Timestamp ts = e.ts();
+      const SeqNum eseq = e.seq();
+      const auto& route = router_.RouteEvent(e);
+      if (options_.overload_policy != OverloadPolicy::kBlock) {
+        const bool overloaded =
+            route.inject_overload ||
+            lanes_[route.shard]->depth.load(std::memory_order_relaxed) >=
+                options_.overload_high_watermark;
+        if (options_.overload_policy == OverloadPolicy::kShed &&
+            route.has_key) {
+          // Drop whole partitions, deterministically: once a key is shed,
+          // every later event of that key is discarded before routing.
+          // Events of other keys never read a shed partition's state (the
+          // GROUP BY key scopes all reads), so survivors stay exact.
+          if (shed_keys_.count(route.key_id) != 0) {
+            ++fcounters_.shed_events;
+            continue;
+          }
+          if (overloaded) {
+            shed_keys_.insert(route.key_id);
+            ++fcounters_.shed_partitions;
+            ++fcounters_.shed_events;
+            continue;
+          }
+        } else if (overloaded) {
+          overload_hit = true;
+        }
+      }
+      // Copy, not move: the batch may be borrowed source storage that a
+      // Reset replay will serve again.
+      pending_[route.shard].push_back(
+          ShardOp{ShardOp::Kind::kEvent, ts, eseq, e, {}});
+      if (supervised) {
+        lanes_[route.shard]->replay_log.push_back(
+            ShardOp{ShardOp::Kind::kEvent, ts, eseq, e, {}});
+      }
+      if (send_markers_ && Traits::IsTrigger(route)) {
+        // The serial trigger purges every partition (of each triggered
+        // query); non-owner shards replay it as a marker at the same seq,
+        // keeping their state and object counts in lockstep.
+        for (size_t s = 0; s < n; ++s) {
+          if (s == route.shard) continue;
+          ShardOp marker{ShardOp::Kind::kPurgeMarker, ts, eseq, Event(), {}};
+          Traits::StampMarker(route, &marker);
+          if (supervised) {
+            lanes_[s]->replay_log.push_back(marker);
+          }
+          pending_[s].push_back(std::move(marker));
+        }
+      }
+    }
+    for (size_t s = 0; s < n; ++s) {
+      Status fs = FlushPending(s);
+      if (!fs.ok()) {
+        result.fault_status = std::move(fs);
+        break;
+      }
+    }
+    if (!result.fault_status.ok()) break;
+    if (supervised) {
+      Status cs = CheckLanes();
+      if (!cs.ok()) {
+        result.fault_status = std::move(cs);
+        break;
+      }
+    }
+    if (overload_hit &&
+        options_.overload_policy == OverloadPolicy::kDegradeSerial) {
+      ++fcounters_.overload_stalls;
+      Status ds = DrainAllQueues();
+      if (!ds.ok()) {
+        result.fault_status = std::move(ds);
+        break;
+      }
+    }
+
+    const bool ckpt_due = result.checkpoint_status.ok() && seq >= next_ckpt;
+    const bool rec_due = seq >= next_rec;
+    if (ckpt_due || rec_due) {
+      if (supervised) {
+        Status bs = BarrierAllSupervised();
+        if (!bs.ok()) {
+          result.fault_status = std::move(bs);
+          break;
+        }
+      } else {
+        BarrierAll();
+      }
+      DrainMerger();
+      if (supervised) {
+        Status cs = CaptureRecoveryPoints();
+        if (!cs.ok()) {
+          result.fault_status = std::move(cs);
+          ResumeAll();
+          break;
+        }
+      }
+      if (ckpt_due) {
+        Status s = SaveSnapshotAt(seq);
+        if (s.ok()) {
+          ++result.checkpoints_written;
+          result.last_checkpoint_offset = seq;
+        } else {
+          result.checkpoint_status = std::move(s);
+        }
+      }
+      ResumeAll();
+      if (next_ckpt != shard_detail::kNeverDue) {
+        while (next_ckpt <= seq) next_ckpt += options_.checkpoint_every;
+      }
+      if (next_rec != shard_detail::kNeverDue) {
+        while (next_rec <= seq) next_rec += options_.recovery_every;
+      }
+    }
+  }
+
+  // Graceful-stop drain + final snapshot, and (supervised) a final health
+  // barrier so a worker that died after the last check still gets its ops
+  // recovered before the stop tokens go out.
+  const bool want_final_ckpt =
+      result.interrupted && !options_.checkpoint_dir.empty() &&
+      result.checkpoint_status.ok() &&
+      (result.checkpoints_written == 0 ||
+       result.last_checkpoint_offset < seq);
+  if (result.fault_status.ok() && (supervised || want_final_ckpt)) {
+    Status bs;
+    if (supervised) {
+      bs = BarrierAllSupervised();
+    } else {
+      BarrierAll();
+    }
+    if (bs.ok()) {
+      if (want_final_ckpt) {
+        DrainMerger();
+        Status s = SaveSnapshotAt(seq);
+        if (s.ok()) {
+          ++result.checkpoints_written;
+          result.last_checkpoint_offset = seq;
+        } else {
+          result.checkpoint_status = std::move(s);
+        }
+      }
+      ResumeAll();
+    } else {
+      result.fault_status = std::move(bs);
+    }
+  }
+
+  StopWorkers();
+
+  DrainMerger();
+  merged_ = ComputeMergedStats();
+  merged_.fault_injected =
+      fault::Injector::Global().fired_count() - fired_at_start_;
+  merged_.fault_restarts = fcounters_.restarts;
+  merged_.fault_replayed_events = fcounters_.replayed_events;
+  merged_.shed_partitions = fcounters_.shed_partitions;
+  merged_.shed_events = fcounters_.shed_events;
+  merged_.overload_stalls = fcounters_.overload_stalls;
+  for (size_t s = 0; s < n; ++s) {
+    shard_stats_view_[s] = engines_[s]->stats();
+    busy_view_[s] = lanes_[s]->busy_seconds;
+  }
+
+  if (options_.collect_outputs) {
+    size_t total = 0;
+    for (const auto& lane : lanes_) total += lane->outputs.size();
+    result.outputs.reserve(total);
+    std::vector<size_t> cursor(n, 0);
+    for (;;) {
+      size_t best = n;
+      SeqNum best_seq = std::numeric_limits<SeqNum>::max();
+      for (size_t s = 0; s < n; ++s) {
+        const auto& outs = lanes_[s]->outputs;
+        if (cursor[s] < outs.size() &&
+            Traits::OutputSeq(outs[cursor[s]]) < best_seq) {
+          best_seq = Traits::OutputSeq(outs[cursor[s]]);
+          best = s;
+        }
+      }
+      if (best == n) break;
+      // One event's outputs all come from its owner shard, in order.
+      auto& outs = lanes_[best]->outputs;
+      while (cursor[best] < outs.size() &&
+             Traits::OutputSeq(outs[cursor[best]]) == best_seq) {
+        result.outputs.push_back(std::move(outs[cursor[best]]));
+        ++cursor[best];
+      }
+    }
+  }
+
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  result.events = seq - options_.start_offset;
+  return result;
+}
+
+template <class Traits>
+typename Traits::RunResultT ShardedExecutorT<Traits>::Run(
+    StreamSource* source) {
+  return RunImpl(
+      [&]() { return source->BorrowBatch(options_.batch_size); });
+}
+
+template <class Traits>
+typename Traits::RunResultT ShardedExecutorT<Traits>::RunEvents(
+    const std::vector<Event>& events) {
+  // The caller's vector is const, and the loop stamps sequence numbers,
+  // so slices stage through batch_buf_.
+  size_t pos = 0;
+  return RunImpl([&]() -> std::span<Event> {
+    const size_t count = std::min(options_.batch_size, events.size() - pos);
+    batch_buf_.assign(events.begin() + static_cast<ptrdiff_t>(pos),
+                      events.begin() + static_cast<ptrdiff_t>(pos + count));
+    pos += count;
+    return {batch_buf_.data(), count};
+  });
+}
+
+template <class Traits>
+Status ShardedExecutorT<Traits>::Restore(const std::string& path,
+                                         uint64_t* stream_offset) {
+  std::vector<Engine*> shards;
+  shards.reserve(engines_.size());
+  for (auto& e : engines_) shards.push_back(e.get());
+  EngineStats merged;
+  std::string router_state;
+  ASEQ_RETURN_NOT_OK(ckpt::RestoreShardedSnapshot(path, shards, stream_offset,
+                                                  &merged, &router_state));
+  ckpt::Reader router_reader(router_state);
+  ASEQ_RETURN_NOT_OK(router_.Restore(&router_reader));
+  ASEQ_RETURN_NOT_OK(router_reader.ExpectEnd());
+  merged_ = merged;
+  options_.start_offset = *stream_offset;
+  return Status::OK();
+}
+
+}  // namespace exec
+}  // namespace aseq
+
+#endif  // ASEQ_EXEC_SHARDED_EXECUTOR_IMPL_H_

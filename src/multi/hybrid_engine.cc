@@ -1,6 +1,9 @@
 #include "multi/hybrid_engine.h"
 
+#include <algorithm>
+#include <cassert>
 #include <map>
+#include <utility>
 
 #include "aseq/aseq_engine.h"
 #include "ckpt/ckpt.h"
@@ -14,13 +17,24 @@ namespace aseq {
 
 namespace {
 
+/// The one partitioning shape the sharing engines support: GROUP BY one
+/// attribute. Returns it, or kInvalidAttr when the query is ungrouped.
+AttrId ShareableGroupAttr(const CompiledQuery& q) {
+  if (!q.partitioned()) return kInvalidAttr;
+  const PartitionSpec& spec = q.partition_spec();
+  return spec.per_group_output && spec.parts.size() == 1 &&
+                 spec.group_part == 0
+             ? spec.parts[0].attr
+             : kInvalidAttr;
+}
+
 /// Eligible for the COUNT-sharing engines (PreTree / Chop-Connect)?
 bool Shareable(const CompiledQuery& q) {
-  if (q.agg().func != AggFunc::kCount || q.partitioned() ||
-      q.has_join_predicates() || q.pattern().has_negation() ||
-      q.window_ms() <= 0) {
+  if (q.agg().func != AggFunc::kCount || q.has_join_predicates() ||
+      q.pattern().has_negation() || q.window_ms() <= 0) {
     return false;
   }
+  if (q.partitioned() && ShareableGroupAttr(q) == kInvalidAttr) return false;
   for (const auto& preds : q.local_predicates()) {
     if (!preds.empty()) return false;
   }
@@ -45,14 +59,17 @@ Result<std::unique_ptr<HybridMultiEngine>> HybridMultiEngine::Create(
   std::unique_ptr<HybridMultiEngine> engine(new HybridMultiEngine());
   engine->routing_.resize(queries.size());
 
-  // --- Stage 1: shareable queries, grouped by window. ----------------------
-  std::map<Timestamp, std::vector<size_t>> by_window;
+  // --- Stage 1: shareable queries, grouped by (window, group attribute) ---
+  // (the sharing engines require one common window and uniform grouping).
+  std::map<std::pair<Timestamp, AttrId>, std::vector<size_t>> by_window;
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     if (Shareable(queries[qi])) {
-      by_window[queries[qi].window_ms()].push_back(qi);
+      by_window[{queries[qi].window_ms(), ShareableGroupAttr(queries[qi])}]
+          .push_back(qi);
     }
   }
-  for (auto& [window, members] : by_window) {
+  for (auto& [window_key, members] : by_window) {
+    const Timestamp window = window_key.first;
     // Queries sharing a START type with a sibling go to one PreTree.
     std::map<EventTypeId, std::vector<size_t>> by_start;
     for (size_t qi : members) {
@@ -184,6 +201,85 @@ void HybridMultiEngine::OnBatch(std::span<const Event> batch,
   for (const Event& e : batch) ProcessEvent(e, out);
   SumWorkUnits();
   stats_.NoteBatch(batch.size());
+}
+
+std::vector<MultiOutput> HybridMultiEngine::Poll(Timestamp now) {
+  std::vector<MultiOutput> outputs;
+  for (MultiPart& part : multi_parts_) {
+    for (MultiOutput& mo : part.engine->Poll(now)) {
+      mo.query_index = part.global_index[mo.query_index];
+      outputs.push_back(std::move(mo));
+    }
+  }
+  for (SinglePart& part : single_parts_) {
+    for (Output& output : part.engine->Poll(now)) {
+      MultiOutput mo;
+      mo.query_index = part.global_index;
+      mo.output = std::move(output);
+      outputs.push_back(std::move(mo));
+    }
+  }
+  // Parts emit in routing order; the contract is workload-query order
+  // (stable, so per-query group order is preserved).
+  std::stable_sort(outputs.begin(), outputs.end(),
+                   [](const MultiOutput& a, const MultiOutput& b) {
+                     return a.query_index < b.query_index;
+                   });
+  return outputs;
+}
+
+bool HybridMultiEngine::shardable() const {
+  if (multi_parts_.empty() && single_parts_.empty()) return false;
+  for (const MultiPart& part : multi_parts_) {
+    const auto* shardable =
+        dynamic_cast<const MultiShardableEngine*>(part.engine.get());
+    if (shardable == nullptr || !shardable->shardable()) return false;
+  }
+  for (const SinglePart& part : single_parts_) {
+    if (dynamic_cast<const ShardableEngine*>(part.engine.get()) == nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void HybridMultiEngine::SyncPurgeTo(Timestamp now,
+                                    std::span<const size_t> trigger_queries) {
+  // Forward to exactly the parts owning triggered queries, translating
+  // workload indexes to part-local ones (trigger_queries is ascending, so
+  // binary_search decides membership).
+  auto triggered = [&](size_t global) {
+    return std::binary_search(trigger_queries.begin(), trigger_queries.end(),
+                              global);
+  };
+  std::vector<size_t> local;
+  for (MultiPart& part : multi_parts_) {
+    local.clear();
+    for (size_t li = 0; li < part.global_index.size(); ++li) {
+      if (triggered(part.global_index[li])) local.push_back(li);
+    }
+    if (local.empty()) continue;
+    auto* shardable = dynamic_cast<MultiShardableEngine*>(part.engine.get());
+    assert(shardable != nullptr);
+    shardable->SyncPurgeTo(now, local);
+  }
+  for (SinglePart& part : single_parts_) {
+    if (!triggered(part.global_index)) continue;
+    auto* shardable = dynamic_cast<ShardableEngine*>(part.engine.get());
+    assert(shardable != nullptr);
+    shardable->SyncPurgeTo(now);
+  }
+  // Resample the combined live-object total (purges only remove, so the
+  // peak of the sum is unperturbed).
+  int64_t objects = 0;
+  for (const MultiPart& part : multi_parts_) {
+    objects += part.engine->stats().objects.current();
+  }
+  for (const SinglePart& part : single_parts_) {
+    objects += part.engine->stats().objects.current();
+  }
+  stats_.objects.Add(objects - last_objects_);
+  last_objects_ = objects;
 }
 
 Status HybridMultiEngine::Checkpoint(ckpt::Writer* writer) const {

@@ -19,14 +19,17 @@ namespace aseq {
 /// as tools a multi-query optimizer deploys; this engine is that optimizer's
 /// executable form for whole workloads:
 ///
-///  1. queries eligible for sharing (COUNT, positive-only, unpartitioned,
-///     no predicates, windowed) are grouped by window;
-///     * within a window group, queries that share their START type with
+///  1. queries eligible for sharing (COUNT, positive-only, no predicates,
+///     windowed; ungrouped or GROUP BY one attribute) are grouped by
+///     (window, group attribute) — the sharing engines require uniform
+///     grouping;
+///     * within such a group, queries that share their START type with
 ///       at least one other query run in a **PreTree** engine;
 ///     * the rest of the group runs **Chop-Connect** under the greedy
 ///       substring plan when it finds sharing, else unshared A-Seq;
-///  2. remaining A-Seq-able queries (negation, predicates, GROUP BY,
-///     SUM/AVG/MIN/MAX, unbounded windows) run one A-Seq engine each;
+///  2. remaining A-Seq-able queries (negation, predicates, multi-attribute
+///     partitioning, SUM/AVG/MIN/MAX, unbounded windows) run one A-Seq
+///     engine each;
 ///  3. queries with general join predicates fall back to the stack-based
 ///     baseline (the only engine that can evaluate them).
 ///
@@ -36,7 +39,14 @@ namespace aseq {
 /// test as their event-level early-out.
 ///
 /// Output `query_index`es always refer to the original workload order.
-class HybridMultiEngine : public MultiQueryEngine {
+///
+/// Shardability is delegated: the hybrid shards iff every routed part does
+/// (multi parts via MultiShardableEngine::shardable, single parts via the
+/// ShardableEngine cast), and a purge marker forwards to exactly the parts
+/// owning triggered queries — mirroring which parts the serial hybrid
+/// would have purged at that trigger.
+class HybridMultiEngine : public MultiQueryEngine,
+                          public MultiShardableEngine {
  public:
   static Result<std::unique_ptr<HybridMultiEngine>> Create(
       std::vector<CompiledQuery> queries);
@@ -47,6 +57,8 @@ class HybridMultiEngine : public MultiQueryEngine {
   /// event); only the work-unit summation is hoisted per batch.
   void OnBatch(std::span<const Event> batch,
                std::vector<MultiOutput>* out) override;
+  /// Polls every part and orders the results by workload query index.
+  std::vector<MultiOutput> Poll(Timestamp now) override;
   const EngineStats& stats() const override { return stats_; }
   /// Serializes the wrapper's own accounting plus every part's payload
   /// (multi parts, then single parts, in Create()'s deterministic order).
@@ -57,6 +69,14 @@ class HybridMultiEngine : public MultiQueryEngine {
   /// Human-readable routing decisions ("Q1 -> PreTree", ...), one per
   /// workload query, in workload order.
   const std::vector<std::string>& routing() const { return routing_; }
+
+  /// MultiShardableEngine: shards iff every routed part does.
+  bool shardable() const override;
+  void SyncPurgeTo(Timestamp now,
+                   std::span<const size_t> trigger_queries) override;
+  /// The wrapper samples the combined member-engine total once per event.
+  bool objects_sampled_at_boundaries() const override { return true; }
+  EngineStats* shard_mutable_stats() override { return &stats_; }
 
  protected:
   EngineStats* mutable_stats() override { return &stats_; }

@@ -1,5 +1,7 @@
 #include "multi/nonshared_engine.h"
 
+#include <cassert>
+
 #include "aseq/aseq_engine.h"
 #include "baseline/stack_engine.h"
 #include "ckpt/ckpt.h"
@@ -88,6 +90,48 @@ void NonSharedEngine::OnBatch(std::span<const Event> batch,
   for (const Event& e : batch) ProcessEvent(e, out);
   SumWorkUnits();
   stats_.NoteBatch(batch.size());
+}
+
+std::vector<MultiOutput> NonSharedEngine::Poll(Timestamp now) {
+  std::vector<MultiOutput> outputs;
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    for (Output& output : engines_[i]->Poll(now)) {
+      MultiOutput mo;
+      mo.query_index = i;
+      mo.output = std::move(output);
+      outputs.push_back(std::move(mo));
+    }
+  }
+  return outputs;
+}
+
+bool NonSharedEngine::shardable() const {
+  for (const auto& engine : engines_) {
+    if (dynamic_cast<const ShardableEngine*>(engine.get()) == nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void NonSharedEngine::SyncPurgeTo(Timestamp now,
+                                  std::span<const size_t> trigger_queries) {
+  // Forward only to the sub-engines whose queries actually triggered: a
+  // serial sub-engine purges lazily at its *own* trigger events (see
+  // HpcEngine::SyncPurgeTo), never at a sibling's.
+  for (size_t qi : trigger_queries) {
+    auto* shardable = dynamic_cast<ShardableEngine*>(engines_[qi].get());
+    assert(shardable != nullptr);
+    shardable->SyncPurgeTo(now);
+  }
+  // Resample the combined live-object total (the purge only removes, so
+  // the peak of the sum is unperturbed).
+  int64_t objects = 0;
+  for (const auto& engine : engines_) {
+    objects += engine->stats().objects.current();
+  }
+  stats_.objects.Add(objects - last_objects_);
+  last_objects_ = objects;
 }
 
 Status NonSharedEngine::Checkpoint(ckpt::Writer* writer) const {

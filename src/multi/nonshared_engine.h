@@ -21,7 +21,13 @@ namespace aseq {
 /// Admission runs inside the wrapped engines: each carries its own compiled
 /// plan::AdmissionProgram, so every query pays its full per-event admission
 /// cost independently — exactly the redundancy the shared engines remove.
-class NonSharedEngine : public MultiQueryEngine {
+///
+/// Shardability is delegated: the wrapper shards iff every sub-engine is a
+/// ShardableEngine (each query's state hash-partitions independently), and
+/// a purge marker for a set of triggered queries forwards to exactly those
+/// sub-engines — the serial wrapper's sub-engines purge lazily at their own
+/// trigger events, never at siblings'.
+class NonSharedEngine : public MultiQueryEngine, public MultiShardableEngine {
  public:
   /// Wraps pre-built engines (one per query).
   NonSharedEngine(std::vector<std::unique_ptr<QueryEngine>> engines,
@@ -42,6 +48,8 @@ class NonSharedEngine : public MultiQueryEngine {
   /// per-event work-unit summation is hoisted to once per batch.
   void OnBatch(std::span<const Event> batch,
                std::vector<MultiOutput>* out) override;
+  /// Polls every sub-engine in query order.
+  std::vector<MultiOutput> Poll(Timestamp now) override;
   const EngineStats& stats() const override { return stats_; }
   /// Serializes the wrapper's own accounting plus every sub-engine's
   /// payload in query order.
@@ -51,6 +59,14 @@ class NonSharedEngine : public MultiQueryEngine {
 
   QueryEngine* engine(size_t i) { return engines_[i].get(); }
   size_t num_queries() const { return engines_.size(); }
+
+  /// MultiShardableEngine: shards iff every sub-engine does.
+  bool shardable() const override;
+  void SyncPurgeTo(Timestamp now,
+                   std::span<const size_t> trigger_queries) override;
+  /// The wrapper samples the combined sub-engine total once per event.
+  bool objects_sampled_at_boundaries() const override { return true; }
+  EngineStats* shard_mutable_stats() override { return &stats_; }
 
  protected:
   EngineStats* mutable_stats() override { return &stats_; }

@@ -1,0 +1,43 @@
+#include "state/window_clock.h"
+
+namespace aseq {
+namespace state {
+
+void WindowClock::Checkpoint(ckpt::Writer* writer) const {
+  const auto& heap = ckpt::HeapContainer(heap_);
+  writer->WriteU64(heap.size());
+  for (const Entry& entry : heap) {
+    writer->WriteI64(entry.exp);
+    writer->WriteU64(entry.hash);
+    for (uint32_t id : entry.key.ids) writer->WriteU32(id);
+  }
+}
+
+Status WindowClock::Restore(ckpt::Reader* reader, uint32_t interner_size) {
+  heap_ = {};
+  uint64_t n = 0;
+  ASEQ_RETURN_NOT_OK(reader->ReadCount(&n, 48, "expiry heap"));
+  // The array was a valid heap when written, so it is appended without
+  // re-heapify (ckpt::MutableHeapContainer) and pops replay in exactly the
+  // original order.
+  auto& heap = ckpt::MutableHeapContainer(heap_);
+  heap.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Entry entry;
+    ASEQ_RETURN_NOT_OK(reader->ReadI64(&entry.exp, "expiry deadline"));
+    ASEQ_RETURN_NOT_OK(reader->ReadU64(&entry.hash, "expiry key hash"));
+    for (size_t p = 0; p < container::kMaxKeyParts; ++p) {
+      ASEQ_RETURN_NOT_OK(reader->ReadU32(&entry.key.ids[p], "expiry key id"));
+      if (entry.key.ids[p] != container::kNoId &&
+          entry.key.ids[p] >= interner_size) {
+        return Status::ParseError(
+            "snapshot corrupt: expiry key id out of interner range");
+      }
+    }
+    heap.push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+}  // namespace state
+}  // namespace aseq

@@ -11,8 +11,9 @@
 //     partially covered negated roles never seal) — checked against a
 //     hand-replicated KeyInterner.
 //  3. AdmissionProgram::RolesFor yields exactly the dispatch order of the
-//     deprecated role_table.h shim (the regression test that shim is
-//     retained for).
+//     analyzer's role map flattened by EventTypeId (the dense table the
+//     retired query/role_table.h shim used to build) — one lowering, so
+//     dispatch cannot drift between consumers.
 
 #include <gtest/gtest.h>
 
@@ -31,7 +32,6 @@
 #include "plan/admission.h"
 #include "query/analyzer.h"
 #include "query/compiled_query.h"
-#include "query/role_table.h"
 #include "test_util.h"
 
 namespace aseq {
@@ -626,18 +626,26 @@ TEST(AdmissionEquivalence, MissingPartitionAttributeCountsAndRejects) {
 }
 
 // ---------------------------------------------------------------------------
-// 4. Dispatch order: the deprecated role_table.h shim is the reference
+// 4. Dispatch order: the analyzer's role map, flattened, is the reference
 // ---------------------------------------------------------------------------
 
-void ExpectDispatchOrderMatchesShim(const CompiledQuery& q,
-                                    const std::string& text) {
+void ExpectDispatchOrderMatchesRoleMap(const CompiledQuery& q,
+                                       const std::string& text) {
   const AdmissionProgram program(q);
-  const std::vector<const std::vector<Role>*> table = BuildRoleTable(q);
-  // Probe well past the table: RolesFor must be empty exactly where
-  // LookupRoles yields nothing.
+  // The reference: the analyzer's role map flattened into a dense table
+  // indexed by EventTypeId, entries pointing into q's node-stable role
+  // storage — exactly what the retired role_table.h shim built.
+  std::vector<const std::vector<Role>*> table;
+  for (const auto& [type, roles] : q.roles()) {
+    if (type >= table.size()) table.resize(type + 1, nullptr);
+    table[type] = &roles;
+  }
+  // Probe well past the table: RolesFor must be empty exactly where the
+  // role map has no entry.
   const EventTypeId limit = static_cast<EventTypeId>(table.size() + 8);
   for (EventTypeId type = 0; type < limit; ++type) {
-    const std::vector<Role>* roles = LookupRoles(table, type);
+    const std::vector<Role>* roles =
+        type < table.size() ? table[type] : nullptr;
     const auto span = program.RolesFor(type);
     ASSERT_EQ(roles == nullptr ? size_t{0} : roles->size(), span.size())
         << text << " type " << type;
@@ -654,7 +662,7 @@ void ExpectDispatchOrderMatchesShim(const CompiledQuery& q,
   }
 }
 
-TEST(AdmissionEquivalence, DispatchOrderMatchesRoleTableShim) {
+TEST(AdmissionEquivalence, DispatchOrderMatchesRoleMap) {
   // Hand-picked shapes that stress the ordering rules (duplicate types at
   // several positions dispatch in descending position order; negation
   // roles follow positives in ascending gap order).
@@ -668,7 +676,7 @@ TEST(AdmissionEquivalence, DispatchOrderMatchesRoleTableShim) {
   };
   for (const char* text : fixed) {
     Schema schema;
-    ExpectDispatchOrderMatchesShim(MustCompile(&schema, text), text);
+    ExpectDispatchOrderMatchesRoleMap(MustCompile(&schema, text), text);
   }
   // Plus the random pool.
   std::mt19937 rng(271828);
@@ -678,7 +686,7 @@ TEST(AdmissionEquivalence, DispatchOrderMatchesRoleTableShim) {
     Analyzer analyzer(&schema);
     auto compiled = analyzer.AnalyzeText(text);
     ASSERT_TRUE(compiled.ok()) << text;
-    ExpectDispatchOrderMatchesShim(std::move(compiled).value(), text);
+    ExpectDispatchOrderMatchesRoleMap(std::move(compiled).value(), text);
   }
 }
 

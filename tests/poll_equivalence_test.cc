@@ -17,6 +17,11 @@
 #include "baseline/stack_engine.h"
 #include "ckpt/snapshot.h"
 #include "engine/runtime.h"
+#include "multi/chop_connect_engine.h"
+#include "multi/chop_plan.h"
+#include "multi/hybrid_engine.h"
+#include "multi/nonshared_engine.h"
+#include "multi/pretree_engine.h"
 #include "query/analyzer.h"
 #include "stream/stock_stream.h"
 #include "tests/test_util.h"
@@ -197,6 +202,185 @@ TEST(PollEquivalenceTest, StackEngineAfterRestore) {
       &c->schema, "PATTERN SEQ(DELL, IPIX, AMAT) AGG COUNT WITHIN 800ms");
   CheckPollAfterRestore([&cq] { return std::make_unique<StackEngine>(cq); },
                         c->events, "stack-windowed");
+}
+
+// ---------------------------------------------------------------------------
+// Multi-query engines: the same three poll contracts per sharing strategy
+// ---------------------------------------------------------------------------
+
+void ExpectMultiOutputsEqual(const std::vector<MultiOutput>& ref,
+                             const std::vector<MultiOutput>& got,
+                             const std::string& context) {
+  ASSERT_EQ(ref.size(), got.size()) << context;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].query_index, got[i].query_index)
+        << context << " output#" << i;
+    EXPECT_EQ(ref[i].output.ts, got[i].output.ts)
+        << context << " output#" << i;
+    ASSERT_EQ(ref[i].output.group.has_value(), got[i].output.group.has_value())
+        << context << " output#" << i;
+    if (ref[i].output.group.has_value()) {
+      EXPECT_TRUE(ref[i].output.group->Equals(*got[i].output.group))
+          << context << " output#" << i;
+    }
+    EXPECT_TRUE(ref[i].output.value.Equals(got[i].output.value))
+        << context << " output#" << i << ": " << ref[i].output.value.ToString()
+        << " vs " << got[i].output.value.ToString();
+  }
+}
+
+using MultiFactory = std::function<std::unique_ptr<MultiQueryEngine>()>;
+
+/// One factory per sharing strategy (expectation-failing, like
+/// AseqFactory, so the test aborts loudly on a rejected workload).
+MultiFactory MakeMultiFactory(const std::string& strategy,
+                              const std::vector<CompiledQuery>& queries) {
+  if (strategy == "cc") {
+    return [&queries]() -> std::unique_ptr<MultiQueryEngine> {
+      auto e = ChopConnectEngine::Create(queries, PlanChopConnect(queries));
+      EXPECT_TRUE(e.ok()) << e.status().ToString();
+      return std::move(e).value();
+    };
+  }
+  if (strategy == "pretree") {
+    return [&queries]() -> std::unique_ptr<MultiQueryEngine> {
+      auto e = PreTreeEngine::Create(queries);
+      EXPECT_TRUE(e.ok()) << e.status().ToString();
+      return std::move(e).value();
+    };
+  }
+  if (strategy == "hybrid") {
+    return [&queries]() -> std::unique_ptr<MultiQueryEngine> {
+      auto e = HybridMultiEngine::Create(queries);
+      EXPECT_TRUE(e.ok()) << e.status().ToString();
+      return std::move(e).value();
+    };
+  }
+  EXPECT_EQ(strategy, "nonshare") << "unknown strategy";
+  return [&queries]() -> std::unique_ptr<MultiQueryEngine> {
+    auto e = NonSharedEngine::CreateAseq(queries);
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return std::move(e).value();
+  };
+}
+
+/// CheckPoll over a whole workload: mid-stream polls must match a fresh
+/// engine fed the same prefix, and must not perturb the stream outputs.
+void CheckMultiPoll(const MultiFactory& factory,
+                    const std::vector<Event>& events,
+                    const std::string& label) {
+  auto ref_engine = factory();
+  MultiRunResult ref = Runtime::RunMultiEvents(events, ref_engine.get());
+  ASSERT_GT(ref.outputs.size(), 0u) << label << ": vacuous workload";
+
+  auto engine = factory();
+  std::vector<MultiOutput> outputs;
+  std::vector<MultiOutput> scratch;
+  std::vector<size_t> poll_at = PollOffsets(events.size());
+  size_t next_poll = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    scratch.clear();
+    engine->OnEvent(events[i], &scratch);
+    outputs.insert(outputs.end(), scratch.begin(), scratch.end());
+    if (next_poll < poll_at.size() && i + 1 == poll_at[next_poll]) {
+      ++next_poll;
+      const Timestamp now = events[i].ts();
+      const std::string context = label + " poll@" + std::to_string(i + 1);
+      std::vector<MultiOutput> polled = engine->Poll(now);
+
+      auto fresh = factory();
+      std::vector<MultiOutput> sink;
+      for (size_t j = 0; j <= i; ++j) fresh->OnEvent(events[j], &sink);
+      ExpectMultiOutputsEqual(fresh->Poll(now), polled, context);
+    }
+  }
+  ExpectMultiOutputsEqual(ref.outputs, outputs, label + " post-poll outputs");
+}
+
+/// CheckPollAfterRestore over a whole workload, via the multi-query
+/// snapshot container.
+void CheckMultiPollAfterRestore(const MultiFactory& factory,
+                                const std::vector<Event>& events,
+                                const std::string& label) {
+  const size_t kill = events.size() / 2;
+  auto engine = factory();
+  std::vector<MultiOutput> sink;
+  for (size_t i = 0; i < kill; ++i) engine->OnEvent(events[i], &sink);
+
+  const std::string path =
+      ::testing::TempDir() + "/poll-equiv-" + label + ".aseqckpt";
+  ASSERT_TRUE(ckpt::SaveMultiSnapshot(path, *engine, kill).ok()) << label;
+  auto twin = factory();
+  uint64_t offset = 0;
+  Status restored = ckpt::RestoreMultiSnapshot(path, twin.get(), &offset);
+  ASSERT_TRUE(restored.ok()) << label << ": " << restored.ToString();
+  ASSERT_EQ(offset, kill) << label;
+  std::remove(path.c_str());
+
+  const Timestamp now = events[kill - 1].ts();
+  ExpectMultiOutputsEqual(engine->Poll(now), twin->Poll(now),
+                          label + " poll-after-restore");
+  ExpectMultiOutputsEqual(engine->Poll(now + 500), twin->Poll(now + 500),
+                          label + " poll-after-restore+500ms");
+}
+
+/// A workload every sharing strategy accepts: positive-only COUNT
+/// patterns, one shared window, one shared GROUP BY attribute.
+const std::vector<std::string>& SharedWorkloadTexts() {
+  static const std::vector<std::string> kTexts = {
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms",
+      "PATTERN SEQ(DELL, IPIX, AMAT) GROUP BY traderId AGG COUNT "
+      "WITHIN 800ms",
+      "PATTERN SEQ(IPIX, DELL) GROUP BY traderId AGG COUNT WITHIN 800ms",
+  };
+  return kTexts;
+}
+
+std::vector<CompiledQuery> CompileSharedWorkload(Schema* schema) {
+  std::vector<CompiledQuery> queries;
+  for (const std::string& text : SharedWorkloadTexts()) {
+    queries.push_back(MustCompile(schema, text));
+  }
+  return queries;
+}
+
+const char* const kSharingStrategies[] = {"cc", "pretree", "hybrid",
+                                          "nonshare"};
+
+TEST(PollEquivalenceTest, MultiEnginesMidStream) {
+  auto c = MakeStock(225, 1200);
+  std::vector<CompiledQuery> queries = CompileSharedWorkload(&c->schema);
+  for (const char* strategy : kSharingStrategies) {
+    CheckMultiPoll(MakeMultiFactory(strategy, queries), c->events,
+                   std::string("multi-") + strategy);
+  }
+}
+
+TEST(PollEquivalenceTest, MultiEnginesAfterRestore) {
+  auto c = MakeStock(226, 1200);
+  std::vector<CompiledQuery> queries = CompileSharedWorkload(&c->schema);
+  for (const char* strategy : kSharingStrategies) {
+    CheckMultiPollAfterRestore(MakeMultiFactory(strategy, queries), c->events,
+                               std::string("multi-restore-") + strategy);
+  }
+}
+
+TEST(PollEquivalenceTest, MultiNegationMixMidStream) {
+  // Negation routes through the hybrid's per-query parts; polling must
+  // still interleave all queries' results in workload order.
+  auto c = MakeStock(227, 1200);
+  std::vector<CompiledQuery> queries;
+  queries.push_back(MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms"));
+  queries.push_back(MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, !QQQ, AMAT) GROUP BY traderId AGG COUNT "
+      "WITHIN 800ms"));
+  CheckMultiPoll(MakeMultiFactory("hybrid", queries), c->events,
+                 "multi-negation-hybrid");
+  CheckMultiPoll(MakeMultiFactory("nonshare", queries), c->events,
+                 "multi-negation-nonshare");
 }
 
 }  // namespace

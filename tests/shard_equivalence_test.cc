@@ -11,8 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
+#include <iterator>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -20,7 +23,13 @@
 #include "baseline/stack_engine.h"
 #include "engine/runtime.h"
 #include "exec/execution_policy.h"
+#include "exec/multi_execution_policy.h"
 #include "exec/shard_router.h"
+#include "multi/chop_connect_engine.h"
+#include "multi/chop_plan.h"
+#include "multi/hybrid_engine.h"
+#include "multi/nonshared_engine.h"
+#include "multi/pretree_engine.h"
 #include "query/analyzer.h"
 #include "stream/stock_stream.h"
 #include "tests/test_util.h"
@@ -320,6 +329,305 @@ TEST(ShardFallbackTest, PlanShardingReportsShardable) {
       &schema,
       "PATTERN SEQ(A, B) GROUP BY ip AGG COUNT WITHIN 10s");
   exec::ShardPlan plan = exec::PlanSharding(cq);
+  EXPECT_TRUE(plan.shardable) << plan.reason;
+  EXPECT_TRUE(plan.reason.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-query workloads: the sharding engines on the same executor
+// ---------------------------------------------------------------------------
+//
+// The multi-query sharded executor (exec::MultiShardedExecutor behind
+// exec::MakeMultiPolicy) must match the serial sharing engine bit-exact:
+// the same query-tagged outputs in the same global order, and identical
+// merged EngineStats including the live-object peak, for every sharing
+// strategy, shard count, and ingestion batch size.
+
+void ExpectMultiOutputsEqual(const std::vector<MultiOutput>& ref,
+                             const std::vector<MultiOutput>& got,
+                             const std::string& context) {
+  ASSERT_EQ(ref.size(), got.size()) << context;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].query_index, got[i].query_index)
+        << context << " output#" << i;
+    ExpectOutputEqual(ref[i].output, got[i].output, i, context);
+  }
+}
+
+std::vector<CompiledQuery> MustCompileAll(
+    Schema* schema, const std::vector<std::string>& texts) {
+  std::vector<CompiledQuery> queries;
+  queries.reserve(texts.size());
+  for (const std::string& text : texts) {
+    queries.push_back(MustCompile(schema, text));
+  }
+  return queries;
+}
+
+/// One factory per sharing strategy, closing over the workload by
+/// reference (the workload outlives every policy built from it).
+exec::MultiEngineFactory MultiFactory(
+    const std::string& strategy, const std::vector<CompiledQuery>& queries) {
+  if (strategy == "cc") {
+    return [&queries]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+      ASEQ_ASSIGN_OR_RETURN(
+          auto e, ChopConnectEngine::Create(queries, PlanChopConnect(queries)));
+      return std::unique_ptr<MultiQueryEngine>(std::move(e));
+    };
+  }
+  if (strategy == "pretree") {
+    return [&queries]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+      ASEQ_ASSIGN_OR_RETURN(auto e, PreTreeEngine::Create(queries));
+      return std::unique_ptr<MultiQueryEngine>(std::move(e));
+    };
+  }
+  if (strategy == "hybrid") {
+    return [&queries]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+      ASEQ_ASSIGN_OR_RETURN(auto e, HybridMultiEngine::Create(queries));
+      return std::unique_ptr<MultiQueryEngine>(std::move(e));
+    };
+  }
+  EXPECT_EQ(strategy, "nonshare") << "unknown strategy";
+  return [&queries]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+    ASEQ_ASSIGN_OR_RETURN(auto e, NonSharedEngine::CreateAseq(queries));
+    return std::unique_ptr<MultiQueryEngine>(std::move(e));
+  };
+}
+
+/// Sharded-vs-serial check for one workload and one sharing strategy:
+/// a per-event serial run pins the canonical output sequence; for every
+/// batch size a serial *policy* run (same OnBatch slicing as the shards
+/// use) pins the stats reference; every shard count must reproduce both.
+void CheckMultiSharded(const std::vector<CompiledQuery>& queries,
+                       const std::vector<Event>& events,
+                       const std::string& strategy, const std::string& label) {
+  exec::MultiEngineFactory factory = MultiFactory(strategy, queries);
+
+  auto ref_engine_or = factory();
+  ASSERT_TRUE(ref_engine_or.ok())
+      << label << ": " << ref_engine_or.status().ToString();
+  std::unique_ptr<MultiQueryEngine> ref_engine =
+      std::move(ref_engine_or).value();
+  MultiRunResult ref = Runtime::RunMultiEvents(events, ref_engine.get());
+  ASSERT_GT(ref.outputs.size(), 0u) << label << ": vacuous workload";
+
+  for (size_t batch : kBatchSizes) {
+    RunOptions serial_options;
+    serial_options.num_shards = 1;
+    serial_options.batch_size = batch;
+    auto serial = exec::MakeMultiPolicy(queries, factory, serial_options);
+    ASSERT_TRUE(serial.ok()) << label << ": " << serial.status().ToString();
+    MultiRunResult serial_run = (*serial)->RunEvents(events);
+    ExpectMultiOutputsEqual(ref.outputs, serial_run.outputs,
+                            label + " serial batch=" + std::to_string(batch));
+
+    for (size_t shards : kShardCounts) {
+      const std::string context = label + " shards=" + std::to_string(shards) +
+                                  " batch=" + std::to_string(batch);
+      RunOptions options;
+      options.num_shards = shards;
+      options.batch_size = batch;
+      std::string reason;
+      auto policy = exec::MakeMultiPolicy(queries, factory, options, &reason);
+      ASSERT_TRUE(policy.ok()) << context << ": " << policy.status().ToString();
+      ASSERT_TRUE(reason.empty()) << context << ": fell back: " << reason;
+      ASSERT_EQ((*policy)->num_shards(), shards) << context;
+
+      MultiRunResult got = (*policy)->RunEvents(events);
+      ExpectMultiOutputsEqual(ref.outputs, got.outputs, context);
+      ExpectStatsEqual((*serial)->stats(), (*policy)->stats(), context);
+
+      uint64_t shard_events = 0;
+      for (const EngineStats& s : (*policy)->shard_stats()) {
+        shard_events += s.events_processed;
+      }
+      EXPECT_EQ(shard_events, (*serial)->stats().events_processed) << context;
+    }
+  }
+}
+
+const char* const kSharingStrategies[] = {"cc", "pretree", "hybrid",
+                                          "nonshare"};
+
+/// Draws a random workload every sharing engine accepts: 2–4 distinct
+/// positive COUNT patterns over one shared window, all GROUP BY traderId
+/// (Chop-Connect and PreTree reject anything wider, per the paper's
+/// multi-query scope).
+std::vector<std::string> RandomSharedWorkload(std::mt19937* rng) {
+  // Chop-Connect requires distinct event types per pattern, so the pool
+  // stays repeat-free — every strategy then accepts every draw.
+  static const char* const kPatterns[] = {
+      "SEQ(DELL, IPIX)",       "SEQ(DELL, QQQ, IPIX)",
+      "SEQ(IPIX, DELL)",       "SEQ(DELL, IPIX, AMAT)",
+      "SEQ(AMAT, DELL)",       "SEQ(IPIX, AMAT)",
+      "SEQ(AMAT, IPIX, DELL)", "SEQ(DELL, AMAT)",
+  };
+  static const int kWindows[] = {600, 800, 1000};
+  std::vector<size_t> picks(std::size(kPatterns));
+  for (size_t i = 0; i < picks.size(); ++i) picks[i] = i;
+  std::shuffle(picks.begin(), picks.end(), *rng);
+  const size_t n = 2 + (*rng)() % 3;
+  const int window = kWindows[(*rng)() % std::size(kWindows)];
+  std::vector<std::string> texts;
+  for (size_t i = 0; i < n; ++i) {
+    texts.push_back("PATTERN " + std::string(kPatterns[picks[i]]) +
+                    " GROUP BY traderId AGG COUNT WITHIN " +
+                    std::to_string(window) + "ms");
+  }
+  return texts;
+}
+
+/// The randomized matrix: the same drawn workloads run through every
+/// sharing strategy, so a drift in any one engine's sharded path shows up
+/// against the same canonical streams.
+void CheckMultiRandomized(const std::string& strategy) {
+  std::mt19937 rng(20260807);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<std::string> texts = RandomSharedWorkload(&rng);
+    auto c = MakeStock(500 + static_cast<uint64_t>(trial), 2000);
+    std::vector<CompiledQuery> queries = MustCompileAll(&c->schema, texts);
+    CheckMultiSharded(queries, c->events, strategy,
+                      strategy + "-trial" + std::to_string(trial));
+  }
+}
+
+TEST(MultiShardEquivalenceTest, RandomizedChopConnect) {
+  CheckMultiRandomized("cc");
+}
+
+TEST(MultiShardEquivalenceTest, RandomizedPreTree) {
+  CheckMultiRandomized("pretree");
+}
+
+TEST(MultiShardEquivalenceTest, RandomizedHybrid) {
+  CheckMultiRandomized("hybrid");
+}
+
+TEST(MultiShardEquivalenceTest, RandomizedNonShare) {
+  CheckMultiRandomized("nonshare");
+}
+
+TEST(MultiShardEquivalenceTest, PrefixHeavyWorkload) {
+  // Maximal prefix overlap: every query is a prefix of the longest one,
+  // the shape PreTree's trie and Chop-Connect's segment sharing both
+  // collapse hardest.
+  auto c = MakeStock(510, 2500);
+  std::vector<CompiledQuery> queries = MustCompileAll(
+      &c->schema,
+      {"PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms",
+       "PATTERN SEQ(DELL, IPIX, AMAT) GROUP BY traderId AGG COUNT "
+       "WITHIN 800ms",
+       "PATTERN SEQ(DELL, IPIX, AMAT, QQQ) GROUP BY traderId AGG COUNT "
+       "WITHIN 800ms"});
+  for (const char* strategy : kSharingStrategies) {
+    CheckMultiSharded(queries, c->events, strategy,
+                      std::string("prefix-heavy-") + strategy);
+  }
+}
+
+TEST(MultiShardEquivalenceTest, NegationWorkloadHybridAndNonShare) {
+  // Negation is outside Chop-Connect/PreTree scope; the hybrid routes
+  // such queries to per-query engines and must still shard the whole mix.
+  auto c = MakeStock(511, 2500);
+  std::vector<CompiledQuery> queries = MustCompileAll(
+      &c->schema,
+      {"PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms",
+       "PATTERN SEQ(DELL, !QQQ, AMAT) GROUP BY traderId AGG COUNT "
+       "WITHIN 800ms",
+       "PATTERN SEQ(IPIX, DELL) GROUP BY traderId AGG COUNT WITHIN 600ms"});
+  CheckMultiSharded(queries, c->events, "hybrid", "negation-hybrid");
+  CheckMultiSharded(queries, c->events, "nonshare", "negation-nonshare");
+}
+
+TEST(MultiShardEquivalenceTest, SingleQueryWorkload) {
+  // The one-query degenerate case must behave exactly like the
+  // single-query sharded path.
+  auto c = MakeStock(512, 2000);
+  std::vector<CompiledQuery> queries = MustCompileAll(
+      &c->schema,
+      {"PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms"});
+  for (const char* strategy : kSharingStrategies) {
+    CheckMultiSharded(queries, c->events, strategy,
+                      std::string("single-") + strategy);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-query fallback matrix
+// ---------------------------------------------------------------------------
+
+/// Expects MakeMultiPolicy to refuse sharding (falling back to a serial
+/// policy) with `reason_substr` in the stated reason — and the serial
+/// answer to still match the per-event reference.
+void CheckMultiFallback(const std::vector<CompiledQuery>& queries,
+                        const exec::MultiEngineFactory& factory,
+                        const std::vector<Event>& events,
+                        const std::string& reason_substr,
+                        const std::string& label) {
+  RunOptions options;
+  options.num_shards = 4;
+  std::string reason;
+  auto policy = exec::MakeMultiPolicy(queries, factory, options, &reason);
+  ASSERT_TRUE(policy.ok()) << label << ": " << policy.status().ToString();
+  EXPECT_EQ((*policy)->num_shards(), 1u) << label;
+  EXPECT_NE(reason.find(reason_substr), std::string::npos)
+      << label << ": reason was '" << reason << "'";
+
+  auto ref_engine_or = factory();
+  ASSERT_TRUE(ref_engine_or.ok()) << label;
+  std::unique_ptr<MultiQueryEngine> ref_engine =
+      std::move(ref_engine_or).value();
+  MultiRunResult ref = Runtime::RunMultiEvents(events, ref_engine.get());
+  MultiRunResult got = (*policy)->RunEvents(events);
+  ExpectMultiOutputsEqual(ref.outputs, got.outputs, label);
+}
+
+TEST(MultiShardFallbackTest, UngroupedQueryInWorkload) {
+  auto c = MakeStock(520, 1500);
+  std::vector<CompiledQuery> queries = MustCompileAll(
+      &c->schema,
+      {"PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms",
+       "PATTERN SEQ(IPIX, DELL) AGG COUNT WITHIN 800ms"});
+  CheckMultiFallback(queries, MultiFactory("nonshare", queries), c->events,
+                     "query 1", "ungrouped-query");
+}
+
+TEST(MultiShardFallbackTest, DifferentGroupAttributes) {
+  // Each query shards alone, but one event cannot land on both queries'
+  // owner shards at once — the workload must run serially.
+  auto c = MakeStock(521, 1500);
+  std::vector<CompiledQuery> queries = MustCompileAll(
+      &c->schema,
+      {"PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms",
+       "PATTERN SEQ(IPIX, DELL) GROUP BY volume AGG COUNT WITHIN 800ms"});
+  CheckMultiFallback(queries, MultiFactory("nonshare", queries), c->events,
+                     "different attributes", "group-attr-mismatch");
+}
+
+TEST(MultiShardFallbackTest, UnshardableEngine) {
+  // The workload shards, but the stack-based sub-engines have no
+  // partitioned state to split.
+  auto c = MakeStock(522, 1500);
+  std::vector<CompiledQuery> queries = MustCompileAll(
+      &c->schema,
+      {"PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms",
+       "PATTERN SEQ(IPIX, DELL) GROUP BY traderId AGG COUNT WITHIN 800ms"});
+  exec::MultiEngineFactory factory =
+      [&queries]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+    return std::unique_ptr<MultiQueryEngine>(
+        NonSharedEngine::CreateStackBased(queries));
+  };
+  CheckMultiFallback(queries, factory, c->events, "does not support sharding",
+                     "stack-workload");
+}
+
+TEST(MultiShardFallbackTest, PlanMultiShardingReportsShardable) {
+  Schema schema;
+  std::vector<CompiledQuery> queries = MustCompileAll(
+      &schema,
+      {"PATTERN SEQ(A, B) GROUP BY ip AGG COUNT WITHIN 10s",
+       "PATTERN SEQ(B, A) GROUP BY ip AGG COUNT WITHIN 10s"});
+  exec::MultiShardPlan plan = exec::PlanMultiSharding(queries);
   EXPECT_TRUE(plan.shardable) << plan.reason;
   EXPECT_TRUE(plan.reason.empty());
 }

@@ -17,7 +17,13 @@
 #include "ckpt/snapshot.h"
 #include "engine/runtime.h"
 #include "exec/execution_policy.h"
+#include "exec/multi_execution_policy.h"
 #include "fault/fault.h"
+#include "multi/chop_connect_engine.h"
+#include "multi/chop_plan.h"
+#include "multi/hybrid_engine.h"
+#include "multi/nonshared_engine.h"
+#include "multi/pretree_engine.h"
 #include "query/analyzer.h"
 #include "stream/stock_stream.h"
 #include "tests/test_util.h"
@@ -202,6 +208,197 @@ TEST(ShardRecoveryTest, CheckpointWithBackloggedQueues) {
   CheckShardedRecovery(
       "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms",
       "backlog", "worker.op@0:1:slow:2000,worker.op@1:1:slow:2000");
+}
+
+// ---------------------------------------------------------------------------
+// Multi-query workloads: the kill/restore matrix over sharding engines
+// ---------------------------------------------------------------------------
+
+void ExpectMultiOutputsEqual(const std::vector<MultiOutput>& ref,
+                             const std::vector<MultiOutput>& got,
+                             const std::string& context) {
+  ASSERT_EQ(ref.size(), got.size()) << context;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].query_index, got[i].query_index)
+        << context << " output#" << i;
+    EXPECT_EQ(ref[i].output.ts, got[i].output.ts)
+        << context << " output#" << i;
+    EXPECT_EQ(ref[i].output.seq, got[i].output.seq)
+        << context << " output#" << i;
+    ASSERT_EQ(ref[i].output.group.has_value(), got[i].output.group.has_value())
+        << context << " output#" << i;
+    if (ref[i].output.group.has_value()) {
+      EXPECT_TRUE(ref[i].output.group->Equals(*got[i].output.group))
+          << context << " output#" << i;
+    }
+    EXPECT_TRUE(ref[i].output.value.Equals(got[i].output.value))
+        << context << " output#" << i << ": " << ref[i].output.value.ToString()
+        << " vs " << got[i].output.value.ToString();
+  }
+}
+
+/// One factory per sharing strategy over a workload every strategy
+/// accepts (positive-only COUNT, shared window, shared GROUP BY).
+exec::MultiEngineFactory MultiFactory(
+    const std::string& strategy, const std::vector<CompiledQuery>& queries) {
+  if (strategy == "cc") {
+    return [&queries]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+      ASEQ_ASSIGN_OR_RETURN(
+          auto e, ChopConnectEngine::Create(queries, PlanChopConnect(queries)));
+      return std::unique_ptr<MultiQueryEngine>(std::move(e));
+    };
+  }
+  if (strategy == "pretree") {
+    return [&queries]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+      ASEQ_ASSIGN_OR_RETURN(auto e, PreTreeEngine::Create(queries));
+      return std::unique_ptr<MultiQueryEngine>(std::move(e));
+    };
+  }
+  if (strategy == "hybrid") {
+    return [&queries]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+      ASEQ_ASSIGN_OR_RETURN(auto e, HybridMultiEngine::Create(queries));
+      return std::unique_ptr<MultiQueryEngine>(std::move(e));
+    };
+  }
+  EXPECT_EQ(strategy, "nonshare") << "unknown strategy";
+  return [&queries]() -> Result<std::unique_ptr<MultiQueryEngine>> {
+    ASEQ_ASSIGN_OR_RETURN(auto e, NonSharedEngine::CreateAseq(queries));
+    return std::unique_ptr<MultiQueryEngine>(std::move(e));
+  };
+}
+
+std::unique_ptr<exec::MultiExecutionPolicy> MustMakeMultiSharded(
+    const std::vector<CompiledQuery>& queries,
+    const exec::MultiEngineFactory& factory, const RunOptions& options) {
+  std::string reason;
+  auto policy = exec::MakeMultiPolicy(queries, factory, options, &reason);
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+  EXPECT_TRUE(reason.empty()) << reason;
+  EXPECT_EQ((*policy)->num_shards(), options.num_shards);
+  return std::move(policy).value();
+}
+
+/// CheckShardedRecovery over a whole workload: run the sharded sharing
+/// engine with periodic checkpoints, then restore a freshly built sharded
+/// policy from every snapshot written and require (prefix + tail) outputs
+/// and final merged stats to equal the uninterrupted serial reference.
+void CheckMultiShardedRecovery(const std::string& strategy,
+                               const std::string& label) {
+  auto c = MakeStock(421, 3000);
+  std::vector<CompiledQuery> queries;
+  for (const char* text :
+       {"PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms",
+        "PATTERN SEQ(DELL, IPIX, AMAT) GROUP BY traderId AGG COUNT "
+        "WITHIN 800ms",
+        "PATTERN SEQ(IPIX, DELL) GROUP BY traderId AGG COUNT WITHIN 800ms"}) {
+    queries.push_back(MustCompile(&c->schema, text));
+  }
+  exec::MultiEngineFactory factory = MultiFactory(strategy, queries);
+
+  // Serial uninterrupted reference.
+  auto ref_engine_or = factory();
+  ASSERT_TRUE(ref_engine_or.ok())
+      << label << ": " << ref_engine_or.status().ToString();
+  std::unique_ptr<MultiQueryEngine> ref_engine =
+      std::move(ref_engine_or).value();
+  MultiRunResult ref = Runtime::RunMultiEvents(c->events, ref_engine.get());
+  ASSERT_GT(ref.outputs.size(), 0u) << label << ": vacuous workload";
+
+  // Sharded run with periodic checkpoints.
+  const std::string dir = FreshDir("multi-shard-recovery-" + label);
+  RunOptions options;
+  options.num_shards = kShards;
+  options.batch_size = kBatchSize;
+  options.checkpoint_every = kCheckpointEvery;
+  options.checkpoint_dir = dir;
+  auto full = MustMakeMultiSharded(queries, factory, options);
+  MultiRunResult full_run = full->RunEvents(c->events);
+  ASSERT_TRUE(full_run.checkpoint_status.ok())
+      << full_run.checkpoint_status.ToString();
+  ASSERT_GT(full_run.checkpoints_written, 2u) << label;
+  ExpectMultiOutputsEqual(ref.outputs, full_run.outputs,
+                          label + " full-sharded");
+
+  std::vector<std::string> snapshots;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    snapshots.push_back(entry.path().string());
+  }
+  std::sort(snapshots.begin(), snapshots.end());
+  ASSERT_EQ(snapshots.size(), full_run.checkpoints_written) << label;
+
+  for (const std::string& snapshot : snapshots) {
+    const std::string context = label + " restore@" + snapshot;
+    RunOptions tail_options;
+    tail_options.num_shards = kShards;
+    tail_options.batch_size = kBatchSize;
+    auto resumed = MustMakeMultiSharded(queries, factory, tail_options);
+    uint64_t offset = 0;
+    Status restored = resumed->Restore(snapshot, &offset);
+    ASSERT_TRUE(restored.ok()) << context << ": " << restored.ToString();
+    ASSERT_LE(offset, c->events.size()) << context;
+
+    std::vector<Event> tail(c->events.begin() + static_cast<ptrdiff_t>(offset),
+                            c->events.end());
+    MultiRunResult tail_run = resumed->RunEvents(tail);
+
+    std::vector<MultiOutput> combined;
+    for (const MultiOutput& o : ref.outputs) {
+      if (o.output.seq < offset) combined.push_back(o);
+    }
+    const size_t prefix_count = combined.size();
+    combined.insert(combined.end(), tail_run.outputs.begin(),
+                    tail_run.outputs.end());
+    if (offset < c->events.size()) {
+      EXPECT_GT(tail_run.outputs.size(), 0u) << context;
+    }
+    EXPECT_GT(prefix_count, 0u) << context;
+    ExpectMultiOutputsEqual(ref.outputs, combined, context);
+    ExpectStatsEqual(ref_engine->stats(), resumed->stats(), context);
+  }
+}
+
+TEST(ShardRecoveryTest, MultiChopConnect) {
+  CheckMultiShardedRecovery("cc", "multi-cc");
+}
+
+TEST(ShardRecoveryTest, MultiPreTree) {
+  CheckMultiShardedRecovery("pretree", "multi-pretree");
+}
+
+TEST(ShardRecoveryTest, MultiHybrid) {
+  CheckMultiShardedRecovery("hybrid", "multi-hybrid");
+}
+
+TEST(ShardRecoveryTest, MultiNonShare) {
+  CheckMultiShardedRecovery("nonshare", "multi-nonshare");
+}
+
+TEST(ShardRecoveryTest, MultiSerialSnapshotRejectedBySharded) {
+  // A serial multi-query snapshot must not restore into the sharded
+  // container (and vice versa the name check catches it up front).
+  auto c = MakeStock(422, 1500);
+  std::vector<CompiledQuery> queries;
+  queries.push_back(MustCompile(
+      &c->schema,
+      "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms"));
+  exec::MultiEngineFactory factory = MultiFactory("pretree", queries);
+  auto engine_or = factory();
+  ASSERT_TRUE(engine_or.ok());
+  std::unique_ptr<MultiQueryEngine> engine = std::move(engine_or).value();
+  Runtime::RunMultiEvents(c->events, engine.get());
+  const std::string path =
+      ::testing::TempDir() + "/multi-shard-recovery-serial.aseqckpt";
+  ASSERT_TRUE(ckpt::SaveMultiSnapshot(path, *engine, c->events.size()).ok());
+
+  RunOptions options;
+  options.num_shards = kShards;
+  auto resumed = MustMakeMultiSharded(queries, factory, options);
+  uint64_t offset = 0;
+  Status restored = resumed->Restore(path, &offset);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.ToString().find("Sharded["), std::string::npos)
+      << restored.ToString();
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------
