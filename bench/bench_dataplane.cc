@@ -1,0 +1,431 @@
+// Dataplane dispatch gauge: the sharded executor's coordinator→worker
+// handoff protocol, before (PR 7: mutex + condition_variable + deque per
+// lane) vs after (SPSC ring + parked-flag wake, exec/spsc_ring.h,
+// docs/internals.md §16).
+//
+// The container CI runs on has one core, so a threaded throughput number
+// would only measure the scheduler. Instead the gauge replays the exact
+// per-publication synchronization sequence of each dataplane single-
+// threaded and deterministic — same item payloads, same burst/drain
+// cadence, same free-list recycling — so the measured delta is purely the
+// protocol cost (lock/notify/deque vs two acquire-release atomics):
+//
+//   dispatch_mutex — faithful replica of the PR 7 lane: push takes the
+//                    lane mutex, re-checks capacity under it, mirrors the
+//                    depth atomic, notify_all()s; pop takes the mutex,
+//                    recycles the drained vector under it, notify_all()s
+//   dispatch_ring  — the live protocol: SpscRing TryPush/TryPop plus the
+//                    parked-flag wake check, free vectors recycled over
+//                    the reverse ring
+//   sharded_e2e    — the real 8-shard executor end-to-end on the grouped
+//                    workload (wall + critical-path throughput). On a
+//                    single-core host wall time measures coordination
+//                    overhead, so this entry is informative, not gated.
+//
+// Gate (CI perf smoke, --check): dispatch_ring must stay >= 1.2x
+// dispatch_mutex (the PR's acceptance ratio), and the dispatch_* entries
+// must not regress more than --tolerance vs the committed
+// BENCH_dataplane.json. sharded_e2e is written but never checked — its
+// wall time on a shared single-core runner is scheduler noise.
+//
+// Usage:
+//   bench_dataplane [--quick] [--reps N] [--warmup N] [--only WORKLOAD]
+//                   [--out FILE] [--label NAME]
+//                   [--check BENCH_dataplane.json] [--tolerance 0.2]
+//
+// --out writes flat JSON entries keyed "<mode>/<label>/<workload>" with an
+// "events_per_sec" field (one event = one dispatched op), the same format
+// the other perf-smoke gauges commit.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "aseq/aseq_engine.h"
+#include "bench/bench_util.h"
+#include "exec/execution_policy.h"
+#include "exec/spsc_ring.h"
+#include "metrics/metrics.h"
+#include "query/analyzer.h"
+
+namespace aseq {
+namespace bench {
+namespace {
+
+/// Mirrors the executor's LaneItem: a tag plus a batch of ops (the op
+/// payload is a stand-in of the same shape; the protocols move it, never
+/// copy it).
+struct Item {
+  uint64_t tag = 0;
+  std::vector<uint64_t> ops;
+};
+
+constexpr size_t kLanes = 8;          // the acceptance point: 8 shards
+constexpr size_t kCapacity = 16;      // shard_detail::kMaxQueuedItems
+constexpr size_t kBurst = 12;         // the default overload watermark
+constexpr size_t kOpsPerItem = 8;     // ops per publication
+
+/// PR 7 lane replica: every push and every pop is a mutex round-trip with
+/// a capacity/empty re-check under the lock, a depth-mirror store, and a
+/// notify_all — exactly what the executor did per publication before the
+/// ring dataplane.
+struct MutexLane {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Item> queue;
+  std::vector<std::vector<uint64_t>> free_ops;
+  std::atomic<size_t> depth{0};
+};
+
+double MutexPass(size_t rounds) {
+  std::vector<MutexLane> lanes(kLanes);
+  Item item;
+  StopWatch watch;
+  for (size_t r = 0; r < rounds; ++r) {
+    for (auto& lane : lanes) {
+      for (size_t b = 0; b < kBurst; ++b) {
+        item.tag = r;
+        {
+          std::unique_lock<std::mutex> lk(lane.mu);
+          lane.cv.wait(lk, [&] { return lane.queue.size() < kCapacity; });
+          if (!lane.free_ops.empty()) {
+            item.ops = std::move(lane.free_ops.back());
+            lane.free_ops.pop_back();
+          }
+          item.ops.resize(kOpsPerItem, r);
+          lane.queue.push_back(std::move(item));
+          lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
+        }
+        lane.cv.notify_all();
+      }
+    }
+    for (auto& lane : lanes) {
+      for (size_t b = 0; b < kBurst; ++b) {
+        {
+          std::unique_lock<std::mutex> lk(lane.mu);
+          lane.cv.wait(lk, [&] { return !lane.queue.empty(); });
+          item = std::move(lane.queue.front());
+          lane.queue.pop_front();
+          lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
+          item.ops.clear();
+          lane.free_ops.push_back(std::move(item.ops));
+        }
+        lane.cv.notify_all();
+      }
+    }
+  }
+  return watch.ElapsedSeconds();
+}
+
+/// The live protocol: ring push/pop plus the parked-flag wake check
+/// (nobody is ever parked here, which is also the live fast path).
+struct RingLane {
+  exec::SpscRing<Item> ring{kCapacity};
+  exec::SpscRing<std::vector<uint64_t>> free_ring{kCapacity};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<bool> consumer_parked{false};
+  std::atomic<bool> producer_parked{false};
+};
+
+double RingPass(size_t rounds) {
+  std::vector<RingLane> lanes(kLanes);
+  Item item;
+  StopWatch watch;
+  for (size_t r = 0; r < rounds; ++r) {
+    for (auto& lane : lanes) {
+      for (size_t b = 0; b < kBurst; ++b) {
+        item.tag = r;
+        lane.free_ring.TryPop(&item.ops);
+        item.ops.resize(kOpsPerItem, r);
+        while (!lane.ring.TryPush(item)) {
+          exec::CpuRelax();  // never taken: burst <= capacity
+        }
+        if (lane.consumer_parked.load(std::memory_order_acquire)) {
+          { std::lock_guard<std::mutex> lk(lane.mu); }
+          lane.cv.notify_all();
+        }
+      }
+    }
+    for (auto& lane : lanes) {
+      for (size_t b = 0; b < kBurst; ++b) {
+        while (!lane.ring.TryPop(&item)) {
+          exec::CpuRelax();
+        }
+        if (lane.producer_parked.load(std::memory_order_acquire)) {
+          { std::lock_guard<std::mutex> lk(lane.mu); }
+          lane.cv.notify_all();
+        }
+        item.ops.clear();
+        lane.free_ring.TryPush(item.ops);
+      }
+    }
+  }
+  return watch.ElapsedSeconds();
+}
+
+struct Measurement {
+  double events_per_sec = 0;  // dispatched ops per second
+  double median_seconds = 0;
+  double min_seconds = 0;
+  double max_seconds = 0;
+  uint64_t events = 0;
+  /// sharded_e2e only: throughput by critical path (max shard busy time —
+  /// the wall rate a machine with >= 8 idle cores would see).
+  double critical_path_events_per_sec = 0;
+};
+
+template <typename PassFn>
+Measurement MeasureDispatch(PassFn pass, size_t rounds, int warmup,
+                            int reps) {
+  const uint64_t ops = static_cast<uint64_t>(rounds) * kLanes * kBurst *
+                       kOpsPerItem;
+  for (int i = 0; i < warmup; ++i) pass(rounds);
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) seconds.push_back(pass(rounds));
+  std::sort(seconds.begin(), seconds.end());
+  Measurement m;
+  m.median_seconds = seconds[seconds.size() / 2];
+  m.min_seconds = seconds.front();
+  m.max_seconds = seconds.back();
+  m.events = ops;
+  m.events_per_sec =
+      m.median_seconds == 0 ? 0 : static_cast<double>(ops) / m.median_seconds;
+  return m;
+}
+
+Measurement MeasureShardedE2e(bool quick, int warmup, int reps) {
+  const size_t num_events = quick ? 40000 : 120000;
+  auto stream = MakeStockStream(num_events, /*max_gap_ms=*/2, /*seed=*/42,
+                                /*num_traders=*/1000);
+  Schema schema = stream->schema;
+  Analyzer analyzer(&schema);
+  CompiledQuery cq = std::move(analyzer.AnalyzeText(
+                                   "PATTERN SEQ(DELL, IPIX, AMAT) "
+                                   "GROUP BY traderId AGG COUNT WITHIN 2s"))
+                         .value();
+  RunOptions options;
+  options.collect_outputs = false;
+  options.num_shards = kLanes;
+
+  auto one_pass = [&](double* busy_max) {
+    std::string reason;
+    auto policy = exec::MakePolicy(
+        cq, [&cq] { return CreateAseqEngine(cq); }, options, &reason);
+    if (!policy.ok() || !reason.empty()) {
+      std::fprintf(stderr, "sharded_e2e: policy unavailable (%s)\n",
+                   reason.c_str());
+      std::exit(1);
+    }
+    RunResult result = (*policy)->RunEvents(stream->events);
+    for (double busy : (*policy)->shard_busy_seconds()) {
+      *busy_max = std::max(*busy_max, busy);
+    }
+    return result.elapsed_seconds;
+  };
+
+  double ignored = 0;
+  for (int i = 0; i < warmup; ++i) one_pass(&ignored);
+  std::vector<double> seconds;
+  double busy_max = 0;
+  for (int i = 0; i < reps; ++i) {
+    double pass_busy = 0;
+    seconds.push_back(one_pass(&pass_busy));
+    busy_max = busy_max == 0 ? pass_busy : std::min(busy_max, pass_busy);
+  }
+  std::sort(seconds.begin(), seconds.end());
+  Measurement m;
+  m.median_seconds = seconds[seconds.size() / 2];
+  m.min_seconds = seconds.front();
+  m.max_seconds = seconds.back();
+  m.events = num_events;
+  m.events_per_sec = m.median_seconds == 0
+                         ? 0
+                         : static_cast<double>(num_events) / m.median_seconds;
+  m.critical_path_events_per_sec =
+      busy_max == 0 ? 0 : static_cast<double>(num_events) / busy_max;
+  return m;
+}
+
+std::string FormatEntry(const std::string& key, const Measurement& m) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"%s\": {\"events_per_sec\": %.1f, \"median_seconds\": %.6f, "
+      "\"min_seconds\": %.6f, \"max_seconds\": %.6f, \"events\": %llu, "
+      "\"critical_path_events_per_sec\": %.1f}",
+      key.c_str(), m.events_per_sec, m.median_seconds, m.min_seconds,
+      m.max_seconds, static_cast<unsigned long long>(m.events),
+      m.critical_path_events_per_sec);
+  return buf;
+}
+
+/// Reads the flat JSON written by --out (same shape as the other gauges):
+/// key -> events_per_sec.
+std::map<std::string, double> ReadCommitted(const std::string& path) {
+  std::map<std::string, double> out;
+  std::ifstream f(path);
+  std::string line;
+  while (std::getline(f, line)) {
+    const size_t kq0 = line.find('"');
+    if (kq0 == std::string::npos) continue;
+    const size_t kq1 = line.find('"', kq0 + 1);
+    if (kq1 == std::string::npos) continue;
+    const std::string key = line.substr(kq0 + 1, kq1 - kq0 - 1);
+    const char* tag = "\"events_per_sec\": ";
+    const size_t vp = line.find(tag);
+    if (vp == std::string::npos) continue;
+    out[key] = std::strtod(line.c_str() + vp + std::strlen(tag), nullptr);
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aseq
+
+int main(int argc, char** argv) {
+  using aseq::bench::Measurement;
+
+  bool quick = false;
+  int reps = 5;
+  int warmup = 1;
+  double tolerance = 0.2;
+  std::string out_path;
+  std::string check_path;
+  std::string label = "current";
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--reps") {
+      reps = std::atoi(next());
+    } else if (arg == "--warmup") {
+      warmup = std::atoi(next());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--check") {
+      check_path = next();
+    } else if (arg == "--label") {
+      label = next();
+    } else if (arg == "--tolerance") {
+      tolerance = std::strtod(next(), nullptr);
+    } else if (arg == "--only") {
+      only = next();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  const std::string mode = quick ? "quick" : "full";
+  if (quick && reps == 5) reps = 3;
+  const size_t rounds = quick ? 4000 : 16000;
+
+  std::printf("dataplane dispatch gauge: mode=%s reps=%d warmup=%d lanes=%zu "
+              "burst=%zu ops/item=%zu\n",
+              mode.c_str(), reps, warmup, aseq::bench::kLanes,
+              aseq::bench::kBurst, aseq::bench::kOpsPerItem);
+  std::vector<std::pair<std::string, Measurement>> results;
+  auto want = [&](const char* name) { return only.empty() || only == name; };
+  if (want("dispatch_mutex")) {
+    results.emplace_back("dispatch_mutex",
+                         aseq::bench::MeasureDispatch(aseq::bench::MutexPass,
+                                                      rounds, warmup, reps));
+  }
+  if (want("dispatch_ring")) {
+    results.emplace_back("dispatch_ring",
+                         aseq::bench::MeasureDispatch(aseq::bench::RingPass,
+                                                      rounds, warmup, reps));
+  }
+  if (want("sharded_e2e")) {
+    results.emplace_back("sharded_e2e",
+                         aseq::bench::MeasureShardedE2e(quick, warmup, reps));
+  }
+  for (const auto& [name, m] : results) {
+    std::printf("  %-14s median %9.6f s  %12.0f ev/s", name.c_str(),
+                m.median_seconds, m.events_per_sec);
+    if (m.critical_path_events_per_sec > 0) {
+      std::printf("  critical-path %12.0f ev/s",
+                  m.critical_path_events_per_sec);
+    }
+    std::printf("\n");
+  }
+
+  // The acceptance ratio: the ring dataplane must dispatch >= 1.2x the
+  // mutex/CV dataplane at 8 lanes. Informative on every run; a gate
+  // (exit 1) under --check.
+  double ratio = 0;
+  {
+    double mutex_eps = 0, ring_eps = 0;
+    for (const auto& [name, m] : results) {
+      if (name == "dispatch_mutex") mutex_eps = m.events_per_sec;
+      if (name == "dispatch_ring") ring_eps = m.events_per_sec;
+    }
+    if (mutex_eps > 0 && ring_eps > 0) {
+      ratio = ring_eps / mutex_eps;
+      std::printf("  ring/mutex dispatch ratio: %.2fx (gate >= 1.20x)\n",
+                  ratio);
+    }
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream f(out_path, std::ios::trunc);
+    f << "{\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      f << aseq::bench::FormatEntry(
+               mode + "/" + label + "/" + results[i].first, results[i].second)
+        << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    f << "}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (!check_path.empty()) {
+    bool ok = true;
+    if (ratio > 0 && ratio < 1.2) {
+      std::fprintf(stderr,
+                   "FAIL: ring/mutex dispatch ratio %.2fx is below the "
+                   "1.20x acceptance gate\n",
+                   ratio);
+      ok = false;
+    }
+    auto committed = aseq::bench::ReadCommitted(check_path);
+    for (const auto& [name, m] : results) {
+      if (name == "sharded_e2e") continue;  // scheduler noise, never gated
+      const std::string key = mode + "/current/" + name;
+      auto it = committed.find(key);
+      if (it == committed.end()) {
+        std::fprintf(stderr, "FAIL: %s has no committed entry %s\n",
+                     check_path.c_str(), key.c_str());
+        ok = false;
+        continue;
+      }
+      const double floor = it->second * (1.0 - tolerance);
+      const bool pass = m.events_per_sec >= floor;
+      std::printf("  check %-32s %12.0f ev/s vs committed %12.0f (floor "
+                  "%12.0f): %s\n",
+                  key.c_str(), m.events_per_sec, it->second, floor,
+                  pass ? "ok" : "REGRESSED");
+      ok = ok && pass;
+    }
+    if (!ok) return 1;
+  }
+  return 0;
+}

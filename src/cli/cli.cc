@@ -76,6 +76,8 @@ constexpr const char* kUsage =
     "   drain all queues before routing on, or deterministically drop the\n"
     "   overloaded partition (accounted in shed counters; surviving\n"
     "   partitions stay exact).\n"
+    "   --pin-threads pins each shard worker to a core (Linux; no-op with\n"
+    "   a warning when the machine has fewer cores than shards).\n"
     "   --fault-spec point[@lane]:trigger[:kind[:repeat]],... arms\n"
     "   deterministic fault injection (points: router.route, worker.op,\n"
     "   ckpt.write, admit.batch; kinds: crash, stall, slow, io-error,\n"
@@ -99,6 +101,9 @@ Result<RunOptions> BatchOptionsFromFlags(const FlagSet& flags) {
         "--shards expects 1 <= N <= 64 (1 = serial; e.g. --shards 8)");
   }
   options.num_shards = static_cast<size_t>(shards);
+  // Harmless for serial runs (the executor ignores it), so no --shards
+  // coupling to validate.
+  options.pin_threads = flags.GetBool("pin-threads");
   return options;
 }
 
@@ -303,7 +308,8 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
        "limit", "quiet", "emit-on-change", "batch-size", "shards",
        "checkpoint-every", "checkpoint-dir", "restore-from", "supervise",
        "watchdog-timeout-ms", "recovery-every", "max-restarts",
-       "overload-policy", "overload-watermark", "fault-spec", "fault-seed"});
+       "overload-policy", "overload-watermark", "fault-spec", "fault-seed",
+       "pin-threads"});
   if (!known.ok()) {
     err << known.ToString() << "\n";
     return 2;
@@ -429,6 +435,11 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
       << run_stats.adm_rejected_local << " rejected, "
       << run_stats.adm_missing_attr << " missing-attr, "
       << run_stats.adm_generic_cmps << " generic cmps\n";
+  if (result.num_shards > 1) {
+    out << "dataplane:     " << run_stats.pub_batches << " publications, "
+        << run_stats.ring_full_waits << " full-ring waits, "
+        << run_stats.ring_spins << " spins\n";
+  }
   if (options->supervise) {
     out << "supervisor:    " << run_stats.fault_restarts << " restarts, "
         << run_stats.fault_replayed_events << " events replayed\n";
@@ -621,7 +632,7 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
        "batch-size", "shards", "checkpoint-every", "checkpoint-dir",
        "restore-from", "supervise", "watchdog-timeout-ms", "recovery-every",
        "max-restarts", "overload-policy", "overload-watermark", "fault-spec",
-       "fault-seed"});
+       "fault-seed", "pin-threads"});
   if (!known.ok()) {
     err << known.ToString() << "\n";
     return 2;
@@ -796,6 +807,11 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
       << wl_stats.adm_rejected_local << " rejected, "
       << wl_stats.adm_missing_attr << " missing-attr, "
       << wl_stats.adm_generic_cmps << " generic cmps\n";
+  if (result.num_shards > 1) {
+    out << "dataplane:     " << wl_stats.pub_batches << " publications, "
+        << wl_stats.ring_full_waits << " full-ring waits, "
+        << wl_stats.ring_spins << " spins\n";
+  }
   if (options->supervise) {
     out << "supervisor:    " << wl_stats.fault_restarts << " restarts, "
         << wl_stats.fault_replayed_events << " events replayed\n";

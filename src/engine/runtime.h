@@ -96,8 +96,17 @@ struct RunOptions {
   /// Cooperative stop flag (graceful SIGTERM/SIGINT): when non-null and
   /// set, the run stops at the next batch boundary, drains in-flight work,
   /// writes a final checkpoint when checkpoint_dir is set, and returns
-  /// with RunResultBase::interrupted.
+  /// with RunResultBase::interrupted. A stop while the coordinator is
+  /// parked on a full lane ring also exits cleanly: the run is marked
+  /// interrupted and the final checkpoint is skipped (queued work could
+  /// not drain, so a snapshot at the stop offset would be inconsistent).
   const std::atomic<bool>* stop_requested = nullptr;
+  /// Pin each shard worker to a core (sharded runs, Linux
+  /// pthread_setaffinity_np): worker s gets core s. No-op with a warning
+  /// when the machine has fewer cores than the run has shards (pinning
+  /// would then serialize workers that could share cores) or on platforms
+  /// without affinity support. Serial runs ignore it.
+  bool pin_threads = false;
 };
 
 /// \brief Fields common to every run result (single- and multi-query).

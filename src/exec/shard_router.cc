@@ -112,6 +112,48 @@ ShardRouter::Route ShardRouter::RouteEvent(const Event& e) {
   return route;
 }
 
+std::span<const ShardRouter::Route> ShardRouter::RouteBatch(
+    std::span<const Event> batch) {
+  routes_.assign(batch.size(), Route{});
+  // One columnar relevance pass + one admission pass for the whole batch
+  // (the prefilter skips the role-table walk for events the query cannot
+  // see), instead of a BatchAdmitter call per event.
+  prefilter_.Scan(program_, batch);
+  admitter_.AdmitBatch(program_, batch, /*interner=*/nullptr,
+                       /*stats=*/nullptr, &prefilter_);
+  const bool armed = fault::Injector::Global().armed();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Route& route = routes_[i];
+    if (armed) {
+      // Per *event*, not per batch: fault-spec offsets count routed events.
+      if (auto fired =
+              fault::Injector::Global().Hit(fault::Point::kRouterRoute)) {
+        if (fired->kind == fault::Kind::kCrash) {
+          std::_Exit(fault::kCrashExitCode);
+        }
+        if (fired->kind == fault::Kind::kOverload) route.inject_overload = true;
+      }
+    }
+    route.shard = static_cast<size_t>(batch[i].seq() % num_shards_);
+    for (const plan::AdmissionRecord& rec : admitter_.RecordsFor(i)) {
+      if (!route.has_key) {
+        route.has_key = true;
+        // Interning runs in event order across the batch — identical id
+        // assignment to the per-event path (see RouteEvent).
+        route.key_id = interner_.InternHashed(rec.part_hashes[group_part_],
+                                              *rec.part_vals[group_part_]);
+        route.shard = route.key_id % num_shards_;
+      }
+      const Role& role = rec.role->role;
+      if (!role.negated && role.position == length_) {
+        route.trigger = true;
+        break;
+      }
+    }
+  }
+  return routes_;
+}
+
 void ShardRouter::Checkpoint(ckpt::Writer* writer) const {
   writer->WriteU64(interner_.size());
   for (const Value& v : interner_.values()) ckpt::WriteValue(writer, v);
@@ -224,6 +266,64 @@ const MultiShardRouter::Route& MultiShardRouter::RouteEvent(const Event& e) {
     if (triggered && pq.windowed) route.trigger_queries.push_back(qi);
   }
   return route_;
+}
+
+std::span<const MultiShardRouter::Route> MultiShardRouter::RouteBatch(
+    std::span<const Event> batch) {
+  // Reset the route scratch in place (trigger vectors keep their capacity).
+  routes_.resize(batch.size());
+  const bool armed = fault::Injector::Global().armed();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Route& route = routes_[i];
+    route.has_key = false;
+    route.key_id = 0;
+    route.inject_overload = false;
+    route.trigger_queries.clear();
+    if (armed) {
+      // Per *event*, in seq order, before any admission — fault-spec
+      // offsets count routed events exactly as the per-event path did.
+      if (auto fired =
+              fault::Injector::Global().Hit(fault::Point::kRouterRoute)) {
+        if (fired->kind == fault::Kind::kCrash) {
+          std::_Exit(fault::kCrashExitCode);
+        }
+        if (fired->kind == fault::Kind::kOverload) route.inject_overload = true;
+      }
+    }
+    route.shard = static_cast<size_t>(batch[i].seq() % num_shards_);
+  }
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    PerQuery& pq = queries_[qi];
+    // Whole-query early-out: a batch with no event of any type the query
+    // plays is invisible to it — skip its admission pass entirely.
+    if (prefilter_.Scan(pq.program, batch) == 0) continue;
+    admitter_.AdmitBatch(pq.program, batch, /*interner=*/nullptr,
+                         /*stats=*/nullptr, &prefilter_);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Route& route = routes_[i];
+      bool triggered = false;
+      for (const plan::AdmissionRecord& rec : admitter_.RecordsFor(i)) {
+        if (!route.has_key) {
+          // Every query keys on the same attribute (PlanMultiSharding), so
+          // whichever query stages the event's first record fixes the one
+          // owner shard. Batched interning is query-major — a different
+          // deterministic first-seen order than RouteEvent's event-major
+          // one (see the header comment), equally valid for placement.
+          route.has_key = true;
+          route.key_id = interner_.InternHashed(rec.part_hashes[pq.group_part],
+                                                *rec.part_vals[pq.group_part]);
+          route.shard = route.key_id % num_shards_;
+        }
+        const Role& role = rec.role->role;
+        if (!role.negated && role.position == pq.length) {
+          triggered = true;
+          break;  // key already fixed (every staged record extracts it)
+        }
+      }
+      if (triggered && pq.windowed) route.trigger_queries.push_back(qi);
+    }
+  }
+  return routes_;
 }
 
 void MultiShardRouter::Checkpoint(ckpt::Writer* writer) const {

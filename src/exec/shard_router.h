@@ -71,8 +71,19 @@ class ShardRouter {
     bool inject_overload = false;
   };
 
-  /// `e` must carry its final seq number.
+  /// `e` must carry its final seq number. Single-event path — tests and
+  /// shed-oracle replicas use it; the executor's hot path is RouteBatch.
   Route RouteEvent(const Event& e);
+
+  /// \brief Routes a whole borrowed batch in one pass: a vectorized
+  /// admission prefilter over the event-type column, one BatchAdmitter
+  /// pass for the surviving events, then per-event route assembly. Events
+  /// must carry their final seq numbers. The fault point `router.route`
+  /// still fires once per *event* (offset semantics are part of the fault
+  /// specs' contract), and interning order stays event order, so routes
+  /// are identical to per-event RouteEvent calls. The returned span is
+  /// valid until the next RouteBatch/RouteEvent call.
+  std::span<const Route> RouteBatch(std::span<const Event> batch);
 
   /// \brief Router state round-trip for sharded snapshots.
   ///
@@ -98,6 +109,10 @@ class ShardRouter {
   /// runs with a null interner): the router interns only the GROUP BY part
   /// value, below, and its id order is durable state.
   plan::BatchAdmitter admitter_;
+  /// Per-batch type-relevance bitmask (RouteBatch only).
+  plan::BatchPrefilter prefilter_;
+  /// RouteBatch scratch, clear-not-shrink.
+  std::vector<Route> routes_;
   /// GROUP BY values → dense ids, in first-routed order. Independent of
   /// any engine-side interner: routing only needs its *own* ids to be
   /// stable, and shard engines never see them.
@@ -146,8 +161,20 @@ class MultiShardRouter {
 
   /// `e` must carry its final seq number. The returned reference is
   /// invalidated by the next RouteEvent call (the route's trigger vector
-  /// is reused scratch).
+  /// is reused scratch). Single-event path; the executor uses RouteBatch.
   const Route& RouteEvent(const Event& e);
+
+  /// \brief Batched routing: per-event `router.route` fault hits in seq
+  /// order first, then one prefiltered BatchAdmitter pass per workload
+  /// query — a query with no relevant event in the batch is skipped
+  /// entirely. Interning is query-major over the batch (all of query 0's
+  /// records, then query 1's, ...): a different — but equally
+  /// deterministic — first-seen id order than the event-major single-event
+  /// path, self-consistent within a run and across its checkpoints, and
+  /// irrelevant to outputs (any deterministic placement merges back
+  /// bit-exact). The returned span is valid until the next RouteBatch
+  /// call.
+  std::span<const Route> RouteBatch(std::span<const Event> batch);
 
   /// Same contract as ShardRouter::Checkpoint/Restore: the shared
   /// interner's values in id order are the router's durable state.
@@ -167,8 +194,10 @@ class MultiShardRouter {
   size_t num_shards_;
   std::vector<PerQuery> queries_;
   plan::BatchAdmitter admitter_;
+  plan::BatchPrefilter prefilter_;
   container::KeyInterner interner_;
   Route route_;  // reused across calls (clear-not-shrink)
+  std::vector<Route> routes_;  // RouteBatch scratch, clear-not-shrink
 };
 
 }  // namespace exec

@@ -7,7 +7,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdio>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -19,8 +19,14 @@
 #include <utility>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "ckpt/snapshot.h"
 #include "engine/runtime.h"
+#include "exec/spsc_ring.h"
 #include "fault/fault.h"
 #include "metrics/shard_stats.h"
 
@@ -29,13 +35,27 @@ namespace exec {
 
 namespace shard_detail {
 
-/// Bounded-queue depth per lane: enough to keep workers fed ahead of the
-/// router, small enough that a fast router cannot buffer the stream.
+/// Bounded-queue depth per lane (ring capacity): enough to keep workers fed
+/// ahead of the router, small enough that a fast router cannot buffer the
+/// stream.
 inline constexpr size_t kMaxQueuedItems = 16;
 
 /// Supervised waits poll at this period so the coordinator can run the
 /// watchdog while parked on a queue or barrier.
 inline constexpr std::chrono::milliseconds kSupervisedPoll{20};
+
+/// Unsupervised parks are timed too: the ring protocol's wake handshake is
+/// best-effort (a parked-flag miss between the release store and the
+/// acquire load is possible by design — making it airtight would need
+/// seq_cst fences on the hot path), so a park bounds the cost of a lost
+/// wakeup to this, and the coordinator polls stop_requested at the same
+/// cadence.
+inline constexpr std::chrono::milliseconds kParkPoll{1};
+
+/// Spin budget before parking, per push/pop attempt. The common stall is a
+/// counterpart mid-item, gone within microseconds; parking for those would
+/// trade two atomic ops for a futex round-trip.
+inline constexpr size_t kRingSpinIters = 128;
 
 inline constexpr uint64_t kNeverDue = std::numeric_limits<uint64_t>::max();
 
@@ -58,7 +78,7 @@ struct ShardOp {
 /// \brief The partition-parallel policy, generic over single- vs
 /// multi-query execution: N engine twins, each owning the partitions whose
 /// GROUP BY key hashes to it, pumped by one worker thread over a bounded
-/// per-shard queue.
+/// per-shard SPSC ring.
 ///
 /// `Traits` binds the two instantiations (see exec/sharded_executor.h):
 ///   - Policy        the policy interface implemented
@@ -73,6 +93,20 @@ struct ShardOp {
 ///   - IsTrigger     whether a route completes any (windowed) query
 ///   - StampMarker   copies the route's trigger payload into a marker op
 ///   - SyncPurge     applies a marker through the shardable interface
+///
+/// The dataplane (docs/internals.md §16): each lane's queue is a
+/// fixed-capacity single-producer/single-consumer ring (exec/spsc_ring.h)
+/// — the coordinator is the only pusher, the lane's worker the only
+/// popper, so an uncontended publication or drain is two acquire/release
+/// atomic ops, no lock. The lane's mutex + condition variable survive only
+/// as the *park* layer of a spin-then-park protocol: both sides spin a
+/// bounded budget first, then park with a timed wait (the wake handshake
+/// via the parked flags is best-effort; the timed wait bounds a lost
+/// wakeup, keeps supervised waits on the watchdog cadence, and lets the
+/// coordinator poll stop_requested while blocked on a full ring). Routing
+/// itself is batched: the router admits the whole borrowed batch through
+/// the vectorized admission prefilter in one pass, and the coordinator
+/// publishes each shard's op run as one ring push per shard per batch.
 ///
 /// Serial equivalence, piece by piece:
 ///  - Routing: events go to hash(GROUP BY key) % N — all partitions a
@@ -112,7 +146,7 @@ struct ShardOp {
 /// budget aborts the run with RunResultBase::fault_status.
 ///
 /// Overload control (RunOptions::overload_policy): when a lane's bounded
-/// queue reaches its high-watermark (or the router.route fault point
+/// ring reaches its high-watermark (or the router.route fault point
 /// injects overload), the coordinator either keeps blocking (kBlock, the
 /// default), drains every queue before routing on (kDegradeSerial), or
 /// deterministically sheds the overloaded event's whole partition (kShed,
@@ -162,16 +196,30 @@ class ShardedExecutorT : public Traits::Policy {
     std::vector<ShardOp> ops;
   };
 
-  /// One shard's queue plus its worker-owned run state. The coordinator
-  /// touches outputs/records/busy_seconds only while the worker is parked
-  /// at a barrier or joined (including the joined window of a supervised
-  /// restart).
+  /// One shard's dataplane plus its worker-owned run state. The
+  /// coordinator touches outputs/records/busy_seconds only while the
+  /// worker is parked at a barrier or joined (including the joined window
+  /// of a supervised restart).
   struct Lane {
+    /// Work ring: the coordinator publishes, the worker drains (SPSC by
+    /// construction — nothing else ever touches it while both live).
+    SpscRing<LaneItem> ring{shard_detail::kMaxQueuedItems};
+    /// Reverse ring, worker → coordinator: drained op vectors recycled
+    /// back to the router, clear-not-shrink. Best-effort — a full ring
+    /// just lets the vector deallocate.
+    SpscRing<std::vector<ShardOp>> free_ring{shard_detail::kMaxQueuedItems};
+
+    /// Park layer (never on the fast path): both ring sides spin first,
+    /// then park on cv with a timed wait. The parked flags let the
+    /// counterpart skip the lock+notify when nobody is parked.
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<LaneItem> queue;
-    /// Drained op vectors recycled back to the router (clear-not-shrink).
-    std::vector<std::vector<ShardOp>> free_ops;
+    std::atomic<bool> consumer_parked{false};
+    std::atomic<bool> producer_parked{false};
+    /// Spin iterations this worker burned before parking (worker-owned
+    /// plain counter; the coordinator reads it only after the join in
+    /// StopWorkers, which synchronizes).
+    uint64_t spin_count = 0;
 
     std::vector<OutputT> outputs;
     std::vector<StatsTimelineMerger::Record> records;
@@ -189,13 +237,12 @@ class ShardedExecutorT : public Traits::Policy {
     /// Worker died (injected crash): its thread returned without cleanup.
     std::atomic<bool> dead{false};
     /// Coordinator order to exit: wakes a parked (idle or stalled) worker
-    /// so the restart path can join its thread.
+    /// so the restart path can join its thread. Checked once per popped
+    /// item, so a quarantined worker exits promptly even with a non-empty
+    /// ring.
     std::atomic<bool> quarantine{false};
     /// Worker is parked at a coordinator barrier (never a failure).
     std::atomic<bool> at_barrier{false};
-    /// Queue depth mirror, maintained under mu, read lock-free by the
-    /// router loop for the overload high-watermark.
-    std::atomic<size_t> depth{0};
 
     // ---- Coordinator-only recovery state (supervised runs). ----
     /// Engine Checkpoint payload at the last recovery point (barrier).
@@ -228,6 +275,15 @@ class ShardedExecutorT : public Traits::Policy {
     uint64_t overload_stalls = 0;
   };
 
+  /// Coordinator-owned dataplane accounting (workers keep their spin
+  /// counts lane-local; see Lane::spin_count), folded into the merged
+  /// stats at the end of the run.
+  struct RingCounters {
+    uint64_t pub_batches = 0;
+    uint64_t full_waits = 0;
+    uint64_t spins = 0;
+  };
+
   /// The shared run loop; `refill` yields the next batch as a view
   /// (empty = exhausted). The view may be borrowed source storage, so the
   /// loop stamps sequence numbers in place but copies events into shard
@@ -235,17 +291,40 @@ class ShardedExecutorT : public Traits::Policy {
   RunResultT RunImpl(const std::function<std::span<Event>()>& refill);
 
   void WorkerMain(size_t shard);
-  /// Pushes an item, honoring the bounded-queue cap (unsupervised: blocks
-  /// indefinitely; a worker always drains).
-  void Enqueue(size_t shard, LaneItem item);
+  /// Lock-free wake hint: lock + notify only when the counterpart's
+  /// parked flag is up (a missed flag costs at most one kParkPoll).
+  void WakeConsumer(Lane& lane) {
+    if (lane.consumer_parked.load(std::memory_order_acquire)) {
+      { std::lock_guard<std::mutex> lk(lane.mu); }
+      lane.cv.notify_all();
+    }
+  }
+  void WakeProducer(Lane& lane) {
+    if (lane.producer_parked.load(std::memory_order_acquire)) {
+      { std::lock_guard<std::mutex> lk(lane.mu); }
+      lane.cv.notify_all();
+    }
+  }
+  bool StopRequestedNow() const {
+    return options_.stop_requested != nullptr &&
+           options_.stop_requested->load(std::memory_order_relaxed);
+  }
+  /// Pushes an item, honoring the bounded ring (unsupervised): spins, then
+  /// parks with timed waits. Returns false — leaving the item unqueued —
+  /// only when stop_requested flips while the ring stays full, so SIGINT
+  /// during a full-queue stall exits instead of waiting for a drain that
+  /// may never come.
+  bool Enqueue(size_t shard, LaneItem item);
   /// Supervised push: bounded waits, restarting the lane if it fails
-  /// while the coordinator is parked on its full queue.
+  /// while the coordinator is parked on its full ring.
   Status EnqueueSupervised(size_t shard, LaneItem item);
-  /// Moves pending_[shard] into the lane's queue and re-arms pending_
-  /// with a recycled vector.
+  /// Publishes pending_[shard] to the lane's ring as one chunked
+  /// publication and re-arms pending_ with a recycled vector.
   Status FlushPending(size_t shard);
-  /// Parks every worker at a barrier; returns once all have arrived.
-  void BarrierAll();
+  /// Parks every worker at a barrier; returns true once all have arrived,
+  /// false when a stop request aborted the park on a full ring (the run
+  /// then tears down via quarantine and skips the final checkpoint).
+  bool BarrierAll();
   /// Supervised barrier: same contract, but failed lanes are restarted
   /// (with their barrier token re-issued) until every lane arrives.
   Status BarrierAllSupervised();
@@ -257,6 +336,9 @@ class ShardedExecutorT : public Traits::Policy {
   EngineStats ComputeMergedStats() const;
   /// Writes the multi-shard snapshot container at `seq` (workers parked).
   Status SaveSnapshotAt(uint64_t seq);
+  /// Applies --pin-threads to a freshly spawned worker (Linux affinity;
+  /// no-op with a one-shot warning when cores < shards or unsupported).
+  void PinWorker(size_t shard);
 
   // ---- Supervision (coordinator side). ----
   /// True when the lane's worker is dead, or silent with queued work past
@@ -275,9 +357,12 @@ class ShardedExecutorT : public Traits::Policy {
   /// parked at a barrier.
   Status CaptureRecoveryPoints();
   /// Waits until every lane is empty and idle (degrade-serial overload
-  /// response), restarting failed lanes when supervised.
+  /// response), restarting failed lanes when supervised; an unsupervised
+  /// stop request aborts the wait (stop_stalled_).
   Status DrainAllQueues();
   /// Pushes stop tokens to live lanes and joins every worker thread.
+  /// Falls back to quarantine teardown when the run is supervised or a
+  /// stop request stranded work on a full ring.
   void StopWorkers();
 
   RunOptions options_;
@@ -300,8 +385,14 @@ class ShardedExecutorT : public Traits::Policy {
 
   // Per-run supervision/overload state (coordinator only).
   FaultCounters fcounters_;
+  RingCounters rcounters_;
   std::unordered_set<uint32_t> shed_keys_;
   uint64_t fired_at_start_ = 0;
+  /// A stop request caught the coordinator parked on a full ring (or a
+  /// drain): queued work could not flush, so the final barrier/checkpoint
+  /// are skipped and teardown quarantines instead of draining.
+  bool stop_stalled_ = false;
+  bool pin_warned_ = false;
 
   StatsTimelineMerger merger_;
   EngineStats merged_;
@@ -347,21 +438,32 @@ void ShardedExecutorT<Traits>::WorkerMain(size_t shard) {
   const bool check_faults = fault::Injector::Global().armed();
   for (;;) {
     LaneItem item;
-    {
-      std::unique_lock<std::mutex> lk(lane.mu);
-      lane.idle.store(true, std::memory_order_relaxed);
-      lane.cv.wait(lk, [&] {
-        return !lane.queue.empty() ||
-               lane.quarantine.load(std::memory_order_relaxed);
-      });
-      lane.idle.store(false, std::memory_order_relaxed);
+    // Pop protocol: quarantine first (an ordered exit must not drain the
+    // ring — the restart path replays it), then a bounded spin on the
+    // ring, then a timed park flying the idle + parked flags.
+    for (size_t spin = 0;;) {
       if (lane.quarantine.load(std::memory_order_relaxed)) return;
-      item = std::move(lane.queue.front());
-      lane.queue.pop_front();
-      lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
+      if (lane.ring.TryPop(&item)) break;
+      if (++spin <= shard_detail::kRingSpinIters) {
+        CpuRelax();
+        ++lane.spin_count;
+        continue;
+      }
+      lane.idle.store(true, std::memory_order_relaxed);
+      {
+        std::unique_lock<std::mutex> lk(lane.mu);
+        lane.consumer_parked.store(true, std::memory_order_release);
+        lane.cv.wait_for(lk, shard_detail::kParkPoll, [&] {
+          return !lane.ring.Empty() ||
+                 lane.quarantine.load(std::memory_order_relaxed);
+        });
+        lane.consumer_parked.store(false, std::memory_order_relaxed);
+      }
+      lane.idle.store(false, std::memory_order_relaxed);
+      spin = 0;
     }
-    // The router may be parked on a full queue.
-    lane.cv.notify_all();
+    // The coordinator may be parked on a full ring.
+    WakeProducer(lane);
     if (item.tag == LaneItem::Tag::kStop) return;
     if (item.tag == LaneItem::Tag::kBarrier) {
       std::unique_lock<std::mutex> lk(coord_mu_);
@@ -434,25 +536,44 @@ void ShardedExecutorT<Traits>::WorkerMain(size_t shard) {
       lane.progress.fetch_add(1, std::memory_order_relaxed);
     }
     lane.busy_seconds += watch.ElapsedSeconds();
-    {
-      std::lock_guard<std::mutex> lk(lane.mu);
-      item.ops.clear();
-      lane.free_ops.push_back(std::move(item.ops));
-    }
+    // Recycle the drained op vector to the router (best-effort: a full
+    // free ring just lets the capacity go).
+    item.ops.clear();
+    lane.free_ring.TryPush(item.ops);
   }
 }
 
 template <class Traits>
-void ShardedExecutorT<Traits>::Enqueue(size_t shard, LaneItem item) {
+bool ShardedExecutorT<Traits>::Enqueue(size_t shard, LaneItem item) {
   Lane& lane = *lanes_[shard];
-  {
-    std::unique_lock<std::mutex> lk(lane.mu);
-    lane.cv.wait(
-        lk, [&] { return lane.queue.size() < shard_detail::kMaxQueuedItems; });
-    lane.queue.push_back(std::move(item));
-    lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
+  if (lane.ring.TryPush(item)) {
+    WakeConsumer(lane);
+    return true;
   }
-  lane.cv.notify_all();
+  ++rcounters_.full_waits;
+  for (size_t spin = 0;;) {
+    if (lane.ring.TryPush(item)) {
+      WakeConsumer(lane);
+      return true;
+    }
+    if (++spin <= shard_detail::kRingSpinIters) {
+      CpuRelax();
+      ++rcounters_.spins;
+      continue;
+    }
+    // A stop request while the ring stays full must not wait for a drain
+    // (the worker may be wedged): bail with the item unqueued; the caller
+    // marks the run stop-stalled.
+    if (StopRequestedNow()) return false;
+    {
+      std::unique_lock<std::mutex> lk(lane.mu);
+      lane.producer_parked.store(true, std::memory_order_release);
+      lane.cv.wait_for(lk, shard_detail::kParkPoll,
+                       [&] { return !lane.ring.Full(); });
+      lane.producer_parked.store(false, std::memory_order_relaxed);
+    }
+    spin = 0;
+  }
 }
 
 template <class Traits>
@@ -460,21 +581,22 @@ Status ShardedExecutorT<Traits>::EnqueueSupervised(size_t shard,
                                                    LaneItem item) {
   Lane& lane = *lanes_[shard];
   for (;;) {
+    if (!lane.dead.load(std::memory_order_acquire) &&
+        lane.ring.TryPush(item)) {
+      WakeConsumer(lane);
+      return Status::OK();
+    }
     {
       std::unique_lock<std::mutex> lk(lane.mu);
-      const bool room = lane.cv.wait_for(lk, shard_detail::kSupervisedPoll, [&] {
-        return lane.queue.size() < shard_detail::kMaxQueuedItems ||
-               lane.dead.load(std::memory_order_relaxed);
+      lane.producer_parked.store(true, std::memory_order_release);
+      lane.cv.wait_for(lk, shard_detail::kSupervisedPoll, [&] {
+        return !lane.ring.Full() || lane.dead.load(std::memory_order_relaxed);
       });
-      if (room && !lane.dead.load(std::memory_order_relaxed)) {
-        lane.queue.push_back(std::move(item));
-        lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
-        lk.unlock();
-        lane.cv.notify_all();
-        return Status::OK();
-      }
+      lane.producer_parked.store(false, std::memory_order_relaxed);
     }
     if (LaneFailed(shard)) {
+      // A restart clears the ring, so the retry above pushes the item
+      // (e.g. a barrier token) right after the replay slice.
       ASEQ_RETURN_NOT_OK(RestartShard(shard));
     }
   }
@@ -484,69 +606,80 @@ template <class Traits>
 Status ShardedExecutorT<Traits>::FlushPending(size_t shard) {
   if (pending_[shard].empty()) return Status::OK();
   Lane& lane = *lanes_[shard];
-  std::vector<ShardOp> replacement;
+  ++rcounters_.pub_batches;
+  LaneItem item{LaneItem::Tag::kOps, std::move(pending_[shard])};
   if (!options_.supervise) {
-    {
-      std::unique_lock<std::mutex> lk(lane.mu);
-      lane.cv.wait(lk, [&] {
-        return lane.queue.size() < shard_detail::kMaxQueuedItems;
-      });
-      lane.queue.push_back(
-          LaneItem{LaneItem::Tag::kOps, std::move(pending_[shard])});
-      lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
-      if (!lane.free_ops.empty()) {
-        replacement = std::move(lane.free_ops.back());
-        lane.free_ops.pop_back();
-      }
-    }
-    lane.cv.notify_all();
-    pending_[shard] = std::move(replacement);
-    return Status::OK();
-  }
-  for (;;) {
-    bool pushed = false;
-    {
-      std::unique_lock<std::mutex> lk(lane.mu);
-      const bool room = lane.cv.wait_for(lk, shard_detail::kSupervisedPoll, [&] {
-        return lane.queue.size() < shard_detail::kMaxQueuedItems ||
-               lane.dead.load(std::memory_order_relaxed);
-      });
-      if (room && !lane.dead.load(std::memory_order_relaxed)) {
-        lane.queue.push_back(
-            LaneItem{LaneItem::Tag::kOps, std::move(pending_[shard])});
-        lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
-        if (!lane.free_ops.empty()) {
-          replacement = std::move(lane.free_ops.back());
-          lane.free_ops.pop_back();
-        }
-        pushed = true;
-      }
-    }
-    if (pushed) {
-      lane.cv.notify_all();
-      pending_[shard] = std::move(replacement);
+    if (!Enqueue(shard, std::move(item))) {
+      // Stop request on a full ring: the ops are dropped with the run
+      // marked stop-stalled (interrupted, no final checkpoint).
+      stop_stalled_ = true;
       return Status::OK();
     }
-    if (LaneFailed(shard)) {
-      ASEQ_RETURN_NOT_OK(RestartShard(shard));
-      // The restart replayed everything routed since the recovery point —
-      // including the ops still sitting in pending_ — and cleared pending_.
-      if (pending_[shard].empty()) return Status::OK();
+  } else {
+    bool dropped = false;
+    for (;;) {
+      if (!lane.dead.load(std::memory_order_acquire) &&
+          lane.ring.TryPush(item)) {
+        WakeConsumer(lane);
+        break;
+      }
+      {
+        std::unique_lock<std::mutex> lk(lane.mu);
+        lane.producer_parked.store(true, std::memory_order_release);
+        lane.cv.wait_for(lk, shard_detail::kSupervisedPoll, [&] {
+          return !lane.ring.Full() ||
+                 lane.dead.load(std::memory_order_relaxed);
+        });
+        lane.producer_parked.store(false, std::memory_order_relaxed);
+      }
+      if (LaneFailed(shard)) {
+        ASEQ_RETURN_NOT_OK(RestartShard(shard));
+        // The restart replayed everything routed since the recovery
+        // point — including the ops still held in `item` — so pushing
+        // them now would double-feed; drop them and recycle the vector.
+        item.ops.clear();
+        dropped = true;
+        break;
+      }
+    }
+    if (dropped) {
+      pending_[shard] = std::move(item.ops);
+      return Status::OK();
     }
   }
+  // Re-arm pending_ with a worker-recycled vector when one is available.
+  std::vector<ShardOp> replacement;
+  lane.free_ring.TryPop(&replacement);
+  pending_[shard] = std::move(replacement);
+  return Status::OK();
 }
 
 template <class Traits>
-void ShardedExecutorT<Traits>::BarrierAll() {
+bool ShardedExecutorT<Traits>::BarrierAll() {
   {
     std::lock_guard<std::mutex> lk(coord_mu_);
     barrier_arrived_ = 0;
   }
   for (size_t s = 0; s < lanes_.size(); ++s) {
-    Enqueue(s, LaneItem{LaneItem::Tag::kBarrier, {}});
+    if (!Enqueue(s, LaneItem{LaneItem::Tag::kBarrier, {}})) {
+      // Stop request on a full ring: abandon the barrier. Lanes that did
+      // get a token park on the epoch; the quarantine teardown wakes them.
+      stop_stalled_ = true;
+      return false;
+    }
   }
   std::unique_lock<std::mutex> lk(coord_mu_);
-  coord_cv_.wait(lk, [&] { return barrier_arrived_ == lanes_.size(); });
+  while (!coord_cv_.wait_for(lk, shard_detail::kParkPoll, [&] {
+    return barrier_arrived_ == lanes_.size();
+  })) {
+    if (StopRequestedNow() && barrier_arrived_ < lanes_.size()) {
+      // Tokens are queued but a worker is not arriving (stalled): a stop
+      // request must still exit cleanly.
+      stop_stalled_ = true;
+      return false;
+    }
+  }
+  return true;
 }
 
 template <class Traits>
@@ -633,6 +766,42 @@ Status ShardedExecutorT<Traits>::SaveSnapshotAt(uint64_t seq) {
 }
 
 template <class Traits>
+void ShardedExecutorT<Traits>::PinWorker(size_t shard) {
+  if (!options_.pin_threads) return;
+#if defined(__linux__)
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores < engines_.size()) {
+    if (!pin_warned_) {
+      pin_warned_ = true;
+      std::fprintf(stderr,
+                   "warning: --pin-threads: %u core(s) for %zu shards; "
+                   "pinning disabled\n",
+                   cores, engines_.size());
+    }
+    return;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(shard % cores, &set);
+  if (pthread_setaffinity_np(workers_[shard].native_handle(), sizeof(set),
+                             &set) != 0 &&
+      !pin_warned_) {
+    pin_warned_ = true;
+    std::fprintf(stderr,
+                 "warning: --pin-threads: pthread_setaffinity_np failed; "
+                 "running unpinned\n");
+  }
+#else
+  if (!pin_warned_) {
+    pin_warned_ = true;
+    std::fprintf(stderr,
+                 "warning: --pin-threads is not supported on this platform; "
+                 "running unpinned\n");
+  }
+#endif
+}
+
+template <class Traits>
 bool ShardedExecutorT<Traits>::LaneFailed(size_t shard) {
   Lane& lane = *lanes_[shard];
   if (lane.dead.load(std::memory_order_acquire)) return true;
@@ -688,17 +857,16 @@ Status ShardedExecutorT<Traits>::RestartShard(size_t shard) {
   }
 
   // Roll the lane back to its recovery point. The worker is joined, so
-  // everything here is single-threaded.
-  {
-    std::lock_guard<std::mutex> lk(lane.mu);
-    lane.queue.clear();
-    lane.free_ops.clear();
-    lane.depth.store(0, std::memory_order_relaxed);
-    lane.dead.store(false, std::memory_order_relaxed);
-    lane.quarantine.store(false, std::memory_order_relaxed);
-    lane.at_barrier.store(false, std::memory_order_relaxed);
-    lane.idle.store(false, std::memory_order_relaxed);
-  }
+  // everything here is single-threaded (including the ring Clears — the
+  // SPSC protocol does not cover concurrent resets).
+  lane.ring.Clear();
+  lane.free_ring.Clear();
+  lane.consumer_parked.store(false, std::memory_order_relaxed);
+  lane.producer_parked.store(false, std::memory_order_relaxed);
+  lane.dead.store(false, std::memory_order_relaxed);
+  lane.quarantine.store(false, std::memory_order_relaxed);
+  lane.at_barrier.store(false, std::memory_order_relaxed);
+  lane.idle.store(false, std::memory_order_relaxed);
   lane.outputs.resize(lane.ckpt_outputs);
   lane.records.resize(lane.ckpt_records);
   lane.records_consumed = lane.ckpt_records;
@@ -732,6 +900,7 @@ Status ShardedExecutorT<Traits>::RestartShard(size_t shard) {
   lane.last_change = std::chrono::steady_clock::now();
   workers_[shard] =
       std::thread(&ShardedExecutorT<Traits>::WorkerMain, this, shard);
+  PinWorker(shard);
 
   // Replay the routed slice since the recovery point. If the fresh worker
   // dies again mid-replay (another armed fault), abandon — the caller's
@@ -747,19 +916,20 @@ Status ShardedExecutorT<Traits>::RestartShard(size_t shard) {
                     lane.replay_log.begin() + static_cast<ptrdiff_t>(i + chunk));
     bool pushed = false;
     while (!pushed) {
+      if (lane.dead.load(std::memory_order_acquire)) break;
+      if (lane.ring.TryPush(item)) {
+        WakeConsumer(lane);
+        pushed = true;
+        break;
+      }
       std::unique_lock<std::mutex> lk(lane.mu);
-      if (lane.dead.load(std::memory_order_relaxed)) break;
-      const bool room = lane.cv.wait_for(lk, shard_detail::kSupervisedPoll, [&] {
-        return lane.queue.size() < shard_detail::kMaxQueuedItems ||
-               lane.dead.load(std::memory_order_relaxed);
+      lane.producer_parked.store(true, std::memory_order_release);
+      lane.cv.wait_for(lk, shard_detail::kSupervisedPoll, [&] {
+        return !lane.ring.Full() || lane.dead.load(std::memory_order_relaxed);
       });
-      if (!room || lane.dead.load(std::memory_order_relaxed)) continue;
-      lane.queue.push_back(std::move(item));
-      lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
-      pushed = true;
+      lane.producer_parked.store(false, std::memory_order_relaxed);
     }
     if (!pushed) break;
-    lane.cv.notify_all();
     for (size_t j = i; j < i + chunk; ++j) {
       if (lane.replay_log[j].kind == ShardOp::Kind::kEvent) ++replayed;
     }
@@ -770,20 +940,22 @@ Status ShardedExecutorT<Traits>::RestartShard(size_t shard) {
   // A barrier token lost with the cleared queue must be re-issued after
   // the replay slice, or the coordinator's barrier would never complete.
   if (lane.barrier_pending && !lane.dead.load(std::memory_order_acquire)) {
+    LaneItem token{LaneItem::Tag::kBarrier, {}};
     bool pushed = false;
     while (!pushed) {
+      if (lane.dead.load(std::memory_order_acquire)) break;
+      if (lane.ring.TryPush(token)) {
+        WakeConsumer(lane);
+        pushed = true;
+        break;
+      }
       std::unique_lock<std::mutex> lk(lane.mu);
-      if (lane.dead.load(std::memory_order_relaxed)) break;
-      const bool room = lane.cv.wait_for(lk, shard_detail::kSupervisedPoll, [&] {
-        return lane.queue.size() < shard_detail::kMaxQueuedItems ||
-               lane.dead.load(std::memory_order_relaxed);
+      lane.producer_parked.store(true, std::memory_order_release);
+      lane.cv.wait_for(lk, shard_detail::kSupervisedPoll, [&] {
+        return !lane.ring.Full() || lane.dead.load(std::memory_order_relaxed);
       });
-      if (!room || lane.dead.load(std::memory_order_relaxed)) continue;
-      lane.queue.push_back(LaneItem{LaneItem::Tag::kBarrier, {}});
-      lane.depth.store(lane.queue.size(), std::memory_order_relaxed);
-      pushed = true;
+      lane.producer_parked.store(false, std::memory_order_relaxed);
     }
-    if (pushed) lane.cv.notify_all();
   }
   return Status::OK();
 }
@@ -809,7 +981,7 @@ Status ShardedExecutorT<Traits>::DrainAllQueues() {
     bool drained = true;
     for (size_t s = 0; s < lanes_.size(); ++s) {
       Lane& lane = *lanes_[s];
-      if (lane.depth.load(std::memory_order_relaxed) != 0 ||
+      if (!lane.ring.Empty() ||
           !lane.idle.load(std::memory_order_relaxed)) {
         drained = false;
         if (options_.supervise && LaneFailed(s)) {
@@ -818,20 +990,36 @@ Status ShardedExecutorT<Traits>::DrainAllQueues() {
       }
     }
     if (drained) return Status::OK();
+    if (!options_.supervise && StopRequestedNow()) {
+      // A stop against a wedged unsupervised worker must not poll forever:
+      // abandon the drain; the run ends interrupted via quarantine.
+      stop_stalled_ = true;
+      return Status::OK();
+    }
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
 }
 
 template <class Traits>
 void ShardedExecutorT<Traits>::StopWorkers() {
-  if (options_.supervise) {
-    // Supervised teardown is quarantine-based, not token-based: queues are
-    // either empty (the final health barrier ran) or abandoned (the run
-    // aborted mid-flight), so nothing needs draining, and the quarantine
-    // flag wakes every kind of park — the idle wait, an injected stall,
-    // and (with the epoch bump below) a barrier whose resume was skipped
-    // when the abort path bailed out of BarrierAllSupervised. Dead lanes'
-    // threads have already returned; join just reaps them.
+  bool quarantine_teardown = options_.supervise || stop_stalled_;
+  if (!quarantine_teardown) {
+    for (size_t s = 0; s < lanes_.size(); ++s) {
+      if (!Enqueue(s, LaneItem{LaneItem::Tag::kStop, {}})) {
+        // Stop request against a full ring: fall back to quarantine for
+        // every lane (workers that already took their token just exit).
+        stop_stalled_ = true;
+        quarantine_teardown = true;
+        break;
+      }
+    }
+  }
+  if (quarantine_teardown) {
+    // Quarantine-based teardown: rings are either empty (the final health
+    // barrier ran) or abandoned (the run aborted or stop-stalled), so
+    // nothing needs draining, and the quarantine flag wakes every kind of
+    // park — the idle wait, an injected stall, and (with the epoch bump
+    // below) a barrier whose resume was skipped by an abort path.
     for (auto& lane : lanes_) {
       {
         std::lock_guard<std::mutex> lk(lane->mu);
@@ -843,10 +1031,6 @@ void ShardedExecutorT<Traits>::StopWorkers() {
     // barrier token after this sees quarantine in the wait predicate and
     // never blocks on the stale epoch.
     ResumeAll();
-  } else {
-    for (size_t s = 0; s < lanes_.size(); ++s) {
-      Enqueue(s, LaneItem{LaneItem::Tag::kStop, {}});
-    }
   }
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
@@ -863,8 +1047,14 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
   result.batch_size = options_.batch_size;
   result.num_shards = n;
 
-  // Per-run lane state, clear-not-shrink.
+  // Per-run lane state, clear-not-shrink. Workers are not spawned yet, so
+  // the single-threaded ring Clears are safe.
   for (auto& lane : lanes_) {
+    lane->ring.Clear();
+    lane->free_ring.Clear();
+    lane->consumer_parked.store(false, std::memory_order_relaxed);
+    lane->producer_parked.store(false, std::memory_order_relaxed);
+    lane->spin_count = 0;
     lane->outputs.clear();
     lane->records.clear();
     lane->records_consumed = 0;
@@ -874,7 +1064,6 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
     lane->dead.store(false, std::memory_order_relaxed);
     lane->quarantine.store(false, std::memory_order_relaxed);
     lane->at_barrier.store(false, std::memory_order_relaxed);
-    lane->depth.store(0, std::memory_order_relaxed);
     lane->snapshot.clear();
     lane->ckpt_outputs = 0;
     lane->ckpt_records = 0;
@@ -885,7 +1074,9 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
     lane->last_change = std::chrono::steady_clock::now();
   }
   fcounters_ = FaultCounters{};
+  rcounters_ = RingCounters{};
   shed_keys_.clear();
+  stop_stalled_ = false;
   fired_at_start_ = fault::Injector::Global().fired_count();
   {
     std::vector<int64_t> currents;
@@ -913,6 +1104,7 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
   workers_.reserve(n);
   for (size_t s = 0; s < n; ++s) {
     workers_.emplace_back(&ShardedExecutorT<Traits>::WorkerMain, this, s);
+    PinWorker(s);
   }
 
   SeqNum seq = options_.start_offset;
@@ -923,23 +1115,28 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
                           ? options_.start_offset + options_.recovery_every
                           : shard_detail::kNeverDue;
   for (;;) {
-    if (options_.stop_requested != nullptr &&
-        options_.stop_requested->load(std::memory_order_relaxed)) {
+    if (StopRequestedNow()) {
       result.interrupted = true;
       break;
     }
     std::span<Event> batch = refill();
     if (batch.empty()) break;
+    // Stamp the whole batch, then route it in one pass: the router runs
+    // the vectorized admission prefilter + one BatchAdmitter sweep over
+    // the borrowed batch instead of a per-event walk.
+    for (Event& e : batch) e.set_seq(seq++);
+    const auto routes =
+        router_.RouteBatch(std::span<const Event>(batch.data(), batch.size()));
     bool overload_hit = false;
-    for (Event& e : batch) {
-      e.set_seq(seq++);
+    for (size_t bi = 0; bi < batch.size(); ++bi) {
+      Event& e = batch[bi];
+      const auto& route = routes[bi];
       const Timestamp ts = e.ts();
       const SeqNum eseq = e.seq();
-      const auto& route = router_.RouteEvent(e);
       if (options_.overload_policy != OverloadPolicy::kBlock) {
         const bool overloaded =
             route.inject_overload ||
-            lanes_[route.shard]->depth.load(std::memory_order_relaxed) >=
+            lanes_[route.shard]->ring.size() >=
                 options_.overload_high_watermark;
         if (options_.overload_policy == OverloadPolicy::kShed &&
             route.has_key) {
@@ -984,6 +1181,7 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
         }
       }
     }
+    // One chunked publication per shard per batch.
     for (size_t s = 0; s < n; ++s) {
       Status fs = FlushPending(s);
       if (!fs.ok()) {
@@ -992,6 +1190,10 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
       }
     }
     if (!result.fault_status.ok()) break;
+    if (stop_stalled_) {
+      result.interrupted = true;
+      break;
+    }
     if (supervised) {
       Status cs = CheckLanes();
       if (!cs.ok()) {
@@ -1007,6 +1209,10 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
         result.fault_status = std::move(ds);
         break;
       }
+      if (stop_stalled_) {
+        result.interrupted = true;
+        break;
+      }
     }
 
     const bool ckpt_due = result.checkpoint_status.ok() && seq >= next_ckpt;
@@ -1018,8 +1224,9 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
           result.fault_status = std::move(bs);
           break;
         }
-      } else {
-        BarrierAll();
+      } else if (!BarrierAll()) {
+        result.interrupted = true;
+        break;
       }
       DrainMerger();
       if (supervised) {
@@ -1051,20 +1258,24 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
 
   // Graceful-stop drain + final snapshot, and (supervised) a final health
   // barrier so a worker that died after the last check still gets its ops
-  // recovered before the stop tokens go out.
+  // recovered before the stop tokens go out. A stop-stalled run skips all
+  // of it: queued work could not flush, so a snapshot at the stop offset
+  // would be inconsistent, and the barrier could never complete.
   const bool want_final_ckpt =
       result.interrupted && !options_.checkpoint_dir.empty() &&
       result.checkpoint_status.ok() &&
       (result.checkpoints_written == 0 ||
        result.last_checkpoint_offset < seq);
-  if (result.fault_status.ok() && (supervised || want_final_ckpt)) {
+  if (result.fault_status.ok() && !stop_stalled_ &&
+      (supervised || want_final_ckpt)) {
     Status bs;
+    bool arrived = true;
     if (supervised) {
       bs = BarrierAllSupervised();
     } else {
-      BarrierAll();
+      arrived = BarrierAll();
     }
-    if (bs.ok()) {
+    if (bs.ok() && arrived) {
       if (want_final_ckpt) {
         DrainMerger();
         Status s = SaveSnapshotAt(seq);
@@ -1076,9 +1287,10 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
         }
       }
       ResumeAll();
-    } else {
+    } else if (!bs.ok()) {
       result.fault_status = std::move(bs);
     }
+    // !arrived: stop_stalled_ is set; StopWorkers tears down by quarantine.
   }
 
   StopWorkers();
@@ -1092,6 +1304,14 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
   merged_.shed_partitions = fcounters_.shed_partitions;
   merged_.shed_events = fcounters_.shed_events;
   merged_.overload_stalls = fcounters_.overload_stalls;
+  merged_.pub_batches = rcounters_.pub_batches;
+  merged_.ring_full_waits = rcounters_.full_waits;
+  {
+    // Workers are joined, so their plain spin counters are visible.
+    uint64_t spins = rcounters_.spins;
+    for (const auto& lane : lanes_) spins += lane->spin_count;
+    merged_.ring_spins = spins;
+  }
   for (size_t s = 0; s < n; ++s) {
     shard_stats_view_[s] = engines_[s]->stats();
     busy_view_[s] = lanes_[s]->busy_seconds;

@@ -1,0 +1,120 @@
+#ifndef ASEQ_EXEC_SPSC_RING_H_
+#define ASEQ_EXEC_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aseq {
+namespace exec {
+
+/// Architectural pause inside a bounded spin loop: keeps the spinning
+/// hardware thread from starving its sibling and from flooding the memory
+/// pipeline with speculative loads of the index it is polling.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// \brief Fixed-capacity single-producer/single-consumer ring buffer — the
+/// lock-free lane queue of the sharded dataplane (docs/internals.md §16).
+///
+/// Exactly one thread may call TryPush (the coordinator) and exactly one
+/// may call TryPop (the lane's worker) at any time. The protocol is two
+/// free-running uint64 indexes: the producer owns `tail_`, the consumer
+/// owns `head_`, and each publishes its side with a release store that the
+/// other side acquires — the slot payload is therefore transferred with
+/// plain moves, no per-item lock. Capacity is rounded up to a power of two
+/// so the slot index is a mask, and the hot indexes live on their own
+/// cache lines (with a cached copy of the *other* side's index next to
+/// each, so an uncontended push/pop touches one line, not two).
+///
+/// There is deliberately no blocking here: full/empty return false and the
+/// caller decides between spinning and parking (the executor's
+/// spin-then-park protocol, which also keeps the watchdog heartbeat and
+/// overload semantics observable). Clear() is NOT part of the concurrent
+/// protocol — it requires both sides quiescent (the supervised restart
+/// path, where the worker is joined).
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Moves `item` into the ring and returns true, or leaves
+  /// it untouched and returns false when the ring is full.
+  bool TryPush(T& item) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Moves the oldest item into `*out` and returns true, or
+  /// returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (cached_tail_ == head) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (cached_tail_ == head) return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy from raw index loads. Exact from the producer
+  /// thread (its own tail is current and head only shrinks the count), a
+  /// safe over-estimate from the consumer; the executor reads it for the
+  /// overload high-watermark and drain polling, both tolerant of staleness.
+  size_t size() const {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  bool Empty() const { return size() == 0; }
+  bool Full() const { return size() > mask_; }
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Drops every queued item. Single-threaded only: both sides must be
+  /// quiescent (worker joined, as in a supervised restart or run reset).
+  void Clear() {
+    T discard;
+    while (TryPop(&discard)) discard = T();
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  /// Producer-owned line: the free-running publish index plus the
+  /// producer's last view of the consumer's index.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t cached_head_ = 0;
+  /// Consumer-owned line, symmetric.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t cached_tail_ = 0;
+};
+
+}  // namespace exec
+}  // namespace aseq
+
+#endif  // ASEQ_EXEC_SPSC_RING_H_

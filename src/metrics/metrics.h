@@ -145,6 +145,22 @@ struct EngineStats {
   /// Full-drain stalls taken by the degrade-serial overload policy.
   uint64_t overload_stalls = 0;
 
+  // ---- Sharded dataplane counters (src/exec/, docs/internals.md §16) ----
+  //
+  // Transient diagnostics like the groups above: not checkpointed, outside
+  // the equivalence contract, owned by the sharded coordinator/workers and
+  // folded into the merged view at the end of the run (serial runs leave
+  // them zero).
+  /// Chunked route publications: one per shard per batch that had ops for
+  /// that shard (the unit of coordinator→worker synchronization).
+  uint64_t pub_batches = 0;
+  /// Publications that found the lane's ring full and had to wait for the
+  /// worker (the dataplane's backpressure signal).
+  uint64_t ring_full_waits = 0;
+  /// Spin iterations burned in the rings' spin-then-park protocols before
+  /// parking, summed over the coordinator and every worker.
+  uint64_t ring_spins = 0;
+
   /// Records one OnBatch call of `n` events.
   void NoteBatch(size_t n) {
     ++batches_processed;
@@ -173,6 +189,9 @@ struct EngineStats {
     shed_partitions = 0;
     shed_events = 0;
     overload_stalls = 0;
+    pub_batches = 0;
+    ring_full_waits = 0;
+    ring_spins = 0;
   }
 };
 

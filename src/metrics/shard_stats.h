@@ -54,6 +54,11 @@ inline void MergeBulkStats(const EngineStats& shard, EngineStats* merged) {
   merged->shed_partitions += shard.shed_partitions;
   merged->shed_events += shard.shed_events;
   merged->overload_stalls += shard.overload_stalls;
+  // Dataplane counters: owned by the coordinator/workers, folded in after
+  // this sum like the fault counters above — shard engines carry zeros.
+  merged->pub_batches += shard.pub_batches;
+  merged->ring_full_waits += shard.ring_full_waits;
+  merged->ring_spins += shard.ring_spins;
 }
 
 /// \brief Reconstructs the serial engine's global live/peak object counts

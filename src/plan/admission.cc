@@ -116,6 +116,7 @@ AdmissionProgram::AdmissionProgram(const CompiledQuery& query)
     max_type = std::max(max_type, type);
   }
   spans_.resize(query.roles().empty() ? 0 : max_type + 1);
+  type_relevant_.assign(spans_.size(), 0);
   for (EventTypeId type = 0; type < spans_.size(); ++type) {
     const std::vector<Role>* roles = query.FindRoles(type);
     if (roles == nullptr) continue;
@@ -123,6 +124,7 @@ AdmissionProgram::AdmissionProgram(const CompiledQuery& query)
     for (const Role& role : *roles) CompileRole(role);
     spans_[type].count =
         static_cast<uint32_t>(roles_.size()) - spans_[type].first;
+    type_relevant_[type] = spans_[type].count != 0 ? 1 : 0;
   }
 }
 
@@ -338,10 +340,28 @@ inline void InternRecord(size_t num_parts, container::KeyInterner* interner,
 
 }  // namespace
 
+size_t BatchPrefilter::Scan(const AdmissionProgram& program,
+                            std::span<const Event> batch) {
+  const size_t words = (batch.size() + 63) / 64;
+  mask_.assign(words, 0);
+  size_t relevant = 0;
+  // Columnar pass: one byte-table load per event, accumulated into the
+  // bitmask word-at-a-time. Nothing here depends on admission state, so
+  // the loop is pure gather + or — the compiler's to vectorize.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const uint64_t bit = program.Relevant(batch[i].type()) ? 1u : 0u;
+    mask_[i >> 6] |= bit << (i & 63);
+    relevant += bit;
+  }
+  relevant_ = relevant;
+  return relevant;
+}
+
 void BatchAdmitter::AdmitBatch(const AdmissionProgram& program,
                                std::span<const Event> batch,
                                container::KeyInterner* interner,
-                               EngineStats* stats) {
+                               EngineStats* stats,
+                               const BatchPrefilter* prefilter) {
   if (fault::Injector::Global().armed()) {
     if (auto fired = fault::Injector::Global().Hit(fault::Point::kAdmitBatch)) {
       if (fired->kind == fault::Kind::kCrash) {
@@ -359,14 +379,20 @@ void BatchAdmitter::AdmitBatch(const AdmissionProgram& program,
   // Fused qualify + extract + carrier load per (event, role), each admitted
   // record interned on the spot (see InternRecord). Record slots are
   // recycled in place: a rejected candidate writes nothing durable.
-  for (const Event& e : batch) {
+  for (size_t i = 0; i < batch.size(); ++i) {
     EventAdmission ea;
     ea.first_record = static_cast<uint32_t>(used_);
-    for (const RoleProgram& rp : program.RolesFor(e.type())) {
-      if (used_ == records_.size()) records_.emplace_back();
-      if (program.AdmitRole(e, rp, &records_[used_], stats, interner)) {
-        if (interner != nullptr) InternRecord(n, interner, &records_[used_]);
-        ++used_;
+    // The prefilter's bitmask replaces the role-table walk for events whose
+    // type plays no role: the span would come back empty anyway, so the
+    // skip is exact — it only saves the lookup.
+    if (prefilter == nullptr || prefilter->Relevant(i)) {
+      const Event& e = batch[i];
+      for (const RoleProgram& rp : program.RolesFor(e.type())) {
+        if (used_ == records_.size()) records_.emplace_back();
+        if (program.AdmitRole(e, rp, &records_[used_], stats, interner)) {
+          if (interner != nullptr) InternRecord(n, interner, &records_[used_]);
+          ++used_;
+        }
       }
     }
     ea.num_records = static_cast<uint32_t>(used_) - ea.first_record;

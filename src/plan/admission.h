@@ -137,8 +137,12 @@ class AdmissionProgram {
   }
 
   /// True when events of `type` can affect this query at all. Multi-query
-  /// engines use this as a type-level early-out.
-  bool Relevant(EventTypeId type) const { return !RolesFor(type).empty(); }
+  /// engines use this as a type-level early-out; BatchPrefilter gathers it
+  /// columnarly over whole batches. Backed by a dense byte table so the
+  /// per-event cost is one bounds check + one byte load.
+  bool Relevant(EventTypeId type) const {
+    return type < type_relevant_.size() && type_relevant_[type] != 0;
+  }
 
   /// The role record for `type` acting as pattern element `elem_index`,
   /// or nullptr (oracle-style per-element lookup).
@@ -184,9 +188,44 @@ class AdmissionProgram {
   const CompiledQuery* query_ = nullptr;
   std::vector<RoleProgram> roles_;  // grouped by type, dispatch order
   std::vector<Span> spans_;         // EventTypeId-indexed
+  /// Dense EventTypeId-indexed relevance bytes (1 = the type plays a role
+  /// in the pattern). Mirrors spans_, in a form the prefilter's columnar
+  /// pass can gather without touching span metadata.
+  std::vector<uint8_t> type_relevant_;
   std::vector<CmpInsn> insns_;
   std::vector<AttrId> part_attrs_;  // partition part attributes, in order
   uint64_t full_mask_ = 0;
+};
+
+/// \brief Vectorized admission prefilter: one columnar pass over a batch's
+/// event types against a program's relevance table, producing a per-event
+/// admit bitmask (bit i set = batch[i] can stage a record for the query).
+///
+/// The pass touches only the event-type column and a dense byte table, so
+/// it runs at memory speed and vectorizes; consumers then skip the
+/// role-table walk for masked-out events entirely. BatchAdmitter accepts
+/// the mask (see AdmitBatch) and the shard routers use the whole-batch
+/// early-out: a query none of whose bits are set is not admitted at all
+/// for that batch. The mask is exactly `program.Relevant(type)` per event,
+/// so consuming it is bit-exact with the unfiltered walk — irrelevant
+/// events can never produce an admission record.
+class BatchPrefilter {
+ public:
+  /// Rebuilds the mask for `batch` against `program`. Returns the number
+  /// of relevant events (0 = the whole batch is invisible to the query).
+  size_t Scan(const AdmissionProgram& program, std::span<const Event> batch);
+
+  /// Whether batch event `i` of the last Scan is relevant.
+  bool Relevant(size_t i) const {
+    return ((mask_[i >> 6] >> (i & 63)) & 1) != 0;
+  }
+
+  size_t relevant_count() const { return relevant_; }
+  std::span<const uint64_t> mask() const { return mask_; }
+
+ private:
+  std::vector<uint64_t> mask_;  // ceil(batch/64) words, clear-not-shrink
+  size_t relevant_ = 0;
 };
 
 /// \brief Per-event spans into BatchAdmitter's record array.
@@ -216,9 +255,14 @@ class BatchAdmitter {
   /// Admits every event of `batch`. `interner` is optional: without one,
   /// interning is skipped and records carry only borrowed values + hashes
   /// (the shard router and the match-constructing engines intern or copy
-  /// themselves). Counters accrue on `stats` when non-null.
+  /// themselves). Counters accrue on `stats` when non-null. `prefilter`,
+  /// when given, must hold a Scan of this (program, batch): masked-out
+  /// events skip the role-table walk and emit an empty record span —
+  /// bit-exact with the unfiltered pass, since the mask is the program's
+  /// own type-relevance predicate.
   void AdmitBatch(const AdmissionProgram& program, std::span<const Event> batch,
-                  container::KeyInterner* interner, EngineStats* stats);
+                  container::KeyInterner* interner, EngineStats* stats,
+                  const BatchPrefilter* prefilter = nullptr);
 
   std::span<const AdmissionRecord> records() const {
     return {records_.data(), used_};

@@ -1,0 +1,205 @@
+// Tests for the SPSC ring queue behind the sharded dataplane
+// (exec/spsc_ring.h, docs/internals.md §16): single-threaded invariants,
+// wraparound, overflow refusal, move-only payloads, and a randomized
+// bursty producer/consumer stress across the small capacities the
+// executor actually uses.
+
+#include "exec/spsc_ring.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace aseq {
+namespace exec {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(4).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(16).capacity(), 16u);
+  EXPECT_EQ(SpscRing<int>(17).capacity(), 32u);
+}
+
+TEST(SpscRingTest, PushPopFifoSingleThreaded) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_EQ(ring.size(), 0u);
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.TryPush(v)) << i;
+  }
+  EXPECT_TRUE(ring.Full());
+  EXPECT_EQ(ring.size(), 4u);
+  int overflow = 99;
+  EXPECT_FALSE(ring.TryPush(overflow));
+  for (int i = 0; i < 4; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(ring.TryPop(&out));
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRingTest, WrapsAroundManyTimes) {
+  // Free-running indices: push/pop far past the capacity so the masked
+  // slot index wraps repeatedly and (with a tiny ring) exercises every
+  // head/tail phase alignment.
+  SpscRing<uint64_t> ring(2);
+  uint64_t next_push = 0;
+  uint64_t next_pop = 0;
+  std::mt19937 rng(7);
+  for (int step = 0; step < 20000; ++step) {
+    if (rng() % 2 == 0) {
+      uint64_t v = next_push;
+      if (ring.TryPush(v)) ++next_push;
+    } else {
+      uint64_t out = 0;
+      if (ring.TryPop(&out)) {
+        ASSERT_EQ(out, next_pop);
+        ++next_pop;
+      }
+    }
+    ASSERT_LE(next_push - next_pop, ring.capacity());
+    ASSERT_EQ(ring.size(), next_push - next_pop);
+  }
+}
+
+TEST(SpscRingTest, OverflowRefusesWithoutClobbering) {
+  SpscRing<int> ring(2);
+  int a = 1, b = 2, c = 3;
+  ASSERT_TRUE(ring.TryPush(a));
+  ASSERT_TRUE(ring.TryPush(b));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(ring.TryPush(c));
+  }
+  // The refused pushes must not have disturbed the queued items.
+  int out = 0;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+TEST(SpscRingTest, MoveOnlyPayload) {
+  // LaneItem carries a std::vector of ops; unique_ptr is the strictest
+  // stand-in for that move-only shape.
+  SpscRing<std::unique_ptr<int>> ring(4);
+  for (int i = 0; i < 3; ++i) {
+    auto p = std::make_unique<int>(i);
+    ASSERT_TRUE(ring.TryPush(p));
+    EXPECT_EQ(p, nullptr);  // moved from
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::unique_ptr<int> out;
+    ASSERT_TRUE(ring.TryPop(&out));
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(*out, i);
+  }
+}
+
+TEST(SpscRingTest, ClearDiscardsQueuedItems) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  for (int i = 0; i < 4; ++i) {
+    auto p = std::make_unique<int>(i);
+    ASSERT_TRUE(ring.TryPush(p));
+  }
+  ring.Clear();
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_EQ(ring.size(), 0u);
+  // Usable again after the reset.
+  auto p = std::make_unique<int>(42);
+  ASSERT_TRUE(ring.TryPush(p));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(*out, 42);
+}
+
+/// Randomized cross-thread stress: a bursty producer pushes a known
+/// sequence through a tiny ring while a bursty consumer pops and checks
+/// FIFO order and a running checksum. Small capacities (2..8) force
+/// constant wraparound and full/empty boundary hits; random spin bursts
+/// on both sides shuffle the interleaving. TSan runs this in CI
+/// (ctest -L shard), which is the real acquire/release correctness check.
+void BurstyStress(size_t capacity, uint32_t seed, uint64_t total) {
+  SpscRing<uint64_t> ring(capacity);
+  std::atomic<bool> producer_done{false};
+  uint64_t consumed_sum = 0;
+  uint64_t consumed_count = 0;
+
+  std::thread consumer([&] {
+    std::mt19937 rng(seed * 2654435761u + 1);
+    uint64_t expect = 0;
+    for (;;) {
+      uint64_t out = 0;
+      if (ring.TryPop(&out)) {
+        ASSERT_EQ(out, expect);
+        ++expect;
+        consumed_sum += out;
+        ++consumed_count;
+        // Bursty drain: sometimes stall mid-stream to let the ring fill.
+        if (rng() % 64 == 0) {
+          std::this_thread::yield();
+        }
+        continue;
+      }
+      if (producer_done.load(std::memory_order_acquire) && ring.Empty()) {
+        return;
+      }
+      // Yield, not spin: on a single-core host a spinning consumer starves
+      // the producer for a whole scheduler quantum per handoff.
+      std::this_thread::yield();
+    }
+  });
+
+  std::mt19937 rng(seed);
+  uint64_t pushed = 0;
+  while (pushed < total) {
+    // Push a burst, spin when full (mirrors the coordinator's protocol).
+    const uint64_t burst = 1 + rng() % (2 * capacity);
+    for (uint64_t i = 0; i < burst && pushed < total; ++i) {
+      uint64_t v = pushed;
+      while (!ring.TryPush(v)) {
+        std::this_thread::yield();
+      }
+      ++pushed;
+    }
+    if (rng() % 8 == 0) {
+      std::this_thread::yield();
+    }
+  }
+  producer_done.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(consumed_count, total);
+  EXPECT_EQ(consumed_sum, total * (total - 1) / 2);
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRingStressTest, BurstyProducerConsumerAcrossCapacities) {
+  for (size_t capacity : {2u, 3u, 4u, 8u}) {
+    for (uint32_t seed : {1u, 2u, 3u}) {
+      BurstyStress(capacity, seed, 20000);
+    }
+  }
+}
+
+TEST(SpscRingStressTest, ExecutorShapedCapacity) {
+  // The executor's actual lane depth.
+  BurstyStress(16, 11, 50000);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace aseq

@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -371,6 +374,46 @@ TEST_F(SupervisorTest, SupervisionComposesWithCrashAndOverloadInjection) {
   ExpectOutputsEqual(ref.outputs, run.outputs, "compose");
   EXPECT_GE(policy->stats().fault_restarts, 1u);
   EXPECT_GE(policy->stats().overload_stalls, 1u);
+}
+
+TEST_F(SupervisorTest, StopDuringFullRingStallExitsPromptly) {
+  // A stop request that arrives while the coordinator is parked on a full
+  // lane ring (worker too slow to drain) must abort the park instead of
+  // waiting for a drain that may never come: the run returns interrupted,
+  // without a final checkpoint, and tears the workers down.
+  auto c = MakeStock(783, 3000);
+  CompiledQuery cq = MustCompile(&c->schema, kQuery);
+
+  RunOptions options;
+  options.num_shards = kShards;
+  // A small batch multiplies items-per-lane so the throttled lane's ring
+  // fills within milliseconds and stays full for the rest of the run.
+  options.batch_size = 8;
+  std::atomic<bool> stop{false};
+  options.stop_requested = &stop;
+  auto policy = MustMakeSharded(cq, options);
+  // Every op on shard 0 sleeps 50-250us: draining one queued item takes
+  // ~1ms while the router can publish hundreds of items per millisecond.
+  ASSERT_TRUE(
+      fault::Injector::Global().Arm("worker.op@0:1:slow:100000000", 7).ok());
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    stop.store(true);
+  });
+  StopWatch watch;
+  RunResult run = policy->RunEvents(c->events);
+  const double elapsed = watch.ElapsedSeconds();
+  stopper.join();
+  fault::Injector::Global().Disarm();
+
+  ASSERT_TRUE(run.fault_status.ok()) << run.fault_status.ToString();
+  EXPECT_TRUE(run.interrupted);
+  EXPECT_LT(run.events, c->events.size());
+  // The throttled lane really did exert backpressure.
+  EXPECT_GE(policy->stats().ring_full_waits, 1u);
+  // Whole-stream drain at ~150us/op would take ~10x this bound even
+  // unsanitized; a prompt stop is comfortably inside it.
+  EXPECT_LT(elapsed, 10.0);
 }
 
 }  // namespace
