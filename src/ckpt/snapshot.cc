@@ -82,6 +82,17 @@ Status PayloadToEngine(const std::string& path, const std::string& name,
 
 }  // namespace
 
+namespace {
+/// See SetSnapshotWriteObserver: registered before a run, read on the
+/// (single) checkpointing thread during it.
+std::function<void(const std::string&, uint64_t)> g_write_observer;
+}  // namespace
+
+void SetSnapshotWriteObserver(
+    std::function<void(const std::string&, uint64_t)> observer) {
+  g_write_observer = std::move(observer);
+}
+
 uint64_t Fnv1a64(std::string_view data) {
   uint64_t h = 0xcbf29ce484222325ull;
   for (char c : data) {
@@ -148,7 +159,9 @@ Status WriteSnapshotFile(const std::string& path,
     std::remove(tmp.c_str());
     return st;
   }
-  return SyncPath(ParentDir(path), /*directory=*/true);
+  Status st = SyncPath(ParentDir(path), /*directory=*/true);
+  if (st.ok() && g_write_observer) g_write_observer(path, stream_offset);
+  return st;
 }
 
 Status ReadSnapshotFile(const std::string& path, SnapshotInfo* info,

@@ -2,6 +2,7 @@
 #define ASEQ_CKPT_SNAPSHOT_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 
@@ -47,6 +48,17 @@ uint64_t Fnv1a64(std::string_view data);
 Status WriteSnapshotFile(const std::string& path,
                          const std::string& engine_name,
                          uint64_t stream_offset, std::string_view payload);
+
+/// Process-wide observer invoked with (path, stream_offset) after every
+/// successful WriteSnapshotFile — i.e. after the rename published the
+/// snapshot. The telemetry layer registers one to flush the metrics
+/// emitter and stamp a trace instant at each durability point, so the
+/// observability files on disk always cover at least as much of the run
+/// as the newest checkpoint. Pass an empty function to clear. Not
+/// thread-safe against concurrent snapshot writes: register before the
+/// run starts (the CLI does this during flag setup).
+void SetSnapshotWriteObserver(
+    std::function<void(const std::string&, uint64_t)> observer);
 
 /// Reads and validates a snapshot file: magic, version, body length, and
 /// checksum. On success `*info` holds the header and `*payload` the engine

@@ -1,7 +1,10 @@
 #include "cli/cli.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <memory>
+#include <span>
 #include <sstream>
 
 #include "aseq/aseq_engine.h"
@@ -21,6 +24,10 @@
 #include "exec/execution_policy.h"
 #include "exec/multi_execution_policy.h"
 #include "fault/fault.h"
+#include "obs/emitter.h"
+#include "obs/stats_json.h"
+#include "obs/telemetry.h"
+#include "obs/trace_writer.h"
 #include "query/analyzer.h"
 #include "stream/clickstream.h"
 #include "stream/stock_stream.h"
@@ -82,7 +89,18 @@ constexpr const char* kUsage =
     "   deterministic fault injection (points: router.route, worker.op,\n"
     "   ckpt.write, admit.batch; kinds: crash, stall, slow, io-error,\n"
     "   overload) with --fault-seed S; SIGINT/SIGTERM drain in-flight\n"
-    "   batches, write a final checkpoint when enabled, and exit 0)\n";
+    "   batches, write a final checkpoint when enabled, and exit 0)\n"
+    "  (observability, run and workload:\n"
+    "   --metrics-out FILE appends JSON-lines telemetry — per-shard\n"
+    "   counters, latency histogram percentiles, and ring-occupancy\n"
+    "   gauges — every --metrics-every-ms MS (default 1000);\n"
+    "   --trace-out FILE writes a chrome://tracing JSON file with batch\n"
+    "   and barrier spans plus supervisor instants (quarantine, restart,\n"
+    "   replay, shed, overload-degrade, fault-injected, checkpoint);\n"
+    "   --stats-json FILE dumps the end-of-run EngineStats + per-shard\n"
+    "   utilization as one machine-readable JSON document.\n"
+    "   Telemetry only observes: outputs and stats stay bit-exact with\n"
+    "   the same run with every flag off)\n";
 
 /// Reads --batch-size into RunOptions (default kDefaultBatchSize).
 Result<RunOptions> BatchOptionsFromFlags(const FlagSet& flags) {
@@ -294,6 +312,211 @@ Result<std::unique_ptr<QueryEngine>> MakeEngine(const FlagSet& flags,
   return engine;
 }
 
+/// Per-run observability objects behind --metrics-out / --trace-out /
+/// --stats-json, plus the process-global observer registrations
+/// (checkpoint writes, fault fires). The destructor stops the emitter,
+/// closes the trace, and clears the observers, so every exit path —
+/// including aborted runs — leaves valid files and no dangling globals.
+struct Observability {
+  std::unique_ptr<obs::Telemetry> telemetry;
+  std::unique_ptr<obs::TraceWriter> trace;
+  std::unique_ptr<obs::MetricsEmitter> emitter;
+  std::string stats_json_path;
+  bool observers_registered = false;
+  bool finished = false;
+
+  ~Observability() {
+    Finish();
+    if (observers_registered) {
+      ckpt::SetSnapshotWriteObserver({});
+      fault::Injector::Global().SetFireObserver({});
+    }
+  }
+
+  /// Final flush: one last metrics interval, the utilization summary line
+  /// (when the run produced per-shard busy spans), and the trace's closing
+  /// bracket. Idempotent; the destructor calls it with no utilization.
+  void Finish(std::span<const double> busy_seconds = {}) {
+    if (finished) return;
+    finished = true;
+    if (emitter != nullptr) {
+      emitter->Stop();  // final interval rows first, then the summary line
+      if (!busy_seconds.empty()) {
+        std::vector<double> busy(busy_seconds.begin(), busy_seconds.end());
+        emitter->AppendLine("{\"type\":\"utilization\",\"data\":" +
+                            obs::UtilizationJson(busy) + "}");
+      }
+    }
+    if (trace != nullptr) trace->Close();
+  }
+};
+
+/// Parses --metrics-out/--metrics-every-ms/--trace-out/--stats-json and
+/// builds the run's telemetry registry + sinks. `label` names the run in
+/// the metrics header (engine kind or workload strategy — the policy
+/// object does not exist yet when the registry must be built, since
+/// executors copy RunOptions at construction).
+Status SetupObservability(const FlagSet& flags, const RunOptions& options,
+                          const std::string& label, Observability* o) {
+  const std::string metrics_path = flags.GetString("metrics-out");
+  const std::string trace_path = flags.GetString("trace-out");
+  o->stats_json_path = flags.GetString("stats-json");
+  ASEQ_ASSIGN_OR_RETURN(int64_t every, flags.GetInt("metrics-every-ms", 1000));
+  if (every <= 0) {
+    return Status::InvalidArgument(
+        "--metrics-every-ms expects MS > 0 between metric snapshots "
+        "(default 1000)");
+  }
+  if (flags.Has("metrics-every-ms") && metrics_path.empty()) {
+    return Status::InvalidArgument(
+        "--metrics-every-ms has no effect without --metrics-out FILE");
+  }
+  if (metrics_path.empty() && trace_path.empty()) return Status::OK();
+
+  o->telemetry = std::make_unique<obs::Telemetry>(options.num_shards);
+  if (!trace_path.empty()) {
+    o->trace = std::make_unique<obs::TraceWriter>(
+        trace_path, o->telemetry->start_ns(), options.num_shards);
+    if (!o->trace->ok()) {
+      return Status::IoError("cannot open --trace-out file '" + trace_path +
+                             "'");
+    }
+    o->telemetry->set_trace(o->trace.get());
+  }
+  if (!metrics_path.empty()) {
+    o->emitter = std::make_unique<obs::MetricsEmitter>(
+        metrics_path, static_cast<uint64_t>(every), o->telemetry.get(),
+        "\"label\":\"" + label + "\"");
+    if (!o->emitter->ok()) {
+      return Status::IoError("cannot open --metrics-out file '" +
+                             metrics_path + "'");
+    }
+    o->telemetry->set_emitter(o->emitter.get());
+  }
+
+  // Durability hook: every successful snapshot write flushes the metrics
+  // file and stamps a trace instant, so the observability files on disk
+  // cover at least as much of the run as the newest checkpoint.
+  obs::Telemetry* tel = o->telemetry.get();
+  ckpt::SetSnapshotWriteObserver(
+      [tel](const std::string& /*path*/, uint64_t offset) {
+        if (tel->trace() != nullptr) {
+          tel->trace()->Instant("checkpoint", obs::TraceWriter::kCoordTid,
+                                obs::MonotonicNanos(),
+                                {obs::TraceWriter::NumArg("offset", offset)});
+          tel->trace()->Flush();
+        }
+        if (tel->emitter() != nullptr) tel->emitter()->Flush();
+      });
+  fault::Injector::Global().SetFireObserver(
+      [tel](fault::Point point, fault::Kind kind, size_t lane) {
+        if (tel->trace() == nullptr) return;
+        // Worker faults land on the shard's own trace row; coordinator
+        // points on the coordinator row.
+        const int64_t tid = point == fault::Point::kWorkerOp
+                                ? static_cast<int64_t>(lane)
+                                : obs::TraceWriter::kCoordTid;
+        tel->trace()->Instant(
+            "fault-injected", tid, obs::MonotonicNanos(),
+            {{"point", fault::PointName(point)},
+             {"kind", fault::KindName(kind)},
+             obs::TraceWriter::NumArg("lane", lane)});
+      });
+  o->observers_registered = true;
+  return Status::OK();
+}
+
+/// Prints the end-of-run stats block shared by `run` and `workload` in ONE
+/// stable, documented order (docs/internals.md §17; the golden test in
+/// cli_test.cc locks it):
+///   events, batch size, shards*, results*, ms/slide, peak objects,
+///   admission, utilization*, dataplane*, supervisor*, overload*,
+///   faults*, checkpoints*
+/// Starred lines print only when their feature is active: shards when
+/// sharding was requested; results for single-query runs; utilization and
+/// dataplane when the run actually sharded; supervisor under --supervise;
+/// overload under a non-block policy; faults when the injector is armed;
+/// checkpoints when periodic checkpointing is on.
+void PrintStatsBlock(std::ostream& out, const RunOptions& options,
+                     const RunResultBase& result, const EngineStats& stats,
+                     std::span<const double> busy_seconds,
+                     const size_t* results_count) {
+  out << "events:        " << result.events << "\n";
+  out << "batch size:    " << result.batch_size << "\n";
+  if (options.num_shards > 1) {
+    out << "shards:        " << result.num_shards << "\n";
+  }
+  if (results_count != nullptr) {
+    out << "results:       " << *results_count << "\n";
+  }
+  out << "ms/slide:      " << result.MillisPerSlide() << "\n";
+  out << "peak objects:  " << stats.objects.peak() << "\n";
+  out << "admission:     " << stats.adm_admitted << " admitted, "
+      << stats.adm_rejected_local << " rejected, " << stats.adm_missing_attr
+      << " missing-attr, " << stats.adm_generic_cmps << " generic cmps\n";
+  if (result.num_shards > 1 && !busy_seconds.empty()) {
+    const double max_busy =
+        *std::max_element(busy_seconds.begin(), busy_seconds.end());
+    const double min_busy =
+        *std::min_element(busy_seconds.begin(), busy_seconds.end());
+    const double imbalance = min_busy > 0.0 ? max_busy / min_busy : 1.0;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "utilization:   shard busy %.3fs min / %.3fs max "
+                  "(imbalance %.2fx)\n",
+                  min_busy, max_busy, imbalance);
+    out << line;
+  }
+  if (result.num_shards > 1) {
+    out << "dataplane:     " << stats.pub_batches << " publications, "
+        << stats.ring_full_waits << " full-ring waits, " << stats.ring_spins
+        << " spins\n";
+  }
+  if (options.supervise) {
+    out << "supervisor:    " << stats.fault_restarts << " restarts, "
+        << stats.fault_replayed_events << " events replayed\n";
+  }
+  if (options.overload_policy == OverloadPolicy::kShed) {
+    out << "overload:      shed " << stats.shed_partitions << " partitions ("
+        << stats.shed_events << " events)\n";
+  } else if (options.overload_policy == OverloadPolicy::kDegradeSerial) {
+    out << "overload:      " << stats.overload_stalls << " serial drains\n";
+  }
+  if (fault::Injector::Global().armed()) {
+    // Serial runs don't fold injector counters into engine stats, so the
+    // process-wide count is the honest number for every policy.
+    out << "faults:        " << fault::Injector::Global().fired_count()
+        << " injected\n";
+  }
+  if (options.checkpoint_every > 0) {
+    out << "checkpoints:   " << result.checkpoints_written;
+    if (result.checkpoints_written > 0) {
+      out << " (latest at offset " << result.last_checkpoint_offset << ")";
+    }
+    out << "\n";
+  }
+}
+
+/// Writes the --stats-json document (one entry labeled `label`). A write
+/// failure is a warning, not a run failure — the computation already
+/// succeeded.
+void MaybeWriteStatsJson(const Observability& obsv, const std::string& label,
+                         const std::string& engine_name,
+                         const RunResultBase& result, const EngineStats& stats,
+                         std::span<const double> busy_seconds,
+                         size_t results_count, std::ostream& err) {
+  if (obsv.stats_json_path.empty()) return;
+  std::vector<double> busy(busy_seconds.begin(), busy_seconds.end());
+  std::vector<obs::StatsJsonEntry> entries;
+  entries.push_back({label, &stats, results_count});
+  if (!obs::WriteStatsJson(obsv.stats_json_path, engine_name,
+                           result.num_shards, result.elapsed_seconds * 1e3,
+                           busy, entries)) {
+    err << "warning: failed writing --stats-json file '"
+        << obsv.stats_json_path << "'\n";
+  }
+}
+
 void PrintOutput(std::ostream& out, const Output& output) {
   out << "t=" << output.ts;
   if (output.group.has_value()) {
@@ -309,7 +532,8 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
        "checkpoint-every", "checkpoint-dir", "restore-from", "supervise",
        "watchdog-timeout-ms", "recovery-every", "max-restarts",
        "overload-policy", "overload-watermark", "fault-spec", "fault-seed",
-       "pin-threads"});
+       "pin-threads", "metrics-out", "metrics-every-ms", "trace-out",
+       "stats-json"});
   if (!known.ok()) {
     err << known.ToString() << "\n";
     return 2;
@@ -333,6 +557,17 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     return 1;
   }
   options->stop_requested = &CliStopFlag();
+  // Telemetry must be in the options BEFORE MakePolicy: executors copy
+  // RunOptions at construction.
+  Observability obsv;
+  Status obs_flags = SetupObservability(flags, *options,
+                                        flags.GetString("engine", "aseq"),
+                                        &obsv);
+  if (!obs_flags.ok()) {
+    err << obs_flags.ToString() << "\n";
+    return 1;
+  }
+  options->telemetry = obsv.telemetry.get();
   Schema schema;
   auto query = CompileQuery(flags, &schema);
   if (!query.ok()) {
@@ -379,7 +614,9 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     out << "restored from " << restore_from << " at offset " << offset
         << "; replaying " << events->size() << " remaining events\n";
   }
+  if (obsv.emitter != nullptr) obsv.emitter->Start();
   RunResult result = (*policy)->RunEvents(*events);
+  obsv.Finish((*policy)->shard_busy_seconds());
   if (!result.fault_status.ok()) {
     err << "fault: run aborted: " << result.fault_status.ToString() << "\n";
     return 1;
@@ -422,48 +659,12 @@ int CmdRun(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   }
   out << "engine:        " << (*policy)->name() << "\n";
   out << "query:         " << query->ToString() << "\n";
-  out << "events:        " << result.events << "\n";
-  out << "batch size:    " << result.batch_size << "\n";
-  if (options->num_shards > 1) {
-    out << "shards:        " << result.num_shards << "\n";
-  }
-  out << "results:       " << result.outputs.size() << "\n";
-  out << "ms/slide:      " << result.MillisPerSlide() << "\n";
-  out << "peak objects:  " << (*policy)->stats().objects.peak() << "\n";
-  const EngineStats& run_stats = (*policy)->stats();
-  out << "admission:     " << run_stats.adm_admitted << " admitted, "
-      << run_stats.adm_rejected_local << " rejected, "
-      << run_stats.adm_missing_attr << " missing-attr, "
-      << run_stats.adm_generic_cmps << " generic cmps\n";
-  if (result.num_shards > 1) {
-    out << "dataplane:     " << run_stats.pub_batches << " publications, "
-        << run_stats.ring_full_waits << " full-ring waits, "
-        << run_stats.ring_spins << " spins\n";
-  }
-  if (options->supervise) {
-    out << "supervisor:    " << run_stats.fault_restarts << " restarts, "
-        << run_stats.fault_replayed_events << " events replayed\n";
-  }
-  if (options->overload_policy == OverloadPolicy::kShed) {
-    out << "overload:      shed " << run_stats.shed_partitions
-        << " partitions (" << run_stats.shed_events << " events)\n";
-  } else if (options->overload_policy == OverloadPolicy::kDegradeSerial) {
-    out << "overload:      " << run_stats.overload_stalls
-        << " serial drains\n";
-  }
-  if (fault::Injector::Global().armed()) {
-    // Serial runs don't fold injector counters into engine stats, so the
-    // process-wide count is the honest number for every policy.
-    out << "faults:        " << fault::Injector::Global().fired_count()
-        << " injected\n";
-  }
-  if (options->checkpoint_every > 0) {
-    out << "checkpoints:   " << result.checkpoints_written;
-    if (result.checkpoints_written > 0) {
-      out << " (latest at offset " << result.last_checkpoint_offset << ")";
-    }
-    out << "\n";
-  }
+  const size_t results_count = result.outputs.size();
+  PrintStatsBlock(out, *options, result, (*policy)->stats(),
+                  (*policy)->shard_busy_seconds(), &results_count);
+  MaybeWriteStatsJson(obsv, "run", (*policy)->name(), result,
+                      (*policy)->stats(), (*policy)->shard_busy_seconds(),
+                      results_count, err);
   return 0;
 }
 
@@ -632,7 +833,8 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
        "batch-size", "shards", "checkpoint-every", "checkpoint-dir",
        "restore-from", "supervise", "watchdog-timeout-ms", "recovery-every",
        "max-restarts", "overload-policy", "overload-watermark", "fault-spec",
-       "fault-seed", "pin-threads"});
+       "fault-seed", "pin-threads", "metrics-out", "metrics-every-ms",
+       "trace-out", "stats-json"});
   if (!known.ok()) {
     err << known.ToString() << "\n";
     return 2;
@@ -654,6 +856,16 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     return 1;
   }
   options->stop_requested = &CliStopFlag();
+  // Telemetry must be in the options BEFORE MakeMultiPolicy: executors
+  // copy RunOptions at construction.
+  Observability obsv;
+  Status obs_flags = SetupObservability(
+      flags, *options, flags.GetString("strategy", "nonshare"), &obsv);
+  if (!obs_flags.ok()) {
+    err << obs_flags.ToString() << "\n";
+    return 1;
+  }
+  options->telemetry = obsv.telemetry.get();
   std::string path = flags.GetString("queries");
   if (path.empty()) {
     err << "InvalidArgument: --queries FILE is required (one query per "
@@ -773,7 +985,9 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
     out << "restored from " << restore_from << " at offset " << offset
         << "; replaying " << events->size() << " remaining events\n";
   }
+  if (obsv.emitter != nullptr) obsv.emitter->Start();
   MultiRunResult result = (*policy)->RunEvents(*events);
+  obsv.Finish((*policy)->shard_busy_seconds());
   if (!result.fault_status.ok()) {
     err << "fault: run aborted: " << result.fault_status.ToString() << "\n";
     return 1;
@@ -795,45 +1009,11 @@ int CmdWorkload(const FlagSet& flags, std::ostream& out, std::ostream& err) {
   }
   out << "strategy:      " << (*policy)->name() << "\n";
   out << "queries:       " << queries.size() << "\n";
-  out << "events:        " << result.events << "\n";
-  out << "batch size:    " << result.batch_size << "\n";
-  if (options->num_shards > 1) {
-    out << "shards:        " << result.num_shards << "\n";
-  }
-  out << "ms/slide:      " << result.MillisPerSlide() << "\n";
-  out << "peak objects:  " << (*policy)->stats().objects.peak() << "\n";
-  const EngineStats& wl_stats = (*policy)->stats();
-  out << "admission:     " << wl_stats.adm_admitted << " admitted, "
-      << wl_stats.adm_rejected_local << " rejected, "
-      << wl_stats.adm_missing_attr << " missing-attr, "
-      << wl_stats.adm_generic_cmps << " generic cmps\n";
-  if (result.num_shards > 1) {
-    out << "dataplane:     " << wl_stats.pub_batches << " publications, "
-        << wl_stats.ring_full_waits << " full-ring waits, "
-        << wl_stats.ring_spins << " spins\n";
-  }
-  if (options->supervise) {
-    out << "supervisor:    " << wl_stats.fault_restarts << " restarts, "
-        << wl_stats.fault_replayed_events << " events replayed\n";
-  }
-  if (options->overload_policy == OverloadPolicy::kShed) {
-    out << "overload:      shed " << wl_stats.shed_partitions
-        << " partitions (" << wl_stats.shed_events << " events)\n";
-  } else if (options->overload_policy == OverloadPolicy::kDegradeSerial) {
-    out << "overload:      " << wl_stats.overload_stalls
-        << " serial drains\n";
-  }
-  if (fault::Injector::Global().armed()) {
-    out << "faults:        " << fault::Injector::Global().fired_count()
-        << " injected\n";
-  }
-  if (options->checkpoint_every > 0) {
-    out << "checkpoints:   " << result.checkpoints_written;
-    if (result.checkpoints_written > 0) {
-      out << " (latest at offset " << result.last_checkpoint_offset << ")";
-    }
-    out << "\n";
-  }
+  PrintStatsBlock(out, *options, result, (*policy)->stats(),
+                  (*policy)->shard_busy_seconds(), nullptr);
+  MaybeWriteStatsJson(obsv, "workload", (*policy)->name(), result,
+                      (*policy)->stats(), (*policy)->shard_busy_seconds(),
+                      result.outputs.size(), err);
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     out << "  Q" << (qi + 1) << ": " << per_query[qi]
         << " results, last=" << last[qi].ToString() << "  — "

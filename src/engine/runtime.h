@@ -12,6 +12,10 @@
 
 namespace aseq {
 
+namespace obs {
+class Telemetry;
+}  // namespace obs
+
 /// Default ingestion batch size for the batched execution pipeline (CLI
 /// `--batch-size`, BatchRunner, and the bench harnesses). 256 events keeps
 /// the refill buffer well inside L2 while amortizing per-event overheads.
@@ -107,6 +111,13 @@ struct RunOptions {
   /// would then serialize workers that could share cores) or on platforms
   /// without affinity support. Serial runs ignore it.
   bool pin_threads = false;
+  /// Optional telemetry registry (src/obs/): when non-null, executors
+  /// record per-shard counters/histograms into its cells and emit trace
+  /// spans through its attached TraceWriter. Null (the default) disables
+  /// every record site — outputs and EngineStats are bit-exact either way;
+  /// telemetry observes the run, it never steers it. The registry must be
+  /// built for at least `num_shards` shards and must outlive the run.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// \brief Fields common to every run result (single- and multi-query).

@@ -6,6 +6,8 @@
 
 #include "ckpt/snapshot.h"
 #include "metrics/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace_writer.h"
 
 namespace aseq {
 namespace exec {
@@ -27,6 +29,9 @@ void MaybeCheckpoint(const RunOptions& options, uint64_t offset,
                   offset);
   if (s.ok()) {
     ++result->checkpoints_written;
+    if (options.telemetry != nullptr) {
+      options.telemetry->coord().checkpoints.Add(1);
+    }
     result->last_checkpoint_offset = offset;
   } else {
     result->checkpoint_status = std::move(s);
@@ -61,7 +66,36 @@ ResultT RunSerialLoop(const RunOptions& options, ScratchT* scratch,
     if (batch.empty()) break;
     for (Event& e : batch) e.set_seq(seq++);
     scratch->clear();
-    engine->OnBatch(std::span<const Event>(batch), scratch);
+    if (options.telemetry == nullptr) {
+      engine->OnBatch(std::span<const Event>(batch), scratch);
+    } else {
+      // Serial telemetry: admission and execution are fused in OnBatch, so
+      // one span covers both; the batch elapsed doubles as the
+      // trigger-to-output latency when the batch produced outputs.
+      obs::Telemetry& tel = *options.telemetry;
+      const uint64_t begin_ns = obs::MonotonicNanos();
+      engine->OnBatch(std::span<const Event>(batch), scratch);
+      const uint64_t end_ns = obs::MonotonicNanos();
+      const uint64_t elapsed = end_ns - begin_ns;
+      tel.coord().batches.Add(1);
+      tel.coord().events.Add(batch.size());
+      tel.coord().admit_ns.Record(elapsed);
+      obs::ShardCell& cell = tel.shard(0);
+      cell.ops.Add(batch.size());
+      cell.events.Add(batch.size());
+      cell.outputs.Add(scratch->size());
+      cell.items.Add(1);
+      cell.busy_ns.Add(elapsed);
+      cell.op_service_ns.Record(elapsed / batch.size());
+      if (!scratch->empty()) cell.trigger_latency_ns.Record(elapsed);
+      if (tel.trace() != nullptr) {
+        tel.trace()->Span(
+            "batch", 0, begin_ns, end_ns,
+            {obs::TraceWriter::NumArg("seq", seq - batch.size()),
+             obs::TraceWriter::NumArg("events", batch.size()),
+             obs::TraceWriter::NumArg("outputs", scratch->size())});
+      }
+    }
     if (options.collect_outputs) {
       result.outputs.insert(result.outputs.end(), scratch->begin(),
                             scratch->end());
@@ -81,6 +115,9 @@ ResultT RunSerialLoop(const RunOptions& options, ScratchT* scratch,
         save(ckpt::SnapshotPathForOffset(options.checkpoint_dir, seq), seq);
     if (s.ok()) {
       ++result.checkpoints_written;
+      if (options.telemetry != nullptr) {
+        options.telemetry->coord().checkpoints.Add(1);
+      }
       result.last_checkpoint_offset = seq;
     } else {
       result.checkpoint_status = std::move(s);

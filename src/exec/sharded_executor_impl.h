@@ -29,6 +29,8 @@
 #include "exec/spsc_ring.h"
 #include "fault/fault.h"
 #include "metrics/shard_stats.h"
+#include "obs/telemetry.h"
+#include "obs/trace_writer.h"
 
 namespace aseq {
 namespace exec {
@@ -194,6 +196,10 @@ class ShardedExecutorT : public Traits::Policy {
     enum class Tag : uint8_t { kOps, kBarrier, kStop };
     Tag tag = Tag::kOps;
     std::vector<ShardOp> ops;
+    /// Publication timestamp (obs::MonotonicNanos at ring push), stamped
+    /// only when telemetry is on — the base of the trigger-to-output
+    /// latency histogram. Zero when telemetry is off.
+    uint64_t publish_ns = 0;
   };
 
   /// One shard's dataplane plus its worker-owned run state. The
@@ -320,7 +326,13 @@ class ShardedExecutorT : public Traits::Policy {
   Status EnqueueSupervised(size_t shard, LaneItem item);
   /// Publishes pending_[shard] to the lane's ring as one chunked
   /// publication and re-arms pending_ with a recycled vector.
-  Status FlushPending(size_t shard);
+  /// `publish_ns`: the batch's shared publication timestamp for trigger-
+  /// latency telemetry (one clock read covers every shard's publication of
+  /// a batch); 0 when telemetry is off. `sample_occupancy`: record this
+  /// lane's ring depth into the coordinator's occupancy histogram (the
+  /// caller rotates the sample across shards, one per batch).
+  Status FlushPending(size_t shard, uint64_t publish_ns,
+                      bool sample_occupancy);
   /// Parks every worker at a barrier; returns true once all have arrived,
   /// false when a stop request aborted the park on a full ring (the run
   /// then tears down via quarantine and skips the final checkpoint).
@@ -328,6 +340,9 @@ class ShardedExecutorT : public Traits::Policy {
   /// Supervised barrier: same contract, but failed lanes are restarted
   /// (with their barrier token re-issued) until every lane arrives.
   Status BarrierAllSupervised();
+  /// Telemetry for a completed barrier: duration histogram + trace span
+  /// (no-op when telemetry is off; `barrier_begin` is then ignored).
+  void RecordBarrier(uint64_t barrier_begin);
   /// Releases workers parked by BarrierAll / BarrierAllSupervised.
   void ResumeAll();
   /// Feeds each lane's new records to the merger (lanes quiescent).
@@ -436,20 +451,56 @@ void ShardedExecutorT<Traits>::WorkerMain(size_t shard) {
   const bool boundary_objects = Traits::BoundaryObjects(shardable);
   const bool supervised = options_.supervise;
   const bool check_faults = fault::Injector::Global().armed();
+  // Telemetry cell for this shard (null = off). The worker is the cell's
+  // only writer; all record sites below are relaxed stores, and the per-op
+  // sites reuse timing the busy-seconds accounting already pays for.
+  obs::ShardCell* const cell = options_.telemetry != nullptr
+                                   ? &options_.telemetry->shard(shard)
+                                   : nullptr;
+  // Per-drain accumulators for the cell's counter fields: the hot loop
+  // adds into plain locals and flushes to the shared cell only at drain
+  // boundaries (ring empty before a park, barrier, ordered exit) or every
+  // kCellFlushItems items under saturation — one batch of relaxed stores
+  // per drain instead of six per item keeps the record cost inside the
+  // <= 3% bench_dataplane overhead gate. The emitter sees counters at
+  // most one drain (bounded by kCellFlushItems items) stale.
+  constexpr uint64_t kCellFlushItems = 64;
+  uint64_t acc_items = 0, acc_ops = 0, acc_events = 0, acc_outputs = 0,
+           acc_busy_ns = 0;
+  const auto flush_cell = [&] {
+    if (cell == nullptr || acc_items == 0) return;
+    cell->items.Add(acc_items);
+    cell->ops.Add(acc_ops);
+    cell->events.Add(acc_events);
+    if (acc_outputs > 0) cell->outputs.Add(acc_outputs);
+    cell->busy_ns.Add(acc_busy_ns);
+    // Occupancy observed at the end of a drain (or a saturation flush):
+    // zero when the worker caught up, queue depth when it didn't.
+    cell->ring_occupancy.Set(lane.ring.size());
+    acc_items = acc_ops = acc_events = acc_outputs = acc_busy_ns = 0;
+  };
   for (;;) {
     LaneItem item;
     // Pop protocol: quarantine first (an ordered exit must not drain the
     // ring — the restart path replays it), then a bounded spin on the
     // ring, then a timed park flying the idle + parked flags.
     for (size_t spin = 0;;) {
-      if (lane.quarantine.load(std::memory_order_relaxed)) return;
+      if (lane.quarantine.load(std::memory_order_relaxed)) {
+        flush_cell();
+        return;
+      }
       if (lane.ring.TryPop(&item)) break;
       if (++spin <= shard_detail::kRingSpinIters) {
         CpuRelax();
         ++lane.spin_count;
         continue;
       }
+      // Drain over (spin budget exhausted on an empty ring): publish the
+      // accumulated counters before parking.
+      flush_cell();
       lane.idle.store(true, std::memory_order_relaxed);
+      const uint64_t park_begin =
+          cell != nullptr ? obs::MonotonicNanos() : 0;
       {
         std::unique_lock<std::mutex> lk(lane.mu);
         lane.consumer_parked.store(true, std::memory_order_release);
@@ -459,13 +510,23 @@ void ShardedExecutorT<Traits>::WorkerMain(size_t shard) {
         });
         lane.consumer_parked.store(false, std::memory_order_relaxed);
       }
+      if (cell != nullptr) {
+        const uint64_t parked = obs::MonotonicNanos() - park_begin;
+        cell->parks.Add(1);
+        cell->park_ns.Add(parked);
+        cell->park_wait_ns.Record(parked);
+      }
       lane.idle.store(false, std::memory_order_relaxed);
       spin = 0;
     }
     // The coordinator may be parked on a full ring.
     WakeProducer(lane);
-    if (item.tag == LaneItem::Tag::kStop) return;
+    if (item.tag == LaneItem::Tag::kStop) {
+      flush_cell();
+      return;
+    }
     if (item.tag == LaneItem::Tag::kBarrier) {
+      flush_cell();
       std::unique_lock<std::mutex> lk(coord_mu_);
       const uint64_t epoch = barrier_epoch_;
       ++barrier_arrived_;
@@ -482,6 +543,11 @@ void ShardedExecutorT<Traits>::WorkerMain(size_t shard) {
       continue;
     }
     StopWatch watch;
+    // Per-item accumulators for the per-op telemetry counts: one cell
+    // store per drained item instead of one per op keeps the record cost
+    // inside the <= 3% bench_dataplane overhead gate.
+    uint64_t item_events = 0;
+    uint64_t item_outputs = 0;
     for (ShardOp& op : item.ops) {
       if (check_faults) {
         if (auto fired =
@@ -514,6 +580,10 @@ void ShardedExecutorT<Traits>::WorkerMain(size_t shard) {
       if (op.kind == ShardOp::Kind::kEvent) {
         lane.scratch.clear();
         engine->OnEvent(op.event, &lane.scratch);
+        if (cell != nullptr) {
+          ++item_events;
+          item_outputs += lane.scratch.size();
+        }
         if (options_.collect_outputs && !lane.scratch.empty()) {
           lane.outputs.insert(lane.outputs.end(), lane.scratch.begin(),
                               lane.scratch.end());
@@ -535,7 +605,32 @@ void ShardedExecutorT<Traits>::WorkerMain(size_t shard) {
       }
       lane.progress.fetch_add(1, std::memory_order_relaxed);
     }
-    lane.busy_seconds += watch.ElapsedSeconds();
+    if (cell == nullptr) {
+      lane.busy_seconds += watch.ElapsedSeconds();
+    } else {
+      // One elapsed read serves both the busy-seconds accounting and the
+      // telemetry cell; the service-time histogram amortizes its record
+      // over the whole drained item, and the counter fields land in the
+      // per-drain accumulators (flushed by flush_cell at drain
+      // boundaries).
+      const uint64_t busy = watch.ElapsedNanos();
+      lane.busy_seconds += static_cast<double>(busy) * 1e-9;
+      ++acc_items;
+      acc_ops += item.ops.size();
+      acc_events += item_events;
+      acc_outputs += item_outputs;
+      acc_busy_ns += busy;
+      cell->op_service_ns.Record(busy / item.ops.size());
+      if (item_outputs > 0) {
+        // Trigger-to-output latency: the batch's publication to the
+        // completion of the item that produced the outputs. The absolute
+        // end instant is reconstructed from the busy StopWatch (same
+        // steady-clock epoch), so the record costs no extra clock read.
+        cell->trigger_latency_ns.Record(watch.StartNanos() + busy -
+                                        item.publish_ns);
+      }
+      if (acc_items >= kCellFlushItems) flush_cell();
+    }
     // Recycle the drained op vector to the router (best-effort: a full
     // free ring just lets the capacity go).
     item.ops.clear();
@@ -603,11 +698,23 @@ Status ShardedExecutorT<Traits>::EnqueueSupervised(size_t shard,
 }
 
 template <class Traits>
-Status ShardedExecutorT<Traits>::FlushPending(size_t shard) {
+Status ShardedExecutorT<Traits>::FlushPending(size_t shard,
+                                              uint64_t publish_ns,
+                                              bool sample_occupancy) {
   if (pending_[shard].empty()) return Status::OK();
   Lane& lane = *lanes_[shard];
   ++rcounters_.pub_batches;
   LaneItem item{LaneItem::Tag::kOps, std::move(pending_[shard])};
+  if (options_.telemetry != nullptr) {
+    obs::CoordCell& cc = options_.telemetry->coord();
+    cc.publications.Add(1);
+    // Occupancy sampled before the push: what the publication found in
+    // front of it — the dataplane's backpressure profile. One rotating
+    // shard per batch (see the occ_rotor in RunImpl) keeps the histogram
+    // off the per-publication hot path.
+    if (sample_occupancy) cc.ring_occupancy.Record(lane.ring.size());
+    item.publish_ns = publish_ns;
+  }
   if (!options_.supervise) {
     if (!Enqueue(shard, std::move(item))) {
       // Stop request on a full ring: the ops are dropped with the run
@@ -656,6 +763,8 @@ Status ShardedExecutorT<Traits>::FlushPending(size_t shard) {
 
 template <class Traits>
 bool ShardedExecutorT<Traits>::BarrierAll() {
+  const uint64_t barrier_begin =
+      options_.telemetry != nullptr ? obs::MonotonicNanos() : 0;
   {
     std::lock_guard<std::mutex> lk(coord_mu_);
     barrier_arrived_ = 0;
@@ -679,11 +788,28 @@ bool ShardedExecutorT<Traits>::BarrierAll() {
       return false;
     }
   }
+  RecordBarrier(barrier_begin);
   return true;
 }
 
 template <class Traits>
+void ShardedExecutorT<Traits>::RecordBarrier(uint64_t barrier_begin) {
+  if (options_.telemetry == nullptr) return;
+  const uint64_t end = obs::MonotonicNanos();
+  obs::CoordCell& cc = options_.telemetry->coord();
+  cc.barriers.Add(1);
+  cc.barrier_ns.Record(end - barrier_begin);
+  if (options_.telemetry->trace() != nullptr) {
+    options_.telemetry->trace()->Span(
+        "barrier", obs::TraceWriter::kCoordTid, barrier_begin, end,
+        {obs::TraceWriter::NumArg("shards", lanes_.size())});
+  }
+}
+
+template <class Traits>
 Status ShardedExecutorT<Traits>::BarrierAllSupervised() {
+  const uint64_t barrier_begin =
+      options_.telemetry != nullptr ? obs::MonotonicNanos() : 0;
   const size_t n = lanes_.size();
   {
     std::lock_guard<std::mutex> lk(coord_mu_);
@@ -715,6 +841,7 @@ Status ShardedExecutorT<Traits>::BarrierAllSupervised() {
     }
   }
   for (auto& lane : lanes_) lane->barrier_pending = false;
+  RecordBarrier(barrier_begin);
   return Status::OK();
 }
 
@@ -832,6 +959,16 @@ Status ShardedExecutorT<Traits>::CheckLanes() {
 template <class Traits>
 Status ShardedExecutorT<Traits>::RestartShard(size_t shard) {
   Lane& lane = *lanes_[shard];
+  obs::TraceWriter* const trace = options_.telemetry != nullptr
+                                      ? options_.telemetry->trace()
+                                      : nullptr;
+  const bool was_dead = lane.dead.load(std::memory_order_acquire);
+  if (trace != nullptr) {
+    trace->Instant("quarantine", obs::TraceWriter::kCoordTid,
+                   obs::MonotonicNanos(),
+                   {obs::TraceWriter::NumArg("shard", shard),
+                    {"cause", was_dead ? "crash" : "stall"}});
+  }
   // Quarantine + reap: a stalled worker parks until the quarantine flag
   // flips; a crashed one already returned; an idle one wakes and exits.
   {
@@ -901,6 +1038,12 @@ Status ShardedExecutorT<Traits>::RestartShard(size_t shard) {
   workers_[shard] =
       std::thread(&ShardedExecutorT<Traits>::WorkerMain, this, shard);
   PinWorker(shard);
+  if (trace != nullptr) {
+    trace->Instant("restart", obs::TraceWriter::kCoordTid,
+                   obs::MonotonicNanos(),
+                   {obs::TraceWriter::NumArg("shard", shard),
+                    obs::TraceWriter::NumArg("attempt", lane.restart_attempts)});
+  }
 
   // Replay the routed slice since the recovery point. If the fresh worker
   // dies again mid-replay (another armed fault), abandon — the caller's
@@ -914,6 +1057,7 @@ Status ShardedExecutorT<Traits>::RestartShard(size_t shard) {
     item.tag = LaneItem::Tag::kOps;
     item.ops.assign(lane.replay_log.begin() + static_cast<ptrdiff_t>(i),
                     lane.replay_log.begin() + static_cast<ptrdiff_t>(i + chunk));
+    if (options_.telemetry != nullptr) item.publish_ns = obs::MonotonicNanos();
     bool pushed = false;
     while (!pushed) {
       if (lane.dead.load(std::memory_order_acquire)) break;
@@ -936,6 +1080,12 @@ Status ShardedExecutorT<Traits>::RestartShard(size_t shard) {
     i += chunk;
   }
   fcounters_.replayed_events += replayed;
+  if (trace != nullptr) {
+    trace->Instant("replay", obs::TraceWriter::kCoordTid,
+                   obs::MonotonicNanos(),
+                   {obs::TraceWriter::NumArg("shard", shard),
+                    obs::TraceWriter::NumArg("events", replayed)});
+  }
 
   // A barrier token lost with the cleared queue must be re-issued after
   // the replay slice, or the coordinator's barrier would never complete.
@@ -1043,6 +1193,8 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
     const std::function<std::span<Event>()>& refill) {
   const size_t n = engines_.size();
   const bool supervised = options_.supervise;
+  obs::Telemetry* const tel = options_.telemetry;
+  obs::TraceWriter* const trace = tel != nullptr ? tel->trace() : nullptr;
   RunResultT result;
   result.batch_size = options_.batch_size;
   result.num_shards = n;
@@ -1108,6 +1260,12 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
   }
 
   SeqNum seq = options_.start_offset;
+  // Occupancy-sample rotor: each batch samples ONE shard's ring depth into
+  // the coordinator's occupancy histogram, rotating through the shards —
+  // full coverage over n batches at 1/n of the per-publication record
+  // cost (and no shard aliasing, which a modulo on the publication count
+  // would produce).
+  size_t occ_rotor = 0;
   uint64_t next_ckpt = options_.checkpoint_every > 0
                            ? options_.start_offset + options_.checkpoint_every
                            : shard_detail::kNeverDue;
@@ -1125,8 +1283,16 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
     // the vectorized admission prefilter + one BatchAdmitter sweep over
     // the borrowed batch instead of a per-event walk.
     for (Event& e : batch) e.set_seq(seq++);
+    const uint64_t batch_begin = tel != nullptr ? obs::MonotonicNanos() : 0;
     const auto routes =
         router_.RouteBatch(std::span<const Event>(batch.data(), batch.size()));
+    if (tel != nullptr) {
+      // Batch-admission latency: the routing pass alone (vectorized
+      // prefilter + compiled admission + hash routing).
+      tel->coord().admit_ns.Record(obs::MonotonicNanos() - batch_begin);
+      tel->coord().batches.Add(1);
+      tel->coord().events.Add(batch.size());
+    }
     bool overload_hit = false;
     for (size_t bi = 0; bi < batch.size(); ++bi) {
       Event& e = batch[bi];
@@ -1152,6 +1318,12 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
             shed_keys_.insert(route.key_id);
             ++fcounters_.shed_partitions;
             ++fcounters_.shed_events;
+            if (trace != nullptr) {
+              trace->Instant("shed", obs::TraceWriter::kCoordTid,
+                             obs::MonotonicNanos(),
+                             {obs::TraceWriter::NumArg("key", route.key_id),
+                              obs::TraceWriter::NumArg("seq", eseq)});
+            }
             continue;
           }
         } else if (overloaded) {
@@ -1181,13 +1353,25 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
         }
       }
     }
-    // One chunked publication per shard per batch.
+    // One chunked publication per shard per batch; one shared timestamp
+    // covers all of them (the trigger-latency epoch is the batch's
+    // publication, not each shard's push).
+    const uint64_t publish_ns = tel != nullptr ? obs::MonotonicNanos() : 0;
+    const size_t occ_shard = occ_rotor++ % n;
     for (size_t s = 0; s < n; ++s) {
-      Status fs = FlushPending(s);
+      Status fs = FlushPending(s, publish_ns, s == occ_shard);
       if (!fs.ok()) {
         result.fault_status = std::move(fs);
         break;
       }
+    }
+    if (trace != nullptr) {
+      // The coordinator-side batch span: routing through publication
+      // (worker-side execution shows up in the shard rows).
+      trace->Span("batch", obs::TraceWriter::kCoordTid, batch_begin,
+                  obs::MonotonicNanos(),
+                  {obs::TraceWriter::NumArg("seq", seq - batch.size()),
+                   obs::TraceWriter::NumArg("events", batch.size())});
     }
     if (!result.fault_status.ok()) break;
     if (stop_stalled_) {
@@ -1204,6 +1388,11 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
     if (overload_hit &&
         options_.overload_policy == OverloadPolicy::kDegradeSerial) {
       ++fcounters_.overload_stalls;
+      if (trace != nullptr) {
+        trace->Instant("overload-degrade", obs::TraceWriter::kCoordTid,
+                       obs::MonotonicNanos(),
+                       {obs::TraceWriter::NumArg("seq", seq)});
+      }
       Status ds = DrainAllQueues();
       if (!ds.ok()) {
         result.fault_status = std::move(ds);
@@ -1241,6 +1430,7 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
         Status s = SaveSnapshotAt(seq);
         if (s.ok()) {
           ++result.checkpoints_written;
+          if (tel != nullptr) tel->coord().checkpoints.Add(1);
           result.last_checkpoint_offset = seq;
         } else {
           result.checkpoint_status = std::move(s);
@@ -1281,6 +1471,7 @@ typename Traits::RunResultT ShardedExecutorT<Traits>::RunImpl(
         Status s = SaveSnapshotAt(seq);
         if (s.ok()) {
           ++result.checkpoints_written;
+          if (tel != nullptr) tel->coord().checkpoints.Add(1);
           result.last_checkpoint_offset = seq;
         } else {
           result.checkpoint_status = std::move(s);

@@ -191,6 +191,7 @@ std::optional<Injector::Fired> Injector::Hit(Point point, size_t lane) {
     if (f.point != point || f.lane != lane) continue;
     if (n >= f.trigger && n < f.trigger + f.repeat) {
       fired_.fetch_add(1, std::memory_order_relaxed);
+      if (fire_observer_) fire_observer_(point, f.kind, lane);
       return Fired{f.kind, f.delay_us};
     }
   }

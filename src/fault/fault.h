@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -135,6 +136,17 @@ class Injector {
 
   const std::vector<ArmedFault>& entries() const { return entries_; }
 
+  /// Observer invoked with (point, kind, lane) each time a fault fires —
+  /// the telemetry layer registers one to stamp a "fault-injected" trace
+  /// instant (src/obs/). Called from whatever thread hit the point
+  /// (workers, coordinator), so the observer must be thread-safe; it runs
+  /// before the call site simulates the failure (a crash observer call IS
+  /// delivered). Register before arming, clear (empty function) after the
+  /// run joins — the same no-race-with-Hit contract as Arm/Disarm.
+  void SetFireObserver(std::function<void(Point, Kind, size_t)> observer) {
+    fire_observer_ = std::move(observer);
+  }
+
  private:
   /// Per-(point, lane) hit counters; lanes beyond the cap share the last
   /// slot (the executor caps shards at 64 well below this).
@@ -144,6 +156,7 @@ class Injector {
   std::vector<ArmedFault> entries_;
   std::array<std::atomic<uint64_t>, kNumPoints * kMaxLanes> counters_{};
   std::atomic<uint64_t> fired_{0};
+  std::function<void(Point, Kind, size_t)> fire_observer_;
 };
 
 /// Parses a kind name ("crash", "stall", "slow", "io-error", "overload").

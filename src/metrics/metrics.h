@@ -210,6 +210,26 @@ class StopWatch {
   /// Elapsed milliseconds since construction/restart.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Elapsed whole nanoseconds since construction/restart — the integral
+  /// form the telemetry histograms record (src/obs/), avoiding a
+  /// double round-trip on the dataplane hot path.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  /// Construction/restart instant on the steady-clock epoch — the same
+  /// time base as obs::MonotonicNanos(), so StartNanos() + ElapsedNanos()
+  /// reconstructs an absolute end timestamp without a third clock read.
+  uint64_t StartNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            start_.time_since_epoch())
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -1,0 +1,90 @@
+#ifndef ASEQ_OBS_EMITTER_H_
+#define ASEQ_OBS_EMITTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/telemetry.h"
+
+namespace aseq {
+namespace obs {
+
+/// \brief Periodic JSON-lines metrics emitter.
+///
+/// A background thread wakes every `every_ms`, snapshots every telemetry
+/// cell WITHOUT pausing workers (cells are single-writer / any-reader, see
+/// LogHistogram), and appends one row per shard plus one coordinator row.
+/// All counter fields are cumulative since run start, so consumers get
+/// monotonic series and can difference adjacent intervals for rates.
+///
+/// File schema (one JSON object per line):
+///   {"type":"header", "version":1, "shards":N, "every_ms":M, ...}
+///   {"type":"shard", "interval":k, "t_ms":T, "shard":s, <counters>,
+///    "ring_occupancy":g, "op_service_ns":{count,mean,p50,p95,p99,max}, ...}
+///   {"type":"coord", "interval":k, "t_ms":T, <counters>,
+///    "admit_ns":{...}, "barrier_ns":{...}, "ring_occupancy":{...}}
+///   ... caller-appended summary lines (e.g. "utilization") ...
+///
+/// Flush() emits an interval immediately from the calling thread and
+/// flushes the stream — wired to the checkpoint observer so metrics hit
+/// disk at every durability point. Stop() emits one final interval and
+/// joins the thread.
+class MetricsEmitter {
+ public:
+  /// Opens `path` (truncating) and writes the header line. The thread does
+  /// not start until Start(). `header_extra` is spliced verbatim into the
+  /// header object (e.g. "\"engine\":\"hash\",\"queries\":3"); empty for
+  /// none.
+  MetricsEmitter(const std::string& path, uint64_t every_ms, Telemetry* tel,
+                 const std::string& header_extra = std::string());
+  ~MetricsEmitter();
+
+  MetricsEmitter(const MetricsEmitter&) = delete;
+  MetricsEmitter& operator=(const MetricsEmitter&) = delete;
+
+  bool ok() const { return ok_; }
+
+  /// Launches the periodic thread. No-op if the file failed to open.
+  void Start();
+
+  /// Emits an interval now (from the calling thread) and flushes to disk.
+  /// Safe from any thread, including before Start() and after Stop().
+  void Flush();
+
+  /// Emits one final interval, flushes, and joins the thread. Idempotent.
+  void Stop();
+
+  /// Appends a raw pre-formatted JSON line (caller-owned schema, e.g. the
+  /// end-of-run utilization summary). Thread-safe.
+  void AppendLine(const std::string& json);
+
+  /// Intervals emitted so far (periodic + forced).
+  uint64_t intervals() const { return intervals_; }
+
+ private:
+  void ThreadMain();
+  void EmitIntervalLocked();
+  void WriteHistogramLocked(const char* key, const LogHistogram& h,
+                            bool trailing_comma);
+
+  Telemetry* tel_;
+  uint64_t every_ms_;
+  std::ofstream out_;
+  bool ok_ = false;
+
+  std::mutex mu_;  // guards out_, intervals_, and stop_ handshake
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool started_ = false;
+  bool stop_ = false;
+  uint64_t intervals_ = 0;
+};
+
+}  // namespace obs
+}  // namespace aseq
+
+#endif  // ASEQ_OBS_EMITTER_H_

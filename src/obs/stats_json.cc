@@ -1,0 +1,113 @@
+#include "obs/stats_json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace aseq {
+namespace obs {
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string EngineStatsToJson(const EngineStats& stats) {
+  std::ostringstream os;
+  os << "{"
+     << "\"events_processed\":" << stats.events_processed
+     << ",\"outputs\":" << stats.outputs
+     << ",\"work_units\":" << stats.work_units
+     << ",\"objects_current\":" << stats.objects.current()
+     << ",\"objects_peak\":" << stats.objects.peak()
+     << ",\"batches_processed\":" << stats.batches_processed
+     << ",\"max_batch_events\":" << stats.max_batch_events
+     << ",\"dropped_events\":" << stats.dropped_events
+     << ",\"ht_probes\":" << stats.ht_probes
+     << ",\"ht_probe_steps\":" << stats.ht_probe_steps
+     << ",\"ht_slots\":" << stats.ht_slots
+     << ",\"ht_entries\":" << stats.ht_entries
+     << ",\"adm_admitted\":" << stats.adm_admitted
+     << ",\"adm_rejected_local\":" << stats.adm_rejected_local
+     << ",\"adm_missing_attr\":" << stats.adm_missing_attr
+     << ",\"adm_generic_cmps\":" << stats.adm_generic_cmps
+     << ",\"fault_injected\":" << stats.fault_injected
+     << ",\"fault_restarts\":" << stats.fault_restarts
+     << ",\"fault_replayed_events\":" << stats.fault_replayed_events
+     << ",\"shed_partitions\":" << stats.shed_partitions
+     << ",\"shed_events\":" << stats.shed_events
+     << ",\"overload_stalls\":" << stats.overload_stalls
+     << ",\"pub_batches\":" << stats.pub_batches
+     << ",\"ring_full_waits\":" << stats.ring_full_waits
+     << ",\"ring_spins\":" << stats.ring_spins << "}";
+  return os.str();
+}
+
+std::string UtilizationJson(const std::vector<double>& busy_seconds) {
+  std::ostringstream os;
+  os << "{\"busy_seconds\":[";
+  for (size_t i = 0; i < busy_seconds.size(); ++i) {
+    if (i) os << ",";
+    os << FormatDouble(busy_seconds[i]);
+  }
+  double max_busy = 0.0, min_busy = 0.0;
+  if (!busy_seconds.empty()) {
+    max_busy = *std::max_element(busy_seconds.begin(), busy_seconds.end());
+    min_busy = *std::min_element(busy_seconds.begin(), busy_seconds.end());
+  }
+  const double imbalance = min_busy > 0.0 ? max_busy / min_busy : 1.0;
+  os << "],\"max_busy\":" << FormatDouble(max_busy)
+     << ",\"min_busy\":" << FormatDouble(min_busy)
+     << ",\"imbalance\":" << FormatDouble(imbalance) << "}";
+  return os.str();
+}
+
+bool WriteStatsJson(const std::string& path, const std::string& engine,
+                    size_t shards, double elapsed_ms,
+                    const std::vector<double>& busy_seconds,
+                    const std::vector<StatsJsonEntry>& entries) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << "{\"engine\":\"" << EscapeJson(engine) << "\",\"shards\":" << shards
+      << ",\"elapsed_ms\":" << FormatDouble(elapsed_ms)
+      << ",\"utilization\":" << UtilizationJson(busy_seconds)
+      << ",\"queries\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i) out << ",";
+    out << "{\"label\":\"" << EscapeJson(entries[i].label)
+        << "\",\"results\":" << entries[i].results << ",\"stats\":"
+        << (entries[i].stats ? EngineStatsToJson(*entries[i].stats) : "{}")
+        << "}";
+  }
+  out << "]}\n";
+  return out.good();
+}
+
+}  // namespace obs
+}  // namespace aseq

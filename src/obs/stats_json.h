@@ -1,0 +1,43 @@
+#ifndef ASEQ_OBS_STATS_JSON_H_
+#define ASEQ_OBS_STATS_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace aseq {
+namespace obs {
+
+/// \brief One engine's end-of-run record for the --stats-json dump.
+struct StatsJsonEntry {
+  std::string label;  // query name, or "run" for single-query runs
+  const EngineStats* stats = nullptr;
+  uint64_t results = 0;
+};
+
+/// Renders EngineStats as a JSON object (no trailing newline). Field names
+/// mirror the struct members; every counter group is present even when
+/// zero so consumers get a stable schema.
+std::string EngineStatsToJson(const EngineStats& stats);
+
+/// Writes the one-shot end-of-run JSON document:
+///   {"engine":..., "shards":N, "elapsed_ms":..., "utilization":{...},
+///    "queries":[{"label":...,"results":...,"stats":{...}}, ...]}
+/// `busy_seconds` may be empty (serial run: no per-shard spans).
+/// Returns false if the file could not be written.
+bool WriteStatsJson(const std::string& path, const std::string& engine,
+                    size_t shards, double elapsed_ms,
+                    const std::vector<double>& busy_seconds,
+                    const std::vector<StatsJsonEntry>& entries);
+
+/// Formats the per-shard utilization object used by both WriteStatsJson and
+/// the metrics emitter's end-of-run summary line:
+///   {"busy_seconds":[...],"max_busy":...,"min_busy":...,"imbalance":R}
+/// where R = max/min busy (1.0 when min is zero or single-shard).
+std::string UtilizationJson(const std::vector<double>& busy_seconds);
+
+}  // namespace obs
+}  // namespace aseq
+
+#endif  // ASEQ_OBS_STATS_JSON_H_

@@ -1,0 +1,62 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+
+namespace aseq {
+namespace obs {
+
+uint64_t LogHistogram::Snapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= rank) {
+      const uint64_t upper = BucketUpperBound(b);
+      // The tracked exact max tightens the top bucket's upper bound.
+      return upper < max || max == 0 ? upper : max;
+    }
+  }
+  return max;
+}
+
+void LogHistogram::SnapshotInto(Snapshot* snap) const {
+  // The total count is DERIVED from the bucket sum, not stored: the record
+  // path saves a store, and quantile ranks computed from `count` land
+  // inside a bucket by construction even against a concurrent writer
+  // (whose in-flight record simply isn't in this snapshot yet).
+  snap->counts.resize(kNumBuckets);
+  uint64_t bucket_sum = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    snap->counts[b] = counts_[b].load(std::memory_order_relaxed);
+    bucket_sum += snap->counts[b];
+  }
+  snap->count = bucket_sum;
+  snap->sum = sum_.load(std::memory_order_relaxed);
+  snap->max = max_.load(std::memory_order_relaxed);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    StoreAdd(counts_[b], other.counts_[b].load(std::memory_order_relaxed));
+  }
+  StoreAdd(sum_, other.sum_.load(std::memory_order_relaxed));
+  const uint64_t om = other.max_.load(std::memory_order_relaxed);
+  if (om > max_.load(std::memory_order_relaxed)) {
+    max_.store(om, std::memory_order_relaxed);
+  }
+}
+
+void LogHistogram::Reset() {
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    counts_[b].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace aseq

@@ -2,9 +2,12 @@
 
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "cli/cli.h"
 #include "cli/flags.h"
+#include "fault/fault.h"
 
 namespace aseq {
 namespace {
@@ -224,6 +227,127 @@ TEST(CliTest, CompareJoinQueryFallsBackToBaseline) {
   EXPECT_EQ(r.code, 0) << r.err;
   EXPECT_NE(r.err.find("Unsupported"), std::string::npos);
   EXPECT_NE(r.out.find("StackBased"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Stats block ordering (golden) and observability flags
+// --------------------------------------------------------------------------
+
+// The `label:` prefixes of the stats block, in output order. Values vary
+// with timing, labels must not: docs/internals.md §17 documents this order
+// and downstream scrapers key on it.
+std::vector<std::string> StatsLabels(const std::string& out) {
+  std::vector<std::string> labels;
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t colon = line.find(':');
+    // Stats lines are exactly "<label>:<padding><value>" at top level;
+    // skip output rows ("t=...") and indented per-query lines.
+    if (colon == std::string::npos || line.empty() || line[0] == ' ' ||
+        line.compare(0, 2, "t=") == 0) {
+      continue;
+    }
+    labels.push_back(line.substr(0, colon));
+  }
+  return labels;
+}
+
+TEST(CliTest, StatsBlockGoldenOrderSerial) {
+  CliResult r = RunTool({"run", "--query",
+                         "PATTERN SEQ(DELL, IPIX) AGG COUNT WITHIN 1s",
+                         "--stock", "2000", "--quiet"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const std::vector<std::string> expected = {
+      "engine", "query", "events", "batch size", "results", "ms/slide",
+      "peak objects", "admission"};
+  EXPECT_EQ(StatsLabels(r.out), expected) << r.out;
+}
+
+TEST(CliTest, StatsBlockGoldenOrderShardedSupervised) {
+  // Every conditional stats line at once: sharded + supervised +
+  // checkpointing + overload policy + armed faults.
+  std::string ckpt_dir = ::testing::TempDir() + "/aseq_cli_golden_ck";
+  CliResult r = RunTool(
+      {"run", "--query",
+       "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms",
+       "--stock", "4000", "--shards", "2", "--batch-size", "64",
+       "--supervise", "--checkpoint-every", "1024", "--checkpoint-dir",
+       ckpt_dir, "--overload-policy", "shed", "--fault-spec",
+       "worker.op@0:200:crash", "--quiet"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const std::vector<std::string> expected = {
+      "engine",      "query",     "events",   "batch size", "shards",
+      "results",     "ms/slide",  "peak objects", "admission",
+      "utilization", "dataplane", "supervisor",   "overload",
+      "faults",      "checkpoints"};
+  EXPECT_EQ(StatsLabels(r.out), expected) << r.out;
+  // The utilization line carries the min/max busy + imbalance readout.
+  EXPECT_NE(r.out.find("shard busy "), std::string::npos);
+  EXPECT_NE(r.out.find("imbalance "), std::string::npos);
+  // The injector is process-global; leaving it armed would add a "faults"
+  // line to every later RunTool in this binary.
+  fault::Injector::Global().Disarm();
+}
+
+TEST(CliTest, StatsBlockGoldenOrderWorkload) {
+  std::string path = ::testing::TempDir() + "/aseq_cli_golden_queries.txt";
+  {
+    std::ofstream f(path);
+    f << "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 1s\n";
+    f << "PATTERN SEQ(DELL, AMAT) GROUP BY traderId AGG COUNT WITHIN 1s\n";
+  }
+  CliResult r = RunTool({"workload", "--queries", path, "--stock", "2000",
+                         "--shards", "2", "--batch-size", "64"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  const std::vector<std::string> expected = {
+      "strategy", "queries", "events", "batch size", "shards", "ms/slide",
+      "peak objects", "admission", "utilization", "dataplane"};
+  EXPECT_EQ(StatsLabels(r.out), expected) << r.out;
+}
+
+TEST(CliTest, MetricsAndTraceFlagsProduceFiles) {
+  std::string metrics = ::testing::TempDir() + "/aseq_cli_metrics.jsonl";
+  std::string trace = ::testing::TempDir() + "/aseq_cli_trace.json";
+  std::string stats = ::testing::TempDir() + "/aseq_cli_stats.json";
+  CliResult r = RunTool(
+      {"run", "--query",
+       "PATTERN SEQ(DELL, IPIX) GROUP BY traderId AGG COUNT WITHIN 800ms",
+       "--stock", "3000", "--shards", "2", "--batch-size", "64", "--quiet",
+       "--metrics-out", metrics, "--metrics-every-ms", "10", "--trace-out",
+       trace, "--stats-json", stats});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream mf(metrics);
+  std::string first_line;
+  ASSERT_TRUE(std::getline(mf, first_line));
+  EXPECT_NE(first_line.find("\"type\":\"header\""), std::string::npos);
+  EXPECT_NE(first_line.find("\"shards\":2"), std::string::npos);
+  std::stringstream tbuf;
+  tbuf << std::ifstream(trace).rdbuf();
+  EXPECT_EQ(tbuf.str().front(), '[');
+  EXPECT_NE(tbuf.str().find("\"name\":\"batch\""), std::string::npos);
+  std::stringstream sbuf;
+  sbuf << std::ifstream(stats).rdbuf();
+  EXPECT_NE(sbuf.str().find("\"utilization\""), std::string::npos);
+  EXPECT_NE(sbuf.str().find("\"events_processed\":3000"), std::string::npos);
+}
+
+TEST(CliTest, ObservabilityFlagValidation) {
+  // --metrics-every-ms without a destination is a configuration error.
+  CliResult orphan = RunTool({"run", "--query", "PATTERN SEQ(DELL, IPIX)",
+                              "--stock", "10", "--quiet",
+                              "--metrics-every-ms", "50"});
+  EXPECT_EQ(orphan.code, 1);
+  EXPECT_NE(orphan.err.find("--metrics-out"), std::string::npos);
+  CliResult zero = RunTool({"run", "--query", "PATTERN SEQ(DELL, IPIX)",
+                            "--stock", "10", "--quiet", "--metrics-out",
+                            "/tmp/x.jsonl", "--metrics-every-ms", "0"});
+  EXPECT_EQ(zero.code, 1);
+  CliResult bad_dir = RunTool({"run", "--query", "PATTERN SEQ(DELL, IPIX)",
+                               "--stock", "10", "--quiet", "--trace-out",
+                               "/nonexistent-dir/t.json"});
+  EXPECT_EQ(bad_dir.code, 1);
+  EXPECT_NE(bad_dir.err.find("--trace-out"), std::string::npos);
 }
 
 }  // namespace
